@@ -1,0 +1,45 @@
+//! # gdelt-analysis
+//!
+//! Reproductions of every table and figure in the paper's evaluation
+//! (§V–§VI). Each module computes one experiment's data from a
+//! [`Dataset`](gdelt_columnar::Dataset) through the `gdelt-engine`
+//! operators and renders the same rows/series the paper prints:
+//!
+//! | module | experiment |
+//! |---|---|
+//! | [`table1`] | Table I — dataset statistics |
+//! | [`table2`] | Table II — data problems found during cleaning |
+//! | [`figs_volume`] | Figs 2–6 — article power law, quarterly volumes, top publishers |
+//! | [`table3`] | Table III — ten most reported events |
+//! | [`table4`] | Table IV — Top-10 follow-reporting matrix |
+//! | [`figs_matrix`] | Fig 7 — Top-50 follow matrix; Fig 8 — 50×50 country matrix |
+//! | [`table5`] | Table V — country co-reporting (Jaccard) |
+//! | [`table67`] | Tables VI–VII — country cross-reporting counts and percentages |
+//! | [`figs_delay`] | Fig 9 — delay distributions; Figs 10–11 — quarterly delay trends |
+//! | [`table8`] | Table VIII — Top-10 publisher delay statistics |
+//! | [`fig12`] | Fig 12 — thread-scaling of the aggregated query |
+//! | [`clusters`] | §VI-B follow-up — MCL clusters in the co-reporting matrix |
+//! | [`tone`] | extension — tone and QuadClass breakdowns |
+//! | [`dyads`] | extension — CAMEO actor dyads and conflict shares |
+//! | [`report`] | run-everything driver used by the CLI and EXPERIMENTS.md |
+
+#![warn(missing_docs)]
+
+pub mod clusters;
+pub mod dyads;
+pub mod fig12;
+pub mod figs_delay;
+pub mod figs_matrix;
+pub mod figs_volume;
+pub mod render;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table67;
+pub mod table8;
+pub mod tone;
+
+pub use report::{run_full_report, FullReport};

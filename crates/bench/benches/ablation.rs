@@ -1,0 +1,135 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out:
+//!
+//! 1. dense vs sparse co-reporting accumulation (the paper's §VI-B
+//!    storage argument);
+//! 2. per-thread partials vs shared atomics for grouped counting;
+//! 3. the precomputed event→mentions CSR index vs sorting on demand;
+//! 4. columnar engine vs the naive row store on the aggregated query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdelt_bench::corpus;
+use gdelt_engine::aggregate::count_by;
+use gdelt_engine::baseline::RowStore;
+use gdelt_engine::coreport::{CoReport, SparseCoReport};
+use gdelt_engine::crossreport::CrossReport;
+use gdelt_engine::ExecContext;
+use gdelt_model::country::CountryRegistry;
+use rayon::prelude::*;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The shared-atomics alternative to `aggregate::count_by`.
+fn count_by_atomic(ctx: &ExecContext, keys: &[u32], domain: usize) -> Vec<u64> {
+    let counters: Vec<AtomicU64> = (0..domain).map(|_| AtomicU64::new(0)).collect();
+    ctx.install(|| {
+        keys.par_iter().for_each(|&k| {
+            if (k as usize) < domain {
+                counters[k as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    });
+    counters.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+}
+
+/// Sort-on-demand alternative to the CSR index: group mention rows by
+/// event id by sorting a row-index permutation, then walk groups.
+fn coreport_events_without_index(d: &gdelt_columnar::Dataset) -> u64 {
+    let n = d.mentions.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&r| d.mentions.event_id[r as usize]);
+    // Count co-reporting pairs per event group (work only, no matrix).
+    let mut pairs = 0u64;
+    let mut i = 0usize;
+    let mut distinct: Vec<u32> = Vec::new();
+    while i < n {
+        let id = d.mentions.event_id[order[i] as usize];
+        let mut j = i;
+        distinct.clear();
+        while j < n && d.mentions.event_id[order[j] as usize] == id {
+            distinct.push(d.mentions.source[order[j] as usize]);
+            j += 1;
+        }
+        distinct.sort_unstable();
+        distinct.dedup();
+        pairs += (distinct.len() * distinct.len().saturating_sub(1) / 2) as u64;
+        i = j;
+    }
+    pairs
+}
+
+/// The same pair-count workload using the prebuilt CSR index.
+fn coreport_events_with_index(d: &gdelt_columnar::Dataset) -> u64 {
+    let offsets = &d.event_index.offsets;
+    let mut pairs = 0u64;
+    let mut distinct: Vec<u32> = Vec::new();
+    for e in 0..d.events.len() {
+        distinct.clear();
+        for r in offsets[e] as usize..offsets[e + 1] as usize {
+            distinct.push(d.mentions.source[r]);
+        }
+        distinct.sort_unstable();
+        distinct.dedup();
+        pairs += (distinct.len() * distinct.len().saturating_sub(1) / 2) as u64;
+    }
+    pairs
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let (d, _) = corpus();
+    let ctx = ExecContext::new();
+    let registry = CountryRegistry::new();
+
+    let mut g = c.benchmark_group("coreport_dense_vs_sparse");
+    g.sample_size(10);
+    g.bench_function("dense_atomic", |b| b.iter(|| black_box(CoReport::build(&ctx, d))));
+    g.bench_function("sparse_hashed", |b| b.iter(|| black_box(SparseCoReport::build(&ctx, d))));
+    g.finish();
+
+    let mut g = c.benchmark_group("agg_partials_vs_atomics");
+    let keys = d.mentions.source.as_slice();
+    let domain = d.sources.len();
+    g.bench_function("per_thread_partials", |b| {
+        b.iter(|| black_box(count_by(&ctx, keys, domain)))
+    });
+    g.bench_function("shared_atomics", |b| {
+        b.iter(|| black_box(count_by_atomic(&ctx, keys, domain)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("csr_index_vs_sort_on_demand");
+    g.sample_size(10);
+    g.bench_function("prebuilt_csr", |b| b.iter(|| black_box(coreport_events_with_index(d))));
+    g.bench_function("sort_on_demand", |b| {
+        b.iter(|| black_box(coreport_events_without_index(d)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("columnar_vs_row_baseline");
+    g.sample_size(10);
+    let store = RowStore::from_dataset(d);
+    g.bench_function("columnar_parallel", |b| {
+        b.iter(|| black_box(CrossReport::build(&ctx, d, registry.len())))
+    });
+    g.bench_function("columnar_sequential", |b| {
+        let seq = ExecContext::sequential();
+        b.iter(|| black_box(CrossReport::build(&seq, d, registry.len())))
+    });
+    g.bench_function("row_store_naive", |b| b.iter(|| black_box(store.cross_report_naive())));
+    g.finish();
+}
+
+/// Short measurement windows keep the full suite tractable on
+/// small machines; raise for publication-grade numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! One Criterion benchmark per paper *figure* (Figs 2–11; Fig 12 has
+//! its own sweep target in `scaling.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdelt_analysis::{figs_delay, figs_matrix, figs_volume};
+use gdelt_bench::corpus;
+use gdelt_engine::crossreport::CrossReport;
+use gdelt_engine::ExecContext;
+use gdelt_model::country::CountryRegistry;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let (d, _) = corpus();
+    let ctx = ExecContext::new();
+    let registry = CountryRegistry::new();
+
+    c.bench_function("fig2_article_histogram", |b| {
+        b.iter(|| black_box(figs_volume::fig2(&ctx, d)))
+    });
+    c.bench_function("fig3_active_sources", |b| {
+        b.iter(|| black_box(figs_volume::fig3(&ctx, d)))
+    });
+    c.bench_function("fig4_events_quarterly", |b| {
+        b.iter(|| black_box(figs_volume::fig4(&ctx, d)))
+    });
+    c.bench_function("fig5_articles_quarterly", |b| {
+        b.iter(|| black_box(figs_volume::fig5(&ctx, d)))
+    });
+    c.bench_function("fig6_top_publisher_series", |b| {
+        b.iter(|| black_box(figs_volume::fig6(&ctx, d)))
+    });
+    c.bench_function("fig7_follow_matrix_top50", |b| {
+        b.iter(|| black_box(figs_matrix::fig7(&ctx, d, 50.min(d.sources.len()))))
+    });
+    c.bench_function("fig8_cross_matrix_50x50", |b| {
+        b.iter(|| {
+            let cr = CrossReport::build(&ctx, d, registry.len());
+            black_box(figs_matrix::fig8(&cr, 50))
+        })
+    });
+    c.bench_function("fig9_delay_distributions", |b| {
+        b.iter(|| black_box(figs_delay::fig9(&ctx, d)))
+    });
+    c.bench_function("fig10_delay_quarterly", |b| {
+        b.iter(|| black_box(figs_delay::fig10(&ctx, d)))
+    });
+    c.bench_function("fig11_late_articles", |b| {
+        b.iter(|| black_box(figs_delay::fig11(&ctx, d)))
+    });
+}
+
+/// Short measurement windows keep the full suite tractable on
+/// small machines; raise for publication-grade numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 12: thread-scaling of the aggregated country query (§VI-G) —
+//! the paper's 344 s → 43 s curve, regenerated on this machine — plus
+//! the naive row-store comparator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdelt_bench::corpus;
+use gdelt_engine::baseline::RowStore;
+use gdelt_engine::query::AggregatedCountryReport;
+use gdelt_engine::ExecContext;
+use std::hint::black_box;
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut out = vec![1usize];
+    while *out.last().unwrap() * 2 <= max {
+        out.push(out.last().unwrap() * 2);
+    }
+    if *out.last().unwrap() != max {
+        out.push(max);
+    }
+    out
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let (d, _) = corpus();
+
+    let mut g = c.benchmark_group("fig12_aggregated_query");
+    g.sample_size(10);
+    for threads in thread_counts() {
+        let ctx = ExecContext::with_threads(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| black_box(AggregatedCountryReport::run(&ctx, d)))
+        });
+    }
+    g.finish();
+
+    // The generic row-store comparator (single-threaded, string-typed).
+    let store = RowStore::from_dataset(d);
+    let mut g = c.benchmark_group("fig12_baseline");
+    g.sample_size(10);
+    g.bench_function("naive_row_store_query", |b| {
+        b.iter(|| black_box(store.cross_report_naive()))
+    });
+    g.finish();
+}
+
+/// Short measurement windows keep the full suite tractable on
+/// small machines; raise for publication-grade numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! One Criterion benchmark per paper *table*, each regenerating exactly
+//! the rows the paper prints (Tables I–VIII).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdelt_analysis::{table1, table2, table3, table4, table5, table67, table8};
+use gdelt_bench::corpus;
+use gdelt_engine::coreport::CountryCoReport;
+use gdelt_engine::crossreport::CrossReport;
+use gdelt_engine::delay::per_source_delay_stats;
+use gdelt_engine::ExecContext;
+use gdelt_model::country::CountryRegistry;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let (d, clean) = corpus();
+    let ctx = ExecContext::new();
+    let registry = CountryRegistry::new();
+
+    c.bench_function("table1_dataset_stats", |b| {
+        b.iter(|| black_box(table1::compute(&ctx, d)))
+    });
+
+    c.bench_function("table2_clean_report_render", |b| {
+        b.iter(|| black_box(table2::render(clean)))
+    });
+
+    c.bench_function("table3_top_events", |b| {
+        b.iter(|| black_box(table3::compute(&ctx, d, 10)))
+    });
+
+    c.bench_function("table4_follow_matrix_top10", |b| {
+        b.iter(|| black_box(table4::compute(&ctx, d, 10)))
+    });
+
+    c.bench_function("table5_country_coreport", |b| {
+        b.iter(|| {
+            let cc = CountryCoReport::build(&ctx, d, registry.len());
+            black_box(table5::compute(&cc, &registry))
+        })
+    });
+
+    c.bench_function("table6_7_cross_reporting", |b| {
+        b.iter(|| {
+            let cr = CrossReport::build(&ctx, d, registry.len());
+            black_box(table67::compute(&cr, 10))
+        })
+    });
+
+    c.bench_function("table8_delay_top10", |b| {
+        b.iter(|| {
+            let stats = per_source_delay_stats(&ctx, d);
+            black_box(table8::compute(&ctx, d, &stats, 10))
+        })
+    });
+}
+
+/// Short measurement windows keep the full suite tractable on
+/// small machines; raise for publication-grade numbers.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Connected components via union-find — the cheap clustering baseline
+//! and the cluster-extraction step of MCL.
+
+/// Union-find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// Extract all sets as sorted member lists.
+    pub fn sets(&mut self) -> Vec<Vec<u32>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for x in 0..n as u32 {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        let mut out: Vec<Vec<u32>> = by_root.into_values().collect();
+        for s in &mut out {
+            s.sort_unstable();
+        }
+        out.sort_by_key(|s| s.first().copied());
+        out
+    }
+}
+
+/// Connected components of an edge list over `n` nodes.
+pub fn union_find_components(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Vec<Vec<u32>> {
+    let mut uf = UnionFind::new(n);
+    for (a, b) in edges {
+        if (a as usize) < n && (b as usize) < n {
+            uf.union(a, b);
+        }
+    }
+    uf.sets()
+}
+
+/// Components of a thresholded similarity matrix: nodes `i`, `j` join
+/// when `sim(i, j) >= threshold`. The baseline clustering the MCL
+/// benchmark compares against.
+pub fn connected_components(sim: &crate::sparse::CsrMatrix, threshold: f64) -> Vec<Vec<u32>> {
+    let mut edges = Vec::new();
+    for r in 0..sim.n {
+        for i in sim.indptr[r]..sim.indptr[r + 1] {
+            if sim.values[i] >= threshold {
+                edges.push((r as u32, sim.indices[i]));
+            }
+        }
+    }
+    union_find_components(sim.n, edges.into_iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    #[test]
+    fn union_find_merges_and_finds() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+        let sets = uf.sets();
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn components_from_edges() {
+        let comps = union_find_components(6, [(0u32, 1u32), (2, 3), (3, 4)].into_iter());
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn out_of_range_edges_ignored() {
+        let comps = union_find_components(2, [(0u32, 9u32)].into_iter());
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn thresholded_components() {
+        let sim = CsrMatrix::from_triplets(
+            4,
+            &[(0, 1, 0.9), (1, 0, 0.9), (1, 2, 0.1), (2, 1, 0.1), (2, 3, 0.8), (3, 2, 0.8)],
+        );
+        let strong = connected_components(&sim, 0.5);
+        assert_eq!(strong, vec![vec![0, 1], vec![2, 3]]);
+        let weak = connected_components(&sim, 0.05);
+        assert_eq!(weak, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_matrix_all_singletons() {
+        let comps = connected_components(&CsrMatrix::zeros(3), 0.5);
+        assert_eq!(comps.len(), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! # gdelt-cluster
+//!
+//! Graph clustering over co-reporting matrices.
+//!
+//! The paper (§VI-B) points out that clusters of co-owned news websites
+//! can be found "by applying clustering algorithms (e.g. Markov
+//! clustering) to the co-reporting matrix", the symmetric Jaccard matrix
+//! being better suited than the asymmetric follow matrix. This crate
+//! implements that follow-up:
+//!
+//! * [`sparse`] — a compressed-sparse-row matrix with the operations MCL
+//!   needs (column normalization, sparse product, Hadamard power,
+//!   pruning);
+//! * [`mcl()`] — Markov Clustering (expansion/inflation iteration, cluster
+//!   extraction);
+//! * [`components`] — union-find connected components over a thresholded
+//!   similarity graph, the cheap baseline.
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod mcl;
+pub mod sparse;
+
+pub use components::connected_components;
+pub use mcl::{mcl, MclParams};
+pub use sparse::CsrMatrix;

@@ -1,0 +1,186 @@
+//! Markov Clustering (MCL), van Dongen 2000 — the algorithm the paper
+//! names for finding co-owned publisher clusters in the co-reporting
+//! matrix (§VI-B).
+//!
+//! The iteration alternates **expansion** (squaring the column-stochastic
+//! matrix — flow spreads) and **inflation** (Hadamard power + column
+//! renormalization — strong flow strengthens, weak flow decays), with
+//! pruning of negligible entries. At convergence the matrix is a union of
+//! star-shaped attractor systems; clusters are read off as the weakly
+//! connected components of the nonzero pattern.
+
+use crate::components::union_find_components;
+use crate::sparse::CsrMatrix;
+
+/// MCL hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MclParams {
+    /// Inflation exponent (≥ 1); higher → finer clusters. 2.0 is the
+    /// standard default.
+    pub inflation: f64,
+    /// Entries below this are pruned each iteration.
+    pub prune_threshold: f64,
+    /// Convergence tolerance on the max element change.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Self-loop weight added before normalization.
+    pub self_loop: f64,
+}
+
+impl Default for MclParams {
+    fn default() -> Self {
+        MclParams {
+            inflation: 2.0,
+            prune_threshold: 1e-5,
+            epsilon: 1e-6,
+            max_iterations: 100,
+            self_loop: 1.0,
+        }
+    }
+}
+
+/// MCL result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Clusters as sorted member lists, ordered by descending size then
+    /// by smallest member.
+    pub clusters: Vec<Vec<u32>>,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+    /// Whether the epsilon criterion was met within the cap.
+    pub converged: bool,
+}
+
+impl Clustering {
+    /// Cluster index of each node.
+    pub fn assignment(&self, n: usize) -> Vec<usize> {
+        let mut out = vec![usize::MAX; n];
+        for (ci, members) in self.clusters.iter().enumerate() {
+            for &m in members {
+                out[m as usize] = ci;
+            }
+        }
+        out
+    }
+}
+
+/// Run MCL on a symmetric non-negative similarity matrix.
+///
+/// # Panics
+/// If `params.inflation < 1.0`.
+pub fn mcl(similarity: &CsrMatrix, params: MclParams) -> Clustering {
+    assert!(params.inflation >= 1.0, "inflation must be >= 1");
+    let mut m = similarity.add_self_loops(params.self_loop).normalize_columns();
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < params.max_iterations {
+        iterations += 1;
+        let expanded = m.multiply(&m);
+        let inflated = expanded
+            .hadamard_power(params.inflation)
+            .normalize_columns()
+            .prune(params.prune_threshold)
+            .normalize_columns();
+        let diff = inflated.max_abs_diff(&m);
+        m = inflated;
+        if diff < params.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    // Clusters = weakly connected components of the converged pattern.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m.nnz());
+    for r in 0..m.n {
+        for i in m.indptr[r]..m.indptr[r + 1] {
+            edges.push((r as u32, m.indices[i]));
+        }
+    }
+    let mut clusters = union_find_components(m.n, edges.iter().copied());
+    clusters.sort_by_key(|c| (std::cmp::Reverse(c.len()), c.first().copied()));
+    Clustering { clusters, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 3-cliques joined by a single weak edge.
+    fn two_cliques() -> CsrMatrix {
+        let mut t = Vec::new();
+        let clique = |t: &mut Vec<(u32, u32, f64)>, nodes: &[u32]| {
+            for &a in nodes {
+                for &b in nodes {
+                    if a != b {
+                        t.push((a, b, 1.0));
+                    }
+                }
+            }
+        };
+        clique(&mut t, &[0, 1, 2]);
+        clique(&mut t, &[3, 4, 5]);
+        t.push((2, 3, 0.05));
+        t.push((3, 2, 0.05));
+        CsrMatrix::from_triplets(6, &t)
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let c = mcl(&two_cliques(), MclParams::default());
+        assert!(c.converged, "did not converge in {} iterations", c.iterations);
+        assert_eq!(c.clusters.len(), 2);
+        let a: Vec<u32> = c.clusters[0].clone();
+        let b: Vec<u32> = c.clusters[1].clone();
+        let mut all: Vec<u32> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        assert!(a == vec![0, 1, 2] || a == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn assignment_maps_nodes() {
+        let c = mcl(&two_cliques(), MclParams::default());
+        let assign = c.assignment(6);
+        assert_eq!(assign[0], assign[1]);
+        assert_eq!(assign[0], assign[2]);
+        assert_ne!(assign[0], assign[3]);
+        assert_eq!(assign[3], assign[5]);
+    }
+
+    #[test]
+    fn isolated_nodes_form_singletons() {
+        let m = CsrMatrix::from_triplets(4, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let c = mcl(&m, MclParams::default());
+        assert_eq!(c.clusters.len(), 3); // {0,1}, {2}, {3}
+        assert_eq!(c.clusters[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn higher_inflation_never_coarsens() {
+        let sim = two_cliques();
+        let fine = mcl(&sim, MclParams { inflation: 4.0, ..Default::default() });
+        let coarse = mcl(&sim, MclParams { inflation: 1.4, ..Default::default() });
+        assert!(fine.clusters.len() >= coarse.clusters.len());
+    }
+
+    #[test]
+    fn empty_matrix_is_all_singletons() {
+        let c = mcl(&CsrMatrix::zeros(3), MclParams::default());
+        assert_eq!(c.clusters.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inflation")]
+    fn rejects_deflation() {
+        let _ = mcl(&CsrMatrix::zeros(1), MclParams { inflation: 0.5, ..Default::default() });
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = two_cliques();
+        let a = mcl(&sim, MclParams::default());
+        let b = mcl(&sim, MclParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the sparse-matrix kernels and MCL: CSR operations
+//! must match their dense counterparts for arbitrary matrices, and
+//! clustering must always produce a partition of the node set.
+
+use gdelt_cluster::components::union_find_components;
+use gdelt_cluster::{connected_components, mcl, CsrMatrix, MclParams};
+use proptest::prelude::*;
+
+/// `(n, row-major data)` for a random sparse-ish square matrix.
+fn arb_dense() -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (1usize..8).prop_flat_map(|n| {
+        prop::collection::vec(
+            prop_oneof![4 => Just(0.0), 1 => 0.01f64..5.0],
+            n * n,
+        )
+        .prop_map(move |data| (n, data))
+    })
+}
+
+/// A pair of same-size dense matrices.
+fn arb_dense_pair() -> impl Strategy<Value = (usize, Vec<f64>, Vec<f64>)> {
+    (1usize..7).prop_flat_map(|n| {
+        let cell = prop_oneof![4 => Just(0.0), 1 => 0.01f64..5.0];
+        let cell2 = prop_oneof![4 => Just(0.0), 1 => 0.01f64..5.0];
+        (
+            prop::collection::vec(cell, n * n),
+            prop::collection::vec(cell2, n * n),
+        )
+            .prop_map(move |(a, b)| (n, a, b))
+    })
+}
+
+fn dense_mul(n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let v = a[i * n + k];
+            if v != 0.0 {
+                for j in 0..n {
+                    out[i * n + j] += v * b[k * n + j];
+                }
+            }
+        }
+    }
+    out
+}
+
+fn approx(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_dense_round_trip((n, dense) in arb_dense()) {
+        let m = CsrMatrix::from_dense(n, &dense);
+        prop_assert!(approx(&m.to_dense(), &dense));
+        prop_assert_eq!(m.nnz(), dense.iter().filter(|&&v| v != 0.0).count());
+    }
+
+    #[test]
+    fn multiply_matches_dense((n, a, b) in arb_dense_pair()) {
+        let ma = CsrMatrix::from_dense(n, &a);
+        let mb = CsrMatrix::from_dense(n, &b);
+        let got = ma.multiply(&mb).to_dense();
+        prop_assert!(approx(&got, &dense_mul(n, &a, &b)));
+    }
+
+    #[test]
+    fn normalized_columns_sum_to_one_or_zero((n, dense) in arb_dense()) {
+        let m = CsrMatrix::from_dense(n, &dense).normalize_columns();
+        let d = m.to_dense();
+        for c in 0..n {
+            let sum: f64 = (0..n).map(|r| d[r * n + c]).sum();
+            prop_assert!(
+                sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9,
+                "column {c} sums to {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn prune_only_removes_small_entries((n, dense) in arb_dense(), threshold in 0.0f64..2.0) {
+        let m = CsrMatrix::from_dense(n, &dense);
+        let p = m.prune(threshold);
+        for r in 0..n {
+            for c in 0..n {
+                let v = m.get(r, c);
+                let expect = if v >= threshold { v } else { 0.0 };
+                prop_assert_eq!(p.get(r, c), expect);
+            }
+        }
+        prop_assert!(p.nnz() <= m.nnz());
+    }
+
+    #[test]
+    fn hadamard_power_matches_elementwise((n, dense) in arb_dense(), e in 1.0f64..4.0) {
+        let m = CsrMatrix::from_dense(n, &dense);
+        let p = m.hadamard_power(e);
+        for r in 0..n {
+            for c in 0..n {
+                let v = m.get(r, c);
+                let expect = if v == 0.0 { 0.0 } else { v.powf(e) };
+                prop_assert!((p.get(r, c) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_is_a_metric((n, a, b) in arb_dense_pair()) {
+        let ma = CsrMatrix::from_dense(n, &a);
+        let mb = CsrMatrix::from_dense(n, &b);
+        let d = ma.max_abs_diff(&mb);
+        prop_assert!((d - mb.max_abs_diff(&ma)).abs() < 1e-12, "symmetry");
+        prop_assert_eq!(ma.max_abs_diff(&ma), 0.0);
+        // Equals the dense sup-norm of the difference.
+        let expect = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
+        prop_assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_find_components_partition_nodes(
+        n in 1usize..60,
+        edges in prop::collection::vec((0u32..60, 0u32..60), 0..120),
+    ) {
+        let comps = union_find_components(n, edges.iter().copied());
+        // Every node appears exactly once.
+        let mut all: Vec<u32> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+        // Both endpoints of an in-range edge share a component.
+        for &(a, b) in &edges {
+            if (a as usize) < n && (b as usize) < n {
+                let ca = comps.iter().position(|c| c.contains(&a));
+                let cb = comps.iter().position(|c| c.contains(&b));
+                prop_assert_eq!(ca, cb);
+            }
+        }
+    }
+
+    #[test]
+    fn mcl_clusters_partition_nodes(
+        n in 1usize..16,
+        edges in prop::collection::vec((0u32..16, 0u32..16, 0.05f64..1.0), 0..40),
+    ) {
+        let sym: Vec<(u32, u32, f64)> = edges
+            .iter()
+            .filter(|&&(a, b, _)| (a as usize) < n && (b as usize) < n && a != b)
+            .flat_map(|&(a, b, w)| [(a, b, w), (b, a, w)])
+            .collect();
+        let m = CsrMatrix::from_triplets(n, &sym);
+        let c = mcl(&m, MclParams::default());
+        let mut all: Vec<u32> = c.clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+        // MCL never merges disconnected components.
+        let comps = connected_components(&m, f64::MIN_POSITIVE);
+        for cluster in &c.clusters {
+            let comp_of_first = comps.iter().position(|x| x.contains(&cluster[0])).unwrap();
+            for node in cluster {
+                prop_assert!(
+                    comps[comp_of_first].contains(node),
+                    "cluster spans disconnected components"
+                );
+            }
+        }
+    }
+}

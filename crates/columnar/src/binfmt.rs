@@ -1,0 +1,464 @@
+//! The indexed binary on-disk format.
+//!
+//! The preprocessing tool converts GDELT once into this format; afterwards
+//! the engine memory-loads it in seconds instead of re-parsing a terabyte
+//! of CSV. Layout:
+//!
+//! ```text
+//! magic  "GDHPC1\0\0"                      8 bytes
+//! u32    section count                     little-endian
+//! per section:
+//!   u16  name length, then name bytes      (ASCII, e.g. "mentions.delay")
+//!   u64  payload length in bytes
+//!   u64  FNV-1a-64 checksum of the payload
+//!   payload                                raw little-endian column data
+//! ```
+//!
+//! Every column, string pool and the CSR index is its own named section,
+//! so the format is self-describing and forward-extensible (unknown
+//! sections are ignored on read). Checksums catch corruption; a full
+//! [`Dataset::validate`] runs after load.
+
+use crate::aligned::AlignedBuf;
+use crate::index::EventIndex;
+use crate::strings::{StringDict, StringPool};
+use crate::table::Dataset;
+use std::io::{self, Read, Write};
+
+/// Format magic, bumped with any incompatible layout change.
+pub const MAGIC: &[u8; 8] = b"GDHPC1\0\0";
+
+/// FNV-1a 64-bit checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Column element types the format stores.
+pub trait Scalar: Copy {
+    /// Bytes per element.
+    const WIDTH: usize;
+    /// Append the little-endian encoding of `self`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Decode from exactly [`Scalar::WIDTH`] bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $w:expr) => {
+        impl Scalar for $t {
+            const WIDTH: usize = $w;
+            #[inline]
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("width checked"))
+            }
+        }
+    };
+}
+
+impl_scalar!(u8, 1);
+impl_scalar!(u16, 2);
+impl_scalar!(u32, 4);
+impl_scalar!(u64, 8);
+impl_scalar!(f32, 4);
+
+fn encode<T: Scalar>(vals: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * T::WIDTH);
+    for &v in vals {
+        v.write_le(&mut out);
+    }
+    out
+}
+
+fn decode<T: Scalar>(bytes: &[u8]) -> io::Result<Vec<T>> {
+    if !bytes.len().is_multiple_of(T::WIDTH) {
+        return Err(bad("section length not a multiple of element width"));
+    }
+    Ok(bytes.chunks_exact(T::WIDTH).map(T::read_le).collect())
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_section<W: Write>(w: &mut W, name: &str, payload: &[u8]) -> io::Result<()> {
+    let name_b = name.as_bytes();
+    w.write_all(&(name_b.len() as u16).to_le_bytes())?;
+    w.write_all(name_b)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&fnv1a64(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// All section names in write order.
+const SECTIONS: &[&str] = &[
+    "events.id",
+    "events.day",
+    "events.capture",
+    "events.quarter",
+    "events.root",
+    "events.quad",
+    "events.actor1",
+    "events.actor2",
+    "events.goldstein",
+    "events.num_mentions",
+    "events.num_sources",
+    "events.num_articles",
+    "events.avg_tone",
+    "events.country",
+    "events.lat",
+    "events.lon",
+    "events.source_url",
+    "events.urls.bytes",
+    "events.urls.offsets",
+    "mentions.event_id",
+    "mentions.event_row",
+    "mentions.event_interval",
+    "mentions.mention_interval",
+    "mentions.delay",
+    "mentions.source",
+    "mentions.quarter",
+    "mentions.mention_type",
+    "mentions.confidence",
+    "mentions.doc_tone",
+    "sources.names.bytes",
+    "sources.names.offsets",
+    "sources.country",
+    "index.offsets",
+];
+
+/// Serialize a dataset to a writer.
+pub fn write_dataset<W: Write>(w: &mut W, d: &Dataset) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(SECTIONS.len() as u32).to_le_bytes())?;
+
+    let (url_bytes, url_offsets) = d.events.urls.raw_parts();
+    let (name_bytes, name_offsets) = d.sources.names.pool().raw_parts();
+
+    let payloads: Vec<(&str, Vec<u8>)> = vec![
+        ("events.id", encode(&d.events.id)),
+        ("events.day", encode(&d.events.day)),
+        ("events.capture", encode(&d.events.capture)),
+        ("events.quarter", encode(&d.events.quarter)),
+        ("events.root", encode(&d.events.root)),
+        ("events.quad", encode(&d.events.quad)),
+        ("events.actor1", encode(&d.events.actor1)),
+        ("events.actor2", encode(&d.events.actor2)),
+        ("events.goldstein", encode(&d.events.goldstein)),
+        ("events.num_mentions", encode(&d.events.num_mentions)),
+        ("events.num_sources", encode(&d.events.num_sources)),
+        ("events.num_articles", encode(&d.events.num_articles)),
+        ("events.avg_tone", encode(&d.events.avg_tone)),
+        ("events.country", encode(&d.events.country)),
+        ("events.lat", encode(&d.events.lat)),
+        ("events.lon", encode(&d.events.lon)),
+        ("events.source_url", encode(&d.events.source_url)),
+        ("events.urls.bytes", url_bytes.to_vec()),
+        ("events.urls.offsets", encode(url_offsets)),
+        ("mentions.event_id", encode(&d.mentions.event_id)),
+        ("mentions.event_row", encode(&d.mentions.event_row)),
+        ("mentions.event_interval", encode(&d.mentions.event_interval)),
+        ("mentions.mention_interval", encode(&d.mentions.mention_interval)),
+        ("mentions.delay", encode(&d.mentions.delay)),
+        ("mentions.source", encode(&d.mentions.source)),
+        ("mentions.quarter", encode(&d.mentions.quarter)),
+        ("mentions.mention_type", encode(&d.mentions.mention_type)),
+        ("mentions.confidence", encode(&d.mentions.confidence)),
+        ("mentions.doc_tone", encode(&d.mentions.doc_tone)),
+        ("sources.names.bytes", name_bytes.to_vec()),
+        ("sources.names.offsets", encode(name_offsets)),
+        ("sources.country", encode(&d.sources.country)),
+        ("index.offsets", encode(&d.event_index.offsets)),
+    ];
+    debug_assert_eq!(payloads.len(), SECTIONS.len());
+    for (name, payload) in &payloads {
+        write_section(w, name, payload)?;
+    }
+    Ok(())
+}
+
+/// Raw section map read back from a stream.
+struct Sections {
+    map: std::collections::HashMap<String, Vec<u8>>,
+}
+
+impl Sections {
+    fn read<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad magic: not a gdelt-hpc binary file"));
+        }
+        let mut cnt = [0u8; 4];
+        r.read_exact(&mut cnt)?;
+        let count = u32::from_le_bytes(cnt);
+        if count > 4_096 {
+            return Err(bad(format!("implausible section count {count}")));
+        }
+        let mut map = std::collections::HashMap::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut nl = [0u8; 2];
+            r.read_exact(&mut nl)?;
+            let name_len = u16::from_le_bytes(nl) as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name).map_err(|_| bad("non-UTF-8 section name"))?;
+            let mut pl = [0u8; 8];
+            r.read_exact(&mut pl)?;
+            let payload_len = u64::from_le_bytes(pl);
+            let mut ck = [0u8; 8];
+            r.read_exact(&mut ck)?;
+            let checksum = u64::from_le_bytes(ck);
+            // A corrupted length field must not drive a huge up-front
+            // allocation: stream through `take`, which stops at EOF, and
+            // verify the byte count afterwards.
+            let mut payload = Vec::new();
+            r.take(payload_len).read_to_end(&mut payload)?;
+            if payload.len() as u64 != payload_len {
+                return Err(bad(format!(
+                    "section {name} truncated: {} of {payload_len} bytes",
+                    payload.len()
+                )));
+            }
+            if fnv1a64(&payload) != checksum {
+                return Err(bad(format!("checksum mismatch in section {name}")));
+            }
+            map.insert(name, payload);
+        }
+        Ok(Sections { map })
+    }
+
+    fn take(&mut self, name: &str) -> io::Result<Vec<u8>> {
+        self.map.remove(name).ok_or_else(|| bad(format!("missing section {name}")))
+    }
+
+    fn column<T: Scalar>(&mut self, name: &str) -> io::Result<AlignedBuf<T>> {
+        let v = decode::<T>(&self.take(name)?)?;
+        Ok(AlignedBuf::from(v.as_slice()))
+    }
+}
+
+/// Deserialize a dataset, verifying checksums and all invariants.
+pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
+    let mut s = Sections::read(r)?;
+
+    let url_bytes = s.take("events.urls.bytes")?;
+    let url_offsets = decode::<u64>(&s.take("events.urls.offsets")?)?;
+    let urls = StringPool::from_raw_parts(url_bytes, url_offsets).map_err(bad)?;
+
+    let name_bytes = s.take("sources.names.bytes")?;
+    let name_offsets = decode::<u64>(&s.take("sources.names.offsets")?)?;
+    let name_pool = StringPool::from_raw_parts(name_bytes, name_offsets).map_err(bad)?;
+
+    let events = crate::table::EventsTable {
+        id: s.column("events.id")?,
+        day: s.column("events.day")?,
+        capture: s.column("events.capture")?,
+        quarter: s.column("events.quarter")?,
+        root: s.column("events.root")?,
+        quad: s.column("events.quad")?,
+        actor1: s.column("events.actor1")?,
+        actor2: s.column("events.actor2")?,
+        goldstein: s.column("events.goldstein")?,
+        num_mentions: s.column("events.num_mentions")?,
+        num_sources: s.column("events.num_sources")?,
+        num_articles: s.column("events.num_articles")?,
+        avg_tone: s.column("events.avg_tone")?,
+        country: s.column("events.country")?,
+        lat: s.column("events.lat")?,
+        lon: s.column("events.lon")?,
+        source_url: s.column("events.source_url")?,
+        urls,
+    };
+
+    let mentions = crate::table::MentionsTable {
+        event_id: s.column("mentions.event_id")?,
+        event_row: s.column("mentions.event_row")?,
+        event_interval: s.column("mentions.event_interval")?,
+        mention_interval: s.column("mentions.mention_interval")?,
+        delay: s.column("mentions.delay")?,
+        source: s.column("mentions.source")?,
+        quarter: s.column("mentions.quarter")?,
+        mention_type: s.column("mentions.mention_type")?,
+        confidence: s.column("mentions.confidence")?,
+        doc_tone: s.column("mentions.doc_tone")?,
+    };
+
+    let sources = crate::table::SourceDirectory {
+        names: StringDict::from_pool(name_pool),
+        country: s.column("sources.country")?,
+    };
+
+    let event_index = EventIndex { offsets: decode::<u64>(&s.take("index.offsets")?)? };
+
+    let dataset = Dataset { events, mentions, sources, event_index };
+    dataset.validate().map_err(bad)?;
+    Ok(dataset)
+}
+
+/// Write a dataset to a file (buffered).
+pub fn save(path: &std::path::Path, d: &Dataset) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    write_dataset(&mut w, d)?;
+    w.flush()
+}
+
+/// Load a dataset from a file (buffered), verifying integrity.
+pub fn load(path: &std::path::Path) -> io::Result<Dataset> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    read_dataset(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatasetBuilder;
+    use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+    use gdelt_model::event::{ActionGeo, EventRecord, GeoType};
+    use gdelt_model::ids::EventId;
+    use gdelt_model::mention::{MentionRecord, MentionType};
+    use gdelt_model::time::{DateTime, GDELT_EPOCH};
+
+    fn sample_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for id in 1..=20u64 {
+            b.add_event(EventRecord {
+                id: EventId(id),
+                day: GDELT_EPOCH,
+                root: CameoRoot::new((id % 20 + 1) as u8).unwrap(),
+                event_code: "190".into(),
+                actor1_country: String::new(),
+                actor2_country: String::new(),
+                quad_class: QuadClass::from_u8((id % 4 + 1) as u8).unwrap(),
+                goldstein: Goldstein::new(0.5).unwrap(),
+                num_mentions: id as u32,
+                num_sources: 1,
+                num_articles: id as u32,
+                avg_tone: -1.5,
+                geo: ActionGeo {
+                    geo_type: GeoType::Country,
+                    country_fips: "US".into(),
+                    lat: Some(1.0),
+                    lon: Some(2.0),
+                },
+                date_added: DateTime::new(GDELT_EPOCH, (id % 24) as u8, 0, 0).unwrap(),
+                source_url: format!("https://site{id}.com/a"),
+            });
+            for k in 0..(id % 3 + 1) {
+                b.add_mention(MentionRecord {
+                    event_id: EventId(id),
+                    event_time: DateTime::new(GDELT_EPOCH, (id % 24) as u8, 0, 0).unwrap(),
+                    mention_time: DateTime::new(
+                        GDELT_EPOCH.add_days(1),
+                        ((id + k) % 24) as u8,
+                        0,
+                        0,
+                    )
+                    .unwrap(),
+                    mention_type: MentionType::Web,
+                    source_name: format!("pub{k}.co.uk"),
+                    url: format!("https://pub{k}.co.uk/{id}"),
+                    confidence: 75,
+                    doc_tone: 0.25,
+                });
+            }
+        }
+        let (d, _) = b.build();
+        d
+    }
+
+    #[test]
+    fn fnv_reference_values() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &d).unwrap();
+        let d2 = read_dataset(&mut buf.as_slice()).unwrap();
+        assert_eq!(d.events, d2.events);
+        assert_eq!(d.mentions, d2.mentions);
+        assert_eq!(d.event_index, d2.event_index);
+        assert_eq!(d.sources.country, d2.sources.country);
+        assert_eq!(d.sources.names.pool(), d2.sources.names.pool());
+        // Rebuilt hash index must answer lookups.
+        assert!(d2.sources.lookup("pub0.co.uk").is_some());
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let d = Dataset::default();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &d).unwrap();
+        let d2 = read_dataset(&mut buf.as_slice()).unwrap();
+        assert!(d2.events.is_empty());
+        assert!(d2.mentions.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let d = Dataset::default();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &d).unwrap();
+        buf[0] ^= 0xFF;
+        let err = read_dataset(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_corrupted_payload() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &d).unwrap();
+        // Flip a byte deep inside the payload region.
+        let target = buf.len() - 9;
+        buf[target] ^= 0x55;
+        let err = read_dataset(&mut buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("checksum") || msg.contains("invalid") || msg.contains("must"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &d).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let d = sample_dataset();
+        let dir = std::env::temp_dir().join("gdelt_binfmt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.gdhpc");
+        save(&path, &d).unwrap();
+        let d2 = load(&path).unwrap();
+        assert_eq!(d.mentions.len(), d2.mentions.len());
+        assert_eq!(d.events.len(), d2.events.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_rejects_ragged_section() {
+        assert!(decode::<u32>(&[1, 2, 3]).is_err());
+        assert_eq!(decode::<u32>(&[1, 0, 0, 0]).unwrap(), vec![1u32]);
+    }
+}

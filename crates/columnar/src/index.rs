@@ -1,0 +1,172 @@
+//! The event→mentions CSR adjacency.
+//!
+//! Co-reporting and follow-reporting both iterate "all articles of one
+//! event" for every event. With mentions stored grouped by event row,
+//! a single offsets array turns that into a contiguous slice per event —
+//! the core of the paper's "indexed" binary format. Within an event the
+//! mentions are sorted by scrape interval, so follow-reporting (who
+//! published first) is a linear walk.
+
+use crate::table::{MentionsTable, NO_EVENT_ROW};
+
+/// CSR offsets: `offsets[i]..offsets[i+1]` are the mention rows of event
+/// row `i`. Length is `n_events + 1`. Mentions of unknown events (if any)
+/// lie past `offsets[n_events]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventIndex {
+    /// Offset array, ascending, `len = n_events + 1` (empty when the
+    /// dataset is empty).
+    pub offsets: Vec<u64>,
+}
+
+impl EventIndex {
+    /// Build from a mentions table already grouped by `event_row`
+    /// (unknowns last), for `n_events` event rows.
+    pub fn build(n_events: usize, mentions: &MentionsTable) -> Self {
+        let mut offsets = vec![0u64; n_events + 1];
+        // Count per event row.
+        for &er in mentions.event_row.iter() {
+            if er != NO_EVENT_ROW {
+                offsets[er as usize + 1] += 1;
+            }
+        }
+        // Prefix sum.
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        EventIndex { offsets }
+    }
+
+    /// Number of events covered.
+    #[inline]
+    pub fn n_events(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Mention-row range of event row `i`.
+    #[inline]
+    pub fn range(&self, event_row: usize) -> std::ops::Range<usize> {
+        self.offsets[event_row] as usize..self.offsets[event_row + 1] as usize
+    }
+
+    /// Number of mentions of event row `i`.
+    #[inline]
+    pub fn degree(&self, event_row: usize) -> usize {
+        (self.offsets[event_row + 1] - self.offsets[event_row]) as usize
+    }
+
+    /// Total mentions covered by the index (excludes unknown-event rows).
+    #[inline]
+    pub fn total_mentions(&self) -> u64 {
+        self.offsets.last().copied().unwrap_or(0)
+    }
+
+    /// Validate consistency against the mentions table.
+    pub fn validate(&self, n_events: usize, mentions: &MentionsTable) -> Result<(), String> {
+        if n_events == 0 && self.offsets.is_empty() {
+            return Ok(());
+        }
+        if self.offsets.len() != n_events + 1 {
+            return Err(format!(
+                "index has {} offsets for {} events",
+                self.offsets.len(),
+                n_events
+            ));
+        }
+        if self.offsets[0] != 0 {
+            return Err("index must start at 0".into());
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("index offsets must be non-decreasing".into());
+        }
+        let covered = self.total_mentions() as usize;
+        if covered > mentions.len() {
+            return Err("index covers more mentions than exist".into());
+        }
+        // Every row inside range i must carry event_row == i.
+        for i in 0..n_events {
+            for row in self.range(i) {
+                if mentions.event_row[row] as usize != i {
+                    return Err(format!("index range of event {i} contains foreign row {row}"));
+                }
+            }
+        }
+        // Rows past the covered prefix must be unknown-event rows.
+        for row in covered..mentions.len() {
+            if mentions.event_row[row] != NO_EVENT_ROW {
+                return Err(format!("known-event mention {row} outside index coverage"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal mentions table with given (event_row, interval) pairs.
+    fn mentions(rows: &[(u32, u32)]) -> MentionsTable {
+        let mut m = MentionsTable::default();
+        for &(er, iv) in rows {
+            m.event_id.push(u64::from(er.min(1_000_000)));
+            m.event_row.push(er);
+            m.event_interval.push(iv);
+            m.mention_interval.push(iv);
+            m.delay.push(0);
+            m.source.push(0);
+            m.quarter.push(0);
+            m.mention_type.push(1);
+            m.confidence.push(50);
+            m.doc_tone.push(0.0);
+        }
+        m
+    }
+
+    #[test]
+    fn builds_ranges_for_grouped_mentions() {
+        // Event 0: 2 mentions; event 1: none; event 2: 3 mentions.
+        let m = mentions(&[(0, 5), (0, 9), (2, 1), (2, 2), (2, 3)]);
+        let idx = EventIndex::build(3, &m);
+        assert_eq!(idx.range(0), 0..2);
+        assert_eq!(idx.range(1), 2..2);
+        assert_eq!(idx.range(2), 2..5);
+        assert_eq!(idx.degree(0), 2);
+        assert_eq!(idx.degree(1), 0);
+        assert_eq!(idx.total_mentions(), 5);
+        assert_eq!(idx.n_events(), 3);
+        assert!(idx.validate(3, &m).is_ok());
+    }
+
+    #[test]
+    fn unknown_event_rows_excluded() {
+        let m = mentions(&[(0, 5), (NO_EVENT_ROW, 1), (NO_EVENT_ROW, 2)]);
+        let idx = EventIndex::build(1, &m);
+        assert_eq!(idx.range(0), 0..1);
+        assert_eq!(idx.total_mentions(), 1);
+        assert!(idx.validate(1, &m).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_misgrouped_rows() {
+        // Mentions claim grouping (1, 0) but index built for grouped data.
+        let m = mentions(&[(1, 5), (0, 9)]);
+        let idx = EventIndex::build(2, &m);
+        assert!(idx.validate(2, &m).is_err());
+    }
+
+    #[test]
+    fn validate_catches_wrong_length() {
+        let m = mentions(&[(0, 1)]);
+        let idx = EventIndex { offsets: vec![0, 1, 1] };
+        assert!(idx.validate(1, &m).is_err());
+    }
+
+    #[test]
+    fn empty_index_for_empty_dataset() {
+        let idx = EventIndex::default();
+        assert_eq!(idx.n_events(), 0);
+        assert_eq!(idx.total_mentions(), 0);
+        assert!(idx.validate(0, &MentionsTable::default()).is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! # gdelt-columnar
+//!
+//! Columnar in-memory storage and the indexed binary format.
+//!
+//! The paper's key engineering move (§IV) is a one-time conversion of the
+//! raw GDELT CSV dumps into an *indexed binary format* holding every field
+//! machine-readable, after which the query engine works read-only from
+//! memory. This crate is that storage layer:
+//!
+//! * [`aligned`] — cache-line-aligned column buffers;
+//! * [`strings`] — append-only string pool and interning dictionary
+//!   (URLs and source names are dictionary-encoded once; queries touch
+//!   only integer ids);
+//! * [`table`] — the columnar Events and Mentions tables plus the source
+//!   directory sidecar;
+//! * [`builder`] — conversion from parsed records into a [`Dataset`],
+//!   including sorting and index construction;
+//! * [`index`] — the event→mentions CSR adjacency and the time index,
+//!   which turn the co-/follow-reporting scans into linear walks;
+//! * [`binfmt`] — the versioned, checksummed on-disk format;
+//! * [`partition`] — row-range partitioning mirroring the NUMA-aware
+//!   placement the paper needs on its 8-node EPYC machine.
+
+#![warn(missing_docs)]
+
+pub mod aligned;
+pub mod binfmt;
+pub mod builder;
+pub mod incremental;
+pub mod index;
+pub mod memsize;
+pub mod partition;
+pub mod strings;
+pub mod table;
+
+pub use builder::DatasetBuilder;
+pub use partition::{partitions, Partition};
+pub use strings::{StringDict, StringPool};
+pub use table::{Dataset, EventsTable, MentionsTable, SourceDirectory};

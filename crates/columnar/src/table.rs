@@ -1,0 +1,460 @@
+//! The columnar Events and Mentions tables and the source directory.
+//!
+//! Layout mirrors the paper's indexed binary format: every field the
+//! queries touch is a fixed-width column; all text is dictionary-encoded
+//! (source names) or pooled (event source URLs). Events are stored sorted
+//! by `GlobalEventID`; mentions are stored grouped by their event's row
+//! (and by scrape time within an event), which makes the co-/follow-
+//! reporting scans contiguous.
+
+use crate::aligned::AlignedBuf;
+use crate::index::EventIndex;
+use crate::strings::{StringDict, StringPool};
+use gdelt_model::ids::{CountryId, EventId, SourceId};
+use gdelt_model::time::{CaptureInterval, Date, Quarter};
+
+/// Sentinel for "mention's event not present in the events table".
+pub const NO_EVENT_ROW: u32 = u32::MAX;
+
+/// Columnar GDELT *Events* table, sorted by event id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventsTable {
+    /// `GlobalEventID`, ascending.
+    pub id: AlignedBuf<u64>,
+    /// Event day packed as `YYYYMMDD`.
+    pub day: AlignedBuf<u32>,
+    /// Capture interval of `DATEADDED`.
+    pub capture: AlignedBuf<u32>,
+    /// Linear quarter index of the event day (see [`Quarter::linear`]).
+    pub quarter: AlignedBuf<u16>,
+    /// CAMEO root category (1–20).
+    pub root: AlignedBuf<u8>,
+    /// QuadClass (1–4).
+    pub quad: AlignedBuf<u8>,
+    /// Actor1 country resolved from its CAMEO code (`u16::MAX` =
+    /// unresolved/absent).
+    pub actor1: AlignedBuf<u16>,
+    /// Actor2 country resolved from its CAMEO code (`u16::MAX` =
+    /// unresolved/absent — most events are one-actor).
+    pub actor2: AlignedBuf<u16>,
+    /// Goldstein scale.
+    pub goldstein: AlignedBuf<f32>,
+    /// `NumMentions` at first capture.
+    pub num_mentions: AlignedBuf<u32>,
+    /// `NumSources` at first capture.
+    pub num_sources: AlignedBuf<u32>,
+    /// `NumArticles` at first capture.
+    pub num_articles: AlignedBuf<u32>,
+    /// Average tone.
+    pub avg_tone: AlignedBuf<f32>,
+    /// `ActionGeo` country resolved to a [`CountryId`] (`u16::MAX` =
+    /// untagged/unknown).
+    pub country: AlignedBuf<u16>,
+    /// `ActionGeo` latitude, `NaN` if unresolved.
+    pub lat: AlignedBuf<f32>,
+    /// `ActionGeo` longitude, `NaN` if unresolved.
+    pub lon: AlignedBuf<f32>,
+    /// Pool id of the representative source URL (one per row, in row
+    /// order; empty string for the missing-URL records of Table II).
+    pub source_url: AlignedBuf<u32>,
+    /// URL pool addressed by [`EventsTable::source_url`].
+    pub urls: StringPool,
+}
+
+impl EventsTable {
+    /// Number of events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True if the table holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    /// Binary-search the row of an event id.
+    #[inline]
+    pub fn row_of(&self, id: EventId) -> Option<usize> {
+        self.id.binary_search(&id.0).ok()
+    }
+
+    /// Event id at `row`.
+    #[inline]
+    pub fn event_id(&self, row: usize) -> EventId {
+        EventId(self.id[row])
+    }
+
+    /// URL string at `row`.
+    #[inline]
+    pub fn url(&self, row: usize) -> &str {
+        self.urls.get(self.source_url[row])
+    }
+
+    /// Country of the event action at `row`.
+    #[inline]
+    pub fn country_id(&self, row: usize) -> CountryId {
+        CountryId(self.country[row])
+    }
+
+    /// Quarter of the event day at `row`.
+    #[inline]
+    pub fn quarter_at(&self, row: usize) -> Quarter {
+        Quarter::from_linear(i32::from(self.quarter[row]))
+    }
+
+    /// Check internal invariants (sortedness, column lengths, pool refs).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        let cols: [(&str, usize); 16] = [
+            ("day", self.day.len()),
+            ("capture", self.capture.len()),
+            ("quarter", self.quarter.len()),
+            ("root", self.root.len()),
+            ("quad", self.quad.len()),
+            ("actor1", self.actor1.len()),
+            ("actor2", self.actor2.len()),
+            ("goldstein", self.goldstein.len()),
+            ("num_mentions", self.num_mentions.len()),
+            ("num_sources", self.num_sources.len()),
+            ("num_articles", self.num_articles.len()),
+            ("avg_tone", self.avg_tone.len()),
+            ("country", self.country.len()),
+            ("lat", self.lat.len()),
+            ("lon", self.lon.len()),
+            ("source_url", self.source_url.len()),
+        ];
+        for (name, len) in cols {
+            if len != n {
+                return Err(format!("events column {name} has {len} rows, expected {n}"));
+            }
+        }
+        if self.id.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("event ids not strictly ascending".into());
+        }
+        if self.source_url.iter().any(|&u| u as usize >= self.urls.len()) {
+            return Err("event url reference out of pool range".into());
+        }
+        if self.root.iter().any(|&r| !(1..=20).contains(&r)) {
+            return Err("event root code out of range".into());
+        }
+        if self.quad.iter().any(|&q| !(1..=4).contains(&q)) {
+            return Err("event quad class out of range".into());
+        }
+        Ok(())
+    }
+}
+
+/// Columnar GDELT *Mentions* table, grouped by event row (then by scrape
+/// interval within the event). Mentions of events absent from the events
+/// table sort to the end with [`NO_EVENT_ROW`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MentionsTable {
+    /// `GlobalEventID` of the event reported on.
+    pub event_id: AlignedBuf<u64>,
+    /// Row of that event in the [`EventsTable`] ([`NO_EVENT_ROW`] if
+    /// absent) — the join is precomputed at conversion time.
+    pub event_row: AlignedBuf<u32>,
+    /// Capture interval of the event (`EventTimeDate`).
+    pub event_interval: AlignedBuf<u32>,
+    /// Capture interval the article was scraped (`MentionTimeDate`).
+    pub mention_interval: AlignedBuf<u32>,
+    /// Publishing delay in intervals (precomputed, saturating at 0).
+    pub delay: AlignedBuf<u32>,
+    /// Publisher ([`SourceId`] into the source directory).
+    pub source: AlignedBuf<u32>,
+    /// Linear quarter index of the mention interval.
+    pub quarter: AlignedBuf<u16>,
+    /// `MentionType` (1–6).
+    pub mention_type: AlignedBuf<u8>,
+    /// GDELT confidence (0–100).
+    pub confidence: AlignedBuf<u8>,
+    /// Document tone.
+    pub doc_tone: AlignedBuf<f32>,
+}
+
+impl MentionsTable {
+    /// Number of mentions (articles).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.event_id.len()
+    }
+
+    /// True if the table holds no mentions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.event_id.is_empty()
+    }
+
+    /// Source id at `row`.
+    #[inline]
+    pub fn source_id(&self, row: usize) -> SourceId {
+        SourceId(self.source[row])
+    }
+
+    /// Quarter of the mention at `row`.
+    #[inline]
+    pub fn quarter_at(&self, row: usize) -> Quarter {
+        Quarter::from_linear(i32::from(self.quarter[row]))
+    }
+
+    /// Check internal invariants.
+    pub fn validate(&self, n_events: usize, n_sources: usize) -> Result<(), String> {
+        let n = self.len();
+        let cols: [(&str, usize); 9] = [
+            ("event_row", self.event_row.len()),
+            ("event_interval", self.event_interval.len()),
+            ("mention_interval", self.mention_interval.len()),
+            ("delay", self.delay.len()),
+            ("source", self.source.len()),
+            ("quarter", self.quarter.len()),
+            ("mention_type", self.mention_type.len()),
+            ("confidence", self.confidence.len()),
+            ("doc_tone", self.doc_tone.len()),
+        ];
+        for (name, len) in cols {
+            if len != n {
+                return Err(format!("mentions column {name} has {len} rows, expected {n}"));
+            }
+        }
+        // Grouped by event_row (unknowns last), scrape-time sorted within.
+        for w in 0..n.saturating_sub(1) {
+            let (a, b) = (self.event_row[w], self.event_row[w + 1]);
+            if a > b {
+                return Err(format!("mentions not grouped by event row at {w}"));
+            }
+            if a == b && a != NO_EVENT_ROW && self.mention_interval[w] > self.mention_interval[w + 1]
+            {
+                return Err(format!("mentions not time-sorted within event at {w}"));
+            }
+        }
+        if self.event_row.iter().any(|&r| r != NO_EVENT_ROW && r as usize >= n_events) {
+            return Err("mention event_row out of range".into());
+        }
+        if self.source.iter().any(|&s| s as usize >= n_sources) {
+            return Err("mention source id out of range".into());
+        }
+        for row in 0..n {
+            let expect = self.mention_interval[row].saturating_sub(self.event_interval[row]);
+            if self.delay[row] != expect {
+                return Err(format!("precomputed delay wrong at row {row}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Directory of news sources: interned names plus per-source metadata.
+#[derive(Debug, Clone, Default)]
+pub struct SourceDirectory {
+    /// Interned source domain names; [`SourceId`] = dictionary id.
+    pub names: StringDict,
+    /// Country assigned from the TLD (paper §VI-C heuristic);
+    /// `u16::MAX` = unknown.
+    pub country: AlignedBuf<u16>,
+}
+
+impl SourceDirectory {
+    /// Number of distinct sources.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no sources registered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Domain name of a source.
+    #[inline]
+    pub fn name(&self, id: SourceId) -> &str {
+        self.names.get(id.0)
+    }
+
+    /// Country of a source.
+    #[inline]
+    pub fn country_id(&self, id: SourceId) -> CountryId {
+        CountryId(self.country[id.index()])
+    }
+
+    /// Look a source up by domain name.
+    #[inline]
+    pub fn lookup(&self, name: &str) -> Option<SourceId> {
+        self.names.lookup(name).map(SourceId)
+    }
+
+    /// Check internal invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.country.len() != self.names.len() {
+            return Err(format!(
+                "source country column has {} rows for {} sources",
+                self.country.len(),
+                self.names.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The complete in-memory dataset: both tables, the source directory and
+/// the event→mentions adjacency. This is what the engine queries and what
+/// the binary format serializes.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Events table (sorted by id).
+    pub events: EventsTable,
+    /// Mentions table (grouped by event row).
+    pub mentions: MentionsTable,
+    /// Source directory.
+    pub sources: SourceDirectory,
+    /// CSR adjacency from event rows to mention row ranges.
+    pub event_index: EventIndex,
+}
+
+impl Dataset {
+    /// Mentions (articles) reporting on the event at `event_row`, as a
+    /// contiguous range of mention rows sorted by scrape interval.
+    #[inline]
+    pub fn mentions_of(&self, event_row: usize) -> std::ops::Range<usize> {
+        self.event_index.range(event_row)
+    }
+
+    /// Distinct capture intervals present in the mentions table
+    /// (Table I's "capture intervals" statistic).
+    pub fn distinct_capture_intervals(&self) -> usize {
+        let mut iv: Vec<u32> = self.mentions.mention_interval.iter().copied().collect();
+        iv.sort_unstable();
+        iv.dedup();
+        iv.len()
+    }
+
+    /// Inclusive quarter span covered by the mentions table, or `None`
+    /// when empty.
+    pub fn quarter_span(&self) -> Option<(Quarter, Quarter)> {
+        let min = self.mentions.quarter.iter().min()?;
+        let max = self.mentions.quarter.iter().max()?;
+        Some((
+            Quarter::from_linear(i32::from(*min)),
+            Quarter::from_linear(i32::from(*max)),
+        ))
+    }
+
+    /// Validate every cross-table invariant; used after deserialization
+    /// and by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        self.events.validate()?;
+        self.sources.validate()?;
+        self.mentions.validate(self.events.len(), self.sources.len())?;
+        self.event_index.validate(self.events.len(), &self.mentions)?;
+        // event_row join must agree with the id columns.
+        for row in 0..self.mentions.len() {
+            let er = self.mentions.event_row[row];
+            if er != NO_EVENT_ROW && self.events.id[er as usize] != self.mentions.event_id[row] {
+                return Err(format!("mention {row} joined to wrong event row"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: capture interval → quarter, used by builders.
+    pub fn interval_quarter(iv: CaptureInterval) -> u16 {
+        iv.quarter().linear() as u16
+    }
+
+    /// Convenience: packed day → quarter linear index.
+    pub fn day_quarter(day_packed: u32) -> u16 {
+        Date::from_yyyymmdd(day_packed)
+            .map(|d| d.quarter().linear() as u16)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tables_validate() {
+        let d = Dataset::default();
+        assert!(d.validate().is_ok());
+        assert!(d.events.is_empty());
+        assert!(d.mentions.is_empty());
+        assert!(d.sources.is_empty());
+        assert_eq!(d.quarter_span(), None);
+        assert_eq!(d.distinct_capture_intervals(), 0);
+    }
+
+    #[test]
+    fn events_validate_catches_unsorted_ids() {
+        let mut t = EventsTable::default();
+        for id in [3u64, 1] {
+            t.id.push(id);
+            t.day.push(20_150_218);
+            t.capture.push(0);
+            t.quarter.push(0);
+            t.root.push(1);
+            t.quad.push(1);
+            t.actor1.push(u16::MAX);
+            t.actor2.push(u16::MAX);
+            t.goldstein.push(0.0);
+            t.num_mentions.push(1);
+            t.num_sources.push(1);
+            t.num_articles.push(1);
+            t.avg_tone.push(0.0);
+            t.country.push(u16::MAX);
+            t.lat.push(f32::NAN);
+            t.lon.push(f32::NAN);
+            t.source_url.push(t.urls.push("u"));
+        }
+        assert!(t.validate().unwrap_err().contains("ascending"));
+    }
+
+    #[test]
+    fn events_validate_catches_ragged_columns() {
+        let mut t = EventsTable::default();
+        t.id.push(1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn mentions_validate_catches_bad_delay() {
+        let mut m = MentionsTable::default();
+        m.event_id.push(1);
+        m.event_row.push(NO_EVENT_ROW);
+        m.event_interval.push(10);
+        m.mention_interval.push(14);
+        m.delay.push(3); // should be 4
+        m.source.push(0);
+        m.quarter.push(0);
+        m.mention_type.push(1);
+        m.confidence.push(50);
+        m.doc_tone.push(0.0);
+        assert!(m.validate(0, 1).unwrap_err().contains("delay"));
+        m.delay.as_mut_slice()[0] = 4;
+        assert!(m.validate(0, 1).is_ok());
+    }
+
+    #[test]
+    fn source_directory_lookup() {
+        let mut s = SourceDirectory::default();
+        let id = s.names.intern("bbc.co.uk");
+        s.country.push(0);
+        assert_eq!(s.lookup("bbc.co.uk"), Some(SourceId(id)));
+        assert_eq!(s.name(SourceId(id)), "bbc.co.uk");
+        assert_eq!(s.country_id(SourceId(id)), CountryId(0));
+        assert!(s.validate().is_ok());
+        s.names.intern("other.com");
+        assert!(s.validate().is_err()); // country column now short
+    }
+
+    #[test]
+    fn day_quarter_helper() {
+        assert_eq!(
+            Dataset::day_quarter(20_150_218),
+            (Quarter { year: 2015, q: 1 }).linear() as u16
+        );
+    }
+}

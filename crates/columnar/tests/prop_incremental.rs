@@ -1,0 +1,125 @@
+//! Property test: applying arbitrary batch splits incrementally always
+//! produces the byte-identical dataset a full rebuild would.
+
+use gdelt_columnar::incremental::append_batch;
+use gdelt_columnar::{binfmt, Dataset, DatasetBuilder};
+use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+use gdelt_model::event::{ActionGeo, EventRecord};
+use gdelt_model::ids::EventId;
+use gdelt_model::mention::{MentionRecord, MentionType};
+use gdelt_model::time::{DateTime, GDELT_EPOCH};
+use proptest::prelude::*;
+
+fn event(id: u64, hour: u8) -> EventRecord {
+    EventRecord {
+        id: EventId(id),
+        day: GDELT_EPOCH,
+        root: CameoRoot::new((id % 20 + 1) as u8).unwrap(),
+        event_code: "010".into(),
+        actor1_country: String::new(),
+        actor2_country: String::new(),
+        quad_class: QuadClass::from_u8((id % 4 + 1) as u8).unwrap(),
+        goldstein: Goldstein::new(0.0).unwrap(),
+        num_mentions: 0,
+        num_sources: 0,
+        num_articles: 0,
+        avg_tone: 0.0,
+        geo: ActionGeo::default(),
+        date_added: DateTime::new(GDELT_EPOCH, hour % 24, 0, 0).unwrap(),
+        source_url: format!("https://u/{id}"),
+    }
+}
+
+fn mention(event_id: u64, delay: u32, src: usize) -> MentionRecord {
+    let t = DateTime::midnight(GDELT_EPOCH);
+    MentionRecord {
+        event_id: EventId(event_id),
+        event_time: t,
+        mention_time: DateTime::from_unix_seconds(t.to_unix_seconds() + i64::from(delay) * 900),
+        mention_type: MentionType::Web,
+        source_name: format!("pub{src}.co.uk"),
+        url: format!("https://pub{src}.co.uk/{event_id}"),
+        confidence: 50,
+        doc_tone: 0.0,
+    }
+}
+
+fn build(events: &[EventRecord], mentions: &[MentionRecord]) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    for e in events {
+        b.add_event(e.clone());
+    }
+    for m in mentions {
+        b.add_mention(m.clone());
+    }
+    b.build().0
+}
+
+fn bytes(d: &Dataset) -> Vec<u8> {
+    let mut buf = Vec::new();
+    binfmt::write_dataset(&mut buf, d).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_batch_split_equals_full_rebuild(
+        // Events with possibly-duplicated ids and mentions possibly
+        // referencing absent events.
+        event_specs in prop::collection::vec((1u64..40, 0u8..24), 1..40),
+        mention_specs in prop::collection::vec((1u64..45, 0u32..200, 0usize..6), 0..80),
+        split_e in 0.0f64..1.0,
+        split_m in 0.0f64..1.0,
+    ) {
+        // Deduplicate event ids within the stream (the builder keeps the
+        // first; split-position-dependent winners would make the
+        // comparison ill-defined otherwise).
+        let mut seen = std::collections::HashSet::new();
+        let events: Vec<EventRecord> = event_specs
+            .into_iter()
+            .filter(|&(id, _)| seen.insert(id))
+            .map(|(id, h)| event(id, h))
+            .collect();
+        let mentions: Vec<MentionRecord> =
+            mention_specs.into_iter().map(|(id, d, s)| mention(id, d, s)).collect();
+
+        let e_cut = (events.len() as f64 * split_e) as usize;
+        let m_cut = (mentions.len() as f64 * split_m) as usize;
+
+        let base = build(&events[..e_cut], &mentions[..m_cut]);
+        let (updated, stats, _) =
+            append_batch(&base, events[e_cut..].to_vec(), mentions[m_cut..].to_vec());
+        prop_assert_eq!(updated.validate(), Ok(()));
+        prop_assert_eq!(stats.new_events, events.len() - e_cut);
+        prop_assert_eq!(stats.new_mentions, mentions.len() - m_cut);
+
+        let full = build(&events, &mentions);
+        prop_assert_eq!(bytes(&updated), bytes(&full), "split {}/{} diverged", e_cut, m_cut);
+    }
+
+    #[test]
+    fn three_way_chains_compose(
+        ids in prop::collection::vec(1u64..30, 3..30),
+        cuts in (0.0f64..0.5, 0.5f64..1.0),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let events: Vec<EventRecord> = ids
+            .iter()
+            .filter(|&&id| seen.insert(id))
+            .map(|&id| event(id, (id % 24) as u8))
+            .collect();
+        let mentions: Vec<MentionRecord> =
+            events.iter().map(|e| mention(e.id.raw(), 3, 1)).collect();
+
+        let a = (events.len() as f64 * cuts.0) as usize;
+        let b = ((events.len() as f64 * cuts.1) as usize).max(a);
+
+        let base = build(&events[..a], &mentions[..a]);
+        let (mid, _, _) = append_batch(&base, events[a..b].to_vec(), mentions[a..b].to_vec());
+        let (fin, _, _) = append_batch(&mid, events[b..].to_vec(), mentions[b..].to_vec());
+        let full = build(&events, &mentions);
+        prop_assert_eq!(bytes(&fin), bytes(&full));
+    }
+}

@@ -1,0 +1,231 @@
+//! Parser for the 61-column GDELT 2.0 *Events* export.
+//!
+//! Column layout (GDELT 2.0 Event codebook):
+//!
+//! | idx | column | idx | column |
+//! |---|---|---|---|
+//! | 0 | GlobalEventID | 29 | QuadClass |
+//! | 1 | Day (SQLDATE) | 30 | GoldsteinScale |
+//! | 2 | MonthYear | 31 | NumMentions |
+//! | 3 | Year | 32 | NumSources |
+//! | 4 | FractionDate | 33 | NumArticles |
+//! | 5–14 | Actor1 (10 cols) | 34 | AvgTone |
+//! | 15–24 | Actor2 (10 cols) | 35–42 | Actor1Geo (8 cols) |
+//! | 25 | IsRootEvent | 43–50 | Actor2Geo (8 cols) |
+//! | 26 | EventCode | 51–58 | ActionGeo (8 cols) |
+//! | 27 | EventBaseCode | 59 | DATEADDED |
+//! | 28 | EventRootCode | 60 | SOURCEURL |
+//!
+//! The system projects this into [`EventRecord`], which keeps exactly the
+//! fields the paper's analyses touch.
+
+use crate::error::{CsvError, CsvResult};
+use crate::fields::{
+    parse_f32, parse_opt_f32, parse_u32, parse_u64, parse_u8, parse_u8_or_zero, split_exact,
+};
+use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+use gdelt_model::event::{ActionGeo, EventRecord, GeoType};
+use gdelt_model::ids::EventId;
+use gdelt_model::time::{Date, DateTime};
+
+/// Number of columns in a GDELT 2.0 events line.
+pub const EVENT_COLUMNS: usize = 61;
+
+/// Column indexes used by the projection.
+mod col {
+    pub const GLOBAL_EVENT_ID: usize = 0;
+    pub const DAY: usize = 1;
+    pub const ACTOR1_COUNTRY: usize = 7;
+    pub const ACTOR2_COUNTRY: usize = 17;
+    pub const EVENT_CODE: usize = 26;
+    pub const EVENT_ROOT_CODE: usize = 28;
+    pub const QUAD_CLASS: usize = 29;
+    pub const GOLDSTEIN: usize = 30;
+    pub const NUM_MENTIONS: usize = 31;
+    pub const NUM_SOURCES: usize = 32;
+    pub const NUM_ARTICLES: usize = 33;
+    pub const AVG_TONE: usize = 34;
+    pub const ACTION_GEO_TYPE: usize = 51;
+    pub const ACTION_GEO_COUNTRY: usize = 53;
+    pub const ACTION_GEO_LAT: usize = 56;
+    pub const ACTION_GEO_LON: usize = 57;
+    pub const DATE_ADDED: usize = 59;
+    pub const SOURCE_URL: usize = 60;
+}
+
+/// Parse one raw events line into an [`EventRecord`].
+pub fn parse_event_line(line: &str) -> CsvResult<EventRecord> {
+    let f: [&str; EVENT_COLUMNS] = split_exact(line, "events")?;
+
+    let id = EventId(parse_u64(f[col::GLOBAL_EVENT_ID], "GlobalEventID")?);
+    let day_num = parse_u32(f[col::DAY], "Day")?;
+    let day = Date::from_yyyymmdd(day_num).map_err(CsvError::Model)?;
+
+    let event_code = f[col::EVENT_CODE];
+    let root_raw = parse_u8(f[col::EVENT_ROOT_CODE], "EventRootCode")?;
+    let root = CameoRoot::new(root_raw).map_err(CsvError::Model)?;
+
+    let quad_raw = parse_u8(f[col::QUAD_CLASS], "QuadClass")?;
+    let quad_class = QuadClass::from_u8(quad_raw).map_err(CsvError::Model)?;
+
+    let goldstein =
+        Goldstein::new(parse_f32(f[col::GOLDSTEIN], "GoldsteinScale")?).map_err(CsvError::Model)?;
+
+    let geo_type_raw = parse_u8_or_zero(f[col::ACTION_GEO_TYPE], "ActionGeo_Type")?;
+    let geo_type = GeoType::from_u8(geo_type_raw)
+        .ok_or_else(|| CsvError::field("ActionGeo_Type", f[col::ACTION_GEO_TYPE], "expected 0-5"))?;
+
+    let date_added_num = parse_u64(f[col::DATE_ADDED], "DATEADDED")?;
+    let date_added = DateTime::from_yyyymmddhhmmss(date_added_num).map_err(CsvError::Model)?;
+
+    Ok(EventRecord {
+        id,
+        day,
+        root,
+        event_code: event_code.to_owned(),
+        actor1_country: f[col::ACTOR1_COUNTRY].to_owned(),
+        actor2_country: f[col::ACTOR2_COUNTRY].to_owned(),
+        quad_class,
+        goldstein,
+        num_mentions: parse_u32(f[col::NUM_MENTIONS], "NumMentions")?,
+        num_sources: parse_u32(f[col::NUM_SOURCES], "NumSources")?,
+        num_articles: parse_u32(f[col::NUM_ARTICLES], "NumArticles")?,
+        avg_tone: parse_f32(f[col::AVG_TONE], "AvgTone")?,
+        geo: ActionGeo {
+            geo_type,
+            country_fips: f[col::ACTION_GEO_COUNTRY].to_owned(),
+            lat: parse_opt_f32(f[col::ACTION_GEO_LAT], "ActionGeo_Lat")?,
+            lon: parse_opt_f32(f[col::ACTION_GEO_LON], "ActionGeo_Long")?,
+        },
+        date_added,
+        source_url: f[col::SOURCE_URL].to_owned(),
+    })
+}
+
+/// Parse a whole events file (one record per line, skipping blank lines),
+/// invoking `on_error` for each bad line and returning the good records.
+pub fn parse_events<'a>(
+    text: &'a str,
+    mut on_error: impl FnMut(usize, &'a str, CsvError),
+) -> Vec<EventRecord> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_event_line(line) {
+            Ok(e) => out.push(e),
+            Err(err) => on_error(lineno + 1, line, err),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_event_line;
+    use gdelt_model::time::GDELT_EPOCH;
+
+    /// Column vector for a synthetic raw line with the projection columns
+    /// populated; tests mutate individual columns before joining.
+    fn raw_cols() -> Vec<String> {
+        let mut cols = vec![String::new(); EVENT_COLUMNS];
+        cols[col::GLOBAL_EVENT_ID] = "410000001".into();
+        cols[col::DAY] = "20150218".into();
+        cols[2] = "201502".into();
+        cols[3] = "2015".into();
+        cols[4] = "2015.1315".into();
+        cols[col::ACTOR1_COUNTRY] = "USA".into();
+        cols[col::ACTOR2_COUNTRY] = "GBR".into();
+        cols[25] = "1".into();
+        cols[col::EVENT_CODE] = "190".into();
+        cols[27] = "190".into();
+        cols[col::EVENT_ROOT_CODE] = "19".into();
+        cols[col::QUAD_CLASS] = "4".into();
+        cols[col::GOLDSTEIN] = "-10.0".into();
+        cols[col::NUM_MENTIONS] = "12".into();
+        cols[col::NUM_SOURCES] = "4".into();
+        cols[col::NUM_ARTICLES] = "10".into();
+        cols[col::AVG_TONE] = "-4.25".into();
+        cols[col::ACTION_GEO_TYPE] = "1".into();
+        cols[col::ACTION_GEO_COUNTRY] = "US".into();
+        cols[col::ACTION_GEO_LAT] = "28.54".into();
+        cols[col::ACTION_GEO_LON] = "-81.38".into();
+        cols[col::DATE_ADDED] = "20150218063000".into();
+        cols[col::SOURCE_URL] = "https://example.com/article".into();
+        cols
+    }
+
+    fn raw_line() -> String {
+        raw_cols().join("\t")
+    }
+
+    #[test]
+    fn parses_projection_fields() {
+        let e = parse_event_line(&raw_line()).unwrap();
+        assert_eq!(e.id, EventId(410_000_001));
+        assert_eq!(e.day, GDELT_EPOCH);
+        assert_eq!(e.root, CameoRoot::new(19).unwrap());
+        assert_eq!(e.quad_class, QuadClass::MaterialConflict);
+        assert_eq!(e.num_articles, 10);
+        assert_eq!(e.geo.country_fips, "US");
+        assert_eq!(e.geo.lat, Some(28.54));
+        assert_eq!(e.date_added.hour, 6);
+        assert_eq!(e.source_url, "https://example.com/article");
+    }
+
+    #[test]
+    fn empty_geo_is_untagged() {
+        let mut cols = raw_cols();
+        cols[col::ACTION_GEO_TYPE].clear();
+        cols[col::ACTION_GEO_COUNTRY].clear();
+        cols[col::ACTION_GEO_LAT].clear();
+        cols[col::ACTION_GEO_LON].clear();
+        let line = cols.join("\t");
+        let e = parse_event_line(&line).unwrap();
+        assert!(!e.geo.is_tagged());
+        assert_eq!(e.geo.lat, None);
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        assert!(matches!(
+            parse_event_line("1\t2\t3"),
+            Err(CsvError::WrongColumnCount { table: "events", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_quad_class() {
+        let mut cols = raw_cols();
+        cols[col::QUAD_CLASS] = "7".into();
+        assert!(parse_event_line(&cols.join("\t")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_date() {
+        let mut cols = raw_cols();
+        cols[col::DAY] = "20159999".into();
+        assert!(parse_event_line(&cols.join("\t")).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let e = parse_event_line(&raw_line()).unwrap();
+        let written = write_event_line(&e);
+        let e2 = parse_event_line(&written).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn parse_events_collects_errors() {
+        let good = raw_line();
+        let text = format!("{good}\nbroken line\n\n{good}\n");
+        let mut errors = Vec::new();
+        let events = parse_events(&text, |lineno, _, err| errors.push((lineno, err)));
+        assert_eq!(events.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 2);
+    }
+}

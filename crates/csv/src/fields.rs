@@ -1,0 +1,135 @@
+//! Zero-copy tab-separated field handling.
+//!
+//! GDELT lines are plain `\t`-separated with no quoting or escaping, so a
+//! simple split is both correct and fast. The helpers here split a line
+//! into a fixed-width array of `&str` without allocating, and parse the
+//! primitive field types GDELT uses (integers, floats, empty-as-missing).
+
+use crate::error::{CsvError, CsvResult};
+
+/// Split `line` into exactly `N` tab-separated fields.
+///
+/// Returns [`CsvError::WrongColumnCount`] when the count differs —
+/// the malformed-line class the cleaning pass counts.
+pub fn split_exact<'a, const N: usize>(
+    line: &'a str,
+    table: &'static str,
+) -> CsvResult<[&'a str; N]> {
+    let mut out = [""; N];
+    let mut n = 0usize;
+    for part in line.split('\t') {
+        if n == N {
+            // Count the remainder for the error message.
+            let got = N + 1 + line.split('\t').skip(N + 1).count();
+            return Err(CsvError::WrongColumnCount { table, expected: N, got });
+        }
+        out[n] = part;
+        n += 1;
+    }
+    if n != N {
+        return Err(CsvError::WrongColumnCount { table, expected: N, got: n });
+    }
+    Ok(out)
+}
+
+/// Parse a mandatory unsigned integer field.
+#[inline]
+pub fn parse_u64(raw: &str, column: &'static str) -> CsvResult<u64> {
+    raw.parse().map_err(|_| CsvError::field(column, raw, "expected unsigned integer"))
+}
+
+/// Parse a mandatory `u32` field.
+#[inline]
+pub fn parse_u32(raw: &str, column: &'static str) -> CsvResult<u32> {
+    raw.parse().map_err(|_| CsvError::field(column, raw, "expected unsigned integer"))
+}
+
+/// Parse a mandatory `u8` field.
+#[inline]
+pub fn parse_u8(raw: &str, column: &'static str) -> CsvResult<u8> {
+    raw.parse().map_err(|_| CsvError::field(column, raw, "expected small unsigned integer"))
+}
+
+/// Parse a mandatory float field. GDELT writes plain decimal notation.
+#[inline]
+pub fn parse_f32(raw: &str, column: &'static str) -> CsvResult<f32> {
+    raw.parse().map_err(|_| CsvError::field(column, raw, "expected decimal number"))
+}
+
+/// Parse an optional float: the empty string means "missing", which GDELT
+/// uses for unresolved coordinates.
+#[inline]
+pub fn parse_opt_f32(raw: &str, column: &'static str) -> CsvResult<Option<f32>> {
+    if raw.is_empty() {
+        Ok(None)
+    } else {
+        parse_f32(raw, column).map(Some)
+    }
+}
+
+/// Parse an optional small integer with empty-as-zero semantics, which
+/// GDELT uses for geo type columns on untagged rows.
+#[inline]
+pub fn parse_u8_or_zero(raw: &str, column: &'static str) -> CsvResult<u8> {
+    if raw.is_empty() {
+        Ok(0)
+    } else {
+        parse_u8(raw, column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_exact_happy_path() {
+        let f: [&str; 3] = split_exact("a\tb\tc", "t").unwrap();
+        assert_eq!(f, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn split_exact_preserves_empty_fields() {
+        let f: [&str; 4] = split_exact("a\t\t\td", "t").unwrap();
+        assert_eq!(f, ["a", "", "", "d"]);
+    }
+
+    #[test]
+    fn split_exact_too_few() {
+        let r: CsvResult<[&str; 3]> = split_exact("a\tb", "t");
+        assert_eq!(
+            r.unwrap_err(),
+            CsvError::WrongColumnCount { table: "t", expected: 3, got: 2 }
+        );
+    }
+
+    #[test]
+    fn split_exact_too_many() {
+        let r: CsvResult<[&str; 2]> = split_exact("a\tb\tc\td", "t");
+        assert_eq!(
+            r.unwrap_err(),
+            CsvError::WrongColumnCount { table: "t", expected: 2, got: 4 }
+        );
+    }
+
+    #[test]
+    fn numeric_parsers() {
+        assert_eq!(parse_u64("410000001", "c").unwrap(), 410_000_001);
+        assert_eq!(parse_u32("96", "c").unwrap(), 96);
+        assert_eq!(parse_u8("4", "c").unwrap(), 4);
+        assert!((parse_f32("-4.25", "c").unwrap() + 4.25).abs() < 1e-6);
+        assert!(parse_u64("-1", "c").is_err());
+        assert!(parse_u32("abc", "c").is_err());
+        assert!(parse_f32("", "c").is_err());
+    }
+
+    #[test]
+    fn optional_parsers() {
+        assert_eq!(parse_opt_f32("", "c").unwrap(), None);
+        assert_eq!(parse_opt_f32("1.5", "c").unwrap(), Some(1.5));
+        assert!(parse_opt_f32("x", "c").is_err());
+        assert_eq!(parse_u8_or_zero("", "c").unwrap(), 0);
+        assert_eq!(parse_u8_or_zero("3", "c").unwrap(), 3);
+        assert!(parse_u8_or_zero("q", "c").is_err());
+    }
+}

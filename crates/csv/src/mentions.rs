@@ -1,0 +1,173 @@
+//! Parser for the 16-column GDELT 2.0 *Mentions* export.
+//!
+//! Column layout (GDELT 2.0 Mentions codebook):
+//!
+//! | idx | column |
+//! |---|---|
+//! | 0 | GlobalEventID |
+//! | 1 | EventTimeDate (`YYYYMMDDHHMMSS`) |
+//! | 2 | MentionTimeDate (`YYYYMMDDHHMMSS`) |
+//! | 3 | MentionType |
+//! | 4 | MentionSourceName |
+//! | 5 | MentionIdentifier (URL) |
+//! | 6 | SentenceID |
+//! | 7 | Actor1CharOffset |
+//! | 8 | Actor2CharOffset |
+//! | 9 | ActionCharOffset |
+//! | 10 | InRawText |
+//! | 11 | Confidence |
+//! | 12 | MentionDocLen |
+//! | 13 | MentionDocTone |
+//! | 14 | MentionDocTranslationInfo |
+//! | 15 | Extras |
+
+use crate::error::{CsvError, CsvResult};
+use crate::fields::{parse_f32, parse_u64, parse_u8, split_exact};
+use gdelt_model::ids::EventId;
+use gdelt_model::mention::{MentionRecord, MentionType};
+use gdelt_model::time::DateTime;
+
+/// Number of columns in a GDELT 2.0 mentions line.
+pub const MENTION_COLUMNS: usize = 16;
+
+mod col {
+    pub const GLOBAL_EVENT_ID: usize = 0;
+    pub const EVENT_TIME: usize = 1;
+    pub const MENTION_TIME: usize = 2;
+    pub const MENTION_TYPE: usize = 3;
+    pub const SOURCE_NAME: usize = 4;
+    pub const IDENTIFIER: usize = 5;
+    pub const CONFIDENCE: usize = 11;
+    pub const DOC_TONE: usize = 13;
+}
+
+/// Parse one raw mentions line into a [`MentionRecord`].
+pub fn parse_mention_line(line: &str) -> CsvResult<MentionRecord> {
+    let f: [&str; MENTION_COLUMNS] = split_exact(line, "mentions")?;
+
+    let event_id = EventId(parse_u64(f[col::GLOBAL_EVENT_ID], "GlobalEventID")?);
+    let event_time = DateTime::from_yyyymmddhhmmss(parse_u64(f[col::EVENT_TIME], "EventTimeDate")?)
+        .map_err(CsvError::Model)?;
+    let mention_time =
+        DateTime::from_yyyymmddhhmmss(parse_u64(f[col::MENTION_TIME], "MentionTimeDate")?)
+            .map_err(CsvError::Model)?;
+
+    let mt_raw = parse_u8(f[col::MENTION_TYPE], "MentionType")?;
+    let mention_type = MentionType::from_u8(mt_raw)
+        .ok_or_else(|| CsvError::field("MentionType", f[col::MENTION_TYPE], "expected 1-6"))?;
+
+    let confidence = parse_u8(f[col::CONFIDENCE], "Confidence")?;
+    if confidence > 100 {
+        return Err(CsvError::field("Confidence", f[col::CONFIDENCE], "expected 0-100"));
+    }
+
+    Ok(MentionRecord {
+        event_id,
+        event_time,
+        mention_time,
+        mention_type,
+        source_name: f[col::SOURCE_NAME].to_owned(),
+        url: f[col::IDENTIFIER].to_owned(),
+        confidence,
+        doc_tone: parse_f32(f[col::DOC_TONE], "MentionDocTone")?,
+    })
+}
+
+/// Parse a whole mentions file, invoking `on_error` for each bad line.
+pub fn parse_mentions<'a>(
+    text: &'a str,
+    mut on_error: impl FnMut(usize, &'a str, CsvError),
+) -> Vec<MentionRecord> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_mention_line(line) {
+            Ok(m) => out.push(m),
+            Err(err) => on_error(lineno + 1, line, err),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_mention_line;
+
+    fn raw_cols() -> Vec<String> {
+        let mut cols = vec![String::new(); MENTION_COLUMNS];
+        cols[col::GLOBAL_EVENT_ID] = "410000001".into();
+        cols[col::EVENT_TIME] = "20150218063000".into();
+        cols[col::MENTION_TIME] = "20150218073000".into();
+        cols[col::MENTION_TYPE] = "1".into();
+        cols[col::SOURCE_NAME] = "example.co.uk".into();
+        cols[col::IDENTIFIER] = "https://example.co.uk/news/1".into();
+        cols[6] = "3".into();
+        cols[7] = "-1".into();
+        cols[8] = "120".into();
+        cols[9] = "85".into();
+        cols[10] = "1".into();
+        cols[col::CONFIDENCE] = "70".into();
+        cols[12] = "2931".into();
+        cols[col::DOC_TONE] = "-2.5".into();
+        cols
+    }
+
+    #[test]
+    fn parses_projection_fields() {
+        let m = parse_mention_line(&raw_cols().join("\t")).unwrap();
+        assert_eq!(m.event_id, EventId(410_000_001));
+        assert_eq!(m.source_name, "example.co.uk");
+        assert_eq!(m.mention_type, MentionType::Web);
+        assert_eq!(m.confidence, 70);
+        assert_eq!(m.publishing_delay().unwrap(), 4); // one hour
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        assert!(matches!(
+            parse_mention_line("1\t2"),
+            Err(CsvError::WrongColumnCount { table: "mentions", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_mention_type() {
+        let mut cols = raw_cols();
+        cols[col::MENTION_TYPE] = "9".into();
+        assert!(parse_mention_line(&cols.join("\t")).is_err());
+    }
+
+    #[test]
+    fn rejects_overlarge_confidence() {
+        let mut cols = raw_cols();
+        cols[col::CONFIDENCE] = "120".into();
+        assert!(parse_mention_line(&cols.join("\t")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_timestamp() {
+        let mut cols = raw_cols();
+        cols[col::MENTION_TIME] = "20150218256000".into();
+        assert!(parse_mention_line(&cols.join("\t")).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_writer() {
+        let m = parse_mention_line(&raw_cols().join("\t")).unwrap();
+        let m2 = parse_mention_line(&write_mention_line(&m)).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn parse_mentions_collects_errors() {
+        let good = raw_cols().join("\t");
+        let text = format!("bad\n{good}\n{good}\n");
+        let mut n_err = 0;
+        let ms = parse_mentions(&text, |_, _, _| n_err += 1);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(n_err, 1);
+    }
+}

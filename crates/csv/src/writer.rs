@@ -1,0 +1,182 @@
+//! TSV writer producing raw GDELT 2.0 lines.
+//!
+//! Used for round-trip testing and by `gdelt-synth` to emit raw archive
+//! files the preprocessing pipeline can ingest exactly like real data.
+//! Columns outside the system's projection are written empty (events) or
+//! zero (mentions offsets), which the parsers accept.
+
+use crate::events::EVENT_COLUMNS;
+use crate::mentions::MENTION_COLUMNS;
+use gdelt_model::event::{EventRecord, GeoType};
+use gdelt_model::mention::MentionRecord;
+use std::fmt::Write as _;
+
+/// Serialize an [`EventRecord`] as a raw 61-column events line (no
+/// trailing newline).
+pub fn write_event_line(e: &EventRecord) -> String {
+    let mut cols: Vec<String> = vec![String::new(); EVENT_COLUMNS];
+    cols[0] = e.id.raw().to_string();
+    cols[1] = e.day.to_yyyymmdd().to_string();
+    cols[2] = format!("{:04}{:02}", e.day.year, e.day.month);
+    cols[3] = e.day.year.to_string();
+    // FractionDate: year + day-of-year/365, 4 decimals like GDELT.
+    let doy = e.day.to_days() - gdelt_model::time::Date { year: e.day.year, month: 1, day: 1 }.to_days();
+    cols[4] = format!("{:.4}", e.day.year as f64 + doy as f64 / 365.25);
+    cols[5] = e.actor1_country.clone(); // Actor1Code (country-only form)
+    cols[7] = e.actor1_country.clone();
+    cols[15] = e.actor2_country.clone();
+    cols[17] = e.actor2_country.clone();
+    cols[25] = "1".into();
+    cols[26] = e.event_code.clone();
+    cols[27] = e.event_code.clone();
+    cols[28] = format!("{:02}", e.root.0);
+    cols[29] = e.quad_class.as_u8().to_string();
+    cols[30] = format_f32(e.goldstein.0);
+    cols[31] = e.num_mentions.to_string();
+    cols[32] = e.num_sources.to_string();
+    cols[33] = e.num_articles.to_string();
+    cols[34] = format_f32(e.avg_tone);
+    if e.geo.geo_type != GeoType::None {
+        cols[51] = (e.geo.geo_type as u8).to_string();
+    }
+    cols[53] = e.geo.country_fips.clone();
+    if let Some(lat) = e.geo.lat {
+        cols[56] = format_f32(lat);
+    }
+    if let Some(lon) = e.geo.lon {
+        cols[57] = format_f32(lon);
+    }
+    cols[59] = e.date_added.to_yyyymmddhhmmss().to_string();
+    cols[60] = e.source_url.clone();
+    cols.join("\t")
+}
+
+/// Serialize a [`MentionRecord`] as a raw 16-column mentions line (no
+/// trailing newline).
+pub fn write_mention_line(m: &MentionRecord) -> String {
+    let mut cols: Vec<String> = vec![String::new(); MENTION_COLUMNS];
+    cols[0] = m.event_id.raw().to_string();
+    cols[1] = m.event_time.to_yyyymmddhhmmss().to_string();
+    cols[2] = m.mention_time.to_yyyymmddhhmmss().to_string();
+    cols[3] = (m.mention_type as u8).to_string();
+    cols[4] = m.source_name.clone();
+    cols[5] = m.url.clone();
+    cols[6] = "1".into(); // SentenceID
+    cols[7] = "-1".into(); // Actor1CharOffset
+    cols[8] = "-1".into(); // Actor2CharOffset
+    cols[9] = "0".into(); // ActionCharOffset
+    cols[10] = "1".into(); // InRawText
+    cols[11] = m.confidence.to_string();
+    cols[12] = "1000".into(); // MentionDocLen
+    cols[13] = format_f32(m.doc_tone);
+    cols.join("\t")
+}
+
+/// Append many event lines to `out`, newline-terminated.
+pub fn write_events(out: &mut String, events: &[EventRecord]) {
+    for e in events {
+        let _ = writeln!(out, "{}", write_event_line(e));
+    }
+}
+
+/// Append many mention lines to `out`, newline-terminated.
+pub fn write_mentions(out: &mut String, mentions: &[MentionRecord]) {
+    for m in mentions {
+        let _ = writeln!(out, "{}", write_mention_line(m));
+    }
+}
+
+/// Render a float the way GDELT does: plain decimal, enough digits to
+/// round-trip through `f32` parsing.
+fn format_f32(v: f32) -> String {
+    // `{}` on f32 prints the shortest representation that round-trips.
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::parse_event_line;
+    use crate::mentions::parse_mention_line;
+    use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+    use gdelt_model::event::ActionGeo;
+    use gdelt_model::ids::EventId;
+    use gdelt_model::mention::MentionType;
+    use gdelt_model::time::{Date, DateTime};
+
+    fn event() -> EventRecord {
+        EventRecord {
+            id: EventId(7),
+            day: Date { year: 2016, month: 6, day: 12 },
+            root: CameoRoot::new(19).unwrap(),
+            event_code: "193".into(),
+            actor1_country: "USA".into(),
+            actor2_country: "GBR".into(),
+            quad_class: QuadClass::MaterialConflict,
+            goldstein: Goldstein::new(-9.5).unwrap(),
+            num_mentions: 3,
+            num_sources: 2,
+            num_articles: 3,
+            avg_tone: -7.125,
+            geo: ActionGeo {
+                geo_type: GeoType::UsCity,
+                country_fips: "US".into(),
+                lat: Some(28.5),
+                lon: Some(-81.375),
+            },
+            date_added: DateTime::parse_yyyymmddhhmmss("20160612043000").unwrap(),
+            source_url: "https://news.example.com/orlando".into(),
+        }
+    }
+
+    fn mention() -> MentionRecord {
+        MentionRecord {
+            event_id: EventId(7),
+            event_time: DateTime::parse_yyyymmddhhmmss("20160612043000").unwrap(),
+            mention_time: DateTime::parse_yyyymmddhhmmss("20160612061500").unwrap(),
+            mention_type: MentionType::Web,
+            source_name: "news.example.co.uk".into(),
+            url: "https://news.example.co.uk/a/7".into(),
+            confidence: 90,
+            doc_tone: -3.25,
+        }
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let e = event();
+        assert_eq!(parse_event_line(&write_event_line(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn mention_round_trip() {
+        let m = mention();
+        assert_eq!(parse_mention_line(&write_mention_line(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn untagged_geo_round_trip() {
+        let mut e = event();
+        e.geo = ActionGeo::default();
+        let rt = parse_event_line(&write_event_line(&e)).unwrap();
+        assert_eq!(rt.geo, ActionGeo::default());
+    }
+
+    #[test]
+    fn bulk_writers_emit_one_line_per_record() {
+        let mut s = String::new();
+        write_events(&mut s, &[event(), event()]);
+        assert_eq!(s.lines().count(), 2);
+        let mut s = String::new();
+        write_mentions(&mut s, &[mention(), mention(), mention()]);
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_exactly() {
+        for v in [-10.0f32, 0.0, 3.36, -7.125, 9.999] {
+            let s = format_f32(v);
+            assert_eq!(s.parse::<f32>().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: arbitrary valid records survive the TSV writer →
+//! parser round trip bit-exactly, and the parsers never panic on
+//! malformed input.
+
+use gdelt_csv::events::parse_event_line;
+use gdelt_csv::mentions::parse_mention_line;
+use gdelt_csv::writer::{write_event_line, write_mention_line};
+use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+use gdelt_model::event::{ActionGeo, EventRecord, GeoType};
+use gdelt_model::ids::EventId;
+use gdelt_model::mention::{MentionRecord, MentionType};
+use gdelt_model::time::{DateTime, GDELT_EPOCH};
+use proptest::prelude::*;
+
+/// Field text that GDELT's unquoted TSV can carry (no tabs/newlines).
+fn arb_field() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9:/._-]{0,40}"
+}
+
+fn arb_datetime() -> impl Strategy<Value = DateTime> {
+    (0i64..1_700, 0u8..24, 0u8..60, 0u8..60)
+        .prop_map(|(d, h, m, s)| DateTime::new(GDELT_EPOCH.add_days(d), h, m, s).unwrap())
+}
+
+prop_compose! {
+    fn arb_event()(
+        id in 1u64..u64::MAX / 2,
+        day_off in 0i64..1_700,
+        root in 1u8..=20,
+        quad in 1u8..=4,
+        goldstein in -10.0f32..=10.0,
+        counts in (0u32..10_000, 0u32..1_000, 0u32..10_000),
+        tone in -20.0f32..=20.0,
+        tagged in any::<bool>(),
+        lat in -90.0f32..=90.0,
+        lon in -180.0f32..=180.0,
+        date_added in arb_datetime(),
+        url in arb_field(),
+    ) -> EventRecord {
+        EventRecord {
+            id: EventId(id),
+            day: GDELT_EPOCH.add_days(day_off),
+            root: CameoRoot::new(root).unwrap(),
+            event_code: format!("{root:02}0"),
+            actor1_country: String::new(),
+            actor2_country: String::new(),
+            quad_class: QuadClass::from_u8(quad).unwrap(),
+            goldstein: Goldstein::new(goldstein).unwrap(),
+            num_mentions: counts.0,
+            num_sources: counts.1,
+            num_articles: counts.2,
+            avg_tone: tone,
+            geo: if tagged {
+                ActionGeo {
+                    geo_type: GeoType::Country,
+                    country_fips: "US".into(),
+                    lat: Some(lat),
+                    lon: Some(lon),
+                }
+            } else {
+                ActionGeo::default()
+            },
+            date_added,
+            source_url: url,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_mention()(
+        id in 1u64..u64::MAX / 2,
+        event_time in arb_datetime(),
+        delay_secs in 0i64..40_000_000,
+        mt in 1u8..=6,
+        source in "[a-z0-9-]{1,20}\\.[a-z]{2,6}",
+        url in arb_field(),
+        confidence in 0u8..=100,
+        tone in -20.0f32..=20.0,
+    ) -> MentionRecord {
+        MentionRecord {
+            event_id: EventId(id),
+            event_time,
+            mention_time: DateTime::from_unix_seconds(
+                event_time.to_unix_seconds() + delay_secs
+            ),
+            mention_type: MentionType::from_u8(mt).unwrap(),
+            source_name: source,
+            url,
+            confidence,
+            doc_tone: tone,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn event_round_trip(e in arb_event()) {
+        let line = write_event_line(&e);
+        let parsed = parse_event_line(&line).unwrap();
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn mention_round_trip(m in arb_mention()) {
+        let line = write_mention_line(&m);
+        let parsed = parse_mention_line(&line).unwrap();
+        prop_assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn event_parser_never_panics(line in "[^\t]{0,200}(\t[^\t]{0,30}){0,70}") {
+        let _ = parse_event_line(&line);
+    }
+
+    #[test]
+    fn mention_parser_never_panics(line in "[^\t]{0,200}(\t[^\t]{0,30}){0,20}") {
+        let _ = parse_mention_line(&line);
+    }
+
+    #[test]
+    fn masterlist_parser_never_panics(line in ".{0,200}") {
+        let _ = gdelt_csv::masterlist::parse_masterlist_line(&line);
+    }
+
+    #[test]
+    fn written_line_has_exact_column_count(e in arb_event(), m in arb_mention()) {
+        prop_assert_eq!(write_event_line(&e).split('\t').count(), 61);
+        prop_assert_eq!(write_mention_line(&m).split('\t').count(), 16);
+    }
+}

@@ -1,0 +1,284 @@
+//! Parallel grouped aggregation (count / sum by dense key).
+//!
+//! All grouping keys in this system are small dense integers (source ids,
+//! country ids, quarter indexes), so a per-thread `Vec` accumulator
+//! indexed by key — merged at the end — beats any hash-based group-by.
+//! This is the OpenMP `reduction(+: counts[:n])` idiom.
+
+use crate::exec::ExecContext;
+
+/// Key types usable as dense accumulator indexes.
+pub trait DenseKey: Copy + Send + Sync {
+    /// The dense index of the key.
+    fn index(self) -> usize;
+}
+
+impl DenseKey for u16 {
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl DenseKey for u32 {
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Count occurrences of each key in `keys`, producing a dense vector of
+/// length `domain`. Keys `>= domain` are ignored (sentinel convention,
+/// e.g. unknown country).
+pub fn count_by<K: DenseKey>(ctx: &ExecContext, keys: &[K], domain: usize) -> Vec<u64> {
+    ctx.scan(keys.len(), |p| {
+        let mut acc = vec![0u64; domain];
+        for &k in p.slice(keys) {
+            let i = k.index();
+            if i < domain {
+                acc[i] += 1;
+            }
+        }
+        acc
+    })
+}
+
+/// Count keys on rows where `pred(row)` holds.
+pub fn count_by_where<K: DenseKey>(
+    ctx: &ExecContext,
+    keys: &[K],
+    domain: usize,
+    pred: impl Fn(usize) -> bool + Sync + Send,
+) -> Vec<u64> {
+    ctx.scan(keys.len(), |p| {
+        let mut acc = vec![0u64; domain];
+        for row in p.range() {
+            let i = keys[row].index();
+            if i < domain && pred(row) {
+                acc[i] += 1;
+            }
+        }
+        acc
+    })
+}
+
+/// Sum `vals[row]` grouped by `keys[row]`.
+pub fn sum_by<K: DenseKey>(
+    ctx: &ExecContext,
+    keys: &[K],
+    vals: &[u32],
+    domain: usize,
+) -> Vec<u64> {
+    assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
+    ctx.scan(keys.len(), |p| {
+        let mut acc = vec![0u64; domain];
+        for row in p.range() {
+            let i = keys[row].index();
+            if i < domain {
+                acc[i] += u64::from(vals[row]);
+            }
+        }
+        acc
+    })
+}
+
+/// Sum an `f32` column grouped by dense key, returning `(sum, count)`
+/// per key — the building block for grouped means (tone analyses).
+pub fn mean_f32_by<K: DenseKey>(
+    ctx: &ExecContext,
+    keys: &[K],
+    vals: &[f32],
+    domain: usize,
+) -> Vec<(f64, u64)> {
+    assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
+
+    #[derive(Clone, Copy, Default)]
+    struct Acc(f64, u64);
+    impl crate::exec::Merge for Acc {
+        fn merge(&mut self, o: Self) {
+            self.0 += o.0;
+            self.1 += o.1;
+        }
+    }
+
+    let acc: Vec<Acc> = ctx.scan(keys.len(), |p| {
+        let mut acc = vec![Acc::default(); domain];
+        for row in p.range() {
+            let i = keys[row].index();
+            if i < domain {
+                acc[i].0 += f64::from(vals[row]);
+                acc[i].1 += 1;
+            }
+        }
+        acc
+    });
+    let mut out = acc.into_iter().map(|a| (a.0, a.1)).collect::<Vec<_>>();
+    out.resize(domain, (0.0, 0));
+    out
+}
+
+/// Count rows satisfying a predicate (parallel).
+pub fn count_where(
+    ctx: &ExecContext,
+    n_rows: usize,
+    pred: impl Fn(usize) -> bool + Sync + Send,
+) -> u64 {
+    ctx.scan(n_rows, |p| p.range().filter(|&r| pred(r)).count() as u64)
+}
+
+/// Min/max/sum/count accumulator over a u32 column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinMaxSum {
+    /// Smallest value seen (`u32::MAX` when empty).
+    pub min: u32,
+    /// Largest value seen (0 when empty).
+    pub max: u32,
+    /// Sum of all values.
+    pub sum: u64,
+    /// Number of values.
+    pub count: u64,
+}
+
+impl Default for MinMaxSum {
+    fn default() -> Self {
+        MinMaxSum { min: u32::MAX, max: 0, sum: 0, count: 0 }
+    }
+}
+
+impl crate::exec::Merge for MinMaxSum {
+    fn merge(&mut self, o: Self) {
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+        self.sum += o.sum;
+        self.count += o.count;
+    }
+}
+
+impl MinMaxSum {
+    /// Fold one value in.
+    #[inline]
+    pub fn push(&mut self, v: u32) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += u64::from(v);
+        self.count += 1;
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Parallel min/max/sum over a column.
+pub fn min_max_sum(ctx: &ExecContext, vals: &[u32]) -> MinMaxSum {
+    ctx.scan(vals.len(), |p| {
+        let mut acc = MinMaxSum::default();
+        for &v in p.slice(vals) {
+            acc.push(v);
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExecContext {
+        ExecContext::with_threads(4)
+    }
+
+    #[test]
+    fn count_by_matches_manual() {
+        let keys: Vec<u16> = (0..1000u16).map(|i| i % 7).collect();
+        let counts = count_by(&ctx(), &keys, 7);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+        assert_eq!(counts[0], 143);
+        assert_eq!(counts[6], 142);
+    }
+
+    #[test]
+    fn count_by_ignores_out_of_domain() {
+        let keys: Vec<u16> = vec![0, 1, u16::MAX, 1];
+        let counts = count_by(&ctx(), &keys, 2);
+        assert_eq!(counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn count_by_where_filters_rows() {
+        let keys: Vec<u32> = vec![0, 0, 1, 1, 1];
+        let counts = count_by_where(&ctx(), &keys, 2, |row| row % 2 == 0);
+        assert_eq!(counts, vec![1, 2]); // rows 0, 2, 4
+    }
+
+    #[test]
+    fn sum_by_accumulates_values() {
+        let keys: Vec<u16> = vec![0, 1, 0, 1];
+        let vals: Vec<u32> = vec![10, 20, 30, 40];
+        assert_eq!(sum_by(&ctx(), &keys, &vals, 2), vec![40, 60]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sum_by_rejects_ragged_input() {
+        let _ = sum_by(&ctx(), &[0u16], &[1, 2], 1);
+    }
+
+    #[test]
+    fn count_where_parallel_consistency() {
+        let n = 100_000;
+        let seq = ExecContext::sequential();
+        let par = ctx();
+        let pred = |r: usize| r % 13 == 5;
+        assert_eq!(count_where(&seq, n, pred), count_where(&par, n, pred));
+    }
+
+    #[test]
+    fn min_max_sum_basics() {
+        let vals: Vec<u32> = vec![5, 1, 9, 3];
+        let s = min_max_sum(&ctx(), &vals);
+        assert_eq!((s.min, s.max, s.sum, s.count), (1, 9, 18, 4));
+        assert_eq!(s.mean(), 4.5);
+    }
+
+    #[test]
+    fn min_max_sum_empty() {
+        let s = min_max_sum(&ctx(), &[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min, u32::MAX);
+    }
+
+    #[test]
+    fn mean_f32_by_groups_sums_and_counts() {
+        let keys: Vec<u16> = vec![0, 1, 0, 1, 2];
+        let vals: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, -1.0];
+        let out = mean_f32_by(&ctx(), &keys, &vals, 3);
+        assert_eq!(out[0], (4.0, 2));
+        assert_eq!(out[1], (6.0, 2));
+        assert_eq!(out[2], (-1.0, 1));
+    }
+
+    #[test]
+    fn mean_f32_by_ignores_out_of_domain_and_handles_empty() {
+        let keys: Vec<u16> = vec![5];
+        let vals: Vec<f32> = vec![9.0];
+        let out = mean_f32_by(&ctx(), &keys, &vals, 2);
+        assert_eq!(out, vec![(0.0, 0), (0.0, 0)]);
+        let out = mean_f32_by(&ctx(), &[] as &[u16], &[], 2);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_large_input() {
+        let keys: Vec<u32> = (0..200_000u32).map(|i| i.wrapping_mul(2_654_435_761) % 97).collect();
+        let a = count_by(&ExecContext::sequential(), &keys, 97);
+        let b = count_by(&ctx(), &keys, 97);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,439 @@
+//! Co-reporting analysis (paper §VI-B/C, Tables IV–V, Fig 7).
+//!
+//! For sources `i`, `j` the co-reporting factor is the Jaccard index of
+//! their event sets: `c_ij = e_ij / (e_i + e_j − e_ij)`. The paper's key
+//! storage decision is a **dense** pair matrix (~1.8 GB for all 21 k
+//! sources) because each event with `k` reporters performs `k(k−1)/2`
+//! updates and dense random increments beat any sparse structure. Both
+//! strategies are implemented; the ablation benchmark compares them.
+
+use crate::exec::ExecContext;
+use crate::matrix::Matrix;
+use gdelt_columnar::Dataset;
+use gdelt_model::ids::{CountryId, SourceId};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Dense co-reporting counts over all sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoReport {
+    n: usize,
+    /// Upper-triangle pair counts `e_ij` (i < j), row-major full matrix
+    /// with only `i < j` cells populated.
+    pairs: Matrix<u32>,
+    /// Per-source event counts `e_i` (events the source reported on).
+    pub event_counts: Vec<u64>,
+}
+
+impl CoReport {
+    /// Build the dense matrix with one shared atomic accumulator — the
+    /// strategy that scales to the full source population (relaxed
+    /// increments, no cross-thread ordering needed).
+    pub fn build(ctx: &ExecContext, d: &Dataset) -> Self {
+        let n = d.sources.len();
+        let pairs: Vec<AtomicU32> = (0..n * n).map(|_| AtomicU32::new(0)).collect();
+        let events: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+
+        let parts = ctx.make_group_partitions(&d.event_index.offsets);
+        ctx.install(|| {
+            parts.into_par_iter().for_each(|p| {
+                let mut distinct: Vec<u32> = Vec::with_capacity(16);
+                for_each_event_in(d, p.range(), |sources| {
+                    distinct.clear();
+                    distinct.extend_from_slice(sources);
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    for (a, &i) in distinct.iter().enumerate() {
+                        events[i as usize].fetch_add(1, Ordering::Relaxed);
+                        for &j in &distinct[a + 1..] {
+                            pairs[i as usize * n + j as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            });
+        });
+
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, pairs[i * n + j].load(Ordering::Relaxed));
+            }
+        }
+        CoReport {
+            n,
+            pairs: m,
+            event_counts: events.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Number of sources covered.
+    pub fn n_sources(&self) -> usize {
+        self.n
+    }
+
+    /// Pair count `e_ij` (symmetric; diagonal = `e_i`).
+    #[inline]
+    pub fn pair_count(&self, i: usize, j: usize) -> u64 {
+        if i == j {
+            self.event_counts[i]
+        } else {
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            u64::from(self.pairs.get(a, b))
+        }
+    }
+
+    /// Jaccard co-reporting factor `c_ij` (0 when either source reported
+    /// nothing).
+    pub fn jaccard(&self, i: usize, j: usize) -> f64 {
+        let e_ij = self.pair_count(i, j) as f64;
+        let denom = self.event_counts[i] as f64 + self.event_counts[j] as f64 - e_ij;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            e_ij / denom
+        }
+    }
+
+    /// Jaccard submatrix for a source selection (Table IV companion /
+    /// clustering input).
+    pub fn jaccard_submatrix(&self, subset: &[SourceId]) -> Matrix<f64> {
+        let k = subset.len();
+        let mut m = Matrix::zeros(k, k);
+        for (a, &sa) in subset.iter().enumerate() {
+            for (b, &sb) in subset.iter().enumerate() {
+                if a != b {
+                    m.set(a, b, self.jaccard(sa.index(), sb.index()));
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Sparse co-reporting counts (hash-based) — the alternative the paper
+/// rejects for the global matrix; kept for the ablation benchmark and
+/// for time-sliced matrices where sparsity wins.
+#[derive(Debug, Clone, Default)]
+pub struct SparseCoReport {
+    /// `(i, j)` with `i < j` → `e_ij`.
+    pub pairs: HashMap<(u32, u32), u32>,
+    /// Per-source event counts.
+    pub event_counts: Vec<u64>,
+}
+
+impl SparseCoReport {
+    /// Build with per-thread hash maps merged at the end.
+    pub fn build(ctx: &ExecContext, d: &Dataset) -> Self {
+        let n = d.sources.len();
+        let parts = ctx.make_group_partitions(&d.event_index.offsets);
+        let merged = ctx.map_reduce(
+            parts,
+            |p| {
+                let mut pairs: HashMap<(u32, u32), u32> = HashMap::new();
+                let mut events = vec![0u64; n];
+                let mut distinct: Vec<u32> = Vec::with_capacity(16);
+                for_each_event_in(d, p.range(), |sources| {
+                    distinct.clear();
+                    distinct.extend_from_slice(sources);
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    for (a, &i) in distinct.iter().enumerate() {
+                        events[i as usize] += 1;
+                        for &j in &distinct[a + 1..] {
+                            *pairs.entry((i, j)).or_insert(0) += 1;
+                        }
+                    }
+                });
+                (pairs, events)
+            },
+            |(mut pa, mut ea), (pb, eb)| {
+                for (k, v) in pb {
+                    *pa.entry(k).or_insert(0) += v;
+                }
+                for (a, b) in ea.iter_mut().zip(eb) {
+                    *a += b;
+                }
+                (pa, ea)
+            },
+        );
+        match merged {
+            Some((pairs, event_counts)) => SparseCoReport { pairs, event_counts },
+            None => SparseCoReport { pairs: HashMap::new(), event_counts: vec![0; n] },
+        }
+    }
+
+    /// Pair count `e_ij`.
+    pub fn pair_count(&self, i: usize, j: usize) -> u64 {
+        let key = if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) };
+        u64::from(self.pairs.get(&key).copied().unwrap_or(0))
+    }
+
+    /// Jaccard factor, identical semantics to the dense variant.
+    pub fn jaccard(&self, i: usize, j: usize) -> f64 {
+        let e_ij = self.pair_count(i, j) as f64;
+        let denom = self.event_counts[i] as f64 + self.event_counts[j] as f64 - e_ij;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            e_ij / denom
+        }
+    }
+}
+
+/// Country-level co-reporting (Table V): countries are super-sources;
+/// `e_A` = events with at least one source from country `A`, `e_AB` =
+/// events covered by both countries, combined as a Jaccard index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountryCoReport {
+    /// Pair counts (full symmetric matrix).
+    pub pairs: Matrix<u64>,
+    /// Per-country event counts.
+    pub event_counts: Vec<u64>,
+}
+
+impl CountryCoReport {
+    /// Build with per-thread dense partials (country count is small).
+    pub fn build(ctx: &ExecContext, d: &Dataset, n_countries: usize) -> Self {
+        let parts = ctx.make_group_partitions(&d.event_index.offsets);
+        let source_country = &d.sources.country;
+        let merged = ctx.map_reduce(
+            parts,
+            |p| {
+                let mut pairs = Matrix::<u64>::zeros(n_countries, n_countries);
+                let mut events = vec![0u64; n_countries];
+                let mut countries: Vec<u16> = Vec::with_capacity(8);
+                for_each_event_in(d, p.range(), |sources| {
+                    countries.clear();
+                    for &s in sources {
+                        let c = source_country[s as usize];
+                        if (c as usize) < n_countries {
+                            countries.push(c);
+                        }
+                    }
+                    countries.sort_unstable();
+                    countries.dedup();
+                    for (a, &i) in countries.iter().enumerate() {
+                        events[i as usize] += 1;
+                        for &j in &countries[a + 1..] {
+                            pairs.bump(i as usize, j as usize);
+                            pairs.bump(j as usize, i as usize);
+                        }
+                    }
+                });
+                (pairs, events)
+            },
+            |(mut pa, mut ea), (pb, eb)| {
+                use crate::exec::Merge;
+                pa.merge(pb);
+                for (a, b) in ea.iter_mut().zip(eb) {
+                    *a += b;
+                }
+                (pa, ea)
+            },
+        );
+        match merged {
+            Some((pairs, event_counts)) => CountryCoReport { pairs, event_counts },
+            None => CountryCoReport {
+                pairs: Matrix::zeros(n_countries, n_countries),
+                event_counts: vec![0; n_countries],
+            },
+        }
+    }
+
+    /// Jaccard co-reporting between two countries.
+    pub fn jaccard(&self, a: CountryId, b: CountryId) -> f64 {
+        let (i, j) = (a.index(), b.index());
+        let e_ij = self.pairs.get(i, j) as f64;
+        let denom = self.event_counts[i] as f64 + self.event_counts[j] as f64 - e_ij;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            e_ij / denom
+        }
+    }
+}
+
+/// Iterate the per-event distinct-source slices within a mention-row
+/// range that is aligned to event boundaries.
+fn for_each_event_in(d: &Dataset, rows: std::ops::Range<usize>, mut f: impl FnMut(&[u32])) {
+    let mut row = rows.start;
+    let event_rows = &d.mentions.event_row;
+    let sources = &d.mentions.source;
+    while row < rows.end {
+        let er = event_rows[row];
+        let mut end = row + 1;
+        while end < rows.end && event_rows[end] == er {
+            end += 1;
+        }
+        f(&sources[row..end]);
+        row = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdelt_columnar::DatasetBuilder;
+    use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+    use gdelt_model::event::{ActionGeo, EventRecord};
+    use gdelt_model::ids::EventId;
+    use gdelt_model::mention::{MentionRecord, MentionType};
+    use gdelt_model::time::{DateTime, GDELT_EPOCH};
+
+    /// Three events: e1 covered by {a, b}, e2 by {a, b, c}, e3 by {a}.
+    /// (a = a.com, b = b.co.uk, c = c.com.au)
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for id in 1..=3u64 {
+            b.add_event(EventRecord {
+                id: EventId(id),
+                day: GDELT_EPOCH,
+                root: CameoRoot::new(1).unwrap(),
+                event_code: "010".into(),
+                actor1_country: String::new(),
+                actor2_country: String::new(),
+                quad_class: QuadClass::VerbalCooperation,
+                goldstein: Goldstein::new(0.0).unwrap(),
+                num_mentions: 0,
+                num_sources: 0,
+                num_articles: 0,
+                avg_tone: 0.0,
+                geo: ActionGeo::default(),
+                date_added: DateTime::midnight(GDELT_EPOCH),
+                source_url: "u".into(),
+            });
+        }
+        let m = |event: u64, src: &str, delay: u32| MentionRecord {
+            event_id: EventId(event),
+            event_time: DateTime::midnight(GDELT_EPOCH),
+            mention_time: DateTime::from_unix_seconds(
+                DateTime::midnight(GDELT_EPOCH).to_unix_seconds() + i64::from(delay) * 900,
+            ),
+            mention_type: MentionType::Web,
+            source_name: src.into(),
+            url: format!("https://{src}/{event}"),
+            confidence: 50,
+            doc_tone: 0.0,
+        };
+        b.add_mention(m(1, "a.com", 0));
+        b.add_mention(m(1, "b.co.uk", 1));
+        b.add_mention(m(2, "a.com", 0));
+        b.add_mention(m(2, "a.com", 5)); // duplicate article, must dedup
+        b.add_mention(m(2, "b.co.uk", 2));
+        b.add_mention(m(2, "c.com.au", 3));
+        b.add_mention(m(3, "a.com", 0));
+        b.build().0
+    }
+
+    fn ids(d: &Dataset) -> (usize, usize, usize) {
+        (
+            d.sources.lookup("a.com").unwrap().index(),
+            d.sources.lookup("b.co.uk").unwrap().index(),
+            d.sources.lookup("c.com.au").unwrap().index(),
+        )
+    }
+
+    fn ctx() -> ExecContext {
+        ExecContext::with_threads(2)
+    }
+
+    #[test]
+    fn dense_counts_and_jaccard() {
+        let d = dataset();
+        let (a, b, c) = ids(&d);
+        let cr = CoReport::build(&ctx(), &d);
+        assert_eq!(cr.event_counts[a], 3);
+        assert_eq!(cr.event_counts[b], 2);
+        assert_eq!(cr.event_counts[c], 1);
+        assert_eq!(cr.pair_count(a, b), 2);
+        assert_eq!(cr.pair_count(b, a), 2);
+        assert_eq!(cr.pair_count(a, c), 1);
+        // c_ab = 2 / (3 + 2 - 2) = 2/3.
+        assert!((cr.jaccard(a, b) - 2.0 / 3.0).abs() < 1e-12);
+        // c_bc = 1 / (2 + 1 - 1) = 0.5.
+        assert!((cr.jaccard(b, c) - 0.5).abs() < 1e-12);
+        assert_eq!(cr.n_sources(), 3);
+    }
+
+    #[test]
+    fn duplicate_articles_count_once_per_event() {
+        let d = dataset();
+        let (a, _, _) = ids(&d);
+        let cr = CoReport::build(&ctx(), &d);
+        // a.com published twice on event 2 but e_a counts events.
+        assert_eq!(cr.event_counts[a], 3);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let d = dataset();
+        let (a, b, c) = ids(&d);
+        let dense = CoReport::build(&ctx(), &d);
+        let sparse = SparseCoReport::build(&ctx(), &d);
+        for &(i, j) in &[(a, b), (a, c), (b, c)] {
+            assert_eq!(dense.pair_count(i, j), sparse.pair_count(i, j));
+            assert!((dense.jaccard(i, j) - sparse.jaccard(i, j)).abs() < 1e-12);
+        }
+        assert_eq!(dense.event_counts, sparse.event_counts);
+    }
+
+    #[test]
+    fn jaccard_submatrix_shape() {
+        let d = dataset();
+        let (a, b, _) = ids(&d);
+        let cr = CoReport::build(&ctx(), &d);
+        let sub = cr.jaccard_submatrix(&[SourceId(a as u32), SourceId(b as u32)]);
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.get(0, 0), 0.0); // diagonal zeroed
+        assert!((sub.get(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(sub.get(0, 1), sub.get(1, 0));
+    }
+
+    #[test]
+    fn country_coreport_jaccard() {
+        let d = dataset();
+        let reg = gdelt_model::country::CountryRegistry::new();
+        let cc = CountryCoReport::build(&ctx(), &d, reg.len());
+        let us = reg.by_name("USA"); // a.com
+        let uk = reg.by_name("UK"); // b.co.uk
+        let au = reg.by_name("Australia"); // c.com.au
+        assert_eq!(cc.event_counts[us.index()], 3);
+        assert_eq!(cc.event_counts[uk.index()], 2);
+        // e_us_uk = 2 → 2 / (3 + 2 - 2).
+        assert!((cc.jaccard(us, uk) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cc.jaccard(uk, au) - 0.5).abs() < 1e-12);
+        assert_eq!(cc.jaccard(au, us), cc.jaccard(us, au));
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let d = Dataset::default();
+        let cr = CoReport::build(&ctx(), &d);
+        assert_eq!(cr.n_sources(), 0);
+        let sp = SparseCoReport::build(&ctx(), &d);
+        assert!(sp.pairs.is_empty());
+        let cc = CountryCoReport::build(&ctx(), &d, 4);
+        assert_eq!(cc.event_counts, vec![0; 4]);
+    }
+
+    #[test]
+    fn jaccard_zero_for_silent_sources() {
+        let d = dataset();
+        let cr = CoReport::build(&ctx(), &d);
+        // Jaccard with oneself of a silent pair is 0 (denominator 0).
+        let sp = SparseCoReport { pairs: HashMap::new(), event_counts: vec![0, 0] };
+        assert_eq!(sp.jaccard(0, 1), 0.0);
+        let (a, _, _) = ids(&d);
+        // Self-Jaccard is 1 by definition here (e_ii = e_i).
+        assert!((cr.jaccard(a, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let d = dataset();
+        let seq = CoReport::build(&ExecContext::sequential(), &d);
+        let par = CoReport::build(&ctx(), &d);
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,260 @@
+//! Country cross-reporting (paper §VI-D, Tables VI–VII, Fig 8).
+//!
+//! One parallel pass over the mentions table joins each article to its
+//! event's `ActionGeo` country (precomputed `event_row` join) and its
+//! publisher's TLD country, producing the asymmetric
+//! reported-country × publishing-country article matrix. Percentages
+//! (Table VII) normalize each column by the publisher country's *total*
+//! article output, including articles on untagged or unlisted locations.
+
+use crate::exec::{ExecContext, Merge};
+use crate::matrix::Matrix;
+use gdelt_columnar::table::NO_EVENT_ROW;
+use gdelt_columnar::Dataset;
+use gdelt_model::ids::CountryId;
+
+/// The cross-reporting aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossReport {
+    /// `counts[reported][publishing]` = articles from `publishing`-country
+    /// sources about events located in `reported`.
+    pub counts: Matrix<u64>,
+    /// Total articles per publishing country (any event location,
+    /// tagged or not) — the Table VII denominator.
+    pub articles_by_publisher: Vec<u64>,
+    /// Events recorded per (tagged) event country — the paper's row
+    /// ordering key for Table VI.
+    pub events_by_country: Vec<u64>,
+}
+
+impl CrossReport {
+    /// Build with per-thread dense country matrices (the country domain
+    /// is tiny, so partials are cheap).
+    pub fn build(ctx: &ExecContext, d: &Dataset, n_countries: usize) -> Self {
+        let event_country = &d.events.country;
+        let source_country = &d.sources.country;
+        let event_rows = &d.mentions.event_row;
+        let sources = &d.mentions.source;
+
+        let merged = ctx.map_reduce(
+            ctx.make_partitions(d.mentions.len()),
+            |p| {
+                let mut counts = Matrix::<u64>::zeros(n_countries, n_countries);
+                let mut by_pub = vec![0u64; n_countries];
+                for row in p.range() {
+                    let sc = source_country[sources[row] as usize] as usize;
+                    if sc >= n_countries {
+                        continue; // unknown publisher country
+                    }
+                    by_pub[sc] += 1;
+                    let er = event_rows[row];
+                    if er == NO_EVENT_ROW {
+                        continue;
+                    }
+                    let ec = event_country[er as usize] as usize;
+                    if ec < n_countries {
+                        counts.bump(ec, sc);
+                    }
+                }
+                (counts, by_pub)
+            },
+            |(mut ca, mut pa), (cb, pb)| {
+                ca.merge(cb);
+                for (a, b) in pa.iter_mut().zip(pb) {
+                    *a += b;
+                }
+                (ca, pa)
+            },
+        );
+        let (counts, articles_by_publisher) = match merged {
+            Some(v) => v,
+            None => (Matrix::zeros(n_countries, n_countries), vec![0; n_countries]),
+        };
+
+        // Events per country: independent parallel scan of the events
+        // table.
+        let events_by_country: Vec<u64> =
+            crate::aggregate::count_by(ctx, event_country, n_countries);
+
+        CrossReport { counts, articles_by_publisher, events_by_country }
+    }
+
+    /// Articles from `publishing` about events in `reported`.
+    #[inline]
+    pub fn articles(&self, reported: CountryId, publishing: CountryId) -> u64 {
+        self.counts.get(reported.index(), publishing.index())
+    }
+
+    /// Table VII: the percentage of all articles from each publishing
+    /// country that report on each event country.
+    pub fn percentages(&self) -> Matrix<f64> {
+        let n = self.counts.rows();
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                let denom = self.articles_by_publisher[c];
+                if denom > 0 {
+                    m.set(r, c, 100.0 * self.counts.get(r, c) as f64 / denom as f64);
+                }
+            }
+        }
+        m
+    }
+
+    /// Countries ranked by recorded events, descending (Table VI row
+    /// order).
+    pub fn top_reported(&self, k: usize) -> Vec<CountryId> {
+        rank_desc(&self.events_by_country, k)
+    }
+
+    /// Countries ranked by published articles, descending (Table VI
+    /// column order).
+    pub fn top_publishing(&self, k: usize) -> Vec<CountryId> {
+        rank_desc(&self.articles_by_publisher, k)
+    }
+}
+
+fn rank_desc(vals: &[u64], k: usize) -> Vec<CountryId> {
+    let mut idx: Vec<usize> = (0..vals.len()).collect();
+    idx.sort_by_key(|&i| std::cmp::Reverse(vals[i]));
+    idx.into_iter().take(k).map(|i| CountryId(i as u16)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdelt_columnar::DatasetBuilder;
+    use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+    use gdelt_model::country::CountryRegistry;
+    use gdelt_model::event::{ActionGeo, EventRecord, GeoType};
+    use gdelt_model::ids::EventId;
+    use gdelt_model::mention::{MentionRecord, MentionType};
+    use gdelt_model::time::{DateTime, GDELT_EPOCH};
+
+    /// Event 1 in the US, event 2 in the UK, event 3 untagged.
+    /// a.com (USA) covers all three; b.co.uk (UK) covers events 1 and 2.
+    fn dataset() -> Dataset {
+        let mut bld = DatasetBuilder::new();
+        let ev = |id: u64, fips: &str| EventRecord {
+            id: EventId(id),
+            day: GDELT_EPOCH,
+            root: CameoRoot::new(1).unwrap(),
+            event_code: "010".into(),
+            actor1_country: String::new(),
+            actor2_country: String::new(),
+            quad_class: QuadClass::VerbalCooperation,
+            goldstein: Goldstein::new(0.0).unwrap(),
+            num_mentions: 0,
+            num_sources: 0,
+            num_articles: 0,
+            avg_tone: 0.0,
+            geo: if fips.is_empty() {
+                ActionGeo::default()
+            } else {
+                ActionGeo {
+                    geo_type: GeoType::Country,
+                    country_fips: fips.into(),
+                    lat: None,
+                    lon: None,
+                }
+            },
+            date_added: DateTime::midnight(GDELT_EPOCH),
+            source_url: "u".into(),
+        };
+        bld.add_event(ev(1, "US"));
+        bld.add_event(ev(2, "UK"));
+        bld.add_event(ev(3, ""));
+        let m = |event: u64, src: &str| MentionRecord {
+            event_id: EventId(event),
+            event_time: DateTime::midnight(GDELT_EPOCH),
+            mention_time: DateTime::midnight(GDELT_EPOCH),
+            mention_type: MentionType::Web,
+            source_name: src.into(),
+            url: format!("https://{src}/{event}"),
+            confidence: 50,
+            doc_tone: 0.0,
+        };
+        for e in 1..=3u64 {
+            bld.add_mention(m(e, "a.com"));
+        }
+        bld.add_mention(m(1, "b.co.uk"));
+        bld.add_mention(m(2, "b.co.uk"));
+        bld.build().0
+    }
+
+    fn ctx() -> ExecContext {
+        ExecContext::with_threads(2)
+    }
+
+    #[test]
+    fn counts_articles_by_location_and_publisher() {
+        let d = dataset();
+        let reg = CountryRegistry::new();
+        let cr = CrossReport::build(&ctx(), &d, reg.len());
+        let us = reg.by_name("USA");
+        let uk = reg.by_name("UK");
+        assert_eq!(cr.articles(us, us), 1); // a.com on the US event
+        assert_eq!(cr.articles(uk, us), 1); // a.com on the UK event
+        assert_eq!(cr.articles(us, uk), 1); // b.co.uk on the US event
+        assert_eq!(cr.articles(uk, uk), 1);
+        // Publisher totals include the untagged event 3.
+        assert_eq!(cr.articles_by_publisher[us.index()], 3);
+        assert_eq!(cr.articles_by_publisher[uk.index()], 2);
+    }
+
+    #[test]
+    fn events_by_country_counts_tagged_events() {
+        let d = dataset();
+        let reg = CountryRegistry::new();
+        let cr = CrossReport::build(&ctx(), &d, reg.len());
+        assert_eq!(cr.events_by_country[reg.by_name("USA").index()], 1);
+        assert_eq!(cr.events_by_country[reg.by_name("UK").index()], 1);
+        assert_eq!(cr.events_by_country.iter().sum::<u64>(), 2); // untagged excluded
+    }
+
+    #[test]
+    fn percentages_normalize_by_publisher_total() {
+        let d = dataset();
+        let reg = CountryRegistry::new();
+        let cr = CrossReport::build(&ctx(), &d, reg.len());
+        let p = cr.percentages();
+        let us = reg.by_name("USA").index();
+        let uk = reg.by_name("UK").index();
+        // a.com: 3 articles, 1 on the US → 33.3%.
+        assert!((p.get(us, us) - 100.0 / 3.0).abs() < 1e-9);
+        // b.co.uk: 2 articles, 1 on the US → 50%.
+        assert!((p.get(us, uk) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rankings() {
+        let d = dataset();
+        let reg = CountryRegistry::new();
+        let cr = CrossReport::build(&ctx(), &d, reg.len());
+        let top_pub = cr.top_publishing(2);
+        assert_eq!(top_pub[0], reg.by_name("USA"));
+        assert_eq!(top_pub[1], reg.by_name("UK"));
+        let top_rep = cr.top_reported(2);
+        // Both have one event; ranking is deterministic by index order.
+        assert!(top_rep.contains(&reg.by_name("USA")));
+        assert!(top_rep.contains(&reg.by_name("UK")));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::default();
+        let cr = CrossReport::build(&ctx(), &d, 5);
+        assert_eq!(cr.counts.total(), 0);
+        assert_eq!(cr.articles_by_publisher, vec![0; 5]);
+        assert_eq!(cr.percentages().col_sums_f(), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let d = dataset();
+        let reg = CountryRegistry::new();
+        let seq = CrossReport::build(&ExecContext::sequential(), &d, reg.len());
+        let par = CrossReport::build(&ctx(), &d, reg.len());
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,298 @@
+//! Publishing-delay statistics (paper §VI-E, Fig 9, Table VIII).
+//!
+//! Delays are measured in 15-minute capture intervals, the paper's best
+//! available proxy for publication time. Per-source statistics are exact:
+//! mentions are grouped by source with one counting sort, then each
+//! source's slice is reduced in parallel (min / max / mean / true
+//! median).
+
+use crate::aggregate::count_by;
+use crate::exec::ExecContext;
+use crate::stats::{mean_u32, median_u32};
+use gdelt_columnar::Dataset;
+use rayon::prelude::*;
+
+/// Delays at or above one year are clamped when histogramming — the
+/// paper's observed maximum is 35 135 intervals (366 days − 15 min).
+pub const MAX_TRACKED_DELAY: u32 = 35_135;
+
+/// Exact delay statistics for one source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayStats {
+    /// Articles published by the source.
+    pub count: u64,
+    /// Minimum delay (intervals).
+    pub min: u32,
+    /// Maximum delay (intervals).
+    pub max: u32,
+    /// Mean delay.
+    pub mean: f64,
+    /// Exact median delay (lower-middle for even counts).
+    pub median: u32,
+}
+
+impl DelayStats {
+    /// Stats of a source that published nothing.
+    pub fn empty() -> Self {
+        DelayStats { count: 0, min: 0, max: 0, mean: 0.0, median: 0 }
+    }
+}
+
+/// The paper's three speed groups (§VI-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpeedGroup {
+    /// Median delay below two hours.
+    Fast,
+    /// Median delay within the 24 h news cycle.
+    Average,
+    /// Median delay beyond 24 h.
+    Slow,
+}
+
+/// Classify a source by its median delay.
+pub fn classify(stats: &DelayStats) -> SpeedGroup {
+    if stats.median < 8 {
+        SpeedGroup::Fast
+    } else if stats.median <= 96 {
+        SpeedGroup::Average
+    } else {
+        SpeedGroup::Slow
+    }
+}
+
+/// Exact per-source delay statistics for every source in the directory.
+///
+/// One parallel counting pass sizes the groups, one sequential
+/// scatter fills them (memory-bandwidth bound), and the per-source
+/// reductions run in parallel.
+pub fn per_source_delay_stats(ctx: &ExecContext, d: &Dataset) -> Vec<DelayStats> {
+    let n_sources = d.sources.len();
+    let n = d.mentions.len();
+    if n_sources == 0 {
+        return Vec::new();
+    }
+    let counts = count_by(ctx, &d.mentions.source, n_sources);
+
+    // Group offsets (prefix sum) and scatter.
+    let mut offsets = vec![0usize; n_sources + 1];
+    for i in 0..n_sources {
+        offsets[i + 1] = offsets[i] + counts[i] as usize;
+    }
+    let mut grouped = vec![0u32; n];
+    let mut cursor = offsets.clone();
+    for row in 0..n {
+        let s = d.mentions.source[row] as usize;
+        grouped[cursor[s]] = d.mentions.delay[row];
+        cursor[s] += 1;
+    }
+
+    // Per-source reductions. Slices are disjoint → clean parallel map.
+    ctx.install(|| {
+        (0..n_sources)
+            .into_par_iter()
+            .map(|s| {
+                let (lo, hi) = (offsets[s], offsets[s + 1]);
+                if lo == hi {
+                    return DelayStats::empty();
+                }
+                // median_u32 reorders, so work on a private copy.
+                let mut buf = grouped[lo..hi].to_vec();
+                let min = *buf.iter().min().expect("non-empty");
+                let max = *buf.iter().max().expect("non-empty");
+                let mean = mean_u32(&buf);
+                let median = median_u32(&mut buf);
+                DelayStats { count: (hi - lo) as u64, min, max, mean, median }
+            })
+            .collect()
+    })
+}
+
+/// Delay of the *first* article on each event — the paper flags this as
+/// the key signal for wildfire detection follow-up work (§VI-E). With
+/// mentions time-sorted within each event, this is the first CSR entry.
+pub fn first_report_delay(ctx: &ExecContext, d: &Dataset) -> Vec<u32> {
+    let n_events = d.events.len();
+    let offsets = &d.event_index.offsets;
+    let delays = &d.mentions.delay;
+    ctx.install(|| {
+        (0..n_events)
+            .into_par_iter()
+            .map(|e| {
+                let lo = offsets[e] as usize;
+                let hi = offsets[e + 1] as usize;
+                if lo == hi {
+                    0
+                } else {
+                    delays[lo]
+                }
+            })
+            .collect()
+    })
+}
+
+/// Sources per speed group (§VI-E's population split).
+pub fn speed_group_counts(stats: &[DelayStats]) -> [(SpeedGroup, usize); 3] {
+    let mut fast = 0;
+    let mut avg = 0;
+    let mut slow = 0;
+    for s in stats.iter().filter(|s| s.count > 0) {
+        match classify(s) {
+            SpeedGroup::Fast => fast += 1,
+            SpeedGroup::Average => avg += 1,
+            SpeedGroup::Slow => slow += 1,
+        }
+    }
+    [(SpeedGroup::Fast, fast), (SpeedGroup::Average, avg), (SpeedGroup::Slow, slow)]
+}
+
+/// Per-source ranked delay metric histogram on log-ish buckets, for
+/// Fig 9's four panels. Returns `(bucket_upper_bounds, counts)` where
+/// `counts[i]` is the number of sources whose metric falls in bucket `i`.
+pub fn metric_histogram(
+    stats: &[DelayStats],
+    metric: impl Fn(&DelayStats) -> u32,
+) -> (Vec<u32>, Vec<u64>) {
+    // Buckets aligned with the paper's discussion: within 15 min, 2 h,
+    // 8 h, 24 h, 2 d, 1 w, 1 m, 3 m, 1 y⁺.
+    let bounds: Vec<u32> = vec![1, 8, 32, 96, 192, 672, 2_880, 8_640, MAX_TRACKED_DELAY + 1];
+    let mut counts = vec![0u64; bounds.len()];
+    for s in stats.iter().filter(|s| s.count > 0) {
+        let v = metric(s);
+        let idx = bounds.iter().position(|&b| v < b).unwrap_or(bounds.len() - 1);
+        counts[idx] += 1;
+    }
+    (bounds, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdelt_columnar::DatasetBuilder;
+    use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+    use gdelt_model::event::{ActionGeo, EventRecord};
+    use gdelt_model::ids::EventId;
+    use gdelt_model::mention::{MentionRecord, MentionType};
+    use gdelt_model::time::{DateTime, GDELT_EPOCH};
+
+    /// Dataset where source "a.com" has delays [0, 10, 20] and "b.co.uk"
+    /// has [4].
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for (id, hour) in [(1u64, 0u8), (2, 6)] {
+            b.add_event(EventRecord {
+                id: EventId(id),
+                day: GDELT_EPOCH,
+                root: CameoRoot::new(1).unwrap(),
+                event_code: "010".into(),
+                actor1_country: String::new(),
+                actor2_country: String::new(),
+                quad_class: QuadClass::VerbalCooperation,
+                goldstein: Goldstein::new(0.0).unwrap(),
+                num_mentions: 0,
+                num_sources: 0,
+                num_articles: 0,
+                avg_tone: 0.0,
+                geo: ActionGeo::default(),
+                date_added: DateTime::new(GDELT_EPOCH, hour, 0, 0).unwrap(),
+                source_url: "u".into(),
+            });
+        }
+        let m = |event: u64, event_hour: u8, delay: u32, src: &str| MentionRecord {
+            event_id: EventId(event),
+            event_time: DateTime::new(GDELT_EPOCH, event_hour, 0, 0).unwrap(),
+            mention_time: DateTime::from_unix_seconds(
+                DateTime::new(GDELT_EPOCH, event_hour, 0, 0).unwrap().to_unix_seconds()
+                    + i64::from(delay) * 900,
+            ),
+            mention_type: MentionType::Web,
+            source_name: src.into(),
+            url: format!("https://{src}/{event}"),
+            confidence: 50,
+            doc_tone: 0.0,
+        };
+        b.add_mention(m(1, 0, 0, "a.com"));
+        b.add_mention(m(1, 0, 10, "a.com"));
+        b.add_mention(m(2, 6, 20, "a.com"));
+        b.add_mention(m(2, 6, 4, "b.co.uk"));
+        b.build().0
+    }
+
+    fn ctx() -> ExecContext {
+        ExecContext::with_threads(2)
+    }
+
+    #[test]
+    fn per_source_stats_are_exact() {
+        let d = dataset();
+        let stats = per_source_delay_stats(&ctx(), &d);
+        let a = d.sources.lookup("a.com").unwrap();
+        let b = d.sources.lookup("b.co.uk").unwrap();
+        let sa = stats[a.index()];
+        assert_eq!((sa.count, sa.min, sa.max, sa.median), (3, 0, 20, 10));
+        assert!((sa.mean - 10.0).abs() < 1e-12);
+        let sb = stats[b.index()];
+        assert_eq!((sb.count, sb.min, sb.max, sb.median), (1, 4, 4, 4));
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let d = Dataset::default();
+        assert!(per_source_delay_stats(&ctx(), &d).is_empty());
+        assert!(first_report_delay(&ctx(), &d).is_empty());
+    }
+
+    #[test]
+    fn first_report_delay_uses_time_sorted_csr() {
+        let d = dataset();
+        let frd = first_report_delay(&ctx(), &d);
+        // Event 1 first article delay 0; event 2: b.co.uk at 4 beats 20.
+        assert_eq!(frd, vec![0, 4]);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        let s = |median| DelayStats { count: 1, min: 0, max: 0, mean: 0.0, median };
+        assert_eq!(classify(&s(0)), SpeedGroup::Fast);
+        assert_eq!(classify(&s(7)), SpeedGroup::Fast);
+        assert_eq!(classify(&s(8)), SpeedGroup::Average);
+        assert_eq!(classify(&s(96)), SpeedGroup::Average);
+        assert_eq!(classify(&s(97)), SpeedGroup::Slow);
+    }
+
+    #[test]
+    fn speed_group_counts_skip_empty_sources() {
+        let stats = vec![
+            DelayStats { count: 5, min: 0, max: 10, mean: 2.0, median: 2 },
+            DelayStats::empty(),
+            DelayStats { count: 5, min: 0, max: 500, mean: 200.0, median: 200 },
+        ];
+        let counts = speed_group_counts(&stats);
+        assert_eq!(counts[0].1, 1); // fast
+        assert_eq!(counts[1].1, 0); // average
+        assert_eq!(counts[2].1, 1); // slow
+    }
+
+    #[test]
+    fn metric_histogram_buckets() {
+        let stats = vec![
+            DelayStats { count: 1, min: 0, max: 0, mean: 0.0, median: 0 },
+            DelayStats { count: 1, min: 100, max: 0, mean: 0.0, median: 0 },
+            DelayStats { count: 1, min: 40_000, max: 0, mean: 0.0, median: 0 },
+        ];
+        let (bounds, counts) = metric_histogram(&stats, |s| s.min);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        assert_eq!(counts[0], 1); // min 0 < 1
+        let day_idx = bounds.iter().position(|&b| b == 192).unwrap();
+        assert_eq!(counts[day_idx], 1); // 100 lands in the 2-day bucket
+        assert_eq!(*counts.last().unwrap(), 1); // 40 000 beyond a year
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let d = dataset();
+        assert_eq!(
+            per_source_delay_stats(&ExecContext::sequential(), &d),
+            per_source_delay_stats(&ctx(), &d)
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Execution context: thread-count control and the partitioned
+//! map-reduce skeleton every parallel query uses.
+//!
+//! The paper's engine is OpenMP with static scheduling over NUMA-placed
+//! table chunks; the Rust equivalent is an explicit partition list mapped
+//! in a scoped rayon pool, with one partial accumulator per partition and
+//! a sequential merge. Queries never share mutable state across workers.
+
+use gdelt_columnar::partition::{partitions, partitions_at_boundaries, Partition};
+
+/// Thread-count and partitioning policy for query execution.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    n_threads: usize,
+    pool: Option<std::sync::Arc<rayon::ThreadPool>>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecContext {
+    /// Use the global rayon pool (all available cores).
+    pub fn new() -> Self {
+        ExecContext { n_threads: rayon::current_num_threads(), pool: None }
+    }
+
+    /// Dedicated pool with exactly `n` threads — used by the Fig 12
+    /// scaling benchmark to sweep thread counts.
+    pub fn with_threads(n: usize) -> Self {
+        let n = n.max(1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("failed to build thread pool");
+        ExecContext { n_threads: n, pool: Some(std::sync::Arc::new(pool)) }
+    }
+
+    /// Single-threaded execution (the paper's 344 s reference point).
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Number of worker threads.
+    #[inline]
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Partitions for an `n_rows` scan: a few per thread for load
+    /// balancing, none empty unless the table is tiny.
+    pub fn make_partitions(&self, n_rows: usize) -> Vec<Partition> {
+        partitions(n_rows, (self.n_threads * 4).min(n_rows.max(1)))
+    }
+
+    /// Partitions over CSR groups (events), aligned so no event's mention
+    /// range is split across workers.
+    pub fn make_group_partitions(&self, offsets: &[u64]) -> Vec<Partition> {
+        let n_groups = offsets.len().saturating_sub(1);
+        partitions_at_boundaries(offsets, (self.n_threads * 4).min(n_groups.max(1)))
+    }
+
+    /// Run `f` inside this context's pool (or the global one).
+    pub fn install<T: Send>(&self, f: impl FnOnce() -> T + Send) -> T {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+
+    /// The partitioned map-reduce skeleton: `map` runs per partition in
+    /// parallel, producing one partial each; partials are merged
+    /// sequentially (merge cost is negligible next to the scans).
+    pub fn map_reduce<T, M, R>(&self, parts: Vec<Partition>, map: M, reduce: R) -> Option<T>
+    where
+        T: Send,
+        M: Fn(Partition) -> T + Sync + Send,
+        R: FnMut(T, T) -> T,
+    {
+        use rayon::prelude::*;
+        let partials: Vec<T> = self.install(|| parts.into_par_iter().map(&map).collect());
+        partials.into_iter().reduce(reduce)
+    }
+
+    /// Convenience map-reduce over an `n_rows` flat scan with a default
+    /// accumulator for the empty case.
+    pub fn scan<T, M>(&self, n_rows: usize, map: M) -> T
+    where
+        T: Send + Default + Merge,
+        M: Fn(Partition) -> T + Sync + Send,
+    {
+        self.map_reduce(self.make_partitions(n_rows), map, |mut a, b| {
+            a.merge(b);
+            a
+        })
+        .unwrap_or_default()
+    }
+}
+
+/// Mergeable partial-accumulator types used with [`ExecContext::scan`].
+pub trait Merge {
+    /// Fold `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+impl Merge for u64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+impl Merge for f64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+impl<T: Merge> Merge for Vec<T>
+where
+    T: Default,
+{
+    fn merge(&mut self, other: Self) {
+        if self.len() < other.len() {
+            self.resize_with(other.len(), T::default);
+        }
+        for (i, v) in other.into_iter().enumerate() {
+            self[i].merge(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_uses_global_pool() {
+        let ctx = ExecContext::new();
+        assert!(ctx.n_threads() >= 1);
+        assert_eq!(ctx.install(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn with_threads_controls_pool_size() {
+        let ctx = ExecContext::with_threads(2);
+        assert_eq!(ctx.n_threads(), 2);
+        let inside = ctx.install(rayon::current_num_threads);
+        assert_eq!(inside, 2);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let ctx = ExecContext::with_threads(0);
+        assert_eq!(ctx.n_threads(), 1);
+    }
+
+    #[test]
+    fn map_reduce_sums_partition_lengths() {
+        let ctx = ExecContext::with_threads(3);
+        let total = ctx
+            .map_reduce(ctx.make_partitions(1000), |p| p.len() as u64, |a, b| a + b)
+            .unwrap();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn map_reduce_empty_returns_none() {
+        let ctx = ExecContext::sequential();
+        let r: Option<u64> = ctx.map_reduce(Vec::new(), |p| p.len() as u64, |a, b| a + b);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn scan_matches_sequential_result() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let expect: u64 = data.iter().sum();
+        for threads in [1, 2, 4] {
+            let ctx = ExecContext::with_threads(threads);
+            let got: u64 = ctx.scan(data.len(), |p| p.slice(&data).iter().sum::<u64>());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn vec_merge_handles_ragged_lengths() {
+        let mut a: Vec<u64> = vec![1, 2];
+        a.merge(vec![10, 10, 10]);
+        assert_eq!(a, vec![11, 12, 10]);
+    }
+
+    #[test]
+    fn group_partitions_align_to_offsets() {
+        let ctx = ExecContext::with_threads(2);
+        let offsets = vec![0u64, 3, 3, 10, 12];
+        let parts = ctx.make_group_partitions(&offsets);
+        assert_eq!(parts.last().unwrap().end, 12);
+        for p in &parts {
+            assert!(offsets.contains(&(p.begin as u64)));
+        }
+    }
+}

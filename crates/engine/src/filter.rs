@@ -1,0 +1,186 @@
+//! Selection bitmaps: predicate evaluation producing row masks.
+//!
+//! Queries that restrict by time range or confidence evaluate the
+//! predicate in one parallel column scan and carry the result as a
+//! bitmap, which downstream operators test in O(1) per row.
+
+use crate::exec::{ExecContext, Merge};
+
+/// A row-selection bitmap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-false bitmap over `len` rows.
+    pub fn new(len: usize) -> Self {
+        Bitmap { bits: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set row `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Test row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Intersect with another bitmap of the same length.
+    pub fn and(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// Union with another bitmap of the same length.
+    pub fn or(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate selected row indexes.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(w * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Evaluate `pred` over `0..len` rows in parallel.
+    pub fn fill(ctx: &ExecContext, len: usize, pred: impl Fn(usize) -> bool + Sync + Send) -> Self {
+        // Each partition builds a word-aligned local piece, merged by OR.
+        struct Partial(Bitmap);
+        impl Default for Partial {
+            fn default() -> Self {
+                Partial(Bitmap::new(0))
+            }
+        }
+        impl Merge for Partial {
+            fn merge(&mut self, other: Self) {
+                if self.0.len == 0 {
+                    *self = other;
+                } else if other.0.len != 0 {
+                    self.0.or(&other.0);
+                }
+            }
+        }
+        let out: Partial = ctx.scan(len, |p| {
+            let mut bm = Bitmap::new(len);
+            for i in p.range() {
+                if pred(i) {
+                    bm.set(i);
+                }
+            }
+            Partial(bm)
+        });
+        if out.0.len == 0 {
+            Bitmap::new(len)
+        } else {
+            out.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitmap::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn iter_yields_set_rows_in_order() {
+        let mut b = Bitmap::new(200);
+        for i in [3usize, 64, 65, 199] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter().collect();
+        assert_eq!(got, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn and_or_combinators() {
+        let mut a = Bitmap::new(10);
+        a.set(1);
+        a.set(2);
+        let mut b = Bitmap::new(10);
+        b.set(2);
+        b.set(3);
+        let mut both = a.clone();
+        both.and(&b);
+        assert_eq!(both.iter().collect::<Vec<_>>(), vec![2]);
+        a.or(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_rejects_length_mismatch() {
+        let mut a = Bitmap::new(10);
+        a.and(&Bitmap::new(11));
+    }
+
+    #[test]
+    fn parallel_fill_matches_sequential() {
+        let ctx = ExecContext::with_threads(4);
+        let b = Bitmap::fill(&ctx, 1000, |i| i % 7 == 0);
+        assert_eq!(b.count(), 143);
+        for i in 0..1000 {
+            assert_eq!(b.get(i), i % 7 == 0);
+        }
+    }
+
+    #[test]
+    fn fill_empty_range() {
+        let ctx = ExecContext::sequential();
+        let b = Bitmap::fill(&ctx, 0, |_| true);
+        assert_eq!(b.count(), 0);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! The aggregated country query (paper §VI-G, Fig 12).
+//!
+//! The paper reports that "a single aggregated query was used to obtain
+//! all data presented in Tables V, VI and VII", taking 344 s on one
+//! thread and 43 s with OpenMP on 64. This module is that query: one
+//! mention-table pass (cross-reporting counts + publisher totals), one
+//! event-table pass (events per country), and one CSR pass (country
+//! co-reporting), all running under the caller's [`ExecContext`] so the
+//! Fig 12 benchmark can sweep thread counts.
+
+use crate::coreport::CountryCoReport;
+use crate::crossreport::CrossReport;
+use crate::exec::ExecContext;
+use crate::matrix::Matrix;
+use gdelt_columnar::Dataset;
+use gdelt_model::country::CountryRegistry;
+use gdelt_model::ids::CountryId;
+
+/// Everything Tables V–VII need, from one aggregated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatedCountryReport {
+    /// Cross-reporting counts and publisher totals (Tables VI–VII).
+    pub cross: CrossReport,
+    /// Country-level co-reporting (Table V).
+    pub coreport: CountryCoReport,
+}
+
+impl AggregatedCountryReport {
+    /// Run the aggregated query.
+    pub fn run(ctx: &ExecContext, d: &Dataset) -> Self {
+        let n = CountryRegistry::new().len();
+        let cross = CrossReport::build(ctx, d, n);
+        let coreport = CountryCoReport::build(ctx, d, n);
+        AggregatedCountryReport { cross, coreport }
+    }
+
+    /// Table V cell: Jaccard co-reporting between two countries.
+    pub fn country_jaccard(&self, a: CountryId, b: CountryId) -> f64 {
+        self.coreport.jaccard(a, b)
+    }
+
+    /// Table VI cell: articles from `publishing` on events in `reported`.
+    pub fn cross_articles(&self, reported: CountryId, publishing: CountryId) -> u64 {
+        self.cross.articles(reported, publishing)
+    }
+
+    /// Table VII matrix.
+    pub fn cross_percentages(&self) -> Matrix<f64> {
+        self.cross.percentages()
+    }
+}
+
+/// Wall-clock the aggregated query at a given thread count; returns the
+/// result and elapsed seconds (the Fig 12 measurement primitive).
+pub fn timed_run(d: &Dataset, threads: usize) -> (AggregatedCountryReport, f64) {
+    let ctx = ExecContext::with_threads(threads);
+    let t0 = std::time::Instant::now();
+    let report = AggregatedCountryReport::run(&ctx, d);
+    (report, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        // Reuse the synthetic tiny corpus: realistic structure without
+        // hand-built fixtures.
+        let cfg = gdelt_synth::scenario::tiny(77);
+        gdelt_synth::generate_dataset(&cfg).0
+    }
+
+    #[test]
+    fn aggregated_query_is_consistent_across_thread_counts() {
+        let d = dataset();
+        let seq = AggregatedCountryReport::run(&ExecContext::sequential(), &d);
+        let par = AggregatedCountryReport::run(&ExecContext::with_threads(4), &d);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn publisher_totals_bound_cross_counts() {
+        let d = dataset();
+        let r = AggregatedCountryReport::run(&ExecContext::with_threads(2), &d);
+        let col_sums = r.cross.counts.col_sums();
+        for (c, &total) in r.cross.articles_by_publisher.iter().enumerate() {
+            assert!(
+                col_sums[c] <= total,
+                "country {c}: tagged articles {} exceed total {total}",
+                col_sums[c]
+            );
+        }
+    }
+
+    #[test]
+    fn percentages_are_percentages() {
+        let d = dataset();
+        let r = AggregatedCountryReport::run(&ExecContext::with_threads(2), &d);
+        let p = r.cross_percentages();
+        for v in p.as_slice() {
+            assert!((0.0..=100.0).contains(v), "percentage {v}");
+        }
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded() {
+        let d = dataset();
+        let reg = CountryRegistry::new();
+        let r = AggregatedCountryReport::run(&ExecContext::with_threads(2), &d);
+        let ids = reg.paper_top10_publishing();
+        for &a in &ids {
+            for &b in &ids {
+                let j = r.country_jaccard(a, b);
+                assert!((0.0..=1.0).contains(&j));
+                assert!((j - r.country_jaccard(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn timed_run_reports_positive_duration() {
+        let d = dataset();
+        let (r, secs) = timed_run(&d, 2);
+        assert!(secs >= 0.0);
+        assert!(r.cross.articles_by_publisher.iter().sum::<u64>() > 0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Quarterly time series — the aggregation behind Figs 3–6, 10 and 11.
+
+use crate::aggregate::{count_by, count_by_where};
+use crate::exec::{ExecContext, Merge};
+use crate::filter::Bitmap;
+use gdelt_columnar::Dataset;
+use gdelt_model::ids::SourceId;
+use gdelt_model::time::Quarter;
+
+/// A per-quarter series anchored at `base`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarterlySeries {
+    /// Quarter of `values[0]`.
+    pub base: Quarter,
+    /// One value per consecutive quarter.
+    pub values: Vec<f64>,
+}
+
+impl QuarterlySeries {
+    /// Iterate `(quarter, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Quarter, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (Quarter::from_linear(self.base.linear() + i as i32), v))
+    }
+
+    /// Number of quarters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series has no quarters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Inclusive linear-quarter range `(base, count)` covered by the dataset
+/// (union of events and mentions), or `None` when empty.
+pub fn quarter_range(d: &Dataset) -> Option<(u16, usize)> {
+    let mins = [
+        d.events.quarter.iter().min().copied(),
+        d.mentions.quarter.iter().min().copied(),
+    ];
+    let maxs = [
+        d.events.quarter.iter().max().copied(),
+        d.mentions.quarter.iter().max().copied(),
+    ];
+    let lo = mins.into_iter().flatten().min()?;
+    let hi = maxs.into_iter().flatten().max()?;
+    Some((lo, (hi - lo) as usize + 1))
+}
+
+fn series_from_counts(base: u16, counts: Vec<u64>) -> QuarterlySeries {
+    QuarterlySeries {
+        base: Quarter::from_linear(i32::from(base)),
+        values: counts.into_iter().map(|c| c as f64).collect(),
+    }
+}
+
+/// Events observed per quarter (Fig 4).
+pub fn events_per_quarter(ctx: &ExecContext, d: &Dataset) -> QuarterlySeries {
+    let Some((base, n)) = quarter_range(d) else {
+        return QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
+    };
+    let shifted: Vec<u16> = d.events.quarter.iter().map(|&q| q - base).collect();
+    series_from_counts(base, count_by(ctx, &shifted, n))
+}
+
+/// Articles (mentions) observed per quarter (Fig 5).
+pub fn articles_per_quarter(ctx: &ExecContext, d: &Dataset) -> QuarterlySeries {
+    let Some((base, n)) = quarter_range(d) else {
+        return QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
+    };
+    let shifted: Vec<u16> = d.mentions.quarter.iter().map(|&q| q - base).collect();
+    series_from_counts(base, count_by(ctx, &shifted, n))
+}
+
+/// Sources that published at least once in each quarter (Fig 3: only
+/// about a third of tracked sources are active at a time).
+pub fn active_sources_per_quarter(ctx: &ExecContext, d: &Dataset) -> QuarterlySeries {
+    let Some((base, n)) = quarter_range(d) else {
+        return QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
+    };
+    let n_sources = d.sources.len();
+
+    /// One bitmap of sources per quarter.
+    #[derive(Default)]
+    struct Active(Vec<Bitmap>);
+    impl Merge for Active {
+        fn merge(&mut self, other: Self) {
+            if self.0.is_empty() {
+                *self = other;
+            } else if !other.0.is_empty() {
+                for (a, b) in self.0.iter_mut().zip(&other.0) {
+                    a.or(b);
+                }
+            }
+        }
+    }
+
+    let quarters = &d.mentions.quarter;
+    let sources = &d.mentions.source;
+    let acc: Active = ctx.scan(d.mentions.len(), |p| {
+        let mut bms: Vec<Bitmap> = (0..n).map(|_| Bitmap::new(n_sources)).collect();
+        for row in p.range() {
+            let q = (quarters[row] - base) as usize;
+            bms[q].set(sources[row] as usize);
+        }
+        Active(bms)
+    });
+    let counts: Vec<u64> = if acc.0.is_empty() {
+        vec![0; n]
+    } else {
+        acc.0.iter().map(|bm| bm.count() as u64).collect()
+    };
+    series_from_counts(base, counts)
+}
+
+/// Article counts per quarter for a selection of publishers (Fig 6).
+/// Returns one series per requested source, in request order.
+pub fn publisher_series(
+    ctx: &ExecContext,
+    d: &Dataset,
+    publishers: &[SourceId],
+) -> Vec<QuarterlySeries> {
+    let Some((base, n)) = quarter_range(d) else {
+        return publishers
+            .iter()
+            .map(|_| QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() })
+            .collect();
+    };
+    // Map source id → slot; combined key = slot * n_quarters + quarter.
+    let mut slot_of = std::collections::HashMap::new();
+    for (i, s) in publishers.iter().enumerate() {
+        slot_of.insert(s.0, i);
+    }
+    let quarters = &d.mentions.quarter;
+    let sources = &d.mentions.source;
+    let flat: Vec<u64> = ctx.scan(d.mentions.len(), |p| {
+        let mut acc = vec![0u64; publishers.len() * n];
+        for row in p.range() {
+            if let Some(&slot) = slot_of.get(&sources[row]) {
+                acc[slot * n + (quarters[row] - base) as usize] += 1;
+            }
+        }
+        acc
+    });
+    let flat = if flat.is_empty() { vec![0; publishers.len() * n] } else { flat };
+    (0..publishers.len())
+        .map(|slot| series_from_counts(base, flat[slot * n..(slot + 1) * n].to_vec()))
+        .collect()
+}
+
+/// Articles per quarter with a publishing delay above `threshold`
+/// intervals (Fig 11 uses 96 = 24 h).
+pub fn late_articles_per_quarter(
+    ctx: &ExecContext,
+    d: &Dataset,
+    threshold: u32,
+) -> QuarterlySeries {
+    let Some((base, n)) = quarter_range(d) else {
+        return QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
+    };
+    let shifted: Vec<u16> = d.mentions.quarter.iter().map(|&q| q - base).collect();
+    let delays = &d.mentions.delay;
+    let counts = count_by_where(ctx, &shifted, n, |row| delays[row] > threshold);
+    series_from_counts(base, counts)
+}
+
+/// Average and median publishing delay per quarter (Fig 10a / 10b).
+/// Medians are exact, computed from per-quarter delay histograms.
+pub fn delay_per_quarter(ctx: &ExecContext, d: &Dataset) -> (QuarterlySeries, QuarterlySeries) {
+    let empty = || QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
+    let Some((base, n)) = quarter_range(d) else {
+        return (empty(), empty());
+    };
+    let cap = crate::delay::MAX_TRACKED_DELAY as usize;
+
+    #[derive(Default)]
+    struct Hists {
+        // hist[q][delay] (delay clamped to cap), plus per-quarter sums.
+        hist: Vec<Vec<u32>>,
+        sum: Vec<u64>,
+        count: Vec<u64>,
+    }
+    impl Merge for Hists {
+        fn merge(&mut self, o: Self) {
+            if self.hist.is_empty() {
+                *self = o;
+                return;
+            }
+            if o.hist.is_empty() {
+                return;
+            }
+            for (a, b) in self.hist.iter_mut().zip(o.hist) {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            for (a, b) in self.sum.iter_mut().zip(o.sum) {
+                *a += b;
+            }
+            for (a, b) in self.count.iter_mut().zip(o.count) {
+                *a += b;
+            }
+        }
+    }
+
+    let quarters = &d.mentions.quarter;
+    let delays = &d.mentions.delay;
+    // One partial per thread (histograms are sizeable).
+    let parts = gdelt_columnar::partition::partitions(d.mentions.len(), ctx.n_threads());
+    let acc = ctx
+        .map_reduce(
+            parts,
+            |p| {
+                let mut h = Hists {
+                    hist: vec![vec![0u32; cap + 1]; n],
+                    sum: vec![0; n],
+                    count: vec![0; n],
+                };
+                for row in p.range() {
+                    let q = (quarters[row] - base) as usize;
+                    let dl = delays[row];
+                    h.hist[q][(dl as usize).min(cap)] += 1;
+                    h.sum[q] += u64::from(dl);
+                    h.count[q] += 1;
+                }
+                h
+            },
+            |mut a, b| {
+                a.merge(b);
+                a
+            },
+        )
+        .unwrap_or_default();
+
+    let (mut avg, mut med) = (vec![0f64; n], vec![0f64; n]);
+    if !acc.hist.is_empty() {
+        for q in 0..n {
+            if acc.count[q] == 0 {
+                continue;
+            }
+            avg[q] = acc.sum[q] as f64 / acc.count[q] as f64;
+            // Lower-middle median from the cumulative histogram.
+            let target = (acc.count[q] - 1) / 2;
+            let mut seen = 0u64;
+            for (dl, &c) in acc.hist[q].iter().enumerate() {
+                seen += u64::from(c);
+                if seen > target {
+                    med[q] = dl as f64;
+                    break;
+                }
+            }
+        }
+    }
+    let base_q = Quarter::from_linear(i32::from(base));
+    (
+        QuarterlySeries { base: base_q, values: avg },
+        QuarterlySeries { base: base_q, values: med },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdelt_columnar::DatasetBuilder;
+    use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+    use gdelt_model::event::{ActionGeo, EventRecord};
+    use gdelt_model::ids::EventId;
+    use gdelt_model::mention::{MentionRecord, MentionType};
+    use gdelt_model::time::{Date, DateTime};
+
+    /// Small dataset: events in 2015Q2 and 2015Q3, mentions with known
+    /// delays and sources.
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let mk_event = |id: u64, day: Date| EventRecord {
+            id: EventId(id),
+            day,
+            root: CameoRoot::new(1).unwrap(),
+            event_code: "010".into(),
+            actor1_country: String::new(),
+            actor2_country: String::new(),
+            quad_class: QuadClass::VerbalCooperation,
+            goldstein: Goldstein::new(0.0).unwrap(),
+            num_mentions: 0,
+            num_sources: 0,
+            num_articles: 0,
+            avg_tone: 0.0,
+            geo: ActionGeo::default(),
+            date_added: DateTime::midnight(day),
+            source_url: "u".into(),
+        };
+        let mk_mention = |id: u64, day: Date, delay_iv: u32, src: &str| MentionRecord {
+            event_id: EventId(id),
+            event_time: DateTime::midnight(day),
+            mention_time: DateTime::from_unix_seconds(
+                DateTime::midnight(day).to_unix_seconds() + i64::from(delay_iv) * 900,
+            ),
+            mention_type: MentionType::Web,
+            source_name: src.into(),
+            url: format!("https://{src}/{id}"),
+            confidence: 50,
+            doc_tone: 0.0,
+        };
+        let q2 = Date { year: 2015, month: 5, day: 10 };
+        let q3 = Date { year: 2015, month: 8, day: 10 };
+        b.add_event(mk_event(1, q2));
+        b.add_event(mk_event(2, q2));
+        b.add_event(mk_event(3, q3));
+        b.add_mention(mk_mention(1, q2, 0, "a.com"));
+        b.add_mention(mk_mention(1, q2, 10, "b.co.uk"));
+        b.add_mention(mk_mention(2, q2, 20, "a.com"));
+        b.add_mention(mk_mention(3, q3, 100, "a.com"));
+        b.add_mention(mk_mention(3, q3, 200, "c.com.au"));
+        b.build().0
+    }
+
+    fn ctx() -> ExecContext {
+        ExecContext::with_threads(2)
+    }
+
+    #[test]
+    fn quarter_range_spans_data() {
+        let d = dataset();
+        let (base, n) = quarter_range(&d).unwrap();
+        assert_eq!(Quarter::from_linear(i32::from(base)), Quarter { year: 2015, q: 2 });
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn events_per_quarter_counts() {
+        let d = dataset();
+        let s = events_per_quarter(&ctx(), &d);
+        assert_eq!(s.values, vec![2.0, 1.0]);
+        assert_eq!(s.base, Quarter { year: 2015, q: 2 });
+        let pairs: Vec<(Quarter, f64)> = s.iter().collect();
+        assert_eq!(pairs[1].0, Quarter { year: 2015, q: 3 });
+    }
+
+    #[test]
+    fn articles_per_quarter_counts() {
+        let d = dataset();
+        let s = articles_per_quarter(&ctx(), &d);
+        assert_eq!(s.values, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn active_sources_counts_distinct() {
+        let d = dataset();
+        let s = active_sources_per_quarter(&ctx(), &d);
+        // Q2: a.com + b.co.uk; Q3: a.com + c.com.au.
+        assert_eq!(s.values, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn publisher_series_selects_sources() {
+        let d = dataset();
+        let a = d.sources.lookup("a.com").unwrap();
+        let c = d.sources.lookup("c.com.au").unwrap();
+        let series = publisher_series(&ctx(), &d, &[a, c]);
+        assert_eq!(series[0].values, vec![2.0, 1.0]);
+        assert_eq!(series[1].values, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn late_articles_threshold() {
+        let d = dataset();
+        let s = late_articles_per_quarter(&ctx(), &d, 96);
+        assert_eq!(s.values, vec![0.0, 2.0]);
+        let s = late_articles_per_quarter(&ctx(), &d, 15);
+        assert_eq!(s.values, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn delay_series_mean_and_median() {
+        let d = dataset();
+        let (avg, med) = delay_per_quarter(&ctx(), &d);
+        // Q2 delays: 0, 10, 20 → mean 10, median 10.
+        assert!((avg.values[0] - 10.0).abs() < 1e-9);
+        assert_eq!(med.values[0], 10.0);
+        // Q3 delays: 100, 200 → mean 150, median (lower-middle) 100.
+        assert!((avg.values[1] - 150.0).abs() < 1e-9);
+        assert_eq!(med.values[1], 100.0);
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_series() {
+        let d = Dataset::default();
+        assert!(events_per_quarter(&ctx(), &d).is_empty());
+        assert!(articles_per_quarter(&ctx(), &d).is_empty());
+        assert!(active_sources_per_quarter(&ctx(), &d).is_empty());
+        let (a, m) = delay_per_quarter(&ctx(), &d);
+        assert!(a.is_empty() && m.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let d = dataset();
+        let seq = ExecContext::sequential();
+        assert_eq!(events_per_quarter(&seq, &d), events_per_quarter(&ctx(), &d));
+        assert_eq!(articles_per_quarter(&seq, &d), articles_per_quarter(&ctx(), &d));
+        assert_eq!(delay_per_quarter(&seq, &d), delay_per_quarter(&ctx(), &d));
+    }
+}

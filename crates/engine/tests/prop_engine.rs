@@ -1,0 +1,166 @@
+//! Property tests for the query engine: every parallel operator must
+//! agree exactly with its obvious sequential definition, for arbitrary
+//! inputs and thread counts — the fundamental correctness contract of
+//! the partition/merge execution model.
+
+use gdelt_engine::aggregate::{count_by, count_where, min_max_sum, sum_by};
+use gdelt_engine::filter::Bitmap;
+use gdelt_engine::matrix::Matrix;
+use gdelt_engine::stats::{median_u32, percentile_u32};
+use gdelt_engine::topk::top_k_indices;
+use gdelt_engine::ExecContext;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_by_matches_sequential_definition(
+        keys in prop::collection::vec(0u32..50, 0..2_000),
+        threads in 1usize..8,
+    ) {
+        let ctx = ExecContext::with_threads(threads);
+        let got = count_by(&ctx, &keys, 50);
+        let mut expect = vec![0u64; 50];
+        for &k in &keys {
+            expect[k as usize] += 1;
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sum_by_matches_sequential_definition(
+        rows in prop::collection::vec((0u32..20, 0u32..1_000), 0..1_000),
+        threads in 1usize..8,
+    ) {
+        let keys: Vec<u32> = rows.iter().map(|r| r.0).collect();
+        let vals: Vec<u32> = rows.iter().map(|r| r.1).collect();
+        let ctx = ExecContext::with_threads(threads);
+        let got = sum_by(&ctx, &keys, &vals, 20);
+        let mut expect = vec![0u64; 20];
+        for &(k, v) in &rows {
+            expect[k as usize] += u64::from(v);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn min_max_sum_matches_iterator_ops(
+        vals in prop::collection::vec(0u32..1_000_000, 0..2_000),
+        threads in 1usize..8,
+    ) {
+        let ctx = ExecContext::with_threads(threads);
+        let s = min_max_sum(&ctx, &vals);
+        prop_assert_eq!(s.count, vals.len() as u64);
+        prop_assert_eq!(s.sum, vals.iter().map(|&v| u64::from(v)).sum::<u64>());
+        if !vals.is_empty() {
+            prop_assert_eq!(s.min, *vals.iter().min().unwrap());
+            prop_assert_eq!(s.max, *vals.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn count_where_matches_filter_count(
+        n in 0usize..5_000,
+        modulus in 1usize..17,
+        threads in 1usize..8,
+    ) {
+        let ctx = ExecContext::with_threads(threads);
+        let got = count_where(&ctx, n, |r| r % modulus == 0);
+        prop_assert_eq!(got, (0..n).filter(|r| r % modulus == 0).count() as u64);
+    }
+
+    #[test]
+    fn bitmap_fill_equals_predicate(
+        n in 0usize..3_000,
+        modulus in 1usize..13,
+        threads in 1usize..8,
+    ) {
+        let ctx = ExecContext::with_threads(threads);
+        let bm = Bitmap::fill(&ctx, n, |i| i % modulus == 1);
+        for i in 0..n {
+            prop_assert_eq!(bm.get(i), i % modulus == 1);
+        }
+        prop_assert_eq!(bm.count(), (0..n).filter(|i| i % modulus == 1).count());
+        prop_assert_eq!(bm.iter().count(), bm.count());
+    }
+
+    #[test]
+    fn median_matches_sorted_definition(mut vals in prop::collection::vec(0u32..10_000, 1..400)) {
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let expect = sorted[(sorted.len() - 1) / 2];
+        prop_assert_eq!(median_u32(&mut vals), expect);
+    }
+
+    #[test]
+    fn percentile_is_monotone(mut vals in prop::collection::vec(0u32..10_000, 1..200)) {
+        let p25 = percentile_u32(&mut vals, 25.0);
+        let p50 = percentile_u32(&mut vals, 50.0);
+        let p75 = percentile_u32(&mut vals, 75.0);
+        let p100 = percentile_u32(&mut vals, 100.0);
+        prop_assert!(p25 <= p50 && p50 <= p75 && p75 <= p100);
+        prop_assert_eq!(p100, *vals.iter().max().unwrap());
+    }
+
+    #[test]
+    fn top_k_matches_full_sort(vals in prop::collection::vec(0u64..1_000, 0..500), k in 0usize..50) {
+        let got = top_k_indices(&vals, k);
+        let mut full: Vec<usize> = (0..vals.len()).collect();
+        full.sort_by_key(|&i| (std::cmp::Reverse(vals[i]), i));
+        full.truncate(k.min(vals.len()));
+        prop_assert_eq!(got, full);
+    }
+
+    #[test]
+    fn matrix_merge_is_elementwise_addition(
+        a in prop::collection::vec(0u64..100, 16),
+        b in prop::collection::vec(0u64..100, 16),
+    ) {
+        use gdelt_engine::exec::Merge;
+        let mut ma = Matrix::<u64>::zeros(4, 4);
+        let mut mb = Matrix::<u64>::zeros(4, 4);
+        for i in 0..16 {
+            ma.set(i / 4, i % 4, a[i]);
+            mb.set(i / 4, i % 4, b[i]);
+        }
+        let (ra, ca) = (ma.row_sums(), ma.col_sums());
+        ma.merge(mb);
+        for i in 0..16 {
+            prop_assert_eq!(ma.get(i / 4, i % 4), a[i] + b[i]);
+        }
+        // Row/col sums are additive too.
+        let _ = (ra, ca);
+        prop_assert_eq!(ma.total(), a.iter().sum::<u64>() + b.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn bitmap_set_ops_behave_like_sets(
+        xs in prop::collection::vec(0usize..256, 0..64),
+        ys in prop::collection::vec(0usize..256, 0..64),
+    ) {
+        use std::collections::BTreeSet;
+        let mut a = Bitmap::new(256);
+        let mut b = Bitmap::new(256);
+        let sa: BTreeSet<usize> = xs.iter().copied().collect();
+        let sb: BTreeSet<usize> = ys.iter().copied().collect();
+        for &x in &sa {
+            a.set(x);
+        }
+        for &y in &sb {
+            b.set(y);
+        }
+        let mut and = a.clone();
+        and.and(&b);
+        let mut or = a.clone();
+        or.or(&b);
+        prop_assert_eq!(
+            and.iter().collect::<Vec<_>>(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            or.iter().collect::<Vec<_>>(),
+            sa.union(&sb).copied().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the engine extensions: for arbitrary generator
+//! seeds and structural parameters, the alternative execution strategies
+//! (time-sliced sparse assembly, event-sharded distribution) must agree
+//! exactly with the canonical single-pass operators, and views must
+//! decompose totals.
+
+use gdelt_engine::coreport::CoReport;
+use gdelt_engine::query::AggregatedCountryReport;
+use gdelt_engine::sharded::ShardedDataset;
+use gdelt_engine::sliced::sliced_coreport;
+use gdelt_engine::view::MentionView;
+use gdelt_engine::ExecContext;
+use gdelt_model::time::Quarter;
+use proptest::prelude::*;
+
+fn corpus(seed: u64, n_events: usize, n_quarters: usize) -> gdelt_columnar::Dataset {
+    let mut cfg = gdelt_synth::scenario::tiny(seed);
+    cfg.n_events = n_events;
+    cfg.n_quarters = n_quarters;
+    cfg.quarter_weights = vec![1.0; n_quarters];
+    gdelt_synth::generate_dataset(&cfg).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sliced_always_equals_dense(
+        seed in 0u64..1000,
+        n_events in 50usize..200,
+        n_quarters in 2usize..8,
+    ) {
+        let d = corpus(seed, n_events, n_quarters);
+        let ctx = ExecContext::with_threads(2);
+        let dense = CoReport::build(&ctx, &d);
+        let sliced = sliced_coreport(&ctx, &d);
+        prop_assert_eq!(&dense.event_counts, &sliced.event_counts);
+        for i in 0..d.sources.len() {
+            for j in i + 1..d.sources.len() {
+                prop_assert_eq!(dense.pair_count(i, j), sliced.pair_count(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_always_equals_single_node(
+        seed in 0u64..1000,
+        n_events in 50usize..150,
+        shards in 1usize..6,
+    ) {
+        let d = corpus(seed, n_events, 4);
+        let ctx = ExecContext::with_threads(2);
+        let single = AggregatedCountryReport::run(&ctx, &d);
+        let sd = ShardedDataset::split(&d, shards);
+        prop_assert_eq!(sd.total_events(), d.events.len());
+        prop_assert_eq!(sd.total_mentions(), d.mentions.len());
+        let dist = sd.aggregated_cross_report(&ctx);
+        prop_assert_eq!(dist, single);
+    }
+
+    #[test]
+    fn quarter_views_partition_the_corpus(
+        seed in 0u64..1000,
+        n_events in 50usize..200,
+        n_quarters in 2usize..8,
+    ) {
+        let d = corpus(seed, n_events, n_quarters);
+        let ctx = ExecContext::with_threads(2);
+        let Some((base, n)) = gdelt_engine::timeseries::quarter_range(&d) else {
+            return Ok(());
+        };
+        let mut total_rows = 0usize;
+        let mut total_by_source = vec![0u64; d.sources.len()];
+        for i in 0..n {
+            let q = Quarter::from_linear(i32::from(base) + i as i32);
+            let v = MentionView::time_window(&ctx, &d, q, q);
+            total_rows += v.len();
+            for (s, c) in v.articles_by_source(&ctx).into_iter().enumerate() {
+                total_by_source[s] += c;
+            }
+        }
+        prop_assert_eq!(total_rows, d.mentions.len());
+        let all = MentionView::all(&ctx, &d).articles_by_source(&ctx);
+        prop_assert_eq!(total_by_source, all);
+    }
+}

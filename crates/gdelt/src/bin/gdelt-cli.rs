@@ -1,0 +1,311 @@
+//! `gdelt-cli` — the preprocessing tool and query front-end.
+//!
+//! Subcommands mirror the paper's workflow:
+//!
+//! * `generate` — emit a synthetic raw GDELT corpus (events TSV,
+//!   mentions TSV, master file list) at a chosen scale;
+//! * `convert`  — run the preprocessing tool: parse + clean raw files
+//!   and write the indexed binary format, printing the Table II report;
+//! * `report`   — load a binary dataset and print every table/figure;
+//! * `synth-report` — generate in memory and report directly;
+//! * `bench-scaling` — the Fig 12 thread sweep.
+
+use gdelt_analysis::report::{run_full_report, scaling_thread_counts, ReportOptions};
+use gdelt_columnar::{binfmt, DatasetBuilder};
+use gdelt_engine::ExecContext;
+use gdelt_synth::emit::to_tsv;
+use gdelt_synth::{generate, paper_calibrated};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = Options::parse(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "convert" => cmd_convert(&opts),
+        "update" => cmd_update(&opts),
+        "query" => cmd_query(&opts),
+        "report" => cmd_report(&opts),
+        "synth-report" => cmd_synth_report(&opts),
+        "bench-scaling" => cmd_bench_scaling(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gdelt-cli — high performance mining on GDELT data
+
+USAGE:
+  gdelt-cli generate      --out DIR [--scale S] [--seed N]
+  gdelt-cli convert       --in DIR --out FILE.gdhpc
+  gdelt-cli update        --data FILE.gdhpc --in DIR    (append a batch)
+  gdelt-cli query         --data FILE.gdhpc [--top N] [--source DOMAIN]
+                          [--pair A,B] [--window 2016Q1:2016Q4]
+  gdelt-cli report        --data FILE.gdhpc [--threads N] [--scaling]
+  gdelt-cli synth-report  [--scale S] [--seed N] [--threads N] [--scaling]
+  gdelt-cli bench-scaling [--scale S] [--seed N]
+
+OPTIONS:
+  --scale S    synthetic corpus scale in (0, 1]; 1.0 = the paper's full
+               325M-event corpus (default 0.0001)
+  --seed N     generator seed (default 42)
+  --threads N  worker threads (default: all cores)
+  --scaling    include the Figure 12 thread sweep in the report
+";
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+#[derive(Debug, Default)]
+struct Options {
+    scale: Option<f64>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    scaling: bool,
+    input: Option<PathBuf>,
+    output: Option<PathBuf>,
+    data: Option<PathBuf>,
+    top: Option<usize>,
+    source: Option<String>,
+    pair: Option<String>,
+    window: Option<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut o = Options::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = || it.next().cloned().unwrap_or_default();
+            match a.as_str() {
+                "--scale" => o.scale = take().parse().ok(),
+                "--seed" => o.seed = take().parse().ok(),
+                "--threads" => o.threads = take().parse().ok(),
+                "--scaling" => o.scaling = true,
+                "--in" => o.input = Some(PathBuf::from(take())),
+                "--out" => o.output = Some(PathBuf::from(take())),
+                "--data" => o.data = Some(PathBuf::from(take())),
+                "--top" => o.top = take().parse().ok(),
+                "--source" => o.source = Some(take()),
+                "--pair" => o.pair = Some(take()),
+                "--window" => o.window = Some(take()),
+                other => eprintln!("warning: ignoring unknown argument {other:?}"),
+            }
+        }
+        o
+    }
+
+    fn ctx(&self) -> ExecContext {
+        match self.threads {
+            Some(n) => ExecContext::with_threads(n),
+            None => ExecContext::new(),
+        }
+    }
+
+    fn config(&self) -> gdelt_synth::SynthConfig {
+        paper_calibrated(self.scale.unwrap_or(1e-4), self.seed.unwrap_or(42))
+    }
+}
+
+fn cmd_generate(o: &Options) -> Result<(), String> {
+    let out = o.output.as_deref().ok_or("generate requires --out DIR")?;
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let cfg = o.config();
+    eprintln!(
+        "generating synthetic corpus: {} sources, {} events, seed {}",
+        cfg.n_sources, cfg.n_events, cfg.seed
+    );
+    let data = generate(&cfg);
+    let (events_tsv, mentions_tsv) = to_tsv(&data);
+    write(out.join("events.export.tsv"), &events_tsv)?;
+    write(out.join("mentions.tsv"), &mentions_tsv)?;
+    write(out.join("masterfilelist.txt"), &data.masterlist)?;
+    eprintln!(
+        "wrote {} events, {} mentions to {}",
+        data.events.len(),
+        data.mentions.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_convert(o: &Options) -> Result<(), String> {
+    let input = o.input.as_deref().ok_or("convert requires --in DIR")?;
+    let out = o.output.as_deref().ok_or("convert requires --out FILE")?;
+    let mut b = DatasetBuilder::new();
+    let read = |p: PathBuf| -> Result<String, String> {
+        std::fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))
+    };
+    b.ingest_masterlist(&read(input.join("masterfilelist.txt"))?);
+    b.ingest_events_text(&read(input.join("events.export.tsv"))?);
+    b.ingest_mentions_text(&read(input.join("mentions.tsv"))?);
+    eprintln!("staged {} events, {} mentions", b.staged_events(), b.staged_mentions());
+    let (dataset, report) = b.build();
+    println!("{}", gdelt_analysis::table2::render(&report));
+    binfmt::save(out, &dataset).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!("{}", gdelt_columnar::memsize::measure(&dataset).render());
+    eprintln!("wrote indexed binary dataset to {}", out.display());
+    Ok(())
+}
+
+fn cmd_update(o: &Options) -> Result<(), String> {
+    let data = o.data.as_deref().ok_or("update requires --data FILE")?;
+    let input = o.input.as_deref().ok_or("update requires --in DIR (a raw batch)")?;
+    let base = binfmt::load(data).map_err(|e| format!("loading {}: {e}", data.display()))?;
+    let read = |p: std::path::PathBuf| -> Result<String, String> {
+        std::fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))
+    };
+    let mut bad = 0u64;
+    let events =
+        gdelt_csv::events::parse_events(&read(input.join("events.export.tsv"))?, |_, _, _| bad += 1);
+    let mentions =
+        gdelt_csv::mentions::parse_mentions(&read(input.join("mentions.tsv"))?, |_, _, _| bad += 1);
+    let (updated, stats, _) =
+        gdelt_columnar::incremental::append_batch(&base, events, mentions);
+    eprintln!(
+        "applied batch: +{} events (+{} dup dropped), +{} mentions, +{} sources, {} rematched; {} bad lines",
+        stats.new_events,
+        stats.duplicate_events,
+        stats.new_mentions,
+        stats.new_sources,
+        stats.rematched_mentions,
+        bad
+    );
+    binfmt::save(data, &updated).map_err(|e| format!("writing {}: {e}", data.display()))?;
+    eprintln!(
+        "dataset now holds {} events / {} mentions",
+        updated.events.len(),
+        updated.mentions.len()
+    );
+    Ok(())
+}
+
+fn cmd_query(o: &Options) -> Result<(), String> {
+    use gdelt_engine::view::MentionView;
+    use gdelt_model::country::CountryRegistry;
+    use gdelt_model::time::Quarter;
+
+    let data = o.data.as_deref().ok_or("query requires --data FILE")?;
+    let dataset = binfmt::load(data).map_err(|e| format!("loading {}: {e}", data.display()))?;
+    let ctx = o.ctx();
+    let registry = CountryRegistry::new();
+
+    // Optional time window, e.g. `--window 2016Q1:2016Q4`.
+    let parse_quarter = |s: &str| -> Result<Quarter, String> {
+        let (y, q) = s.split_once('Q').ok_or_else(|| format!("bad quarter {s:?}"))?;
+        Ok(Quarter {
+            year: y.parse().map_err(|_| format!("bad year in {s:?}"))?,
+            q: q.parse().map_err(|_| format!("bad quarter in {s:?}"))?,
+        })
+    };
+    let view = match &o.window {
+        Some(w) => {
+            let (from, to) = w.split_once(':').ok_or("window must be FROM:TO")?;
+            let (from, to) = (parse_quarter(from)?, parse_quarter(to)?);
+            println!("window: {from} .. {to}");
+            MentionView::time_window(&ctx, &dataset, from, to)
+        }
+        None => MentionView::all(&ctx, &dataset),
+    };
+    println!("selected articles: {}", view.len());
+
+    if let Some(k) = o.top {
+        println!("top {k} publishers in window:");
+        for (s, n) in view.top_publishers(&ctx, k) {
+            println!("  {:<44} {:>12}", dataset.sources.name(s), n);
+        }
+    }
+
+    if let Some(name) = &o.source {
+        let Some(id) = dataset.sources.lookup(name) else {
+            return Err(format!("unknown source {name:?}"));
+        };
+        let stats = gdelt_engine::delay::per_source_delay_stats(&ctx, &dataset);
+        let s = stats[id.index()];
+        let group = gdelt_engine::delay::classify(&s);
+        println!(
+            "{name}: {} articles; delay min {} / median {} / mean {:.1} / max {} intervals ({group:?} group)",
+            s.count, s.min, s.median, s.mean, s.max
+        );
+    }
+
+    if let Some(pair) = &o.pair {
+        let (a, b) = pair.split_once(',').ok_or("pair must be A,B")?;
+        let (ca, cb) = (registry.by_name(a.trim()), registry.by_name(b.trim()));
+        if ca.is_unknown() || cb.is_unknown() {
+            return Err(format!("unknown country in pair {pair:?}"));
+        }
+        let cc = gdelt_engine::coreport::CountryCoReport::build(&ctx, &dataset, registry.len());
+        let cr = gdelt_engine::crossreport::CrossReport::build(&ctx, &dataset, registry.len());
+        println!(
+            "{a} vs {b}: co-reporting Jaccard {:.4}; articles {a}→about-{b}: {}, {b}→about-{a}: {}",
+            cc.jaccard(ca, cb),
+            cr.articles(cb, ca),
+            cr.articles(ca, cb),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_report(o: &Options) -> Result<(), String> {
+    let data = o.data.as_deref().ok_or("report requires --data FILE")?;
+    let dataset =
+        binfmt::load(data).map_err(|e| format!("loading {}: {e}", data.display()))?;
+    // The cleaning report lives with conversion; reports from binary
+    // files show zeros unless re-converted.
+    let clean = Default::default();
+    let report = run_full_report(
+        &o.ctx(),
+        &dataset,
+        &clean,
+        ReportOptions { scaling: o.scaling, clustering: true },
+    );
+    println!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_synth_report(o: &Options) -> Result<(), String> {
+    let cfg = o.config();
+    eprintln!(
+        "generating synthetic corpus: {} sources, {} events, seed {}",
+        cfg.n_sources, cfg.n_events, cfg.seed
+    );
+    let (dataset, clean) = gdelt_synth::generate_dataset(&cfg);
+    eprintln!("{}", gdelt_columnar::memsize::measure(&dataset).render());
+    let report = run_full_report(
+        &o.ctx(),
+        &dataset,
+        &clean,
+        ReportOptions { scaling: o.scaling, clustering: true },
+    );
+    println!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_bench_scaling(o: &Options) -> Result<(), String> {
+    let cfg = o.config();
+    eprintln!("generating corpus for the scaling sweep (seed {})", cfg.seed);
+    let (dataset, _) = gdelt_synth::generate_dataset(&cfg);
+    let threads = scaling_thread_counts();
+    let f12 = gdelt_analysis::fig12::compute(&dataset, &threads, 3);
+    println!("{}", gdelt_analysis::fig12::render(&f12));
+    Ok(())
+}
+
+fn write(path: PathBuf, content: &str) -> Result<(), String> {
+    std::fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))
+}

@@ -1,0 +1,204 @@
+//! The CAMEO event taxonomy subset used by the system.
+//!
+//! GDELT codes every event with a CAMEO (Conflict and Mediation Event
+//! Observations) code. The engine itself only needs the 20 root
+//! categories and the four-way *QuadClass* rollup that GDELT precomputes;
+//! full three/four-digit codes are carried through as-is.
+
+use crate::error::{ModelError, Result};
+
+/// GDELT's four-way rollup of the CAMEO taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum QuadClass {
+    /// Verbal cooperation (CAMEO roots 01–05).
+    VerbalCooperation = 1,
+    /// Material cooperation (roots 06–08).
+    MaterialCooperation = 2,
+    /// Verbal conflict (roots 09–13).
+    VerbalConflict = 3,
+    /// Material conflict (roots 14–20).
+    MaterialConflict = 4,
+}
+
+impl QuadClass {
+    /// Parse the 1–4 integer GDELT stores.
+    pub fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            1 => Ok(QuadClass::VerbalCooperation),
+            2 => Ok(QuadClass::MaterialCooperation),
+            3 => Ok(QuadClass::VerbalConflict),
+            4 => Ok(QuadClass::MaterialConflict),
+            _ => Err(ModelError::OutOfRange { field: "QuadClass", value: v.to_string() }),
+        }
+    }
+
+    /// The stored integer form.
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Derive the quad class from a CAMEO root code (01–20).
+    pub fn from_root(root: CameoRoot) -> Self {
+        match root.0 {
+            1..=5 => QuadClass::VerbalCooperation,
+            6..=8 => QuadClass::MaterialCooperation,
+            9..=13 => QuadClass::VerbalConflict,
+            _ => QuadClass::MaterialConflict,
+        }
+    }
+
+    /// All four classes, for iteration in reports.
+    pub const ALL: [QuadClass; 4] = [
+        QuadClass::VerbalCooperation,
+        QuadClass::MaterialCooperation,
+        QuadClass::VerbalConflict,
+        QuadClass::MaterialConflict,
+    ];
+}
+
+/// A CAMEO root category (two leading digits of the event code, 01–20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CameoRoot(pub u8);
+
+/// Human-readable names of the 20 CAMEO root categories, indexed by
+/// `root - 1`.
+pub const CAMEO_ROOT_NAMES: [&str; 20] = [
+    "Make public statement",
+    "Appeal",
+    "Express intent to cooperate",
+    "Consult",
+    "Engage in diplomatic cooperation",
+    "Engage in material cooperation",
+    "Provide aid",
+    "Yield",
+    "Investigate",
+    "Demand",
+    "Disapprove",
+    "Reject",
+    "Threaten",
+    "Protest",
+    "Exhibit force posture",
+    "Reduce relations",
+    "Coerce",
+    "Assault",
+    "Fight",
+    "Use unconventional mass violence",
+];
+
+impl CameoRoot {
+    /// Construct a validated root code (1..=20).
+    pub fn new(root: u8) -> Result<Self> {
+        if (1..=20).contains(&root) {
+            Ok(CameoRoot(root))
+        } else {
+            Err(ModelError::OutOfRange { field: "EventRootCode", value: root.to_string() })
+        }
+    }
+
+    /// Extract the root from a full CAMEO event-code string such as
+    /// `"0231"` or `"190"`. GDELT stores these zero-padded with 2–4
+    /// digits; a few records carry non-numeric codes which we reject.
+    pub fn from_event_code(code: &str) -> Result<Self> {
+        let b = code.as_bytes();
+        if b.len() < 2 || !b[..2].iter().all(u8::is_ascii_digit) {
+            return Err(ModelError::OutOfRange {
+                field: "EventCode",
+                value: code.chars().take(8).collect(),
+            });
+        }
+        let root = (b[0] - b'0') * 10 + (b[1] - b'0');
+        Self::new(root)
+    }
+
+    /// Display name of the category.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        CAMEO_ROOT_NAMES[usize::from(self.0) - 1]
+    }
+
+    /// The four-way rollup.
+    #[inline]
+    pub fn quad_class(self) -> QuadClass {
+        QuadClass::from_root(self)
+    }
+}
+
+/// Goldstein scale value (−10.0 … +10.0), a theoretical measure of an
+/// event's potential impact carried on every GDELT event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Goldstein(pub f32);
+
+impl Goldstein {
+    /// Validate the documented range.
+    pub fn new(v: f32) -> Result<Self> {
+        if (-10.0..=10.0).contains(&v) {
+            Ok(Goldstein(v))
+        } else {
+            Err(ModelError::OutOfRange { field: "GoldsteinScale", value: v.to_string() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_class_round_trips() {
+        for q in QuadClass::ALL {
+            assert_eq!(QuadClass::from_u8(q.as_u8()).unwrap(), q);
+        }
+        assert!(QuadClass::from_u8(0).is_err());
+        assert!(QuadClass::from_u8(5).is_err());
+    }
+
+    #[test]
+    fn root_to_quad_class_mapping() {
+        assert_eq!(CameoRoot(1).quad_class(), QuadClass::VerbalCooperation);
+        assert_eq!(CameoRoot(5).quad_class(), QuadClass::VerbalCooperation);
+        assert_eq!(CameoRoot(6).quad_class(), QuadClass::MaterialCooperation);
+        assert_eq!(CameoRoot(8).quad_class(), QuadClass::MaterialCooperation);
+        assert_eq!(CameoRoot(9).quad_class(), QuadClass::VerbalConflict);
+        assert_eq!(CameoRoot(13).quad_class(), QuadClass::VerbalConflict);
+        assert_eq!(CameoRoot(14).quad_class(), QuadClass::MaterialConflict);
+        assert_eq!(CameoRoot(20).quad_class(), QuadClass::MaterialConflict);
+    }
+
+    #[test]
+    fn root_bounds() {
+        assert!(CameoRoot::new(0).is_err());
+        assert!(CameoRoot::new(21).is_err());
+        assert!(CameoRoot::new(1).is_ok());
+        assert!(CameoRoot::new(20).is_ok());
+    }
+
+    #[test]
+    fn root_from_event_code() {
+        assert_eq!(CameoRoot::from_event_code("0231").unwrap(), CameoRoot(2));
+        assert_eq!(CameoRoot::from_event_code("190").unwrap(), CameoRoot(19));
+        assert_eq!(CameoRoot::from_event_code("20").unwrap(), CameoRoot(20));
+        assert!(CameoRoot::from_event_code("X1").is_err());
+        assert!(CameoRoot::from_event_code("9").is_err());
+        assert!(CameoRoot::from_event_code("00").is_err());
+        assert!(CameoRoot::from_event_code("99").is_err());
+    }
+
+    #[test]
+    fn root_names_cover_all() {
+        for r in 1..=20u8 {
+            assert!(!CameoRoot(r).name().is_empty());
+        }
+        assert_eq!(CameoRoot(19).name(), "Fight");
+    }
+
+    #[test]
+    fn goldstein_bounds() {
+        assert!(Goldstein::new(-10.0).is_ok());
+        assert!(Goldstein::new(10.0).is_ok());
+        assert!(Goldstein::new(10.1).is_err());
+        assert!(Goldstein::new(-10.5).is_err());
+        assert!(Goldstein::new(f32::NAN).is_err());
+    }
+}

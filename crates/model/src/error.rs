@@ -1,0 +1,89 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience result alias for model-level operations.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Errors produced while constructing or validating model values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A date/time literal could not be parsed (`YYYYMMDD` or
+    /// `YYYYMMDDHHMMSS` forms used by GDELT).
+    InvalidDateTime {
+        /// The offending literal, truncated to a reasonable length.
+        literal: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A timestamp predates the GDELT 2.0 epoch (2015-02-18) and therefore
+    /// has no capture-interval representation.
+    BeforeEpoch {
+        /// The out-of-range timestamp rendered as `YYYYMMDDHHMMSS`.
+        literal: String,
+    },
+    /// A numeric field was out of its documented range.
+    OutOfRange {
+        /// Field name as it appears in the GDELT codebook.
+        field: &'static str,
+        /// The offending value rendered as text.
+        value: String,
+    },
+    /// An identifier overflowed its compact representation.
+    IdOverflow {
+        /// Which id space overflowed.
+        kind: &'static str,
+        /// The value that did not fit.
+        value: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidDateTime { literal, reason } => {
+                write!(f, "invalid date/time literal {literal:?}: {reason}")
+            }
+            ModelError::BeforeEpoch { literal } => {
+                write!(f, "timestamp {literal} predates the GDELT 2.0 epoch (2015-02-18)")
+            }
+            ModelError::OutOfRange { field, value } => {
+                write!(f, "field {field} out of range: {value}")
+            }
+            ModelError::IdOverflow { kind, value } => {
+                write!(f, "{kind} id overflow: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidDateTime { literal: "20aa0101".into(), reason: "non-digit" };
+        let s = e.to_string();
+        assert!(s.contains("20aa0101"));
+        assert!(s.contains("non-digit"));
+
+        let e = ModelError::BeforeEpoch { literal: "20140101000000".into() };
+        assert!(e.to_string().contains("2015-02-18"));
+
+        let e = ModelError::OutOfRange { field: "QuadClass", value: "9".into() };
+        assert!(e.to_string().contains("QuadClass"));
+
+        let e = ModelError::IdOverflow { kind: "source", value: u64::MAX };
+        assert!(e.to_string().contains("source"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = ModelError::BeforeEpoch { literal: "x".into() };
+        let b = ModelError::BeforeEpoch { literal: "x".into() };
+        assert_eq!(a, b);
+    }
+}

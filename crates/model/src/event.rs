@@ -1,0 +1,186 @@
+//! The GDELT 2.0 *Events* table record.
+//!
+//! The raw export carries 61 tab-separated columns per event; the system
+//! retains the subset the paper's analyses touch (identity, timing,
+//! taxonomy, geography, precomputed mention counts, source URL) and
+//! validates it. The full 61-column layout is handled by `gdelt-csv`,
+//! which projects into this struct.
+
+use crate::cameo::{CameoRoot, Goldstein, QuadClass};
+use crate::error::Result;
+use crate::ids::EventId;
+use crate::time::{CaptureInterval, Date, DateTime};
+
+/// Geographic resolution of an `ActionGeo` match, per the GDELT codebook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum GeoType {
+    /// No geographic information extracted (common for local news, see
+    /// paper §VI-D: local events are often untagged).
+    #[default]
+    None = 0,
+    /// Country-level match.
+    Country = 1,
+    /// US state.
+    UsState = 2,
+    /// US city / landmark.
+    UsCity = 3,
+    /// World city.
+    WorldCity = 4,
+    /// World state / province.
+    WorldState = 5,
+}
+
+impl GeoType {
+    /// Parse the 0–5 integer form.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(GeoType::None),
+            1 => Some(GeoType::Country),
+            2 => Some(GeoType::UsState),
+            3 => Some(GeoType::UsCity),
+            4 => Some(GeoType::WorldCity),
+            5 => Some(GeoType::WorldState),
+            _ => None,
+        }
+    }
+}
+
+/// Geographic placement of the event action.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActionGeo {
+    /// Match resolution.
+    pub geo_type: GeoType,
+    /// FIPS 10-4 country code, empty if untagged.
+    pub country_fips: String,
+    /// Latitude in degrees, if resolved.
+    pub lat: Option<f32>,
+    /// Longitude in degrees, if resolved.
+    pub lon: Option<f32>,
+}
+
+impl ActionGeo {
+    /// True if the event has any geographic tag.
+    #[inline]
+    pub fn is_tagged(&self) -> bool {
+        self.geo_type != GeoType::None && !self.country_fips.is_empty()
+    }
+}
+
+/// A cleaned GDELT 2.0 event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// GDELT `GlobalEventID`.
+    pub id: EventId,
+    /// The (possibly estimated) date the event occurred, `SQLDATE`.
+    pub day: Date,
+    /// CAMEO root category parsed from `EventRootCode`.
+    pub root: CameoRoot,
+    /// Full CAMEO event code string (`EventCode`), e.g. `"0231"`.
+    pub event_code: String,
+    /// `Actor1CountryCode` (ISO-3166 alpha-3, empty when unresolved).
+    pub actor1_country: String,
+    /// `Actor2CountryCode` (ISO-3166 alpha-3, empty when unresolved —
+    /// many events are one-actor).
+    pub actor2_country: String,
+    /// GDELT's four-way rollup.
+    pub quad_class: QuadClass,
+    /// Goldstein impact score.
+    pub goldstein: Goldstein,
+    /// `NumMentions` as precomputed by GDELT at first capture.
+    pub num_mentions: u32,
+    /// `NumSources` as precomputed by GDELT.
+    pub num_sources: u32,
+    /// `NumArticles` as precomputed by GDELT.
+    pub num_articles: u32,
+    /// Average document tone across first-capture mentions.
+    pub avg_tone: f32,
+    /// Action geography.
+    pub geo: ActionGeo,
+    /// Timestamp the event entered the database (`DATEADDED`,
+    /// 15-minute-aligned in GDELT 2.0).
+    pub date_added: DateTime,
+    /// Representative article URL (`SOURCEURL`). May be empty — one of
+    /// the Table II data problems.
+    pub source_url: String,
+}
+
+impl EventRecord {
+    /// The capture interval the event entered the database in. All delay
+    /// measurements in the paper are relative to this value.
+    #[inline]
+    pub fn capture_interval(&self) -> Result<CaptureInterval> {
+        CaptureInterval::from_datetime(self.date_added)
+    }
+
+    /// Whether the recorded event day lies *after* the day it was added
+    /// to the database — a data problem the paper reports four instances
+    /// of (Table II).
+    #[inline]
+    pub fn day_in_future(&self) -> bool {
+        self.day.to_days() > self.date_added.date.to_days()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::GDELT_EPOCH;
+
+    fn sample() -> EventRecord {
+        EventRecord {
+            id: EventId(410_000_001),
+            day: GDELT_EPOCH,
+            root: CameoRoot::new(19).unwrap(),
+            event_code: "190".into(),
+            actor1_country: String::new(),
+            actor2_country: String::new(),
+            quad_class: QuadClass::MaterialConflict,
+            goldstein: Goldstein::new(-10.0).unwrap(),
+            num_mentions: 12,
+            num_sources: 4,
+            num_articles: 10,
+            avg_tone: -4.2,
+            geo: ActionGeo {
+                geo_type: GeoType::Country,
+                country_fips: "US".into(),
+                lat: Some(28.54),
+                lon: Some(-81.38),
+            },
+            date_added: DateTime::new(GDELT_EPOCH, 6, 30, 0).unwrap(),
+            source_url: "https://example.com/a".into(),
+        }
+    }
+
+    #[test]
+    fn capture_interval_of_date_added() {
+        let e = sample();
+        // 06:30 = 26 intervals after midnight of epoch day.
+        assert_eq!(e.capture_interval().unwrap().0, 26);
+    }
+
+    #[test]
+    fn future_day_detection() {
+        let mut e = sample();
+        assert!(!e.day_in_future());
+        e.day = GDELT_EPOCH.add_days(3);
+        assert!(e.day_in_future());
+    }
+
+    #[test]
+    fn geo_tagging() {
+        let mut e = sample();
+        assert!(e.geo.is_tagged());
+        e.geo.geo_type = GeoType::None;
+        assert!(!e.geo.is_tagged());
+        e.geo = ActionGeo { geo_type: GeoType::Country, country_fips: String::new(), lat: None, lon: None };
+        assert!(!e.geo.is_tagged());
+    }
+
+    #[test]
+    fn geo_type_parse() {
+        assert_eq!(GeoType::from_u8(0), Some(GeoType::None));
+        assert_eq!(GeoType::from_u8(4), Some(GeoType::WorldCity));
+        assert_eq!(GeoType::from_u8(6), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! # gdelt-model
+//!
+//! Core data model shared by every crate in the `gdelt-hpc` workspace.
+//!
+//! This crate is dependency-free and defines:
+//!
+//! * strongly-typed identifiers ([`ids`]): event ids, dictionary-encoded
+//!   source ids, country ids;
+//! * a self-contained proleptic-Gregorian calendar and the 15-minute
+//!   *capture interval* arithmetic GDELT 2.0 is organized around ([`time`]);
+//! * the GDELT 2.0 *Events* and *Mentions* record schemas ([`event`],
+//!   [`mention`]) with the CAMEO taxonomy subset the system needs
+//!   ([`cameo`]);
+//! * the country registry used to map news sources to countries via their
+//!   top-level domain, and events to countries via the `ActionGeo` FIPS
+//!   code ([`country`]);
+//! * shared error types ([`error`]).
+//!
+//! The paper's system ("A System for High Performance Mining on GDELT
+//! Data", IPDPS-W 2020) converts raw GDELT CSV dumps into an indexed binary
+//! format and then answers aggregate media-landscape queries from memory.
+//! Everything downstream — the CSV parsers, the columnar store, the query
+//! engine — speaks the types defined here.
+
+#![warn(missing_docs)]
+
+pub mod cameo;
+pub mod country;
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod mention;
+pub mod time;
+
+pub use country::{Country, CountryRegistry};
+pub use error::{ModelError, Result};
+pub use event::EventRecord;
+pub use ids::{CountryId, EventId, MentionId, SourceId};
+pub use mention::MentionRecord;
+pub use time::{CaptureInterval, Date, DateTime, Quarter, GDELT_EPOCH};

@@ -1,0 +1,156 @@
+//! The GDELT 2.0 *Mentions* table record.
+//!
+//! Each row ties one article (URL) to the event it reports on, stamped
+//! with the 15-minute interval in which GDELT scraped it. This table is
+//! the system's volume driver: the paper's corpus holds 1.09 billion rows
+//! against 325 million events.
+
+use crate::error::Result;
+use crate::ids::EventId;
+use crate::time::{CaptureInterval, DateTime};
+
+/// The kind of document a mention was found in (`MentionType`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum MentionType {
+    /// Ordinary web news article — the only kind the paper analyzes.
+    #[default]
+    Web = 1,
+    /// Citation-only record.
+    Citation = 2,
+    /// Core document collection.
+    Core = 3,
+    /// DTIC document.
+    Dtic = 4,
+    /// JSTOR article.
+    Jstor = 5,
+    /// Non-textual source.
+    NonText = 6,
+}
+
+impl MentionType {
+    /// Parse the 1–6 integer form.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(MentionType::Web),
+            2 => Some(MentionType::Citation),
+            3 => Some(MentionType::Core),
+            4 => Some(MentionType::Dtic),
+            5 => Some(MentionType::Jstor),
+            6 => Some(MentionType::NonText),
+            _ => None,
+        }
+    }
+}
+
+/// A cleaned GDELT 2.0 mention (one article reporting on one event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MentionRecord {
+    /// The event this article reports on.
+    pub event_id: EventId,
+    /// The 15-minute block the *event* entered the database
+    /// (`EventTimeDate`). Identical across all mentions of an event.
+    pub event_time: DateTime,
+    /// The 15-minute block this *mention* was scraped (`MentionTimeDate`).
+    /// The paper uses this as the best available proxy for publication
+    /// time (§VI-E).
+    pub mention_time: DateTime,
+    /// Document kind.
+    pub mention_type: MentionType,
+    /// Publisher domain (`MentionSourceName`), e.g. `"bbc.co.uk"`.
+    pub source_name: String,
+    /// Article URL (`MentionIdentifier`).
+    pub url: String,
+    /// GDELT's 0–100 confidence that the article really reports the event.
+    pub confidence: u8,
+    /// Document tone of the mentioning article.
+    pub doc_tone: f32,
+}
+
+impl MentionRecord {
+    /// Capture interval the mention was scraped in.
+    #[inline]
+    pub fn capture_interval(&self) -> Result<CaptureInterval> {
+        CaptureInterval::from_datetime(self.mention_time)
+    }
+
+    /// Capture interval the event entered the database in.
+    #[inline]
+    pub fn event_interval(&self) -> Result<CaptureInterval> {
+        CaptureInterval::from_datetime(self.event_time)
+    }
+
+    /// Publishing delay in 15-minute intervals (paper §VI-E): how long
+    /// after the event's first capture this article was scraped.
+    /// Saturates at zero for the (rare, Table II) records whose mention
+    /// time precedes the event time.
+    pub fn publishing_delay(&self) -> Result<u32> {
+        let m = self.capture_interval()?;
+        let e = self.event_interval()?;
+        Ok(m.delay_since(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Date, GDELT_EPOCH};
+
+    fn mention(event_hhmm: (u8, u8), mention_day_off: i64, mention_hhmm: (u8, u8)) -> MentionRecord {
+        MentionRecord {
+            event_id: EventId(1),
+            event_time: DateTime::new(GDELT_EPOCH, event_hhmm.0, event_hhmm.1, 0).unwrap(),
+            mention_time: DateTime::new(
+                GDELT_EPOCH.add_days(mention_day_off),
+                mention_hhmm.0,
+                mention_hhmm.1,
+                0,
+            )
+            .unwrap(),
+            mention_type: MentionType::Web,
+            source_name: "example.co.uk".into(),
+            url: "https://example.co.uk/x".into(),
+            confidence: 80,
+            doc_tone: -1.0,
+        }
+    }
+
+    #[test]
+    fn delay_same_interval_is_zero() {
+        let m = mention((6, 0), 0, (6, 10));
+        assert_eq!(m.publishing_delay().unwrap(), 0);
+    }
+
+    #[test]
+    fn delay_one_day_is_96() {
+        let m = mention((6, 0), 1, (6, 0));
+        assert_eq!(m.publishing_delay().unwrap(), 96);
+    }
+
+    #[test]
+    fn delay_saturates_for_pre_event_mentions() {
+        let m = MentionRecord {
+            event_time: DateTime::new(GDELT_EPOCH, 12, 0, 0).unwrap(),
+            mention_time: DateTime::new(GDELT_EPOCH, 6, 0, 0).unwrap(),
+            ..mention((0, 0), 0, (0, 0))
+        };
+        assert_eq!(m.publishing_delay().unwrap(), 0);
+    }
+
+    #[test]
+    fn delay_fails_before_epoch() {
+        let m = MentionRecord {
+            event_time: DateTime::midnight(Date { year: 2014, month: 1, day: 1 }),
+            ..mention((0, 0), 0, (0, 0))
+        };
+        assert!(m.publishing_delay().is_err());
+    }
+
+    #[test]
+    fn mention_type_parse() {
+        assert_eq!(MentionType::from_u8(1), Some(MentionType::Web));
+        assert_eq!(MentionType::from_u8(6), Some(MentionType::NonText));
+        assert_eq!(MentionType::from_u8(0), None);
+        assert_eq!(MentionType::from_u8(7), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the calendar and capture-interval arithmetic —
+//! the invariants every delay measurement in the system rests on.
+
+use gdelt_model::time::{
+    CaptureInterval, Date, DateTime, Quarter, GDELT_EPOCH, INTERVALS_PER_DAY,
+};
+use proptest::prelude::*;
+
+/// Any day in a generous window around the GDELT era.
+fn arb_days() -> impl Strategy<Value = i64> {
+    // 1900-01-01 … 2100-01-01 roughly.
+    -25_567i64..47_482
+}
+
+/// Any date within the GDELT collection window.
+fn arb_gdelt_date() -> impl Strategy<Value = Date> {
+    (0i64..1_778).prop_map(|off| GDELT_EPOCH.add_days(off))
+}
+
+fn arb_time() -> impl Strategy<Value = (u8, u8, u8)> {
+    (0u8..24, 0u8..60, 0u8..60)
+}
+
+proptest! {
+    #[test]
+    fn days_civil_round_trip(days in arb_days()) {
+        let d = Date::from_days(days);
+        prop_assert_eq!(d.to_days(), days);
+        // And the produced date is structurally valid.
+        prop_assert!(Date::new(d.year, d.month, d.day).is_ok());
+    }
+
+    #[test]
+    fn to_days_is_strictly_monotone(days in arb_days()) {
+        let d0 = Date::from_days(days);
+        let d1 = Date::from_days(days + 1);
+        prop_assert!(d1 > d0, "calendar order must match day order");
+        prop_assert_eq!(d0.add_days(1), d1);
+    }
+
+    #[test]
+    fn packed_yyyymmdd_round_trip(days in arb_days()) {
+        let d = Date::from_days(days);
+        prop_assert_eq!(Date::from_yyyymmdd(d.to_yyyymmdd()).unwrap(), d);
+        // Text form round-trips too.
+        let s = format!("{:04}{:02}{:02}", d.year, d.month, d.day);
+        prop_assert_eq!(Date::parse_yyyymmdd(&s).unwrap(), d);
+    }
+
+    #[test]
+    fn datetime_unix_round_trip(date in arb_gdelt_date(), (h, m, s) in arb_time()) {
+        let dt = DateTime::new(date, h, m, s).unwrap();
+        prop_assert_eq!(DateTime::from_unix_seconds(dt.to_unix_seconds()), dt);
+        prop_assert_eq!(
+            DateTime::from_yyyymmddhhmmss(dt.to_yyyymmddhhmmss()).unwrap(),
+            dt
+        );
+    }
+
+    #[test]
+    fn interval_floor_within_slot(date in arb_gdelt_date(), (h, m, s) in arb_time()) {
+        let dt = DateTime::new(date, h, m, s).unwrap();
+        let iv = CaptureInterval::from_datetime(dt).unwrap();
+        let start = iv.start();
+        // The interval start is at or before the timestamp, within 15 min.
+        let delta = dt.to_unix_seconds() - start.to_unix_seconds();
+        prop_assert!((0..900).contains(&delta), "delta {delta}");
+        // The interval's date matches the timestamp's date.
+        prop_assert_eq!(iv.date(), date);
+    }
+
+    #[test]
+    fn interval_index_is_day_linear(off in 0i64..1_778, slot in 0u32..INTERVALS_PER_DAY) {
+        let date = GDELT_EPOCH.add_days(off);
+        let minutes = slot * 15;
+        let dt = DateTime::new(date, (minutes / 60) as u8, (minutes % 60) as u8, 0).unwrap();
+        let iv = CaptureInterval::from_datetime(dt).unwrap();
+        prop_assert_eq!(iv.0, off as u32 * INTERVALS_PER_DAY + slot);
+    }
+
+    #[test]
+    fn delay_is_order_consistent(a in 0u32..200_000, b in 0u32..200_000) {
+        let (early, late) = (CaptureInterval(a.min(b)), CaptureInterval(a.max(b)));
+        prop_assert_eq!(late.delay_since(early), a.abs_diff(b));
+        prop_assert_eq!(early.delay_since(late), 0, "delay saturates at zero");
+    }
+
+    #[test]
+    fn quarter_linear_round_trip(y in 1990i16..2100, q in 1u8..=4) {
+        let quarter = Quarter { year: y, q };
+        prop_assert_eq!(Quarter::from_linear(quarter.linear()), quarter);
+        // Dates map into their own quarter.
+        let d = quarter.first_date();
+        prop_assert_eq!(d.quarter(), quarter);
+    }
+
+    #[test]
+    fn quarter_of_every_date_contains_it(days in arb_days()) {
+        let d = Date::from_days(days);
+        let q = d.quarter();
+        let start = q.first_date();
+        let end = q.next().first_date();
+        prop_assert!(start <= d && d < end, "{d} outside {q}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Generator configuration.
+//!
+//! Every statistical shape the paper's experiments rest on is a field
+//! here; `scenario::paper_calibrated` fills them with values matched to
+//! the paper's published statistics, scaled down to a requested corpus
+//! size.
+
+use gdelt_model::time::Date;
+
+/// Fault-injection counts reproducing the Table II problem classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Malformed master-file-list entries to emit (paper: 53).
+    pub malformed_masterlist: u32,
+    /// Archives to drop from the master list (paper: 8).
+    pub missing_archives: u32,
+    /// Events whose `SOURCEURL` is blanked (paper: 1).
+    pub missing_event_url: u32,
+    /// Events whose day is pushed past their capture date (paper: 4).
+    pub future_event_date: u32,
+}
+
+impl FaultConfig {
+    /// The exact counts of Table II.
+    pub fn paper() -> Self {
+        FaultConfig {
+            malformed_masterlist: 53,
+            missing_archives: 8,
+            missing_event_url: 1,
+            future_event_date: 4,
+        }
+    }
+}
+
+/// A named high-coverage event (Table III row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineEvent {
+    /// Human-readable description used as the source-URL slug, so the
+    /// Table III reproduction can print it.
+    pub name: String,
+    /// The day it happened.
+    pub day: Date,
+    /// Country name (registry display name) where it happened.
+    pub country: String,
+    /// Fraction of then-active sources that reported on it (the paper's
+    /// Orlando row is ≈85 %).
+    pub coverage: f64,
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Master seed; identical configs produce identical corpora.
+    pub seed: u64,
+    /// Number of news sources (paper: 20 996).
+    pub n_sources: usize,
+    /// Number of ordinary events to generate (paper: 324.6 M).
+    pub n_events: usize,
+    /// Number of calendar quarters starting 2015Q1 (paper: 20; the first
+    /// starts at the 2015-02-18 epoch and is partial).
+    pub n_quarters: usize,
+    /// Power-law exponent for articles-per-event (Fig 2 shape).
+    pub popularity_alpha: f64,
+    /// Cap on articles per ordinary event (paper max: 5234, reached by
+    /// the headline events below).
+    pub popularity_max: usize,
+    /// Zipf exponent of the source-productivity ladder.
+    pub productivity_alpha: f64,
+    /// Size of the dominant co-owned regional media group (the paper
+    /// finds 8 of the Top 10 publishers in one UK group).
+    pub media_group_size: usize,
+    /// Additional smaller media groups.
+    pub extra_groups: usize,
+    /// Size of each extra group.
+    pub extra_group_size: usize,
+    /// Probability that selecting one group member pulls in another
+    /// member of the same group for the same event (drives the Table IV
+    /// / Fig 7 co-reporting block).
+    pub cluster_pull: f64,
+    /// Selection boost for sources whose country matches the event's.
+    pub home_boost: f64,
+    /// Countries whose press has a "global outlook" — their sources
+    /// cover foreign and untagged events at full weight. Everyone else
+    /// covers foreign news at [`SynthConfig::periphery_foreign_weight`].
+    /// This is what separates the paper's UK–USA–Australia co-reporting
+    /// cluster (Table V) from the weakly-connected periphery.
+    pub global_outlook_countries: Vec<String>,
+    /// Relative weight at which non-outlook sources pick up foreign or
+    /// untagged events (≤ 1).
+    pub periphery_foreign_weight: f64,
+    /// Fraction of events with no usable geotag (paper §VI-D notes local
+    /// news is often untagged).
+    pub untagged_geo_frac: f64,
+    /// Probability a covering source publishes a follow-up article on
+    /// the same event (Table IV diagonal).
+    pub repeat_prob: f64,
+    /// Per-article probability of a one-week echo (Fig 9 max-delay
+    /// groups).
+    pub echo_week: f64,
+    /// Per-article probability of a one-month echo.
+    pub echo_month: f64,
+    /// Per-article probability of a one-year echo.
+    pub echo_year: f64,
+    /// Multiplicative per-quarter decay of long-delay probability,
+    /// producing the declining >24 h article count of Fig 11 and the
+    /// falling average delay of Fig 10a.
+    pub late_decline: f64,
+    /// Relative weight of each quarter's event volume (padded/truncated
+    /// to `n_quarters`; paper shows mild decline in 2018–19, Figs 4–5).
+    pub quarter_weights: Vec<f64>,
+    /// Event-location mix as (registry country name, weight); the
+    /// remainder after `untagged_geo_frac` is split by these weights
+    /// (Table VI: US dominates).
+    pub event_country_weights: Vec<(String, f64)>,
+    /// Source-country mix as (registry country name, weight) —
+    /// UK/USA/Australia-heavy per Tables V–VII.
+    pub source_country_weights: Vec<(String, f64)>,
+    /// Fractions of fast / slow sources (the rest are average;
+    /// §VI-E's three speed groups).
+    pub fast_frac: f64,
+    /// See [`SynthConfig::fast_frac`].
+    pub slow_frac: f64,
+    /// Named headline events (Table III).
+    pub headline_events: Vec<HeadlineEvent>,
+    /// Table II fault injection.
+    pub faults: FaultConfig,
+}
+
+impl SynthConfig {
+    /// Sanity-check parameter ranges; called by the generator.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_sources == 0 {
+            return Err("n_sources must be positive".into());
+        }
+        if self.n_quarters == 0 || self.n_quarters > 400 {
+            return Err("n_quarters must be in 1..=400".into());
+        }
+        if !(1.0..=5.0).contains(&self.popularity_alpha) {
+            return Err("popularity_alpha must be in [1, 5]".into());
+        }
+        if self.popularity_max == 0 {
+            return Err("popularity_max must be positive".into());
+        }
+        for (name, p) in [
+            ("cluster_pull", self.cluster_pull),
+            ("untagged_geo_frac", self.untagged_geo_frac),
+            ("repeat_prob", self.repeat_prob),
+            ("echo_week", self.echo_week),
+            ("echo_month", self.echo_month),
+            ("echo_year", self.echo_year),
+            ("fast_frac", self.fast_frac),
+            ("slow_frac", self.slow_frac),
+            ("periphery_foreign_weight", self.periphery_foreign_weight),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
+        }
+        if self.fast_frac + self.slow_frac > 1.0 {
+            return Err("fast_frac + slow_frac must not exceed 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.late_decline) {
+            return Err("late_decline must be in [0, 1]".into());
+        }
+        if self.home_boost < 1.0 {
+            return Err("home_boost must be >= 1".into());
+        }
+        if self.event_country_weights.is_empty() || self.source_country_weights.is_empty() {
+            return Err("country weight tables must be non-empty".into());
+        }
+        for h in &self.headline_events {
+            if !(0.0..=1.0).contains(&h.coverage) {
+                return Err(format!("headline coverage out of range for {}", h.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of media groups in total (the dominant one plus extras),
+    /// or zero when the dominant group is empty.
+    pub fn n_groups(&self) -> usize {
+        usize::from(self.media_group_size > 0) + self.extra_groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tiny;
+
+    #[test]
+    fn tiny_scenario_validates() {
+        assert_eq!(tiny(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_probability() {
+        let mut c = tiny(1);
+        c.repeat_prob = 1.5;
+        assert!(c.validate().is_err());
+        c.repeat_prob = 0.1;
+        c.fast_frac = 0.7;
+        c.slow_frac = 0.7;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_sources() {
+        let mut c = tiny(1);
+        c.n_sources = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_low_home_boost() {
+        let mut c = tiny(1);
+        c.home_boost = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_faults_match_table_ii() {
+        let f = FaultConfig::paper();
+        assert_eq!(
+            (f.malformed_masterlist, f.missing_archives, f.missing_event_url, f.future_event_date),
+            (53, 8, 1, 4)
+        );
+    }
+
+    #[test]
+    fn group_count() {
+        let mut c = tiny(1);
+        c.media_group_size = 8;
+        c.extra_groups = 3;
+        assert_eq!(c.n_groups(), 4);
+        c.media_group_size = 0;
+        assert_eq!(c.n_groups(), 3);
+    }
+}

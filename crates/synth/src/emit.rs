@@ -1,0 +1,375 @@
+//! Generator orchestration and raw-format emission.
+//!
+//! [`generate`] produces parsed records plus a synthetic master file
+//! list; [`generate_dataset`] runs the full preprocessing pipeline on
+//! them (exactly what a user would do with real GDELT archives) and
+//! returns the queryable [`Dataset`] with its cleaning report.
+
+use crate::config::SynthConfig;
+use crate::events::{headline_sketch, EventSampler, EventSketch, quarter_interval_range, sample_tone};
+use crate::mentions::{choose_reporters_with_active, Article};
+use crate::powerlaw::BoundedZipf;
+use crate::sources::SourcePopulation;
+use gdelt_csv::clean::CleanReport;
+use gdelt_columnar::{Dataset, DatasetBuilder};
+use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+use gdelt_model::country::CountryRegistry;
+use gdelt_model::event::{ActionGeo, EventRecord, GeoType};
+use gdelt_model::ids::EventId;
+use gdelt_model::mention::{MentionRecord, MentionType};
+use gdelt_model::time::CaptureInterval;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Everything the generator produces.
+#[derive(Debug)]
+pub struct GeneratedData {
+    /// The publisher population the corpus was built from.
+    pub population: SourcePopulation,
+    /// Parsed event records, id-ascending.
+    pub events: Vec<EventRecord>,
+    /// Parsed mention records (unordered; the builder sorts).
+    pub mentions: Vec<MentionRecord>,
+    /// Synthetic master file list text, faults included.
+    pub masterlist: String,
+}
+
+/// Generate a corpus from a validated config.
+///
+/// # Panics
+/// On an invalid config — call [`SynthConfig::validate`] first when the
+/// config is user-supplied.
+pub fn generate(cfg: &SynthConfig) -> GeneratedData {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid synth config: {e}");
+    }
+    let registry = CountryRegistry::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let population = SourcePopulation::generate(cfg, &mut rng);
+    let sampler = EventSampler::new(cfg);
+    let popularity = BoundedZipf::new(cfg.popularity_max, cfg.popularity_alpha);
+
+    // Active-source cache, one list per quarter.
+    let active: Vec<Vec<u32>> = (0..cfg.n_quarters).map(|q| population.active_in(q)).collect();
+    // Collection cutoff: GDELT only contains articles scraped inside the
+    // archive window, so echo articles that would land past the end are
+    // never observed (exactly like the real 2019-12-31 cutoff).
+    let (_, collection_end) = quarter_interval_range(cfg.n_quarters - 1);
+
+    // --- Sketch phase. ---
+    let mut sketches: Vec<EventSketch> = Vec::with_capacity(cfg.n_events + 16);
+    for _ in 0..cfg.n_events {
+        let k = popularity.sample(&mut rng);
+        sketches.push(sampler.sample(&mut rng, k));
+    }
+    for h in &cfg.headline_events {
+        let country = registry.by_name(&h.country);
+        let sketch = headline_sketch(&h.name, h.day, country, 0);
+        if sketch.quarter >= cfg.n_quarters {
+            continue; // outside the configured time range
+        }
+        let target = (h.coverage * active[sketch.quarter].len() as f64).round() as usize;
+        sketches.push(EventSketch { target_articles: target.max(1), ..sketch });
+    }
+    sketches.sort_by_key(|s| s.interval.0);
+
+    // --- Materialization phase. ---
+    let mut events = Vec::with_capacity(sketches.len());
+    let mut mentions = Vec::with_capacity(sketches.len() * 4);
+    let mut next_id: u64 = 100_000_001;
+    for sketch in &sketches {
+        let act = &active[sketch.quarter];
+        let mut articles = choose_reporters_with_active(
+            &mut rng,
+            &population,
+            cfg,
+            sketch.quarter,
+            sketch.country,
+            sketch.target_articles,
+            act,
+        );
+        // Articles scraped after the collection window do not exist.
+        articles.retain(|a| sketch.interval.0.saturating_add(a.delay) < collection_end);
+        if articles.is_empty() {
+            // GDELT events always carry at least one mention; fall back
+            // to any active source (or drop the event in a dead quarter).
+            let Some(&s) = act.first() else { continue };
+            articles.push(Article { source: s, delay: 0 });
+        }
+        articles.sort_by_key(|a| a.delay);
+        // GDELT creates the event when its first article is scraped, so
+        // the originator's delay is zero by construction (this is why
+        // the paper finds half of all sources with a min delay within
+        // one interval — they originated at least once).
+        articles[0].delay = 0;
+
+        let id = EventId(next_id);
+        next_id += 1 + rng.gen_range(0..8); // GDELT ids grow with gaps
+
+        let date_added = sketch.interval.start();
+        let root = CameoRoot::new(rng.gen_range(1..=20)).expect("in range");
+        let originator = &population.sources[articles[0].source as usize].name;
+        let source_url = match &sketch.headline {
+            Some(name) => format!("https://en.wikipedia.org/wiki/{}", name.replace(' ', "_")),
+            None => format!("https://{originator}/{}", id.raw()),
+        };
+        let distinct_sources = {
+            let mut s: Vec<u32> = articles.iter().map(|a| a.source).collect();
+            s.sort_unstable();
+            s.dedup();
+            s.len() as u32
+        };
+        let geo = if sketch.country.is_unknown() {
+            ActionGeo::default()
+        } else {
+            let c = registry.get(sketch.country).expect("registry id");
+            ActionGeo {
+                geo_type: GeoType::Country,
+                country_fips: c.fips.to_owned(),
+                lat: Some(rng.gen_range(-60.0..70.0)),
+                lon: Some(rng.gen_range(-180.0..180.0)),
+            }
+        };
+        events.push(EventRecord {
+            id,
+            day: sketch.interval.date(),
+            root,
+            event_code: format!("{:02}0", root.0),
+            // Actor geography follows the event: actor1 is usually the
+            // event's own country; actor2 (when present — conflict/
+            // cooperation dyads) is drawn from the global mix.
+            actor1_country: {
+                let c =
+                    if sketch.country.is_unknown() { sampler.sample_country(&mut rng) } else { sketch.country };
+                registry.get(c).map(|c| c.cameo.to_owned()).unwrap_or_default()
+            },
+            actor2_country: if rng.gen::<f64>() < 0.45 {
+                let c = sampler.sample_country(&mut rng);
+                registry.get(c).map(|c| c.cameo.to_owned()).unwrap_or_default()
+            } else {
+                String::new()
+            },
+            quad_class: QuadClass::from_root(root),
+            goldstein: Goldstein::new(rng.gen_range(-10.0..=10.0)).expect("in range"),
+            num_mentions: articles.len() as u32,
+            num_sources: distinct_sources,
+            num_articles: articles.len() as u32,
+            avg_tone: sample_tone(&mut rng),
+            geo,
+            date_added,
+            source_url,
+        });
+
+        for (k, a) in articles.iter().enumerate() {
+            let src = &population.sources[a.source as usize];
+            let mention_iv = CaptureInterval(sketch.interval.0.saturating_add(a.delay));
+            mentions.push(MentionRecord {
+                event_id: id,
+                event_time: date_added,
+                mention_time: mention_iv.start(),
+                mention_type: MentionType::Web,
+                source_name: src.name.clone(),
+                url: format!("https://{}/{}/{}", src.name, id.raw(), k),
+                confidence: rng.gen_range(20..=100),
+                doc_tone: sample_tone(&mut rng),
+            });
+        }
+    }
+
+    // --- Fault injection (Table II). ---
+    let n = events.len();
+    if n > 0 {
+        for i in 0..(cfg.faults.missing_event_url as usize).min(n) {
+            events[i * 7 % n].source_url.clear();
+        }
+        for i in 0..(cfg.faults.future_event_date as usize).min(n) {
+            let idx = (i * 13 + 3) % n;
+            let future = events[idx].date_added.date.add_days(rng.gen_range(2..30));
+            events[idx].day = future;
+        }
+    }
+
+    let masterlist = make_masterlist(cfg, &mut rng);
+    GeneratedData { population, events, mentions, masterlist }
+}
+
+/// Synthesize the master file list for the configured time range, with
+/// the configured number of malformed entries and missing archives.
+pub fn make_masterlist(cfg: &SynthConfig, rng: &mut StdRng) -> String {
+    let (_, end) = quarter_interval_range(cfg.n_quarters - 1);
+    // Keep the list bounded: emit a *contiguous* window of at most 40 k
+    // intervals (gap detection needs contiguity — a strided list would
+    // read as missing archives everywhere).
+    let start = end.saturating_sub(40_000);
+    let covered: Vec<u32> = (start..end).collect();
+    // Drop `missing_archives` interior intervals from the events side.
+    let mut missing: Vec<usize> = Vec::new();
+    if covered.len() > 2 {
+        for _ in 0..cfg.faults.missing_archives {
+            missing.push(rng.gen_range(1..covered.len() - 1));
+        }
+    }
+    let mut out = String::with_capacity(covered.len() * 160);
+    for (i, &iv) in covered.iter().enumerate() {
+        let stamp = CaptureInterval(iv).start().to_yyyymmddhhmmss();
+        let md5 = format!("{:032x}", (u128::from(iv) << 64) | 0xfeed_beef);
+        if !missing.contains(&i) {
+            let _ = writeln!(
+                out,
+                "{} {} http://data.gdeltproject.org/gdeltv2/{stamp}.export.CSV.zip",
+                100_000 + iv,
+                md5
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} {} http://data.gdeltproject.org/gdeltv2/{stamp}.mentions.CSV.zip",
+            200_000 + iv,
+            md5
+        );
+    }
+    for i in 0..cfg.faults.malformed_masterlist {
+        let _ = writeln!(out, "corrupted entry number {i}");
+    }
+    out
+}
+
+/// Render the generated records as raw GDELT TSV (events text, mentions
+/// text) — the exact bytes a real archive would contain.
+pub fn to_tsv(data: &GeneratedData) -> (String, String) {
+    let mut etext = String::new();
+    gdelt_csv::writer::write_events(&mut etext, &data.events);
+    let mut mtext = String::new();
+    gdelt_csv::writer::write_mentions(&mut mtext, &data.mentions);
+    (etext, mtext)
+}
+
+/// Run the full pipeline: generate, then convert through the
+/// preprocessing builder (cleaning, interning, sorting, indexing).
+pub fn generate_dataset(cfg: &SynthConfig) -> (Dataset, CleanReport) {
+    let data = generate(cfg);
+    let mut b = DatasetBuilder::new();
+    b.ingest_masterlist(&data.masterlist);
+    for e in data.events {
+        b.add_event(e);
+    }
+    for m in data.mentions {
+        b.add_mention(m);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{paper_calibrated, tiny};
+
+    #[test]
+    fn generates_requested_volume() {
+        let cfg = tiny(21);
+        let data = generate(&cfg);
+        // Every ordinary event materializes unless its quarter is dead.
+        assert!(data.events.len() >= cfg.n_events * 9 / 10);
+        assert!(data.mentions.len() >= data.events.len());
+        // Ids strictly ascending (events were time-sorted before ids).
+        assert!(data.events.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = tiny(22);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.mentions.len(), b.mentions.len());
+        assert_eq!(a.events[0], b.events[0]);
+        assert_eq!(a.mentions[10], b.mentions[10]);
+        assert_eq!(a.masterlist, b.masterlist);
+    }
+
+    #[test]
+    fn headline_events_have_top_coverage() {
+        let cfg = tiny(23);
+        let data = generate(&cfg);
+        let max_articles = data.events.iter().map(|e| e.num_articles).max().unwrap();
+        let headline_max = data
+            .events
+            .iter()
+            .filter(|e| e.source_url.contains("wikipedia"))
+            .map(|e| e.num_articles)
+            .max()
+            .unwrap_or(0);
+        assert!(headline_max > 0, "no headline events generated");
+        assert_eq!(max_articles, headline_max, "a headline event must top the chart");
+    }
+
+    #[test]
+    fn event_mention_counts_agree() {
+        let cfg = tiny(24);
+        let data = generate(&cfg);
+        let mut per_event = std::collections::HashMap::new();
+        for m in &data.mentions {
+            *per_event.entry(m.event_id).or_insert(0u32) += 1;
+        }
+        for e in &data.events {
+            assert_eq!(per_event.get(&e.id).copied().unwrap_or(0), e.num_mentions, "event {}", e.id);
+        }
+    }
+
+    #[test]
+    fn faults_are_injected() {
+        let cfg = tiny(25);
+        let data = generate(&cfg);
+        let blank_urls = data.events.iter().filter(|e| e.source_url.is_empty()).count();
+        assert_eq!(blank_urls, cfg.faults.missing_event_url as usize);
+        let future = data.events.iter().filter(|e| e.day_in_future()).count();
+        assert_eq!(future, cfg.faults.future_event_date as usize);
+        let garbage = data.masterlist.lines().filter(|l| l.starts_with("corrupted")).count();
+        assert_eq!(garbage, cfg.faults.malformed_masterlist as usize);
+    }
+
+    #[test]
+    fn full_pipeline_produces_valid_dataset() {
+        let cfg = tiny(26);
+        let (d, report) = generate_dataset(&cfg);
+        assert_eq!(d.validate(), Ok(()));
+        assert!(d.events.len() > 200);
+        assert!(d.mentions.len() >= d.events.len());
+        assert_eq!(report.missing_source_url, cfg.faults.missing_event_url as u64);
+        assert_eq!(report.future_event_date, cfg.faults.future_event_date as u64);
+        assert_eq!(report.malformed_masterlist, cfg.faults.malformed_masterlist as u64);
+        assert!(report.missing_archives >= u64::from(cfg.faults.missing_archives));
+        assert_eq!(report.bad_event_lines, 0);
+        assert_eq!(report.bad_mention_lines, 0);
+    }
+
+    #[test]
+    fn tsv_round_trip_matches_direct_build() {
+        let cfg = tiny(27);
+        let data = generate(&cfg);
+        let (etext, mtext) = to_tsv(&data);
+        let mut b = DatasetBuilder::new();
+        b.ingest_events_text(&etext);
+        b.ingest_mentions_text(&mtext);
+        let (d_tsv, report) = b.build();
+        assert_eq!(report.bad_event_lines, 0, "writer/parser disagreement");
+        assert_eq!(report.bad_mention_lines, 0);
+        assert_eq!(d_tsv.events.len(), data.events.len());
+        assert_eq!(d_tsv.mentions.len(), data.mentions.len());
+    }
+
+    #[test]
+    fn paper_scale_smoke() {
+        // Smallest calibrated scale: structure intact, fast to build.
+        let cfg = paper_calibrated(1e-5, 3);
+        let (d, _) = generate_dataset(&cfg);
+        assert_eq!(d.validate(), Ok(()));
+        assert!(d.sources.len() >= 50);
+        let articles_per_event = d.mentions.len() as f64 / d.events.len() as f64;
+        assert!(
+            (1.5..=8.0).contains(&articles_per_event),
+            "articles/event {articles_per_event} implausible"
+        );
+    }
+}

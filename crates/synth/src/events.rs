@@ -1,0 +1,213 @@
+//! Event-stream sampling: when and where events happen.
+
+use crate::config::SynthConfig;
+use crate::powerlaw::{sample_normal, WeightedIndex};
+use gdelt_model::country::CountryRegistry;
+use gdelt_model::ids::CountryId;
+use gdelt_model::time::{CaptureInterval, Date, Quarter, INTERVALS_PER_DAY};
+use rand::Rng;
+
+/// The quarter containing the GDELT epoch (2015Q1).
+pub fn epoch_quarter() -> Quarter {
+    gdelt_model::time::GDELT_EPOCH.quarter()
+}
+
+/// Capture-interval range `[start, end)` of quarter index `q` (counted
+/// from the epoch quarter). Quarter 0 is clamped to the 2015-02-18
+/// archive start.
+pub fn quarter_interval_range(q: usize) -> (u32, u32) {
+    let epoch_days = gdelt_model::time::GDELT_EPOCH.to_days();
+    let quarter = Quarter::from_linear(epoch_quarter().linear() + q as i32);
+    let start_days = quarter.first_date().to_days().max(epoch_days);
+    let end_days = quarter.next().first_date().to_days();
+    let start = ((start_days - epoch_days) as u32) * INTERVALS_PER_DAY;
+    let end = ((end_days - epoch_days) as u32) * INTERVALS_PER_DAY;
+    (start, end)
+}
+
+/// Quarter index (from the epoch quarter) of a capture interval.
+pub fn interval_quarter_index(iv: CaptureInterval) -> usize {
+    (iv.quarter().linear() - epoch_quarter().linear()).max(0) as usize
+}
+
+/// A sampled event skeleton, before mention generation.
+#[derive(Debug, Clone)]
+pub struct EventSketch {
+    /// Capture interval the event enters the database.
+    pub interval: CaptureInterval,
+    /// Quarter index of that interval.
+    pub quarter: usize,
+    /// Event-location country (unknown = untagged).
+    pub country: CountryId,
+    /// Target number of covering articles.
+    pub target_articles: usize,
+    /// Headline slug for Table III events.
+    pub headline: Option<String>,
+}
+
+/// Sampler for ordinary (non-headline) events.
+pub struct EventSampler {
+    quarter_sampler: WeightedIndex,
+    country_sampler: WeightedIndex,
+    country_ids: Vec<CountryId>,
+    untagged_frac: f64,
+}
+
+impl EventSampler {
+    /// Build from the config (panics on unresolvable country names —
+    /// configs are validated first).
+    pub fn new(cfg: &SynthConfig) -> Self {
+        let registry = CountryRegistry::new();
+        let mut weights = cfg.quarter_weights.clone();
+        weights.resize(cfg.n_quarters, 1.0);
+        weights.truncate(cfg.n_quarters.max(1));
+        let country_ids: Vec<CountryId> = cfg
+            .event_country_weights
+            .iter()
+            .map(|(n, _)| {
+                let id = registry.by_name(n);
+                assert!(!id.is_unknown(), "unknown event country {n}");
+                id
+            })
+            .collect();
+        let cw: Vec<f64> = cfg.event_country_weights.iter().map(|&(_, w)| w).collect();
+        EventSampler {
+            quarter_sampler: WeightedIndex::new(&weights),
+            country_sampler: WeightedIndex::new(&cw),
+            country_ids,
+            untagged_frac: cfg.untagged_geo_frac,
+        }
+    }
+
+    /// Draw a country from the event-location mix (also used for actor
+    /// codes, which follow the same geography).
+    pub fn sample_country<R: Rng + ?Sized>(&self, rng: &mut R) -> CountryId {
+        self.country_ids[self.country_sampler.sample(rng)]
+    }
+
+    /// Draw the timing and location of one ordinary event.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, target_articles: usize) -> EventSketch {
+        let q = self.quarter_sampler.sample(rng);
+        let (lo, hi) = quarter_interval_range(q);
+        let interval = CaptureInterval(rng.gen_range(lo..hi.max(lo + 1)));
+        let country = if rng.gen::<f64>() < self.untagged_frac {
+            CountryId::UNKNOWN
+        } else {
+            self.country_ids[self.country_sampler.sample(rng)]
+        };
+        EventSketch { interval, quarter: q, country, target_articles, headline: None }
+    }
+}
+
+/// Build the sketch for one headline event (Table III): fixed date,
+/// morning capture, coverage resolved against the active source count by
+/// the caller.
+pub fn headline_sketch(
+    name: &str,
+    day: Date,
+    country: CountryId,
+    target_articles: usize,
+) -> EventSketch {
+    let epoch_days = gdelt_model::time::GDELT_EPOCH.to_days();
+    let days = (day.to_days() - epoch_days).max(0) as u32;
+    // Enter the database mid-morning local to the archive (08:00 UTC).
+    let interval = CaptureInterval(days * INTERVALS_PER_DAY + 32);
+    EventSketch {
+        interval,
+        quarter: interval_quarter_index(interval),
+        country,
+        target_articles,
+        headline: Some(name.to_owned()),
+    }
+}
+
+/// Random tone value: mildly negative mean, clamped to GDELT's range.
+pub fn sample_tone<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    ((-1.5 + 3.0 * sample_normal(rng)) as f32).clamp(-20.0, 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn epoch_quarter_is_2015q1() {
+        assert_eq!(epoch_quarter(), Quarter { year: 2015, q: 1 });
+    }
+
+    #[test]
+    fn quarter_zero_starts_at_interval_zero() {
+        let (lo, hi) = quarter_interval_range(0);
+        assert_eq!(lo, 0);
+        // 2015-02-18 … 2015-04-01 is 42 days.
+        assert_eq!(hi, 42 * INTERVALS_PER_DAY);
+    }
+
+    #[test]
+    fn quarters_tile_without_gaps() {
+        let mut prev_end = 0;
+        for q in 0..20 {
+            let (lo, hi) = quarter_interval_range(q);
+            assert_eq!(lo, prev_end, "gap before quarter {q}");
+            assert!(hi > lo);
+            prev_end = hi;
+        }
+    }
+
+    #[test]
+    fn interval_quarter_round_trip() {
+        for q in 0..12 {
+            let (lo, hi) = quarter_interval_range(q);
+            assert_eq!(interval_quarter_index(CaptureInterval(lo)), q);
+            assert_eq!(interval_quarter_index(CaptureInterval(hi - 1)), q);
+        }
+    }
+
+    #[test]
+    fn sampler_respects_quarter_count() {
+        let cfg = tiny(11);
+        let s = EventSampler::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let e = s.sample(&mut rng, 3);
+            assert!(e.quarter < cfg.n_quarters);
+            assert_eq!(interval_quarter_index(e.interval), e.quarter);
+            assert_eq!(e.target_articles, 3);
+            assert!(e.headline.is_none());
+        }
+    }
+
+    #[test]
+    fn untagged_fraction_is_respected() {
+        let mut cfg = tiny(12);
+        cfg.untagged_geo_frac = 0.5;
+        let s = EventSampler::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 4_000;
+        let untagged = (0..n).filter(|_| s.sample(&mut rng, 1).country.is_unknown()).count();
+        let frac = untagged as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "untagged frac {frac}");
+    }
+
+    #[test]
+    fn headline_sketch_lands_on_its_day() {
+        let reg = CountryRegistry::new();
+        let day = Date { year: 2016, month: 6, day: 12 };
+        let h = headline_sketch("Orlando nightclub shooting, 2016", day, reg.by_name("USA"), 500);
+        assert_eq!(h.interval.date(), day);
+        assert_eq!(h.headline.as_deref(), Some("Orlando nightclub shooting, 2016"));
+        assert_eq!(h.quarter, 5); // 2016Q2 is the 6th quarter from 2015Q1
+    }
+
+    #[test]
+    fn tone_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let t = sample_tone(&mut rng);
+            assert!((-20.0..=20.0).contains(&t));
+        }
+    }
+}

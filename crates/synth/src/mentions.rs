@@ -1,0 +1,369 @@
+//! Coverage and publishing-delay models.
+//!
+//! Given an event sketch, decide *who* reports it (productivity-weighted
+//! with home-country boost and media-group pull — the generators of the
+//! co-/follow-reporting structure in Tables IV–V and Fig 7) and *when*
+//! (per-speed-class delay distributions with week/month/year echo modes —
+//! the generators of Fig 9, Table VIII and Figs 10–11).
+
+use crate::config::SynthConfig;
+use crate::powerlaw::{sample_geometric, sample_lognormal};
+use crate::sources::{SourcePopulation, SpeedClass};
+use gdelt_model::ids::CountryId;
+use gdelt_model::time::{INTERVALS_PER_DAY, INTERVALS_PER_WEEK};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// One year plus one day of intervals — the paper's ubiquitous maximum
+/// observed delay (Table VIII).
+pub const MAX_DELAY: u32 = 366 * INTERVALS_PER_DAY - 1; // 35 135
+
+/// Intervals in a 30-day month.
+pub const INTERVALS_PER_MONTH: u32 = 30 * INTERVALS_PER_DAY;
+
+/// Sample the base publishing delay for one article from a source of the
+/// given speed class, in quarter `q` (0-based from the epoch quarter).
+///
+/// * `Fast` — geometric, mostly 0–8 intervals (≤ 2 h);
+/// * `Average` — lognormal with median ≈ 16 intervals (4 h), the 24 h
+///   news-cycle group;
+/// * `Slow` — lognormal with median around 5–6 days, shrinking by
+///   `late_decline` per quarter (drives Fig 10a / Fig 11).
+pub fn sample_base_delay<R: Rng + ?Sized>(
+    rng: &mut R,
+    speed: SpeedClass,
+    q: usize,
+    cfg: &SynthConfig,
+) -> u32 {
+    match speed {
+        SpeedClass::Fast => sample_geometric(rng, 0.30).min(2 * INTERVALS_PER_DAY),
+        SpeedClass::Average => {
+            let d = sample_lognormal(rng, (16.0f64).ln(), 0.80);
+            (d.round() as u32).min(MAX_DELAY)
+        }
+        SpeedClass::Slow => {
+            let scale = cfg.late_decline.powi(q as i32);
+            let d = sample_lognormal(rng, (520.0 * scale).max(32.0).ln(), 1.35);
+            (d.round() as u32).clamp(1, MAX_DELAY)
+        }
+    }
+}
+
+/// Overlay the echo modes: with (declining) probability an article is a
+/// retrospective piece landing near one week, one month or one year
+/// after the event — the three late groups of Fig 9's maximum-delay
+/// histogram.
+pub fn apply_echo<R: Rng + ?Sized>(rng: &mut R, base: u32, q: usize, cfg: &SynthConfig) -> u32 {
+    let decay = cfg.late_decline.powi(q as i32);
+    let u: f64 = rng.gen();
+    let week_p = cfg.echo_week * decay;
+    let month_p = cfg.echo_month * decay;
+    let year_p = cfg.echo_year * decay;
+    if u < year_p {
+        rng.gen_range(MAX_DELAY - 400..=MAX_DELAY)
+    } else if u < year_p + month_p {
+        INTERVALS_PER_MONTH + rng.gen_range(0..2 * INTERVALS_PER_DAY)
+    } else if u < year_p + month_p + week_p {
+        INTERVALS_PER_WEEK + rng.gen_range(0..INTERVALS_PER_DAY / 2)
+    } else {
+        base
+    }
+}
+
+/// Full per-article delay: base distribution plus echo overlay.
+pub fn sample_delay<R: Rng + ?Sized>(
+    rng: &mut R,
+    speed: SpeedClass,
+    q: usize,
+    cfg: &SynthConfig,
+) -> u32 {
+    let base = sample_base_delay(rng, speed, q, cfg);
+    apply_echo(rng, base, q, cfg)
+}
+
+/// One generated article: which source, how many intervals after the
+/// event it appears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Article {
+    /// Index into the [`SourcePopulation`].
+    pub source: u32,
+    /// Publishing delay in capture intervals.
+    pub delay: u32,
+}
+
+/// Choose the reporters (and their delays) for one event.
+///
+/// Selection is productivity-weighted rejection sampling restricted to
+/// sources active in quarter `q`, with `home_boost` for same-country
+/// sources and `cluster_pull` spreading coverage through media groups.
+/// For saturation-level targets (headline events covering most of the
+/// active population) selection switches to a Bernoulli sweep over all
+/// active sources, which is both faster and exact.
+pub fn choose_reporters<R: Rng + ?Sized>(
+    rng: &mut R,
+    pop: &SourcePopulation,
+    cfg: &SynthConfig,
+    q: usize,
+    event_country: CountryId,
+    target: usize,
+) -> Vec<Article> {
+    let active = pop.active_in(q);
+    choose_reporters_with_active(rng, pop, cfg, q, event_country, target, &active)
+}
+
+/// As [`choose_reporters`], with the active-source list precomputed by
+/// the caller (the generator caches one list per quarter instead of
+/// rescanning the population for every event).
+#[allow(clippy::too_many_arguments)]
+pub fn choose_reporters_with_active<R: Rng + ?Sized>(
+    rng: &mut R,
+    pop: &SourcePopulation,
+    cfg: &SynthConfig,
+    q: usize,
+    event_country: CountryId,
+    target: usize,
+    active_hint: &[u32],
+) -> Vec<Article> {
+    let mut chosen: Vec<u32> = Vec::with_capacity(target.min(64));
+    let mut seen: HashSet<u32> = HashSet::with_capacity(target.min(64));
+
+    if active_hint.is_empty() {
+        return Vec::new();
+    }
+    let saturating = target * 2 >= active_hint.len();
+
+    if saturating {
+        // Headline path: keep each active source with probability
+        // target / active, scaled down for periphery press covering a
+        // foreign story (same weighting as the rejection path below —
+        // otherwise a handful of world events would dominate the event
+        // sets of small countries and distort Table V).
+        let p = (target as f64 / active_hint.len() as f64).min(1.0);
+        for &s in active_hint {
+            let model = &pop.sources[s as usize];
+            let home = !event_country.is_unknown() && model.country == event_country;
+            let rel = if home || model.outlook { 1.0 } else { cfg.periphery_foreign_weight };
+            if rng.gen::<f64>() < p * rel {
+                seen.insert(s);
+                chosen.push(s);
+            }
+        }
+    } else {
+        // Generous cap: rejection losses (inactive draws, duplicate hits
+        // on the most productive sources, periphery penalties) would
+        // otherwise depress the realized articles-per-event mean well
+        // below the configured Zipf mean.
+        let max_attempts = 60 * target + 200;
+        let mut attempts = 0;
+        while chosen.len() < target && attempts < max_attempts {
+            attempts += 1;
+            let s = pop.sample_source(rng) as u32;
+            let model = &pop.sources[s as usize];
+            if !model.is_active(q) || seen.contains(&s) {
+                continue;
+            }
+            // Home-country boost / periphery foreign penalty, applied via
+            // normalized rejection. Outlook-country press covers the
+            // whole world; periphery press mostly covers home events —
+            // the Table V cluster structure.
+            let weight = if !event_country.is_unknown() && model.country == event_country {
+                cfg.home_boost
+            } else if model.outlook {
+                1.0
+            } else {
+                cfg.periphery_foreign_weight
+            };
+            if rng.gen::<f64>() >= weight / cfg.home_boost {
+                continue;
+            }
+            seen.insert(s);
+            chosen.push(s);
+            // Media-group pull: co-owned outlets syndicate coverage.
+            if let Some(g) = model.group {
+                for &member in &pop.groups[g as usize] {
+                    if chosen.len() >= target {
+                        break;
+                    }
+                    if member != s
+                        && !seen.contains(&member)
+                        && pop.sources[member as usize].is_active(q)
+                        && rng.gen::<f64>() < cfg.cluster_pull
+                    {
+                        seen.insert(member);
+                        chosen.push(member);
+                    }
+                }
+            }
+        }
+    }
+
+    // Delays, plus occasional same-source follow-up articles (Table IV
+    // diagonal).
+    let mut articles = Vec::with_capacity(chosen.len() + 4);
+    for &s in &chosen {
+        let speed = pop.sources[s as usize].speed;
+        let delay = sample_delay(rng, speed, q, cfg);
+        articles.push(Article { source: s, delay });
+        if rng.gen::<f64>() < cfg.repeat_prob {
+            let extra = 1 + sample_lognormal(rng, (24.0f64).ln(), 0.8).round() as u32;
+            articles.push(Article { source: s, delay: (delay + extra).min(MAX_DELAY) });
+        }
+    }
+    articles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tiny;
+    use crate::sources::SourcePopulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (SynthConfig, SourcePopulation, StdRng) {
+        let cfg = tiny(seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let pop = SourcePopulation::generate(&cfg, &mut rng);
+        (cfg, pop, rng)
+    }
+
+    #[test]
+    fn max_delay_is_papers_35135() {
+        assert_eq!(MAX_DELAY, 35_135);
+    }
+
+    #[test]
+    fn fast_sources_report_quickly() {
+        let (cfg, _, mut rng) = setup(1);
+        let n = 5_000;
+        let quick = (0..n)
+            .filter(|_| sample_base_delay(&mut rng, SpeedClass::Fast, 0, &cfg) <= 8)
+            .count();
+        assert!(quick as f64 / n as f64 > 0.85, "fast quick frac {}", quick as f64 / n as f64);
+    }
+
+    #[test]
+    fn average_sources_have_median_near_16() {
+        let (cfg, _, mut rng) = setup(2);
+        let mut d: Vec<u32> =
+            (0..9_001).map(|_| sample_base_delay(&mut rng, SpeedClass::Average, 0, &cfg)).collect();
+        d.sort_unstable();
+        let median = d[d.len() / 2];
+        assert!((10..=24).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn slow_sources_are_much_later_and_decline_over_quarters() {
+        let (cfg, _, mut rng) = setup(3);
+        let mean = |rng: &mut StdRng, q: usize| {
+            (0..4_000).map(|_| sample_base_delay(rng, SpeedClass::Slow, q, &cfg) as f64).sum::<f64>()
+                / 4_000.0
+        };
+        let early = mean(&mut rng, 0);
+        let late = mean(&mut rng, 12);
+        assert!(early > 300.0, "slow mean {early} too small");
+        assert!(late < early, "slow delays should decline: {early} -> {late}");
+    }
+
+    #[test]
+    fn delays_never_exceed_max() {
+        let (cfg, _, mut rng) = setup(4);
+        for speed in [SpeedClass::Fast, SpeedClass::Average, SpeedClass::Slow] {
+            for q in [0, 7] {
+                for _ in 0..2_000 {
+                    assert!(sample_delay(&mut rng, speed, q, &cfg) <= MAX_DELAY);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn echo_produces_week_month_year_modes() {
+        let (mut cfg, _, mut rng) = setup(5);
+        cfg.echo_week = 0.2;
+        cfg.echo_month = 0.2;
+        cfg.echo_year = 0.2;
+        let mut week = 0;
+        let mut month = 0;
+        let mut year = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let d = apply_echo(&mut rng, 5, 0, &cfg);
+            if (INTERVALS_PER_WEEK..INTERVALS_PER_WEEK + 48).contains(&d) {
+                week += 1;
+            } else if (INTERVALS_PER_MONTH..INTERVALS_PER_MONTH + 192).contains(&d) {
+                month += 1;
+            } else if d >= MAX_DELAY - 400 {
+                year += 1;
+            }
+        }
+        assert!(week > n / 10, "week echoes {week}");
+        assert!(month > n / 10, "month echoes {month}");
+        assert!(year > n / 10, "year echoes {year}");
+    }
+
+    #[test]
+    fn reporters_are_distinct_active_and_near_target() {
+        let (cfg, pop, mut rng) = setup(6);
+        let reg = gdelt_model::country::CountryRegistry::new();
+        let us = reg.by_name("USA");
+        for _ in 0..50 {
+            let arts = choose_reporters(&mut rng, &pop, &cfg, 2, us, 8);
+            // Distinct first-articles per source (repeats allowed after).
+            let mut firsts: Vec<u32> = arts.iter().map(|a| a.source).collect();
+            firsts.sort_unstable();
+            for a in &arts {
+                assert!(pop.sources[a.source as usize].is_active(2));
+            }
+            // Can't exceed target by more than the repeat articles.
+            let distinct = {
+                let mut f = firsts.clone();
+                f.dedup();
+                f.len()
+            };
+            assert!(distinct <= 8 + pop.groups.iter().map(Vec::len).max().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn saturating_target_covers_most_active_sources() {
+        let (cfg, pop, mut rng) = setup(7);
+        let active = pop.active_count(1);
+        let target = (active as f64 * 0.85) as usize;
+        let arts = choose_reporters(&mut rng, &pop, &cfg, 1, CountryId::UNKNOWN, target);
+        let mut srcs: Vec<u32> = arts.iter().map(|a| a.source).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        let frac = srcs.len() as f64 / active as f64;
+        assert!((0.6..=1.0).contains(&frac), "coverage {frac}");
+    }
+
+    #[test]
+    fn group_pull_creates_cluster_coreporting() {
+        let (mut cfg, pop, mut rng) = setup(8);
+        cfg.cluster_pull = 0.9;
+        // Count events where ≥2 group-0 members co-report.
+        let mut both = 0;
+        let n = 300;
+        for _ in 0..n {
+            let arts = choose_reporters(&mut rng, &pop, &cfg, 0, CountryId::UNKNOWN, 5);
+            let g0 = arts
+                .iter()
+                .filter(|a| pop.sources[a.source as usize].group == Some(0))
+                .map(|a| a.source)
+                .collect::<HashSet<_>>();
+            if g0.len() >= 2 {
+                both += 1;
+            }
+        }
+        assert!(both > n / 4, "co-reporting events {both}/{n}");
+    }
+
+    #[test]
+    fn empty_quarter_returns_no_articles() {
+        let (cfg, pop, mut rng) = setup(9);
+        // Quarter index beyond every activity window.
+        let arts = choose_reporters(&mut rng, &pop, &cfg, 500, CountryId::UNKNOWN, 5);
+        assert!(arts.is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Discrete distribution samplers built on `rand`.
+//!
+//! The generator needs three non-uniform shapes: bounded Zipf/power-law
+//! (event popularity, source productivity), weighted categorical
+//! (countries, source choice), and a crude lognormal (publishing delays).
+//! All are implemented from first principles — inverse-CDF over
+//! precomputed tables for the discrete ones, Box–Muller for the normal —
+//! to stay inside the approved dependency set.
+
+use rand::Rng;
+
+/// Bounded discrete power law: `P(k) ∝ k^-alpha` for `k in 1..=k_max`,
+/// sampled by binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct BoundedZipf {
+    cdf: Vec<f64>,
+}
+
+impl BoundedZipf {
+    /// Build the table. `k_max` is clamped to at least 1.
+    pub fn new(k_max: usize, alpha: f64) -> Self {
+        let k_max = k_max.max(1);
+        let mut cdf = Vec::with_capacity(k_max);
+        let mut acc = 0.0;
+        for k in 1..=k_max {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        BoundedZipf { cdf }
+    }
+
+    /// Draw one value in `1..=k_max`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Theoretical mean of the bounded distribution.
+    pub fn mean(&self) -> f64 {
+        // Recover pmf from the cdf table.
+        let mut mean = 0.0;
+        let mut prev = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            mean += (i + 1) as f64 * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+
+    /// Upper bound of the support.
+    pub fn k_max(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Weighted categorical sampler over indexes `0..n` (cumulative-weight
+/// binary search).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cum: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Build from non-negative weights (at least one must be positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            acc += w;
+            cum.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        WeightedIndex { cum }
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cum.last().expect("non-empty");
+        let u: f64 = rng.gen::<f64>() * total;
+        match self.cum.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// True if there are no categories (never: `new` asserts non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+}
+
+/// Standard normal via Box–Muller.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Lognormal draw with the given location/scale of the underlying normal.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * sample_normal(rng)).exp()
+}
+
+/// Geometric-ish small-integer draw: number of failures before success
+/// with probability `p` (clamped to avoid degenerate loops).
+pub fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u32 {
+    let p = p.clamp(1e-6, 1.0);
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).max(1e-12).ln()).floor() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zipf_stays_in_support() {
+        let z = BoundedZipf::new(100, 2.2);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let k = z.sample(&mut r);
+            assert!((1..=100).contains(&k));
+        }
+        assert_eq!(z.k_max(), 100);
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_at_small_k() {
+        let z = BoundedZipf::new(1000, 2.2);
+        let mut r = rng();
+        let n = 50_000;
+        let small = (0..n).filter(|_| z.sample(&mut r) <= 5).count();
+        // For alpha=2.2 about 93% of mass lies in 1..=5.
+        assert!(small as f64 / n as f64 > 0.85, "small fraction {}", small as f64 / n as f64);
+    }
+
+    #[test]
+    fn zipf_empirical_mean_matches_theory() {
+        let z = BoundedZipf::new(5234, 2.23);
+        let theory = z.mean();
+        let mut r = rng();
+        let n = 200_000;
+        let sum: usize = (0..n).map(|_| z.sample(&mut r)).sum();
+        let emp = sum as f64 / n as f64;
+        assert!(
+            (emp - theory).abs() / theory < 0.15,
+            "empirical {emp} vs theoretical {theory}"
+        );
+        // Calibration target from Table I: weighted average 3.36.
+        assert!((theory - 3.36).abs() < 0.7, "theory mean {theory} too far from 3.36");
+    }
+
+    #[test]
+    fn zipf_k_max_one_is_constant() {
+        let z = BoundedZipf::new(1, 2.0);
+        let mut r = rng();
+        assert!((0..100).all(|_| z.sample(&mut r) == 1));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let w = WeightedIndex::new(&[0.0, 3.0, 1.0]);
+        let mut r = rng();
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_index_rejects_empty() {
+        let _ = WeightedIndex::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_index_rejects_all_zero() {
+        let _ = WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_lognormal(&mut r, 2.8, 0.6)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "lognormal mean must exceed median");
+    }
+
+    #[test]
+    fn geometric_mean_approximates_theory() {
+        let mut r = rng();
+        let p = 0.25;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| u64::from(sample_geometric(&mut r, p))).sum();
+        let emp = sum as f64 / n as f64;
+        let theory = (1.0 - p) / p; // failures before success
+        assert!((emp - theory).abs() < 0.15, "empirical {emp} theory {theory}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let z = BoundedZipf::new(50, 2.0);
+        let a: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..20).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..20).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

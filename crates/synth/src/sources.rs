@@ -1,0 +1,352 @@
+//! The synthetic publisher population.
+//!
+//! Reproduces the structural facts the paper reports about GDELT's
+//! source landscape:
+//!
+//! * productivity follows a steep ladder — the Top-10 publishers emit
+//!   hundreds of thousands of articles while the typical source emits
+//!   few (Fig 6);
+//! * 8 of the Top 10 are regional UK papers owned by one media group,
+//!   which co-report heavily (Table IV, Fig 7) — modelled as a "group 0"
+//!   block at the top of the ladder, plus smaller extra groups;
+//! * only about a third of sources are active in any quarter (Fig 3) —
+//!   every source gets an activity window of quarters;
+//! * sources fall into fast / average / slow reporting classes (§VI-E).
+
+use crate::config::SynthConfig;
+use crate::powerlaw::WeightedIndex;
+use gdelt_model::country::CountryRegistry;
+use gdelt_model::ids::CountryId;
+use rand::Rng;
+
+/// Reporting-speed class of a source (paper §VI-E's three groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedClass {
+    /// Typically reports within two hours.
+    Fast,
+    /// Follows the 24 h news cycle, median delay ≈ 4–5 h.
+    Average,
+    /// Reports on topics days or months in the past.
+    Slow,
+}
+
+/// One synthetic publisher.
+#[derive(Debug, Clone)]
+pub struct SourceModel {
+    /// Domain name, TLD consistent with `country`.
+    pub name: String,
+    /// Country id in the default registry.
+    pub country: CountryId,
+    /// Media-group membership (group 0 is the dominant UK block).
+    pub group: Option<u32>,
+    /// True for sources from "global outlook" countries, which cover
+    /// foreign/untagged events at full weight (Table V cluster driver).
+    pub outlook: bool,
+    /// Relative productivity weight (rank-Zipf).
+    pub productivity: f64,
+    /// Reporting-speed class.
+    pub speed: SpeedClass,
+    /// First active quarter (index from the epoch quarter).
+    pub active_from: u16,
+    /// Last active quarter, inclusive.
+    pub active_to: u16,
+}
+
+impl SourceModel {
+    /// Is the source active in quarter `q` (index from epoch quarter)?
+    #[inline]
+    pub fn is_active(&self, q: usize) -> bool {
+        (self.active_from as usize..=self.active_to as usize).contains(&q)
+    }
+}
+
+/// The full population plus sampling tables.
+#[derive(Debug, Clone)]
+pub struct SourcePopulation {
+    /// All sources, rank order (index 0 = most productive).
+    pub sources: Vec<SourceModel>,
+    /// Members of each media group, by group id.
+    pub groups: Vec<Vec<u32>>,
+    sampler: WeightedIndex,
+}
+
+impl SourcePopulation {
+    /// Generate the population for a config.
+    pub fn generate<R: Rng + ?Sized>(cfg: &SynthConfig, rng: &mut R) -> Self {
+        let registry = CountryRegistry::new();
+        let resolve = |name: &str| {
+            let id = registry.by_name(name);
+            assert!(!id.is_unknown(), "unknown country in config: {name}");
+            id
+        };
+        let src_countries: Vec<CountryId> =
+            cfg.source_country_weights.iter().map(|(n, _)| resolve(n)).collect();
+        let src_weights: Vec<f64> = cfg.source_country_weights.iter().map(|&(_, w)| w).collect();
+        let country_sampler = WeightedIndex::new(&src_weights);
+        let uk = resolve("UK");
+        let outlook_set: Vec<CountryId> =
+            cfg.global_outlook_countries.iter().map(|n| resolve(n)).collect();
+
+        let n_groups = cfg.n_groups();
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
+        // Countries for the extra groups (group 0 is always UK).
+        let extra_group_country: Vec<CountryId> = (0..cfg.extra_groups)
+            .map(|_| src_countries[country_sampler.sample(rng)])
+            .collect();
+
+        let mut sources = Vec::with_capacity(cfg.n_sources);
+        for rank in 0..cfg.n_sources {
+            let productivity = ((rank + 1) as f64).powf(-cfg.productivity_alpha);
+
+            // Group membership: the dominant block takes the very top
+            // ranks; extra groups take the next ranks.
+            let (group, country) = if rank < cfg.media_group_size {
+                (Some(0u32), uk)
+            } else {
+                let after = rank - cfg.media_group_size;
+                if after < cfg.extra_groups * cfg.extra_group_size {
+                    let g = after / cfg.extra_group_size;
+                    let gid = g as u32 + u32::from(cfg.media_group_size > 0);
+                    (Some(gid), extra_group_country[g])
+                } else {
+                    (None, src_countries[country_sampler.sample(rng)])
+                }
+            };
+            if let Some(g) = group {
+                groups[g as usize].push(rank as u32);
+            }
+
+            let speed = if group == Some(0) {
+                SpeedClass::Average // the Table VIII publishers are all "average"
+            } else {
+                let u: f64 = rng.gen();
+                if u < cfg.fast_frac {
+                    SpeedClass::Fast
+                } else if u < cfg.fast_frac + cfg.slow_frac {
+                    SpeedClass::Slow
+                } else {
+                    SpeedClass::Average
+                }
+            };
+
+            // Activity window. The dominant group publishes throughout
+            // (Fig 6 shows the Top 10 active the whole period); other
+            // sources get a window positioned so its overlap with the
+            // observation period is *stationary*: the start may fall
+            // before the archive begins or the end after it, exactly
+            // like real periodicals that predate/outlive GDELT. This
+            // keeps the active fraction flat at ≈ E[len]/(n+E[len]) ≈ ⅓
+            // across quarters (Fig 3), instead of a mid-period bulge.
+            let (active_from, active_to) = if group == Some(0) || cfg.n_quarters <= 1 {
+                (0u16, cfg.n_quarters.saturating_sub(1) as u16)
+            } else {
+                let n = cfg.n_quarters as i64;
+                let len = rng.gen_range(1..=n);
+                let start = rng.gen_range(-(len - 1)..n);
+                let from = start.max(0) as u16;
+                let to = (start + len - 1).min(n - 1) as u16;
+                (from, to)
+            };
+
+            let name = make_name(rank, country, group, &registry, rng);
+            sources.push(SourceModel {
+                name,
+                country,
+                group,
+                outlook: outlook_set.contains(&country),
+                productivity,
+                speed,
+                active_from,
+                active_to,
+            });
+        }
+
+        let weights: Vec<f64> = sources.iter().map(|s| s.productivity).collect();
+        let sampler = WeightedIndex::new(&weights);
+        SourcePopulation { sources, groups, sampler }
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True if empty (never after `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Draw a source index by productivity weight (ignores activity —
+    /// callers filter).
+    pub fn sample_source<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sampler.sample(rng)
+    }
+
+    /// Count of sources active in quarter `q`.
+    pub fn active_count(&self, q: usize) -> usize {
+        self.sources.iter().filter(|s| s.is_active(q)).count()
+    }
+
+    /// Indexes of sources active in quarter `q`.
+    pub fn active_in(&self, q: usize) -> Vec<u32> {
+        self.sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_active(q))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Deterministic-ish synthetic domain name with a country-correct TLD.
+fn make_name<R: Rng + ?Sized>(
+    rank: usize,
+    country: CountryId,
+    group: Option<u32>,
+    registry: &CountryRegistry,
+    rng: &mut R,
+) -> String {
+    const WORDS: &[&str] =
+        &["daily", "herald", "times", "gazette", "post", "courier", "tribune", "echo", "observer", "chronicle"];
+    let word = WORDS[rank % WORDS.len()];
+    let tld = registry.get(country).map(|c| c.tld).unwrap_or("com");
+    match group {
+        // Group-0 names mimic a chain of regional UK papers.
+        Some(0) => format!("{word}{rank}.regionalgroup.co.uk"),
+        Some(g) => format!("{word}{rank}-net{g}.{}", uk_style(tld)),
+        None => {
+            // Most US sources live under generic TLDs; pick one of them.
+            if tld == "us" {
+                let generic = ["com", "com", "com", "org", "net"];
+                format!("{word}{rank}.{}", generic[rng.gen_range(0..generic.len())])
+            } else {
+                format!("{word}{rank}.{}", uk_style(tld))
+            }
+        }
+    }
+}
+
+/// British/Australian-style second-level domains where customary.
+fn uk_style(tld: &str) -> String {
+    match tld {
+        "uk" => "co.uk".to_owned(),
+        "au" => "com.au".to_owned(),
+        "nz" => "co.nz".to_owned(),
+        "za" => "co.za".to_owned(),
+        "in" => "co.in".to_owned(),
+        "bd" => "com.bd".to_owned(),
+        other => other.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tiny;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop(seed: u64) -> (SynthConfig, SourcePopulation) {
+        let cfg = tiny(seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let p = SourcePopulation::generate(&cfg, &mut rng);
+        (cfg, p)
+    }
+
+    #[test]
+    fn population_has_requested_size() {
+        let (cfg, p) = pop(1);
+        assert_eq!(p.len(), cfg.n_sources);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn top_ranks_form_the_uk_group() {
+        let (cfg, p) = pop(2);
+        let registry = CountryRegistry::new();
+        let uk = registry.by_name("UK");
+        for i in 0..cfg.media_group_size {
+            assert_eq!(p.sources[i].group, Some(0));
+            assert_eq!(p.sources[i].country, uk);
+            assert_eq!(p.sources[i].speed, SpeedClass::Average);
+            assert!(p.sources[i].name.ends_with(".co.uk"));
+            // Active throughout.
+            assert_eq!(p.sources[i].active_from, 0);
+            assert_eq!(p.sources[i].active_to as usize, cfg.n_quarters - 1);
+        }
+        assert_eq!(p.groups[0].len(), cfg.media_group_size);
+    }
+
+    #[test]
+    fn productivity_is_rank_decreasing() {
+        let (_, p) = pop(3);
+        for w in p.sources.windows(2) {
+            assert!(w[0].productivity >= w[1].productivity);
+        }
+    }
+
+    #[test]
+    fn tld_matches_country() {
+        let (_, p) = pop(4);
+        let registry = CountryRegistry::new();
+        for s in &p.sources {
+            let assigned = registry.assign_source_country(&s.name);
+            assert_eq!(
+                assigned, s.country,
+                "TLD of {} resolves to wrong country",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn roughly_a_third_active_per_quarter() {
+        let mut cfg = tiny(5);
+        cfg.n_sources = 3000;
+        cfg.n_quarters = 12;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let p = SourcePopulation::generate(&cfg, &mut rng);
+        // Middle quarters see roughly n/3 active (window edges droop).
+        let frac = p.active_count(6) as f64 / p.len() as f64;
+        assert!(
+            (0.18..=0.55).contains(&frac),
+            "active fraction {frac} out of plausible band"
+        );
+    }
+
+    #[test]
+    fn sampler_prefers_productive_sources() {
+        let (_, p) = pop(6);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let top = (0..n).filter(|_| p.sample_source(&mut rng) < 10).count();
+        // Rank-Zipf concentrates heavily on the top ranks.
+        assert!(top as f64 / n as f64 > 0.4, "top-10 fraction {}", top as f64 / n as f64);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let (_, p) = pop(7);
+        let mut names: Vec<&str> = p.sources.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), p.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = pop(8);
+        let (_, b) = pop(8);
+        let na: Vec<&String> = a.sources.iter().map(|s| &s.name).collect();
+        let nb: Vec<&String> = b.sources.iter().map(|s| &s.name).collect();
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn active_in_matches_active_count() {
+        let (_, p) = pop(9);
+        for q in 0..4 {
+            assert_eq!(p.active_in(q).len(), p.active_count(q));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the generator: for arbitrary (small) configs and
+//! seeds, the emitted corpus must satisfy every structural invariant the
+//! downstream pipeline and the paper's semantics assume.
+
+use gdelt_model::time::CaptureInterval;
+use gdelt_synth::mentions::MAX_DELAY;
+use gdelt_synth::scenario::tiny;
+use gdelt_synth::SynthConfig;
+use proptest::prelude::*;
+
+/// Small random variations of the tiny scenario.
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        any::<u64>(),
+        20usize..120,  // sources
+        30usize..200,  // events
+        2usize..10,    // quarters
+        0.0f64..0.3,   // untagged fraction
+        0.0f64..0.2,   // repeat prob
+        1usize..8,     // media group size
+    )
+        .prop_map(|(seed, n_sources, n_events, n_quarters, untagged, repeat, group)| {
+            let mut cfg = tiny(seed);
+            cfg.n_sources = n_sources;
+            cfg.n_events = n_events;
+            cfg.n_quarters = n_quarters;
+            cfg.untagged_geo_frac = untagged;
+            cfg.repeat_prob = repeat;
+            cfg.media_group_size = group.min(n_sources);
+            cfg.quarter_weights = vec![1.0; n_quarters];
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_corpus_always_upholds_invariants(cfg in arb_config()) {
+        prop_assert_eq!(cfg.validate(), Ok(()));
+        let data = gdelt_synth::generate(&cfg);
+
+        // Event ids strictly ascending and time-ordered.
+        for w in data.events.windows(2) {
+            prop_assert!(w[0].id < w[1].id);
+            prop_assert!(w[0].date_added <= w[1].date_added);
+        }
+
+        // Every mention references an emitted event with the matching
+        // capture time.
+        let times: std::collections::HashMap<_, _> =
+            data.events.iter().map(|e| (e.id, e.date_added)).collect();
+        for m in &data.mentions {
+            let et = times.get(&m.event_id).expect("mention of unknown event");
+            prop_assert_eq!(&m.event_time, et);
+            prop_assert!(m.mention_time >= m.event_time);
+        }
+
+        // Per-event article accounting matches the event header fields.
+        let mut counts: std::collections::HashMap<_, u32> = Default::default();
+        for m in &data.mentions {
+            *counts.entry(m.event_id).or_default() += 1;
+        }
+        for e in &data.events {
+            prop_assert_eq!(counts.get(&e.id).copied().unwrap_or(0), e.num_mentions);
+            prop_assert!(e.num_sources <= e.num_mentions);
+            prop_assert!(e.num_mentions >= 1, "eventless mention");
+        }
+    }
+
+    #[test]
+    fn delays_respect_paper_bounds(cfg in arb_config()) {
+        let data = gdelt_synth::generate(&cfg);
+        for m in &data.mentions {
+            let delay = m.publishing_delay().unwrap();
+            prop_assert!(delay <= MAX_DELAY, "delay {delay} beyond one year");
+        }
+        // Each event's first article defines the event time (delay 0).
+        let mut first: std::collections::HashMap<_, u32> = Default::default();
+        for m in &data.mentions {
+            let d = m.publishing_delay().unwrap();
+            first
+                .entry(m.event_id)
+                .and_modify(|cur| *cur = (*cur).min(d))
+                .or_insert(d);
+        }
+        for (&id, &min_delay) in &first {
+            prop_assert_eq!(min_delay, 0, "event {} has no originator", id.raw());
+        }
+    }
+
+    #[test]
+    fn mentions_stay_inside_the_collection_window(cfg in arb_config()) {
+        let data = gdelt_synth::generate(&cfg);
+        let (_, end) = gdelt_synth::events::quarter_interval_range(cfg.n_quarters - 1);
+        for m in &data.mentions {
+            let iv = CaptureInterval::from_datetime(m.mention_time).unwrap();
+            prop_assert!(iv.0 < end, "mention scraped after the archive cutoff");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_corpus_different_seed_diverges(cfg in arb_config()) {
+        let a = gdelt_synth::generate(&cfg);
+        let b = gdelt_synth::generate(&cfg);
+        prop_assert_eq!(a.events.len(), b.events.len());
+        prop_assert_eq!(a.mentions.len(), b.mentions.len());
+        if !a.mentions.is_empty() {
+            prop_assert_eq!(&a.mentions[0], &b.mentions[0]);
+        }
+    }
+
+    #[test]
+    fn pipeline_output_always_validates(cfg in arb_config()) {
+        let (d, report) = gdelt_synth::generate_dataset(&cfg);
+        prop_assert_eq!(d.validate(), Ok(()));
+        prop_assert_eq!(report.bad_event_lines, 0);
+        prop_assert_eq!(report.bad_mention_lines, 0);
+        // Fault counters are bounded by the config.
+        prop_assert!(report.missing_source_url <= u64::from(cfg.faults.missing_event_url));
+        prop_assert!(report.future_event_date <= u64::from(cfg.faults.future_event_date));
+    }
+
+    #[test]
+    fn tsv_emission_reparses_cleanly(cfg in arb_config()) {
+        let data = gdelt_synth::generate(&cfg);
+        let (etext, mtext) = gdelt_synth::emit::to_tsv(&data);
+        let mut bad = 0u32;
+        let events = gdelt_csv::events::parse_events(&etext, |_, _, _| bad += 1);
+        let mentions = gdelt_csv::mentions::parse_mentions(&mtext, |_, _, _| bad += 1);
+        prop_assert_eq!(bad, 0);
+        prop_assert_eq!(events.len(), data.events.len());
+        prop_assert_eq!(mentions.len(), data.mentions.len());
+    }
+}

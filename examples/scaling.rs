@@ -1,0 +1,42 @@
+//! Thread-scaling of the aggregated country query (paper §VI-G,
+//! Figure 12): the workload that took 344 s single-threaded and 43 s on
+//! 64 OpenMP threads on the paper's EPYC node.
+//!
+//! Run with: `cargo run --release --example scaling`
+
+use gdelt::analysis::fig12;
+use gdelt::analysis::report::scaling_thread_counts;
+use gdelt::engine::baseline::{timed_naive, RowStore};
+
+fn main() {
+    // A larger corpus makes the curve meaningful; use --release!
+    let cfg = gdelt::synth::paper_calibrated(2e-3, 42);
+    println!(
+        "generating corpus: {} sources, {} events …",
+        cfg.n_sources, cfg.n_events
+    );
+    let (dataset, _) = gdelt::synth::generate_dataset(&cfg);
+    println!(
+        "{} events, {} mentions in memory\n",
+        dataset.events.len(),
+        dataset.mentions.len()
+    );
+
+    let threads = scaling_thread_counts();
+    let f12 = fig12::compute(&dataset, &threads, 3);
+    println!("{}", fig12::render(&f12));
+
+    // The generic row-store comparator, timed separately with its build
+    // cost shown too (the paper's point about generic pipelines).
+    let t0 = std::time::Instant::now();
+    let store = RowStore::from_dataset(&dataset);
+    let build = t0.elapsed().as_secs_f64();
+    let (_, query) = timed_naive(&store);
+    let engine_best =
+        f12.points.iter().map(|p| p.seconds).fold(f64::INFINITY, f64::min);
+    println!(
+        "row-store baseline: build {build:.3}s + query {query:.3}s; engine best {engine_best:.4}s \
+         ({:.0}x faster than the naive query alone)",
+        query / engine_best
+    );
+}

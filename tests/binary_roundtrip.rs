@@ -1,0 +1,73 @@
+//! The indexed binary format round-trips a full synthetic corpus through
+//! disk, and the reloaded dataset answers every query identically.
+
+use gdelt::analysis::report::{run_full_report, ReportOptions};
+use gdelt::columnar::binfmt;
+use gdelt::prelude::*;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gdelt_it");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn file_round_trip_preserves_query_results() {
+    let cfg = gdelt::synth::scenario::tiny(111);
+    let (dataset, _) = gdelt::synth::generate_dataset(&cfg);
+
+    let path = temp_path("roundtrip.gdhpc");
+    binfmt::save(&path, &dataset).expect("save");
+    let loaded = binfmt::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    loaded.validate().expect("reloaded invariants");
+    assert_eq!(loaded.events.len(), dataset.events.len());
+    assert_eq!(loaded.mentions.len(), dataset.mentions.len());
+
+    let ctx = ExecContext::with_threads(2);
+    let before = run_full_report(&ctx, &dataset, &Default::default(), ReportOptions::default());
+    let after = run_full_report(&ctx, &loaded, &Default::default(), ReportOptions::default());
+    assert_eq!(before.render(), after.render());
+}
+
+#[test]
+fn corrupted_file_is_rejected() {
+    let cfg = gdelt::synth::scenario::tiny(112);
+    let (dataset, _) = gdelt::synth::generate_dataset(&cfg);
+    let path = temp_path("corrupt.gdhpc");
+    binfmt::save(&path, &dataset).expect("save");
+    // Flip one byte near the end (inside a payload).
+    let mut bytes = std::fs::read(&path).expect("read back");
+    let at = bytes.len() - 20;
+    bytes[at] ^= 0xA5;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let err = binfmt::load(&path).expect_err("corruption must be detected");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn binary_is_much_denser_than_tsv() {
+    let cfg = gdelt::synth::scenario::tiny(113);
+    let data = gdelt::synth::generate(&cfg);
+    let (etsv, mtsv) = gdelt::synth::emit::to_tsv(&data);
+    let tsv_bytes = etsv.len() + mtsv.len();
+
+    let mut b = DatasetBuilder::new();
+    for e in data.events {
+        b.add_event(e);
+    }
+    for m in data.mentions {
+        b.add_mention(m);
+    }
+    let (dataset, _) = b.build();
+    let mut bin = Vec::new();
+    binfmt::write_dataset(&mut bin, &dataset).expect("serialize");
+    assert!(
+        bin.len() * 2 < tsv_bytes,
+        "binary ({}) should be far denser than TSV ({})",
+        bin.len(),
+        tsv_bytes
+    );
+}

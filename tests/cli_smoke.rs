@@ -1,0 +1,151 @@
+//! CLI smoke tests: the `gdelt-cli` binary's generate → convert →
+//! report loop works end to end on a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gdelt-cli"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gdelt_cli_it").join(name);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("help").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("convert"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = cli().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_convert_report_loop() {
+    let dir = temp_dir("loop");
+    // Tiny scale to keep the test fast.
+    let out = cli()
+        .args(["generate", "--out"])
+        .arg(&dir)
+        .args(["--scale", "0.00002", "--seed", "9"])
+        .output()
+        .expect("generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("events.export.tsv").exists());
+    assert!(dir.join("mentions.tsv").exists());
+    assert!(dir.join("masterfilelist.txt").exists());
+
+    let bin = dir.join("data.gdhpc");
+    let out = cli()
+        .args(["convert", "--in"])
+        .arg(&dir)
+        .arg("--out")
+        .arg(&bin)
+        .output()
+        .expect("convert");
+    assert!(out.status.success(), "convert failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table II"), "convert must print the cleaning report");
+    assert!(bin.exists());
+
+    let out = cli()
+        .args(["report", "--data"])
+        .arg(&bin)
+        .args(["--threads", "2"])
+        .output()
+        .expect("report");
+    assert!(out.status.success(), "report failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for section in ["Table I", "Table IV", "Figure 9", "Figure 11"] {
+        assert!(stdout.contains(section), "report missing {section}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn synth_report_runs_without_files() {
+    let out = cli()
+        .args(["synth-report", "--scale", "0.00002", "--seed", "5", "--threads", "2"])
+        .output()
+        .expect("synth-report");
+    assert!(out.status.success(), "failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table I"));
+    assert!(stdout.contains("Table II"));
+    assert!(stdout.contains("Figure 10"));
+}
+
+#[test]
+fn query_and_update_subcommands() {
+    let dir = temp_dir("query");
+    let out = cli()
+        .args(["generate", "--out"])
+        .arg(&dir)
+        .args(["--scale", "0.00002", "--seed", "11"])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let bin = dir.join("data.gdhpc");
+    let out = cli().args(["convert", "--in"]).arg(&dir).arg("--out").arg(&bin).output().expect("convert");
+    assert!(out.status.success());
+
+    // Windowed top-publisher query.
+    let out = cli()
+        .args(["query", "--data"])
+        .arg(&bin)
+        .args(["--top", "3", "--window", "2016Q1:2017Q4", "--pair", "UK,USA"])
+        .output()
+        .expect("query");
+    assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top 3 publishers"));
+    assert!(stdout.contains("co-reporting Jaccard"));
+
+    // Apply the same raw directory as an update batch (all duplicates —
+    // the dataset must survive unchanged in size).
+    let out = cli().args(["update", "--data"]).arg(&bin).arg("--in").arg(&dir).output().expect("update");
+    assert!(out.status.success(), "update failed: {}", String::from_utf8_lossy(&out.stderr));
+    let msg = String::from_utf8_lossy(&out.stderr);
+    assert!(msg.contains("dup dropped"), "unexpected update output: {msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_rejects_unknown_source() {
+    let dir = temp_dir("query_bad");
+    let out = cli()
+        .args(["generate", "--out"])
+        .arg(&dir)
+        .args(["--scale", "0.00002", "--seed", "12"])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let bin = dir.join("data.gdhpc");
+    assert!(cli().args(["convert", "--in"]).arg(&dir).arg("--out").arg(&bin).output().unwrap().status.success());
+    let out = cli()
+        .args(["query", "--data"])
+        .arg(&bin)
+        .args(["--source", "no-such-domain.example"])
+        .output()
+        .expect("query");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown source"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_required_flag_is_an_error() {
+    let out = cli().arg("convert").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--in"));
+}

@@ -1,0 +1,124 @@
+//! Integration tests for the two system extensions: the 15-minute
+//! incremental update path (batch appends must equal a full rebuild)
+//! and the simulated distributed-memory execution (sharded queries must
+//! equal single-node results on a realistic synthetic corpus).
+
+use gdelt::columnar::incremental::append_batch;
+use gdelt::engine::query::AggregatedCountryReport;
+use gdelt::engine::sharded::ShardedDataset;
+use gdelt::prelude::*;
+
+fn corpus() -> (Vec<gdelt::model::EventRecord>, Vec<gdelt::model::MentionRecord>) {
+    let cfg = gdelt::synth::scenario::tiny(131);
+    let data = gdelt::synth::generate(&cfg);
+    (data.events, data.mentions)
+}
+
+fn build(
+    events: Vec<gdelt::model::EventRecord>,
+    mentions: Vec<gdelt::model::MentionRecord>,
+) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    for e in events {
+        b.add_event(e);
+    }
+    for m in mentions {
+        b.add_mention(m);
+    }
+    b.build().0
+}
+
+fn serialized(d: &Dataset) -> Vec<u8> {
+    let mut buf = Vec::new();
+    gdelt::columnar::binfmt::write_dataset(&mut buf, d).expect("serialize");
+    buf
+}
+
+#[test]
+fn quarter_hour_batches_equal_full_rebuild() {
+    let (events, mentions) = corpus();
+
+    // Replay the corpus as five chronological batches, the way GDELT
+    // actually arrives. The full-rebuild reference consumes the same
+    // stream order (ingestion order is the tie-breaker for identical
+    // (event, interval) mentions, so byte-equality requires it).
+    let mut sorted_events = events;
+    sorted_events.sort_by_key(|e| e.date_added);
+    let mut sorted_mentions = mentions;
+    sorted_mentions.sort_by_key(|a| a.mention_time);
+    let full = build(sorted_events.clone(), sorted_mentions.clone());
+
+    let chunks = 5;
+    let e_step = sorted_events.len().div_ceil(chunks);
+    let m_step = sorted_mentions.len().div_ceil(chunks);
+    let mut current = build(
+        sorted_events[..e_step].to_vec(),
+        sorted_mentions[..m_step].to_vec(),
+    );
+    for i in 1..chunks {
+        let e_lo = (i * e_step).min(sorted_events.len());
+        let e_hi = ((i + 1) * e_step).min(sorted_events.len());
+        let m_lo = (i * m_step).min(sorted_mentions.len());
+        let m_hi = ((i + 1) * m_step).min(sorted_mentions.len());
+        let (next, stats, _) = append_batch(
+            &current,
+            sorted_events[e_lo..e_hi].to_vec(),
+            sorted_mentions[m_lo..m_hi].to_vec(),
+        );
+        assert!(stats.new_events > 0 || e_lo == e_hi);
+        next.validate().expect("intermediate dataset valid");
+        current = next;
+    }
+
+    assert_eq!(current.events.len(), full.events.len());
+    assert_eq!(current.mentions.len(), full.mentions.len());
+    assert_eq!(serialized(&current), serialized(&full), "incremental != rebuild");
+}
+
+#[test]
+fn incremental_updates_preserve_query_results() {
+    let (events, mentions) = corpus();
+    let half_e = events.len() / 2;
+    let half_m = mentions.len() / 2;
+    let base = build(events[..half_e].to_vec(), mentions[..half_m].to_vec());
+    let (updated, _, _) =
+        append_batch(&base, events[half_e..].to_vec(), mentions[half_m..].to_vec());
+    let full = build(events, mentions);
+
+    let ctx = ExecContext::with_threads(2);
+    let a = AggregatedCountryReport::run(&ctx, &updated);
+    let b = AggregatedCountryReport::run(&ctx, &full);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sharded_execution_matches_single_node_on_synthetic_corpus() {
+    let (events, mentions) = corpus();
+    let d = build(events, mentions);
+    let ctx = ExecContext::with_threads(2);
+    let single = AggregatedCountryReport::run(&ctx, &d);
+
+    for shards in [2usize, 3, 8] {
+        let sd = ShardedDataset::split(&d, shards);
+        assert_eq!(sd.total_events(), d.events.len());
+        assert_eq!(sd.total_mentions(), d.mentions.len());
+        let dist = sd.aggregated_cross_report(&ctx);
+        assert_eq!(dist, single, "shards={shards}");
+    }
+}
+
+#[test]
+fn sharding_then_updating_is_consistent() {
+    // Combine both extensions: update a dataset, then shard it; the
+    // distributed query must still match the single-node result.
+    let (events, mentions) = corpus();
+    let half = events.len() / 2;
+    let base = build(events[..half].to_vec(), mentions[..mentions.len() / 2].to_vec());
+    let (updated, _, _) =
+        append_batch(&base, events[half..].to_vec(), mentions[mentions.len() / 2..].to_vec());
+
+    let ctx = ExecContext::with_threads(2);
+    let single = AggregatedCountryReport::run(&ctx, &updated);
+    let dist = ShardedDataset::split(&updated, 4).aggregated_cross_report(&ctx);
+    assert_eq!(dist, single);
+}
