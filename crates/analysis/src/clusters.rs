@@ -41,7 +41,11 @@ pub fn compute(ctx: &ExecContext, d: &Dataset, k: usize, params: MclParams) -> P
     }
     let sim = CsrMatrix::from_triplets(publishers.len(), &triplets);
     let clustering = mcl(&sim, params);
-    PublisherClusters { publishers, clusters: clustering.clusters, iterations: clustering.iterations }
+    PublisherClusters {
+        publishers,
+        clusters: clustering.clusters,
+        iterations: clustering.iterations,
+    }
 }
 
 /// Render the clusters with domain names.

@@ -84,9 +84,8 @@ pub fn top_dyads(ctx: &ExecContext, d: &Dataset, k: usize) -> Vec<Dyad> {
 
 /// Render the dyad ranking.
 pub fn render(registry: &CountryRegistry, dyads: &[Dyad]) -> String {
-    let name = |c: CountryId| {
-        registry.get(c).map(|c| c.name.to_owned()).unwrap_or_else(|| "?".into())
-    };
+    let name =
+        |c: CountryId| registry.get(c).map(|c| c.name.to_owned()).unwrap_or_else(|| "?".into());
     let mut t = TextTable::new(&["Actor dyad", "Events", "Conflict share"]);
     for dy in dyads {
         t.row(vec![

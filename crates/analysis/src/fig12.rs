@@ -52,8 +52,7 @@ pub fn compute(d: &Dataset, thread_counts: &[usize], repeats: usize) -> Fig12 {
         .collect();
 
     let store = RowStore::from_dataset(d);
-    let naive_seconds =
-        (0..repeats).map(|_| timed_naive(&store).1).fold(f64::INFINITY, f64::min);
+    let naive_seconds = (0..repeats).map(|_| timed_naive(&store).1).fold(f64::INFINITY, f64::min);
     Fig12 { points, naive_seconds }
 }
 
@@ -61,7 +60,11 @@ pub fn compute(d: &Dataset, thread_counts: &[usize], repeats: usize) -> Fig12 {
 pub fn render(f: &Fig12) -> String {
     let mut t = TextTable::new(&["Threads", "Seconds", "Speedup"]);
     for p in &f.points {
-        t.row(vec![p.threads.to_string(), format!("{:.4}", p.seconds), format!("{:.2}x", p.speedup)]);
+        t.row(vec![
+            p.threads.to_string(),
+            format!("{:.4}", p.seconds),
+            format!("{:.2}x", p.speedup),
+        ]);
     }
     format!(
         "Figure 12: aggregated-query scaling (naive row-store baseline: {:.4}s)\n{}",

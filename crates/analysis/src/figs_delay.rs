@@ -93,7 +93,10 @@ pub fn render_fig10(avg: &QuarterlySeries, med: &QuarterlySeries) -> String {
     for (i, (q, a)) in avg.iter().enumerate() {
         t.row(vec![q.to_string(), format!("{a:.1}"), format!("{:.0}", med.values[i])]);
     }
-    format!("Figure 10: aggregated quarterly publishing delay (15-minute intervals)\n{}", t.render())
+    format!(
+        "Figure 10: aggregated quarterly publishing delay (15-minute intervals)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

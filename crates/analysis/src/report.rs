@@ -9,8 +9,8 @@ use crate::{
 use gdelt_cluster::MclParams;
 use gdelt_columnar::Dataset;
 use gdelt_csv::clean::CleanReport;
-use gdelt_engine::crossreport::CrossReport;
 use gdelt_engine::coreport::CountryCoReport;
+use gdelt_engine::crossreport::CrossReport;
 use gdelt_engine::ExecContext;
 use gdelt_model::country::CountryRegistry;
 
@@ -110,7 +110,10 @@ pub fn run_full_report(
     let f8 = figs_matrix::fig8(&cr, 50.min(registry.len()));
     sections.push((
         "Figure 8".into(),
-        figs_matrix::render_heatmap("Figure 8: 50x50 country cross-reporting (log)", &f8.log_counts),
+        figs_matrix::render_heatmap(
+            "Figure 8: 50x50 country cross-reporting (log)",
+            &f8.log_counts,
+        ),
     ));
 
     let f9 = figs_delay::fig9(ctx, d);
@@ -136,8 +139,7 @@ pub fn run_full_report(
     }
 
     if opts.clustering {
-        let pc =
-            clusters::compute(ctx, d, 30.min(d.sources.len()), MclParams::default());
+        let pc = clusters::compute(ctx, d, 30.min(d.sources.len()), MclParams::default());
         sections.push(("Clusters".into(), clusters::render(d, &pc)));
     }
 

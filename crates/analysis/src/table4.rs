@@ -51,7 +51,8 @@ pub fn render(t4: &Table4) -> String {
         sum_row.push(fmt_cell(s));
     }
     t.row(sum_row);
-    let mut out = String::from("Table IV: follow-reporting matrix, ten most productive publishers\n");
+    let mut out =
+        String::from("Table IV: follow-reporting matrix, ten most productive publishers\n");
     for (l, p) in labels.iter().zip(&t4.publishers) {
         out.push_str(&format!("  {l} = {p}\n"));
     }
@@ -78,10 +79,11 @@ mod tests {
         }
         // The media-group block (top publishers) must co/follow-report:
         // at least some off-diagonal mass among the first rows.
-        let top_block: f64 =
-            (0..5).flat_map(|i| (0..5).map(move |j| (i, j))).filter(|&(i, j)| i != j)
-                .map(|(i, j)| f.get(i, j))
-                .sum();
+        let top_block: f64 = (0..5)
+            .flat_map(|i| (0..5).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .map(|(i, j)| f.get(i, j))
+            .sum();
         assert!(top_block > 0.0, "no follow-reporting inside the top block");
     }
 

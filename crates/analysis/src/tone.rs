@@ -55,8 +55,7 @@ pub fn article_tone_by_publisher(
     k: usize,
 ) -> Vec<CountryTone> {
     // Project each mention to its publisher's country once.
-    let keys: Vec<u16> =
-        d.mentions.source.iter().map(|&s| d.sources.country[s as usize]).collect();
+    let keys: Vec<u16> = d.mentions.source.iter().map(|&s| d.sources.country[s as usize]).collect();
     let sums = mean_f32_by(ctx, &keys, &d.mentions.doc_tone, registry.len());
     rank_by_count(sums, k)
 }
@@ -125,9 +124,8 @@ pub fn render(
     publisher_tone: &[CountryTone],
     mix: &QuadClassMix,
 ) -> String {
-    let name = |c: CountryId| {
-        registry.get(c).map(|c| c.name.to_owned()).unwrap_or_else(|| "?".into())
-    };
+    let name =
+        |c: CountryId| registry.get(c).map(|c| c.name.to_owned()).unwrap_or_else(|| "?".into());
     let mut out = String::from("Tone and event-type extensions\n");
     let mut t = TextTable::new(&["Event country", "Mean tone", "Events"]);
     for r in event_tone {
@@ -142,13 +140,7 @@ pub fn render(
     let mut t = TextTable::new(&["Quarter", "VerbCoop", "MatCoop", "VerbConf", "MatConf"]);
     for (i, s) in mix.shares.iter().enumerate() {
         let q = Quarter::from_linear(mix.base.linear() + i as i32);
-        t.row(vec![
-            q.to_string(),
-            fmt_f(s[0], 3),
-            fmt_f(s[1], 3),
-            fmt_f(s[2], 3),
-            fmt_f(s[3], 3),
-        ]);
+        t.row(vec![q.to_string(), fmt_f(s[0], 3), fmt_f(s[1], 3), fmt_f(s[2], 3), fmt_f(s[3], 3)]);
     }
     out.push_str(&t.render());
     out
@@ -207,15 +199,11 @@ mod tests {
         assert!(!mix.shares.is_empty());
         for (i, s) in mix.shares.iter().enumerate() {
             let sum: f64 = s.iter().sum();
-            assert!(
-                sum == 0.0 || (sum - 1.0).abs() < 1e-9,
-                "quarter {i} shares sum to {sum}"
-            );
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9, "quarter {i} shares sum to {sum}");
         }
         // The generator draws roots uniformly → material conflict
         // (7 of 20 roots) is the largest class on average.
-        let avg_mc: f64 =
-            mix.shares.iter().map(|s| s[3]).sum::<f64>() / mix.shares.len() as f64;
+        let avg_mc: f64 = mix.shares.iter().map(|s| s[3]).sum::<f64>() / mix.shares.len() as f64;
         assert!(avg_mc > 0.25, "material conflict share {avg_mc}");
     }
 

@@ -88,9 +88,7 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("agg_partials_vs_atomics");
     let keys = d.mentions.source.as_slice();
     let domain = d.sources.len();
-    g.bench_function("per_thread_partials", |b| {
-        b.iter(|| black_box(count_by(&ctx, keys, domain)))
-    });
+    g.bench_function("per_thread_partials", |b| b.iter(|| black_box(count_by(&ctx, keys, domain))));
     g.bench_function("shared_atomics", |b| {
         b.iter(|| black_box(count_by_atomic(&ctx, keys, domain)))
     });
@@ -99,9 +97,7 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("csr_index_vs_sort_on_demand");
     g.sample_size(10);
     g.bench_function("prebuilt_csr", |b| b.iter(|| black_box(coreport_events_with_index(d))));
-    g.bench_function("sort_on_demand", |b| {
-        b.iter(|| black_box(coreport_events_without_index(d)))
-    });
+    g.bench_function("sort_on_demand", |b| b.iter(|| black_box(coreport_events_without_index(d))));
     g.finish();
 
     let mut g = c.benchmark_group("columnar_vs_row_baseline");

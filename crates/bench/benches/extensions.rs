@@ -21,9 +21,7 @@ fn bench_extensions(c: &mut Criterion) {
     let mut g = c.benchmark_group("sliced_vs_dense_coreport");
     g.sample_size(10);
     g.bench_function("dense_global", |b| b.iter(|| black_box(CoReport::build(&ctx, d))));
-    g.bench_function("sliced_sparse_assembly", |b| {
-        b.iter(|| black_box(sliced_coreport(&ctx, d)))
-    });
+    g.bench_function("sliced_sparse_assembly", |b| b.iter(|| black_box(sliced_coreport(&ctx, d))));
     g.finish();
 
     let mut g = c.benchmark_group("sharded_query");
@@ -47,8 +45,7 @@ fn bench_extensions(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("append_batch", |b| {
         b.iter(|| {
-            let (updated, _, _) =
-                append_batch(d, batch.events.clone(), batch.mentions.clone());
+            let (updated, _, _) = append_batch(d, batch.events.clone(), batch.mentions.clone());
             black_box(updated.mentions.len())
         })
     });

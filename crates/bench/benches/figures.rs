@@ -17,12 +17,8 @@ fn bench_figures(c: &mut Criterion) {
     c.bench_function("fig2_article_histogram", |b| {
         b.iter(|| black_box(figs_volume::fig2(&ctx, d)))
     });
-    c.bench_function("fig3_active_sources", |b| {
-        b.iter(|| black_box(figs_volume::fig3(&ctx, d)))
-    });
-    c.bench_function("fig4_events_quarterly", |b| {
-        b.iter(|| black_box(figs_volume::fig4(&ctx, d)))
-    });
+    c.bench_function("fig3_active_sources", |b| b.iter(|| black_box(figs_volume::fig3(&ctx, d))));
+    c.bench_function("fig4_events_quarterly", |b| b.iter(|| black_box(figs_volume::fig4(&ctx, d))));
     c.bench_function("fig5_articles_quarterly", |b| {
         b.iter(|| black_box(figs_volume::fig5(&ctx, d)))
     });
@@ -41,12 +37,8 @@ fn bench_figures(c: &mut Criterion) {
     c.bench_function("fig9_delay_distributions", |b| {
         b.iter(|| black_box(figs_delay::fig9(&ctx, d)))
     });
-    c.bench_function("fig10_delay_quarterly", |b| {
-        b.iter(|| black_box(figs_delay::fig10(&ctx, d)))
-    });
-    c.bench_function("fig11_late_articles", |b| {
-        b.iter(|| black_box(figs_delay::fig11(&ctx, d)))
-    });
+    c.bench_function("fig10_delay_quarterly", |b| b.iter(|| black_box(figs_delay::fig10(&ctx, d))));
+    c.bench_function("fig11_late_articles", |b| b.iter(|| black_box(figs_delay::fig11(&ctx, d))));
 }
 
 /// Short measurement windows keep the full suite tractable on

@@ -38,9 +38,7 @@ fn bench_scaling(c: &mut Criterion) {
     let store = RowStore::from_dataset(d);
     let mut g = c.benchmark_group("fig12_baseline");
     g.sample_size(10);
-    g.bench_function("naive_row_store_query", |b| {
-        b.iter(|| black_box(store.cross_report_naive()))
-    });
+    g.bench_function("naive_row_store_query", |b| b.iter(|| black_box(store.cross_report_naive())));
     g.finish();
 }
 

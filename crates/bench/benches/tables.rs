@@ -16,17 +16,11 @@ fn bench_tables(c: &mut Criterion) {
     let ctx = ExecContext::new();
     let registry = CountryRegistry::new();
 
-    c.bench_function("table1_dataset_stats", |b| {
-        b.iter(|| black_box(table1::compute(&ctx, d)))
-    });
+    c.bench_function("table1_dataset_stats", |b| b.iter(|| black_box(table1::compute(&ctx, d))));
 
-    c.bench_function("table2_clean_report_render", |b| {
-        b.iter(|| black_box(table2::render(clean)))
-    });
+    c.bench_function("table2_clean_report_render", |b| b.iter(|| black_box(table2::render(clean))));
 
-    c.bench_function("table3_top_events", |b| {
-        b.iter(|| black_box(table3::compute(&ctx, d, 10)))
-    });
+    c.bench_function("table3_top_events", |b| b.iter(|| black_box(table3::compute(&ctx, d, 10))));
 
     c.bench_function("table4_follow_matrix_top10", |b| {
         b.iter(|| black_box(table4::compute(&ctx, d, 10)))

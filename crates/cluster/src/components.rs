@@ -41,7 +41,8 @@ impl UnionFind {
     /// Extract all sets as sorted member lists.
     pub fn sets(&mut self) -> Vec<Vec<u32>> {
         let n = self.parent.len();
-        let mut by_root: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        let mut by_root: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for x in 0..n as u32 {
             by_root.entry(self.find(x)).or_default().push(x);
         }

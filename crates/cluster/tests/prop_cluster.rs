@@ -9,11 +9,8 @@ use proptest::prelude::*;
 /// `(n, row-major data)` for a random sparse-ish square matrix.
 fn arb_dense() -> impl Strategy<Value = (usize, Vec<f64>)> {
     (1usize..8).prop_flat_map(|n| {
-        prop::collection::vec(
-            prop_oneof![4 => Just(0.0), 1 => 0.01f64..5.0],
-            n * n,
-        )
-        .prop_map(move |data| (n, data))
+        prop::collection::vec(prop_oneof![4 => Just(0.0), 1 => 0.01f64..5.0], n * n)
+            .prop_map(move |data| (n, data))
     })
 }
 
@@ -22,10 +19,7 @@ fn arb_dense_pair() -> impl Strategy<Value = (usize, Vec<f64>, Vec<f64>)> {
     (1usize..7).prop_flat_map(|n| {
         let cell = prop_oneof![4 => Just(0.0), 1 => 0.01f64..5.0];
         let cell2 = prop_oneof![4 => Just(0.0), 1 => 0.01f64..5.0];
-        (
-            prop::collection::vec(cell, n * n),
-            prop::collection::vec(cell2, n * n),
-        )
+        (prop::collection::vec(cell, n * n), prop::collection::vec(cell2, n * n))
             .prop_map(move |(a, b)| (n, a, b))
     })
 }

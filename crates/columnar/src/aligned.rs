@@ -29,9 +29,13 @@ pub struct AlignedBuf<T: Copy> {
     _marker: PhantomData<T>,
 }
 
-// SAFETY: AlignedBuf owns its buffer exclusively; T: Copy implies no
-// drop-glue aliasing concerns. Same justification as Vec<T>.
+// SAFETY: AlignedBuf owns its allocation exclusively (no aliasing
+// handles exist) and T: Copy rules out drop-glue; moving the buffer to
+// another thread is sound exactly when moving the elements is, hence
+// the `T: Send` bound. Same reasoning as Vec<T>'s Send impl.
 unsafe impl<T: Copy + Send> Send for AlignedBuf<T> {}
+// SAFETY: shared access only hands out `&[T]`; concurrent `&T` reads
+// are sound exactly when T: Sync, mirroring Vec<T>'s Sync impl.
 unsafe impl<T: Copy + Sync> Sync for AlignedBuf<T> {}
 
 impl<T: Copy> AlignedBuf<T> {
@@ -50,8 +54,10 @@ impl<T: Copy> AlignedBuf<T> {
     }
 
     fn layout(cap: usize) -> Layout {
+        // lint: allow(no_panic): allocation-size overflow must abort, as Vec does
         let bytes = cap.checked_mul(size_of::<T>()).expect("capacity overflow");
         let align = COLUMN_ALIGN.max(align_of::<T>());
+        // lint: allow(no_panic): size/align were computed from a valid Layout's rules
         Layout::from_size_align(bytes.max(1), align).expect("bad layout")
     }
 
@@ -96,6 +102,7 @@ impl<T: Copy> AlignedBuf<T> {
 
     /// Ensure room for at least `extra` more elements.
     pub fn reserve(&mut self, extra: usize) {
+        // lint: allow(no_panic): allocation-size overflow must abort, as Vec does
         let needed = self.len.checked_add(extra).expect("length overflow");
         if needed > self.cap {
             let new_cap = needed.max(self.cap * 2).max(8);

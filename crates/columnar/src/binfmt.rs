@@ -58,6 +58,7 @@ macro_rules! impl_scalar {
             }
             #[inline]
             fn read_le(bytes: &[u8]) -> Self {
+                // lint: allow(no_panic): callers slice exactly size_of::<$t>() bytes
                 <$t>::from_le_bytes(bytes.try_into().expect("width checked"))
             }
         }
@@ -248,6 +249,17 @@ impl Sections {
 
 /// Deserialize a dataset, verifying checksums and all invariants.
 pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
+    let dataset = read_dataset_unchecked(r)?;
+    dataset.validate().map_err(bad)?;
+    Ok(dataset)
+}
+
+/// Deserialize verifying only checksums and per-section structure,
+/// skipping [`Dataset::validate`]. This exists for the deep auditor
+/// (`gdelt-cli validate`), which wants to load a structurally damaged
+/// store and report *every* broken invariant rather than fail at the
+/// first; every normal consumer should call [`read_dataset`].
+pub fn read_dataset_unchecked<R: Read>(r: &mut R) -> io::Result<Dataset> {
     let mut s = Sections::read(r)?;
 
     let url_bytes = s.take("events.urls.bytes")?;
@@ -299,9 +311,7 @@ pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
 
     let event_index = EventIndex { offsets: decode::<u64>(&s.take("index.offsets")?)? };
 
-    let dataset = Dataset { events, mentions, sources, event_index };
-    dataset.validate().map_err(bad)?;
-    Ok(dataset)
+    Ok(Dataset { events, mentions, sources, event_index })
 }
 
 /// Write a dataset to a file (buffered).
@@ -315,6 +325,13 @@ pub fn save(path: &std::path::Path, d: &Dataset) -> io::Result<()> {
 pub fn load(path: &std::path::Path) -> io::Result<Dataset> {
     let mut r = io::BufReader::new(std::fs::File::open(path)?);
     read_dataset(&mut r)
+}
+
+/// Load a dataset verifying only checksums, for the deep auditor; see
+/// [`read_dataset_unchecked`].
+pub fn load_unchecked(path: &std::path::Path) -> io::Result<Dataset> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    read_dataset_unchecked(&mut r)
 }
 
 #[cfg(test)]

@@ -142,11 +142,8 @@ impl DatasetBuilder {
                 continue;
             };
             let _ = ev_iv; // interval stored below via the record again
-            let event_row = events
-                .id
-                .binary_search(&m.event_id.0)
-                .map(|r| r as u32)
-                .unwrap_or(NO_EVENT_ROW);
+            let event_row =
+                events.id.binary_search(&m.event_id.0).map(|r| r as u32).unwrap_or(NO_EVENT_ROW);
             let source_id = match sources.names.lookup(&m.source_name) {
                 Some(id) => id,
                 None => {
@@ -163,7 +160,7 @@ impl DatasetBuilder {
         reserve_mentions(&mut mentions, order.len());
         for &(event_row, mn_iv, idx, source_id) in &order {
             let m = &self.mentions[idx as usize];
-            // Both conversions succeeded above.
+            // lint: allow(no_panic): the same conversion succeeded during staging
             let ev_iv = CaptureInterval::from_datetime(m.event_time).expect("validated");
             let iv = CaptureInterval(mn_iv);
             mentions.event_id.push(m.event_id.0);
@@ -173,6 +170,7 @@ impl DatasetBuilder {
             mentions.delay.push(iv.delay_since(ev_iv));
             mentions.source.push(source_id);
             mentions.quarter.push(Dataset::interval_quarter(iv));
+            // lint: allow(id_cast): enum discriminant with u8 repr, not an id
             mentions.mention_type.push(m.mention_type as u8);
             mentions.confidence.push(m.confidence);
             mentions.doc_tone.push(m.doc_tone);
@@ -181,6 +179,11 @@ impl DatasetBuilder {
         let event_index = EventIndex::build(events.len(), &mentions);
         let dataset = Dataset { events, mentions, sources, event_index };
         debug_assert_eq!(dataset.validate(), Ok(()));
+        #[cfg(debug_assertions)]
+        {
+            let report = dataset.deep_validate();
+            debug_assert!(report.is_ok(), "builder produced invalid dataset:\n{report}");
+        }
         (dataset, self.cleaner.finish())
     }
 }
@@ -252,7 +255,12 @@ mod tests {
         }
     }
 
-    pub(crate) fn mention(event_id: u64, event_hour: u8, mention_hour: u8, source: &str) -> MentionRecord {
+    pub(crate) fn mention(
+        event_id: u64,
+        event_hour: u8,
+        mention_hour: u8,
+        source: &str,
+    ) -> MentionRecord {
         MentionRecord {
             event_id: EventId(event_id),
             event_time: DateTime::new(GDELT_EPOCH, event_hour, 0, 0).unwrap(),
@@ -339,7 +347,8 @@ mod tests {
     #[test]
     fn ingest_round_trip_through_raw_text() {
         use gdelt_csv::writer::{write_events, write_mentions};
-        let evs = vec![event(1, 1, "US", "https://a.com/1"), event(2, 2, "UK", "https://b.co.uk/2")];
+        let evs =
+            vec![event(1, 1, "US", "https://a.com/1"), event(2, 2, "UK", "https://b.co.uk/2")];
         let mns = vec![mention(1, 1, 3, "a.com"), mention(2, 2, 2, "b.co.uk")];
         let mut etext = String::new();
         write_events(&mut etext, &evs);

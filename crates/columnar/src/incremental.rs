@@ -23,6 +23,7 @@ use crate::index::EventIndex;
 use crate::table::{Dataset, EventsTable, MentionsTable, NO_EVENT_ROW};
 use gdelt_csv::clean::CleanReport;
 use gdelt_model::event::EventRecord;
+use gdelt_model::ids::row_u32;
 use gdelt_model::mention::MentionRecord;
 
 /// Accounting for one applied batch.
@@ -137,7 +138,7 @@ pub fn append_batch(
     for row in 0..base.mentions.len() {
         let er = base.mentions.event_row[row];
         let new_er = remap_base(row);
-        let rec = (new_er, base.mentions.mention_interval[row], false, row as u32);
+        let rec = (new_er, base.mentions.mention_interval[row], false, row_u32(row));
         if er == NO_EVENT_ROW && new_er != NO_EVENT_ROW {
             stats.rematched_mentions += 1;
             batch_run.push(rec); // re-sorted below
@@ -166,7 +167,7 @@ pub fn append_batch(
             new_er
         };
         stats.new_mentions += 1;
-        batch_run.push((new_er, batch.mentions.mention_interval[row], true, row as u32));
+        batch_run.push((new_er, batch.mentions.mention_interval[row], true, row_u32(row)));
     }
     batch_run.sort_unstable();
 
@@ -185,11 +186,8 @@ pub fn append_batch(
         out.event_interval.push(src.event_interval[row]);
         out.mention_interval.push(src.mention_interval[row]);
         out.delay.push(src.delay[row]);
-        let source = if src_is_batch {
-            source_map[src.source[row] as usize]
-        } else {
-            src.source[row]
-        };
+        let source =
+            if src_is_batch { source_map[src.source[row] as usize] } else { src.source[row] };
         out.source.push(source);
         out.quarter.push(src.quarter[row]);
         out.mention_type.push(src.mention_type[row]);
@@ -215,6 +213,11 @@ pub fn append_batch(
 
     out.event_index = EventIndex::build(out.events.len(), &out.mentions);
     debug_assert_eq!(out.validate(), Ok(()));
+    #[cfg(debug_assertions)]
+    {
+        let report = out.deep_validate();
+        debug_assert!(report.is_ok(), "append_batch produced invalid dataset:\n{report}");
+    }
     (out, stats, clean)
 }
 
@@ -305,8 +308,11 @@ mod tests {
     #[test]
     fn append_matches_full_rebuild() {
         let base_events = vec![event(10, 1), event(30, 2)];
-        let base_mentions =
-            vec![mention(10, 1, 0, "a.com"), mention(30, 2, 5, "b.co.uk"), mention(30, 2, 2, "a.com")];
+        let base_mentions = vec![
+            mention(10, 1, 0, "a.com"),
+            mention(30, 2, 5, "b.co.uk"),
+            mention(30, 2, 2, "a.com"),
+        ];
         let batch_events = vec![event(20, 3), event(40, 4)];
         let batch_mentions = vec![
             mention(20, 3, 0, "c.com.au"),
@@ -330,8 +336,7 @@ mod tests {
     #[test]
     fn duplicate_batch_events_are_dropped() {
         let base = build(vec![event(10, 1)], vec![mention(10, 1, 0, "a.com")]);
-        let (updated, stats, _) =
-            append_batch(&base, vec![event(10, 9), event(11, 2)], vec![]);
+        let (updated, stats, _) = append_batch(&base, vec![event(10, 9), event(11, 2)], vec![]);
         assert_eq!(stats.duplicate_events, 1);
         assert_eq!(stats.new_events, 1);
         assert_eq!(updated.events.len(), 2);
@@ -343,7 +348,8 @@ mod tests {
     #[test]
     fn unknown_mentions_rematch_when_event_arrives() {
         // Base has a mention of event 99 before event 99 exists.
-        let base = build(vec![event(1, 0)], vec![mention(99, 5, 3, "a.com"), mention(1, 0, 0, "a.com")]);
+        let base =
+            build(vec![event(1, 0)], vec![mention(99, 5, 3, "a.com"), mention(1, 0, 0, "a.com")]);
         assert_eq!(base.event_index.total_mentions(), 1);
         let (updated, stats, _) = append_batch(&base, vec![event(99, 5)], vec![]);
         assert_eq!(stats.rematched_mentions, 1);

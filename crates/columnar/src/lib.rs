@@ -19,7 +19,9 @@
 //!   which turn the co-/follow-reporting scans into linear walks;
 //! * [`binfmt`] — the versioned, checksummed on-disk format;
 //! * [`partition`] — row-range partitioning mirroring the NUMA-aware
-//!   placement the paper needs on its 8-node EPYC machine.
+//!   placement the paper needs on its 8-node EPYC machine;
+//! * [`validate`] — the deep structural auditor behind `gdelt-cli
+//!   validate`, collecting every violated invariant of a store.
 
 #![warn(missing_docs)]
 
@@ -32,6 +34,7 @@ pub mod memsize;
 pub mod partition;
 pub mod strings;
 pub mod table;
+pub mod validate;
 
 pub use builder::DatasetBuilder;
 pub use partition::{partitions, Partition};

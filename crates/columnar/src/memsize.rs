@@ -47,7 +47,8 @@ impl MemoryFootprint {
 /// Per-mention bytes of the fixed-width columns (8+4+4+4+4+4+2+1+1+4).
 pub const BYTES_PER_MENTION: usize = 36;
 /// Per-event bytes of the fixed-width columns.
-pub const BYTES_PER_EVENT: usize = 8 + 4 + 4 + 2 + 1 + 1 + 2 + 2 + 4 + 4 + 4 + 4 + 4 + 2 + 4 + 4 + 4;
+pub const BYTES_PER_EVENT: usize =
+    8 + 4 + 4 + 2 + 1 + 1 + 2 + 2 + 4 + 4 + 4 + 4 + 4 + 2 + 4 + 4 + 4;
 
 /// Measure a dataset's resident column payload (excludes allocator
 /// slack and the transient build-time hash indexes).

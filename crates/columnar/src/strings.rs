@@ -57,7 +57,7 @@ impl StringPool {
         let i = id as usize;
         let lo = self.offsets[i] as usize;
         let hi = self.offsets[i + 1] as usize;
-        // Pool contents were valid UTF-8 going in; binfmt verifies on load.
+        // lint: allow(no_panic): pool bytes are UTF-8-validated at build and load
         std::str::from_utf8(&self.bytes[lo..hi]).expect("pool corruption: invalid UTF-8")
     }
 
@@ -77,7 +77,7 @@ impl StringPool {
         if offsets.is_empty() || offsets[0] != 0 {
             return Err("offsets must start at 0");
         }
-        if *offsets.last().unwrap() != bytes.len() as u64 {
+        if offsets.last().copied() != Some(bytes.len() as u64) {
             return Err("final offset must equal payload length");
         }
         if offsets.windows(2).any(|w| w[0] > w[1]) {

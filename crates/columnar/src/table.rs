@@ -224,7 +224,9 @@ impl MentionsTable {
             if a > b {
                 return Err(format!("mentions not grouped by event row at {w}"));
             }
-            if a == b && a != NO_EVENT_ROW && self.mention_interval[w] > self.mention_interval[w + 1]
+            if a == b
+                && a != NO_EVENT_ROW
+                && self.mention_interval[w] > self.mention_interval[w + 1]
             {
                 return Err(format!("mentions not time-sorted within event at {w}"));
             }
@@ -336,10 +338,7 @@ impl Dataset {
     pub fn quarter_span(&self) -> Option<(Quarter, Quarter)> {
         let min = self.mentions.quarter.iter().min()?;
         let max = self.mentions.quarter.iter().max()?;
-        Some((
-            Quarter::from_linear(i32::from(*min)),
-            Quarter::from_linear(i32::from(*max)),
-        ))
+        Some((Quarter::from_linear(i32::from(*min)), Quarter::from_linear(i32::from(*max))))
     }
 
     /// Validate every cross-table invariant; used after deserialization
@@ -366,9 +365,7 @@ impl Dataset {
 
     /// Convenience: packed day → quarter linear index.
     pub fn day_quarter(day_packed: u32) -> u16 {
-        Date::from_yyyymmdd(day_packed)
-            .map(|d| d.quarter().linear() as u16)
-            .unwrap_or(0)
+        Date::from_yyyymmdd(day_packed).map(|d| d.quarter().linear() as u16).unwrap_or(0)
     }
 }
 

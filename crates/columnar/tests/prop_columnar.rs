@@ -45,23 +45,21 @@ fn arb_event(max_id: u64) -> impl Strategy<Value = EventRecord> {
 }
 
 fn arb_mention(max_id: u64) -> impl Strategy<Value = MentionRecord> {
-    (1..=max_id + 2, 0i64..60, 0u32..5_000, 0usize..12).prop_map(
-        |(id, day, delay, src)| {
-            let event_time = DateTime::midnight(GDELT_EPOCH.add_days(day));
-            MentionRecord {
-                event_id: EventId(id),
-                event_time,
-                mention_time: DateTime::from_unix_seconds(
-                    event_time.to_unix_seconds() + i64::from(delay) * 900,
-                ),
-                mention_type: MentionType::Web,
-                source_name: format!("pub{src}.co.uk"),
-                url: format!("https://pub{src}.co.uk/{id}"),
-                confidence: 50,
-                doc_tone: 0.0,
-            }
-        },
-    )
+    (1..=max_id + 2, 0i64..60, 0u32..5_000, 0usize..12).prop_map(|(id, day, delay, src)| {
+        let event_time = DateTime::midnight(GDELT_EPOCH.add_days(day));
+        MentionRecord {
+            event_id: EventId(id),
+            event_time,
+            mention_time: DateTime::from_unix_seconds(
+                event_time.to_unix_seconds() + i64::from(delay) * 900,
+            ),
+            mention_type: MentionType::Web,
+            source_name: format!("pub{src}.co.uk"),
+            url: format!("https://pub{src}.co.uk/{id}"),
+            confidence: 50,
+            doc_tone: 0.0,
+        }
+    })
 }
 
 proptest! {

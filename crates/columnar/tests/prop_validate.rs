@@ -1,0 +1,413 @@
+//! Corruption property tests for the deep validator.
+//!
+//! The contract under test: [`Dataset::deep_validate`] accepts every
+//! dataset the builder produces, and rejects *any* single structural
+//! corruption — truncated columns, flipped CSR offsets, broken joins,
+//! stale derived columns, dangling dictionary references, out-of-range
+//! index bounds. Each case builds a pristine dataset from arbitrary
+//! records, applies one randomly chosen corruption, and requires at
+//! least one violation (cases where the chosen corruption is not
+//! applicable to the generated data are skipped).
+//!
+//! A separate property drives the partitioner directly: swapping two
+//! distinct partition boundaries must always break partition
+//! soundness, which `deep_validate`'s `partitions.boundaries` check
+//! relies on.
+//!
+//! The final group corrupts the *serialized* store: truncated files
+//! and flipped checksum bytes must be refused by the loader, and
+//! semantic corruption smuggled past the checksums (payload mutated,
+//! checksum recomputed) must be caught by the deep validator.
+
+use gdelt_columnar::binfmt::{self, fnv1a64};
+use gdelt_columnar::partition::{partitions_at_boundaries, Partition};
+use gdelt_columnar::table::NO_EVENT_ROW;
+use gdelt_columnar::{Dataset, DatasetBuilder};
+use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+use gdelt_model::event::{ActionGeo, EventRecord};
+use gdelt_model::ids::EventId;
+use gdelt_model::mention::{MentionRecord, MentionType};
+use gdelt_model::time::{DateTime, GDELT_EPOCH};
+use proptest::prelude::*;
+
+fn arb_event(max_id: u64) -> impl Strategy<Value = EventRecord> {
+    (1..=max_id, 0i64..40, 0u8..24).prop_map(|(id, day, hour)| EventRecord {
+        id: EventId(id),
+        day: GDELT_EPOCH.add_days(day),
+        root: CameoRoot::new((id % 20 + 1) as u8).unwrap(),
+        event_code: "010".into(),
+        actor1_country: String::new(),
+        actor2_country: String::new(),
+        quad_class: QuadClass::from_u8((id % 4 + 1) as u8).unwrap(),
+        goldstein: Goldstein::new(0.0).unwrap(),
+        num_mentions: 1,
+        num_sources: 1,
+        num_articles: 1,
+        avg_tone: 0.0,
+        geo: ActionGeo::default(),
+        date_added: DateTime::new(GDELT_EPOCH.add_days(day), hour, 0, 0).unwrap(),
+        // Multi-byte chars in the pool so offset corruptions can land
+        // mid-character.
+        source_url: format!("https://müller{id}.de/{id}"),
+    })
+}
+
+fn arb_mention(max_id: u64) -> impl Strategy<Value = MentionRecord> {
+    (1..=max_id + 2, 0i64..40, 0u32..2_000, 0usize..8).prop_map(|(id, day, delay, src)| {
+        let event_time = DateTime::midnight(GDELT_EPOCH.add_days(day));
+        MentionRecord {
+            event_id: EventId(id),
+            event_time,
+            mention_time: DateTime::from_unix_seconds(
+                event_time.to_unix_seconds() + i64::from(delay) * 900,
+            ),
+            mention_type: MentionType::Web,
+            source_name: format!("außenpolitik{src}.example"),
+            url: format!("https://außenpolitik{src}.example/{id}"),
+            confidence: 50,
+            doc_tone: 0.0,
+        }
+    })
+}
+
+fn build(events: Vec<EventRecord>, mentions: Vec<MentionRecord>) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    for e in events {
+        b.add_event(e);
+    }
+    for m in mentions {
+        b.add_mention(m);
+    }
+    b.build().0
+}
+
+/// Apply corruption `op` to `d`. Returns the names of the checks
+/// allowed to report it, or `None` when the op does not apply to this
+/// particular dataset (e.g. no mentions to corrupt).
+fn corrupt(d: &mut Dataset, op: usize, pick: usize) -> Option<&'static [&'static str]> {
+    let n_events = d.events.len();
+    let n_mentions = d.mentions.len();
+    match op {
+        // Truncate a mentions column.
+        0 => {
+            if n_mentions == 0 {
+                return None;
+            }
+            d.mentions.delay.resize(n_mentions - 1, 0);
+            Some(&["mentions.columns"])
+        }
+        // Truncate an events column.
+        1 => {
+            if n_events == 0 {
+                return None;
+            }
+            d.events.quarter.resize(n_events - 1, 0);
+            Some(&["events.columns"])
+        }
+        // Flip two adjacent, distinct CSR offsets.
+        2 => {
+            let offs = &mut d.event_index.offsets;
+            let pos = offs.windows(2).position(|w| w[0] < w[1])?;
+            offs.swap(pos, pos + 1);
+            Some(&["index.monotone", "partitions.boundaries"])
+        }
+        // Push the final CSR offset past the mentions table.
+        3 => {
+            let last = d.event_index.offsets.last_mut()?;
+            *last += 5;
+            // Which check fires depends on how many unmatched mentions
+            // sit past the covered region: none → bounds; >= 5 → the
+            // stretched final range swallows NO_EVENT_ROW rows.
+            Some(&["index.bounds", "index.coverage", "index.monotone", "index.ranges"])
+        }
+        // Swap two adjacent distinct event ids (breaks sort order).
+        4 => {
+            let pos = d.events.id.windows(2).position(|w| w[0] != w[1])?;
+            d.events.id.as_mut_slice().swap(pos, pos + 1);
+            Some(&["events.sorted", "mentions.join", "mentions.grouping", "index.ranges"])
+        }
+        // Point a mention at a different event row than its id says.
+        5 => {
+            if n_mentions == 0 || n_events < 2 {
+                return None;
+            }
+            let i = pick % n_mentions;
+            let old = d.mentions.event_row[i];
+            let new = if old == NO_EVENT_ROW || old as usize == 0 { 1 } else { old - 1 };
+            if d.events.id[new as usize] == d.mentions.event_id[i] {
+                return None;
+            }
+            d.mentions.event_row[i] = new;
+            Some(&["mentions.join", "mentions.grouping", "index.ranges", "index.coverage"])
+        }
+        // Stale derived delay column.
+        6 => {
+            if n_mentions == 0 {
+                return None;
+            }
+            let i = pick % n_mentions;
+            d.mentions.delay[i] = d.mentions.delay[i].wrapping_add(1);
+            Some(&["mentions.delay"])
+        }
+        // Stale derived quarter column.
+        7 => {
+            if n_mentions == 0 {
+                return None;
+            }
+            let i = pick % n_mentions;
+            d.mentions.quarter[i] = d.mentions.quarter[i].wrapping_add(1);
+            Some(&["mentions.quarter"])
+        }
+        // Dangling URL dictionary reference.
+        8 => {
+            if n_events == 0 {
+                return None;
+            }
+            let i = pick % n_events;
+            d.events.source_url[i] = u32::MAX - 1;
+            Some(&["events.url_ref"])
+        }
+        // Dangling mention source reference.
+        _ => {
+            if n_mentions == 0 {
+                return None;
+            }
+            let i = pick % n_mentions;
+            d.mentions.source[i] = u32::MAX - 1;
+            Some(&["mentions.source_ref"])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The builder never produces a dataset the deep validator rejects.
+    #[test]
+    fn pristine_datasets_are_accepted(
+        events in prop::collection::vec(arb_event(30), 0..40),
+        mentions in prop::collection::vec(arb_mention(30), 0..80),
+    ) {
+        let d = build(events, mentions);
+        let report = d.deep_validate();
+        prop_assert!(report.is_ok(), "pristine dataset rejected:\n{report}");
+        prop_assert!(report.checks_run >= 20, "expected a real audit, ran {}", report.checks_run);
+    }
+
+    /// Any single corruption is rejected, and by the right check.
+    #[test]
+    fn corrupted_datasets_are_rejected(
+        events in prop::collection::vec(arb_event(30), 1..40),
+        mentions in prop::collection::vec(arb_mention(30), 1..80),
+        op in 0usize..10,
+        pick in 0usize..1024,
+    ) {
+        let mut d = build(events, mentions);
+        let Some(expected) = corrupt(&mut d, op, pick) else {
+            // This op does not apply to this dataset shape.
+            return Ok(());
+        };
+        let report = d.deep_validate();
+        prop_assert!(!report.is_ok(), "corruption op {op} went undetected");
+        prop_assert!(
+            report.violations.iter().any(|v| expected.contains(&v.check)),
+            "op {op} detected only by unexpected checks: {report}"
+        );
+    }
+
+    /// Swapping two distinct partition boundaries always breaks
+    /// partition soundness.
+    #[test]
+    fn swapped_partition_bounds_are_unsound(
+        mut bounds in prop::collection::vec(0u64..10_000, 3..40),
+        parts in 1usize..9,
+        pick in 0usize..1024,
+    ) {
+        bounds.sort_unstable();
+        bounds.dedup();
+        prop_assume!(bounds.len() >= 3);
+        // Normalize to a plausible CSR: starts at 0.
+        bounds[0] = 0;
+        let sound = partitions_at_boundaries(&bounds, parts);
+        prop_assert!(partitions_sound(&sound, *bounds.last().unwrap() as usize, &bounds));
+
+        // Swap two adjacent interior boundaries (all distinct after
+        // dedup) and re-derive with one partition per group, so every
+        // boundary is a cut and the inversion cannot hide inside a
+        // coarser partition. The [i, i+1] partition then runs backwards.
+        let i = 1 + pick % (bounds.len() - 2);
+        bounds.swap(i, i + 1);
+        let total = *bounds.last().unwrap() as usize;
+        let broken = partitions_at_boundaries(&bounds, bounds.len() - 1);
+        prop_assert!(
+            !partitions_sound(&broken, total, &bounds),
+            "swapped bounds at {i} still produced sound partitions"
+        );
+    }
+}
+
+/// One section of a serialized store, for byte-level surgery.
+struct RawSection {
+    name: String,
+    payload: Vec<u8>,
+}
+
+/// Split a serialized store into its header and section list.
+fn split_store(bytes: &[u8]) -> (Vec<u8>, Vec<RawSection>) {
+    let header = bytes[..12].to_vec(); // 8-byte magic + u32 section count
+    let mut sections = Vec::new();
+    let mut at = 12;
+    while at < bytes.len() {
+        let name_len = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as usize;
+        at += 2;
+        let name = String::from_utf8(bytes[at..at + name_len].to_vec()).unwrap();
+        at += name_len;
+        let len = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        at += 16; // length + stored checksum
+        let payload = bytes[at..at + len].to_vec();
+        at += len;
+        sections.push(RawSection { name, payload });
+    }
+    (header, sections)
+}
+
+/// Reassemble a store, recomputing every section checksum.
+fn join_store(header: &[u8], sections: &[RawSection]) -> Vec<u8> {
+    let mut out = header.to_vec();
+    for s in sections {
+        out.extend_from_slice(&(s.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(s.name.as_bytes());
+        out.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&s.payload).to_le_bytes());
+        out.extend_from_slice(&s.payload);
+    }
+    out
+}
+
+fn serialize(d: &Dataset) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    binfmt::write_dataset(&mut bytes, d).expect("writing to Vec cannot fail");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A truncated store file is refused by the loader at any cut.
+    #[test]
+    fn truncated_store_is_refused(
+        events in prop::collection::vec(arb_event(20), 1..20),
+        mentions in prop::collection::vec(arb_mention(20), 1..40),
+        cut in 0usize..4096,
+    ) {
+        let bytes = serialize(&build(events, mentions));
+        let cut = cut % bytes.len().max(1);
+        prop_assume!(cut < bytes.len());
+        let result = binfmt::read_dataset(&mut &bytes[..cut]);
+        prop_assert!(result.is_err(), "store truncated to {cut}/{} bytes still loaded", bytes.len());
+    }
+
+    /// A flipped payload byte is refused by the checksum pass.
+    #[test]
+    fn checksum_catches_flipped_byte(
+        events in prop::collection::vec(arb_event(20), 1..20),
+        mentions in prop::collection::vec(arb_mention(20), 1..40),
+        pick in 0usize..4096,
+    ) {
+        let d = build(events, mentions);
+        let mut corrupted = serialize(&d);
+        let (_, sections) = split_store(&corrupted);
+        // Flip one payload byte in one non-empty section, keeping the
+        // stored checksum — the loader must notice.
+        let dirty: Vec<usize> =
+            (0..sections.len()).filter(|&i| !sections[i].payload.is_empty()).collect();
+        prop_assume!(!dirty.is_empty());
+        let s = dirty[pick % dirty.len()];
+        // Byte offset of section s's payload within the file.
+        let payload_at = corrupted.len() - total_tail_len(&sections[s..])
+            + 2
+            + sections[s].name.len()
+            + 16;
+        let i = payload_at + pick % sections[s].payload.len();
+        corrupted[i] ^= 0x40;
+        let result = binfmt::read_dataset_unchecked(&mut corrupted.as_slice());
+        prop_assert!(result.is_err(), "flipped byte in section {s} passed the checksum");
+    }
+
+    /// Semantic corruption that *recomputes* checksums gets past the
+    /// loader — and is then caught by the deep validator.
+    #[test]
+    fn recomputed_checksum_corruption_is_caught_by_deep_validate(
+        events in prop::collection::vec(arb_event(20), 2..20),
+        mentions in prop::collection::vec(arb_mention(20), 2..40),
+        which in 0usize..3,
+    ) {
+        let d = build(events, mentions);
+        let bytes = serialize(&d);
+        let (header, mut sections) = split_store(&bytes);
+        let find = |sections: &[RawSection], name: &str| {
+            sections.iter().position(|s| s.name == name).expect("section present")
+        };
+        match which {
+            // Flip two adjacent distinct CSR offsets inside the
+            // serialized index section.
+            0 => {
+                let s = find(&sections, "index.offsets");
+                let words: Vec<u64> = sections[s]
+                    .payload
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                let Some(pos) = words.windows(2).position(|w| w[0] < w[1]) else {
+                    return Ok(());
+                };
+                let mut words = words;
+                words.swap(pos, pos + 1);
+                sections[s].payload =
+                    words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            }
+            // Truncate the delay column by one element.
+            1 => {
+                let s = find(&sections, "mentions.delay");
+                let len = sections[s].payload.len();
+                sections[s].payload.truncate(len - 4);
+            }
+            // Stale quarter value on the first event.
+            _ => {
+                let s = find(&sections, "events.quarter");
+                sections[s].payload[0] = sections[s].payload[0].wrapping_add(1);
+            }
+        }
+        let corrupted = join_store(&header, &sections);
+        // Checksums are valid again, so the unchecked loader accepts…
+        let Ok(loaded) = binfmt::read_dataset_unchecked(&mut corrupted.as_slice()) else {
+            // …unless per-section structure already refused it (e.g. a
+            // truncation that breaks offsets/pool totals) — also a pass.
+            return Ok(());
+        };
+        let report = loaded.deep_validate();
+        prop_assert!(!report.is_ok(), "semantic corruption {which} survived the deep audit");
+    }
+}
+
+/// Serialized length of the given tail of sections (headers + payloads).
+fn total_tail_len(tail: &[RawSection]) -> usize {
+    tail.iter().map(|s| 2 + s.name.len() + 16 + s.payload.len()).sum()
+}
+
+/// Partition soundness: contiguous coverage of `0..total` with every
+/// cut on a boundary.
+fn partitions_sound(ps: &[Partition], total: usize, bounds: &[u64]) -> bool {
+    if ps.is_empty() {
+        return total == 0;
+    }
+    if ps[0].begin != 0 || ps[ps.len() - 1].end != total {
+        return false;
+    }
+    ps.windows(2).all(|w| w[0].end == w[1].begin)
+        && ps.iter().all(|p| {
+            p.begin <= p.end
+                && bounds.contains(&(p.begin as u64))
+                && bounds.contains(&(p.end as u64))
+        })
+}

@@ -72,8 +72,9 @@ pub fn parse_event_line(line: &str) -> CsvResult<EventRecord> {
         Goldstein::new(parse_f32(f[col::GOLDSTEIN], "GoldsteinScale")?).map_err(CsvError::Model)?;
 
     let geo_type_raw = parse_u8_or_zero(f[col::ACTION_GEO_TYPE], "ActionGeo_Type")?;
-    let geo_type = GeoType::from_u8(geo_type_raw)
-        .ok_or_else(|| CsvError::field("ActionGeo_Type", f[col::ACTION_GEO_TYPE], "expected 0-5"))?;
+    let geo_type = GeoType::from_u8(geo_type_raw).ok_or_else(|| {
+        CsvError::field("ActionGeo_Type", f[col::ACTION_GEO_TYPE], "expected 0-5")
+    })?;
 
     let date_added_num = parse_u64(f[col::DATE_ADDED], "DATEADDED")?;
     let date_added = DateTime::from_yyyymmddhhmmss(date_added_num).map_err(CsvError::Model)?;

@@ -97,19 +97,13 @@ mod tests {
     #[test]
     fn split_exact_too_few() {
         let r: CsvResult<[&str; 3]> = split_exact("a\tb", "t");
-        assert_eq!(
-            r.unwrap_err(),
-            CsvError::WrongColumnCount { table: "t", expected: 3, got: 2 }
-        );
+        assert_eq!(r.unwrap_err(), CsvError::WrongColumnCount { table: "t", expected: 3, got: 2 });
     }
 
     #[test]
     fn split_exact_too_many() {
         let r: CsvResult<[&str; 2]> = split_exact("a\tb\tc\td", "t");
-        assert_eq!(
-            r.unwrap_err(),
-            CsvError::WrongColumnCount { table: "t", expected: 2, got: 4 }
-        );
+        assert_eq!(r.unwrap_err(), CsvError::WrongColumnCount { table: "t", expected: 2, got: 4 });
     }
 
     #[test]

@@ -148,10 +148,15 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         assert!(parse_masterlist_line("only two fields").is_err());
-        assert!(parse_masterlist_line(&format!("x {MD5} http://a/20150218230000.export.CSV.zip")).is_err());
+        assert!(parse_masterlist_line(&format!("x {MD5} http://a/20150218230000.export.CSV.zip"))
+            .is_err());
         assert!(parse_masterlist_line("1 deadbeef http://a/20150218230000.export.CSV.zip").is_err());
-        assert!(parse_masterlist_line(&format!("1 {MD5} http://a/20150218230000.unknown.zip")).is_err());
-        assert!(parse_masterlist_line(&format!("1 {MD5} http://a/2015021823.export.CSV.zip")).is_err());
+        assert!(
+            parse_masterlist_line(&format!("1 {MD5} http://a/20150218230000.unknown.zip")).is_err()
+        );
+        assert!(
+            parse_masterlist_line(&format!("1 {MD5} http://a/2015021823.export.CSV.zip")).is_err()
+        );
         assert!(parse_masterlist_line(&format!("1 {MD5} url extra")).is_err());
     }
 

@@ -20,7 +20,8 @@ pub fn write_event_line(e: &EventRecord) -> String {
     cols[2] = format!("{:04}{:02}", e.day.year, e.day.month);
     cols[3] = e.day.year.to_string();
     // FractionDate: year + day-of-year/365, 4 decimals like GDELT.
-    let doy = e.day.to_days() - gdelt_model::time::Date { year: e.day.year, month: 1, day: 1 }.to_days();
+    let doy =
+        e.day.to_days() - gdelt_model::time::Date { year: e.day.year, month: 1, day: 1 }.to_days();
     cols[4] = format!("{:.4}", e.day.year as f64 + doy as f64 / 365.25);
     cols[5] = e.actor1_country.clone(); // Actor1Code (country-only form)
     cols[7] = e.actor1_country.clone();

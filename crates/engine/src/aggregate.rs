@@ -63,12 +63,7 @@ pub fn count_by_where<K: DenseKey>(
 }
 
 /// Sum `vals[row]` grouped by `keys[row]`.
-pub fn sum_by<K: DenseKey>(
-    ctx: &ExecContext,
-    keys: &[K],
-    vals: &[u32],
-    domain: usize,
-) -> Vec<u64> {
+pub fn sum_by<K: DenseKey>(ctx: &ExecContext, keys: &[K], vals: &[u32], domain: usize) -> Vec<u64> {
     assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
     ctx.scan(keys.len(), |p| {
         let mut acc = vec![0u64; domain];

@@ -97,7 +97,9 @@ pub fn per_source_delay_stats(ctx: &ExecContext, d: &Dataset) -> Vec<DelayStats>
                 }
                 // median_u32 reorders, so work on a private copy.
                 let mut buf = grouped[lo..hi].to_vec();
+                // lint: allow(no_panic): `lo == hi` returned early above
                 let min = *buf.iter().min().expect("non-empty");
+                // lint: allow(no_panic): `lo == hi` returned early above
                 let max = *buf.iter().max().expect("non-empty");
                 let mean = mean_u32(&buf);
                 let median = median_u32(&mut buf);

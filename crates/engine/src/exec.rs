@@ -34,6 +34,7 @@ impl ExecContext {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(n)
             .build()
+            // lint: allow(no_panic): startup-time pool construction; no recovery path
             .expect("failed to build thread pool");
         ExecContext { n_threads: n, pool: Some(std::sync::Arc::new(pool)) }
     }
@@ -159,9 +160,8 @@ mod tests {
     #[test]
     fn map_reduce_sums_partition_lengths() {
         let ctx = ExecContext::with_threads(3);
-        let total = ctx
-            .map_reduce(ctx.make_partitions(1000), |p| p.len() as u64, |a, b| a + b)
-            .unwrap();
+        let total =
+            ctx.map_reduce(ctx.make_partitions(1000), |p| p.len() as u64, |a, b| a + b).unwrap();
         assert_eq!(total, 1000);
     }
 

@@ -56,8 +56,7 @@ impl ArticleCountHistogram {
         if total == 0 {
             return 0.0;
         }
-        let weighted: f64 =
-            self.counts.iter().enumerate().map(|(k, &c)| k as f64 * c as f64).sum();
+        let weighted: f64 = self.counts.iter().enumerate().map(|(k, &c)| k as f64 * c as f64).sum();
         weighted / total as f64
     }
 

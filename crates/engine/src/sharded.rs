@@ -93,8 +93,8 @@ impl ShardedDataset {
     /// reduction would ship.
     pub fn per_source_delay_stats(&self, ctx: &ExecContext) -> Vec<DelayStats> {
         let _ = ctx; // per-shard gathering is cheap; stats below are exact
-        // The global dictionary (sorted name union) keys the reduction:
-        // shard-local source ids are translated per shard.
+                     // The global dictionary (sorted name union) keys the reduction:
+                     // shard-local source ids are translated per shard.
         let names = self.global_names();
         let index: std::collections::HashMap<&str, usize> =
             names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
@@ -105,8 +105,7 @@ impl ShardedDataset {
             // Translate each shard-local source id once.
             let local_to_global: Vec<usize> = (0..shard.sources.len())
                 .map(|i| {
-                    let name =
-                        shard.sources.name(gdelt_model::ids::SourceId(i as u32));
+                    let name = shard.sources.name(gdelt_model::ids::SourceId(i as u32));
                     index[name]
                 })
                 .collect();
@@ -121,7 +120,9 @@ impl ShardedDataset {
                 if delays.is_empty() {
                     return DelayStats::empty();
                 }
+                // lint: allow(no_panic): `delays.is_empty()` returned early above
                 let min = *delays.iter().min().expect("non-empty");
+                // lint: allow(no_panic): `delays.is_empty()` returned early above
                 let max = *delays.iter().max().expect("non-empty");
                 let mean = crate::stats::mean_u32(&delays);
                 let median = crate::stats::median_u32(&mut delays);
@@ -137,9 +138,10 @@ impl ShardedDataset {
         let mut names: Vec<String> = self
             .shards
             .iter()
-            .flat_map(|s| (0..s.sources.len()).map(|i| {
-                s.sources.name(gdelt_model::ids::SourceId(i as u32)).to_owned()
-            }))
+            .flat_map(|s| {
+                (0..s.sources.len())
+                    .map(|i| s.sources.name(gdelt_model::ids::SourceId(i as u32)).to_owned())
+            })
             .collect();
         names.sort_unstable();
         names.dedup();
@@ -161,12 +163,16 @@ fn raw_event_line(d: &Dataset, row: usize) -> String {
     let country = d.events.country_id(row);
     let e = EventRecord {
         id: d.events.event_id(row),
+        // lint: allow(no_panic): stored columns were validated at build/load
         day: Date::from_yyyymmdd(d.events.day[row]).expect("stored day valid"),
+        // lint: allow(no_panic): stored columns were validated at build/load
         root: CameoRoot::new(d.events.root[row]).expect("stored root valid"),
         event_code: format!("{:02}0", d.events.root[row]),
         actor1_country: cameo_of(&registry, d.events.actor1[row]),
         actor2_country: cameo_of(&registry, d.events.actor2[row]),
+        // lint: allow(no_panic): stored columns were validated at build/load
         quad_class: QuadClass::from_u8(d.events.quad[row]).expect("stored quad valid"),
+        // lint: allow(no_panic): stored columns were validated at build/load
         goldstein: Goldstein::new(d.events.goldstein[row]).expect("stored goldstein valid"),
         num_mentions: d.events.num_mentions[row],
         num_sources: d.events.num_sources[row],
@@ -188,10 +194,7 @@ fn raw_event_line(d: &Dataset, row: usize) -> String {
 }
 
 fn cameo_of(registry: &gdelt_model::country::CountryRegistry, id: u16) -> String {
-    registry
-        .get(gdelt_model::ids::CountryId(id))
-        .map(|c| c.cameo.to_owned())
-        .unwrap_or_default()
+    registry.get(gdelt_model::ids::CountryId(id)).map(|c| c.cameo.to_owned()).unwrap_or_default()
 }
 
 fn raw_mention_line(d: &Dataset, row: usize) -> String {
@@ -213,6 +216,7 @@ fn raw_mention_line(d: &Dataset, row: usize) -> String {
 
 fn merge_reports(partials: Vec<AggregatedCountryReport>) -> AggregatedCountryReport {
     let mut it = partials.into_iter();
+    // lint: allow(no_panic): callers always pass one partial per shard, n_shards >= 1
     let mut acc = it.next().expect("at least one shard");
     for p in it {
         merge_cross(&mut acc.cross, p.cross);
@@ -303,9 +307,7 @@ mod tests {
         let dist = ShardedDataset::split(&d, 4).aggregated_cross_report(&ctx);
         for &a in &reg.paper_top10_publishing() {
             for &b in &reg.paper_top10_publishing() {
-                assert!(
-                    (single.country_jaccard(a, b) - dist.country_jaccard(a, b)).abs() < 1e-12
-                );
+                assert!((single.country_jaccard(a, b) - dist.country_jaccard(a, b)).abs() < 1e-12);
             }
         }
     }
@@ -322,7 +324,11 @@ mod tests {
             let local = d.sources.lookup(name).expect("name known globally");
             let s = single[local.index()];
             let t = dist[g];
-            assert_eq!((s.count, s.min, s.max, s.median), (t.count, t.min, t.max, t.median), "{name}");
+            assert_eq!(
+                (s.count, s.min, s.max, s.median),
+                (t.count, t.min, t.max, t.median),
+                "{name}"
+            );
             assert!((s.mean - t.mean).abs() < 1e-9, "{name}");
         }
     }

@@ -39,14 +39,8 @@ impl QuarterlySeries {
 /// Inclusive linear-quarter range `(base, count)` covered by the dataset
 /// (union of events and mentions), or `None` when empty.
 pub fn quarter_range(d: &Dataset) -> Option<(u16, usize)> {
-    let mins = [
-        d.events.quarter.iter().min().copied(),
-        d.mentions.quarter.iter().min().copied(),
-    ];
-    let maxs = [
-        d.events.quarter.iter().max().copied(),
-        d.mentions.quarter.iter().max().copied(),
-    ];
+    let mins = [d.events.quarter.iter().min().copied(), d.mentions.quarter.iter().min().copied()];
+    let maxs = [d.events.quarter.iter().max().copied(), d.mentions.quarter.iter().max().copied()];
     let lo = mins.into_iter().flatten().min()?;
     let hi = maxs.into_iter().flatten().max()?;
     Some((lo, (hi - lo) as usize + 1))
@@ -257,10 +251,7 @@ pub fn delay_per_quarter(ctx: &ExecContext, d: &Dataset) -> (QuarterlySeries, Qu
         }
     }
     let base_q = Quarter::from_linear(i32::from(base));
-    (
-        QuarterlySeries { base: base_q, values: avg },
-        QuarterlySeries { base: base_q, values: med },
-    )
+    (QuarterlySeries { base: base_q, values: avg }, QuarterlySeries { base: base_q, values: med })
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ pub fn top_events(ctx: &ExecContext, d: &Dataset, k: usize) -> Vec<(usize, u64)>
     // Degrees are implicit in the CSR; rank rows by degree.
     let degrees: Vec<u64> = ctx.install(|| {
         use rayon::prelude::*;
+        // lint: allow(par_index): e < n and offsets.len() == n + 1 (CSR invariant)
         (0..n).into_par_iter().map(|e| offsets[e + 1] - offsets[e]).collect()
     });
     top_k_indices(&degrees, k).into_iter().map(|i| (i, degrees[i])).collect()

@@ -39,9 +39,7 @@ impl<'a> MentionView<'a> {
     ) -> Self {
         let (lo, hi) = (from.linear() as u16, to.linear() as u16);
         let quarters = &dataset.mentions.quarter;
-        let rows = Bitmap::fill(ctx, dataset.mentions.len(), |r| {
-            (lo..=hi).contains(&quarters[r])
-        });
+        let rows = Bitmap::fill(ctx, dataset.mentions.len(), |r| (lo..=hi).contains(&quarters[r]));
         MentionView { dataset, rows }
     }
 
@@ -77,12 +75,7 @@ impl<'a> MentionView<'a> {
     pub fn articles_by_source(&self, ctx: &ExecContext) -> Vec<u64> {
         let sources = &self.dataset.mentions.source;
         let rows = &self.rows;
-        crate::aggregate::count_by_where(
-            ctx,
-            sources,
-            self.dataset.sources.len(),
-            |r| rows.get(r),
-        )
+        crate::aggregate::count_by_where(ctx, sources, self.dataset.sources.len(), |r| rows.get(r))
     }
 
     /// The most productive sources within the view.

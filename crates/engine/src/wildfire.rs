@@ -46,8 +46,7 @@ pub fn spread_per_event(ctx: &ExecContext, d: &Dataset, k: usize) -> Vec<Spread>
                     if !seen.contains(&s) {
                         seen.push(s);
                         if seen.len() == k && time_to_k.is_none() {
-                            time_to_k =
-                                Some(intervals[r].saturating_sub(event_interval[r]));
+                            time_to_k = Some(intervals[r].saturating_sub(event_interval[r]));
                         }
                     }
                 }
@@ -61,10 +60,9 @@ pub fn spread_per_event(ctx: &ExecContext, d: &Dataset, k: usize) -> Vec<Spread>
 /// sources, order by time-to-k ascending, breadth descending — the
 /// "digital wildfire" candidates.
 pub fn top_wildfires(ctx: &ExecContext, d: &Dataset, k: usize, top: usize) -> Vec<Spread> {
-    let mut spreads: Vec<Spread> = spread_per_event(ctx, d, k)
-        .into_iter()
-        .filter(|s| s.time_to_k.is_some())
-        .collect();
+    let mut spreads: Vec<Spread> =
+        spread_per_event(ctx, d, k).into_iter().filter(|s| s.time_to_k.is_some()).collect();
+    // lint: allow(no_panic): `is_some` filtered directly above
     spreads.sort_by_key(|s| (s.time_to_k.expect("filtered"), std::cmp::Reverse(s.breadth)));
     spreads.truncate(top);
     spreads

@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "convert" => cmd_convert(&opts),
         "update" => cmd_update(&opts),
+        "validate" => cmd_validate(&opts),
         "query" => cmd_query(&opts),
         "report" => cmd_report(&opts),
         "synth-report" => cmd_synth_report(&opts),
@@ -55,6 +56,7 @@ USAGE:
   gdelt-cli generate      --out DIR [--scale S] [--seed N]
   gdelt-cli convert       --in DIR --out FILE.gdhpc
   gdelt-cli update        --data FILE.gdhpc --in DIR    (append a batch)
+  gdelt-cli validate      --data FILE.gdhpc             (deep structural audit)
   gdelt-cli query         --data FILE.gdhpc [--top N] [--source DOMAIN]
                           [--pair A,B] [--window 2016Q1:2016Q4]
   gdelt-cli report        --data FILE.gdhpc [--threads N] [--scaling]
@@ -171,11 +173,12 @@ fn cmd_update(o: &Options) -> Result<(), String> {
     };
     let mut bad = 0u64;
     let events =
-        gdelt_csv::events::parse_events(&read(input.join("events.export.tsv"))?, |_, _, _| bad += 1);
+        gdelt_csv::events::parse_events(&read(input.join("events.export.tsv"))?, |_, _, _| {
+            bad += 1
+        });
     let mentions =
         gdelt_csv::mentions::parse_mentions(&read(input.join("mentions.tsv"))?, |_, _, _| bad += 1);
-    let (updated, stats, _) =
-        gdelt_columnar::incremental::append_batch(&base, events, mentions);
+    let (updated, stats, _) = gdelt_columnar::incremental::append_batch(&base, events, mentions);
     eprintln!(
         "applied batch: +{} events (+{} dup dropped), +{} mentions, +{} sources, {} rematched; {} bad lines",
         stats.new_events,
@@ -192,6 +195,29 @@ fn cmd_update(o: &Options) -> Result<(), String> {
         updated.mentions.len()
     );
     Ok(())
+}
+
+fn cmd_validate(o: &Options) -> Result<(), String> {
+    let data = o.data.as_deref().ok_or("validate requires --data FILE")?;
+    // Skip the fast fail-first gate so a damaged store still loads and
+    // the deep auditor can name *every* broken invariant at once.
+    let dataset =
+        binfmt::load_unchecked(data).map_err(|e| format!("loading {}: {e}", data.display()))?;
+    eprintln!(
+        "auditing {}: {} events, {} mentions, {} sources",
+        data.display(),
+        dataset.events.len(),
+        dataset.mentions.len(),
+        dataset.sources.len()
+    );
+    let report = dataset.deep_validate();
+    print!("{report}");
+    if report.is_ok() {
+        println!();
+        Ok(())
+    } else {
+        Err(format!("{} invariant(s) violated", report.violations.len()))
+    }
 }
 
 fn cmd_query(o: &Options) -> Result<(), String> {
@@ -263,8 +289,7 @@ fn cmd_query(o: &Options) -> Result<(), String> {
 
 fn cmd_report(o: &Options) -> Result<(), String> {
     let data = o.data.as_deref().ok_or("report requires --data FILE")?;
-    let dataset =
-        binfmt::load(data).map_err(|e| format!("loading {}: {e}", data.display()))?;
+    let dataset = binfmt::load(data).map_err(|e| format!("loading {}: {e}", data.display()))?;
     // The cleaning report lives with conversion; reports from binary
     // files show zeros unless re-converted.
     let clean = Default::default();

@@ -313,10 +313,7 @@ mod tests {
         let r = CountryRegistry::new();
         assert_eq!(r.get(r.assign_source_country("www.bbc.co.uk")).unwrap().name, "UK");
         // The paper's own example of a misattribution: theguardian.com → USA.
-        assert_eq!(
-            r.get(r.assign_source_country("www.theguardian.com")).unwrap().name,
-            "USA"
-        );
+        assert_eq!(r.get(r.assign_source_country("www.theguardian.com")).unwrap().name, "USA");
         assert_eq!(r.get(r.assign_source_country("news.com.AU")).unwrap().name, "Australia");
         assert!(r.assign_source_country("localhost").is_unknown());
         assert!(r.assign_source_country("weird.").is_unknown());

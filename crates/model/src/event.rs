@@ -173,7 +173,12 @@ mod tests {
         assert!(e.geo.is_tagged());
         e.geo.geo_type = GeoType::None;
         assert!(!e.geo.is_tagged());
-        e.geo = ActionGeo { geo_type: GeoType::Country, country_fips: String::new(), lat: None, lon: None };
+        e.geo = ActionGeo {
+            geo_type: GeoType::Country,
+            country_fips: String::new(),
+            lat: None,
+            lon: None,
+        };
         assert!(!e.geo.is_tagged());
     }
 

@@ -92,6 +92,33 @@ impl CountryId {
     }
 }
 
+/// Checked narrowing of a row index to the `u32` used by the columnar
+/// event-row columns.
+///
+/// The full GDELT corpus holds 325M events — comfortably inside `u32` —
+/// but a bare `value as u32` would wrap silently if that ever changed.
+/// This aborts with a precise message instead; `cargo xtask lint`'s
+/// `id_cast` rule points offenders here.
+#[inline]
+#[track_caller]
+pub fn row_u32(idx: usize) -> u32 {
+    match u32::try_from(idx) {
+        Ok(v) => v,
+        Err(_) => panic!("row index {idx} exceeds u32 (corrupt store or >4.2B rows)"),
+    }
+}
+
+/// Checked narrowing of an arbitrary `u64` counter to `u32`, for the
+/// same id spaces as [`row_u32`].
+#[inline]
+#[track_caller]
+pub fn id_u32(value: u64) -> u32 {
+    match u32::try_from(value) {
+        Ok(v) => v,
+        Err(_) => panic!("id value {value} exceeds u32"),
+    }
+}
+
 impl std::fmt::Display for EventId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "E{}", self.0)

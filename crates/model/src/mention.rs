@@ -96,7 +96,11 @@ mod tests {
     use super::*;
     use crate::time::{Date, GDELT_EPOCH};
 
-    fn mention(event_hhmm: (u8, u8), mention_day_off: i64, mention_hhmm: (u8, u8)) -> MentionRecord {
+    fn mention(
+        event_hhmm: (u8, u8),
+        mention_day_off: i64,
+        mention_hhmm: (u8, u8),
+    ) -> MentionRecord {
         MentionRecord {
             event_id: EventId(1),
             event_time: DateTime::new(GDELT_EPOCH, event_hhmm.0, event_hhmm.1, 0).unwrap(),

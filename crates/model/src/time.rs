@@ -256,11 +256,7 @@ impl DateTime {
 
 impl fmt::Display for DateTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}T{:02}:{:02}:{:02}Z",
-            self.date, self.hour, self.minute, self.second
-        )
+        write!(f, "{}T{:02}:{:02}:{:02}Z", self.date, self.hour, self.minute, self.second)
     }
 }
 
@@ -464,10 +460,7 @@ mod tests {
     #[test]
     fn interval_rejects_pre_epoch() {
         let dt = DateTime::midnight(Date { year: 2015, month: 2, day: 17 });
-        assert!(matches!(
-            CaptureInterval::from_datetime(dt),
-            Err(ModelError::BeforeEpoch { .. })
-        ));
+        assert!(matches!(CaptureInterval::from_datetime(dt), Err(ModelError::BeforeEpoch { .. })));
     }
 
     #[test]
@@ -495,14 +488,8 @@ mod tests {
     #[test]
     fn quarter_bucketing() {
         assert_eq!(GDELT_EPOCH.quarter(), Quarter { year: 2015, q: 1 });
-        assert_eq!(
-            Date { year: 2019, month: 12, day: 31 }.quarter(),
-            Quarter { year: 2019, q: 4 }
-        );
-        assert_eq!(
-            Date { year: 2017, month: 7, day: 1 }.quarter(),
-            Quarter { year: 2017, q: 3 }
-        );
+        assert_eq!(Date { year: 2019, month: 12, day: 31 }.quarter(), Quarter { year: 2019, q: 4 });
+        assert_eq!(Date { year: 2017, month: 7, day: 1 }.quarter(), Quarter { year: 2017, q: 3 });
     }
 
     #[test]

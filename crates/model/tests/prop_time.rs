@@ -1,9 +1,7 @@
 //! Property tests for the calendar and capture-interval arithmetic —
 //! the invariants every delay measurement in the system rests on.
 
-use gdelt_model::time::{
-    CaptureInterval, Date, DateTime, Quarter, GDELT_EPOCH, INTERVALS_PER_DAY,
-};
+use gdelt_model::time::{CaptureInterval, Date, DateTime, Quarter, GDELT_EPOCH, INTERVALS_PER_DAY};
 use proptest::prelude::*;
 
 /// Any day in a generous window around the GDELT era.

@@ -6,12 +6,14 @@
 //! returns the queryable [`Dataset`] with its cleaning report.
 
 use crate::config::SynthConfig;
-use crate::events::{headline_sketch, EventSampler, EventSketch, quarter_interval_range, sample_tone};
+use crate::events::{
+    headline_sketch, quarter_interval_range, sample_tone, EventSampler, EventSketch,
+};
 use crate::mentions::{choose_reporters_with_active, Article};
 use crate::powerlaw::BoundedZipf;
 use crate::sources::SourcePopulation;
-use gdelt_csv::clean::CleanReport;
 use gdelt_columnar::{Dataset, DatasetBuilder};
+use gdelt_csv::clean::CleanReport;
 use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
 use gdelt_model::country::CountryRegistry;
 use gdelt_model::event::{ActionGeo, EventRecord, GeoType};
@@ -105,7 +107,7 @@ pub fn generate(cfg: &SynthConfig) -> GeneratedData {
         articles[0].delay = 0;
 
         let id = EventId(next_id);
-        next_id += 1 + rng.gen_range(0..8); // GDELT ids grow with gaps
+        next_id += 1 + rng.gen_range(0u64..8); // GDELT ids grow with gaps
 
         let date_added = sketch.interval.start();
         let root = CameoRoot::new(rng.gen_range(1..=20)).expect("in range");
@@ -140,8 +142,11 @@ pub fn generate(cfg: &SynthConfig) -> GeneratedData {
             // event's own country; actor2 (when present — conflict/
             // cooperation dyads) is drawn from the global mix.
             actor1_country: {
-                let c =
-                    if sketch.country.is_unknown() { sampler.sample_country(&mut rng) } else { sketch.country };
+                let c = if sketch.country.is_unknown() {
+                    sampler.sample_country(&mut rng)
+                } else {
+                    sketch.country
+                };
                 registry.get(c).map(|c| c.cameo.to_owned()).unwrap_or_default()
             },
             actor2_country: if rng.gen::<f64>() < 0.45 {
@@ -313,7 +318,12 @@ mod tests {
             *per_event.entry(m.event_id).or_insert(0u32) += 1;
         }
         for e in &data.events {
-            assert_eq!(per_event.get(&e.id).copied().unwrap_or(0), e.num_mentions, "event {}", e.id);
+            assert_eq!(
+                per_event.get(&e.id).copied().unwrap_or(0),
+                e.num_mentions,
+                "event {}",
+                e.id
+            );
         }
     }
 

@@ -236,9 +236,8 @@ mod tests {
     fn fast_sources_report_quickly() {
         let (cfg, _, mut rng) = setup(1);
         let n = 5_000;
-        let quick = (0..n)
-            .filter(|_| sample_base_delay(&mut rng, SpeedClass::Fast, 0, &cfg) <= 8)
-            .count();
+        let quick =
+            (0..n).filter(|_| sample_base_delay(&mut rng, SpeedClass::Fast, 0, &cfg) <= 8).count();
         assert!(quick as f64 / n as f64 > 0.85, "fast quick frac {}", quick as f64 / n as f64);
     }
 
@@ -256,7 +255,9 @@ mod tests {
     fn slow_sources_are_much_later_and_decline_over_quarters() {
         let (cfg, _, mut rng) = setup(3);
         let mean = |rng: &mut StdRng, q: usize| {
-            (0..4_000).map(|_| sample_base_delay(rng, SpeedClass::Slow, q, &cfg) as f64).sum::<f64>()
+            (0..4_000)
+                .map(|_| sample_base_delay(rng, SpeedClass::Slow, q, &cfg) as f64)
+                .sum::<f64>()
                 / 4_000.0
         };
         let early = mean(&mut rng, 0);

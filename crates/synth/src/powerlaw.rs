@@ -164,10 +164,7 @@ mod tests {
         let n = 200_000;
         let sum: usize = (0..n).map(|_| z.sample(&mut r)).sum();
         let emp = sum as f64 / n as f64;
-        assert!(
-            (emp - theory).abs() / theory < 0.15,
-            "empirical {emp} vs theoretical {theory}"
-        );
+        assert!((emp - theory).abs() / theory < 0.15, "empirical {emp} vs theoretical {theory}");
         // Calibration target from Table I: weighted average 3.36.
         assert!((theory - 3.36).abs() < 0.7, "theory mean {theory} too far from 3.36");
     }

@@ -256,7 +256,12 @@ pub fn tiny(seed: u64) -> SynthConfig {
         fast_frac: 0.1,
         slow_frac: 0.2,
         headline_events: headline_events().into_iter().take(3).collect(),
-        faults: FaultConfig { malformed_masterlist: 2, missing_archives: 1, missing_event_url: 1, future_event_date: 1 },
+        faults: FaultConfig {
+            malformed_masterlist: 2,
+            missing_archives: 1,
+            missing_event_url: 1,
+            future_event_date: 1,
+        },
     }
 }
 

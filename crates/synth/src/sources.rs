@@ -90,9 +90,8 @@ impl SourcePopulation {
         let n_groups = cfg.n_groups();
         let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
         // Countries for the extra groups (group 0 is always UK).
-        let extra_group_country: Vec<CountryId> = (0..cfg.extra_groups)
-            .map(|_| src_countries[country_sampler.sample(rng)])
-            .collect();
+        let extra_group_country: Vec<CountryId> =
+            (0..cfg.extra_groups).map(|_| src_countries[country_sampler.sample(rng)]).collect();
 
         let mut sources = Vec::with_capacity(cfg.n_sources);
         for rank in 0..cfg.n_sources {
@@ -206,8 +205,18 @@ fn make_name<R: Rng + ?Sized>(
     registry: &CountryRegistry,
     rng: &mut R,
 ) -> String {
-    const WORDS: &[&str] =
-        &["daily", "herald", "times", "gazette", "post", "courier", "tribune", "echo", "observer", "chronicle"];
+    const WORDS: &[&str] = &[
+        "daily",
+        "herald",
+        "times",
+        "gazette",
+        "post",
+        "courier",
+        "tribune",
+        "echo",
+        "observer",
+        "chronicle",
+    ];
     let word = WORDS[rank % WORDS.len()];
     let tld = registry.get(country).map(|c| c.tld).unwrap_or("com");
     match group {
@@ -291,11 +300,7 @@ mod tests {
         let registry = CountryRegistry::new();
         for s in &p.sources {
             let assigned = registry.assign_source_country(&s.name);
-            assert_eq!(
-                assigned, s.country,
-                "TLD of {} resolves to wrong country",
-                s.name
-            );
+            assert_eq!(assigned, s.country, "TLD of {} resolves to wrong country", s.name);
         }
     }
 
@@ -308,10 +313,7 @@ mod tests {
         let p = SourcePopulation::generate(&cfg, &mut rng);
         // Middle quarters see roughly n/3 active (window edges droop).
         let frac = p.active_count(6) as f64 / p.len() as f64;
-        assert!(
-            (0.18..=0.55).contains(&frac),
-            "active fraction {frac} out of plausible band"
-        );
+        assert!((0.18..=0.55).contains(&frac), "active fraction {frac} out of plausible band");
     }
 
     #[test]

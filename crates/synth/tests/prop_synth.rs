@@ -12,12 +12,12 @@ use proptest::prelude::*;
 fn arb_config() -> impl Strategy<Value = SynthConfig> {
     (
         any::<u64>(),
-        20usize..120,  // sources
-        30usize..200,  // events
-        2usize..10,    // quarters
-        0.0f64..0.3,   // untagged fraction
-        0.0f64..0.2,   // repeat prob
-        1usize..8,     // media group size
+        20usize..120, // sources
+        30usize..200, // events
+        2usize..10,   // quarters
+        0.0f64..0.3,  // untagged fraction
+        0.0f64..0.2,  // repeat prob
+        1usize..8,    // media group size
     )
         .prop_map(|(seed, n_sources, n_events, n_quarters, untagged, repeat, group)| {
             let mut cfg = tiny(seed);

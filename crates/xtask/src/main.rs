@@ -1,0 +1,100 @@
+//! `cargo xtask` — repo automation.
+//!
+//! Subcommands:
+//!
+//! * `lint` — the custom static-analysis pass (see [`lint`]); exits
+//!   non-zero if any rule fires. Optional file arguments restrict the
+//!   pass to specific paths.
+//! * `miri` — run the `AlignedBuf` unsafe-path tests under Miri on the
+//!   pinned nightly.
+//! * `tsan` — run the concurrency-sensitive suites under
+//!   ThreadSanitizer.
+//!
+//! Wired up via the `xtask` alias in `.cargo/config.toml`:
+//! `cargo xtask lint`.
+
+mod lint;
+mod sanitize;
+mod source;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cargo xtask — repo automation
+
+USAGE:
+  cargo xtask lint [FILES...]   run the custom lint pass (default: all of crates/)
+  cargo xtask miri              run AlignedBuf unsafe-path tests under Miri
+  cargo xtask tsan              run concurrency suites under ThreadSanitizer
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("miri") => sanitize::miri(),
+        Some("tsan") => sanitize::tsan(),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(match other {
+            Some(o) => format!("unknown subcommand {o:?}\n{USAGE}"),
+            None => USAGE.to_string(),
+        }),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_lint(files: &[String]) -> Result<(), String> {
+    let root = workspace_root()?;
+    let diagnostics = if files.is_empty() {
+        lint::lint_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?
+    } else {
+        let mut out = Vec::new();
+        for f in files {
+            let path = PathBuf::from(f);
+            let src = std::fs::read_to_string(&path).map_err(|e| format!("reading {f}: {e}"))?;
+            out.extend(lint::lint_source(&path, &src));
+        }
+        out
+    };
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("xtask lint: clean");
+        Ok(())
+    } else {
+        Err(format!("xtask lint: {} violation(s)", diagnostics.len()))
+    }
+}
+
+/// The workspace root: where cargo says it is, or the nearest ancestor
+/// with a `crates/` directory when invoked directly.
+fn workspace_root() -> Result<PathBuf, String> {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        // xtask lives at <root>/crates/xtask.
+        if let Some(root) = Path::new(&dir).ancestors().nth(2) {
+            if root.join("crates").is_dir() {
+                return Ok(root.to_path_buf());
+            }
+        }
+    }
+    let mut cur = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        if cur.join("crates").is_dir() {
+            return Ok(cur);
+        }
+        if !cur.pop() {
+            return Err("could not locate the workspace root (no crates/ found)".into());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! A deliberately small model of a Rust source file for the lint pass.
+//!
+//! The custom lints are *source-level*: they do not need types or name
+//! resolution, only a reliable separation of code from comments and
+//! string literals so that a `panic!` inside a doc example or an
+//! `unsafe` in a string does not trip a rule. This module provides
+//! that separation plus the two bits of shared context every rule
+//! needs: which lines are test-only code, and which lines carry a
+//! `// lint: allow(rule): reason` suppression marker.
+
+/// One physical line, split into its code and comment parts.
+///
+/// String and char literal *contents* in `code` are blanked with
+/// spaces (the quotes remain), so rules can pattern-match code text
+/// without being fooled by literals.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Concatenated text of every comment on the line.
+    pub comment: String,
+}
+
+/// A parsed file: lines plus derived per-line context.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Split lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// True for lines inside `#[cfg(test)]` modules or `#[test]` fns.
+    pub in_test: Vec<bool>,
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    /// Inside `/* ... */`; Rust block comments nest.
+    Block(u32),
+    /// Inside a `"..."` string literal.
+    Str,
+    /// Inside a raw string; the payload is the number of `#`s.
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Lex `src` into lines and compute test regions.
+    pub fn parse(src: &str) -> SourceFile {
+        let lines = split_lines(src);
+        let in_test = test_regions(&lines);
+        SourceFile { lines, in_test }
+    }
+
+    /// Does `line_no` (1-based) carry or immediately follow a
+    /// `// lint: allow(rule): reason` marker for `rule`?
+    ///
+    /// A marker on its own line suppresses the line below it; a
+    /// trailing marker suppresses its own line. The reason text is
+    /// mandatory — a bare `allow(rule)` does not suppress, so every
+    /// exemption is forced to say why.
+    pub fn allowed(&self, line_no: usize, rule: &str) -> bool {
+        let idx = line_no - 1;
+        let here = self.lines.get(idx).map(|l| l.comment.as_str()).unwrap_or("");
+        let above = if idx > 0 { self.lines[idx - 1].comment.as_str() } else { "" };
+        has_marker(here, rule) || has_marker(above, rule)
+    }
+}
+
+/// Check one comment string for a well-formed suppression marker.
+fn has_marker(comment: &str, rule: &str) -> bool {
+    let Some(pos) = comment.find("lint: allow(") else {
+        return false;
+    };
+    let rest = &comment[pos + "lint: allow(".len()..];
+    let Some((name, after)) = rest.split_once(')') else {
+        return false;
+    };
+    if name.trim() != rule {
+        return false;
+    }
+    // Require `: reason` with non-empty reason.
+    matches!(after.trim_start().strip_prefix(':'), Some(r) if !r.trim().is_empty())
+}
+
+/// Split source into per-line code/comment parts.
+fn split_lines(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in src.lines() {
+        let mut line = Line::default();
+        let b: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < b.len() {
+            match mode {
+                Mode::Code => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        line.comment.push_str(&raw[char_offset(&b, i)..]);
+                        i = b.len();
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        // Raw strings look back for r/br prefixes.
+                        let hashes = raw_prefix(&b, i);
+                        line.code.push('"');
+                        mode = match hashes {
+                            Some(h) => Mode::RawStr(h),
+                            None => Mode::Str,
+                        };
+                        i += 1;
+                    } else if c == 'r' || c == 'b' {
+                        // Possible start of r#"..."# / br"..." — consume
+                        // the prefix chars; the quote branch above fires
+                        // when the `"` is reached.
+                        line.code.push(c);
+                        i += 1;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a literal closes with
+                        // a `'` within a few chars; a lifetime does not.
+                        if let Some(end) = char_literal_end(&b, i) {
+                            line.code.push('\'');
+                            for _ in i + 1..end {
+                                line.code.push(' ');
+                            }
+                            line.code.push('\'');
+                            i = end + 1;
+                        } else {
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Block(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                        i += 2;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(b[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if b[i] == '\\' {
+                        line.code.push(' ');
+                        if i + 1 < b.len() {
+                            line.code.push(' ');
+                        }
+                        i += 2;
+                    } else if b[i] == '"' {
+                        line.code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if b[i] == '"' && closes_raw(&b, i, hashes) {
+                        line.code.push('"');
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Byte offset of char index `i` in the original line.
+fn char_offset(chars: &[char], i: usize) -> usize {
+    chars[..i].iter().map(|c| c.len_utf8()).sum()
+}
+
+/// If the `"` at `i` is preceded by `r`/`br` (+ hashes), return the
+/// hash count of the raw string it opens.
+fn raw_prefix(b: &[char], quote: usize) -> Option<u32> {
+    let mut j = quote;
+    let mut hashes = 0u32;
+    while j > 0 && b[j - 1] == '#' {
+        hashes += 1;
+        j -= 1;
+    }
+    if j == 0 {
+        return None;
+    }
+    let c = b[j - 1];
+    let prev = if j >= 2 { Some(b[j - 2]) } else { None };
+    if c == 'r' || (c == 'b' && hashes == 0) || (c == 'b' && prev == Some('r')) {
+        // `r"`, `r#"`, `b"`, `br"` — all open a literal we must skip;
+        // plain `b"..."` has no hashes but behaves like Str with
+        // escapes; treating it as raw only misses `\"`, acceptable for
+        // a lint lexer operating on this codebase (no b"\"" present).
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` trailing `#`s?
+fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// Find the closing quote of a char literal starting at `open`, or
+/// `None` if this is a lifetime.
+fn char_literal_end(b: &[char], open: usize) -> Option<usize> {
+    match b.get(open + 1) {
+        Some('\\') => {
+            // Escaped char: scan forward (covers \n, \u{...}).
+            (open + 2..b.len().min(open + 12)).find(|&j| b[j] == '\'')
+        }
+        Some(_) => (b.get(open + 2) == Some(&'\'')).then_some(open + 2),
+        None => None,
+    }
+}
+
+/// Mark lines belonging to `#[cfg(test)]` items or `#[test]` fns.
+///
+/// Strategy: when a test attribute appears, the next item's brace
+/// block (everything until its `{` closes) is a test region, the
+/// attribute line included.
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    // When inside a test item: the depth *outside* its block.
+    let mut test_exit_depth: Option<i32> = None;
+    // A test attribute was seen; waiting for the item's opening brace.
+    let mut pending_attr = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if test_exit_depth.is_none() && (code.contains("#[cfg(test)]") || code.contains("#[test]"))
+        {
+            pending_attr = true;
+        }
+        if pending_attr || test_exit_depth.is_some() {
+            in_test[idx] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_attr {
+                        test_exit_depth = Some(depth);
+                        pending_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_exit_depth == Some(depth) {
+                        test_exit_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_out() {
+        let f = SourceFile::parse("let x = 1; // SAFETY: fine\n/* block */ let y;\n");
+        assert_eq!(f.lines[0].code.trim(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("SAFETY"));
+        assert_eq!(f.lines[1].code.trim(), "let y;");
+        assert_eq!(f.lines[1].comment.trim(), "block");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = SourceFile::parse("let s = \"unsafe panic!()\";\n");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let f =
+            SourceFile::parse("let s = r#\"a \" b\"#; let c = '\\n'; let l: &'static str = s;\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains("let c ="));
+        assert!(code.contains("'static"));
+    }
+
+    #[test]
+    fn multiline_block_comment() {
+        let f = SourceFile::parse("a /* x\ny */ b\n");
+        assert_eq!(f.lines[0].code.trim(), "a");
+        assert_eq!(f.lines[1].code.trim(), "b");
+        assert!(f.lines[0].comment.contains('x'));
+        assert!(f.lines[1].comment.contains('y'));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "\
+fn real() {
+    body();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { body(); }
+}
+fn real2() {}
+";
+        let f = SourceFile::parse(src);
+        assert!(!f.in_test[0]);
+        assert!(!f.in_test[1]);
+        assert!(f.in_test[3]);
+        assert!(f.in_test[6]);
+        assert!(!f.in_test[8]);
+    }
+
+    #[test]
+    fn marker_requires_reason() {
+        let f = SourceFile::parse(
+            "x(); // lint: allow(no_panic): startup only\ny();\nz(); // lint: allow(no_panic)\n",
+        );
+        assert!(f.allowed(1, "no_panic"));
+        assert!(f.allowed(2, "no_panic"), "marker above suppresses next line");
+        assert!(!f.allowed(3, "no_panic"), "missing reason must not suppress");
+        assert!(!f.allowed(1, "id_cast"), "rule name must match");
+    }
+}

@@ -42,11 +42,7 @@ fn main() {
     // The paper's headline observation, restated numerically.
     let us = registry.by_name("USA");
     let pct = cr.percentages();
-    let shares: Vec<f64> = t67
-        .publishing
-        .iter()
-        .map(|&p| pct.get(us.index(), p.index()))
-        .collect();
+    let shares: Vec<f64> = t67.publishing.iter().map(|&p| pct.get(us.index(), p.index())).collect();
     let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = shares.iter().cloned().fold(0.0f64, f64::max);
     println!(

@@ -21,10 +21,7 @@ fn main() {
     // Fig 7: the 50x50 follow matrix as an ASCII heat map. The bright
     // top-left block is the co-owned regional media group.
     let f7 = figs_matrix::fig7(&ctx, &dataset, 50.min(dataset.sources.len()));
-    println!(
-        "{}",
-        figs_matrix::render_heatmap("Figure 7: Top-50 follow-reporting matrix", &f7.f)
-    );
+    println!("{}", figs_matrix::render_heatmap("Figure 7: Top-50 follow-reporting matrix", &f7.f));
 
     // Co-reporting Jaccard between the two most productive publishers.
     let co = CoReport::build(&ctx, &dataset);

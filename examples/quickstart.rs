@@ -14,10 +14,7 @@ fn main() {
     // Scale 0.0005 ≈ 160 k events; raise toward 1.0 for the full corpus
     // if you have the memory of the paper's 2 TB node.
     let cfg = gdelt::synth::paper_calibrated(5e-4, 42);
-    println!(
-        "generating corpus: {} sources, {} events …",
-        cfg.n_sources, cfg.n_events
-    );
+    println!("generating corpus: {} sources, {} events …", cfg.n_sources, cfg.n_events);
     let (dataset, clean) = gdelt::synth::generate_dataset(&cfg);
     println!("cleaning report:\n{clean}\n");
 
@@ -43,7 +40,5 @@ fn main() {
     let delays = per_source_delay_stats(&ctx, &dataset);
     let active = delays.iter().filter(|s| s.count > 0).count();
     let instant = delays.iter().filter(|s| s.count > 0 && s.min == 0).count();
-    println!(
-        "{instant} of {active} active sources have reported within one capture interval"
-    );
+    println!("{instant} of {active} active sources have reported within one capture interval");
 }

@@ -11,16 +11,9 @@ use gdelt::engine::baseline::{timed_naive, RowStore};
 fn main() {
     // A larger corpus makes the curve meaningful; use --release!
     let cfg = gdelt::synth::paper_calibrated(2e-3, 42);
-    println!(
-        "generating corpus: {} sources, {} events …",
-        cfg.n_sources, cfg.n_events
-    );
+    println!("generating corpus: {} sources, {} events …", cfg.n_sources, cfg.n_events);
     let (dataset, _) = gdelt::synth::generate_dataset(&cfg);
-    println!(
-        "{} events, {} mentions in memory\n",
-        dataset.events.len(),
-        dataset.mentions.len()
-    );
+    println!("{} events, {} mentions in memory\n", dataset.events.len(), dataset.mentions.len());
 
     let threads = scaling_thread_counts();
     let f12 = fig12::compute(&dataset, &threads, 3);
@@ -32,8 +25,7 @@ fn main() {
     let store = RowStore::from_dataset(&dataset);
     let build = t0.elapsed().as_secs_f64();
     let (_, query) = timed_naive(&store);
-    let engine_best =
-        f12.points.iter().map(|p| p.seconds).fold(f64::INFINITY, f64::min);
+    let engine_best = f12.points.iter().map(|p| p.seconds).fold(f64::INFINITY, f64::min);
     println!(
         "row-store baseline: build {build:.3}s + query {query:.3}s; engine best {engine_best:.4}s \
          ({:.0}x faster than the naive query alone)",

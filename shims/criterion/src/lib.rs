@@ -1,0 +1,306 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Air-gapped builds cannot fetch the real criterion, so this crate
+//! provides the same API shape backed by a small wall-clock harness:
+//! each benchmark warms up briefly, then runs `sample_size` samples and
+//! prints min / median / mean per iteration (plus throughput when
+//! configured). There is no statistical analysis, no HTML report and no
+//! baseline comparison — the point is that `cargo bench` compiles, runs
+//! and produces honest timings on a sealed machine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness: holds defaults that groups inherit.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target duration for the whole sampling phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.run(&id, f);
+        self
+    }
+}
+
+/// Unit attached to reported timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Display id for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from the parameter value alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { repr: param.to_string() }
+    }
+
+    /// Id with a function-name prefix.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { repr: format!("{}/{param}", name.into()) }
+    }
+}
+
+/// A named collection of benchmarks sharing config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Attach a throughput unit to subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.repr.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream writes reports here; the shim only
+    /// prints a separator).
+    pub fn finish(self) {
+        eprintln!();
+    }
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the body repeatedly until the warm-up budget is
+        // spent, so first-touch effects don't land in the samples.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut iters_per_sample: u64 = 1;
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed > Duration::ZERO {
+                // Aim each sample at ~1/sample_size of the measurement
+                // budget so the total run lands near measurement_time.
+                let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+                let per_iter = b.elapsed.as_secs_f64();
+                iters_per_sample = ((per_sample / per_iter) as u64).clamp(1, 1_000_000);
+            }
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter_ns[0];
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        let mut line = format!(
+            "{}/{id}: min {} | median {} | mean {} ({} samples x {} iters)",
+            self.name,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            per_iter_ns.len(),
+            iters_per_sample,
+        );
+        if let Some(t) = self.throughput {
+            let (amount, unit) = match t {
+                Throughput::Bytes(n) => (n as f64, "MiB/s"),
+                Throughput::Elements(n) => (n as f64, "Melem/s"),
+            };
+            let per_sec = amount / (median / 1e9);
+            let scaled = match t {
+                Throughput::Bytes(_) => per_sec / (1024.0 * 1024.0),
+                Throughput::Elements(_) => per_sec / 1e6,
+            };
+            line.push_str(&format!(" | {scaled:.1} {unit}"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        assert!(runs >= 3, "body ran during warm-up and sampling");
+    }
+
+    #[test]
+    fn group_runs_with_throughput_and_input() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::from_parameter(8).repr, "8");
+        assert_eq!(BenchmarkId::new("scan", 8).repr, "scan/8");
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Air-gapped builds cannot fetch the real proptest, so this crate
+//! reimplements the slice of its API the property tests exercise:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`;
+//! * range, tuple, `Just`, `any::<T>()`, `prop::bool::ANY`,
+//!   `prop::collection::vec` and regex-string strategies;
+//! * the `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!*`
+//!   and `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case number and the
+//!   deterministic per-test seed instead of a minimized input. Re-running
+//!   the test replays the identical sequence.
+//! * **Deterministic by default.** Each test's stream is seeded from its
+//!   name, so failures reproduce without a persistence file.
+//! * The regex-string strategy supports the subset of patterns used in
+//!   this repo: literals, escapes, `.`, character classes (with ranges
+//!   and negation), groups, and `{m,n}` / `?` / `*` / `+` repetition.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod string_gen;
+pub mod test_runner;
+
+/// `prop::...` namespace mirroring upstream's module layout.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+    /// Boolean strategies (`prop::bool::ANY`).
+    pub mod bool {
+        pub use crate::strategy::bool_any::{AnyBool, ANY};
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_compose, prop_oneof, proptest};
+}

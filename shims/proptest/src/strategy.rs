@@ -1,0 +1,610 @@
+//! The [`Strategy`] trait, combinators and the built-in strategies.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core (`gen_value`) plus sized combinators, so strategies
+/// can also live behind `Box<dyn Strategy<Value = V>>` (needed by
+/// `prop_oneof!`).
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred, reason }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        self.as_ref().gen_value(rng)
+    }
+}
+
+/// Box a strategy for heterogeneous storage (see `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.gen_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row: {}", self.reason);
+    }
+}
+
+/// Strategy yielding a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Closure-backed strategy (used by `prop_compose!`).
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F, V> FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> V,
+{
+    /// Wrap a generation closure.
+    pub fn new(f: F) -> Self {
+        FnStrategy { f }
+    }
+}
+
+impl<F, V> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> V,
+{
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        (self.f)(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() as f32
+    }
+}
+
+/// Strategy over the full value range of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// `prop::bool::ANY`.
+pub mod bool_any {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// The canonical instance.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// String literals act as regex strategies, as in upstream proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        crate::string_gen::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Element-count bounds for [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy for vectors of `elem` values with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.usize_inclusive(self.size.min, self.size.max);
+        (0..n).map(|_| self.elem.gen_value(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(elem, size)`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+/// Weighted union of same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    branches: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, strategy)` branches.
+    pub fn new(branches: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        let total_weight = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { branches, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (w, s) in &self.branches {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.gen_value(rng);
+            }
+            pick -= w;
+        }
+        // Weights sum to total_weight, so a branch always matched above.
+        self.branches[self.branches.len() - 1].1.gen_value(rng)
+    }
+}
+
+/// The `proptest!` test-definition macro.
+///
+/// Supports the forms used in this repo: an optional
+/// `#![proptest_config(..)]` header followed by `fn name(pat in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of `proptest!` — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (cfg = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let guard = $crate::test_runner::CaseGuard::new(stringify!($name), case);
+                    $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);)+
+                    // Closure returning Result, as upstream does, so
+                    // `prop_assume!` and `return Ok(())` can skip a case.
+                    // (`mut` is needed only when the body mutates its
+                    // `mut pat` bindings, hence the allow.)
+                    #[allow(unused_mut)]
+                    let mut body = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    if let ::std::result::Result::Err(msg) = body() {
+                        panic!("proptest case failed: {msg}");
+                    }
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// The `prop_compose!` named-strategy macro (outer-args + bindings form).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)($($pat:pat in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Weighted (or uniform) choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Assertion macros: without shrinking these reduce to the std asserts.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let v = (3u32..9).gen_value(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (1u8..=4).gen_value(&mut r);
+            assert!((1..=4).contains(&w));
+            let f = (0.5f64..2.0).gen_value(&mut r);
+            assert!((0.5..2.0).contains(&f));
+            let i = (-10i64..-2).gen_value(&mut r);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let (a, b, c) = (0u32..10, 0i64..5, Just("x")).gen_value(&mut r);
+        assert!(a < 10);
+        assert!((0..5).contains(&b));
+        assert_eq!(c, "x");
+    }
+
+    #[test]
+    fn map_and_flat_map() {
+        let mut r = rng();
+        let s = (1usize..4).prop_flat_map(|n| vec(0u32..10, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = s.gen_value(&mut r);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_honor_bounds() {
+        let mut r = rng();
+        let s = vec(0u32..3, 2..5);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut r);
+            assert!((2..=4).contains(&v.len()));
+        }
+        let fixed = vec(Just(1u8), 4usize);
+        assert_eq!(fixed.gen_value(&mut r), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn oneof_draws_every_branch_by_weight() {
+        let mut r = rng();
+        let s: Union<u32> = prop_oneof![4 => Just(0u32), 1 => 1u32..3];
+        let mut zero = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            if s.gen_value(&mut r) == 0 {
+                zero += 1;
+            }
+        }
+        // Expect ~80%.
+        assert!((3_500..4_500).contains(&zero), "zero={zero}");
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut r = rng();
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.gen_value(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn any_and_bool_any() {
+        let mut r = rng();
+        let _: u64 = any::<u64>().gen_value(&mut r);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(bool_any::ANY.gen_value(&mut r))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}
+
+#[cfg(test)]
+mod macro_tests {
+    // Exercise the macros exactly as downstream test files do.
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..50, b in 0u32..50) -> (u32, u32) {
+            (a.min(b), a.max(b))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn composed_pairs_are_ordered((lo, hi) in arb_pair()) {
+            prop_assert!(lo <= hi);
+        }
+
+        #[test]
+        fn assume_skips_cases(v in 0u32..10) {
+            prop_assume!(v < 5);
+            prop_assert!(v < 5);
+        }
+
+        #[test]
+        fn regex_strings_match_class(s in "[a-z]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the pattern features the workspace's tests use: literal
+//! characters, `\.`-style escapes, `.`, character classes with ranges and
+//! negation, `(...)` groups, and `{m}` / `{m,n}` / `?` / `*` / `+`
+//! repetition. Alternation (`|`) and anchors are not implemented; an
+//! unsupported pattern panics with a clear message so the gap is visible
+//! immediately rather than producing wrong data.
+
+use crate::test_runner::TestRng;
+
+/// One parsed regex element.
+enum Node {
+    /// A fixed character.
+    Literal(char),
+    /// `.` — any printable ASCII except newline (plus tab).
+    AnyChar,
+    /// `[...]` — a set of candidate chars, possibly negated.
+    Class { chars: Vec<char>, negated: bool },
+    /// `(...)` — a sequence treated as one unit.
+    Group(Vec<Repeated>),
+}
+
+/// A node plus its repetition bounds.
+struct Repeated {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// Characters drawn for `.` and for negated classes: printable ASCII plus
+/// tab, minus any excluded set. Newline is never produced, matching the
+/// default (non-DOTALL) meaning of `.`.
+fn any_char_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    pool.push('\t');
+    pool
+}
+
+/// Generate one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics when `pattern` uses regex features outside the supported
+/// subset, or describes an unsatisfiable negated class.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_sequence(&chars, &mut pos, pattern);
+    if pos != chars.len() {
+        panic!("proptest shim: unsupported regex `{pattern}` (stuck at offset {pos})");
+    }
+    let mut out = String::new();
+    emit_sequence(&seq, rng, &mut out, pattern);
+    out
+}
+
+/// Parse until end of input or an unmatched `)`.
+fn parse_sequence(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Repeated> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let node = parse_node(chars, pos, pattern);
+        let (min, max) = parse_repetition(chars, pos, pattern);
+        seq.push(Repeated { node, min, max });
+    }
+    seq
+}
+
+fn parse_node(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '.' => Node::AnyChar,
+        '\\' => Node::Literal(parse_escape(chars, pos, pattern)),
+        '[' => parse_class(chars, pos, pattern),
+        '(' => {
+            let inner = parse_sequence(chars, pos, pattern);
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                panic!("proptest shim: unclosed group in regex `{pattern}`");
+            }
+            *pos += 1;
+            Node::Group(inner)
+        }
+        '|' | '^' | '$' | '*' | '+' | '?' | '{' => {
+            panic!("proptest shim: unsupported regex feature `{c}` in `{pattern}`")
+        }
+        other => Node::Literal(other),
+    }
+}
+
+fn parse_escape(chars: &[char], pos: &mut usize, pattern: &str) -> char {
+    let c = *chars
+        .get(*pos)
+        .unwrap_or_else(|| panic!("proptest shim: trailing backslash in regex `{pattern}`"));
+    *pos += 1;
+    match c {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        '0' => '\0',
+        // Punctuation escapes (`\.`, `\\`, `\[`, ...) mean the literal.
+        c if c.is_ascii_punctuation() => c,
+        c => panic!("proptest shim: unsupported escape `\\{c}` in regex `{pattern}`"),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Node {
+    let negated = chars.get(*pos) == Some(&'^');
+    if negated {
+        *pos += 1;
+    }
+    let mut set = Vec::new();
+    loop {
+        let c = *chars
+            .get(*pos)
+            .unwrap_or_else(|| panic!("proptest shim: unclosed class in regex `{pattern}`"));
+        *pos += 1;
+        match c {
+            ']' => break,
+            '\\' => set.push(parse_escape(chars, pos, pattern)),
+            _ => {
+                // `a-z` range, unless `-` is the final member of the class.
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+                    *pos += 1;
+                    let hi = chars[*pos];
+                    *pos += 1;
+                    let hi = if hi == '\\' { parse_escape(chars, pos, pattern) } else { hi };
+                    assert!(
+                        c <= hi,
+                        "proptest shim: inverted class range `{c}-{hi}` in regex `{pattern}`"
+                    );
+                    set.extend((c..=hi).filter(|ch| ch.is_ascii()));
+                } else {
+                    set.push(c);
+                }
+            }
+        }
+    }
+    if set.is_empty() {
+        panic!("proptest shim: empty character class in regex `{pattern}`");
+    }
+    Node::Class { chars: set, negated }
+}
+
+/// Parse a trailing `{m}` / `{m,n}` / `?` / `*` / `+`; default is `{1}`.
+fn parse_repetition(chars: &[char], pos: &mut usize, pattern: &str) -> (u32, u32) {
+    /// Cap for open-ended repetition (`*`, `+`, `{m,}`).
+    const UNBOUNDED_CAP: u32 = 32;
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut digits = String::new();
+            while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                digits.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = digits
+                .parse()
+                .unwrap_or_else(|_| panic!("proptest shim: bad repetition in `{pattern}`"));
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut digits = String::new();
+                    while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                        digits.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    if digits.is_empty() {
+                        min.max(UNBOUNDED_CAP)
+                    } else {
+                        digits.parse().unwrap_or_else(|_| {
+                            panic!("proptest shim: bad repetition in `{pattern}`")
+                        })
+                    }
+                }
+                _ => min,
+            };
+            if chars.get(*pos) != Some(&'}') {
+                panic!("proptest shim: unclosed repetition in regex `{pattern}`");
+            }
+            *pos += 1;
+            assert!(min <= max, "proptest shim: inverted repetition bounds in `{pattern}`");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn emit_sequence(seq: &[Repeated], rng: &mut TestRng, out: &mut String, pattern: &str) {
+    for rep in seq {
+        let n = rep.min + (rng.below(u64::from(rep.max - rep.min) + 1) as u32);
+        for _ in 0..n {
+            emit_node(&rep.node, rng, out, pattern);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String, pattern: &str) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::AnyChar => {
+            let pool = any_char_pool();
+            out.push(pool[rng.below(pool.len() as u64) as usize]);
+        }
+        Node::Class { chars, negated } => {
+            if *negated {
+                let pool: Vec<char> =
+                    any_char_pool().into_iter().filter(|c| !chars.contains(c)).collect();
+                assert!(
+                    !pool.is_empty(),
+                    "proptest shim: unsatisfiable negated class in `{pattern}`"
+                );
+                out.push(pool[rng.below(pool.len() as u64) as usize]);
+            } else {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+        }
+        Node::Group(seq) => emit_sequence(seq, rng, out, pattern),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-gen-tests")
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z0-9-]{1,20}", &mut r);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_dot_is_literal() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{2,4}\\.[a-z]{2,6}", &mut r);
+            let (host, tld) = s.split_once('.').expect("dot present");
+            assert!((2..=4).contains(&host.len()), "{s:?}");
+            assert!((2..=6).contains(&tld.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn negated_class_and_groups() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[^\\t]{0,20}(\\t[^\\t]{0,5}){0,7}", &mut r);
+            // Every tab must come from the group separator, so fields
+            // between tabs are at most 20 then at most 5 chars long.
+            for (i, field) in s.split('\t').enumerate() {
+                let cap = if i == 0 { 20 } else { 5 };
+                assert!(field.chars().count() <= cap, "{s:?}");
+            }
+            assert!(s.split('\t').count() <= 8, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate(".{0,50}", &mut r);
+            assert!(!s.contains('\n'), "{s:?}");
+            assert!(s.chars().count() <= 50, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count_and_optional() {
+        let mut r = rng();
+        assert_eq!(generate("ab{3}c", &mut r), "abbbc");
+        let mut sizes = std::collections::HashSet::new();
+        for _ in 0..100 {
+            sizes.insert(generate("x?", &mut r).len());
+        }
+        assert_eq!(sizes, [0usize, 1].into_iter().collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn alternation_is_rejected() {
+        generate("a|b", &mut rng());
+    }
+}

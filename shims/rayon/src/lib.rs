@@ -1,0 +1,349 @@
+//! Offline shim for the subset of `rayon` this workspace uses.
+//!
+//! The real rayon cannot be fetched on air-gapped machines, and the
+//! engine only needs a small slice of its API: `into_par_iter()` on
+//! vectors and index ranges, `par_iter_mut()` on vectors, `map` /
+//! `for_each` / `collect`, thread pools with a fixed thread count, and
+//! `current_num_threads()`. This crate reimplements exactly that slice
+//! on `std::thread::scope`, preserving rayon's semantics that matter
+//! here:
+//!
+//! * `map(...).collect()` preserves input order;
+//! * work actually runs on multiple OS threads (the scaling sweep and
+//!   the ThreadSanitizer profile need real concurrency);
+//! * `ThreadPool::install(f)` makes `current_num_threads()` inside `f`
+//!   report the pool's size, which the partitioner uses to size chunks.
+//!
+//! Everything is implemented with safe code; closures panicking inside a
+//! worker propagate to the caller, as with real rayon.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Error type mirroring rayon's pool construction failure (the shim's
+/// pools cannot actually fail to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical pool: in this shim, a thread-count policy rather than a set
+/// of persistent workers (threads are scoped per parallel call).
+#[derive(Debug)]
+pub struct ThreadPool {
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count in effect for any parallel
+    /// operations it performs.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.n_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n_threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    n_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.n_threads = Some(n);
+        self
+    }
+
+    /// Build the pool. Never fails in the shim; the `Result` mirrors the
+    /// upstream signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.n_threads {
+            Some(0) | None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { n_threads: n })
+    }
+}
+
+/// Run `f` over `items` on up to `current_num_threads()` scoped threads,
+/// returning outputs in input order.
+fn parallel_map<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n_threads = current_num_threads().min(items.len().max(1));
+    if n_threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Near-even contiguous chunks, one per worker, mirroring the static
+    // schedule the engine's partitioner assumes.
+    let len = items.len();
+    let base = len / n_threads;
+    let extra = len % n_threads;
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(n_threads);
+    let mut it = items.into_iter();
+    for t in 0..n_threads {
+        let take = base + usize::from(t < extra);
+        chunks.push(it.by_ref().take(take).collect());
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An eagerly-evaluated parallel iterator over owned items.
+///
+/// Unlike real rayon this is not lazy: each `map` call performs the
+/// parallel pass immediately. For the chains this workspace writes
+/// (`into_par_iter().map(..).collect()` and `..for_each(..)`) the
+/// observable behavior is identical.
+pub struct ParVec<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Parallel map preserving input order.
+    pub fn map<O, F>(self, f: F) -> ParVec<O>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync + Send,
+    {
+        ParVec { items: parallel_map(self.items, &f) }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        parallel_map(self.items, &|v| f(v));
+    }
+
+    /// Gather results into a collection (order preserved).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Parallel fold-equivalent: sum of all items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type produced by the parallel iterator.
+    type Item: Send;
+    /// Convert into the shim's eager parallel iterator.
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParVec<usize> {
+        ParVec { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParVec<u32> {
+        ParVec { items: self.collect() }
+    }
+}
+
+/// Borrowing parallel iteration (`rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParVec<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec { items: self.iter().collect() }
+    }
+}
+
+/// Mutable borrowing parallel iteration
+/// (`rayon::iter::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutably borrowed element type.
+    type Item: Send + 'a;
+    /// Parallel iterator over `&mut self`'s elements.
+    fn par_iter_mut(&'a mut self) -> ParVec<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParVec<&'a mut T> {
+        ParVec { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParVec<&'a mut T> {
+        ParVec { items: self.iter_mut().collect() }
+    }
+}
+
+/// Drop-in for `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> =
+            (0..10_000u64).collect::<Vec<_>>().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn range_par_iter_works() {
+        let v: Vec<usize> = (0..257usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v[0], 1);
+        assert_eq!(v[256], 257);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        (0..1000u32).collect::<Vec<_>>().into_par_iter().for_each(|x| {
+            total.fetch_add(u64::from(x), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| ());
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn nested_install_uses_innermost() {
+        let a = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let b = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = a.install(|| b.install(current_num_threads));
+        assert_eq!(inner, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..64usize).collect::<Vec<_>>().into_par_iter().for_each(|i| {
+                assert!(i < 32, "worker boom");
+            });
+        });
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+}

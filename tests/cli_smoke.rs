@@ -46,13 +46,8 @@ fn generate_convert_report_loop() {
     assert!(dir.join("masterfilelist.txt").exists());
 
     let bin = dir.join("data.gdhpc");
-    let out = cli()
-        .args(["convert", "--in"])
-        .arg(&dir)
-        .arg("--out")
-        .arg(&bin)
-        .output()
-        .expect("convert");
+    let out =
+        cli().args(["convert", "--in"]).arg(&dir).arg("--out").arg(&bin).output().expect("convert");
     assert!(out.status.success(), "convert failed: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Table II"), "convert must print the cleaning report");
@@ -96,7 +91,8 @@ fn query_and_update_subcommands() {
         .expect("generate");
     assert!(out.status.success());
     let bin = dir.join("data.gdhpc");
-    let out = cli().args(["convert", "--in"]).arg(&dir).arg("--out").arg(&bin).output().expect("convert");
+    let out =
+        cli().args(["convert", "--in"]).arg(&dir).arg("--out").arg(&bin).output().expect("convert");
     assert!(out.status.success());
 
     // Windowed top-publisher query.
@@ -113,7 +109,8 @@ fn query_and_update_subcommands() {
 
     // Apply the same raw directory as an update batch (all duplicates —
     // the dataset must survive unchanged in size).
-    let out = cli().args(["update", "--data"]).arg(&bin).arg("--in").arg(&dir).output().expect("update");
+    let out =
+        cli().args(["update", "--data"]).arg(&bin).arg("--in").arg(&dir).output().expect("update");
     assert!(out.status.success(), "update failed: {}", String::from_utf8_lossy(&out.stderr));
     let msg = String::from_utf8_lossy(&out.stderr);
     assert!(msg.contains("dup dropped"), "unexpected update output: {msg}");
@@ -131,7 +128,15 @@ fn query_rejects_unknown_source() {
         .expect("generate");
     assert!(out.status.success());
     let bin = dir.join("data.gdhpc");
-    assert!(cli().args(["convert", "--in"]).arg(&dir).arg("--out").arg(&bin).output().unwrap().status.success());
+    assert!(cli()
+        .args(["convert", "--in"])
+        .arg(&dir)
+        .arg("--out")
+        .arg(&bin)
+        .output()
+        .unwrap()
+        .status
+        .success());
     let out = cli()
         .args(["query", "--data"])
         .arg(&bin)

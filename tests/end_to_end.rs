@@ -41,9 +41,27 @@ fn full_report_runs_on_pipeline_output() {
     let report = run_full_report(&ctx, &dataset, &clean, ReportOptions::default());
     // Every paper exhibit is present and non-trivial.
     for section in [
-        "Table I", "Table II", "Table III", "Table IV", "Table V", "Table VI", "Table VII",
-        "Table VIII", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7",
-        "Figure 8", "Figure 9", "Figure 10", "Figure 11", "Clusters", "Tone", "Wildfires",
+        "Table I",
+        "Table II",
+        "Table III",
+        "Table IV",
+        "Table V",
+        "Table VI",
+        "Table VII",
+        "Table VIII",
+        "Figure 2",
+        "Figure 3",
+        "Figure 4",
+        "Figure 5",
+        "Figure 6",
+        "Figure 7",
+        "Figure 8",
+        "Figure 9",
+        "Figure 10",
+        "Figure 11",
+        "Clusters",
+        "Tone",
+        "Wildfires",
         "Dyads",
     ] {
         let body = report.section(section).unwrap_or_else(|| panic!("missing {section}"));

@@ -4,11 +4,11 @@
 //! delay statistics all have simple O(n²)-ish definitions worth paying
 //! for in a test.
 
+use gdelt::engine::baseline::RowStore;
 use gdelt::engine::coreport::{CoReport, CountryCoReport};
 use gdelt::engine::crossreport::CrossReport;
 use gdelt::engine::delay::per_source_delay_stats;
 use gdelt::engine::followreport::FollowReport;
-use gdelt::engine::baseline::RowStore;
 use gdelt::model::country::CountryRegistry;
 use gdelt::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};

@@ -51,10 +51,7 @@ fn quarter_hour_batches_equal_full_rebuild() {
     let chunks = 5;
     let e_step = sorted_events.len().div_ceil(chunks);
     let m_step = sorted_mentions.len().div_ceil(chunks);
-    let mut current = build(
-        sorted_events[..e_step].to_vec(),
-        sorted_mentions[..m_step].to_vec(),
-    );
+    let mut current = build(sorted_events[..e_step].to_vec(), sorted_mentions[..m_step].to_vec());
     for i in 1..chunks {
         let e_lo = (i * e_step).min(sorted_events.len());
         let e_hi = ((i + 1) * e_step).min(sorted_events.len());

@@ -63,10 +63,8 @@ fn figs45_volumes_decline_slightly_late_in_the_period() {
 fn fig6_top_publishers_are_a_media_group_block() {
     let d = dataset();
     let data = figs_volume::fig6(&ctx(), d);
-    let group = data
-        .iter()
-        .filter(|(s, _, _)| d.sources.name(*s).contains("regionalgroup"))
-        .count();
+    let group =
+        data.iter().filter(|(s, _, _)| d.sources.name(*s).contains("regionalgroup")).count();
     // Paper: 8 of the Top 10 are co-owned regional UK papers.
     assert!(group >= 6, "only {group}/10 top publishers from the planted group");
 }
@@ -90,13 +88,10 @@ fn table5_anglosphere_cluster() {
     let cc = CountryCoReport::build(&ctx(), d, reg.len());
     let t5 = table5::compute(&cc, &reg);
     // Order: UK, USA, Australia, India, Italy, Canada, ZA, NG, BD, PH.
-    let cluster_avg =
-        (t5.jaccard.get(0, 1) + t5.jaccard.get(0, 2) + t5.jaccard.get(1, 2)) / 3.0;
-    let periphery_avg = (t5.jaccard.get(7, 8)
-        + t5.jaccard.get(7, 9)
-        + t5.jaccard.get(8, 9)
-        + t5.jaccard.get(4, 7))
-        / 4.0;
+    let cluster_avg = (t5.jaccard.get(0, 1) + t5.jaccard.get(0, 2) + t5.jaccard.get(1, 2)) / 3.0;
+    let periphery_avg =
+        (t5.jaccard.get(7, 8) + t5.jaccard.get(7, 9) + t5.jaccard.get(8, 9) + t5.jaccard.get(4, 7))
+            / 4.0;
     assert!(
         cluster_avg > 2.0 * periphery_avg,
         "UK-USA-AUS cluster ({cluster_avg:.4}) not dominant over periphery ({periphery_avg:.4})"
@@ -113,10 +108,7 @@ fn tables67_us_events_dominate_everyones_output() {
     // Paper Table VII: US share of each top publisher's output 33–47%.
     for j in 0..5 {
         let share = t.percentages.get(0, j);
-        assert!(
-            (15.0..=60.0).contains(&share),
-            "US share for publisher column {j}: {share}"
-        );
+        assert!((15.0..=60.0).contains(&share), "US share for publisher column {j}: {share}");
     }
     // UK is highly active as a source but much less reported-on than
     // the US (paper §VI-D).
@@ -180,10 +172,7 @@ fn fig10_average_declines_median_stable() {
     let late_med: f64 = med.values[med.len() - 4..].iter().sum::<f64>() / 4.0;
     let avg_move = mid_avg - late_avg;
     let med_move = (mid_med - late_med).abs();
-    assert!(
-        med_move < avg_move,
-        "median moved {med_move:.2} intervals vs average's {avg_move:.2}"
-    );
+    assert!(med_move < avg_move, "median moved {med_move:.2} intervals vs average's {avg_move:.2}");
 }
 
 #[test]
@@ -206,8 +195,5 @@ fn fig12_parallel_beats_sequential() {
     let f12 = gdelt::analysis::fig12::compute(d, &[1, 2, 4], 3);
     let p1 = f12.points[0].seconds;
     let best = f12.points.iter().map(|p| p.seconds).fold(f64::INFINITY, f64::min);
-    assert!(
-        best <= p1 * 1.05,
-        "parallel runs never beat sequential: 1T={p1:.4}s best={best:.4}s"
-    );
+    assert!(best <= p1 * 1.05, "parallel runs never beat sequential: 1T={p1:.4}s best={best:.4}s");
 }
