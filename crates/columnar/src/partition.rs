@@ -40,8 +40,10 @@ impl Partition {
     }
 
     /// Slice a column to this partition's rows.
+    // analyze: no_panic
     #[inline]
     pub fn slice<'a, T>(&self, col: &'a [T]) -> &'a [T] {
+        // analyze: allow(panic_path): partitions are constructed from the column's row count
         &col[self.begin..self.end]
     }
 }
@@ -59,6 +61,7 @@ pub fn partitions(n_rows: usize, n_parts: usize) -> Vec<Partition> {
     let mut begin = 0;
     for p in 0..n_parts {
         let len = base + usize::from(p < extra);
+        // analyze: allow(hot_alloc): n_parts pushes into a pre-sized Vec, once per scan
         out.push(Partition { begin, end: begin + len, node: p });
         begin += len;
     }
@@ -70,6 +73,7 @@ pub fn partitions(n_rows: usize, n_parts: usize) -> Vec<Partition> {
 /// when `boundaries` are CSR offsets): each partition ends on one of the
 /// supplied ascending boundary values. Used to parallelize per-event
 /// scans without splitting an event's mention range across workers.
+// analyze: no_panic
 pub fn partitions_at_boundaries(boundaries: &[u64], n_parts: usize) -> Vec<Partition> {
     // boundaries = CSR offsets (len = n_groups + 1).
     if boundaries.is_empty() {
@@ -80,7 +84,9 @@ pub fn partitions_at_boundaries(boundaries: &[u64], n_parts: usize) -> Vec<Parti
     group_parts
         .into_iter()
         .map(|p| Partition {
+            // analyze: allow(panic_path): p.begin ≤ p.end ≤ n_groups < boundaries.len()
             begin: boundaries[p.begin] as usize,
+            // analyze: allow(panic_path): p.begin ≤ p.end ≤ n_groups < boundaries.len()
             end: boundaries[p.end] as usize,
             node: p.node,
         })

@@ -30,6 +30,7 @@ impl CoReport {
     /// Build the dense matrix with one shared atomic accumulator — the
     /// strategy that scales to the full source population (relaxed
     /// increments, no cross-thread ordering needed).
+    // analyze: no_panic
     pub fn build(ctx: &ExecContext, d: &Dataset) -> Self {
         let n = d.sources.len();
         let pairs: Vec<AtomicU32> = (0..n * n).map(|_| AtomicU32::new(0)).collect();
@@ -38,15 +39,23 @@ impl CoReport {
         let parts = ctx.make_group_partitions(&d.event_index.offsets);
         ctx.install(|| {
             parts.into_par_iter().for_each(|p| {
+                // analyze: allow(hot_alloc): per-partition scratch, reused across events
                 let mut distinct: Vec<u32> = Vec::with_capacity(16);
                 for_each_event_in(d, p.range(), |sources| {
                     distinct.clear();
+                    // analyze: allow(hot_alloc): amortized by the retained capacity above
                     distinct.extend_from_slice(sources);
                     distinct.sort_unstable();
                     distinct.dedup();
                     for (a, &i) in distinct.iter().enumerate() {
+                        // Relaxed: pure counter; the join at install() exit
+                        // publishes all increments before the loads below.
+                        // analyze: allow(panic_path): i < n — source ids are dense directory indices
                         events[i as usize].fetch_add(1, Ordering::Relaxed);
+                        // analyze: allow(panic_path): a < distinct.len() ⇒ a+1 is a valid slice start
                         for &j in &distinct[a + 1..] {
+                            // Relaxed: same counter argument as events above.
+                            // analyze: allow(panic_path): i, j < n dense source ids → i*n+j < n*n
                             pairs[i as usize * n + j as usize].fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -57,6 +66,7 @@ impl CoReport {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
+                // analyze: allow(panic_path): i, j < n ⇒ i*n+j < n*n == pairs.len()
                 m.set(i, j, pairs[i * n + j].load(Ordering::Relaxed));
             }
         }
@@ -124,6 +134,7 @@ pub struct SparseCoReport {
 
 impl SparseCoReport {
     /// Build with per-thread hash maps merged at the end.
+    // analyze: no_panic
     pub fn build(ctx: &ExecContext, d: &Dataset) -> Self {
         let n = d.sources.len();
         let parts = ctx.make_group_partitions(&d.event_index.offsets);
@@ -139,7 +150,9 @@ impl SparseCoReport {
                     distinct.sort_unstable();
                     distinct.dedup();
                     for (a, &i) in distinct.iter().enumerate() {
+                        // analyze: allow(panic_path): i < n — source ids are dense directory indices
                         events[i as usize] += 1;
+                        // analyze: allow(panic_path): a < distinct.len() ⇒ a+1 is a valid slice start
                         for &j in &distinct[a + 1..] {
                             *pairs.entry((i, j)).or_insert(0) += 1;
                         }
@@ -194,6 +207,7 @@ pub struct CountryCoReport {
 
 impl CountryCoReport {
     /// Build with per-thread dense partials (country count is small).
+    // analyze: no_panic
     pub fn build(ctx: &ExecContext, d: &Dataset, n_countries: usize) -> Self {
         let parts = ctx.make_group_partitions(&d.event_index.offsets);
         let source_country = &d.sources.country;
@@ -206,15 +220,19 @@ impl CountryCoReport {
                 for_each_event_in(d, p.range(), |sources| {
                     countries.clear();
                     for &s in sources {
+                        // analyze: allow(panic_path): source ids are dense directory indices
                         let c = source_country[s as usize];
                         if (c as usize) < n_countries {
+                            // analyze: allow(hot_alloc): amortized — capacity retained across events
                             countries.push(c);
                         }
                     }
                     countries.sort_unstable();
                     countries.dedup();
                     for (a, &i) in countries.iter().enumerate() {
+                        // analyze: allow(panic_path): i < n_countries filtered at push above
                         events[i as usize] += 1;
+                        // analyze: allow(panic_path): a < countries.len() ⇒ a+1 is a valid slice start
                         for &j in &countries[a + 1..] {
                             pairs.bump(i as usize, j as usize);
                             pairs.bump(j as usize, i as usize);
@@ -261,11 +279,14 @@ fn for_each_event_in(d: &Dataset, rows: std::ops::Range<usize>, mut f: impl FnMu
     let event_rows = &d.mentions.event_row;
     let sources = &d.mentions.source;
     while row < rows.end {
+        // analyze: allow(panic_path): row < rows.end ≤ mentions.len() (partition invariant)
         let er = event_rows[row];
         let mut end = row + 1;
+        // analyze: allow(panic_path): end < rows.end checked first
         while end < rows.end && event_rows[end] == er {
             end += 1;
         }
+        // analyze: allow(panic_path): row ≤ end ≤ rows.end ≤ mentions.len()
         f(&sources[row..end]);
         row = end;
     }

@@ -65,6 +65,7 @@ pub fn classify(stats: &DelayStats) -> SpeedGroup {
 /// One parallel counting pass sizes the groups, one sequential
 /// scatter fills them (memory-bandwidth bound), and the per-source
 /// reductions run in parallel.
+// analyze: no_panic
 pub fn per_source_delay_stats(ctx: &ExecContext, d: &Dataset) -> Vec<DelayStats> {
     let n_sources = d.sources.len();
     let n = d.mentions.len();
@@ -76,13 +77,17 @@ pub fn per_source_delay_stats(ctx: &ExecContext, d: &Dataset) -> Vec<DelayStats>
     // Group offsets (prefix sum) and scatter.
     let mut offsets = vec![0usize; n_sources + 1];
     for i in 0..n_sources {
+        // analyze: allow(panic_path): i < n_sources, counts.len() == n_sources, offsets.len() == n_sources + 1
         offsets[i + 1] = offsets[i] + counts[i] as usize;
     }
     let mut grouped = vec![0u32; n];
     let mut cursor = offsets.clone();
     for row in 0..n {
+        // analyze: allow(panic_path): row < n == mentions.len()
         let s = d.mentions.source[row] as usize;
+        // analyze: allow(panic_path): cursor[s] scatters each row exactly once into grouped (len n)
         grouped[cursor[s]] = d.mentions.delay[row];
+        // analyze: allow(panic_path): source ids are dense directory indices < n_sources
         cursor[s] += 1;
     }
 
@@ -91,11 +96,14 @@ pub fn per_source_delay_stats(ctx: &ExecContext, d: &Dataset) -> Vec<DelayStats>
         (0..n_sources)
             .into_par_iter()
             .map(|s| {
+                // analyze: allow(panic_path): s < n_sources and offsets.len() == n_sources + 1
                 let (lo, hi) = (offsets[s], offsets[s + 1]);
                 if lo == hi {
                     return DelayStats::empty();
                 }
                 // median_u32 reorders, so work on a private copy.
+                // analyze: allow(hot_alloc): the median needs a private, mutable copy per source
+                // analyze: allow(panic_path): lo ≤ hi ≤ grouped.len() (prefix-sum invariant)
                 let mut buf = grouped[lo..hi].to_vec();
                 // lint: allow(no_panic): `lo == hi` returned early above
                 let min = *buf.iter().min().expect("non-empty");
@@ -112,6 +120,7 @@ pub fn per_source_delay_stats(ctx: &ExecContext, d: &Dataset) -> Vec<DelayStats>
 /// Delay of the *first* article on each event — the paper flags this as
 /// the key signal for wildfire detection follow-up work (§VI-E). With
 /// mentions time-sorted within each event, this is the first CSR entry.
+// analyze: no_panic
 pub fn first_report_delay(ctx: &ExecContext, d: &Dataset) -> Vec<u32> {
     let n_events = d.events.len();
     let offsets = &d.event_index.offsets;
@@ -120,11 +129,14 @@ pub fn first_report_delay(ctx: &ExecContext, d: &Dataset) -> Vec<u32> {
         (0..n_events)
             .into_par_iter()
             .map(|e| {
+                // analyze: allow(panic_path): e < n_events and offsets.len() == n_events + 1
                 let lo = offsets[e] as usize;
+                // analyze: allow(panic_path): e < n_events and offsets.len() == n_events + 1
                 let hi = offsets[e + 1] as usize;
                 if lo == hi {
                     0
                 } else {
+                    // analyze: allow(panic_path): lo < hi ≤ mentions.len() (CSR invariant)
                     delays[lo]
                 }
             })

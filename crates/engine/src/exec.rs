@@ -74,6 +74,7 @@ impl ExecContext {
     /// The partitioned map-reduce skeleton: `map` runs per partition in
     /// parallel, producing one partial each; partials are merged
     /// sequentially (merge cost is negligible next to the scans).
+    // analyze: no_panic
     pub fn map_reduce<T, M, R>(&self, parts: Vec<Partition>, map: M, reduce: R) -> Option<T>
     where
         T: Send,
@@ -87,6 +88,7 @@ impl ExecContext {
 
     /// Convenience map-reduce over an `n_rows` flat scan with a default
     /// accumulator for the empty case.
+    // analyze: no_panic
     pub fn scan<T, M>(&self, n_rows: usize, map: M) -> T
     where
         T: Send + Default + Merge,
@@ -127,6 +129,7 @@ where
             self.resize_with(other.len(), T::default);
         }
         for (i, v) in other.into_iter().enumerate() {
+            // analyze: allow(panic_path): i < other.len() ≤ self.len() after resize_with
             self[i].merge(v);
         }
     }

@@ -35,6 +35,7 @@ impl Bitmap {
     #[inline]
     pub fn set(&mut self, i: usize) {
         debug_assert!(i < self.len);
+        // analyze: allow(panic_path): i < len ⇒ i/64 < bits.len() (sized at construction)
         self.bits[i / 64] |= 1 << (i % 64);
     }
 
@@ -42,6 +43,7 @@ impl Bitmap {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // analyze: allow(panic_path): i < len ⇒ i/64 < bits.len() (sized at construction)
         self.bits[i / 64] & (1 << (i % 64)) != 0
     }
 
@@ -52,6 +54,7 @@ impl Bitmap {
 
     /// Intersect with another bitmap of the same length.
     pub fn and(&mut self, other: &Bitmap) {
+        // analyze: allow(panic_path): deliberate API contract — mismatched lengths are a caller bug
         assert_eq!(self.len, other.len, "bitmap length mismatch");
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a &= b;
@@ -60,6 +63,7 @@ impl Bitmap {
 
     /// Union with another bitmap of the same length.
     pub fn or(&mut self, other: &Bitmap) {
+        // analyze: allow(panic_path): deliberate API contract — mismatched lengths are a caller bug
         assert_eq!(self.len, other.len, "bitmap length mismatch");
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
@@ -83,6 +87,7 @@ impl Bitmap {
     }
 
     /// Evaluate `pred` over `0..len` rows in parallel.
+    // analyze: no_panic
     pub fn fill(ctx: &ExecContext, len: usize, pred: impl Fn(usize) -> bool + Sync + Send) -> Self {
         // Each partition builds a word-aligned local piece, merged by OR.
         struct Partial(Bitmap);

@@ -28,6 +28,7 @@ pub struct FollowReport {
 
 impl FollowReport {
     /// Compute the follow submatrix for `subset`.
+    // analyze: no_panic
     pub fn build(ctx: &ExecContext, d: &Dataset, subset: &[SourceId]) -> Self {
         let k = subset.len();
         // source id → slot (dense array when the id space is small, which
@@ -36,6 +37,7 @@ impl FollowReport {
         let mut slot = vec![u32::MAX; n_sources];
         for (i, s) in subset.iter().enumerate() {
             if s.index() < n_sources {
+                // analyze: allow(panic_path): s.index() < n_sources checked directly above
                 slot[s.index()] = i as u32;
             }
         }
@@ -58,8 +60,10 @@ impl FollowReport {
                 let mut current: Vec<u32> = Vec::new();
                 let mut row = p.begin;
                 while row < p.end {
+                    // analyze: allow(panic_path): row < p.end ≤ mentions.len() (partition invariant)
                     let er = event_rows[row];
                     let mut end = row + 1;
+                    // analyze: allow(panic_path): end < p.end checked first
                     while end < p.end && event_rows[end] == er {
                         end += 1;
                     }
@@ -68,15 +72,19 @@ impl FollowReport {
                     let mut i = row;
                     while i < end {
                         // Interval group [i, g).
+                        // analyze: allow(panic_path): i < end ≤ p.end ≤ mentions.len()
                         let t = intervals[i];
                         let mut g = i + 1;
+                        // analyze: allow(panic_path): g < end checked first
                         while g < end && intervals[g] == t {
                             g += 1;
                         }
                         current.clear();
                         for r in i..g {
+                            // analyze: allow(panic_path): r < g ≤ end ≤ mentions.len()
                             if let Some(&s) = slot.get(sources[r] as usize) {
                                 if s != u32::MAX {
+                                    // analyze: allow(panic_path): slot values are subset indexes < k
                                     articles[s as usize] += 1;
                                     // Article by j follows every selected
                                     // source already in `prior`.
@@ -85,11 +93,13 @@ impl FollowReport {
                                             counts.bump(pi, s as usize);
                                         }
                                     }
+                                    // analyze: allow(hot_alloc): amortized — capacity retained across interval groups
                                     current.push(s);
                                 }
                             }
                         }
                         for &s in &current {
+                            // analyze: allow(panic_path): s is a slot value < k == prior.len()
                             prior[s as usize] = true;
                         }
                         i = g;
@@ -115,8 +125,10 @@ impl FollowReport {
         // (outside the CSR coverage) — scan the tail.
         let covered = d.event_index.total_mentions() as usize;
         for row in covered..d.mentions.len() {
+            // analyze: allow(panic_path): row < mentions.len() by the range bound
             if let Some(&s) = slot.get(sources[row] as usize) {
                 if s != u32::MAX {
+                    // analyze: allow(panic_path): slot values are subset indexes < k
                     articles[s as usize] += 1;
                 }
             }

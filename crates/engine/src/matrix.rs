@@ -38,6 +38,7 @@ impl<T: Copy + Default> Matrix<T> {
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> T {
         debug_assert!(r < self.rows && c < self.cols);
+        // analyze: allow(panic_path): r < rows, c < cols ⇒ r*cols + c < rows*cols (caller contract)
         self.data[r * self.cols + c]
     }
 
@@ -45,6 +46,7 @@ impl<T: Copy + Default> Matrix<T> {
     #[inline]
     pub fn get_mut(&mut self, r: usize, c: usize) -> &mut T {
         debug_assert!(r < self.rows && c < self.cols);
+        // analyze: allow(panic_path): r < rows, c < cols ⇒ r*cols + c < rows*cols (caller contract)
         &mut self.data[r * self.cols + c]
     }
 
@@ -57,6 +59,7 @@ impl<T: Copy + Default> Matrix<T> {
     /// One row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[T] {
+        // analyze: allow(panic_path): r < rows caller contract, as with get/get_mut
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -76,6 +79,7 @@ impl Matrix<u64> {
     /// Add one to an element (the hot co-reporting update).
     #[inline]
     pub fn bump(&mut self, r: usize, c: usize) {
+        // analyze: allow(panic_path): r < rows, c < cols ⇒ r*cols + c < rows*cols (caller contract)
         self.data[r * self.cols + c] += 1;
     }
 
@@ -84,6 +88,7 @@ impl Matrix<u64> {
         let mut out = vec![0u64; self.cols];
         for r in 0..self.rows {
             for (c, &v) in self.row(r).iter().enumerate() {
+                // analyze: allow(panic_path): c enumerates a row slice of length cols
                 out[c] += v;
             }
         }
@@ -107,6 +112,7 @@ impl Matrix<f64> {
         let mut out = vec![0f64; self.cols];
         for r in 0..self.rows {
             for (c, &v) in self.row(r).iter().enumerate() {
+                // analyze: allow(panic_path): c enumerates a row slice of length cols
                 out[c] += v;
             }
         }
@@ -120,7 +126,9 @@ impl Merge for Matrix<u64> {
             *self = other;
             return;
         }
+        // analyze: allow(panic_path): deliberate API contract — shape mismatch is a caller bug
         assert_eq!(self.rows, other.rows, "matrix shape mismatch in merge");
+        // analyze: allow(panic_path): deliberate API contract — shape mismatch is a caller bug
         assert_eq!(self.cols, other.cols, "matrix shape mismatch in merge");
         for (a, b) in self.data.iter_mut().zip(other.data) {
             *a += b;

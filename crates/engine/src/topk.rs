@@ -8,12 +8,15 @@ use gdelt_model::ids::SourceId;
 /// The `k` most productive sources with their article counts, descending
 /// (ties broken by source id for determinism). This is the paper's
 /// Fig 6 / Table IV / Table VIII selection.
+// analyze: no_panic
 pub fn top_publishers(ctx: &ExecContext, d: &Dataset, k: usize) -> Vec<(SourceId, u64)> {
     let counts = count_by(ctx, &d.mentions.source, d.sources.len());
+    // analyze: allow(panic_path): top_k_indices yields i < counts.len()
     top_k_indices(&counts, k).into_iter().map(|i| (SourceId(i as u32), counts[i])).collect()
 }
 
 /// The `k` most mentioned events as `(event_row, mentions)` (Table III).
+// analyze: no_panic
 pub fn top_events(ctx: &ExecContext, d: &Dataset, k: usize) -> Vec<(usize, u64)> {
     let offsets = &d.event_index.offsets;
     let n = d.events.len();
@@ -23,19 +26,23 @@ pub fn top_events(ctx: &ExecContext, d: &Dataset, k: usize) -> Vec<(usize, u64)>
         // lint: allow(par_index): e < n and offsets.len() == n + 1 (CSR invariant)
         (0..n).into_par_iter().map(|e| offsets[e + 1] - offsets[e]).collect()
     });
+    // analyze: allow(panic_path): top_k_indices yields i < degrees.len()
     top_k_indices(&degrees, k).into_iter().map(|i| (i, degrees[i])).collect()
 }
 
 /// Indexes of the `k` largest values, descending, stable on ties.
+// analyze: no_panic
 pub fn top_k_indices(vals: &[u64], k: usize) -> Vec<usize> {
     let k = k.min(vals.len());
     let mut idx: Vec<usize> = (0..vals.len()).collect();
     // Partial selection then sort of the head beats a full sort when the
     // value array is large (21 k sources, 325 M events).
     if k > 0 && k < vals.len() {
+        // analyze: allow(panic_path): idx holds 0..vals.len(), and 0 < k < vals.len()
         idx.select_nth_unstable_by_key(k - 1, |&i| (std::cmp::Reverse(vals[i]), i));
         idx.truncate(k);
     }
+    // analyze: allow(panic_path): idx holds indexes drawn from 0..vals.len()
     idx.sort_by_key(|&i| (std::cmp::Reverse(vals[i]), i));
     idx.truncate(k);
     idx

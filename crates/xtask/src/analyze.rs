@@ -1,0 +1,554 @@
+//! The semantic pass behind `cargo xtask analyze`.
+//!
+//! Builds the workspace call graph ([`crate::callgraph`]) over the
+//! parsed token streams ([`crate::lex`], [`crate::parse`]) and runs
+//! five analyses:
+//!
+//! * `panic_path` — every function annotated `// analyze: no_panic` is
+//!   a root; any panic sink reachable from a root through the call
+//!   graph is reported with the shortest call path rendered as
+//!   `file:line → file:line → …`;
+//! * `hot_alloc` — allocations inside rayon parallel closures
+//!   (anywhere in crate sources) and inside loop bodies of
+//!   panic-freedom kernels;
+//! * `lock_par` — `Mutex`/`RwLock` acquisition inside a parallel
+//!   closure serializes the region;
+//! * `seqcst` — `Ordering::SeqCst` where the workspace's counters
+//!   never participate in a synchronizes-with edge; `Relaxed` (with an
+//!   invariant comment) or a justified marker is required;
+//! * `lock_cycle` — the lexical lock-order graph must be acyclic.
+//!
+//! Plus the ratcheting unsafe inventory against `analyze-baseline.toml`
+//! ([`crate::baseline`]). Findings are suppressed per-line with
+//! `// analyze: allow(<rule>): <reason>` (the legacy `lint:` markers
+//! `no_panic` / `par_index` also silence sinks they already justify).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{self, Baseline, Inventory};
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::lex::tokenize;
+use crate::parse::{parse_file, ParsedFile, SinkKind};
+use crate::source::SourceFile;
+use crate::walk;
+
+/// The baseline file name, at the workspace root.
+pub const BASELINE_FILE: &str = "analyze-baseline.toml";
+
+/// A loaded, parsed workspace ready for analysis.
+pub struct Analysis {
+    /// Per-file: workspace-relative path, line model, parsed facts,
+    /// in-test-tree flag.
+    files: Vec<(PathBuf, SourceFile, ParsedFile, bool)>,
+    /// The call graph over every file.
+    graph: CallGraph,
+}
+
+/// Is this workspace-relative path in a tree whose functions are only
+/// callable from their own file (integration tests, benches, examples)?
+fn in_test_tree(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.starts_with("tests/")
+        || s.starts_with("examples/")
+        || s.contains("/tests/")
+        || s.contains("/benches/")
+        || s.contains("/examples/")
+}
+
+/// Is this path a crate `src/` file (scope of the `hot_alloc` rule)?
+fn in_crate_src(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.starts_with("crates/") && s.contains("/src/")
+}
+
+impl Analysis {
+    /// Parse `paths` (workspace-relative to `root`) and build the graph.
+    pub fn load(root: &Path, paths: &[PathBuf]) -> Result<Analysis, String> {
+        let mut files = Vec::new();
+        for p in paths {
+            let abs = if p.is_absolute() { p.clone() } else { root.join(p) };
+            let src = std::fs::read_to_string(&abs)
+                .map_err(|e| format!("reading {}: {e}", abs.display()))?;
+            let rel = abs.strip_prefix(root).unwrap_or(p).to_path_buf();
+            let file = SourceFile::parse(&src);
+            let tokens = tokenize(&file);
+            let parsed = parse_file(&file, &tokens);
+            let test_tree = in_test_tree(&rel);
+            files.push((rel, file, parsed, test_tree));
+        }
+        let graph_input: Vec<(PathBuf, ParsedFile, bool)> =
+            files.iter().map(|(rel, _, parsed, tt)| (rel.clone(), parsed.clone(), *tt)).collect();
+        let deps = crate::deps::CrateDeps::load(root)
+            .map_err(|e| format!("reading workspace manifests: {e}"))?;
+        let graph = CallGraph::build_filtered(&graph_input, Some(&deps));
+        Ok(Analysis { files, graph })
+    }
+
+    /// Load every workspace file.
+    pub fn load_workspace(root: &Path) -> Result<Analysis, String> {
+        let paths =
+            walk::workspace_files(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+        Analysis::load(root, &paths)
+    }
+
+    /// Run every analysis; diagnostics are sorted by (path, line, rule).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.panic_paths(&mut out);
+        self.hot_allocs(&mut out);
+        self.lock_discipline(&mut out);
+        self.seqcst(&mut out);
+        self.lock_cycles(&mut out);
+        out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        out
+    }
+
+    /// The unsafe inventory for the baseline ratchet.
+    pub fn inventory(&self) -> Inventory {
+        let mut inv = Inventory::default();
+        for (rel, _, parsed, _) in &self.files {
+            let krate = walk::crate_of(rel);
+            let rel_s = rel.to_string_lossy().replace('\\', "/");
+            inv.record(&krate, &rel_s, parsed.unsafe_lines.len());
+        }
+        inv
+    }
+
+    /// The `SourceFile` backing a graph node's file.
+    fn source_of(&self, file_idx: usize) -> &SourceFile {
+        &self.files[file_idx].1
+    }
+
+    /// `panic_path`: BFS from each `no_panic` root; report each
+    /// unsuppressed sink in every reachable function once, with the
+    /// shortest path from the nearest root.
+    fn panic_paths(&self, out: &mut Vec<Diagnostic>) {
+        let roots: Vec<usize> = self
+            .graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.func.no_panic && !n.func.is_test)
+            .map(|(i, _)| i)
+            .collect();
+        // node -> best (hops, root, path) over all roots.
+        let mut best: BTreeMap<usize, (usize, usize, Vec<crate::callgraph::PathHop>)> =
+            BTreeMap::new();
+        for &root in &roots {
+            let paths = self.graph.shortest_paths(root);
+            for (node, path) in paths.into_iter().enumerate() {
+                let Some(path) = path else { continue };
+                let hops = path.len() - 1;
+                let better = best.get(&node).map(|(h, _, _)| hops < *h).unwrap_or(true);
+                if better {
+                    best.insert(node, (hops, root, path));
+                }
+            }
+        }
+        for (&node, (hops, root, path)) in &best {
+            let n = &self.graph.nodes[node];
+            let src = self.source_of(n.file_idx);
+            let root_n = &self.graph.nodes[*root];
+            for sink in &n.func.sinks {
+                // `analyze: allow(panic_path)` plus the legacy line-lint
+                // markers silence a sink.
+                let legacy = match sink.kind {
+                    SinkKind::Call => "no_panic",
+                    SinkKind::Index => "par_index",
+                };
+                if src.allowed(sink.line, "panic_path") || src.allowed(sink.line, legacy) {
+                    continue;
+                }
+                let message = if *hops == 0 {
+                    format!(
+                        "panic sink {} inside `no_panic` kernel `{}`",
+                        sink.what,
+                        root_n.func.display()
+                    )
+                } else {
+                    format!(
+                        "panic sink {} reachable from `no_panic` kernel `{}` ({} call{} away)",
+                        sink.what,
+                        root_n.func.display(),
+                        hops,
+                        if *hops == 1 { "" } else { "s" }
+                    )
+                };
+                let mut d = Diagnostic::new(&n.path, sink.line, "panic_path", message);
+                d.notes.push(render_path(&self.graph, path, &n.path, sink.line));
+                if *hops > 0 {
+                    let chain: Vec<String> = path
+                        .iter()
+                        .map(|h| format!("`{}`", self.graph.nodes[h.node].func.display()))
+                        .collect();
+                    d.notes.push(format!("call chain: {}", chain.join(" → ")));
+                }
+                out.push(d);
+            }
+        }
+    }
+
+    /// `hot_alloc`: allocations inside parallel closures (crate `src/`
+    /// scope) and loop-body allocations in panic-freedom kernels.
+    fn hot_allocs(&self, out: &mut Vec<Diagnostic>) {
+        // Functions on a no_panic root's reachable set count as kernels
+        // for the loop rule.
+        let mut hot = vec![false; self.graph.nodes.len()];
+        for (i, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.no_panic && !n.func.is_test {
+                for (j, p) in self.graph.shortest_paths(i).iter().enumerate() {
+                    if p.is_some() {
+                        hot[j] = true;
+                    }
+                }
+            }
+        }
+        for (id, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.is_test || !in_crate_src(&n.path) {
+                continue;
+            }
+            let src = self.source_of(n.file_idx);
+            for a in &n.func.allocs {
+                let flagged = a.in_par || (a.in_loop && hot[id]);
+                if !flagged || src.allowed(a.line, "hot_alloc") {
+                    continue;
+                }
+                let ctx = if a.in_par {
+                    "a parallel closure"
+                } else {
+                    "a per-row loop of a `no_panic` kernel"
+                };
+                out.push(Diagnostic::new(
+                    &n.path,
+                    a.line,
+                    "hot_alloc",
+                    format!(
+                        "allocation {} inside {ctx} in `{}`; hoist it out of the hot \
+                         region or justify with `// analyze: allow(hot_alloc): <reason>`",
+                        a.what,
+                        n.func.display()
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// `lock_par`: lock acquisition inside a parallel closure.
+    fn lock_discipline(&self, out: &mut Vec<Diagnostic>) {
+        for n in &self.graph.nodes {
+            if n.func.is_test {
+                continue;
+            }
+            let src = self.source_of(n.file_idx);
+            for l in &n.func.locks {
+                if !l.in_par || src.allowed(l.line, "lock_par") {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    &n.path,
+                    l.line,
+                    "lock_par",
+                    format!(
+                        "lock `{}` acquired inside a parallel closure in `{}`; \
+                         contention serializes the region — use per-worker state \
+                         and merge, or justify the lock",
+                        l.name,
+                        n.func.display()
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// `seqcst`: flag `Ordering::SeqCst` — the workspace's atomics are
+    /// counters merged after `join`, which never need a total order.
+    fn seqcst(&self, out: &mut Vec<Diagnostic>) {
+        for n in &self.graph.nodes {
+            if n.func.is_test {
+                continue;
+            }
+            let src = self.source_of(n.file_idx);
+            for &line in &n.func.seqcst {
+                if src.allowed(line, "seqcst") {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    &n.path,
+                    line,
+                    "seqcst",
+                    format!(
+                        "`Ordering::SeqCst` in `{}`: workspace counters never \
+                         synchronize-with another access — use `Relaxed` with an \
+                         invariant comment, or justify the total order",
+                        n.func.display()
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// `lock_cycle`: the union of every function's lexical lock-order
+    /// edges must be acyclic.
+    fn lock_cycles(&self, out: &mut Vec<Diagnostic>) {
+        // name -> [(successor, node id, line)]
+        let mut adj: BTreeMap<&str, Vec<(&str, usize, usize)>> = BTreeMap::new();
+        for (id, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.is_test {
+                continue;
+            }
+            let src = self.source_of(n.file_idx);
+            for e in &n.func.lock_edges {
+                if src.allowed(e.line, "lock_cycle") {
+                    continue;
+                }
+                adj.entry(e.held.as_str()).or_default().push((e.then.as_str(), id, e.line));
+            }
+        }
+        // DFS with an explicit stack of lock names; a back edge into the
+        // current path is a cycle.
+        let names: Vec<&str> = adj.keys().copied().collect();
+        let mut done: Vec<&str> = Vec::new();
+        for &start in &names {
+            if done.contains(&start) {
+                continue;
+            }
+            let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+            let mut path: Vec<&str> = vec![start];
+            while let Some(top) = stack.len().checked_sub(1) {
+                let (name, next) = stack[top];
+                let edges = adj.get(name).map(|v| v.as_slice()).unwrap_or(&[]);
+                if next >= edges.len() {
+                    stack.pop();
+                    path.pop();
+                    if !done.contains(&name) {
+                        done.push(name);
+                    }
+                    continue;
+                }
+                let (succ, node_id, line) = edges[next];
+                stack[top].1 += 1;
+                if let Some(pos) = path.iter().position(|&p| p == succ) {
+                    // Cycle: path[pos..] + succ.
+                    let mut cycle: Vec<&str> = path[pos..].to_vec();
+                    cycle.push(succ);
+                    let n = &self.graph.nodes[node_id];
+                    out.push(Diagnostic::new(
+                        &n.path,
+                        line,
+                        "lock_cycle",
+                        format!(
+                            "lock-order cycle: {} — acquiring `{}` while holding `{}` \
+                             inverts an order established elsewhere; pick one global order",
+                            cycle.iter().map(|c| format!("`{c}`")).collect::<Vec<_>>().join(" → "),
+                            succ,
+                            name,
+                        ),
+                    ));
+                    continue;
+                }
+                if !done.contains(&succ) {
+                    stack.push((succ, 0));
+                    path.push(succ);
+                }
+            }
+        }
+    }
+}
+
+/// Render a call path plus the sink as `file:line → file:line → …`.
+///
+/// Hop 0 is the kernel's declaration; each later hop is the call site
+/// (in the caller's file); the final element is the sink itself.
+fn render_path(
+    graph: &CallGraph,
+    path: &[crate::callgraph::PathHop],
+    sink_path: &Path,
+    sink_line: usize,
+) -> String {
+    let mut parts = Vec::new();
+    let root = &graph.nodes[path[0].node];
+    parts.push(format!("{}:{}", root.path.display(), root.func.decl_line));
+    for i in 1..path.len() {
+        let caller = &graph.nodes[path[i - 1].node];
+        parts.push(format!("{}:{}", caller.path.display(), path[i].via_line));
+    }
+    parts.push(format!("{}:{}", sink_path.display(), sink_line));
+    format!("path: {}", parts.join(" → "))
+}
+
+/// Check the measured inventory against the committed baseline,
+/// rendering ratchet violations as diagnostics against the baseline
+/// file.
+pub fn check_baseline(root: &Path, inventory: &Inventory) -> Result<Vec<Diagnostic>, String> {
+    let base = baseline::load(&root.join(BASELINE_FILE))?;
+    Ok(baseline::check(&base, inventory)
+        .into_iter()
+        .map(|e| Diagnostic::new(Path::new(BASELINE_FILE), 1, "unsafe_ratchet", e.to_string()))
+        .collect())
+}
+
+/// Rewrite the baseline from the current inventory, carrying forward
+/// existing reasons. Returns the written path.
+pub fn update_baseline(root: &Path, inventory: &Inventory) -> Result<PathBuf, String> {
+    let path = root.join(BASELINE_FILE);
+    let prev = baseline::load(&path).unwrap_or_else(|_| Baseline::default());
+    let next = baseline::from_inventory(inventory, &prev);
+    std::fs::write(&path, baseline::serialize(&next))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build an `Analysis` from in-memory sources by writing them to a
+    /// temp dir (the loader wants real files).
+    fn analysis(srcs: &[(&str, &str)]) -> Analysis {
+        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("xtask-analyze-test-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut paths = Vec::new();
+        for (rel, src) in srcs {
+            let p = dir.join(rel);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(&p, src).unwrap();
+            paths.push(PathBuf::from(rel));
+        }
+        Analysis::load(&dir, &paths).unwrap()
+    }
+
+    #[test]
+    fn panic_path_reports_shortest_route() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+// analyze: no_panic
+pub fn kernel(v: &[u32]) -> u32 {
+    middle(v)
+}
+fn middle(v: &[u32]) -> u32 {
+    bottom(v)
+}
+fn bottom(v: &[u32]) -> u32 {
+    v.first().unwrap() + 1
+}
+",
+        )]);
+        let d = a.diagnostics();
+        let p: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "panic_path").collect();
+        assert_eq!(p.len(), 1, "{d:?}");
+        assert_eq!(p[0].line, 9);
+        assert!(p[0].message.contains("2 calls away"), "{}", p[0].message);
+        assert_eq!(
+            p[0].notes[0],
+            "path: crates/a/src/lib.rs:2 → crates/a/src/lib.rs:3 → \
+             crates/a/src/lib.rs:6 → crates/a/src/lib.rs:9"
+        );
+        assert!(p[0].notes[1].contains("`kernel` → `middle` → `bottom`"));
+    }
+
+    #[test]
+    fn marker_silences_panic_path() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+// analyze: no_panic
+pub fn kernel(v: &[u32]) -> u32 {
+    // analyze: allow(panic_path): v is non-empty by construction
+    v.first().unwrap() + 1
+}
+",
+        )]);
+        assert!(a.diagnostics().iter().all(|d| d.rule != "panic_path"));
+    }
+
+    #[test]
+    fn hot_alloc_flags_par_closures_only_above_marker_depth() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+pub fn f(v: &[u32]) -> Vec<String> {
+    v.par_iter()
+        .map(|x| format!(\"{x}\"))
+        .collect()
+}
+",
+        )]);
+        let d = a.diagnostics();
+        let h: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "hot_alloc").collect();
+        assert_eq!(h.len(), 1, "{d:?}");
+        assert_eq!(h[0].line, 3, "format! flagged, terminator collect not");
+    }
+
+    #[test]
+    fn lock_par_and_cycle_fire() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+pub fn f(s: &S, v: &[u32]) {
+    v.par_iter().for_each(|_| {
+        let g = s.a.lock().unwrap();
+        drop(g);
+    });
+}
+pub fn order_ab(s: &S) {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}
+pub fn order_ba(s: &S) {
+    let gb = s.b.lock().unwrap();
+    let ga = s.a.lock().unwrap();
+    drop(ga);
+    drop(gb);
+}
+",
+        )]);
+        let d = a.diagnostics();
+        assert!(d.iter().any(|d| d.rule == "lock_par" && d.line == 5), "{d:?}");
+        assert!(d.iter().any(|d| d.rule == "lock_cycle"), "{d:?}");
+    }
+
+    #[test]
+    fn seqcst_flagged_and_suppressible() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+use std::sync::atomic::{AtomicU32, Ordering};
+pub fn bump(c: &AtomicU32) {
+    c.fetch_add(1, Ordering::SeqCst);
+}
+pub fn bump_justified(c: &AtomicU32) {
+    // analyze: allow(seqcst): total order needed for the epoch handshake
+    c.fetch_add(1, Ordering::SeqCst);
+}
+",
+        )]);
+        let d = a.diagnostics();
+        let s: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "seqcst").collect();
+        assert_eq!(s.len(), 1, "{d:?}");
+        assert_eq!(s[0].line, 3);
+    }
+
+    #[test]
+    fn inventory_counts_unsafe_per_crate() {
+        let a = analysis(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn f() {\n    // SAFETY: test\n    unsafe { std::hint::spin_loop() }\n}\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn g() {}\n"),
+        ]);
+        let inv = a.inventory();
+        assert_eq!(inv.count("a"), 1);
+        assert_eq!(inv.count("b"), 0);
+    }
+}

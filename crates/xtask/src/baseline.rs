@@ -1,0 +1,381 @@
+//! The ratcheting `analyze-baseline.toml` for the unsafe inventory.
+//!
+//! The baseline grandfathers the unsafe sites that existed when the
+//! analyzer landed. The ratchet only turns one way:
+//!
+//! * a crate growing new unsafe (count above baseline) **fails**;
+//! * a crate shrinking below its baseline entry **fails** too — the
+//!   stale entry must be updated so the headroom cannot be silently
+//!   re-spent;
+//! * same count but different locations (digest mismatch) **fails** —
+//!   moved unsafe is new unsafe;
+//! * `cargo xtask analyze --update-baseline` rewrites the file from the
+//!   current inventory.
+//!
+//! The file is a deliberately tiny TOML subset (parsed by hand — no
+//! dependencies): `[crate.<name>]` tables with `count`, `digest`, and a
+//! mandatory human `reason`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One crate's grandfathered unsafe inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Number of unsafe sites.
+    pub count: usize,
+    /// Location digest (see [`digest`]).
+    pub digest: String,
+    /// Why this unsafe is allowed to exist (human-written).
+    pub reason: String,
+}
+
+/// The parsed baseline: crate name → entry, sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries keyed by crate name.
+    pub crates: BTreeMap<String, BaselineEntry>,
+}
+
+/// The current inventory measured from the workspace: crate name →
+/// sorted `relpath:count` location strings.
+#[derive(Debug, Clone, Default)]
+pub struct Inventory {
+    /// Per-crate unsafe locations, `path:count` per file, sorted.
+    pub crates: BTreeMap<String, Vec<String>>,
+}
+
+impl Inventory {
+    /// Record `count` unsafe sites in `rel_path` of `crate_name`.
+    pub fn record(&mut self, crate_name: &str, rel_path: &str, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.crates.entry(crate_name.to_string()).or_default().push(format!("{rel_path}:{count}"));
+    }
+
+    /// Total sites in one crate.
+    pub fn count(&self, crate_name: &str) -> usize {
+        self.crates.get(crate_name).map(|v| v.iter().map(|s| trailing_count(s)).sum()).unwrap_or(0)
+    }
+
+    /// Location digest for one crate.
+    pub fn digest(&self, crate_name: &str) -> String {
+        let mut locs = self.crates.get(crate_name).cloned().unwrap_or_default();
+        locs.sort();
+        digest(&locs)
+    }
+}
+
+fn trailing_count(s: &str) -> usize {
+    s.rsplit(':').next().and_then(|n| n.parse().ok()).unwrap_or(0)
+}
+
+/// FNV-1a over the sorted location strings, newline-joined — stable,
+/// dependency-free, and sensitive to both file set and per-file counts.
+pub fn digest(sorted_locations: &[String]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for loc in sorted_locations {
+        for b in loc.bytes().chain(std::iter::once(b'\n')) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// A ratchet violation (rendered by the analyzer as a diagnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RatchetError {
+    /// Unsafe count grew past (or appeared without) a baseline entry.
+    Grew {
+        /// Crate name.
+        krate: String,
+        /// Baseline count (0 when the crate had no entry).
+        baseline: usize,
+        /// Measured count.
+        actual: usize,
+    },
+    /// Unsafe count shrank below the baseline — stale entry.
+    Stale {
+        /// Crate name.
+        krate: String,
+        /// Baseline count.
+        baseline: usize,
+        /// Measured count.
+        actual: usize,
+    },
+    /// Same count, different locations.
+    Moved {
+        /// Crate name.
+        krate: String,
+    },
+}
+
+impl std::fmt::Display for RatchetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RatchetError::Grew { krate, baseline, actual } => write!(
+                f,
+                "crate `{krate}` has {actual} unsafe sites, baseline allows {baseline} — \
+                 remove the unsafe or justify it and run `cargo xtask analyze --update-baseline`"
+            ),
+            RatchetError::Stale { krate, baseline, actual } => write!(
+                f,
+                "crate `{krate}` has {actual} unsafe sites but the baseline still grandfathers \
+                 {baseline} — ratchet down with `cargo xtask analyze --update-baseline`"
+            ),
+            RatchetError::Moved { krate } => write!(
+                f,
+                "crate `{krate}` unsafe sites moved (count unchanged, location digest differs) — \
+                 review and run `cargo xtask analyze --update-baseline`"
+            ),
+        }
+    }
+}
+
+/// Compare the measured inventory against the committed baseline.
+pub fn check(baseline: &Baseline, inventory: &Inventory) -> Vec<RatchetError> {
+    let mut errors = Vec::new();
+    let mut names: Vec<&String> = baseline.crates.keys().chain(inventory.crates.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        let base = baseline.crates.get(name);
+        let actual = inventory.count(name);
+        let allowed = base.map(|e| e.count).unwrap_or(0);
+        if actual > allowed {
+            errors.push(RatchetError::Grew { krate: name.clone(), baseline: allowed, actual });
+        } else if actual < allowed {
+            errors.push(RatchetError::Stale { krate: name.clone(), baseline: allowed, actual });
+        } else if actual > 0 {
+            let digest = inventory.digest(name);
+            if base.is_some_and(|e| e.digest != digest) {
+                errors.push(RatchetError::Moved { krate: name.clone() });
+            }
+        }
+    }
+    errors
+}
+
+/// Build the baseline that matches the current inventory, carrying
+/// forward reasons for crates that already had one.
+pub fn from_inventory(inventory: &Inventory, previous: &Baseline) -> Baseline {
+    let mut out = Baseline::default();
+    for (name, _) in inventory.crates.iter() {
+        let count = inventory.count(name);
+        if count == 0 {
+            continue;
+        }
+        let reason = previous
+            .crates
+            .get(name)
+            .map(|e| e.reason.clone())
+            .unwrap_or_else(|| "TODO: justify this unsafe inventory".to_string());
+        out.crates
+            .insert(name.clone(), BaselineEntry { count, digest: inventory.digest(name), reason });
+    }
+    out
+}
+
+/// Parse `analyze-baseline.toml`. Unknown keys and malformed lines are
+/// hard errors — the ratchet must not fail open.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::default();
+    let mut current: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("baseline line {lineno}: unterminated table header"))?;
+            let krate = name
+                .strip_prefix("crate.")
+                .ok_or_else(|| format!("baseline line {lineno}: expected [crate.<name>]"))?;
+            if krate.is_empty() {
+                return Err(format!("baseline line {lineno}: empty crate name"));
+            }
+            out.crates.insert(
+                krate.to_string(),
+                BaselineEntry { count: 0, digest: String::new(), reason: String::new() },
+            );
+            current = Some(krate.to_string());
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| format!("baseline line {lineno}: expected key = value"))?;
+        let krate = current
+            .as_ref()
+            .ok_or_else(|| format!("baseline line {lineno}: key outside a [crate.*] table"))?;
+        let entry = out.crates.get_mut(krate).expect("current table exists");
+        match key {
+            "count" => {
+                entry.count = value
+                    .parse()
+                    .map_err(|_| format!("baseline line {lineno}: count must be an integer"))?;
+            }
+            "digest" => {
+                entry.digest = unquote(value)
+                    .ok_or_else(|| format!("baseline line {lineno}: digest must be quoted"))?;
+            }
+            "reason" => {
+                let reason = unquote(value)
+                    .ok_or_else(|| format!("baseline line {lineno}: reason must be quoted"))?;
+                if reason.trim().is_empty() {
+                    return Err(format!(
+                        "baseline line {lineno}: reason must be non-empty — every grandfathered \
+                         unsafe inventory needs a justification"
+                    ));
+                }
+                entry.reason = reason;
+            }
+            other => {
+                return Err(format!("baseline line {lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    for (name, e) in out.crates.iter() {
+        if e.reason.trim().is_empty() {
+            return Err(format!("baseline: [crate.{name}] is missing a reason"));
+        }
+        if e.digest.is_empty() {
+            return Err(format!("baseline: [crate.{name}] is missing a digest"));
+        }
+    }
+    Ok(out)
+}
+
+fn unquote(v: &str) -> Option<String> {
+    v.strip_prefix('"').and_then(|s| s.strip_suffix('"')).map(|s| s.to_string())
+}
+
+/// Serialize a baseline back to the TOML subset `parse` accepts.
+pub fn serialize(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# Grandfathered unsafe inventory, checked by `cargo xtask analyze`.\n\
+         # The ratchet only turns one way: new/moved unsafe fails, and shrinking\n\
+         # a crate's count requires updating (never loosening) this file via\n\
+         # `cargo xtask analyze --update-baseline`.\n",
+    );
+    for (name, e) in baseline.crates.iter() {
+        let _ = write!(
+            out,
+            "\n[crate.{name}]\ncount = {}\ndigest = \"{}\"\nreason = \"{}\"\n",
+            e.count, e.digest, e.reason
+        );
+    }
+    out
+}
+
+/// Load the baseline file if present (absent file = empty baseline).
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inventory(entries: &[(&str, &str, usize)]) -> Inventory {
+        let mut inv = Inventory::default();
+        for (k, p, c) in entries {
+            inv.record(k, p, *c);
+        }
+        inv
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_insensitive() {
+        let a = inventory(&[("engine", "src/a.rs", 2), ("engine", "src/b.rs", 1)]);
+        let b = inventory(&[("engine", "src/b.rs", 1), ("engine", "src/a.rs", 2)]);
+        assert_eq!(a.digest("engine"), b.digest("engine"));
+        let c = inventory(&[("engine", "src/a.rs", 3)]);
+        assert_ne!(a.digest("engine"), c.digest("engine"));
+    }
+
+    #[test]
+    fn roundtrip_parse_serialize() {
+        let inv = inventory(&[("columnar", "src/mmap.rs", 4)]);
+        let mut base = from_inventory(&inv, &Baseline::default());
+        base.crates.get_mut("columnar").unwrap().reason = "mmap I/O".into();
+        let text = serialize(&base);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn new_unsafe_fails() {
+        let base = Baseline::default();
+        let inv = inventory(&[("engine", "src/exec.rs", 1)]);
+        let errs = check(&base, &inv);
+        assert_eq!(
+            errs,
+            vec![RatchetError::Grew { krate: "engine".into(), baseline: 0, actual: 1 }]
+        );
+    }
+
+    #[test]
+    fn stale_entry_fails() {
+        let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
+        let mut base = from_inventory(&inv, &Baseline::default());
+        base.crates.get_mut("columnar").unwrap().count = 5;
+        let errs = check(&base, &inv);
+        assert_eq!(
+            errs,
+            vec![RatchetError::Stale { krate: "columnar".into(), baseline: 5, actual: 2 }]
+        );
+    }
+
+    #[test]
+    fn moved_unsafe_fails() {
+        let old = inventory(&[("columnar", "src/mmap.rs", 2)]);
+        let base = from_inventory(&old, &Baseline::default());
+        let new = inventory(&[("columnar", "src/table.rs", 2)]);
+        let errs = check(&base, &new);
+        assert_eq!(errs, vec![RatchetError::Moved { krate: "columnar".into() }]);
+    }
+
+    #[test]
+    fn matching_inventory_passes() {
+        let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
+        let base = from_inventory(&inv, &Baseline::default());
+        assert!(check(&base, &inv).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_missing_reason() {
+        let text = "[crate.engine]\ncount = 1\ndigest = \"abc\"\n";
+        assert!(parse(text).is_err());
+        let empty = "[crate.engine]\ncount = 1\ndigest = \"abc\"\nreason = \" \"\n";
+        assert!(parse(empty).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_garbage() {
+        assert!(parse("[crate.engine]\nbogus = 1\n").is_err());
+        assert!(parse("count = 1\n").is_err());
+        assert!(parse("[notcrate.engine]\n").is_err());
+    }
+
+    #[test]
+    fn update_carries_reasons_forward() {
+        let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
+        let mut prev = from_inventory(&inv, &Baseline::default());
+        prev.crates.get_mut("columnar").unwrap().reason = "mmap I/O".into();
+        let grown = inventory(&[("columnar", "src/mmap.rs", 2), ("columnar", "src/table.rs", 1)]);
+        let next = from_inventory(&grown, &prev);
+        assert_eq!(next.crates["columnar"].count, 3);
+        assert_eq!(next.crates["columnar"].reason, "mmap I/O");
+    }
+}

@@ -1,0 +1,200 @@
+//! Token stream over a parsed [`SourceFile`].
+//!
+//! The analyze pass needs more structure than per-line pattern matching:
+//! item boundaries, call expressions, bracket nesting. This lexer turns
+//! the comment-stripped, literal-blanked `code` text of a `SourceFile`
+//! into a flat token stream with line numbers, which `parse` then walks.
+//! It is deliberately small — identifiers, numbers, strings (already
+//! blanked), and punctuation, with only the multi-char operators the
+//! parser cares about (`::`, `..`, `->`, `=>`) fused into one token.
+
+use crate::source::SourceFile;
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (possibly with suffix, e.g. `0u32`).
+    Num,
+    /// A (blanked) string or char literal.
+    Lit,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// Everything else: operators and separators.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text (`::` and friends kept whole; literals blanked to `""`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Classification.
+    pub kind: TokKind,
+}
+
+impl Token {
+    /// Is this token the exact identifier `s`?
+    #[inline]
+    pub fn is(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Lex every code line of `file` into one token stream.
+pub fn tokenize(file: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                    kind: TokKind::Ident,
+                });
+            } else if c.is_ascii_digit() {
+                let start = i;
+                // Digits plus suffix/underscore/hex chars and a float dot
+                // (but not `..`): one Num token per literal is enough.
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || chars[i] == '_'
+                        || (chars[i] == '.'
+                            && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                            && chars.get(i.wrapping_sub(1)).is_some_and(char::is_ascii_digit)))
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                    kind: TokKind::Num,
+                });
+            } else if c == '"' || c == '\'' {
+                // Literal contents are blanked by the SourceFile lexer;
+                // scan to the closing quote on this line (or line end for
+                // multiline strings — the continuation lines are all
+                // blanks and lex to nothing).
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != c {
+                    j += 1;
+                }
+                // A lifetime (`'a`) has no closing quote nearby; emit it
+                // as the quote punct so generics still parse.
+                if c == '\'' && j >= chars.len() {
+                    out.push(Token { text: "'".into(), line: line_no, kind: TokKind::Punct });
+                    i += 1;
+                    continue;
+                }
+                out.push(Token { text: String::new(), line: line_no, kind: TokKind::Lit });
+                i = (j + 1).min(chars.len());
+            } else {
+                let (text, kind, advance) = match (c, chars.get(i + 1)) {
+                    (':', Some(':')) => ("::", TokKind::Punct, 2),
+                    ('.', Some('.')) => ("..", TokKind::Punct, 2),
+                    ('-', Some('>')) => ("->", TokKind::Punct, 2),
+                    ('=', Some('>')) => ("=>", TokKind::Punct, 2),
+                    ('{', _) => ("{", TokKind::LBrace, 1),
+                    ('}', _) => ("}", TokKind::RBrace, 1),
+                    ('(', _) => ("(", TokKind::LParen, 1),
+                    (')', _) => (")", TokKind::RParen, 1),
+                    ('[', _) => ("[", TokKind::LBracket, 1),
+                    (']', _) => ("]", TokKind::RBracket, 1),
+                    _ => ("", TokKind::Punct, 1),
+                };
+                if text.is_empty() {
+                    out.push(Token { text: c.to_string(), line: line_no, kind: TokKind::Punct });
+                } else {
+                    out.push(Token { text: text.into(), line: line_no, kind });
+                }
+                i += advance;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<Token> {
+        tokenize(&SourceFile::parse(src))
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let t = lex("fn f(x: u32) -> u32 { x + 1_000u32 }\n");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["fn", "f", "(", "x", ":", "u32", ")", "->", "u32", "{", "x", "+", "1_000u32", "}"]
+        );
+        assert_eq!(t[0].kind, TokKind::Ident);
+        assert_eq!(t[12].kind, TokKind::Num);
+    }
+
+    #[test]
+    fn multichar_operators_fuse() {
+        let t = lex("a::b(0..n);\n");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "::", "b", "(", "0", "..", "n", ")", ";"]);
+    }
+
+    #[test]
+    fn line_numbers_track_source() {
+        let t = lex("a\nb\n\nc\n");
+        let lines: Vec<usize> = t.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn strings_lex_to_single_literal_token() {
+        let t = lex("f(\"unsafe panic!()\", x)\n");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Lit).count(), 1);
+        assert!(!t.iter().any(|t| t.is("unsafe")));
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        let t = lex("// panic!()\n/* assert!(x) */\n");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let t = lex("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(t.iter().any(|t| t.is("str")));
+        assert!(t.iter().any(|t| t.is("x")));
+    }
+
+    #[test]
+    fn float_literal_is_one_token_but_range_splits() {
+        let t = lex("let x = 1.5; let r = 0..10;\n");
+        assert!(t.iter().any(|t| t.text == "1.5"));
+        assert!(t.iter().any(|t| t.text == ".."));
+    }
+}

@@ -1,0 +1,28 @@
+//! Repo automation library behind the `cargo xtask` binary.
+//!
+//! Exposed as a library so the integration tests under `tests/` can
+//! drive the lint and analyze passes against fixture files without
+//! spawning the binary. Modules:
+//!
+//! * [`source`] — line model (code/comment split, literal blanking,
+//!   test regions, suppression markers);
+//! * [`lex`] / [`parse`] / [`callgraph`] — token stream, item parser,
+//!   and intra-workspace call graph for the semantic pass;
+//! * [`lint`] — the line-level rules (`cargo xtask lint`);
+//! * [`analyze`] — the call-graph analyses (`cargo xtask analyze`);
+//! * [`baseline`] — the ratcheting unsafe-inventory baseline;
+//! * [`diag`] — the shared diagnostic type and output formats;
+//! * [`walk`] — workspace file discovery shared by both passes;
+//! * [`sanitize`] — miri / tsan wrappers.
+
+pub mod analyze;
+pub mod baseline;
+pub mod callgraph;
+pub mod deps;
+pub mod diag;
+pub mod lex;
+pub mod lint;
+pub mod parse;
+pub mod sanitize;
+pub mod source;
+pub mod walk;

@@ -18,27 +18,9 @@
 //! `// lint: allow(<rule>): <reason>` on the offending line or the
 //! line above. The reason is mandatory.
 
+use crate::diag::Diagnostic;
 use crate::source::SourceFile;
-use std::path::{Path, PathBuf};
-
-/// One lint finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// File the finding is in.
-    pub path: PathBuf,
-    /// 1-based line number.
-    pub line: usize,
-    /// Which rule fired.
-    pub rule: &'static str,
-    /// What is wrong and how to fix it.
-    pub message: String,
-}
-
-impl std::fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
-    }
-}
+use std::path::Path;
 
 /// Crates whose `src/` trees the panic / cast / par rules cover.
 /// `safety_comment` applies to the whole workspace.
@@ -69,11 +51,10 @@ pub fn lint_source(path: &Path, src: &str) -> Vec<Diagnostic> {
     out
 }
 
-/// Lint every `.rs` file under the workspace `crates/` tree.
+/// Lint every workspace `.rs` file (crate sources and tests, plus the
+/// top-level `tests/` and `examples/` trees — see [`crate::walk`]).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
-    collect_rs(&root.join("crates"), &mut files)?;
-    files.sort();
+    let files = crate::walk::workspace_files(root)?;
     let mut out = Vec::new();
     for f in files {
         let src = std::fs::read_to_string(&f)?;
@@ -81,22 +62,6 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         out.extend(lint_source(&rel, &src));
     }
     Ok(out)
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let p = entry.path();
-        if p.is_dir() {
-            if p.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs(&p, out)?;
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-    Ok(())
 }
 
 /// Rule 1: `unsafe` sites must be justified in a comment.
@@ -119,12 +84,12 @@ fn safety_comment(path: &Path, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         if has_safety_justification(file, idx) {
             continue;
         }
-        out.push(Diagnostic {
-            path: path.to_path_buf(),
-            line: idx + 1,
-            rule: "safety_comment",
-            message: "unsafe site without a `// SAFETY:` comment explaining why it is sound".into(),
-        });
+        out.push(Diagnostic::new(
+            path,
+            idx + 1,
+            "safety_comment",
+            "unsafe site without a `// SAFETY:` comment explaining why it is sound".into(),
+        ));
     }
 }
 
@@ -165,12 +130,12 @@ fn no_panic(path: &Path, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         }
         for (pat, hint) in PATTERNS {
             if line.code.contains(pat) && !file.allowed(idx + 1, "no_panic") {
-                out.push(Diagnostic {
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    rule: "no_panic",
-                    message: format!("`{}` in hot-path code: {hint}", pat.trim_matches('.')),
-                });
+                out.push(Diagnostic::new(
+                    path,
+                    idx + 1,
+                    "no_panic",
+                    format!("`{}` in hot-path code: {hint}", pat.trim_matches('.')),
+                ));
                 break; // one diagnostic per line
             }
         }
@@ -208,15 +173,15 @@ fn id_cast(path: &Path, file: &SourceFile, out: &mut Vec<Diagnostic>) {
             let flagged =
                 lowered.split('_').any(|seg| ID_SEGMENTS.contains(&seg.trim_end_matches('s')));
             if flagged && !file.allowed(idx + 1, "id_cast") {
-                out.push(Diagnostic {
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    rule: "id_cast",
-                    message: format!(
+                out.push(Diagnostic::new(
+                    path,
+                    idx + 1,
+                    "id_cast",
+                    format!(
                         "bare narrowing cast `{name} as {target}` on an id value; \
                          use gdelt_model::ids checked casts (e.g. `ids::row_u32`)"
                     ),
-                });
+                ));
                 break;
             }
         }
@@ -259,14 +224,14 @@ fn par_index(path: &Path, file: &SourceFile, out: &mut Vec<Diagnostic>) {
             && has_variable_index(code)
             && !file.allowed(idx + 1, "par_index")
         {
-            out.push(Diagnostic {
-                path: path.to_path_buf(),
-                line: idx + 1,
-                rule: "par_index",
-                message: "variable indexing inside a parallel region; use `get`, \
-                          zipped iterators, or a justified marker"
+            out.push(Diagnostic::new(
+                path,
+                idx + 1,
+                "par_index",
+                "variable indexing inside a parallel region; use `get`, \
+                 zipped iterators, or a justified marker"
                     .into(),
-            });
+            ));
         }
         for c in code.chars() {
             match c {

@@ -2,42 +2,73 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — the custom static-analysis pass (see [`lint`]); exits
-//!   non-zero if any rule fires. Optional file arguments restrict the
-//!   pass to specific paths.
-//! * `miri` — run the `AlignedBuf` unsafe-path tests under Miri on the
-//!   pinned nightly.
-//! * `tsan` — run the concurrency-sensitive suites under
-//!   ThreadSanitizer.
+//! * `lint` — the line-level rule pass (see [`xtask::lint`]);
+//! * `analyze` — the call-graph pass: panic-reachability from
+//!   `// analyze: no_panic` kernels, hot-loop allocations, lock
+//!   discipline, `SeqCst` audit, and the ratcheting unsafe-inventory
+//!   baseline (see [`xtask::analyze`]);
+//! * `miri` / `tsan` — sanitizer wrappers.
 //!
-//! Wired up via the `xtask` alias in `.cargo/config.toml`:
-//! `cargo xtask lint`.
-
-mod lint;
-mod sanitize;
-mod source;
+//! Both diagnostic passes share one contract: `--format human|json`
+//! output on stdout, exit **0** when clean, **1** when findings were
+//! reported, **2** on usage or internal errors. Wired up via the
+//! `xtask` alias in `.cargo/config.toml`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use xtask::diag::{self, Format};
+use xtask::{analyze, lint, sanitize};
 
 const USAGE: &str = "\
 cargo xtask — repo automation
 
 USAGE:
-  cargo xtask lint [FILES...]   run the custom lint pass (default: all of crates/)
+  cargo xtask lint [--format human|json] [FILES...]
+      run the line-level lint pass (default scope: the whole workspace)
+  cargo xtask analyze [--format human|json] [--update-baseline] [FILES...]
+      run the call-graph analyses; with no FILES also checks the unsafe
+      inventory against analyze-baseline.toml
   cargo xtask miri              run AlignedBuf unsafe-path tests under Miri
   cargo xtask tsan              run concurrency suites under ThreadSanitizer
+
+Exit codes: 0 clean, 1 findings reported, 2 usage/internal error.
 ";
+
+/// Parsed common flags for the diagnostic subcommands.
+struct Opts {
+    format: Format,
+    update_baseline: bool,
+    files: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts { format: Format::Human, update_baseline: false, files: Vec::new() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value (human|json)")?;
+                opts.format = Format::parse(v)?;
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            f if f.starts_with('-') => return Err(format!("unknown flag {f:?}\n{USAGE}")),
+            f => opts.files.push(f.to_string()),
+        }
+    }
+    Ok(opts)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let result: Result<bool, String> = match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
-        Some("miri") => sanitize::miri(),
-        Some("tsan") => sanitize::tsan(),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("miri") => sanitize::miri().map(|()| true),
+        Some("tsan") => sanitize::tsan().map(|()| true),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
-            Ok(())
+            Ok(true)
         }
         other => Err(match other {
             Some(o) => format!("unknown subcommand {o:?}\n{USAGE}"),
@@ -45,35 +76,73 @@ fn main() -> ExitCode {
         }),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
-fn cmd_lint(files: &[String]) -> Result<(), String> {
+/// Run the lint pass; `Ok(true)` means clean.
+fn cmd_lint(args: &[String]) -> Result<bool, String> {
+    let opts = parse_opts(args)?;
+    if opts.update_baseline {
+        return Err("--update-baseline only applies to `analyze`".into());
+    }
     let root = workspace_root()?;
-    let diagnostics = if files.is_empty() {
+    let diagnostics = if opts.files.is_empty() {
         lint::lint_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?
     } else {
         let mut out = Vec::new();
-        for f in files {
+        for f in &opts.files {
             let path = PathBuf::from(f);
             let src = std::fs::read_to_string(&path).map_err(|e| format!("reading {f}: {e}"))?;
             out.extend(lint::lint_source(&path, &src));
         }
         out
     };
-    for d in &diagnostics {
-        println!("{d}");
-    }
+    diag::emit("lint", &diagnostics, opts.format);
     if diagnostics.is_empty() {
         eprintln!("xtask lint: clean");
-        Ok(())
+        Ok(true)
     } else {
-        Err(format!("xtask lint: {} violation(s)", diagnostics.len()))
+        eprintln!("xtask lint: {} violation(s)", diagnostics.len());
+        Ok(false)
+    }
+}
+
+/// Run the analyze pass; `Ok(true)` means clean.
+fn cmd_analyze(args: &[String]) -> Result<bool, String> {
+    let opts = parse_opts(args)?;
+    let root = workspace_root()?;
+    let whole_workspace = opts.files.is_empty();
+    let analysis = if whole_workspace {
+        analyze::Analysis::load_workspace(&root)?
+    } else {
+        let paths: Vec<PathBuf> = opts.files.iter().map(PathBuf::from).collect();
+        analyze::Analysis::load(&root, &paths)?
+    };
+    let mut diagnostics = analysis.diagnostics();
+    // The inventory ratchet is a whole-workspace property; partial runs
+    // (explicit FILES) skip it rather than reporting bogus shrinkage.
+    if whole_workspace {
+        let inventory = analysis.inventory();
+        if opts.update_baseline {
+            let path = analyze::update_baseline(&root, &inventory)?;
+            eprintln!("xtask analyze: baseline written to {}", path.display());
+        } else {
+            diagnostics.extend(analyze::check_baseline(&root, &inventory)?);
+        }
+    }
+    diag::emit("analyze", &diagnostics, opts.format);
+    if diagnostics.is_empty() {
+        eprintln!("xtask analyze: clean");
+        Ok(true)
+    } else {
+        eprintln!("xtask analyze: {} finding(s)", diagnostics.len());
+        Ok(false)
     }
 }
 

@@ -1,0 +1,863 @@
+//! Item parser and per-function fact extraction for `cargo xtask
+//! analyze`.
+//!
+//! Walks the token stream of one file and produces:
+//!
+//! * the list of function items (free functions and impl methods, with
+//!   the impl's self type attached) and their body token ranges;
+//! * per function: call expressions, panic sinks, allocation sites,
+//!   lock acquisitions + lexical lock-order edges, `SeqCst` uses —
+//!   each tagged with whether it sits inside a rayon parallel closure
+//!   or a loop body;
+//! * per file: `unsafe` site lines (for the inventory ratchet) and the
+//!   set of identifiers bound to `Mutex`/`RwLock` values.
+//!
+//! The parser is deliberately syntactic: no type inference, no trait
+//! resolution. What that buys and what it cannot prove is documented in
+//! DESIGN.md ("Static analysis architecture").
+
+use crate::lex::{TokKind, Token};
+use crate::source::SourceFile;
+
+/// How a call names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `foo(..)` — a free function.
+    Free,
+    /// `expr.foo(..)` — a method on an unknown receiver type.
+    Method,
+    /// `self.foo(..)` — a method on the caller's own impl type.
+    SelfMethod,
+    /// `Type::foo(..)` — a method qualified with a (capitalized) type.
+    Qualified(String),
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// Receiver shape, used for resolution.
+    pub recv: Receiver,
+    /// 1-based call-site line.
+    pub line: usize,
+}
+
+/// What kind of panic a sink is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// `unwrap` / `expect` / panicking macro.
+    Call,
+    /// Slice/array indexing or range slicing with a non-literal index.
+    Index,
+}
+
+/// One potential panic site.
+#[derive(Debug, Clone)]
+pub struct Sink {
+    /// Classification (selects which allow-markers apply).
+    pub kind: SinkKind,
+    /// 1-based line.
+    pub line: usize,
+    /// Human rendering, e.g. `` `.unwrap()` `` or `` `offsets[e + 1]` ``.
+    pub what: String,
+}
+
+/// One allocation site.
+#[derive(Debug, Clone)]
+pub struct Alloc {
+    /// 1-based line.
+    pub line: usize,
+    /// Human rendering, e.g. `` `Vec::push` `` or `` `format!` ``.
+    pub what: String,
+    /// Inside a rayon parallel closure.
+    pub in_par: bool,
+    /// Inside a `for`/`while`/`loop` body.
+    pub in_loop: bool,
+}
+
+/// One lock acquisition (`.lock()` / `.read()` / `.write()` on a known
+/// `Mutex`/`RwLock` binding).
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// The lock's binding name.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Inside a rayon parallel closure.
+    pub in_par: bool,
+}
+
+/// A lexical lock-order edge: `held` was still held when `then` was
+/// acquired.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The already-held lock.
+    pub held: String,
+    /// The newly-acquired lock.
+    pub then: String,
+    /// Acquisition line of `then`.
+    pub line: usize,
+}
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Bare name (`build`).
+    pub name: String,
+    /// Impl self type, when the function is a method (`CoReport`).
+    pub self_ty: Option<String>,
+    /// 1-based declaration line (the `fn` token's line).
+    pub decl_line: usize,
+    /// Annotated `// analyze: no_panic` (a panic-freedom root).
+    pub no_panic: bool,
+    /// Declared inside a `#[cfg(test)]` region or `#[test]` item.
+    pub is_test: bool,
+    /// Body token range (absolute indices into the file's token stream).
+    pub body: std::ops::Range<usize>,
+    /// Calls made by the body.
+    pub calls: Vec<Call>,
+    /// Panic sinks in the body.
+    pub sinks: Vec<Sink>,
+    /// Allocation sites in the body.
+    pub allocs: Vec<Alloc>,
+    /// Lock acquisitions in the body.
+    pub locks: Vec<LockAcq>,
+    /// Lexical lock-order edges in the body.
+    pub lock_edges: Vec<LockEdge>,
+    /// Lines using `Ordering::SeqCst`.
+    pub seqcst: Vec<usize>,
+}
+
+impl Function {
+    /// Display name: `CoReport::build` or `for_each_event_in`.
+    pub fn display(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default, Clone)]
+pub struct ParsedFile {
+    /// All function items, in source order.
+    pub functions: Vec<Function>,
+    /// Lines carrying an `unsafe` site (block, fn, impl).
+    pub unsafe_lines: Vec<usize>,
+    /// Identifiers bound to `Mutex`/`RwLock` values in this file.
+    pub lock_names: Vec<String>,
+}
+
+/// Rust keywords that look like call heads but are not.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "move", "fn", "let",
+    "mut", "ref", "box", "dyn", "use", "pub", "mod", "struct", "enum", "trait", "type", "const",
+    "static", "impl", "where", "unsafe", "break", "continue", "crate", "super", "await",
+];
+
+/// Rayon entry points that open a parallel region.
+const PAR_MARKERS: &[&str] =
+    &["par_iter", "into_par_iter", "par_iter_mut", "par_chunks", "par_chunks_mut", "par_bridge"];
+
+/// Macros that panic unconditionally or on a failed condition.
+/// `debug_assert*` is deliberately absent: it is compiled out of release
+/// builds, which are the binaries the paper's scans run as.
+const PANIC_MACROS: &[&str] =
+    &["panic", "assert", "assert_eq", "assert_ne", "unreachable", "todo", "unimplemented"];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Allocating methods (`.name(`).
+const ALLOC_METHODS: &[&str] =
+    &["push", "collect", "to_string", "to_vec", "to_owned", "extend", "extend_from_slice"];
+
+/// Allocating `Type::func` constructors.
+const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+    ("HashMap", "new"),
+    ("HashSet", "new"),
+    ("BTreeMap", "new"),
+    ("Box", "new"),
+];
+
+/// Parse one file's token stream into items + facts.
+pub fn parse_file(file: &SourceFile, tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    find_items(file, tokens, &mut out);
+    collect_lock_names(tokens, &mut out.lock_names);
+    collect_unsafe_sites(tokens, &mut out.unsafe_lines);
+
+    // Child body ranges must not contribute facts to the parent (nested
+    // `fn` items — rare, but cheap to get right).
+    let ranges: Vec<std::ops::Range<usize>> =
+        out.functions.iter().map(|f| f.body.clone()).collect();
+    for (i, f) in out.functions.iter_mut().enumerate() {
+        let children: Vec<std::ops::Range<usize>> = ranges
+            .iter()
+            .enumerate()
+            .filter(|(j, r)| *j != i && r.start >= f.body.start && r.end <= f.body.end)
+            .map(|(_, r)| r.clone())
+            .collect();
+        extract_facts(file, tokens, f, &children, &out.lock_names);
+    }
+    out
+}
+
+/// Locate impl scopes and function items with their body token ranges.
+fn find_items(file: &SourceFile, tokens: &[Token], out: &mut ParsedFile) {
+    let mut depth: i32 = 0; // brace depth
+    let mut paren: i32 = 0;
+    // Open impl scopes: (self_ty, brace depth inside the impl body).
+    let mut impls: Vec<(String, i32)> = Vec::new();
+    let mut pending_impl: Option<String> = None;
+    // A `fn` header seen; waiting for its body `{` or a `;`.
+    let mut pending_fn: Option<(String, usize)> = None;
+    // Open fn bodies: (function index, brace depth inside the body).
+    let mut open_fns: Vec<(usize, i32)> = Vec::new();
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::LParen => paren += 1,
+            TokKind::RParen => paren -= 1,
+            TokKind::LBrace => {
+                depth += 1;
+                if let Some((name, line)) = pending_fn.take() {
+                    let idx = out.functions.len();
+                    out.functions.push(Function {
+                        name,
+                        self_ty: impls.last().map(|(t, _)| t.clone()),
+                        decl_line: line,
+                        no_panic: has_no_panic_annotation(file, line),
+                        is_test: *file.in_test.get(line - 1).unwrap_or(&false),
+                        body: i + 1..i + 1, // end patched on close
+                        calls: Vec::new(),
+                        sinks: Vec::new(),
+                        allocs: Vec::new(),
+                        locks: Vec::new(),
+                        lock_edges: Vec::new(),
+                        seqcst: Vec::new(),
+                    });
+                    open_fns.push((idx, depth));
+                } else if let Some(ty) = pending_impl.take() {
+                    impls.push((ty, depth));
+                }
+            }
+            TokKind::RBrace => {
+                depth -= 1;
+                if open_fns.last().is_some_and(|&(_, d)| depth < d) {
+                    let (idx, _) = open_fns.pop().unwrap_or((0, 0));
+                    if let Some(f) = out.functions.get_mut(idx) {
+                        f.body.end = i;
+                    }
+                }
+                if impls.last().is_some_and(|&(_, d)| depth < d) {
+                    impls.pop();
+                }
+            }
+            TokKind::Ident if t.text == "impl" && pending_fn.is_none() => {
+                pending_impl = parse_impl_self_ty(tokens, i);
+            }
+            TokKind::Ident if t.text == "fn" => {
+                // `fn(..)` pointer types have no name token.
+                if let Some(next) = tokens.get(i + 1) {
+                    if next.kind == TokKind::Ident {
+                        pending_fn = Some((next.text.clone(), next.line));
+                    }
+                }
+            }
+            TokKind::Punct if t.text == ";" && paren == 0 => {
+                // Bodiless signature (trait method, extern) — discard.
+                pending_fn = None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Extract the self type of an `impl` header starting at token `at`.
+fn parse_impl_self_ty(tokens: &[Token], at: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut first: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    for t in tokens.iter().skip(at + 1).take(64) {
+        match t.kind {
+            TokKind::LBrace | TokKind::RBrace => break,
+            TokKind::Punct if t.text == "<" => angle += 1,
+            TokKind::Punct if t.text == ">" => angle -= 1,
+            TokKind::Punct if t.text == ";" => break,
+            TokKind::Ident if angle == 0 => {
+                if t.text == "for" {
+                    saw_for = true;
+                } else if !matches!(t.text.as_str(), "mut" | "dyn" | "const" | "unsafe") {
+                    if saw_for {
+                        if after_for.is_none() {
+                            after_for = Some(t.text.clone());
+                        }
+                    } else if first.is_none() {
+                        first = Some(t.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    after_for.or(first)
+}
+
+/// Does the function declared at `decl_line` carry an
+/// `// analyze: no_panic` annotation (same line, or in the contiguous
+/// run of comment/attribute lines directly above)?
+fn has_no_panic_annotation(file: &SourceFile, decl_line: usize) -> bool {
+    // The marker must be the comment's leading content (`// analyze:
+    // no_panic`) — prose *mentioning* the marker (doc comments, this
+    // function included) must not create a kernel root.
+    let marked = |idx: usize| {
+        file.lines.get(idx).is_some_and(|l| {
+            l.comment.trim_start_matches(['/', '!']).trim_start().starts_with("analyze: no_panic")
+        })
+    };
+    let idx = decl_line - 1;
+    if marked(idx) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &file.lines[j];
+        let code = l.code.trim();
+        let is_annotation = code.is_empty() || code.starts_with("#[");
+        if marked(j) {
+            return true;
+        }
+        if !is_annotation {
+            return false;
+        }
+    }
+    false
+}
+
+/// Collect identifiers bound to `Mutex`/`RwLock` values anywhere in the
+/// file: `name: Mutex<..>` field/param declarations and
+/// `let name = .. Mutex::new(..)` bindings.
+fn collect_lock_names(tokens: &[Token], out: &mut Vec<String>) {
+    let mut last_let_ident: Option<String> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            if t.text == ";" {
+                last_let_ident = None;
+            }
+            continue;
+        }
+        if t.is("let") {
+            // `let [mut] name`
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is("mut")) {
+                j += 1;
+            }
+            if let Some(n) = tokens.get(j).filter(|t| t.kind == TokKind::Ident) {
+                last_let_ident = Some(n.text.clone());
+            }
+        } else if t.text == "Mutex" || t.text == "RwLock" {
+            let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+            let prev2 = i.checked_sub(2).and_then(|j| tokens.get(j));
+            if prev.is_some_and(|p| p.text == ":") {
+                // `name: Mutex<..>` — field or parameter.
+                if let Some(n) = prev2.filter(|t| t.kind == TokKind::Ident) {
+                    push_unique(out, &n.text);
+                }
+            } else if tokens.get(i + 1).is_some_and(|t| t.text == "::")
+                && tokens.get(i + 2).is_some_and(|t| t.is("new"))
+            {
+                if let Some(n) = &last_let_ident {
+                    push_unique(out, n);
+                }
+            }
+        }
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}
+
+/// Record `unsafe` site lines (block / fn / impl forms, matching the
+/// `safety_comment` lint's definition of a site).
+fn collect_unsafe_sites(tokens: &[Token], out: &mut Vec<usize>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is("unsafe") {
+            continue;
+        }
+        let site = match tokens.get(i + 1) {
+            Some(n) => {
+                n.kind == TokKind::LBrace
+                    || n.is("fn")
+                    || n.is("impl")
+                    || n.is("trait")
+                    || n.is("extern")
+                    || n.line > t.line // `unsafe` alone, `{` on the next line
+            }
+            None => true,
+        };
+        if site {
+            out.push(t.line);
+        }
+    }
+}
+
+/// Walk one function body and record calls, sinks, allocations, locks
+/// and `SeqCst` uses.
+fn extract_facts(
+    file: &SourceFile,
+    tokens: &[Token],
+    f: &mut Function,
+    children: &[std::ops::Range<usize>],
+    lock_names: &[String],
+) {
+    // Combined paren+brace+bracket nesting, relative to the body start.
+    let mut nest: i32 = 0;
+    // Parallel regions: nesting depth at each open marker.
+    let mut par_stack: Vec<i32> = Vec::new();
+    // Loop bodies: brace depth at open. `pending_loop` waits for the `{`.
+    let mut brace: i32 = 0;
+    let mut loop_stack: Vec<i32> = Vec::new();
+    let mut pending_loop = false;
+    // Held locks: (name, brace depth at acquisition, let-bound).
+    let mut held: Vec<(String, i32, bool)> = Vec::new();
+    let mut stmt_has_let = false;
+
+    let mut i = f.body.start;
+    while i < f.body.end {
+        if let Some(r) = children.iter().find(|r| r.contains(&i)) {
+            i = r.end;
+            continue;
+        }
+        let t = &tokens[i];
+        let in_test_line = *file.in_test.get(t.line - 1).unwrap_or(&false);
+        let in_par = par_stack.last().is_some_and(|&d| nest > d);
+
+        match t.kind {
+            TokKind::LParen | TokKind::LBracket => nest += 1,
+            TokKind::RParen | TokKind::RBracket => {
+                nest -= 1;
+                while par_stack.last().is_some_and(|&d| nest < d) {
+                    par_stack.pop();
+                }
+            }
+            TokKind::LBrace => {
+                nest += 1;
+                brace += 1;
+                if pending_loop {
+                    loop_stack.push(brace);
+                    pending_loop = false;
+                }
+            }
+            TokKind::RBrace => {
+                nest -= 1;
+                while par_stack.last().is_some_and(|&d| nest < d) {
+                    par_stack.pop();
+                }
+                while loop_stack.last().is_some_and(|&d| brace <= d) {
+                    loop_stack.pop();
+                }
+                brace -= 1;
+                held.retain(|&(_, d, _)| d <= brace);
+            }
+            TokKind::Punct if t.text == ";" => {
+                if par_stack.last().is_some_and(|&d| nest <= d) {
+                    par_stack.pop();
+                }
+                stmt_has_let = false;
+                held.retain(|&(_, _, let_bound)| let_bound);
+            }
+            TokKind::Ident if !in_test_line => {
+                let text = t.text.as_str();
+                let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+                let prev_dot = prev.is_some_and(|p| p.text == ".");
+                let prev_colons = prev.is_some_and(|p| p.text == "::");
+                let next = tokens.get(i + 1);
+                let next_bang = next.is_some_and(|n| n.text == "!");
+                let next_paren = next.is_some_and(|n| n.kind == TokKind::LParen);
+
+                if text == "let" {
+                    stmt_has_let = true;
+                } else if matches!(text, "for" | "while" | "loop") {
+                    pending_loop = true;
+                } else if text == "SeqCst" {
+                    f.seqcst.push(t.line);
+                } else if next_bang {
+                    // Macro invocation.
+                    if PANIC_MACROS.contains(&text) {
+                        f.sinks.push(Sink {
+                            kind: SinkKind::Call,
+                            line: t.line,
+                            what: format!("`{text}!`"),
+                        });
+                    } else if ALLOC_MACROS.contains(&text) {
+                        f.allocs.push(Alloc {
+                            line: t.line,
+                            what: format!("`{text}!`"),
+                            in_par,
+                            in_loop: !loop_stack.is_empty(),
+                        });
+                    }
+                } else if next_paren && prev_dot {
+                    method_facts(
+                        tokens,
+                        i,
+                        f,
+                        lock_names,
+                        in_par,
+                        &loop_stack,
+                        &mut held,
+                        brace,
+                        stmt_has_let,
+                        &mut par_stack,
+                        nest,
+                    );
+                } else if next_paren && !KEYWORDS.contains(&text) {
+                    // Free or qualified call.
+                    let recv = if prev_colons {
+                        let qual = i
+                            .checked_sub(2)
+                            .and_then(|j| tokens.get(j))
+                            .filter(|q| q.kind == TokKind::Ident)
+                            .map(|q| q.text.clone());
+                        match qual {
+                            Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                                if let Some(&(_, ctor)) =
+                                    ALLOC_CTORS.iter().find(|(ty, c)| *ty == q && *c == text)
+                                {
+                                    f.allocs.push(Alloc {
+                                        line: t.line,
+                                        what: format!("`{q}::{ctor}`"),
+                                        in_par,
+                                        in_loop: !loop_stack.is_empty(),
+                                    });
+                                }
+                                Receiver::Qualified(q)
+                            }
+                            _ => Receiver::Free,
+                        }
+                    } else {
+                        Receiver::Free
+                    };
+                    f.calls.push(Call { name: text.to_string(), recv, line: t.line });
+                }
+            }
+            _ => {}
+        }
+
+        // Indexing sinks: `expr[non-literal]` — checked on the bracket.
+        if t.kind == TokKind::LBracket && !in_test_line {
+            if let Some(s) = index_sink(tokens, i, f.body.end) {
+                f.sinks.push(s);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Handle `.name(` method positions: calls, sinks, allocations, rayon
+/// markers, and lock acquisitions.
+#[allow(clippy::too_many_arguments)]
+fn method_facts(
+    tokens: &[Token],
+    i: usize,
+    f: &mut Function,
+    lock_names: &[String],
+    in_par: bool,
+    loop_stack: &[i32],
+    held: &mut Vec<(String, i32, bool)>,
+    brace: i32,
+    stmt_has_let: bool,
+    par_stack: &mut Vec<i32>,
+    nest: i32,
+) {
+    let t = &tokens[i];
+    let text = t.text.as_str();
+    let empty_args = tokens.get(i + 2).is_some_and(|n| n.kind == TokKind::RParen);
+
+    if PAR_MARKERS.contains(&text) {
+        par_stack.push(nest);
+        return;
+    }
+    if text == "unwrap" && empty_args {
+        f.sinks.push(Sink { kind: SinkKind::Call, line: t.line, what: "`.unwrap()`".into() });
+        return;
+    }
+    if text == "expect" {
+        f.sinks.push(Sink { kind: SinkKind::Call, line: t.line, what: "`.expect(..)`".into() });
+        return;
+    }
+    if ALLOC_METHODS.contains(&text) {
+        f.allocs.push(Alloc {
+            line: t.line,
+            what: format!("`.{text}(..)`"),
+            in_par,
+            in_loop: !loop_stack.is_empty(),
+        });
+        // `collect` and friends are still calls (resolution finds
+        // workspace impls if any) — fall through.
+    }
+    if matches!(text, "lock" | "read" | "write") {
+        // Receiver ident: token before the `.`.
+        let recv = i
+            .checked_sub(2)
+            .and_then(|j| tokens.get(j))
+            .filter(|r| r.kind == TokKind::Ident)
+            .map(|r| r.text.clone());
+        if let Some(name) = recv.filter(|n| lock_names.iter().any(|l| l == n)) {
+            for (h, _, _) in held.iter() {
+                if *h != name {
+                    f.lock_edges.push(LockEdge {
+                        held: h.clone(),
+                        then: name.clone(),
+                        line: t.line,
+                    });
+                }
+            }
+            f.locks.push(LockAcq { name: name.clone(), line: t.line, in_par });
+            held.push((name, brace, stmt_has_let));
+            return;
+        }
+    }
+
+    // Receiver shape: `self.name(` is resolvable to the caller's impl.
+    let recv = if i.checked_sub(2).and_then(|j| tokens.get(j)).is_some_and(|r| r.is("self")) {
+        Receiver::SelfMethod
+    } else {
+        Receiver::Method
+    };
+    f.calls.push(Call { name: text.to_string(), recv, line: t.line });
+}
+
+/// If the `[` at token `at` indexes a value with a non-literal
+/// expression, return the sink.
+fn index_sink(tokens: &[Token], at: usize, limit: usize) -> Option<Sink> {
+    let prev = at.checked_sub(1).and_then(|j| tokens.get(j))?;
+    // Must follow an indexable expression ending: ident, `)`, or `]` —
+    // and not be an attribute (`#[..]`).
+    let indexable = matches!(prev.kind, TokKind::Ident | TokKind::RParen | TokKind::RBracket)
+        && !KEYWORDS.contains(&prev.text.as_str());
+    if !indexable || prev.text == "#" {
+        return None;
+    }
+    if at.checked_sub(2).and_then(|j| tokens.get(j)).is_some_and(|p| p.text == "#") {
+        return None;
+    }
+    // Scan the bracket body.
+    let mut depth = 1;
+    let mut has_ident = false;
+    let mut body = String::new();
+    for t in tokens.iter().take(limit).skip(at + 1) {
+        match t.kind {
+            TokKind::LBracket => depth += 1,
+            TokKind::RBracket => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident => {
+                // Type-suffix-free identifiers make the index dynamic.
+                has_ident = true;
+            }
+            _ => {}
+        }
+        if !body.is_empty() && t.kind == TokKind::Ident {
+            body.push(' ');
+        }
+        body.push_str(&t.text);
+        if body.len() > 40 {
+            break;
+        }
+    }
+    if !has_ident {
+        return None; // literal or literal-range index
+    }
+    let recv = prev.text.clone();
+    Some(Sink { kind: SinkKind::Index, line: tokens[at].line, what: format!("`{recv}[{body}]`") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::tokenize;
+
+    fn parse(src: &str) -> ParsedFile {
+        let file = SourceFile::parse(src);
+        let tokens = tokenize(&file);
+        parse_file(&file, &tokens)
+    }
+
+    #[test]
+    fn functions_and_impls_are_found() {
+        let src = "\
+fn free() { helper(); }
+impl CoReport {
+    pub fn build(&self) -> u32 {
+        self.pair_count(1)
+    }
+}
+impl Merge for Matrix<u64> {
+    fn merge(&mut self) {}
+}
+";
+        let p = parse(src);
+        let names: Vec<String> = p.functions.iter().map(Function::display).collect();
+        assert_eq!(names, vec!["free", "CoReport::build", "Matrix::merge"]);
+        assert_eq!(p.functions[1].calls.len(), 1);
+        assert_eq!(p.functions[1].calls[0].recv, Receiver::SelfMethod);
+    }
+
+    #[test]
+    fn no_panic_annotation_detected() {
+        let src = "\
+// analyze: no_panic
+#[inline]
+pub fn kernel() {}
+fn plain() {}
+";
+        let p = parse(src);
+        assert!(p.functions[0].no_panic);
+        assert!(!p.functions[1].no_panic);
+    }
+
+    #[test]
+    fn sinks_are_classified() {
+        let src = "\
+fn f(v: &[u32], i: usize) -> u32 {
+    let a = v[i];
+    let b = v[0];
+    let c = v.first().unwrap();
+    assert!(a > 0);
+    a + b + c
+}
+";
+        let p = parse(src);
+        let f = &p.functions[0];
+        let kinds: Vec<(SinkKind, usize)> = f.sinks.iter().map(|s| (s.kind, s.line)).collect();
+        assert!(kinds.contains(&(SinkKind::Index, 2)), "v[i] is a sink: {kinds:?}");
+        assert!(!kinds.iter().any(|&(_, l)| l == 3), "v[0] is not a sink");
+        assert!(kinds.contains(&(SinkKind::Call, 4)), "unwrap is a sink");
+        assert!(kinds.contains(&(SinkKind::Call, 5)), "assert! is a sink");
+    }
+
+    #[test]
+    fn par_region_allocs_are_tagged() {
+        let src = "\
+fn f(v: &[u32]) -> Vec<String> {
+    v.par_iter()
+        .map(|x| {
+            let s = format!(\"{x}\");
+            s
+        })
+        .collect()
+}
+";
+        let p = parse(src);
+        let f = &p.functions[0];
+        let fmt = f.allocs.iter().find(|a| a.what == "`format!`").unwrap();
+        assert!(fmt.in_par, "format! inside the closure is par-tagged");
+        let coll = f.allocs.iter().find(|a| a.what == "`.collect(..)`").unwrap();
+        assert!(!coll.in_par, "the chain terminator collect is not inside the closure");
+    }
+
+    #[test]
+    fn loop_allocs_are_tagged() {
+        let src = "\
+fn f(n: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(Vec::with_capacity(4));
+    }
+    out
+}
+";
+        let p = parse(src);
+        let f = &p.functions[0];
+        let top = f.allocs.iter().find(|a| a.line == 2).unwrap();
+        assert!(!top.in_loop);
+        assert!(f.allocs.iter().filter(|a| a.line == 4).all(|a| a.in_loop));
+    }
+
+    #[test]
+    fn locks_and_order_edges() {
+        let src = "\
+use std::sync::Mutex;
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn f(s: &S) {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}
+";
+        let p = parse(src);
+        assert_eq!(p.lock_names, vec!["a", "b"]);
+        let f = &p.functions[0];
+        assert_eq!(f.locks.len(), 2);
+        assert_eq!(f.lock_edges.len(), 1);
+        assert_eq!((f.lock_edges[0].held.as_str(), f.lock_edges[0].then.as_str()), ("a", "b"));
+    }
+
+    #[test]
+    fn seqcst_and_unsafe_sites() {
+        let src = "\
+fn f(c: &std::sync::atomic::AtomicU32) {
+    c.fetch_add(1, Ordering::SeqCst);
+    // SAFETY: test
+    unsafe { std::hint::unreachable_unchecked() }
+}
+";
+        let p = parse(src);
+        assert_eq!(p.functions[0].seqcst, vec![2]);
+        assert_eq!(p.unsafe_lines, vec![4]);
+    }
+
+    #[test]
+    fn test_functions_are_marked() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { None::<u32>.unwrap(); }
+}
+fn real() {}
+";
+        let p = parse(src);
+        let t = p.functions.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.is_test);
+        assert!(t.sinks.is_empty(), "facts skipped in test regions");
+        assert!(!p.functions.iter().find(|f| f.name == "real").unwrap().is_test);
+    }
+
+    #[test]
+    fn qualified_and_free_calls() {
+        let src = "\
+fn f() {
+    helper(1);
+    Bitmap::fill(2);
+    ids::row_u32(3);
+}
+";
+        let p = parse(src);
+        let f = &p.functions[0];
+        assert_eq!(f.calls.len(), 3);
+        assert_eq!(f.calls[0].recv, Receiver::Free);
+        assert_eq!(f.calls[1].recv, Receiver::Qualified("Bitmap".into()));
+        assert_eq!(f.calls[2].recv, Receiver::Free, "lowercase qualifier resolves as free");
+    }
+}

@@ -50,26 +50,54 @@ impl SourceFile {
     }
 
     /// Does `line_no` (1-based) carry or immediately follow a
-    /// `// lint: allow(rule): reason` marker for `rule`?
+    /// `// lint: allow(rule): reason` or `// analyze: allow(rule):
+    /// reason` marker for `rule`?
     ///
-    /// A marker on its own line suppresses the line below it; a
-    /// trailing marker suppresses its own line. The reason text is
-    /// mandatory — a bare `allow(rule)` does not suppress, so every
-    /// exemption is forced to say why.
+    /// A marker on its own line suppresses the next non-marker line
+    /// below it (so several markers for different rules stack above one
+    /// line); a trailing marker suppresses its own line. The reason
+    /// text is mandatory — a bare `allow(rule)` does not suppress, so
+    /// every exemption is forced to say why. The two prefixes are
+    /// interchangeable; by convention `lint:` markers answer line
+    /// lints and `analyze:` markers answer call-graph findings.
     pub fn allowed(&self, line_no: usize, rule: &str) -> bool {
         let idx = line_no - 1;
         let here = self.lines.get(idx).map(|l| l.comment.as_str()).unwrap_or("");
-        let above = if idx > 0 { self.lines[idx - 1].comment.as_str() } else { "" };
-        has_marker(here, rule) || has_marker(above, rule)
+        if has_marker(here, rule) {
+            return true;
+        }
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let l = &self.lines[j];
+            if has_marker(&l.comment, rule) {
+                return true;
+            }
+            // Keep climbing only through stacked marker-only lines.
+            if !(l.code.trim().is_empty() && is_marker_line(&l.comment)) {
+                return false;
+            }
+        }
+        false
     }
+}
+
+/// Does the comment carry any suppression marker (for any rule)?
+fn is_marker_line(comment: &str) -> bool {
+    ["lint: allow(", "analyze: allow("].iter().any(|p| comment.contains(p))
 }
 
 /// Check one comment string for a well-formed suppression marker.
 fn has_marker(comment: &str, rule: &str) -> bool {
-    let Some(pos) = comment.find("lint: allow(") else {
+    ["lint: allow(", "analyze: allow("].iter().any(|prefix| has_marker_with(comment, prefix, rule))
+}
+
+/// Check for one specific marker prefix.
+fn has_marker_with(comment: &str, prefix: &str, rule: &str) -> bool {
+    let Some(pos) = comment.find(prefix) else {
         return false;
     };
-    let rest = &comment[pos + "lint: allow(".len()..];
+    let rest = &comment[pos + prefix.len()..];
     let Some((name, after)) = rest.split_once(')') else {
         return false;
     };
@@ -337,5 +365,35 @@ fn real2() {}
         assert!(f.allowed(2, "no_panic"), "marker above suppresses next line");
         assert!(!f.allowed(3, "no_panic"), "missing reason must not suppress");
         assert!(!f.allowed(1, "id_cast"), "rule name must match");
+    }
+
+    #[test]
+    fn stacked_markers_all_reach_the_code_line() {
+        let f = SourceFile::parse(
+            "// analyze: allow(hot_alloc): per-source median copy\n\
+             // analyze: allow(panic_path): lo <= hi by prefix sum\n\
+             let b = g[lo..hi].to_vec();\n",
+        );
+        assert!(f.allowed(3, "hot_alloc"), "marker above a marker still applies");
+        assert!(f.allowed(3, "panic_path"));
+        assert!(!f.allowed(3, "seqcst"), "unrelated rule not suppressed");
+    }
+
+    #[test]
+    fn markers_do_not_leak_past_code_lines() {
+        let f = SourceFile::parse(
+            "// analyze: allow(hot_alloc): scratch\nlet a = vec![];\nlet b = vec![];\n",
+        );
+        assert!(f.allowed(2, "hot_alloc"));
+        assert!(!f.allowed(3, "hot_alloc"), "marker stops at the first code line");
+    }
+
+    #[test]
+    fn analyze_marker_prefix_is_accepted() {
+        let f = SourceFile::parse(
+            "x(); // analyze: allow(hot_alloc): per-partition scratch\n\ny(); // analyze: allow(hot_alloc)\n",
+        );
+        assert!(f.allowed(1, "hot_alloc"));
+        assert!(!f.allowed(3, "hot_alloc"), "analyze marker also requires a reason");
     }
 }

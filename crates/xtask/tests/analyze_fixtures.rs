@@ -1,0 +1,216 @@
+//! Golden-output tests driving `xtask::analyze` over the checked-in
+//! fixture crate under `tests/fixtures/crates/demo/` — one file per
+//! analysis, plus the baseline-ratchet scenarios against temp dirs.
+//!
+//! The fixture tree deliberately carries no `Cargo.toml`, so the
+//! dependency filter stays permissive and the fixtures exercise the
+//! analyses themselves rather than edge pruning (which `deps` unit
+//! tests cover against the real workspace).
+
+use std::path::{Path, PathBuf};
+
+use xtask::analyze::{self, Analysis};
+use xtask::baseline;
+use xtask::diag::{to_json, Diagnostic};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn demo_files() -> Vec<PathBuf> {
+    ["panic_path.rs", "hot_alloc.rs", "locks.rs", "seqcst.rs", "clean.rs", "unsafe_site.rs"]
+        .iter()
+        .map(|f| PathBuf::from("crates/demo/src").join(f))
+        .collect()
+}
+
+fn analysis() -> Analysis {
+    Analysis::load(&fixtures_root(), &demo_files()).expect("fixtures parse")
+}
+
+fn rule_in<'d>(d: &'d [Diagnostic], rule: &str, file: &str) -> Vec<&'d Diagnostic> {
+    d.iter()
+        .filter(|d| d.rule == rule && d.path.to_string_lossy().replace('\\', "/").ends_with(file))
+        .collect()
+}
+
+#[test]
+fn panic_path_renders_two_hop_route_to_the_sink() {
+    let d = analysis().diagnostics();
+    let p = rule_in(&d, "panic_path", "panic_path.rs");
+    assert_eq!(p.len(), 1, "{d:?}");
+    assert_eq!(p[0].line, 13);
+    assert!(p[0].message.contains("2 calls away"), "{}", p[0].message);
+    assert!(p[0].message.contains("`kernel`"), "{}", p[0].message);
+    assert_eq!(
+        p[0].notes[0],
+        "path: crates/demo/src/panic_path.rs:4 → crates/demo/src/panic_path.rs:5 → \
+         crates/demo/src/panic_path.rs:9 → crates/demo/src/panic_path.rs:13"
+    );
+    assert!(p[0].notes[1].contains("`kernel` → `middle` → `bottom`"), "{}", p[0].notes[1]);
+}
+
+#[test]
+fn hot_alloc_flags_par_closure_and_kernel_loop() {
+    let d = analysis().diagnostics();
+    let h = rule_in(&d, "hot_alloc", "hot_alloc.rs");
+    assert_eq!(h.len(), 2, "{d:?}");
+    // `format!` inside the parallel closure (the chain-terminating
+    // `.collect()` at par-marker depth is exempt).
+    assert_eq!(h[0].line, 6);
+    assert!(h[0].message.contains("a parallel closure"), "{}", h[0].message);
+    // `out.push` inside the `no_panic` kernel's per-row loop; the
+    // hoisted `Vec::new()` outside the loop is not flagged.
+    assert_eq!(h[1].line, 13);
+    assert!(h[1].message.contains("per-row loop"), "{}", h[1].message);
+}
+
+#[test]
+fn lock_par_and_lock_cycle_fire_in_locks_fixture() {
+    let d = analysis().diagnostics();
+    let par = rule_in(&d, "lock_par", "locks.rs");
+    assert_eq!(par.len(), 1, "{d:?}");
+    assert_eq!(par[0].line, 14);
+    assert!(par[0].message.contains("parallel closure"), "{}", par[0].message);
+
+    let cyc = rule_in(&d, "lock_cycle", "locks.rs");
+    assert_eq!(cyc.len(), 1, "{d:?}");
+    // Reported at the edge that closes the cycle: `order_ba` acquiring
+    // `a` while holding `b` (line 28).
+    assert_eq!(cyc[0].line, 28);
+    assert!(cyc[0].message.contains("lock-order cycle"), "{}", cyc[0].message);
+    assert!(cyc[0].message.contains(" → "), "{}", cyc[0].message);
+}
+
+#[test]
+fn seqcst_flagged_at_the_fetch_add() {
+    let d = analysis().diagnostics();
+    let s = rule_in(&d, "seqcst", "seqcst.rs");
+    assert_eq!(s.len(), 1, "{d:?}");
+    assert_eq!(s[0].line, 6);
+    assert!(s[0].message.contains("SeqCst"), "{}", s[0].message);
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    let d = analysis().diagnostics();
+    assert!(
+        d.iter().all(|d| !d.path.to_string_lossy().contains("clean.rs")),
+        "clean.rs should be finding-free: {d:?}"
+    );
+}
+
+#[test]
+fn json_output_carries_every_fixture_finding() {
+    let d = analysis().diagnostics();
+    let j = to_json("analyze", &d);
+    assert!(j.starts_with("{\"tool\":\"analyze\",\"count\":"), "{j}");
+    for rule in ["panic_path", "hot_alloc", "lock_par", "lock_cycle", "seqcst"] {
+        assert!(j.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in {j}");
+    }
+    // The rendered call path survives JSON escaping inside notes.
+    assert!(j.contains("path: crates/demo/src/panic_path.rs:4"), "{j}");
+}
+
+// ---------------------------------------------------------------------
+// Baseline ratchet scenarios. Each uses a throwaway root so the real
+// `analyze-baseline.toml` is never touched.
+// ---------------------------------------------------------------------
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("xtask-fixture-ratchet-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_baseline(root: &Path, body: &str) {
+    std::fs::write(root.join(analyze::BASELINE_FILE), body).unwrap();
+}
+
+#[test]
+fn fixture_inventory_counts_the_demo_unsafe_site() {
+    let inv = analysis().inventory();
+    assert_eq!(inv.count("demo"), 1);
+    assert_eq!(inv.count("model"), 0, "only the fixture crate carries unsafe");
+}
+
+#[test]
+fn ratchet_rejects_new_unsafe_without_a_baseline_entry() {
+    let root = temp_root("grew");
+    let inv = analysis().inventory();
+    let d = analyze::check_baseline(&root, &inv).unwrap();
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, "unsafe_ratchet");
+    assert_eq!(d[0].path, PathBuf::from(analyze::BASELINE_FILE));
+    assert!(
+        d[0].message.contains("`demo` has 1 unsafe sites, baseline allows 0"),
+        "{}",
+        d[0].message
+    );
+}
+
+#[test]
+fn ratchet_rejects_stale_entries_for_vanished_unsafe() {
+    let root = temp_root("stale");
+    let inv = analysis().inventory();
+    write_baseline(
+        &root,
+        &format!(
+            "[crate.demo]\ncount = 1\ndigest = \"{}\"\nreason = \"fixture\"\n\
+             [crate.ghost]\ncount = 3\ndigest = \"0000000000000000\"\nreason = \"vanished\"\n",
+            inv.digest("demo")
+        ),
+    );
+    let d = analyze::check_baseline(&root, &inv).unwrap();
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(
+        d[0].message.contains("`ghost` has 0 unsafe sites but the baseline still grandfathers 3"),
+        "{}",
+        d[0].message
+    );
+}
+
+#[test]
+fn ratchet_rejects_moved_unsafe_at_equal_count() {
+    let root = temp_root("moved");
+    let inv = analysis().inventory();
+    write_baseline(
+        &root,
+        "[crate.demo]\ncount = 1\ndigest = \"ffffffffffffffff\"\nreason = \"fixture\"\n",
+    );
+    let d = analyze::check_baseline(&root, &inv).unwrap();
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("unsafe sites moved"), "{}", d[0].message);
+}
+
+#[test]
+fn ratchet_passes_on_matching_baseline_and_update_keeps_reasons() {
+    let root = temp_root("match");
+    let inv = analysis().inventory();
+    write_baseline(
+        &root,
+        &format!(
+            "[crate.demo]\ncount = 1\ndigest = \"{}\"\nreason = \"SAFETY-commented spin fixture\"\n",
+            inv.digest("demo")
+        ),
+    );
+    assert!(analyze::check_baseline(&root, &inv).unwrap().is_empty());
+
+    // `--update-baseline` rewrites the file from the inventory and
+    // carries the human reason forward.
+    let path = analyze::update_baseline(&root, &inv).unwrap();
+    let reparsed = baseline::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(reparsed.crates["demo"].count, 1);
+    assert_eq!(reparsed.crates["demo"].reason, "SAFETY-commented spin fixture");
+    assert!(analyze::check_baseline(&root, &inv).unwrap().is_empty());
+}
+
+#[test]
+fn malformed_baseline_is_a_hard_error_not_a_pass() {
+    let root = temp_root("malformed");
+    write_baseline(&root, "[crate.demo]\ncount = banana\n");
+    let inv = analysis().inventory();
+    assert!(analyze::check_baseline(&root, &inv).is_err());
+}

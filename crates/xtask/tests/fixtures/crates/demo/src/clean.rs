@@ -1,0 +1,10 @@
+//! Fixture: a kernel every analysis accepts as-is.
+
+// analyze: no_panic
+pub fn sum(v: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for &x in v {
+        total += u64::from(x);
+    }
+    total
+}

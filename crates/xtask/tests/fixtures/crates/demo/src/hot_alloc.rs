@@ -1,0 +1,16 @@
+//! Fixture: allocations in a parallel closure and in a kernel loop.
+
+use rayon::prelude::*;
+
+pub fn par_format(v: &[u32]) -> Vec<String> {
+    v.par_iter().map(|x| format!("{x}")).collect()
+}
+
+// analyze: no_panic
+pub fn loop_push(v: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &x in v {
+        out.push(x * 2);
+    }
+    out
+}

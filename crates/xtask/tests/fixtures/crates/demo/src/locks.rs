@@ -1,0 +1,31 @@
+//! Fixture: a lock taken inside a parallel closure and an a/b vs b/a
+//! lock-order inversion.
+
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+pub fn locked_sum(s: &Shared, v: &[u64]) {
+    v.par_iter().for_each(|x| {
+        let mut g = s.a.lock().unwrap();
+        *g += x;
+    });
+}
+
+pub fn order_ab(s: &Shared) {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn order_ba(s: &Shared) {
+    let gb = s.b.lock().unwrap();
+    let ga = s.a.lock().unwrap();
+    drop(ga);
+    drop(gb);
+}

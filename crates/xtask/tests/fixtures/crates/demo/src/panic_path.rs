@@ -1,0 +1,14 @@
+//! Fixture: a panic sink two calls below a `no_panic` kernel.
+
+// analyze: no_panic
+pub fn kernel(v: &[u32]) -> u32 {
+    middle(v)
+}
+
+fn middle(v: &[u32]) -> u32 {
+    bottom(v)
+}
+
+fn bottom(v: &[u32]) -> u32 {
+    v.first().unwrap() + 1
+}

@@ -1,0 +1,8 @@
+//! Fixture: one unsafe block, for the baseline-ratchet tests.
+
+pub fn spin() {
+    // SAFETY: spin_loop has no preconditions.
+    unsafe {
+        std::hint::spin_loop();
+    }
+}
