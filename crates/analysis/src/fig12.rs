@@ -9,7 +9,8 @@
 use crate::render::TextTable;
 use gdelt_columnar::Dataset;
 use gdelt_engine::baseline::{timed_naive, RowStore};
-use gdelt_engine::query::timed_run;
+use gdelt_engine::query::timed_run_in;
+use gdelt_engine::ExecContext;
 
 /// One scaling point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,7 +39,10 @@ pub fn compute(d: &Dataset, thread_counts: &[usize], repeats: usize) -> Fig12 {
     let repeats = repeats.max(1);
     let mut raw = Vec::with_capacity(thread_counts.len());
     for &t in thread_counts {
-        let best = (0..repeats).map(|_| timed_run(d, t).1).fold(f64::INFINITY, f64::min);
+        // One context per thread count: pool setup and warm-up are paid
+        // once here, so only kernel time enters the scaling curve.
+        let ctx = ExecContext::with_threads(t);
+        let best = (0..repeats).map(|_| timed_run_in(&ctx, d).1).fold(f64::INFINITY, f64::min);
         raw.push((t, best));
     }
     let base = raw.first().map(|&(_, s)| s).unwrap_or(1.0);

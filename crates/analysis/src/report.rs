@@ -9,9 +9,7 @@ use crate::{
 use gdelt_cluster::MclParams;
 use gdelt_columnar::Dataset;
 use gdelt_csv::clean::CleanReport;
-use gdelt_engine::coreport::CountryCoReport;
-use gdelt_engine::crossreport::CrossReport;
-use gdelt_engine::ExecContext;
+use gdelt_engine::{run_query, ExecContext, Query, QueryResult};
 use gdelt_model::country::CountryRegistry;
 
 /// Which experiments to include.
@@ -98,11 +96,17 @@ pub fn run_full_report(
         figs_matrix::render_heatmap("Figure 7: Top-50 follow-reporting matrix", &f7.f),
     ));
 
-    let cc = CountryCoReport::build(ctx, d, registry.len());
+    // Tables V–VII go through the unified query API — the same dispatch
+    // path the serving layer caches and batches.
+    let QueryResult::CoReport(cc) = run_query(ctx, d, &Query::CoReport) else {
+        unreachable!("CoReport query yields a CoReport result");
+    };
     let t5 = table5::compute(&cc, &registry);
     sections.push(("Table V".into(), table5::render(&t5)));
 
-    let cr = CrossReport::build(ctx, d, registry.len());
+    let QueryResult::CrossCountry(cr) = run_query(ctx, d, &Query::CrossCountry) else {
+        unreachable!("CrossCountry query yields a CrossCountry result");
+    };
     let t67 = table67::compute(&cr, 10);
     sections.push(("Table VI".into(), table67::render_counts(&t67, &registry)));
     sections.push(("Table VII".into(), table67::render_percentages(&t67, &registry)));

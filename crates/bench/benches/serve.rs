@@ -1,0 +1,56 @@
+//! Benchmarks for the serving layer: cached vs uncached repeat
+//! queries, submission overhead on top of the bare engine, and the
+//! seeded replay mix end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdelt_bench::corpus;
+use gdelt_engine::query::{run_query, Query, TopKKind};
+use gdelt_engine::ExecContext;
+use gdelt_serve::{replay, seeded_mix, QueryService, ServiceConfig};
+use std::hint::black_box;
+
+fn service(cache_enabled: bool) -> QueryService {
+    let (d, _) = corpus();
+    QueryService::new(d.clone(), ServiceConfig { workers: 2, cache_enabled, ..Default::default() })
+}
+
+fn bench_repeat_query(c: &mut Criterion) {
+    let q = Query::TopK { kind: TopKKind::Publishers, k: 10 };
+    let mut g = c.benchmark_group("serve_repeat_query");
+
+    let cached = service(true);
+    // Warm the cache so the loop measures pure hit latency.
+    cached.run(q).expect("warm");
+    g.bench_function("cached", |b| b.iter(|| black_box(cached.run(black_box(q)).expect("run"))));
+
+    let uncached = service(false);
+    uncached.run(q).expect("warm");
+    g.bench_function("uncached", |b| {
+        b.iter(|| black_box(uncached.run(black_box(q)).expect("run")))
+    });
+
+    // The bare engine, for reference: service overhead = uncached − this.
+    let (d, _) = corpus();
+    let ctx = ExecContext::new();
+    g.bench_function("bare_engine", |b| b.iter(|| black_box(run_query(&ctx, d, black_box(&q)))));
+    g.finish();
+}
+
+fn bench_replay_mix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_replay_mix");
+    g.sample_size(10);
+    for (name, cache) in [("cached", true), ("uncached", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                // Fresh service per iteration: the mix starts cold.
+                let svc = service(cache);
+                let mix = seeded_mix(50, 7);
+                black_box(replay(&svc, &mix, 4))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_repeat_query, bench_replay_mix);
+criterion_main!(benches);

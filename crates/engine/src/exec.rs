@@ -8,11 +8,17 @@
 
 use gdelt_columnar::partition::{partitions, partitions_at_boundaries, Partition};
 
+/// Default partition granularity: a few partitions per thread for load
+/// balancing without fragmenting the scan.
+const DEFAULT_PARTITIONS_PER_THREAD: usize = 4;
+
 /// Thread-count and partitioning policy for query execution.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
     n_threads: usize,
     pool: Option<std::sync::Arc<rayon::ThreadPool>>,
+    partitions_per_thread: usize,
+    pin_threads: bool,
 }
 
 impl Default for ExecContext {
@@ -21,27 +27,85 @@ impl Default for ExecContext {
     }
 }
 
+/// Configures an [`ExecContext`]: thread count, NUMA pinning hint, and
+/// partition-granularity override. The legacy `new` / `with_threads` /
+/// `sequential` constructors are thin delegations onto this builder.
+#[derive(Debug, Clone, Default)]
+pub struct ExecContextBuilder {
+    threads: Option<usize>,
+    partitions_per_thread: Option<usize>,
+    pin_threads: bool,
+}
+
+impl ExecContextBuilder {
+    /// Use a dedicated pool with exactly `n` worker threads (clamped to
+    /// at least 1). Without this, the global pool is used.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Record the NUMA-pinning hint. The paper's OpenMP engine pins
+    /// workers to NUMA-placed table chunks; the portable pools here
+    /// cannot pin, so the flag is carried as deployment metadata that
+    /// NUMA-aware runners can act on.
+    pub fn pin_threads(mut self, pin: bool) -> Self {
+        self.pin_threads = pin;
+        self
+    }
+
+    /// Override how many partitions each worker thread gets per scan
+    /// (clamped to at least 1). Larger values improve load balancing on
+    /// skewed CSR groups at the cost of merge work; the default is 4.
+    pub fn partitions_per_thread(mut self, n: usize) -> Self {
+        self.partitions_per_thread = Some(n.max(1));
+        self
+    }
+
+    /// Construct the context.
+    pub fn build(self) -> ExecContext {
+        let (n_threads, pool) = match self.threads {
+            Some(n) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    // lint: allow(no_panic): startup-time pool construction; no recovery path
+                    .expect("failed to build thread pool");
+                (n, Some(std::sync::Arc::new(pool)))
+            }
+            None => (rayon::current_num_threads(), None),
+        };
+        ExecContext {
+            n_threads,
+            pool,
+            partitions_per_thread: self
+                .partitions_per_thread
+                .unwrap_or(DEFAULT_PARTITIONS_PER_THREAD),
+            pin_threads: self.pin_threads,
+        }
+    }
+}
+
 impl ExecContext {
+    /// Start configuring a context.
+    pub fn builder() -> ExecContextBuilder {
+        ExecContextBuilder::default()
+    }
+
     /// Use the global rayon pool (all available cores).
     pub fn new() -> Self {
-        ExecContext { n_threads: rayon::current_num_threads(), pool: None }
+        Self::builder().build()
     }
 
     /// Dedicated pool with exactly `n` threads — used by the Fig 12
     /// scaling benchmark to sweep thread counts.
     pub fn with_threads(n: usize) -> Self {
-        let n = n.max(1);
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build()
-            // lint: allow(no_panic): startup-time pool construction; no recovery path
-            .expect("failed to build thread pool");
-        ExecContext { n_threads: n, pool: Some(std::sync::Arc::new(pool)) }
+        Self::builder().threads(n).build()
     }
 
     /// Single-threaded execution (the paper's 344 s reference point).
     pub fn sequential() -> Self {
-        Self::with_threads(1)
+        Self::builder().threads(1).build()
     }
 
     /// Number of worker threads.
@@ -50,17 +114,33 @@ impl ExecContext {
         self.n_threads
     }
 
+    /// Partitions handed to each worker thread per scan.
+    #[inline]
+    pub fn partitions_per_thread(&self) -> usize {
+        self.partitions_per_thread
+    }
+
+    /// Whether the caller asked for NUMA-pinned workers (a hint; see
+    /// [`ExecContextBuilder::pin_threads`]).
+    #[inline]
+    pub fn pin_threads(&self) -> bool {
+        self.pin_threads
+    }
+
     /// Partitions for an `n_rows` scan: a few per thread for load
     /// balancing, none empty unless the table is tiny.
     pub fn make_partitions(&self, n_rows: usize) -> Vec<Partition> {
-        partitions(n_rows, (self.n_threads * 4).min(n_rows.max(1)))
+        partitions(n_rows, (self.n_threads * self.partitions_per_thread).min(n_rows.max(1)))
     }
 
     /// Partitions over CSR groups (events), aligned so no event's mention
     /// range is split across workers.
     pub fn make_group_partitions(&self, offsets: &[u64]) -> Vec<Partition> {
         let n_groups = offsets.len().saturating_sub(1);
-        partitions_at_boundaries(offsets, (self.n_threads * 4).min(n_groups.max(1)))
+        partitions_at_boundaries(
+            offsets,
+            (self.n_threads * self.partitions_per_thread).min(n_groups.max(1)),
+        )
     }
 
     /// Run `f` inside this context's pool (or the global one).

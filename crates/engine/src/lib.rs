@@ -44,5 +44,6 @@ pub mod topk;
 pub mod view;
 pub mod wildfire;
 
-pub use exec::ExecContext;
+pub use exec::{ExecContext, ExecContextBuilder};
 pub use matrix::Matrix;
+pub use query::{run_query, Query, QueryResult, SeriesKind, TopKKind};

@@ -1,0 +1,95 @@
+//! Property tests for the unified query API: `run_query` must agree
+//! bit-for-bit with the legacy free-function entry points on arbitrary
+//! seeded synthetic datasets and thread counts. The enum dispatch is a
+//! pure re-routing layer — any divergence is a bug.
+
+use gdelt_engine::coreport::CountryCoReport;
+use gdelt_engine::crossreport::CrossReport;
+use gdelt_engine::followreport::FollowReport;
+use gdelt_engine::query::{run_query, Query, QueryResult, SeriesKind, TopKKind};
+use gdelt_engine::{delay, timeseries, topk, ExecContext};
+use gdelt_model::country::CountryRegistry;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case builds a corpus from scratch, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn run_query_matches_legacy_entry_points(
+        seed in 0u64..10_000,
+        threads in 1usize..5,
+        k in 1u32..40,
+        threshold in 1u32..800,
+    ) {
+        let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(seed)).0;
+        let ctx = ExecContext::with_threads(threads);
+        let n_countries = CountryRegistry::new().len();
+
+        let QueryResult::CoReport(got) = run_query(&ctx, &d, &Query::CoReport) else {
+            panic!("wrong variant");
+        };
+        prop_assert_eq!(got, CountryCoReport::build(&ctx, &d, n_countries));
+
+        let QueryResult::FollowReport(got) =
+            run_query(&ctx, &d, &Query::FollowReport { top_k: k }) else {
+            panic!("wrong variant");
+        };
+        let subset: Vec<_> =
+            topk::top_publishers(&ctx, &d, k as usize).into_iter().map(|(s, _)| s).collect();
+        prop_assert_eq!(got, FollowReport::build(&ctx, &d, &subset));
+
+        let QueryResult::CrossCountry(got) = run_query(&ctx, &d, &Query::CrossCountry) else {
+            panic!("wrong variant");
+        };
+        prop_assert_eq!(got, CrossReport::build(&ctx, &d, n_countries));
+
+        let QueryResult::Delay(got) = run_query(&ctx, &d, &Query::Delay) else {
+            panic!("wrong variant");
+        };
+        prop_assert_eq!(got, delay::per_source_delay_stats(&ctx, &d));
+
+        for (kind, legacy) in [
+            (SeriesKind::Events, timeseries::events_per_quarter(&ctx, &d)),
+            (SeriesKind::Articles, timeseries::articles_per_quarter(&ctx, &d)),
+            (SeriesKind::ActiveSources, timeseries::active_sources_per_quarter(&ctx, &d)),
+            (
+                SeriesKind::LateArticles { threshold },
+                timeseries::late_articles_per_quarter(&ctx, &d, threshold),
+            ),
+        ] {
+            let QueryResult::TimeSeries(got) = run_query(&ctx, &d, &Query::TimeSeries(kind)) else {
+                panic!("wrong variant");
+            };
+            prop_assert_eq!(got, legacy);
+        }
+
+        let QueryResult::TopPublishers(got) =
+            run_query(&ctx, &d, &Query::TopK { kind: TopKKind::Publishers, k }) else {
+            panic!("wrong variant");
+        };
+        prop_assert_eq!(got, topk::top_publishers(&ctx, &d, k as usize));
+
+        let QueryResult::TopEvents(got) =
+            run_query(&ctx, &d, &Query::TopK { kind: TopKKind::Events, k }) else {
+            panic!("wrong variant");
+        };
+        prop_assert_eq!(got, topk::top_events(&ctx, &d, k as usize));
+    }
+
+    #[test]
+    fn run_query_is_thread_count_invariant(seed in 0u64..10_000, threads in 2usize..6) {
+        let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(seed)).0;
+        let seq = ExecContext::sequential();
+        let par = ExecContext::with_threads(threads);
+        for q in [
+            Query::CoReport,
+            Query::CrossCountry,
+            Query::Delay,
+            Query::TimeSeries(SeriesKind::Articles),
+            Query::TopK { kind: TopKKind::Publishers, k: 10 },
+        ] {
+            prop_assert_eq!(run_query(&seq, &d, &q), run_query(&par, &d, &q));
+        }
+    }
+}

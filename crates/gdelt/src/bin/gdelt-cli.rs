@@ -8,11 +8,13 @@
 //!   and write the indexed binary format, printing the Table II report;
 //! * `report`   — load a binary dataset and print every table/figure;
 //! * `synth-report` — generate in memory and report directly;
-//! * `bench-scaling` — the Fig 12 thread sweep.
+//! * `bench-scaling` — the Fig 12 thread sweep;
+//! * `serve-bench` — replay a seeded query mix against the concurrent
+//!   query service and print its metrics.
 
 use gdelt_analysis::report::{run_full_report, scaling_thread_counts, ReportOptions};
 use gdelt_columnar::{binfmt, DatasetBuilder};
-use gdelt_engine::ExecContext;
+use gdelt_engine::{run_query, ExecContext, Query, QueryResult};
 use gdelt_synth::emit::to_tsv;
 use gdelt_synth::{generate, paper_calibrated};
 use std::path::PathBuf;
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(&opts),
         "synth-report" => cmd_synth_report(&opts),
         "bench-scaling" => cmd_bench_scaling(&opts),
+        "serve-bench" => cmd_serve_bench(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -62,6 +65,8 @@ USAGE:
   gdelt-cli report        --data FILE.gdhpc [--threads N] [--scaling]
   gdelt-cli synth-report  [--scale S] [--seed N] [--threads N] [--scaling]
   gdelt-cli bench-scaling [--scale S] [--seed N]
+  gdelt-cli serve-bench   [--scale S] [--seed N] [--queries N] [--workers N]
+                          [--clients N] [--threads N] [--no-cache] [--check]
 
 OPTIONS:
   --scale S    synthetic corpus scale in (0, 1]; 1.0 = the paper's full
@@ -69,6 +74,12 @@ OPTIONS:
   --seed N     generator seed (default 42)
   --threads N  worker threads (default: all cores)
   --scaling    include the Figure 12 thread sweep in the report
+  --queries N  serve-bench: queries in the replayed mix (default 200)
+  --workers N  serve-bench: service worker threads (default 2)
+  --clients N  serve-bench: concurrent client threads (default 4)
+  --no-cache   serve-bench: disable the result cache
+  --check      serve-bench: exit non-zero unless the run had zero sheds
+               and (with the cache on) at least one cache hit
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -85,6 +96,11 @@ struct Options {
     source: Option<String>,
     pair: Option<String>,
     window: Option<String>,
+    queries: Option<usize>,
+    workers: Option<usize>,
+    clients: Option<usize>,
+    no_cache: bool,
+    check: bool,
 }
 
 impl Options {
@@ -105,6 +121,11 @@ impl Options {
                 "--source" => o.source = Some(take()),
                 "--pair" => o.pair = Some(take()),
                 "--window" => o.window = Some(take()),
+                "--queries" => o.queries = take().parse().ok(),
+                "--workers" => o.workers = take().parse().ok(),
+                "--clients" => o.clients = take().parse().ok(),
+                "--no-cache" => o.no_cache = true,
+                "--check" => o.check = true,
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
         }
@@ -260,7 +281,9 @@ fn cmd_query(o: &Options) -> Result<(), String> {
         let Some(id) = dataset.sources.lookup(name) else {
             return Err(format!("unknown source {name:?}"));
         };
-        let stats = gdelt_engine::delay::per_source_delay_stats(&ctx, &dataset);
+        let QueryResult::Delay(stats) = run_query(&ctx, &dataset, &Query::Delay) else {
+            return Err("delay query returned the wrong variant".into());
+        };
         let s = stats[id.index()];
         let group = gdelt_engine::delay::classify(&s);
         println!(
@@ -275,8 +298,12 @@ fn cmd_query(o: &Options) -> Result<(), String> {
         if ca.is_unknown() || cb.is_unknown() {
             return Err(format!("unknown country in pair {pair:?}"));
         }
-        let cc = gdelt_engine::coreport::CountryCoReport::build(&ctx, &dataset, registry.len());
-        let cr = gdelt_engine::crossreport::CrossReport::build(&ctx, &dataset, registry.len());
+        let QueryResult::CoReport(cc) = run_query(&ctx, &dataset, &Query::CoReport) else {
+            return Err("coreport query returned the wrong variant".into());
+        };
+        let QueryResult::CrossCountry(cr) = run_query(&ctx, &dataset, &Query::CrossCountry) else {
+            return Err("crosscountry query returned the wrong variant".into());
+        };
         println!(
             "{a} vs {b}: co-reporting Jaccard {:.4}; articles {a}→about-{b}: {}, {b}→about-{a}: {}",
             cc.jaccard(ca, cb),
@@ -328,6 +355,55 @@ fn cmd_bench_scaling(o: &Options) -> Result<(), String> {
     let threads = scaling_thread_counts();
     let f12 = gdelt_analysis::fig12::compute(&dataset, &threads, 3);
     println!("{}", gdelt_analysis::fig12::render(&f12));
+    Ok(())
+}
+
+fn cmd_serve_bench(o: &Options) -> Result<(), String> {
+    use gdelt_serve::{replay, seeded_mix, QueryService, ServiceConfig};
+
+    let cfg = o.config();
+    eprintln!(
+        "generating synthetic corpus: {} sources, {} events, seed {}",
+        cfg.n_sources, cfg.n_events, cfg.seed
+    );
+    let (dataset, _) = gdelt_synth::generate_dataset(&cfg);
+
+    let mix = seeded_mix(o.queries.unwrap_or(200), o.seed.unwrap_or(42));
+    let service = QueryService::new(
+        dataset,
+        ServiceConfig {
+            workers: o.workers.unwrap_or(2),
+            cache_enabled: !o.no_cache,
+            threads: o.threads,
+            ..Default::default()
+        },
+    );
+    let clients = o.clients.unwrap_or(4);
+    eprintln!(
+        "replaying {} queries from {clients} client(s), cache {}",
+        mix.len(),
+        if o.no_cache { "disabled" } else { "enabled" },
+    );
+    let report = replay(&service, &mix, clients);
+    println!("{}", report.render());
+    let metrics = service.metrics();
+    println!("{}", metrics.render());
+
+    if o.check {
+        if report.errors > 0 {
+            return Err(format!("check failed: {} queries errored", report.errors));
+        }
+        if metrics.shed != 0 {
+            return Err(format!("check failed: {} queries shed at low load", metrics.shed));
+        }
+        if !o.no_cache && metrics.cache.hits == 0 {
+            return Err("check failed: expected at least one cache hit".into());
+        }
+        eprintln!(
+            "serve-bench check passed: {} cache hits, 0 sheds, {} completed",
+            metrics.cache.hits, metrics.completed
+        );
+    }
     Ok(())
 }
 

@@ -57,11 +57,16 @@ pub use gdelt_cluster as cluster;
 /// Per-table/figure paper reproductions.
 pub use gdelt_analysis as analysis;
 
+/// The concurrent query service (admission control, result cache,
+/// single-flight batching).
+pub use gdelt_serve as serve;
+
 /// The most common imports.
 pub mod prelude {
     pub use gdelt_columnar::{Dataset, DatasetBuilder};
-    pub use gdelt_engine::ExecContext;
+    pub use gdelt_engine::{run_query, ExecContext, Query, QueryResult};
     pub use gdelt_model::{CaptureInterval, CountryId, Date, DateTime, EventId, Quarter, SourceId};
+    pub use gdelt_serve::{QueryService, ServiceConfig};
 }
 
 #[cfg(test)]

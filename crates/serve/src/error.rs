@@ -1,0 +1,61 @@
+//! Typed serving errors. The service never panics on overload or
+//! shutdown — callers receive one of these values instead.
+
+use std::fmt;
+
+/// Why a submission or wait did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission controller shed the query: the queue was full or
+    /// the in-flight cost budget was exhausted.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        queue_depth: usize,
+        /// The configured queue bound.
+        queue_limit: usize,
+        /// True when the shed was due to the cost budget rather than
+        /// the depth bound.
+        cost_limited: bool,
+    },
+    /// The caller's wait deadline expired before the query completed.
+    /// The query itself may still complete and populate the cache.
+    TimedOut {
+        /// How long the caller waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The service is shutting down; the query was not (fully) executed.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth, queue_limit, cost_limited: true } => write!(
+                f,
+                "overloaded: in-flight cost budget exhausted (queue {queue_depth}/{queue_limit})"
+            ),
+            ServeError::Overloaded { queue_depth, queue_limit, cost_limited: false } => {
+                write!(f, "overloaded: admission queue full ({queue_depth}/{queue_limit})")
+            }
+            ServeError::TimedOut { waited_ms } => {
+                write!(f, "timed out after {waited_ms} ms waiting for query result")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_limits() {
+        let e = ServeError::Overloaded { queue_depth: 8, queue_limit: 8, cost_limited: false };
+        assert!(e.to_string().contains("8/8"));
+        let e = ServeError::TimedOut { waited_ms: 250 };
+        assert!(e.to_string().contains("250"));
+    }
+}

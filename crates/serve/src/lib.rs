@@ -1,0 +1,38 @@
+//! # gdelt-serve
+//!
+//! The concurrent query service in front of the engine: the piece that
+//! turns "a fast aggregated query" (paper §VI-G) into the ROADMAP's
+//! production-scale system serving repeated analyses to many clients.
+//!
+//! Components, in submission order:
+//!
+//! * a **sharded LRU result cache** keyed on canonical
+//!   [`Query`](gdelt_engine::Query) hashes, invalidated by dataset
+//!   generation bumps from [`QueryService::apply_batch`] ([`cache`]);
+//! * an **admission controller** with a bounded queue and per-query
+//!   cost estimates that sheds with typed errors instead of panicking
+//!   or blocking ([`admission`]);
+//! * a **batcher** that coalesces identical in-flight queries
+//!   (single-flight) and hands workers same-family scans back-to-back
+//!   ([`batcher`]);
+//! * the **worker pool + dataset ownership** tying them together
+//!   ([`service`]), with [`metrics`] snapshots and a seeded synthetic
+//!   workload generator ([`mix`]) for `gdelt-cli serve-bench`.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod batcher;
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod mix;
+pub mod service;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use batcher::QueryTicket;
+pub use cache::{CacheStats, ShardedCache};
+pub use error::ServeError;
+pub use metrics::ServiceMetrics;
+pub use mix::{replay, seeded_mix, ReplayReport};
+pub use service::{QueryService, ServiceConfig};

@@ -1,0 +1,210 @@
+//! Service metrics: completion counters and a fixed-size latency ring
+//! from which the snapshot computes percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::cache::CacheStats;
+
+/// Latencies kept for percentile estimation. Old samples are
+/// overwritten ring-style, so percentiles reflect recent traffic.
+const RING_CAPACITY: usize = 4096;
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn record(&mut self, us: u64) {
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.push(us);
+        } else if let Some(slot) = self.buf.get_mut(self.next) {
+            *slot = us;
+        }
+        self.next = (self.next + 1) % RING_CAPACITY;
+    }
+}
+
+/// Internal recorder owned by the service.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    started: Instant,
+    completed: AtomicU64,
+    timeouts: AtomicU64,
+    ring: Mutex<LatencyRing>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            completed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            ring: Mutex::new(LatencyRing::default()),
+        }
+    }
+
+    pub(crate) fn record_completion(&self, latency_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        lock_recover(&self.ring).record(latency_us);
+    }
+
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        cache: CacheStats,
+        shed: u64,
+        coalesced: u64,
+        generation: u64,
+    ) -> ServiceMetrics {
+        let mut lat: Vec<u64> = lock_recover(&self.ring).buf.clone();
+        lat.sort_unstable();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let uptime_s = self.started.elapsed().as_secs_f64();
+        ServiceMetrics {
+            uptime_s,
+            completed,
+            qps: if uptime_s > 0.0 { completed as f64 / uptime_s } else { 0.0 },
+            p50_us: percentile(&lat, 0.50),
+            p95_us: percentile(&lat, 0.95),
+            p99_us: percentile(&lat, 0.99),
+            queue_depth,
+            cache,
+            shed,
+            coalesced,
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            generation,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample; 0 when empty.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted.get(idx).copied().unwrap_or(0)
+}
+
+/// A point-in-time view of service health, as rendered by
+/// `gdelt-cli serve-bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Seconds since the service started.
+    pub uptime_s: f64,
+    /// Queries executed to completion (kernel runs, not cache hits).
+    pub completed: u64,
+    /// Completions per second over the whole uptime.
+    pub qps: f64,
+    /// Median kernel latency over the recent window, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile kernel latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile kernel latency, microseconds.
+    pub p99_us: u64,
+    /// Admitted-but-incomplete queries at snapshot time.
+    pub queue_depth: usize,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Tickets coalesced onto identical in-flight queries.
+    pub coalesced: u64,
+    /// Waits that expired before their query completed.
+    pub timeouts: u64,
+    /// Dataset generation the service is answering from.
+    pub generation: u64,
+}
+
+impl ServiceMetrics {
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "service metrics (generation {gen}, up {up:.1}s)\n\
+             \x20 completed {completed} ({qps:.1} qps), queue depth {depth}\n\
+             \x20 kernel latency p50 {p50} us, p95 {p95} us, p99 {p99} us\n\
+             \x20 cache: {hits} hits / {misses} misses ({rate:.1}% hit rate), \
+             {entries} resident, {evictions} evicted, {invalidations} invalidated\n\
+             \x20 shed {shed}, coalesced {coalesced}, timeouts {timeouts}",
+            gen = self.generation,
+            up = self.uptime_s,
+            completed = self.completed,
+            qps = self.qps,
+            depth = self.queue_depth,
+            p50 = self.p50_us,
+            p95 = self.p95_us,
+            p99 = self.p99_us,
+            hits = self.cache.hits,
+            misses = self.cache.misses,
+            rate = self.cache.hit_rate() * 100.0,
+            entries = self.cache.entries,
+            evictions = self.cache.evictions,
+            invalidations = self.cache.invalidations,
+            shed = self.shed,
+            coalesced = self.coalesced,
+            timeouts = self.timeouts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_recorded_latencies() {
+        let m = Metrics::new();
+        for us in 1..=100 {
+            m.record_completion(us);
+        }
+        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0);
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.p50_us, 51); // nearest-rank on 1..=100
+        assert_eq!(s.p99_us, 99);
+        assert!(s.qps > 0.0);
+    }
+
+    #[test]
+    fn ring_overwrites_old_samples() {
+        let m = Metrics::new();
+        for _ in 0..RING_CAPACITY {
+            m.record_completion(1);
+        }
+        for _ in 0..RING_CAPACITY {
+            m.record_completion(1_000);
+        }
+        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0);
+        assert_eq!(s.p50_us, 1_000, "old samples must age out");
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let m = Metrics::new();
+        m.record_completion(42);
+        m.record_timeout();
+        let s = m.snapshot(3, CacheStats { hits: 1, misses: 1, ..Default::default() }, 2, 1, 7);
+        let text = s.render();
+        for needle in ["generation 7", "queue depth 3", "50.0% hit rate", "shed 2", "timeouts 1"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeros() {
+        let m = Metrics::new();
+        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0);
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us, s.completed), (0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,264 @@
+//! The query service: worker pool, submission path, and dataset
+//! ownership.
+//!
+//! Data flow, front to back:
+//!
+//! ```text
+//! submit ── cache get ──hit──▶ resolved ticket
+//!              │miss
+//!              ▼
+//!        admission (cost, depth) ──full──▶ ServeError::Overloaded
+//!              │admitted
+//!              ▼
+//!        job queue (single-flight coalescing)
+//!              ▼
+//!        workers (family-affine dequeue) ──▶ run_query ──▶ cache insert
+//!              ▼
+//!        ticket resolution (all coalesced waiters at once)
+//! ```
+//!
+//! The service owns the [`Dataset`] behind an `RwLock<Arc<_>>`: workers
+//! snapshot the `Arc` (and the matching cache generation) under a brief
+//! read lock and run lock-free from then on, while
+//! [`QueryService::apply_batch`] swaps in an updated dataset under the
+//! write lock and invalidates the cache before releasing it.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+use gdelt_columnar::incremental::{append_batch, BatchStats};
+use gdelt_columnar::Dataset;
+use gdelt_csv::clean::CleanReport;
+use gdelt_engine::{run_query, ExecContext, Query, QueryResult};
+use gdelt_model::event::EventRecord;
+use gdelt_model::mention::MentionRecord;
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::batcher::{Enqueued, JobQueue, QueryTicket};
+use crate::cache::ShardedCache;
+use crate::error::ServeError;
+use crate::metrics::{Metrics, ServiceMetrics};
+
+/// Service construction parameters. The defaults suit tests and the
+/// `serve-bench` synthetic workload; a deployment tunes queue and cache
+/// bounds to its corpus size.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries. `0` is allowed (nothing
+    /// executes — useful for exercising admission and queue behaviour).
+    pub workers: usize,
+    /// Whether results are cached at all (`serve-bench --no-cache`).
+    pub cache_enabled: bool,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Entries per cache shard.
+    pub cache_capacity_per_shard: usize,
+    /// Admission queue depth bound.
+    pub max_queue: usize,
+    /// Admission in-flight cost budget.
+    pub max_cost_in_flight: u64,
+    /// Engine thread count (`None` = the global pool).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            cache_enabled: true,
+            cache_shards: 8,
+            cache_capacity_per_shard: 32,
+            max_queue: 64,
+            max_cost_in_flight: u64::MAX,
+            threads: None,
+        }
+    }
+}
+
+fn read_recover<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_recover<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared between the handle and the worker threads.
+#[derive(Debug)]
+struct Shared {
+    data: RwLock<Arc<Dataset>>,
+    ctx: ExecContext,
+    cache: ShardedCache,
+    cache_enabled: bool,
+    admission: Admission,
+    queue: JobQueue,
+    metrics: Metrics,
+}
+
+/// The in-process query service. Dropping the handle shuts the service
+/// down: workers finish their current job, queued-but-unstarted tickets
+/// resolve to [`ServeError::ShuttingDown`].
+#[derive(Debug)]
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Start a service owning `dataset`.
+    pub fn new(dataset: Dataset, config: ServiceConfig) -> Self {
+        let mut builder = ExecContext::builder();
+        if let Some(t) = config.threads {
+            builder = builder.threads(t);
+        }
+        let shared = Arc::new(Shared {
+            data: RwLock::new(Arc::new(dataset)),
+            ctx: builder.build(),
+            cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
+            cache_enabled: config.cache_enabled,
+            admission: Admission::new(AdmissionConfig {
+                max_queue: config.max_queue,
+                max_cost_in_flight: config.max_cost_in_flight,
+            }),
+            queue: JobQueue::default(),
+            metrics: Metrics::new(),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        QueryService { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Submit a query. Returns a ticket immediately: already-resolved on
+    /// a cache hit, pending otherwise. Sheds with
+    /// [`ServeError::Overloaded`] when admission control refuses.
+    pub fn submit(&self, query: Query) -> Result<QueryTicket, ServeError> {
+        let s = &self.shared;
+        if s.cache_enabled {
+            if let Some(v) = s.cache.get(&query) {
+                return Ok(QueryTicket::resolved(query, Ok(v)));
+            }
+        }
+        let cost = query.cost_estimate(&read_recover(&s.data));
+        s.admission.try_admit(cost)?;
+        let (ticket, outcome) = s.queue.enqueue(query, cost);
+        if outcome != Enqueued::New {
+            // Coalesced tickets ride on the already-admitted job's cost;
+            // rejected tickets (shutdown race) never run at all.
+            s.admission.release(cost);
+        }
+        Ok(ticket)
+    }
+
+    /// Submit and block for the result.
+    pub fn run(&self, query: Query) -> Result<Arc<QueryResult>, ServeError> {
+        self.submit(query)?.get()
+    }
+
+    /// Submit and block up to `timeout`. Expired waits are counted in
+    /// the metrics; the query itself keeps running and may still
+    /// populate the cache.
+    pub fn run_timeout(
+        &self,
+        query: Query,
+        timeout: Duration,
+    ) -> Result<Arc<QueryResult>, ServeError> {
+        let r = self.submit(query)?.get_timeout(timeout);
+        if matches!(r, Err(ServeError::TimedOut { .. })) {
+            self.shared.metrics.record_timeout();
+        }
+        r
+    }
+
+    /// Append a batch through [`gdelt_columnar::incremental`], swap the
+    /// dataset, bump the generation, and invalidate the cache — all
+    /// under the write lock, so no worker can cache a result computed
+    /// against the old dataset under the new generation.
+    pub fn apply_batch(
+        &self,
+        events: Vec<EventRecord>,
+        mentions: Vec<MentionRecord>,
+    ) -> (BatchStats, CleanReport) {
+        let s = &self.shared;
+        let mut guard = write_recover(&s.data);
+        let (next, stats, clean) = append_batch(&guard, events, mentions);
+        *guard = Arc::new(next);
+        s.cache.invalidate_all(s.cache.generation() + 1);
+        drop(guard);
+        (stats, clean)
+    }
+
+    /// Snapshot of the dataset currently being served.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&read_recover(&self.shared.data))
+    }
+
+    /// Dataset generation (bumped by every [`QueryService::apply_batch`]).
+    pub fn generation(&self) -> u64 {
+        self.shared.cache.generation()
+    }
+
+    /// Point-in-time service metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let s = &self.shared;
+        s.metrics.snapshot(
+            s.admission.depth(),
+            s.cache.stats(),
+            s.admission.shed_count(),
+            s.queue.coalesced_count(),
+            s.cache.generation(),
+        )
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        let drained = self.shared.queue.shutdown_and_drain();
+        for h in lock_recover(&self.workers).drain(..) {
+            let _ = h.join();
+        }
+        for w in drained {
+            w.resolve(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+/// Worker: dequeue with scan affinity, double-check the cache, run the
+/// kernel against a consistent (dataset, generation) snapshot, publish.
+fn worker_loop(shared: &Shared) {
+    let mut affinity: Option<&'static str> = None;
+    while let Some(job) = shared.queue.next_job(affinity) {
+        let query = job.query;
+        // Re-check the cache without counting: an identical query may
+        // have completed between this job's admission and now.
+        let cached = if shared.cache_enabled { shared.cache.peek(&query) } else { None };
+        let value = match cached {
+            Some(v) => v,
+            None => {
+                // Snapshot (dataset, generation) under one read lock so
+                // the pair is consistent with any concurrent apply_batch.
+                let (data, generation) = {
+                    let guard = read_recover(&shared.data);
+                    (Arc::clone(&guard), shared.cache.generation())
+                };
+                let t0 = Instant::now();
+                let v = Arc::new(run_query(&shared.ctx, &data, &query));
+                shared.metrics.record_completion(t0.elapsed().as_micros() as u64);
+                if shared.cache_enabled {
+                    shared.cache.insert(query, Arc::clone(&v), generation);
+                }
+                v
+            }
+        };
+        shared.admission.release(job.cost);
+        shared.queue.complete(&query, Ok(value));
+        affinity = Some(query.family());
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end tests for the query service: correctness against the bare
+//! engine, cache invalidation on generation bumps, single-flight
+//! coalescing, and admission shedding under a saturated queue.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gdelt_columnar::Dataset;
+use gdelt_engine::{run_query, ExecContext, Query, SeriesKind, TopKKind};
+use gdelt_serve::{QueryService, ServeError, ServiceConfig};
+
+fn dataset() -> Dataset {
+    let cfg = gdelt_synth::scenario::tiny(77);
+    gdelt_synth::generate_dataset(&cfg).0
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig { workers: 2, threads: Some(2), ..Default::default() }
+}
+
+#[test]
+fn served_results_match_the_bare_engine() {
+    let d = dataset();
+    let ctx = ExecContext::with_threads(2);
+    let service = QueryService::new(d.clone(), config());
+    for q in [
+        Query::CoReport,
+        Query::FollowReport { top_k: 5 },
+        Query::CrossCountry,
+        Query::Delay,
+        Query::TimeSeries(SeriesKind::Events),
+        Query::TimeSeries(SeriesKind::LateArticles { threshold: 96 }),
+        Query::TopK { kind: TopKKind::Publishers, k: 10 },
+        Query::TopK { kind: TopKKind::Events, k: 10 },
+    ] {
+        let served = service.run(q).expect("query must complete");
+        let direct = run_query(&ctx, &d, &q);
+        assert_eq!(*served, direct, "{q}");
+    }
+}
+
+#[test]
+fn repeat_queries_hit_the_cache() {
+    let service = QueryService::new(dataset(), config());
+    let q = Query::TopK { kind: TopKKind::Publishers, k: 10 };
+    let first = service.run(q).expect("first run");
+    let second = service.run(q).expect("second run");
+    // Cache hits hand back the same allocation, not a recomputation.
+    assert!(Arc::ptr_eq(&first, &second));
+    let m = service.metrics();
+    assert!(m.cache.hits >= 1, "expected a cache hit, got {m:?}");
+    assert_eq!(m.shed, 0);
+}
+
+#[test]
+fn generation_bump_invalidates_and_recomputes() {
+    let base = dataset();
+    let service = QueryService::new(base, config());
+    let q = Query::TimeSeries(SeriesKind::Articles);
+    let before = service.run(q).expect("pre-batch run");
+    assert_eq!(service.generation(), 0);
+
+    // Apply a real batch from a different seed: new events + mentions.
+    let batch = gdelt_synth::generate(&gdelt_synth::scenario::tiny(1234));
+    let (stats, _clean) = service.apply_batch(batch.events, batch.mentions);
+    assert!(stats.new_mentions > 0, "batch must add mentions: {stats:?}");
+    assert_eq!(service.generation(), 1);
+    assert_eq!(service.metrics().cache.entries, 0, "cache cleared on bump");
+
+    // The same query now recomputes against the merged dataset and must
+    // match a direct engine run over the service's dataset snapshot.
+    let after = service.run(q).expect("post-batch run");
+    assert!(!Arc::ptr_eq(&before, &after), "stale cache entry survived the bump");
+    let direct = run_query(&ExecContext::with_threads(2), &service.dataset(), &q);
+    assert_eq!(*after, direct);
+    assert_ne!(*before, *after, "batch changed the articles-per-quarter series");
+}
+
+#[test]
+fn identical_in_flight_queries_coalesce() {
+    // No workers: submissions stay in-flight, so the second identical
+    // submission must join the first job instead of enqueuing.
+    let service = QueryService::new(dataset(), ServiceConfig { workers: 0, ..Default::default() });
+    let q = Query::Delay;
+    let t1 = service.submit(q).expect("first submission admitted");
+    let t2 = service.submit(q).expect("identical submission admitted");
+    let m = service.metrics();
+    assert_eq!(m.coalesced, 1, "single-flight must coalesce the repeat");
+    assert_eq!(m.queue_depth, 1, "coalesced ticket releases its admission slot");
+    drop(service); // shuts down; both tickets resolve
+    assert_eq!(t1.get(), Err(ServeError::ShuttingDown));
+    assert_eq!(t2.get(), Err(ServeError::ShuttingDown));
+}
+
+#[test]
+fn saturated_queue_sheds_with_typed_error() {
+    // No workers and a depth bound of 2: the third distinct query sheds.
+    let service = QueryService::new(
+        dataset(),
+        ServiceConfig { workers: 0, max_queue: 2, ..Default::default() },
+    );
+    service.submit(Query::Delay).expect("1st admitted");
+    service.submit(Query::CrossCountry).expect("2nd admitted");
+    let err = service.submit(Query::CoReport).expect_err("3rd must shed");
+    assert!(
+        matches!(err, ServeError::Overloaded { queue_depth: 2, queue_limit: 2, .. }),
+        "unexpected shed error: {err:?}"
+    );
+    let m = service.metrics();
+    assert_eq!(m.shed, 1);
+    assert_eq!(m.queue_depth, 2);
+}
+
+#[test]
+fn cost_budget_sheds_second_query() {
+    let service = QueryService::new(
+        dataset(),
+        ServiceConfig { workers: 0, max_cost_in_flight: 1, ..Default::default() },
+    );
+    // First query always admitted, even over budget.
+    service.submit(Query::CoReport).expect("idle service admits anything");
+    let err = service.submit(Query::Delay).expect_err("budget exhausted");
+    assert!(matches!(err, ServeError::Overloaded { cost_limited: true, .. }));
+}
+
+#[test]
+fn wait_timeout_is_typed_and_counted() {
+    let service = QueryService::new(dataset(), ServiceConfig { workers: 0, ..Default::default() });
+    let err = service
+        .run_timeout(Query::Delay, Duration::from_millis(20))
+        .expect_err("no workers: the wait must expire");
+    assert!(matches!(err, ServeError::TimedOut { .. }));
+    assert_eq!(service.metrics().timeouts, 1);
+}
+
+#[test]
+fn disabled_cache_always_recomputes() {
+    let service = QueryService::new(dataset(), ServiceConfig { cache_enabled: false, ..config() });
+    let q = Query::TopK { kind: TopKKind::Events, k: 5 };
+    let a = service.run(q).expect("first");
+    let b = service.run(q).expect("second");
+    assert_eq!(*a, *b, "recomputation is deterministic");
+    let m = service.metrics();
+    assert_eq!(m.cache.hits + m.cache.misses, 0, "cache must be bypassed entirely");
+    assert_eq!(m.completed, 2, "both runs executed the kernel");
+}
+
+#[test]
+fn concurrent_clients_get_consistent_results() {
+    let service = QueryService::new(dataset(), config());
+    let q = Query::TimeSeries(SeriesKind::Events);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..8).map(|_| scope.spawn(|| service.run(q).expect("run"))).collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    for r in &results[1..] {
+        assert_eq!(**r, *results[0]);
+    }
+    let m = service.metrics();
+    // Eight identical requests: one kernel execution's worth of misses
+    // plus coalesced/cache-hit repeats; never eight full executions.
+    assert!(m.completed < 8, "single-flight + cache must dedupe: {m:?}");
+}

@@ -24,7 +24,7 @@ use std::path::Path;
 
 /// Crates whose `src/` trees the panic / cast / par rules cover.
 /// `safety_comment` applies to the whole workspace.
-const HOT_PATH_CRATES: &[&str] = &["engine", "columnar"];
+const HOT_PATH_CRATES: &[&str] = &["engine", "columnar", "serve"];
 const ID_CAST_CRATES: &[&str] = &["engine", "columnar", "model"];
 
 /// Run every rule over `src` as if it lived at `path`.

@@ -149,6 +149,42 @@ fn query_rejects_unknown_source() {
 }
 
 #[test]
+fn serve_bench_check_passes_at_low_load() {
+    let out = cli()
+        .args(["serve-bench", "--scale", "0.00002", "--seed", "21", "--queries", "60", "--check"])
+        .output()
+        .expect("serve-bench");
+    assert!(out.status.success(), "serve-bench failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("replay:"), "missing replay report: {stdout}");
+    assert!(stdout.contains("service metrics"), "missing metrics snapshot: {stdout}");
+    assert!(stderr.contains("check passed"), "check did not pass: {stderr}");
+}
+
+#[test]
+fn serve_bench_no_cache_reports_zero_hits() {
+    let out = cli()
+        .args([
+            "serve-bench",
+            "--scale",
+            "0.00002",
+            "--seed",
+            "21",
+            "--queries",
+            "40",
+            "--no-cache",
+        ])
+        .output()
+        .expect("serve-bench");
+    assert!(out.status.success(), "serve-bench failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cache disabled"), "expected cache disabled banner: {stderr}");
+    assert!(stdout.contains("0 hits"), "no-cache run must report zero hits: {stdout}");
+}
+
+#[test]
 fn missing_required_flag_is_an_error() {
     let out = cli().arg("convert").output().expect("run");
     assert!(!out.status.success());
