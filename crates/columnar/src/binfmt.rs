@@ -18,12 +18,22 @@
 //! so the format is self-describing and forward-extensible (unknown
 //! sections are ignored on read). Checksums catch corruption; a full
 //! [`Dataset::validate`] runs after load.
+//!
+//! Since PR 4 the writer also emits a `partitions.meta` section (first
+//! in the file): the store's row ranges split into
+//! [`DEFAULT_STORE_PARTITIONS`] contiguous *load partitions*, plus a
+//! per-section, per-partition FNV digest table. Whole-section checksums
+//! detect corruption; the digest table *localizes* it to a partition, so
+//! the degraded loader ([`crate::degraded`]) can quarantine the damaged
+//! partition and serve the rest. Readers that predate the section ignore
+//! it (it is just another named section).
 
 use crate::aligned::AlignedBuf;
 use crate::index::EventIndex;
+use crate::partition::partitions;
 use crate::strings::{StringDict, StringPool};
 use crate::table::Dataset;
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 
 /// Format magic, bumped with any incompatible layout change.
 pub const MAGIC: &[u8; 8] = b"GDHPC1\0\0";
@@ -79,14 +89,14 @@ fn encode<T: Scalar>(vals: &[T]) -> Vec<u8> {
     out
 }
 
-fn decode<T: Scalar>(bytes: &[u8]) -> io::Result<Vec<T>> {
+pub(crate) fn decode<T: Scalar>(bytes: &[u8]) -> io::Result<Vec<T>> {
     if !bytes.len().is_multiple_of(T::WIDTH) {
         return Err(bad("section length not a multiple of element width"));
     }
     Ok(bytes.chunks_exact(T::WIDTH).map(T::read_le).collect())
 }
 
-fn bad(msg: impl Into<String>) -> io::Error {
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
@@ -136,10 +146,285 @@ const SECTIONS: &[&str] = &[
     "index.offsets",
 ];
 
-/// Serialize a dataset to a writer.
+/// Name of the partition-map section (written first in the file).
+pub const META_SECTION: &str = "partitions.meta";
+
+/// Load partitions a store is written with by [`save`] /
+/// [`write_dataset`]. Small enough that tiny test stores still get
+/// non-trivial partitions, large enough that quarantining one keeps
+/// 7/8 of the data.
+pub const DEFAULT_STORE_PARTITIONS: u32 = 8;
+
+const META_VERSION: u32 = 1;
+
+/// Which row space a section's payload is laid out in, and therefore
+/// which byte range of it a load partition owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionSpace {
+    /// One fixed-width element per *event* row; the width in bytes.
+    Event(usize),
+    /// One fixed-width element per *mention* row; the width in bytes.
+    Mention(usize),
+    /// The URL pool's raw bytes, addressed through `events.urls.offsets`.
+    UrlBytes,
+    /// A `u64` offsets array with `n_events + 1` entries. A partition
+    /// owns entries `ev_begin ..= ev_end` — the shared boundary entry is
+    /// hashed into *both* neighbours, so corrupting it quarantines both.
+    EventOffsets,
+    /// Not row-addressed (source directory, the meta section itself).
+    /// Damage here cannot be localized and fails the load outright.
+    Global,
+}
+
+/// Classify a section name into its [`SectionSpace`].
+pub fn section_space(name: &str) -> SectionSpace {
+    use SectionSpace::*;
+    match name {
+        "events.id" => Event(8),
+        "events.day"
+        | "events.capture"
+        | "events.goldstein"
+        | "events.num_mentions"
+        | "events.num_sources"
+        | "events.num_articles"
+        | "events.avg_tone"
+        | "events.lat"
+        | "events.lon"
+        | "events.source_url" => Event(4),
+        "events.quarter" | "events.actor1" | "events.actor2" | "events.country" => Event(2),
+        "events.root" | "events.quad" => Event(1),
+        "events.urls.bytes" => UrlBytes,
+        "events.urls.offsets" | "index.offsets" => EventOffsets,
+        "mentions.event_id" => Mention(8),
+        "mentions.event_row"
+        | "mentions.event_interval"
+        | "mentions.mention_interval"
+        | "mentions.delay"
+        | "mentions.source"
+        | "mentions.doc_tone" => Mention(4),
+        "mentions.quarter" => Mention(2),
+        "mentions.mention_type" | "mentions.confidence" => Mention(1),
+        _ => Global,
+    }
+}
+
+/// One load partition's extent: the half-open event-row range it owns
+/// plus the mention rows of those events. The last partition's mention
+/// range extends to `n_mentions`, so it also owns the orphan tail
+/// (mentions with no matching event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartExtent {
+    /// First event row owned (inclusive).
+    pub ev_begin: u64,
+    /// One past the last event row owned.
+    pub ev_end: u64,
+    /// First mention row owned (inclusive).
+    pub m_begin: u64,
+    /// One past the last mention row owned.
+    pub m_end: u64,
+}
+
+impl PartExtent {
+    /// The byte range of this partition inside a section's payload, or
+    /// `None` for [`SectionSpace::Global`] sections and inconsistent
+    /// URL offsets. The range is in payload coordinates and *not*
+    /// clamped to the payload length.
+    pub fn byte_range(&self, space: SectionSpace, url_offsets: &[u64]) -> Option<(u64, u64)> {
+        let w = |n: usize| n as u64;
+        match space {
+            SectionSpace::Event(width) => {
+                Some((self.ev_begin.checked_mul(w(width))?, self.ev_end.checked_mul(w(width))?))
+            }
+            SectionSpace::Mention(width) => {
+                Some((self.m_begin.checked_mul(w(width))?, self.m_end.checked_mul(w(width))?))
+            }
+            SectionSpace::EventOffsets => {
+                Some((self.ev_begin.checked_mul(8)?, self.ev_end.checked_add(1)?.checked_mul(8)?))
+            }
+            SectionSpace::UrlBytes => {
+                let b = *url_offsets.get(usize::try_from(self.ev_begin).ok()?)?;
+                let e = *url_offsets.get(usize::try_from(self.ev_end).ok()?)?;
+                if b <= e {
+                    Some((b, e))
+                } else {
+                    None
+                }
+            }
+            SectionSpace::Global => None,
+        }
+    }
+
+    /// This partition's slice of `payload`, or `None` if the range runs
+    /// off the end (a truncated or inconsistent section).
+    pub fn slice<'a>(
+        &self,
+        space: SectionSpace,
+        payload: &'a [u8],
+        url_offsets: &[u64],
+    ) -> Option<&'a [u8]> {
+        let (b, e) = self.byte_range(space, url_offsets)?;
+        payload.get(usize::try_from(b).ok()?..usize::try_from(e).ok()?)
+    }
+}
+
+/// Split a store's rows into `n_parts` load partitions: near-even event
+/// ranges (via [`partitions`]) with each partition owning its events'
+/// mention rows per the CSR `offsets`; the last partition's mention
+/// range is extended to `n_mentions` to cover the orphan tail.
+pub fn partition_extents(
+    n_events: usize,
+    n_mentions: usize,
+    offsets: &[u64],
+    n_parts: u32,
+) -> Vec<PartExtent> {
+    let parts = partitions(n_events, n_parts.max(1) as usize);
+    let n_mentions = n_mentions as u64;
+    let mention_at = |ev: usize| -> u64 { offsets.get(ev).copied().unwrap_or(0).min(n_mentions) };
+    let last = parts.len().saturating_sub(1);
+    parts
+        .iter()
+        .enumerate()
+        .map(|(p, part)| {
+            let m_begin = mention_at(part.begin);
+            let m_end = if p == last { n_mentions } else { mention_at(part.end).max(m_begin) };
+            PartExtent { ev_begin: part.begin as u64, ev_end: part.end as u64, m_begin, m_end }
+        })
+        .collect()
+}
+
+/// The decoded `partitions.meta` section.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MetaTable {
+    pub(crate) n_events: u64,
+    pub(crate) n_mentions: u64,
+    pub(crate) extents: Vec<PartExtent>,
+    /// Per-section digest rows: `(section name, one FNV per partition)`.
+    pub(crate) digests: Vec<(String, Vec<u64>)>,
+}
+
+fn build_meta(
+    payloads: &[(&str, Vec<u8>)],
+    extents: &[PartExtent],
+    n_events: u64,
+    n_mentions: u64,
+    url_offsets: &[u64],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    META_VERSION.write_le(&mut out);
+    (extents.len() as u32).write_le(&mut out);
+    n_events.write_le(&mut out);
+    n_mentions.write_le(&mut out);
+    for e in extents {
+        e.ev_begin.write_le(&mut out);
+        e.ev_end.write_le(&mut out);
+        e.m_begin.write_le(&mut out);
+        e.m_end.write_le(&mut out);
+    }
+    let rows: Vec<(&str, &Vec<u8>)> = payloads
+        .iter()
+        .filter(|(name, _)| section_space(name) != SectionSpace::Global)
+        .map(|(name, payload)| (*name, payload))
+        .collect();
+    (rows.len() as u32).write_le(&mut out);
+    for (name, payload) in rows {
+        let name_b = name.as_bytes();
+        (name_b.len() as u16).write_le(&mut out);
+        out.extend_from_slice(name_b);
+        let space = section_space(name);
+        for e in extents {
+            let digest = match e.slice(space, payload, url_offsets) {
+                Some(bytes) => fnv1a64(bytes),
+                // Unrepresentable slice at write time would mean an
+                // inconsistent dataset; record a sentinel that can
+                // never match (actual slices hash real bytes).
+                None => 0,
+            };
+            digest.write_le(&mut out);
+        }
+    }
+    out
+}
+
+pub(crate) fn parse_meta(payload: &[u8]) -> io::Result<MetaTable> {
+    struct Cursor<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+    impl<'a> Cursor<'a> {
+        fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+            let end = self.pos.checked_add(n).ok_or_else(|| bad("meta length overflow"))?;
+            let s = self.buf.get(self.pos..end).ok_or_else(|| bad("meta section truncated"))?;
+            self.pos = end;
+            Ok(s)
+        }
+        fn u16(&mut self) -> io::Result<u16> {
+            Ok(u16::read_le(self.bytes(2)?))
+        }
+        fn u32(&mut self) -> io::Result<u32> {
+            Ok(u32::read_le(self.bytes(4)?))
+        }
+        fn u64(&mut self) -> io::Result<u64> {
+            Ok(u64::read_le(self.bytes(8)?))
+        }
+    }
+    let mut c = Cursor { buf: payload, pos: 0 };
+    let version = c.u32()?;
+    if version != META_VERSION {
+        return Err(bad(format!("unsupported partitions.meta version {version}")));
+    }
+    let n_parts = c.u32()?;
+    if n_parts == 0 || n_parts > 65_536 {
+        return Err(bad(format!("implausible partition count {n_parts}")));
+    }
+    let n_events = c.u64()?;
+    let n_mentions = c.u64()?;
+    let mut extents = Vec::with_capacity(n_parts as usize);
+    for _ in 0..n_parts {
+        let ext =
+            PartExtent { ev_begin: c.u64()?, ev_end: c.u64()?, m_begin: c.u64()?, m_end: c.u64()? };
+        if ext.ev_begin > ext.ev_end
+            || ext.m_begin > ext.m_end
+            || ext.ev_end > n_events
+            || ext.m_end > n_mentions
+        {
+            return Err(bad("inconsistent partition extent in partitions.meta"));
+        }
+        extents.push(ext);
+    }
+    let n_rows = c.u32()?;
+    if n_rows > 4_096 {
+        return Err(bad(format!("implausible meta digest row count {n_rows}")));
+    }
+    let mut digests = Vec::with_capacity(n_rows as usize);
+    for _ in 0..n_rows {
+        let name_len = c.u16()? as usize;
+        let name = String::from_utf8(c.bytes(name_len)?.to_vec())
+            .map_err(|_| bad("non-UTF-8 section name in partitions.meta"))?;
+        let mut row = Vec::with_capacity(n_parts as usize);
+        for _ in 0..n_parts {
+            row.push(c.u64()?);
+        }
+        digests.push((name, row));
+    }
+    Ok(MetaTable { n_events, n_mentions, extents, digests })
+}
+
+/// Serialize a dataset to a writer with the default load-partition
+/// count ([`DEFAULT_STORE_PARTITIONS`]).
 pub fn write_dataset<W: Write>(w: &mut W, d: &Dataset) -> io::Result<()> {
+    write_dataset_with_partitions(w, d, DEFAULT_STORE_PARTITIONS)
+}
+
+/// Serialize a dataset to a writer, splitting it into `n_parts` load
+/// partitions recorded (with per-partition digests) in the leading
+/// `partitions.meta` section.
+pub fn write_dataset_with_partitions<W: Write>(
+    w: &mut W,
+    d: &Dataset,
+    n_parts: u32,
+) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    w.write_all(&(SECTIONS.len() as u32).to_le_bytes())?;
+    w.write_all(&(SECTIONS.len() as u32 + 1).to_le_bytes())?;
 
     let (url_bytes, url_offsets) = d.events.urls.raw_parts();
     let (name_bytes, name_offsets) = d.sources.names.pool().raw_parts();
@@ -180,6 +465,16 @@ pub fn write_dataset<W: Write>(w: &mut W, d: &Dataset) -> io::Result<()> {
         ("index.offsets", encode(&d.event_index.offsets)),
     ];
     debug_assert_eq!(payloads.len(), SECTIONS.len());
+    let extents =
+        partition_extents(d.events.len(), d.mentions.len(), &d.event_index.offsets, n_parts);
+    let meta = build_meta(
+        &payloads,
+        &extents,
+        d.events.len() as u64,
+        d.mentions.len() as u64,
+        url_offsets,
+    );
+    write_section(w, META_SECTION, &meta)?;
     for (name, payload) in &payloads {
         write_section(w, name, payload)?;
     }
@@ -187,12 +482,12 @@ pub fn write_dataset<W: Write>(w: &mut W, d: &Dataset) -> io::Result<()> {
 }
 
 /// Raw section map read back from a stream.
-struct Sections {
-    map: std::collections::HashMap<String, Vec<u8>>,
+pub(crate) struct Sections {
+    pub(crate) map: std::collections::HashMap<String, Vec<u8>>,
 }
 
 impl Sections {
-    fn read<R: Read>(r: &mut R) -> io::Result<Self> {
+    pub(crate) fn read<R: Read>(r: &mut R) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
@@ -237,7 +532,7 @@ impl Sections {
         Ok(Sections { map })
     }
 
-    fn take(&mut self, name: &str) -> io::Result<Vec<u8>> {
+    pub(crate) fn take(&mut self, name: &str) -> io::Result<Vec<u8>> {
         self.map.remove(name).ok_or_else(|| bad(format!("missing section {name}")))
     }
 
@@ -260,8 +555,13 @@ pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
 /// store and report *every* broken invariant rather than fail at the
 /// first; every normal consumer should call [`read_dataset`].
 pub fn read_dataset_unchecked<R: Read>(r: &mut R) -> io::Result<Dataset> {
-    let mut s = Sections::read(r)?;
+    let s = Sections::read(r)?;
+    dataset_from_sections(s)
+}
 
+/// Assemble a [`Dataset`] from an already-read section map (shared by
+/// the strict and degraded loaders).
+pub(crate) fn dataset_from_sections(mut s: Sections) -> io::Result<Dataset> {
     let url_bytes = s.take("events.urls.bytes")?;
     let url_offsets = decode::<u64>(&s.take("events.urls.offsets")?)?;
     let urls = StringPool::from_raw_parts(url_bytes, url_offsets).map_err(bad)?;
@@ -316,8 +616,13 @@ pub fn read_dataset_unchecked<R: Read>(r: &mut R) -> io::Result<Dataset> {
 
 /// Write a dataset to a file (buffered).
 pub fn save(path: &std::path::Path, d: &Dataset) -> io::Result<()> {
+    save_with_partitions(path, d, DEFAULT_STORE_PARTITIONS)
+}
+
+/// Write a dataset to a file split into `n_parts` load partitions.
+pub fn save_with_partitions(path: &std::path::Path, d: &Dataset, n_parts: u32) -> io::Result<()> {
     let mut w = io::BufWriter::new(std::fs::File::create(path)?);
-    write_dataset(&mut w, d)?;
+    write_dataset_with_partitions(&mut w, d, n_parts)?;
     w.flush()
 }
 
@@ -332,6 +637,106 @@ pub fn load(path: &std::path::Path) -> io::Result<Dataset> {
 pub fn load_unchecked(path: &std::path::Path) -> io::Result<Dataset> {
     let mut r = io::BufReader::new(std::fs::File::open(path)?);
     read_dataset_unchecked(&mut r)
+}
+
+/// An injectable I/O shim under the store loaders: wraps the raw file
+/// reader before any bytes are parsed. The production path uses
+/// [`NoShim`]; the fault-injection harness (`gdelt-faults`) substitutes
+/// a reader that flips bytes, truncates, delays, or fails reads on a
+/// seeded schedule.
+pub trait ReadShim {
+    /// Wrap the store's reader for load attempt `attempt` (0-based;
+    /// retries see increasing values so transient-failure schedules can
+    /// clear).
+    fn wrap<'a>(&self, inner: Box<dyn Read + 'a>, attempt: u32) -> Box<dyn Read + 'a>;
+}
+
+/// The identity [`ReadShim`]: reads pass through untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoShim;
+
+impl ReadShim for NoShim {
+    fn wrap<'a>(&self, inner: Box<dyn Read + 'a>, _attempt: u32) -> Box<dyn Read + 'a> {
+        inner
+    }
+}
+
+/// Where one section's payload lives in a store file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionLayout {
+    /// Section name.
+    pub name: String,
+    /// Absolute file offset of the first payload byte.
+    pub payload_offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+}
+
+/// Scan a store file's section headers (skipping payloads) and return
+/// the absolute byte layout — the map fault schedules and the golden
+/// corruption corpus use to aim at specific sections and partitions.
+pub fn scan_layout(path: &std::path::Path) -> io::Result<Vec<SectionLayout>> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic: not a gdelt-hpc binary file"));
+    }
+    let mut cnt = [0u8; 4];
+    r.read_exact(&mut cnt)?;
+    let count = u32::from_le_bytes(cnt);
+    if count > 4_096 {
+        return Err(bad(format!("implausible section count {count}")));
+    }
+    let mut pos: u64 = 12;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let mut nl = [0u8; 2];
+        r.read_exact(&mut nl)?;
+        let name_len = u16::from_le_bytes(nl) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("non-UTF-8 section name"))?;
+        let mut pl = [0u8; 8];
+        r.read_exact(&mut pl)?;
+        let payload_len = u64::from_le_bytes(pl);
+        r.seek(SeekFrom::Current(8))?; // checksum
+        pos += 2 + name_len as u64 + 8 + 8;
+        out.push(SectionLayout { name, payload_offset: pos, payload_len });
+        r.seek(SeekFrom::Current(payload_len as i64))?;
+        pos = pos
+            .checked_add(payload_len)
+            .ok_or_else(|| bad("section layout overflows file offsets"))?;
+    }
+    Ok(out)
+}
+
+/// The partition map of a store file: row totals plus each load
+/// partition's extent, decoded from `partitions.meta` without loading
+/// any column data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreExtents {
+    /// Event rows in the store.
+    pub n_events: u64,
+    /// Mention rows in the store.
+    pub n_mentions: u64,
+    /// Per-partition extents, in partition-id order.
+    pub extents: Vec<PartExtent>,
+}
+
+/// Read only the `partitions.meta` section of a store file.
+pub fn read_store_extents(path: &std::path::Path) -> io::Result<StoreExtents> {
+    let layout = scan_layout(path)?;
+    let sec = layout
+        .iter()
+        .find(|s| s.name == META_SECTION)
+        .ok_or_else(|| bad("store has no partitions.meta section (pre-PR4 format?)"))?;
+    let mut f = std::fs::File::open(path)?;
+    f.seek(SeekFrom::Start(sec.payload_offset))?;
+    let mut payload = vec![0u8; usize::try_from(sec.payload_len).map_err(|_| bad("huge meta"))?];
+    f.read_exact(&mut payload)?;
+    let meta = parse_meta(&payload)?;
+    Ok(StoreExtents { n_events: meta.n_events, n_mentions: meta.n_mentions, extents: meta.extents })
 }
 
 #[cfg(test)]
@@ -477,5 +882,102 @@ mod tests {
     fn decode_rejects_ragged_section() {
         assert!(decode::<u32>(&[1, 2, 3]).is_err());
         assert_eq!(decode::<u32>(&[1, 0, 0, 0]).unwrap(), vec![1u32]);
+    }
+
+    #[test]
+    fn extents_cover_all_rows_disjointly() {
+        let d = sample_dataset();
+        let exts = partition_extents(d.events.len(), d.mentions.len(), &d.event_index.offsets, 8);
+        assert_eq!(exts.len(), 8);
+        assert_eq!(exts[0].ev_begin, 0);
+        assert_eq!(exts.last().unwrap().ev_end, d.events.len() as u64);
+        assert_eq!(exts.last().unwrap().m_end, d.mentions.len() as u64);
+        for w in exts.windows(2) {
+            assert_eq!(w[0].ev_end, w[1].ev_begin);
+            assert_eq!(w[0].m_end, w[1].m_begin);
+        }
+    }
+
+    #[test]
+    fn extents_of_empty_dataset() {
+        let exts = partition_extents(0, 0, &[], 8);
+        assert_eq!(exts.len(), 8);
+        assert!(exts.iter().all(|e| e.ev_begin == e.ev_end && e.m_begin == e.m_end));
+    }
+
+    #[test]
+    fn meta_section_round_trips() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset_with_partitions(&mut buf, &d, 4).unwrap();
+        let mut s = Sections::read(&mut buf.as_slice()).unwrap();
+        let meta = parse_meta(&s.take(META_SECTION).unwrap()).unwrap();
+        assert_eq!(meta.n_events, d.events.len() as u64);
+        assert_eq!(meta.n_mentions, d.mentions.len() as u64);
+        assert_eq!(meta.extents.len(), 4);
+        // Every non-global section has a digest row; globals have none.
+        let named: Vec<&str> = meta.digests.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(named.contains(&"events.id"));
+        assert!(named.contains(&"mentions.doc_tone"));
+        assert!(named.contains(&"index.offsets"));
+        assert!(!named.contains(&"sources.country"));
+        // Digests recompute: events.day partition 1 slice hashes equal.
+        let (_, url_offsets) = d.events.urls.raw_parts();
+        let day = encode(&d.events.day);
+        let ext = meta.extents[1];
+        let slice = ext.slice(section_space("events.day"), &day, url_offsets).unwrap();
+        let row = &meta.digests.iter().find(|(n, _)| n == "events.day").unwrap().1;
+        assert_eq!(row[1], fnv1a64(slice));
+    }
+
+    #[test]
+    fn scan_layout_matches_written_sections() {
+        let d = sample_dataset();
+        let dir = std::env::temp_dir().join("gdelt_binfmt_layout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("layout.gdhpc");
+        save(&path, &d).unwrap();
+        let layout = scan_layout(&path).unwrap();
+        assert_eq!(layout.len(), SECTIONS.len() + 1);
+        assert_eq!(layout[0].name, META_SECTION);
+        // Each payload is where the layout says: re-read one and check
+        // its checksummed bytes hash to the recorded section checksum.
+        let bytes = std::fs::read(&path).unwrap();
+        for sec in &layout {
+            let b = sec.payload_offset as usize;
+            let e = b + sec.payload_len as usize;
+            assert!(e <= bytes.len(), "{} runs past EOF", sec.name);
+            // checksum field sits 8 bytes before the payload
+            let ck = u64::from_le_bytes(bytes[b - 8..b].try_into().unwrap());
+            assert_eq!(fnv1a64(&bytes[b..e]), ck, "layout misaligned for {}", sec.name);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_extents_readable_without_loading() {
+        let d = sample_dataset();
+        let dir = std::env::temp_dir().join("gdelt_binfmt_extents_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("extents.gdhpc");
+        save_with_partitions(&path, &d, 5).unwrap();
+        let se = read_store_extents(&path).unwrap();
+        assert_eq!(se.n_events, d.events.len() as u64);
+        assert_eq!(se.extents.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn url_bytes_partition_slices_tile_the_pool() {
+        let d = sample_dataset();
+        let (url_bytes, url_offsets) = d.events.urls.raw_parts();
+        let exts = partition_extents(d.events.len(), d.mentions.len(), &d.event_index.offsets, 3);
+        let mut rebuilt = Vec::new();
+        for e in &exts {
+            rebuilt.extend_from_slice(
+                e.slice(SectionSpace::UrlBytes, url_bytes, url_offsets).unwrap(),
+            );
+        }
+        assert_eq!(rebuilt, url_bytes, "url pool slices must tile exactly");
     }
 }

@@ -1,0 +1,886 @@
+//! Degraded store loading: quarantine damaged partitions, serve the
+//! rest.
+//!
+//! The strict loader ([`crate::binfmt::read_dataset`]) fails the whole
+//! load on the first checksum mismatch — correct for a conversion
+//! pipeline, fatal for a serving node whose disk just returned one torn
+//! page. This module is the graceful path:
+//!
+//! 1. **Tolerant read** — sections whose checksum fails are kept and
+//!    marked *dirty* instead of aborting; a stream that ends early keeps
+//!    what it has.
+//! 2. **Localization** — the `partitions.meta` digest table pins each
+//!    dirty section's damage to specific load partitions; those are
+//!    *quarantined*. Damage to a global (non-row) section, or damage
+//!    that cannot be pinned to a partition, still fails the load.
+//! 3. **Compaction** — the dataset is assembled from the live
+//!    partitions only: column slices are concatenated, the URL pool and
+//!    the `event_row` join column are rebased, and the CSR index is
+//!    rebuilt. The result is *exactly* the dataset a clean store
+//!    restricted to the same partitions would produce
+//!    ([`restrict_to_partitions`] — chaos testing asserts bit-identical
+//!    results), and it passes [`Dataset::validate`] like any other load.
+//! 4. **Retry** — transient read errors (not corruption) are retried
+//!    with capped exponential backoff per [`LoadPolicy`] before giving
+//!    up; an injectable [`ReadShim`] under the loader lets the fault
+//!    harness exercise every path deterministically.
+//!
+//! What loaded, what was dropped and what was retried is reported in a
+//! [`StoreHealth`], whose [`Coverage`](crate::health::Coverage) every
+//! downstream query answer carries.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, Read};
+use std::time::Duration;
+
+use crate::aligned::AlignedBuf;
+use crate::binfmt::{
+    bad, decode, fnv1a64, parse_meta, section_space, MetaTable, NoShim, PartExtent, ReadShim,
+    Scalar, SectionSpace, Sections, MAGIC, META_SECTION,
+};
+use crate::health::StoreHealth;
+use crate::index::EventIndex;
+use crate::strings::{StringDict, StringPool};
+use crate::table::{Dataset, EventsTable, MentionsTable, SourceDirectory, NO_EVENT_ROW};
+
+/// Retry/backoff parameters for [`load_degraded_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadPolicy {
+    /// Transient-failure retries before the error is returned.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub backoff_cap: Duration,
+}
+
+impl Default for LoadPolicy {
+    fn default() -> Self {
+        LoadPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(250),
+        }
+    }
+}
+
+impl LoadPolicy {
+    /// The deterministic backoff before retry number `attempt` (0-based):
+    /// `backoff * 2^attempt`, saturating at `backoff_cap`. No jitter —
+    /// fault runs must be reproducible.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX);
+        self.backoff.saturating_mul(factor).min(self.backoff_cap)
+    }
+}
+
+/// A successfully (possibly partially) loaded store.
+#[derive(Debug, Clone)]
+pub struct DegradedLoad {
+    /// The assembled dataset — live partitions only, fully validated.
+    pub dataset: Dataset,
+    /// What the load observed: quarantine, dirty sections, retries.
+    pub health: StoreHealth,
+}
+
+/// Section map read tolerantly: dirty sections are kept, not fatal.
+struct TolerantSections {
+    map: HashMap<String, Vec<u8>>,
+    dirty: BTreeSet<String>,
+}
+
+/// Read a header field, treating end-of-stream as "no more sections"
+/// (`Ok(false)`) rather than an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+fn read_tolerant<R: Read>(r: &mut R) -> io::Result<TolerantSections> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic: not a gdelt-hpc binary file"));
+    }
+    let mut cnt = [0u8; 4];
+    r.read_exact(&mut cnt)?;
+    let count = u32::from_le_bytes(cnt);
+    if count > 4_096 {
+        return Err(bad(format!("implausible section count {count}")));
+    }
+    let mut map = HashMap::with_capacity(count as usize);
+    let mut dirty = BTreeSet::new();
+    for _ in 0..count {
+        let mut nl = [0u8; 2];
+        if !read_exact_or_eof(r, &mut nl)? {
+            break;
+        }
+        let name_len = u16::from_le_bytes(nl) as usize;
+        let mut name = vec![0u8; name_len];
+        if !read_exact_or_eof(r, &mut name)? {
+            break;
+        }
+        let name = String::from_utf8(name).map_err(|_| bad("non-UTF-8 section name"))?;
+        let mut pl = [0u8; 8];
+        let mut ck = [0u8; 8];
+        if !read_exact_or_eof(r, &mut pl)? || !read_exact_or_eof(r, &mut ck)? {
+            break;
+        }
+        let payload_len = u64::from_le_bytes(pl);
+        let checksum = u64::from_le_bytes(ck);
+        let mut payload = Vec::new();
+        r.take(payload_len).read_to_end(&mut payload)?;
+        let truncated = (payload.len() as u64) < payload_len;
+        if truncated || fnv1a64(&payload) != checksum {
+            dirty.insert(name.clone());
+        }
+        map.insert(name, payload);
+        if truncated {
+            break; // stream is exhausted and unsynchronized
+        }
+    }
+    Ok(TolerantSections { map, dirty })
+}
+
+/// Which partitions a set of dirty sections damages, per the meta
+/// digest table. Errors when damage cannot be localized (global
+/// sections, or a dirty section with no mismatching partition).
+fn compute_quarantine(meta: &MetaTable, ts: &TolerantSections) -> io::Result<Vec<u32>> {
+    for name in &ts.dirty {
+        if section_space(name) == SectionSpace::Global && name != META_SECTION {
+            return Err(bad(format!("unrecoverable corruption in global section {name}")));
+        }
+    }
+    let mut quarantined: BTreeSet<u32> = BTreeSet::new();
+    let check_row = |name: &str,
+                     row: &[u64],
+                     url_offsets: &[u64],
+                     skip: &BTreeSet<u32>,
+                     out: &mut BTreeSet<u32>|
+     -> io::Result<()> {
+        let space = section_space(name);
+        let payload = ts.map.get(name).ok_or_else(|| bad(format!("missing section {name}")))?;
+        for (p, ext) in meta.extents.iter().enumerate() {
+            let pid = p as u32;
+            if skip.contains(&pid) {
+                continue;
+            }
+            let ok = match (ext.slice(space, payload, url_offsets), row.get(p)) {
+                (Some(bytes), Some(&digest)) => fnv1a64(bytes) == digest,
+                _ => false,
+            };
+            if !ok {
+                out.insert(pid);
+            }
+        }
+        Ok(())
+    };
+    // Phase 1: every dirty fixed-width / offsets section. The URL byte
+    // pool needs the offsets column to slice, so it goes second, and
+    // only for partitions whose offsets just verified clean.
+    for (name, row) in &meta.digests {
+        if section_space(name) == SectionSpace::UrlBytes || !ts.dirty.contains(name) {
+            continue;
+        }
+        check_row(name, row, &[], &BTreeSet::new(), &mut quarantined)?;
+    }
+    if ts.dirty.contains("events.urls.bytes") {
+        let off_payload = ts
+            .map
+            .get("events.urls.offsets")
+            .ok_or_else(|| bad("missing section events.urls.offsets"))?;
+        let whole = off_payload.len() - off_payload.len() % 8;
+        let url_offsets = decode::<u64>(off_payload.get(..whole).unwrap_or(&[]))?;
+        let row = meta
+            .digests
+            .iter()
+            .find(|(n, _)| n == "events.urls.bytes")
+            .map(|(_, r)| r.as_slice())
+            .ok_or_else(|| bad("partitions.meta has no digest row for events.urls.bytes"))?;
+        let skip = quarantined.clone();
+        check_row("events.urls.bytes", row, &url_offsets, &skip, &mut quarantined)?;
+    }
+    if !ts.dirty.is_empty() && quarantined.is_empty() {
+        return Err(bad("corruption detected but not localizable to a partition"));
+    }
+    Ok(quarantined.into_iter().collect())
+}
+
+/// Concatenate the live-partition slices of one section and decode.
+fn gather<T: Scalar>(
+    name: &str,
+    payload: &[u8],
+    exts: &[PartExtent],
+    live: &[bool],
+    url_offsets: &[u64],
+) -> io::Result<Vec<T>> {
+    let space = section_space(name);
+    let mut out = Vec::new();
+    for (ext, &is_live) in exts.iter().zip(live) {
+        if !is_live {
+            continue;
+        }
+        let slice = ext
+            .slice(space, payload, url_offsets)
+            .ok_or_else(|| bad(format!("live partition slice of {name} out of bounds")))?;
+        out.extend(decode::<T>(slice)?);
+    }
+    Ok(out)
+}
+
+/// Assemble a compacted dataset from the live partitions.
+fn assemble(
+    meta: &MetaTable,
+    mut ts: TolerantSections,
+    quarantined: &[u32],
+) -> io::Result<(Dataset, u64, u64)> {
+    let qset: BTreeSet<u32> = quarantined.iter().copied().collect();
+    let live: Vec<bool> = (0..meta.extents.len()).map(|p| !qset.contains(&(p as u32))).collect();
+
+    if qset.is_empty() {
+        // Nothing dropped: the strict assembly path applies verbatim.
+        let d = crate::binfmt::dataset_from_sections(Sections { map: ts.map })?;
+        return Ok((d, meta.n_events, meta.n_mentions));
+    }
+
+    let exts = &meta.extents;
+    let payload = |map: &HashMap<String, Vec<u8>>, name: &str| -> io::Result<Vec<u8>> {
+        map.get(name).cloned().ok_or_else(|| bad(format!("missing section {name}")))
+    };
+
+    let loaded_events: u64 =
+        exts.iter().zip(&live).filter(|(_, &l)| l).map(|(e, _)| e.ev_end - e.ev_begin).sum();
+    let loaded_mentions: u64 =
+        exts.iter().zip(&live).filter(|(_, &l)| l).map(|(e, _)| e.m_end - e.m_begin).sum();
+
+    let col = |name: &str| payload(&ts.map, name);
+
+    macro_rules! ev_col {
+        ($name:literal, $t:ty) => {{
+            let p = col($name)?;
+            let v: Vec<$t> = gather($name, &p, exts, &live, &[])?;
+            AlignedBuf::from(v.as_slice())
+        }};
+    }
+    macro_rules! m_col {
+        ($name:literal, $t:ty) => {{
+            let p = col($name)?;
+            let v: Vec<$t> = gather($name, &p, exts, &live, &[])?;
+            AlignedBuf::from(v.as_slice())
+        }};
+    }
+
+    // URL pool: concatenate live byte slices and rebase the offsets.
+    let off_payload = col("events.urls.offsets")?;
+    let whole = off_payload.len() - off_payload.len() % 8;
+    let url_offsets = decode::<u64>(off_payload.get(..whole).unwrap_or(&[]))?;
+    let bytes_payload = col("events.urls.bytes")?;
+    let mut new_bytes: Vec<u8> = Vec::new();
+    let mut new_offsets: Vec<u64> = vec![0];
+    for (ext, &is_live) in exts.iter().zip(&live) {
+        if !is_live {
+            continue;
+        }
+        let slice = ext
+            .slice(SectionSpace::UrlBytes, &bytes_payload, &url_offsets)
+            .ok_or_else(|| bad("live partition slice of events.urls.bytes out of bounds"))?;
+        new_bytes.extend_from_slice(slice);
+        let b = usize::try_from(ext.ev_begin).map_err(|_| bad("extent overflow"))?;
+        let e = usize::try_from(ext.ev_end).map_err(|_| bad("extent overflow"))?;
+        for i in b..e {
+            let (lo, hi) = match (url_offsets.get(i), url_offsets.get(i + 1)) {
+                (Some(&lo), Some(&hi)) if lo <= hi => (lo, hi),
+                _ => return Err(bad("inconsistent url offsets in a live partition")),
+            };
+            let last = new_offsets.last().copied().unwrap_or(0);
+            new_offsets.push(last + (hi - lo));
+        }
+    }
+    let urls = StringPool::from_raw_parts(new_bytes, new_offsets).map_err(bad)?;
+
+    // The pool-reference column rebases: the store writes one URL per
+    // event row in row order, so live references stay within their own
+    // partition's event range and shift down by the dropped rows.
+    let mut source_url: Vec<u32> = Vec::new();
+    {
+        let p = col("events.source_url")?;
+        let mut base: u64 = 0;
+        for (ext, &is_live) in exts.iter().zip(&live) {
+            if !is_live {
+                continue;
+            }
+            let slice = ext
+                .slice(section_space("events.source_url"), &p, &[])
+                .ok_or_else(|| bad("live partition slice of events.source_url out of bounds"))?;
+            for v in decode::<u32>(slice)? {
+                let v64 = u64::from(v);
+                if v64 < ext.ev_begin || v64 >= ext.ev_end {
+                    return Err(bad("url reference escapes its partition; cannot compact"));
+                }
+                let rebased = v64 - ext.ev_begin + base;
+                source_url
+                    .push(u32::try_from(rebased).map_err(|_| bad("rebased url id overflow"))?);
+            }
+            base += ext.ev_end - ext.ev_begin;
+        }
+    }
+
+    // The precomputed join column rebases the same way; the orphan
+    // sentinel passes through.
+    let mut event_row: Vec<u32> = Vec::new();
+    {
+        let p = col("mentions.event_row")?;
+        let mut base: u64 = 0;
+        for (ext, &is_live) in exts.iter().zip(&live) {
+            if !is_live {
+                continue;
+            }
+            let slice = ext
+                .slice(section_space("mentions.event_row"), &p, &[])
+                .ok_or_else(|| bad("live partition slice of mentions.event_row out of bounds"))?;
+            for v in decode::<u32>(slice)? {
+                if v == NO_EVENT_ROW {
+                    event_row.push(NO_EVENT_ROW);
+                    continue;
+                }
+                let v64 = u64::from(v);
+                if v64 < ext.ev_begin || v64 >= ext.ev_end {
+                    return Err(bad("mention joins an event outside its partition"));
+                }
+                let rebased = v64 - ext.ev_begin + base;
+                event_row
+                    .push(u32::try_from(rebased).map_err(|_| bad("rebased event row overflow"))?);
+            }
+            base += ext.ev_end - ext.ev_begin;
+        }
+    }
+
+    let events = EventsTable {
+        id: ev_col!("events.id", u64),
+        day: ev_col!("events.day", u32),
+        capture: ev_col!("events.capture", u32),
+        quarter: ev_col!("events.quarter", u16),
+        root: ev_col!("events.root", u8),
+        quad: ev_col!("events.quad", u8),
+        actor1: ev_col!("events.actor1", u16),
+        actor2: ev_col!("events.actor2", u16),
+        goldstein: ev_col!("events.goldstein", f32),
+        num_mentions: ev_col!("events.num_mentions", u32),
+        num_sources: ev_col!("events.num_sources", u32),
+        num_articles: ev_col!("events.num_articles", u32),
+        avg_tone: ev_col!("events.avg_tone", f32),
+        country: ev_col!("events.country", u16),
+        lat: ev_col!("events.lat", f32),
+        lon: ev_col!("events.lon", f32),
+        source_url: AlignedBuf::from(source_url.as_slice()),
+        urls,
+    };
+
+    let mentions = MentionsTable {
+        event_id: m_col!("mentions.event_id", u64),
+        event_row: AlignedBuf::from(event_row.as_slice()),
+        event_interval: m_col!("mentions.event_interval", u32),
+        mention_interval: m_col!("mentions.mention_interval", u32),
+        delay: m_col!("mentions.delay", u32),
+        source: m_col!("mentions.source", u32),
+        quarter: m_col!("mentions.quarter", u16),
+        mention_type: m_col!("mentions.mention_type", u8),
+        confidence: m_col!("mentions.confidence", u8),
+        doc_tone: m_col!("mentions.doc_tone", f32),
+    };
+
+    // Global sections are whole or the load already failed.
+    let name_bytes = ts
+        .map
+        .remove("sources.names.bytes")
+        .ok_or_else(|| bad("missing section sources.names.bytes"))?;
+    let name_offsets = decode::<u64>(
+        &ts.map
+            .remove("sources.names.offsets")
+            .ok_or_else(|| bad("missing section sources.names.offsets"))?,
+    )?;
+    let name_pool = StringPool::from_raw_parts(name_bytes, name_offsets).map_err(bad)?;
+    let country = decode::<u16>(
+        &ts.map.remove("sources.country").ok_or_else(|| bad("missing section sources.country"))?,
+    )?;
+    let sources = SourceDirectory {
+        names: StringDict::from_pool(name_pool),
+        country: AlignedBuf::from(country.as_slice()),
+    };
+
+    let n_live_events = events.len();
+    let event_index = EventIndex::build(n_live_events, &mentions);
+
+    let dataset = Dataset { events, mentions, sources, event_index };
+    Ok((dataset, loaded_events, loaded_mentions))
+}
+
+/// Read a possibly-damaged store from a stream: quarantine what fails
+/// its digests, assemble and validate the rest. See the module docs for
+/// the full contract.
+pub fn read_dataset_degraded<R: Read>(r: &mut R) -> io::Result<DegradedLoad> {
+    let ts = read_tolerant(r)?;
+    if ts.dirty.contains(META_SECTION) {
+        return Err(bad("partitions.meta is corrupt — damage cannot be localized"));
+    }
+    let meta_payload = ts
+        .map
+        .get(META_SECTION)
+        .ok_or_else(|| bad("store has no partitions.meta section (pre-PR4 format?)"))?;
+    let meta = parse_meta(meta_payload)?;
+    let quarantined = compute_quarantine(&meta, &ts)?;
+    let dirty_sections: Vec<String> = ts.dirty.iter().cloned().collect();
+    let total_partitions = meta.extents.len() as u32;
+    let (total_events, total_mentions) = (meta.n_events, meta.n_mentions);
+    let (dataset, loaded_events, loaded_mentions) = assemble(&meta, ts, &quarantined)?;
+    dataset.validate().map_err(|e| bad(format!("degraded assembly failed validation: {e}")))?;
+    Ok(DegradedLoad {
+        dataset,
+        health: StoreHealth {
+            total_partitions,
+            quarantined,
+            total_events,
+            total_mentions,
+            loaded_events,
+            loaded_mentions,
+            dirty_sections,
+            retries: 0,
+        },
+    })
+}
+
+/// True for error kinds worth retrying: transient I/O, not corruption
+/// (`InvalidData`) or configuration problems.
+fn retryable(e: &io::Error) -> bool {
+    !matches!(
+        e.kind(),
+        io::ErrorKind::InvalidData | io::ErrorKind::NotFound | io::ErrorKind::PermissionDenied
+    )
+}
+
+/// [`load_degraded_with`] with the default policy and no fault shim.
+pub fn load_degraded(path: &std::path::Path) -> io::Result<DegradedLoad> {
+    load_degraded_with(path, &LoadPolicy::default(), &NoShim)
+}
+
+/// Load a store file tolerantly: the reader is wrapped by `shim` (the
+/// fault-injection hook; [`NoShim`] in production), transient failures
+/// are retried per `policy` with capped exponential backoff, and
+/// corruption is quarantined per [`read_dataset_degraded`].
+pub fn load_degraded_with(
+    path: &std::path::Path,
+    policy: &LoadPolicy,
+    shim: &dyn ReadShim,
+) -> io::Result<DegradedLoad> {
+    let mut retries: u32 = 0;
+    let mut attempt: u32 = 0;
+    loop {
+        let result = std::fs::File::open(path).and_then(|f| {
+            let mut r = shim.wrap(Box::new(io::BufReader::new(f)), attempt);
+            read_dataset_degraded(&mut r)
+        });
+        match result {
+            Ok(mut loaded) => {
+                loaded.health.retries = retries;
+                return Ok(loaded);
+            }
+            Err(e) if retryable(&e) && attempt < policy.max_retries => {
+                std::thread::sleep(policy.delay(attempt));
+                retries += 1;
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Restrict a pristine in-memory dataset to the partitions *not* in
+/// `quarantined`, using the same partition map a store written with
+/// `n_parts` would carry. This is the reference the chaos harness and
+/// the quarantine tests compare degraded loads against: a degraded load
+/// with quarantine set `Q` must equal `restrict_to_partitions(clean,
+/// n_parts, Q)` bit for bit.
+pub fn restrict_to_partitions(
+    d: &Dataset,
+    n_parts: u32,
+    quarantined: &[u32],
+) -> io::Result<Dataset> {
+    let exts = crate::binfmt::partition_extents(
+        d.events.len(),
+        d.mentions.len(),
+        &d.event_index.offsets,
+        n_parts,
+    );
+    let qset: BTreeSet<u32> = quarantined.iter().copied().collect();
+    let mut events = EventsTable::default();
+    let mut mentions = MentionsTable::default();
+    let mut ev_base: u64 = 0;
+    let mut bases: Vec<u64> = Vec::with_capacity(exts.len());
+    for (p, ext) in exts.iter().enumerate() {
+        let is_live = !qset.contains(&(p as u32));
+        bases.push(ev_base);
+        if !is_live {
+            continue;
+        }
+        let b = usize::try_from(ext.ev_begin).map_err(|_| bad("extent overflow"))?;
+        let e = usize::try_from(ext.ev_end).map_err(|_| bad("extent overflow"))?;
+        for row in b..e {
+            events.id.push(d.events.id[row]);
+            events.day.push(d.events.day[row]);
+            events.capture.push(d.events.capture[row]);
+            events.quarter.push(d.events.quarter[row]);
+            events.root.push(d.events.root[row]);
+            events.quad.push(d.events.quad[row]);
+            events.actor1.push(d.events.actor1[row]);
+            events.actor2.push(d.events.actor2[row]);
+            events.goldstein.push(d.events.goldstein[row]);
+            events.num_mentions.push(d.events.num_mentions[row]);
+            events.num_sources.push(d.events.num_sources[row]);
+            events.num_articles.push(d.events.num_articles[row]);
+            events.avg_tone.push(d.events.avg_tone[row]);
+            events.country.push(d.events.country[row]);
+            events.lat.push(d.events.lat[row]);
+            events.lon.push(d.events.lon[row]);
+            let url_id = events.urls.push(d.events.urls.get(d.events.source_url[row]));
+            events.source_url.push(url_id);
+        }
+        let mb = usize::try_from(ext.m_begin).map_err(|_| bad("extent overflow"))?;
+        let me = usize::try_from(ext.m_end).map_err(|_| bad("extent overflow"))?;
+        for row in mb..me {
+            mentions.event_id.push(d.mentions.event_id[row]);
+            let er = d.mentions.event_row[row];
+            let rebased = if er == NO_EVENT_ROW {
+                NO_EVENT_ROW
+            } else {
+                let er64 = u64::from(er);
+                if er64 < ext.ev_begin || er64 >= ext.ev_end {
+                    return Err(bad("mention joins an event outside its partition"));
+                }
+                u32::try_from(er64 - ext.ev_begin + ev_base)
+                    .map_err(|_| bad("rebased event row overflow"))?
+            };
+            mentions.event_row.push(rebased);
+            mentions.event_interval.push(d.mentions.event_interval[row]);
+            mentions.mention_interval.push(d.mentions.mention_interval[row]);
+            mentions.delay.push(d.mentions.delay[row]);
+            mentions.source.push(d.mentions.source[row]);
+            mentions.quarter.push(d.mentions.quarter[row]);
+            mentions.mention_type.push(d.mentions.mention_type[row]);
+            mentions.confidence.push(d.mentions.confidence[row]);
+            mentions.doc_tone.push(d.mentions.doc_tone[row]);
+        }
+        ev_base += ext.ev_end - ext.ev_begin;
+    }
+    let event_index = EventIndex::build(events.len(), &mentions);
+    let restricted = Dataset { events, mentions, sources: d.sources.clone(), event_index };
+    restricted.validate().map_err(|e| bad(format!("restricted dataset invalid: {e}")))?;
+    Ok(restricted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binfmt::{save_with_partitions, scan_layout, write_dataset_with_partitions};
+    use crate::builder::DatasetBuilder;
+    use gdelt_model::cameo::{CameoRoot, Goldstein, QuadClass};
+    use gdelt_model::event::{ActionGeo, EventRecord, GeoType};
+    use gdelt_model::ids::EventId;
+    use gdelt_model::mention::{MentionRecord, MentionType};
+    use gdelt_model::time::{DateTime, GDELT_EPOCH};
+
+    fn sample_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for id in 1..=40u64 {
+            b.add_event(EventRecord {
+                id: EventId(id),
+                day: GDELT_EPOCH.add_days((id % 7) as i64),
+                root: CameoRoot::new((id % 20 + 1) as u8).unwrap(),
+                event_code: "190".into(),
+                actor1_country: String::new(),
+                actor2_country: String::new(),
+                quad_class: QuadClass::from_u8((id % 4 + 1) as u8).unwrap(),
+                goldstein: Goldstein::new(0.5).unwrap(),
+                num_mentions: id as u32,
+                num_sources: 1,
+                num_articles: id as u32,
+                avg_tone: -1.5,
+                geo: ActionGeo {
+                    geo_type: GeoType::Country,
+                    country_fips: "US".into(),
+                    lat: Some(1.0),
+                    lon: Some(2.0),
+                },
+                date_added: DateTime::new(
+                    GDELT_EPOCH.add_days((id % 7) as i64),
+                    (id % 24) as u8,
+                    0,
+                    0,
+                )
+                .unwrap(),
+                source_url: format!("https://site{id}.com/a"),
+            });
+            for k in 0..(id % 3 + 1) {
+                b.add_mention(MentionRecord {
+                    event_id: EventId(id),
+                    event_time: DateTime::new(
+                        GDELT_EPOCH.add_days((id % 7) as i64),
+                        (id % 24) as u8,
+                        0,
+                        0,
+                    )
+                    .unwrap(),
+                    mention_time: DateTime::new(
+                        GDELT_EPOCH.add_days((id % 7) as i64 + 1),
+                        ((id + k) % 24) as u8,
+                        0,
+                        0,
+                    )
+                    .unwrap(),
+                    mention_type: MentionType::Web,
+                    source_name: format!("pub{k}.co.uk"),
+                    url: format!("https://pub{k}.co.uk/{id}"),
+                    confidence: 75,
+                    doc_tone: 0.25,
+                });
+            }
+        }
+        let (d, _) = b.build();
+        d
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gdelt_degraded_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// Flip one payload byte of `section` at `rel` in a saved store.
+    fn flip_at(path: &std::path::Path, section: &str, rel: u64, xor: u8) {
+        let layout = scan_layout(path).unwrap();
+        let sec = layout.iter().find(|s| s.name == section).unwrap();
+        assert!(rel < sec.payload_len, "flip offset outside section");
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes[(sec.payload_offset + rel) as usize] ^= xor;
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    fn assert_datasets_equal(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.mentions, b.mentions);
+        assert_eq!(a.event_index, b.event_index);
+        assert_eq!(a.sources.country, b.sources.country);
+        assert_eq!(a.sources.names.pool(), b.sources.names.pool());
+    }
+
+    #[test]
+    fn clean_store_loads_with_full_coverage() {
+        let d = sample_dataset();
+        let path = tmp("clean.gdhpc");
+        save_with_partitions(&path, &d, 8).unwrap();
+        let loaded = load_degraded(&path).unwrap();
+        assert!(loaded.health.is_clean());
+        assert!(loaded.health.coverage().is_full());
+        assert_eq!(loaded.health.retries, 0);
+        assert_datasets_equal(&loaded.dataset, &d);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_event_column_quarantines_one_partition() {
+        let d = sample_dataset();
+        let path = tmp("flip_event.gdhpc");
+        save_with_partitions(&path, &d, 8).unwrap();
+        // Partition 2 of 8 over 40 events owns event rows 10..15;
+        // flip a byte of events.day inside it.
+        flip_at(&path, "events.day", 11 * 4 + 1, 0x40);
+        let loaded = load_degraded(&path).unwrap();
+        assert_eq!(loaded.health.quarantined, vec![2]);
+        assert_eq!(loaded.health.dirty_sections, vec!["events.day".to_string()]);
+        assert!(!loaded.health.coverage().is_full());
+        let reference = restrict_to_partitions(&d, 8, &[2]).unwrap();
+        assert_datasets_equal(&loaded.dataset, &reference);
+        // Strict loader still refuses the same file.
+        assert!(crate::binfmt::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_mention_column_quarantines_and_drops_its_mentions() {
+        let d = sample_dataset();
+        let path = tmp("flip_mention.gdhpc");
+        save_with_partitions(&path, &d, 4).unwrap();
+        flip_at(&path, "mentions.delay", 3, 0xFF);
+        let loaded = load_degraded(&path).unwrap();
+        assert_eq!(loaded.health.quarantined.len(), 1);
+        let q = loaded.health.quarantined.clone();
+        let reference = restrict_to_partitions(&d, 4, &q).unwrap();
+        assert_datasets_equal(&loaded.dataset, &reference);
+        assert!(loaded.health.loaded_mentions < loaded.health.total_mentions);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_url_pool_byte_quarantines_owner() {
+        let d = sample_dataset();
+        let path = tmp("flip_url.gdhpc");
+        save_with_partitions(&path, &d, 8).unwrap();
+        flip_at(&path, "events.urls.bytes", 2, 0x20);
+        let loaded = load_degraded(&path).unwrap();
+        assert_eq!(loaded.health.quarantined, vec![0], "byte 2 is in partition 0's urls");
+        let reference = restrict_to_partitions(&d, 8, &[0]).unwrap();
+        assert_datasets_equal(&loaded.dataset, &reference);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn boundary_offset_flip_quarantines_both_neighbours() {
+        let d = sample_dataset();
+        let path = tmp("flip_boundary.gdhpc");
+        save_with_partitions(&path, &d, 8).unwrap();
+        // index.offsets entry 5 is the shared boundary of partitions 0
+        // (rows 0..5) and 1 (rows 5..10) over 40 events.
+        flip_at(&path, "index.offsets", 5 * 8, 0x01);
+        let loaded = load_degraded(&path).unwrap();
+        assert_eq!(loaded.health.quarantined, vec![0, 1]);
+        let reference = restrict_to_partitions(&d, 8, &[0, 1]).unwrap();
+        assert_datasets_equal(&loaded.dataset, &reference);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn global_section_corruption_is_fatal() {
+        let d = sample_dataset();
+        let path = tmp("flip_global.gdhpc");
+        save_with_partitions(&path, &d, 8).unwrap();
+        flip_at(&path, "sources.country", 0, 0xFF);
+        let err = load_degraded(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("global"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_meta_is_fatal() {
+        let d = sample_dataset();
+        let path = tmp("flip_meta.gdhpc");
+        save_with_partitions(&path, &d, 8).unwrap();
+        flip_at(&path, META_SECTION, 20, 0xFF);
+        let err = load_degraded(&path).unwrap_err();
+        assert!(err.to_string().contains("partitions.meta"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tail_truncation_quarantines_tail_partitions() {
+        let d = sample_dataset();
+        let path = tmp("truncate_tail.gdhpc");
+        save_with_partitions(&path, &d, 8).unwrap();
+        // Cut into the final section's payload (index.offsets is
+        // written last): its tail entries vanish, the partitions whose
+        // offset entries are gone get quarantined.
+        let layout = scan_layout(&path).unwrap();
+        let last = layout.last().unwrap();
+        assert_eq!(last.name, "index.offsets");
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = (last.payload_offset + last.payload_len / 2) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let loaded = load_degraded(&path).unwrap();
+        assert!(!loaded.health.quarantined.is_empty());
+        assert!(loaded.health.quarantined.contains(&7), "tail partition must be gone");
+        let reference = restrict_to_partitions(&d, 8, &loaded.health.quarantined).unwrap();
+        assert_datasets_equal(&loaded.dataset, &reference);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_partitions_quarantined_yields_empty_dataset() {
+        let d = sample_dataset();
+        let path = tmp("flip_everywhere.gdhpc");
+        save_with_partitions(&path, &d, 2).unwrap();
+        // Damage both partitions of events.id.
+        flip_at(&path, "events.id", 0, 0xFF);
+        flip_at(&path, "events.id", 21 * 8, 0xFF);
+        let loaded = load_degraded(&path).unwrap();
+        assert_eq!(loaded.health.quarantined, vec![0, 1]);
+        assert!(loaded.dataset.events.is_empty());
+        assert!((loaded.health.coverage().fraction() - 0.0).abs() < 1e-12);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_failures_are_retried_with_backoff() {
+        struct FailFirst {
+            failures: u32,
+        }
+        struct FailingReader {
+            fail: bool,
+        }
+        impl Read for FailingReader {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                if self.fail {
+                    Err(io::Error::other("injected transient failure"))
+                } else {
+                    Err(io::Error::other("unreachable"))
+                }
+            }
+        }
+        impl ReadShim for FailFirst {
+            fn wrap<'a>(&self, inner: Box<dyn Read + 'a>, attempt: u32) -> Box<dyn Read + 'a> {
+                if attempt < self.failures {
+                    Box::new(FailingReader { fail: true })
+                } else {
+                    inner
+                }
+            }
+        }
+        let d = sample_dataset();
+        let path = tmp("retry.gdhpc");
+        save_with_partitions(&path, &d, 8).unwrap();
+        let policy = LoadPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+        };
+        let loaded = load_degraded_with(&path, &policy, &FailFirst { failures: 2 }).unwrap();
+        assert_eq!(loaded.health.retries, 2);
+        assert_datasets_equal(&loaded.dataset, &d);
+        // More failures than the budget → the transient error surfaces.
+        let err = load_degraded_with(&path, &policy, &FailFirst { failures: 10 }).unwrap_err();
+        assert!(err.to_string().contains("transient"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = LoadPolicy {
+            max_retries: 8,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(70),
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(10));
+        assert_eq!(p.delay(1), Duration::from_millis(20));
+        assert_eq!(p.delay(2), Duration::from_millis(40));
+        assert_eq!(p.delay(3), Duration::from_millis(70), "capped");
+        assert_eq!(p.delay(30), Duration::from_millis(70), "still capped far out");
+    }
+
+    #[test]
+    fn restrict_with_empty_quarantine_is_identity() {
+        let d = sample_dataset();
+        let r = restrict_to_partitions(&d, 8, &[]).unwrap();
+        assert_datasets_equal(&r, &d);
+    }
+
+    #[test]
+    fn in_memory_roundtrip_matches_file_path() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset_with_partitions(&mut buf, &d, 8).unwrap();
+        let loaded = read_dataset_degraded(&mut buf.as_slice()).unwrap();
+        assert!(loaded.health.is_clean());
+        assert_datasets_equal(&loaded.dataset, &d);
+    }
+}

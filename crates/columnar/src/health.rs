@@ -1,0 +1,141 @@
+//! Store health: partition coverage and quarantine bookkeeping.
+//!
+//! A store on disk is split into `P` contiguous *load partitions*
+//! (event-row ranges plus the mention rows they own — see
+//! [`crate::binfmt`]'s `partitions.meta` section). The degraded loader
+//! ([`crate::degraded`]) quarantines partitions whose bytes fail their
+//! recorded digest instead of aborting the load, and reports what
+//! happened here. Every query answered from a degraded store carries the
+//! resulting [`Coverage`] fraction, so a partial answer is never silent.
+
+/// Fraction of load partitions behind an answer: `live / total`.
+///
+/// Kept as integers (not a float) so the value is exact, `Eq`-friendly
+/// and bit-stable across runs — chaos testing compares these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coverage {
+    /// Partitions that loaded clean and are being scanned.
+    pub live: u32,
+    /// Total partitions the store was written with.
+    pub total: u32,
+}
+
+impl Coverage {
+    /// Full coverage: every partition present.
+    pub fn full() -> Self {
+        Coverage { live: 1, total: 1 }
+    }
+
+    /// True when no partition is missing.
+    pub fn is_full(&self) -> bool {
+        self.live == self.total
+    }
+
+    /// The fraction in `[0, 1]`; 1.0 for an empty store.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            f64::from(self.live) / f64::from(self.total)
+        }
+    }
+}
+
+impl std::fmt::Display for Coverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} partitions ({:.3})", self.live, self.total, self.fraction())
+    }
+}
+
+/// What a (possibly degraded) store load observed and salvaged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Load partitions the store was written with.
+    pub total_partitions: u32,
+    /// Ascending ids of partitions dropped for failing their digest.
+    pub quarantined: Vec<u32>,
+    /// Event rows the store holds on disk.
+    pub total_events: u64,
+    /// Mention rows the store holds on disk.
+    pub total_mentions: u64,
+    /// Event rows actually loaded (live partitions only).
+    pub loaded_events: u64,
+    /// Mention rows actually loaded (live partitions only).
+    pub loaded_mentions: u64,
+    /// Sections whose whole-section checksum failed during the load.
+    pub dirty_sections: Vec<String>,
+    /// Read attempts that failed transiently and were retried.
+    pub retries: u32,
+}
+
+impl StoreHealth {
+    /// Health of a pristine, fully loaded store.
+    pub fn full(total_partitions: u32, n_events: u64, n_mentions: u64) -> Self {
+        StoreHealth {
+            total_partitions,
+            quarantined: Vec::new(),
+            total_events: n_events,
+            total_mentions: n_mentions,
+            loaded_events: n_events,
+            loaded_mentions: n_mentions,
+            dirty_sections: Vec::new(),
+            retries: 0,
+        }
+    }
+
+    /// Coverage fraction of the loaded store.
+    pub fn coverage(&self) -> Coverage {
+        let total = self.total_partitions.max(1);
+        Coverage { live: total.saturating_sub(self.quarantined.len() as u32), total }
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.dirty_sections.is_empty()
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "store health: coverage {cov}\n\
+             \x20 events {le}/{te} loaded, mentions {lm}/{tm} loaded\n\
+             \x20 quarantined partitions: {q:?}\n\
+             \x20 dirty sections: {d:?}, transient retries: {r}",
+            cov = self.coverage(),
+            le = self.loaded_events,
+            te = self.total_events,
+            lm = self.loaded_mentions,
+            tm = self.total_mentions,
+            q = self.quarantined,
+            d = self.dirty_sections,
+            r = self.retries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_fraction() {
+        assert!((Coverage { live: 7, total: 8 }.fraction() - 0.875).abs() < 1e-12);
+        assert!(Coverage::full().is_full());
+        assert!((Coverage { live: 0, total: 0 }.fraction() - 1.0).abs() < 1e-12);
+        assert!(!Coverage { live: 0, total: 4 }.is_full());
+    }
+
+    #[test]
+    fn health_coverage_counts_quarantine() {
+        let mut h = StoreHealth::full(8, 100, 200);
+        assert!(h.is_clean());
+        assert!(h.coverage().is_full());
+        h.quarantined = vec![3];
+        h.dirty_sections = vec!["events.day".into()];
+        assert_eq!(h.coverage(), Coverage { live: 7, total: 8 });
+        assert!(!h.is_clean());
+        let text = h.render();
+        assert!(text.contains("7/8"), "{text}");
+        assert!(text.contains("events.day"), "{text}");
+    }
+}

@@ -17,7 +17,13 @@
 //!   including sorting and index construction;
 //! * [`index`] — the event→mentions CSR adjacency and the time index,
 //!   which turn the co-/follow-reporting scans into linear walks;
-//! * [`binfmt`] — the versioned, checksummed on-disk format;
+//! * [`binfmt`] — the versioned, checksummed on-disk format, including
+//!   the `partitions.meta` load-partition digest table;
+//! * [`degraded`] — the tolerant loader: retries transient failures
+//!   with capped backoff, quarantines partitions that fail their
+//!   digests, and compacts the live remainder;
+//! * [`health`] — store coverage and quarantine bookkeeping carried by
+//!   every degraded-store answer;
 //! * [`partition`] — row-range partitioning mirroring the NUMA-aware
 //!   placement the paper needs on its 8-node EPYC machine;
 //! * [`validate`] — the deep structural auditor behind `gdelt-cli
@@ -28,6 +34,8 @@
 pub mod aligned;
 pub mod binfmt;
 pub mod builder;
+pub mod degraded;
+pub mod health;
 pub mod incremental;
 pub mod index;
 pub mod memsize;
@@ -37,6 +45,8 @@ pub mod table;
 pub mod validate;
 
 pub use builder::DatasetBuilder;
+pub use degraded::{load_degraded, load_degraded_with, DegradedLoad, LoadPolicy};
+pub use health::{Coverage, StoreHealth};
 pub use partition::{partitions, Partition};
 pub use strings::{StringDict, StringPool};
 pub use table::{Dataset, EventsTable, MentionsTable, SourceDirectory};

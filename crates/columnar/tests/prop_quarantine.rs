@@ -1,0 +1,139 @@
+//! Quarantine-bookkeeping property tests for the degraded loader.
+//!
+//! Each case writes a pristine partitioned store, flips one byte inside
+//! the byte range of every partition in an arbitrary target set (in a
+//! fixed-width event/mention section, so the damage is localizable),
+//! then loads tolerantly and checks the bookkeeping invariants:
+//!
+//! * quarantined ∪ loaded = all partitions, and the two sets are
+//!   disjoint (checked via sortedness + dedup + range membership);
+//! * every corrupted partition is quarantined;
+//! * coverage arithmetic matches the quarantine set;
+//! * the degraded dataset is bit-identical to
+//!   [`restrict_to_partitions`] of the clean dataset at the same
+//!   quarantine set;
+//! * a store with no corruption loads clean with full coverage.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use gdelt_columnar::binfmt::{
+    read_store_extents, save_with_partitions, scan_layout, section_space, write_dataset,
+    SectionSpace,
+};
+use gdelt_columnar::degraded::restrict_to_partitions;
+use gdelt_columnar::{load_degraded, Dataset};
+use proptest::prelude::*;
+
+const PARTS: u32 = 8;
+
+fn dataset(seed: u64) -> Dataset {
+    let cfg = gdelt_synth::scenario::tiny(seed);
+    gdelt_synth::generate_dataset(&cfg).0
+}
+
+fn bytes(d: &Dataset) -> Vec<u8> {
+    let mut v = Vec::new();
+    write_dataset(&mut v, d).expect("in-memory serialize");
+    v
+}
+
+/// Flip one byte inside partition `part` of some fixed-width section,
+/// choosing the section and the offset within the partition's byte
+/// range from `pick`. Returns false if the partition is empty in every
+/// candidate section (nothing to corrupt).
+fn corrupt_partition(path: &std::path::Path, part: u32, pick: u64) -> bool {
+    let layout = scan_layout(path).expect("scan layout");
+    let extents = read_store_extents(path).expect("read extents");
+    let ext = &extents.extents[part as usize];
+    let candidates: Vec<(u64, u64)> = layout
+        .iter()
+        .filter_map(|s| {
+            let space = section_space(&s.name);
+            if !matches!(space, SectionSpace::Event(_) | SectionSpace::Mention(_)) {
+                return None;
+            }
+            let (b, e) = ext.byte_range(space, &[])?;
+            (e > b).then_some((s.payload_offset + b, e - b))
+        })
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    let (base, len) = candidates[(pick as usize) % candidates.len()];
+    let pos = base + (pick / 7) % len;
+    let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path).expect("reopen");
+    f.seek(SeekFrom::Start(pos)).expect("seek");
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).expect("read byte");
+    f.seek(SeekFrom::Start(pos)).expect("seek back");
+    f.write_all(&[b[0] ^ 0x5A]).expect("flip byte");
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    /// Degraded loads keep the quarantine ledger exact for any set of
+    /// corrupted partitions.
+    #[test]
+    fn quarantine_partitions_loaded_partitions_ledger(
+        seed in 0u64..1_000,
+        targets in prop::collection::vec(0u32..PARTS, 0..3),
+        pick in 1u64..10_000,
+    ) {
+        let d = dataset(seed);
+        let dir = std::env::temp_dir().join(format!(
+            "prop-quarantine-{}-{seed}-{pick}", std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let store = dir.join("store.bin");
+        save_with_partitions(&store, &d, PARTS).expect("save");
+
+        let targets: BTreeSet<u32> = targets.into_iter().collect();
+        let mut corrupted: BTreeSet<u32> = BTreeSet::new();
+        for (i, &p) in targets.iter().enumerate() {
+            if corrupt_partition(&store, p, pick + i as u64 * 131) {
+                corrupted.insert(p);
+            }
+        }
+
+        let loaded = load_degraded(&store).expect("degraded load");
+        let h = &loaded.health;
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Ledger shape: sorted, deduplicated, in range.
+        prop_assert!(h.quarantined.windows(2).all(|w| w[0] < w[1]),
+            "quarantine list not sorted/deduped: {:?}", h.quarantined);
+        prop_assert!(h.quarantined.iter().all(|&p| p < PARTS));
+        prop_assert_eq!(h.total_partitions, PARTS);
+
+        // quarantined ∪ loaded = all partitions, disjoint: with the
+        // list sorted and deduped, live = total - |quarantined| is
+        // exactly the complement.
+        let qset: BTreeSet<u32> = h.quarantined.iter().copied().collect();
+        let live: BTreeSet<u32> = (0..PARTS).filter(|p| !qset.contains(p)).collect();
+        prop_assert_eq!(live.len() + qset.len(), PARTS as usize);
+        prop_assert!(live.is_disjoint(&qset));
+        prop_assert_eq!(h.coverage().live, live.len() as u32);
+        prop_assert_eq!(h.coverage().total, PARTS);
+
+        // Every corrupted partition must be quarantined (a flip may
+        // additionally dirty a shared digest context, but never less).
+        for p in &corrupted {
+            prop_assert!(qset.contains(p), "corrupted partition {} not quarantined ({:?})", p, qset);
+        }
+        if corrupted.is_empty() {
+            prop_assert!(h.is_clean(), "no corruption but health says {:?}", h);
+            prop_assert!(h.coverage().is_full());
+        }
+
+        // Bit-identity with the restriction of the clean dataset.
+        let expect = restrict_to_partitions(&d, PARTS, &h.quarantined).expect("restrict");
+        prop_assert_eq!(bytes(&loaded.dataset), bytes(&expect));
+        prop_assert_eq!(
+            loaded.dataset.events.len() as u64 + (h.total_events - h.loaded_events),
+            h.total_events
+        );
+    }
+}

@@ -46,4 +46,6 @@ pub mod wildfire;
 
 pub use exec::{ExecContext, ExecContextBuilder};
 pub use matrix::Matrix;
-pub use query::{run_query, Query, QueryResult, SeriesKind, TopKKind};
+pub use query::{
+    run_query, run_query_covered, CoveredResult, Query, QueryResult, SeriesKind, TopKKind,
+};

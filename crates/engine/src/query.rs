@@ -28,7 +28,7 @@ use crate::timeseries::{
     late_articles_per_quarter, QuarterlySeries,
 };
 use crate::topk::{top_events, top_publishers};
-use gdelt_columnar::Dataset;
+use gdelt_columnar::{Coverage, Dataset};
 use gdelt_model::country::CountryRegistry;
 use gdelt_model::ids::{CountryId, SourceId};
 
@@ -268,6 +268,37 @@ pub fn run_query(ctx: &ExecContext, d: &Dataset, q: &Query) -> QueryResult {
             QueryResult::TopEvents(top_events(ctx, d, *k as usize))
         }
     }
+}
+
+/// A [`QueryResult`] annotated with the store coverage behind it.
+///
+/// A degraded store (partitions quarantined at load — see
+/// `gdelt_columnar::degraded`) still answers every query family, but
+/// the answer only reflects the live partitions. This wrapper makes
+/// that explicit so no partial answer travels without its coverage
+/// fraction attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoveredResult {
+    /// The query result over the live partitions.
+    pub result: QueryResult,
+    /// Fraction of load partitions the result is computed from.
+    pub coverage: Coverage,
+}
+
+/// [`run_query`] with the store's [`Coverage`] attached to the result.
+///
+/// The kernels need no masking: a degraded store is *compacted* at load
+/// (quarantined partitions are physically absent), so running the
+/// ordinary kernels over it already yields the clean-store result
+/// restricted to the live partitions. This wrapper only carries the
+/// annotation.
+pub fn run_query_covered(
+    ctx: &ExecContext,
+    d: &Dataset,
+    q: &Query,
+    coverage: Coverage,
+) -> CoveredResult {
+    CoveredResult { result: run_query(ctx, d, q), coverage }
 }
 
 /// Everything Tables V–VII need, from one aggregated query.

@@ -1,0 +1,179 @@
+//! The faulty reader: applies a schedule of byte-level faults to a
+//! sequential read stream.
+
+use std::io::{self, Read};
+use std::time::Duration;
+
+/// A [`Read`] wrapper that tracks its absolute stream position and
+/// applies scheduled faults: flips payload bytes, truncates the stream,
+/// fails or delays the read that crosses a given offset.
+///
+/// Positions are absolute byte offsets from the start of the wrapped
+/// stream (for store files: offset 0 is the first magic byte). The
+/// loader issues a deterministic sequence of `read_exact` calls, so a
+/// given schedule always fires at the same points of the parse.
+pub struct FaultyRead<'a> {
+    inner: Box<dyn Read + 'a>,
+    pos: u64,
+    flips: Vec<(u64, u8)>,
+    truncate_at: Option<u64>,
+    fail_at: Option<u64>,
+    delays: Vec<(u64, Duration)>,
+}
+
+impl<'a> FaultyRead<'a> {
+    /// Wrap `inner` with an explicit fault set.
+    ///
+    /// * `flips` — `(pos, xor)` pairs; the byte at `pos` is XORed as it
+    ///   passes through.
+    /// * `truncate_at` — the stream reports EOF at this offset.
+    /// * `fail_at` — the read that would cross this offset fails with a
+    ///   retryable (non-`InvalidData`) error.
+    /// * `delays` — `(pos, dur)`: sleep `dur` before the read crossing
+    ///   `pos`; each delay fires once.
+    pub fn new(
+        inner: Box<dyn Read + 'a>,
+        flips: Vec<(u64, u8)>,
+        truncate_at: Option<u64>,
+        fail_at: Option<u64>,
+        delays: Vec<(u64, Duration)>,
+    ) -> Self {
+        FaultyRead { inner, pos: 0, flips, truncate_at, fail_at, delays }
+    }
+
+    /// Bytes delivered so far (current absolute offset).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl Read for FaultyRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut want = buf.len();
+        if let Some(t) = self.truncate_at {
+            if self.pos >= t {
+                return Ok(0);
+            }
+            let left = usize::try_from(t - self.pos).unwrap_or(usize::MAX);
+            want = want.min(left);
+        }
+        if let Some(f) = self.fail_at {
+            if self.pos.saturating_add(want as u64) > f {
+                return Err(io::Error::other("injected transient read failure"));
+            }
+        }
+        let end = self.pos.saturating_add(want as u64);
+        let mut fired = false;
+        for &(at, dur) in &self.delays {
+            if at >= self.pos && at < end {
+                std::thread::sleep(dur);
+                fired = true;
+            }
+        }
+        if fired {
+            let (lo, hi) = (self.pos, end);
+            self.delays.retain(|&(at, _)| !(at >= lo && at < hi));
+        }
+        let n = self.inner.read(&mut buf[..want])?;
+        let got_end = self.pos.saturating_add(n as u64);
+        for &(at, xor) in &self.flips {
+            if at >= self.pos && at < got_end {
+                let idx = usize::try_from(at - self.pos).unwrap_or(usize::MAX);
+                if let Some(b) = buf.get_mut(idx) {
+                    *b ^= xor;
+                }
+            }
+        }
+        self.pos = got_end;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn wrap(
+        data: Vec<u8>,
+        f: impl FnOnce(Box<dyn Read>) -> FaultyRead<'static>,
+    ) -> FaultyRead<'static> {
+        f(Box::new(Cursor::new(data)))
+    }
+
+    #[test]
+    fn flips_exactly_the_scheduled_bytes() {
+        let data = vec![0u8; 16];
+        let mut r = wrap(data, |inner| {
+            FaultyRead::new(inner, vec![(3, 0xFF), (10, 0x01)], None, None, Vec::new())
+        });
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 16);
+        for (i, b) in out.iter().enumerate() {
+            let expect = match i {
+                3 => 0xFF,
+                10 => 0x01,
+                _ => 0,
+            };
+            assert_eq!(*b, expect, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn flips_work_across_small_read_chunks() {
+        let data: Vec<u8> = (0..32).collect();
+        let mut r = wrap(data.clone(), |inner| {
+            FaultyRead::new(inner, vec![(17, 0x80)], None, None, Vec::new())
+        });
+        let mut out = Vec::new();
+        // Read in 5-byte chunks so the flip lands mid-chunk.
+        let mut chunk = [0u8; 5];
+        loop {
+            let n = r.read(&mut chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&chunk[..n]);
+        }
+        let mut expect = data;
+        expect[17] ^= 0x80;
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn truncates_at_offset() {
+        let data = vec![7u8; 100];
+        let mut r =
+            wrap(data, |inner| FaultyRead::new(inner, Vec::new(), Some(42), None, Vec::new()));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 42);
+        assert_eq!(r.position(), 42);
+    }
+
+    #[test]
+    fn fails_the_read_crossing_the_offset() {
+        let data = vec![7u8; 100];
+        let mut r =
+            wrap(data, |inner| FaultyRead::new(inner, Vec::new(), None, Some(50), Vec::new()));
+        let mut buf = [0u8; 40];
+        r.read_exact(&mut buf).unwrap(); // [0, 40) fine
+        let err = r.read_exact(&mut buf).unwrap_err(); // would cross 50
+        assert_ne!(err.kind(), io::ErrorKind::InvalidData, "must be retryable");
+        assert_eq!(r.position(), 40, "failed read must not advance");
+    }
+
+    #[test]
+    fn delay_fires_once() {
+        let data = vec![0u8; 64];
+        let mut r = wrap(data, |inner| {
+            FaultyRead::new(inner, Vec::new(), None, None, vec![(10, Duration::from_millis(30))])
+        });
+        let t0 = std::time::Instant::now();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(25), "delay should have fired");
+        assert_eq!(out.len(), 64);
+    }
+}

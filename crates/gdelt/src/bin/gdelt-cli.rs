@@ -10,7 +10,11 @@
 //! * `synth-report` — generate in memory and report directly;
 //! * `bench-scaling` — the Fig 12 thread sweep;
 //! * `serve-bench` — replay a seeded query mix against the concurrent
-//!   query service and print its metrics.
+//!   query service and print its metrics;
+//! * `chaos` — the deterministic fault-injection harness: corrupt a
+//!   store on a seeded schedule, load it degraded, and replay the
+//!   serve mix under worker panics and `apply_batch` storms while
+//!   asserting the degradation invariants.
 
 use gdelt_analysis::report::{run_full_report, scaling_thread_counts, ReportOptions};
 use gdelt_columnar::{binfmt, DatasetBuilder};
@@ -37,6 +41,7 @@ fn main() -> ExitCode {
         "synth-report" => cmd_synth_report(&opts),
         "bench-scaling" => cmd_bench_scaling(&opts),
         "serve-bench" => cmd_serve_bench(&opts),
+        "chaos" => cmd_chaos(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -67,6 +72,8 @@ USAGE:
   gdelt-cli bench-scaling [--scale S] [--seed N]
   gdelt-cli serve-bench   [--scale S] [--seed N] [--queries N] [--workers N]
                           [--clients N] [--threads N] [--no-cache] [--check]
+  gdelt-cli chaos         [--seed N] [--scale S] [--out DIR] [--queries N]
+                          [--workers N] [--clients N] [--threads N] [--check]
 
 OPTIONS:
   --scale S    synthetic corpus scale in (0, 1]; 1.0 = the paper's full
@@ -80,6 +87,9 @@ OPTIONS:
   --no-cache   serve-bench: disable the result cache
   --check      serve-bench: exit non-zero unless the run had zero sheds
                and (with the cache on) at least one cache hit
+               chaos: exit non-zero on any violated invariant
+  --out DIR    chaos: working directory for the store image and the
+               fault-schedule JSON artifact (default target/chaos)
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -405,6 +415,332 @@ fn cmd_serve_bench(o: &Options) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// The eight query shapes `chaos` drives through every phase — one per
+/// result family, matching the serve test matrix.
+const CHAOS_QUERIES: [Query; 8] = [
+    Query::CoReport,
+    Query::FollowReport { top_k: 5 },
+    Query::CrossCountry,
+    Query::Delay,
+    Query::TimeSeries(gdelt_engine::SeriesKind::Events),
+    Query::TimeSeries(gdelt_engine::SeriesKind::LateArticles { threshold: 96 }),
+    Query::TopK { kind: gdelt_engine::TopKKind::Publishers, k: 10 },
+    Query::TopK { kind: gdelt_engine::TopKKind::Events, k: 10 },
+];
+
+fn cmd_chaos(o: &Options) -> Result<(), String> {
+    use gdelt_columnar::binfmt::save_with_partitions;
+    use gdelt_columnar::degraded::restrict_to_partitions;
+    use gdelt_columnar::{load_degraded_with, LoadPolicy};
+    use gdelt_faults::{seeded_picks, FaultPlan, PlanSpec};
+    use gdelt_serve::{
+        replay, seeded_mix, DegradedPolicy, ExecHook, QueryService, ServeError, ServiceConfig,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const STORE_PARTITIONS: u32 = 8;
+    let seed = o.seed.unwrap_or(42);
+    let out_dir = o.output.clone().unwrap_or_else(|| PathBuf::from("target/chaos"));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let store = out_dir.join("store.gdhpc");
+    let mut violations: Vec<String> = Vec::new();
+    let mut violated = |v: String| {
+        eprintln!("VIOLATION: {v}");
+        violations.push(v);
+    };
+    // Retry fast: the injected transient failures are deterministic, so
+    // real-time backoff only slows the harness down.
+    let policy = LoadPolicy {
+        max_retries: 4,
+        backoff: std::time::Duration::from_millis(1),
+        backoff_cap: std::time::Duration::from_millis(4),
+    };
+    let ctx = o.ctx();
+
+    // ---- phase 0: build the tiny store ---------------------------------
+    let cfg = o.config();
+    eprintln!("chaos: seed {seed}, store {} ({} events)", store.display(), cfg.n_events);
+    let (clean_dataset, _) = gdelt_synth::generate_dataset(&cfg);
+    save_with_partitions(&store, &clean_dataset, STORE_PARTITIONS)
+        .map_err(|e| format!("writing {}: {e}", store.display()))?;
+
+    // ---- phase 1: clean load control arm -------------------------------
+    let clean = load_degraded_with(&store, &policy, &FaultPlan::clean(seed))
+        .map_err(|e| format!("clean load failed: {e}"))?;
+    if !clean.health.is_clean() || !clean.health.coverage().is_full() {
+        violated(format!("clean load not clean: {}", clean.health.render()));
+    }
+    // Served answers over the clean store must match the bare engine —
+    // the same equivalence serve-bench relies on.
+    {
+        let service = QueryService::new(
+            clean.dataset.clone(),
+            ServiceConfig { workers: 2, threads: o.threads, ..Default::default() },
+        );
+        for q in CHAOS_QUERIES {
+            match service.run_covered(q) {
+                Ok(ans) => {
+                    if !ans.coverage.is_full() {
+                        violated(format!("clean serve of {q} reported coverage {}", ans.coverage));
+                    }
+                    if *ans.result != run_query(&ctx, &clean.dataset, &q) {
+                        violated(format!("clean serve of {q} diverged from the bare engine"));
+                    }
+                }
+                Err(e) => violated(format!("clean serve of {q} failed: {e}")),
+            }
+        }
+    }
+    eprintln!("chaos: clean arm ok (coverage {})", clean.health.coverage());
+
+    // ---- phase 2: seeded corruption, degraded load ---------------------
+    let spec = PlanSpec {
+        corrupt_partitions: 1,
+        transient_failures: 1,
+        truncate_tail: false,
+        delay_ms: 0,
+    };
+    let plan = FaultPlan::seeded(&store, seed, &spec).map_err(|e| format!("planning: {e}"))?;
+    let schedule_path = out_dir.join("fault-schedule.json");
+    std::fs::write(&schedule_path, plan.to_json())
+        .map_err(|e| format!("writing {}: {e}", schedule_path.display()))?;
+    eprintln!("chaos: fault schedule -> {}", schedule_path.display());
+    if plan != FaultPlan::seeded(&store, seed, &spec).map_err(|e| format!("replanning: {e}"))? {
+        violated("fault plan is not deterministic for a fixed seed".into());
+    }
+
+    let degraded = load_degraded_with(&store, &policy, &plan)
+        .map_err(|e| format!("degraded load failed outright: {e}"))?;
+    let again = load_degraded_with(&store, &policy, &plan)
+        .map_err(|e| format!("second degraded load failed: {e}"))?;
+    if degraded.health != again.health {
+        violated(format!(
+            "degraded load not deterministic:\n{}\nvs\n{}",
+            degraded.health.render(),
+            again.health.render()
+        ));
+    }
+    for p in &plan.corrupted_partitions {
+        if !degraded.health.quarantined.contains(p) {
+            violated(format!("targeted partition {p} was not quarantined"));
+        }
+    }
+    if degraded.health.coverage().is_full() {
+        violated("corrupted store loaded with full coverage".into());
+    }
+    if degraded.health.retries == 0 {
+        violated("scheduled transient failure produced no retry".into());
+    }
+    eprintln!(
+        "chaos: degraded arm quarantined {:?}, coverage {}, {} retries",
+        degraded.health.quarantined,
+        degraded.health.coverage(),
+        degraded.health.retries
+    );
+
+    // Bit-identity: every family over the degraded store must equal the
+    // clean run restricted to the same live partitions.
+    let restricted =
+        restrict_to_partitions(&clean.dataset, STORE_PARTITIONS, &degraded.health.quarantined)
+            .map_err(|e| format!("restricting the clean dataset: {e}"))?;
+    for q in CHAOS_QUERIES {
+        let over_degraded = run_query(&ctx, &degraded.dataset, &q);
+        if over_degraded != run_query(&ctx, &restricted, &q) {
+            violated(format!(
+                "{q} over the degraded store != clean run restricted to same partitions"
+            ));
+        }
+        if over_degraded != run_query(&ctx, &again.dataset, &q) {
+            violated(format!("{q} differs between two identically-faulted loads"));
+        }
+    }
+
+    // Degraded serving: ServePartial annotates, Fail refuses.
+    {
+        let service = QueryService::with_health(
+            degraded.dataset.clone(),
+            degraded.health.clone(),
+            ServiceConfig { workers: 2, threads: o.threads, ..Default::default() },
+        );
+        for q in CHAOS_QUERIES {
+            match service.run_covered(q) {
+                Ok(ans) => {
+                    if ans.coverage.is_full() || ans.coverage != degraded.health.coverage() {
+                        violated(format!("degraded serve of {q}: bad coverage {}", ans.coverage));
+                    }
+                }
+                Err(e) => violated(format!("degraded serve of {q} failed under ServePartial: {e}")),
+            }
+        }
+        let strict = QueryService::with_health(
+            degraded.dataset.clone(),
+            degraded.health.clone(),
+            ServiceConfig {
+                workers: 2,
+                threads: o.threads,
+                degraded_policy: DegradedPolicy::Fail,
+                ..Default::default()
+            },
+        );
+        if !matches!(strict.run(Query::CoReport), Err(ServeError::Degraded { .. })) {
+            violated("Fail policy served a degraded store".into());
+        }
+    }
+
+    // ---- phase 3: serve under worker panics + apply_batch storms -------
+    let n_queries = o.queries.unwrap_or(120);
+    let mix = seeded_mix(n_queries, seed);
+    // Panic on a seeded subset of the first kernel executions. Cold
+    // queries always execute, so these picks are guaranteed to fire.
+    let panic_at = seeded_picks(seed ^ 0xFA01_7CA0, 8, 2);
+    let execs = Arc::new(AtomicU64::new(0));
+    let fired = Arc::new(AtomicU64::new(0));
+    let (hook_execs, hook_fired) = (Arc::clone(&execs), Arc::clone(&fired));
+    let hook = ExecHook::new(move |_q| {
+        // Relaxed: fetch_add on a single atomic is already a total
+        // modification order, so every execution draws a unique `n`;
+        // the final loads happen-after the scope join.
+        let n = hook_execs.fetch_add(1, Ordering::Relaxed);
+        if panic_at.contains(&n) {
+            hook_fired.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected worker panic at execution {n}");
+        }
+    });
+    let service = QueryService::new(
+        clean_dataset,
+        ServiceConfig {
+            workers: o.workers.unwrap_or(2),
+            threads: o.threads,
+            exec_hook: Some(hook),
+            ..Default::default()
+        },
+    );
+
+    // Storm batches: novel ids appended mid-replay, each bumping the
+    // generation and invalidating the cache.
+    let storm_cfg = paper_calibrated(o.scale.unwrap_or(1e-4), seed ^ 0x5702_17AA);
+    let storm = generate(&storm_cfg);
+    const STORMS: usize = 3;
+    let chunk = storm.events.len().div_ceil(STORMS).max(1);
+    let m_chunk = storm.mentions.len().div_ceil(STORMS).max(1);
+    let mut batches = Vec::new();
+    for i in 0..STORMS {
+        let evs: Vec<_> = storm
+            .events
+            .iter()
+            .skip(i * chunk)
+            .take(chunk)
+            .cloned()
+            .map(|mut e| {
+                e.id = gdelt_model::ids::EventId(e.id.0 + (1 << 40));
+                e
+            })
+            .collect();
+        let mens: Vec<_> = storm
+            .mentions
+            .iter()
+            .skip(i * m_chunk)
+            .take(m_chunk)
+            .cloned()
+            .map(|mut m| {
+                m.event_id = gdelt_model::ids::EventId(m.event_id.0 + (1 << 40));
+                m
+            })
+            .collect();
+        batches.push((evs, mens));
+    }
+
+    // Injected panics are expected here; keep them off the console.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = std::thread::scope(|s| {
+        let svc = &service;
+        s.spawn(move || {
+            for (evs, mens) in batches {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let (stats, _) = svc.apply_batch(evs, mens);
+                eprintln!(
+                    "chaos: storm applied (+{} events, +{} mentions), generation {}",
+                    stats.new_events,
+                    stats.new_mentions,
+                    svc.generation()
+                );
+            }
+        });
+        replay(svc, &mix, o.clients.unwrap_or(4))
+    });
+    std::panic::set_hook(prev_hook);
+    println!("{}", report.render());
+    let metrics = service.metrics();
+    println!("{}", metrics.render());
+
+    let fired = fired.load(Ordering::Relaxed);
+    if fired == 0 {
+        violated("no scheduled worker panic fired".into());
+    }
+    if metrics.worker_panics != fired {
+        violated(format!(
+            "panic accounting: {} fired but {} recorded (a panic escaped or was double-counted)",
+            fired, metrics.worker_panics
+        ));
+    }
+    if report.completed + report.sheds + report.errors != report.total {
+        violated(format!(
+            "lost queries: {} + {} + {} != {}",
+            report.completed, report.sheds, report.errors, report.total
+        ));
+    }
+    if metrics.cache.invalidations == 0 {
+        violated("apply_batch storms never invalidated the cache".into());
+    }
+    // Post-run cache coherence: everything the service now answers —
+    // cached or recomputed — must match the bare engine over the final
+    // dataset. A stale-generation entry surviving the storms would
+    // surface here.
+    let final_dataset = service.dataset();
+    let mut distinct: Vec<Query> = Vec::new();
+    for q in &mix {
+        if !distinct.contains(q) {
+            distinct.push(*q);
+        }
+    }
+    for q in &distinct {
+        match service.run(*q) {
+            Ok(served) => {
+                if *served != run_query(&ctx, &final_dataset, q) {
+                    violated(format!("stale answer for {q} after the storms"));
+                }
+            }
+            Err(e) => violated(format!("post-storm run of {q} failed: {e}")),
+        }
+    }
+    eprintln!(
+        "chaos: storm arm ok ({} executions, {} injected panics, {} invalidations)",
+        execs.load(Ordering::Relaxed),
+        fired,
+        metrics.cache.invalidations
+    );
+
+    if violations.is_empty() {
+        eprintln!("chaos: all invariants held (seed {seed})");
+        Ok(())
+    } else {
+        let msg = format!(
+            "chaos: {} invariant(s) violated (seed {seed}, schedule at {})",
+            violations.len(),
+            schedule_path.display()
+        );
+        if o.check {
+            Err(msg)
+        } else {
+            eprintln!("{msg}");
+            Ok(())
+        }
+    }
 }
 
 fn write(path: PathBuf, content: &str) -> Result<(), String> {

@@ -25,6 +25,20 @@ pub enum ServeError {
     },
     /// The service is shutting down; the query was not (fully) executed.
     ShuttingDown,
+    /// The store behind the service is degraded (partitions were
+    /// quarantined at load) and the configured
+    /// [`DegradedPolicy`](crate::service::DegradedPolicy) is `Fail`:
+    /// the service refuses to serve partial answers.
+    Degraded {
+        /// Live partitions behind the store.
+        live: u32,
+        /// Total partitions the store was written with.
+        total: u32,
+    },
+    /// The worker executing this query panicked. The panic was caught
+    /// at the worker loop (it never crosses a thread boundary); the
+    /// waiter gets this error instead of hanging.
+    WorkerPanicked,
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +55,10 @@ impl fmt::Display for ServeError {
                 write!(f, "timed out after {waited_ms} ms waiting for query result")
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Degraded { live, total } => {
+                write!(f, "store is degraded ({live}/{total} partitions live); policy refuses partial answers")
+            }
+            ServeError::WorkerPanicked => write!(f, "worker panicked while executing the query"),
         }
     }
 }
@@ -57,5 +75,8 @@ mod tests {
         assert!(e.to_string().contains("8/8"));
         let e = ServeError::TimedOut { waited_ms: 250 };
         assert!(e.to_string().contains("250"));
+        let e = ServeError::Degraded { live: 6, total: 8 };
+        assert!(e.to_string().contains("6/8"));
+        assert!(ServeError::WorkerPanicked.to_string().contains("panicked"));
     }
 }

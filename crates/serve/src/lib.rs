@@ -35,4 +35,4 @@ pub use cache::{CacheStats, ShardedCache};
 pub use error::ServeError;
 pub use metrics::ServiceMetrics;
 pub use mix::{replay, seeded_mix, ReplayReport};
-pub use service::{QueryService, ServiceConfig};
+pub use service::{CoveredAnswer, DegradedPolicy, ExecHook, QueryService, ServiceConfig};

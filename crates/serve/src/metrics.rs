@@ -5,6 +5,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use gdelt_columnar::Coverage;
+
 use crate::cache::CacheStats;
 
 /// Latencies kept for percentile estimation. Old samples are
@@ -38,6 +40,7 @@ pub(crate) struct Metrics {
     started: Instant,
     completed: AtomicU64,
     timeouts: AtomicU64,
+    worker_panics: AtomicU64,
     ring: Mutex<LatencyRing>,
 }
 
@@ -47,6 +50,7 @@ impl Metrics {
             started: Instant::now(),
             completed: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             ring: Mutex::new(LatencyRing::default()),
         }
     }
@@ -60,6 +64,10 @@ impl Metrics {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(
         &self,
         queue_depth: usize,
@@ -67,6 +75,7 @@ impl Metrics {
         shed: u64,
         coalesced: u64,
         generation: u64,
+        coverage: Coverage,
     ) -> ServiceMetrics {
         let mut lat: Vec<u64> = lock_recover(&self.ring).buf.clone();
         lat.sort_unstable();
@@ -84,7 +93,9 @@ impl Metrics {
             shed,
             coalesced,
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
             generation,
+            coverage,
         }
     }
 }
@@ -124,21 +135,29 @@ pub struct ServiceMetrics {
     pub coalesced: u64,
     /// Waits that expired before their query completed.
     pub timeouts: u64,
+    /// Worker panics caught at the worker loop (each resolves its
+    /// waiters with [`crate::ServeError::WorkerPanicked`]).
+    pub worker_panics: u64,
     /// Dataset generation the service is answering from.
     pub generation: u64,
+    /// Store coverage behind every answer (1/1 unless partitions were
+    /// quarantined at load).
+    pub coverage: Coverage,
 }
 
 impl ServiceMetrics {
     /// Multi-line human-readable rendering.
     pub fn render(&self) -> String {
         format!(
-            "service metrics (generation {gen}, up {up:.1}s)\n\
+            "service metrics (generation {gen}, coverage {cov}, up {up:.1}s)\n\
              \x20 completed {completed} ({qps:.1} qps), queue depth {depth}\n\
              \x20 kernel latency p50 {p50} us, p95 {p95} us, p99 {p99} us\n\
              \x20 cache: {hits} hits / {misses} misses ({rate:.1}% hit rate), \
              {entries} resident, {evictions} evicted, {invalidations} invalidated\n\
-             \x20 shed {shed}, coalesced {coalesced}, timeouts {timeouts}",
+             \x20 shed {shed}, coalesced {coalesced}, timeouts {timeouts}, \
+             worker panics {panics}",
             gen = self.generation,
+            cov = self.coverage,
             up = self.uptime_s,
             completed = self.completed,
             qps = self.qps,
@@ -155,6 +174,7 @@ impl ServiceMetrics {
             shed = self.shed,
             coalesced = self.coalesced,
             timeouts = self.timeouts,
+            panics = self.worker_panics,
         )
     }
 }
@@ -169,7 +189,7 @@ mod tests {
         for us in 1..=100 {
             m.record_completion(us);
         }
-        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0);
+        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0, Coverage::full());
         assert_eq!(s.completed, 100);
         assert_eq!(s.p50_us, 51); // nearest-rank on 1..=100
         assert_eq!(s.p99_us, 99);
@@ -185,7 +205,7 @@ mod tests {
         for _ in 0..RING_CAPACITY {
             m.record_completion(1_000);
         }
-        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0);
+        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0, Coverage::full());
         assert_eq!(s.p50_us, 1_000, "old samples must age out");
     }
 
@@ -194,9 +214,25 @@ mod tests {
         let m = Metrics::new();
         m.record_completion(42);
         m.record_timeout();
-        let s = m.snapshot(3, CacheStats { hits: 1, misses: 1, ..Default::default() }, 2, 1, 7);
+        m.record_worker_panic();
+        let s = m.snapshot(
+            3,
+            CacheStats { hits: 1, misses: 1, ..Default::default() },
+            2,
+            1,
+            7,
+            Coverage { live: 7, total: 8 },
+        );
         let text = s.render();
-        for needle in ["generation 7", "queue depth 3", "50.0% hit rate", "shed 2", "timeouts 1"] {
+        for needle in [
+            "generation 7",
+            "queue depth 3",
+            "50.0% hit rate",
+            "shed 2",
+            "timeouts 1",
+            "worker panics 1",
+            "coverage 7/8",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }
@@ -204,7 +240,7 @@ mod tests {
     #[test]
     fn empty_snapshot_is_all_zeros() {
         let m = Metrics::new();
-        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0);
+        let s = m.snapshot(0, CacheStats::default(), 0, 0, 0, Coverage::full());
         assert_eq!((s.p50_us, s.p95_us, s.p99_us, s.completed), (0, 0, 0, 0));
     }
 }

@@ -23,11 +23,12 @@
 //! [`QueryService::apply_batch`] swaps in an updated dataset under the
 //! write lock and invalidates the cache before releasing it.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use gdelt_columnar::incremental::{append_batch, BatchStats};
-use gdelt_columnar::Dataset;
+use gdelt_columnar::{Coverage, Dataset, StoreHealth};
 use gdelt_csv::clean::CleanReport;
 use gdelt_engine::{run_query, ExecContext, Query, QueryResult};
 use gdelt_model::event::EventRecord;
@@ -38,6 +39,45 @@ use crate::batcher::{Enqueued, JobQueue, QueryTicket};
 use crate::cache::ShardedCache;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, ServiceMetrics};
+
+/// What the service does when its store loaded degraded (partitions
+/// quarantined — see [`gdelt_columnar::degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Answer queries over the live partitions; every answer carries
+    /// the coverage fraction (via [`QueryService::run_covered`] and the
+    /// metrics snapshot). The partial answer is explicit, never silent.
+    #[default]
+    ServePartial,
+    /// Refuse to serve: every submission fails with
+    /// [`ServeError::Degraded`] until a full store is swapped in.
+    Fail,
+}
+
+/// An instrumentation hook the workers invoke just before executing a
+/// kernel (cache hits skip it). The chaos harness uses this to inject
+/// worker panics and delays without test-only branches in the execution
+/// path; panics thrown by the hook are caught at the worker loop like
+/// any kernel panic.
+#[derive(Clone)]
+pub struct ExecHook(Arc<dyn Fn(&Query) + Send + Sync>);
+
+impl ExecHook {
+    /// Wrap a hook function.
+    pub fn new(f: impl Fn(&Query) + Send + Sync + 'static) -> Self {
+        ExecHook(Arc::new(f))
+    }
+
+    fn call(&self, q: &Query) {
+        (self.0)(q);
+    }
+}
+
+impl std::fmt::Debug for ExecHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExecHook(..)")
+    }
+}
 
 /// Service construction parameters. The defaults suit tests and the
 /// `serve-bench` synthetic workload; a deployment tunes queue and cache
@@ -59,6 +99,10 @@ pub struct ServiceConfig {
     pub max_cost_in_flight: u64,
     /// Engine thread count (`None` = the global pool).
     pub threads: Option<usize>,
+    /// Behaviour when the store loaded degraded.
+    pub degraded_policy: DegradedPolicy,
+    /// Pre-kernel instrumentation hook (fault injection in tests).
+    pub exec_hook: Option<ExecHook>,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +115,8 @@ impl Default for ServiceConfig {
             max_queue: 64,
             max_cost_in_flight: u64::MAX,
             threads: None,
+            degraded_policy: DegradedPolicy::default(),
+            exec_hook: None,
         }
     }
 }
@@ -97,6 +143,9 @@ struct Shared {
     admission: Admission,
     queue: JobQueue,
     metrics: Metrics,
+    health: StoreHealth,
+    degraded_policy: DegradedPolicy,
+    exec_hook: Option<ExecHook>,
 }
 
 /// The in-process query service. Dropping the handle shuts the service
@@ -109,8 +158,19 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Start a service owning `dataset`.
+    /// Start a service owning a pristine `dataset` (full coverage).
     pub fn new(dataset: Dataset, config: ServiceConfig) -> Self {
+        let health =
+            StoreHealth::full(1, dataset.events.len() as u64, dataset.mentions.len() as u64);
+        Self::with_health(dataset, health, config)
+    }
+
+    /// Start a service owning a dataset that may have loaded degraded;
+    /// `health` is what the loader reported (see
+    /// [`gdelt_columnar::load_degraded`]). The service applies
+    /// [`ServiceConfig::degraded_policy`] against it and stamps its
+    /// coverage on metrics and [`QueryService::run_covered`] answers.
+    pub fn with_health(dataset: Dataset, health: StoreHealth, config: ServiceConfig) -> Self {
         let mut builder = ExecContext::builder();
         if let Some(t) = config.threads {
             builder = builder.threads(t);
@@ -126,6 +186,9 @@ impl QueryService {
             }),
             queue: JobQueue::default(),
             metrics: Metrics::new(),
+            health,
+            degraded_policy: config.degraded_policy,
+            exec_hook: config.exec_hook.clone(),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -141,6 +204,10 @@ impl QueryService {
     /// [`ServeError::Overloaded`] when admission control refuses.
     pub fn submit(&self, query: Query) -> Result<QueryTicket, ServeError> {
         let s = &self.shared;
+        let cov = s.health.coverage();
+        if s.degraded_policy == DegradedPolicy::Fail && !cov.is_full() {
+            return Err(ServeError::Degraded { live: cov.live, total: cov.total });
+        }
         if s.cache_enabled {
             if let Some(v) = s.cache.get(&query) {
                 return Ok(QueryTicket::resolved(query, Ok(v)));
@@ -160,6 +227,13 @@ impl QueryService {
     /// Submit and block for the result.
     pub fn run(&self, query: Query) -> Result<Arc<QueryResult>, ServeError> {
         self.submit(query)?.get()
+    }
+
+    /// Submit and block, with the store's coverage attached: a partial
+    /// answer over a degraded store is never silent.
+    pub fn run_covered(&self, query: Query) -> Result<CoveredAnswer, ServeError> {
+        let result = self.run(query)?;
+        Ok(CoveredAnswer { result, coverage: self.shared.health.coverage() })
     }
 
     /// Submit and block up to `timeout`. Expired waits are counted in
@@ -205,6 +279,11 @@ impl QueryService {
         self.shared.cache.generation()
     }
 
+    /// What the store load reported (quarantine, row counts, retries).
+    pub fn health(&self) -> &StoreHealth {
+        &self.shared.health
+    }
+
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> ServiceMetrics {
         let s = &self.shared;
@@ -214,8 +293,18 @@ impl QueryService {
             s.admission.shed_count(),
             s.queue.coalesced_count(),
             s.cache.generation(),
+            s.health.coverage(),
         )
     }
+}
+
+/// A query result with the store coverage it was computed under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoveredAnswer {
+    /// The (possibly cached) query result.
+    pub result: Arc<QueryResult>,
+    /// Fraction of load partitions behind it.
+    pub coverage: Coverage,
 }
 
 impl Drop for QueryService {
@@ -232,6 +321,11 @@ impl Drop for QueryService {
 
 /// Worker: dequeue with scan affinity, double-check the cache, run the
 /// kernel against a consistent (dataset, generation) snapshot, publish.
+///
+/// Kernel execution (and the exec hook) runs under `catch_unwind`: a
+/// panic never crosses the worker's thread boundary. The panicking
+/// job's waiters resolve to [`ServeError::WorkerPanicked`], its
+/// admission cost is released, and the worker moves on to the next job.
 fn worker_loop(shared: &Shared) {
     let mut affinity: Option<&'static str> = None;
     while let Some(job) = shared.queue.next_job(affinity) {
@@ -240,7 +334,7 @@ fn worker_loop(shared: &Shared) {
         // have completed between this job's admission and now.
         let cached = if shared.cache_enabled { shared.cache.peek(&query) } else { None };
         let value = match cached {
-            Some(v) => v,
+            Some(v) => Ok(v),
             None => {
                 // Snapshot (dataset, generation) under one read lock so
                 // the pair is consistent with any concurrent apply_batch.
@@ -249,16 +343,30 @@ fn worker_loop(shared: &Shared) {
                     (Arc::clone(&guard), shared.cache.generation())
                 };
                 let t0 = Instant::now();
-                let v = Arc::new(run_query(&shared.ctx, &data, &query));
-                shared.metrics.record_completion(t0.elapsed().as_micros() as u64);
-                if shared.cache_enabled {
-                    shared.cache.insert(query, Arc::clone(&v), generation);
+                let ran = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(hook) = &shared.exec_hook {
+                        hook.call(&query);
+                    }
+                    run_query(&shared.ctx, &data, &query)
+                }));
+                match ran {
+                    Ok(r) => {
+                        let v = Arc::new(r);
+                        shared.metrics.record_completion(t0.elapsed().as_micros() as u64);
+                        if shared.cache_enabled {
+                            shared.cache.insert(query, Arc::clone(&v), generation);
+                        }
+                        Ok(v)
+                    }
+                    Err(_) => {
+                        shared.metrics.record_worker_panic();
+                        Err(ServeError::WorkerPanicked)
+                    }
                 }
-                v
             }
         };
         shared.admission.release(job.cost);
-        shared.queue.complete(&query, Ok(value));
+        shared.queue.complete(&query, value);
         affinity = Some(query.family());
     }
 }

@@ -1,0 +1,108 @@
+//! Fault-facing service behaviour: degraded-store policies, coverage
+//! annotation, caught worker panics, and a real injected-delay timeout.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gdelt_columnar::{Coverage, Dataset, StoreHealth};
+use gdelt_engine::{Query, SeriesKind, TopKKind};
+use gdelt_serve::{DegradedPolicy, ExecHook, QueryService, ServeError, ServiceConfig};
+
+fn dataset() -> Dataset {
+    let cfg = gdelt_synth::scenario::tiny(77);
+    gdelt_synth::generate_dataset(&cfg).0
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig { workers: 2, threads: Some(2), ..Default::default() }
+}
+
+fn degraded_health(d: &Dataset) -> StoreHealth {
+    let mut h = StoreHealth::full(8, d.events.len() as u64, d.mentions.len() as u64);
+    h.quarantined = vec![2, 5];
+    h.dirty_sections = vec!["events.day".into()];
+    h
+}
+
+#[test]
+fn fail_policy_refuses_degraded_store() {
+    let d = dataset();
+    let health = degraded_health(&d);
+    let cfg = ServiceConfig { degraded_policy: DegradedPolicy::Fail, ..config() };
+    let service = QueryService::with_health(d, health, cfg);
+    let err = service.run(Query::CoReport).unwrap_err();
+    assert_eq!(err, ServeError::Degraded { live: 6, total: 8 });
+}
+
+#[test]
+fn serve_partial_policy_answers_with_coverage() {
+    let d = dataset();
+    let health = degraded_health(&d);
+    let cfg = ServiceConfig { degraded_policy: DegradedPolicy::ServePartial, ..config() };
+    let service = QueryService::with_health(d, health, cfg);
+    let ans = service.run_covered(Query::TimeSeries(SeriesKind::Events)).expect("must serve");
+    assert_eq!(ans.coverage, Coverage { live: 6, total: 8 });
+    assert!(!ans.coverage.is_full());
+    let m = service.metrics();
+    assert_eq!(m.coverage, Coverage { live: 6, total: 8 });
+    assert!(m.render().contains("coverage 6/8"), "{}", m.render());
+}
+
+#[test]
+fn pristine_service_reports_full_coverage() {
+    let service = QueryService::new(dataset(), config());
+    let ans = service.run_covered(Query::CoReport).expect("must serve");
+    assert!(ans.coverage.is_full());
+    assert!((ans.coverage.fraction() - 1.0).abs() < f64::EPSILON);
+    assert!(service.health().is_clean());
+}
+
+#[test]
+fn worker_panic_is_caught_and_typed() {
+    // The hook panics on the first kernel execution only; the panic
+    // must not escape the worker thread, the waiter must get a typed
+    // error, and the service must keep serving afterwards.
+    let fired = Arc::new(AtomicU64::new(0));
+    let hook_fired = Arc::clone(&fired);
+    let hook = ExecHook::new(move |_q| {
+        if hook_fired.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("injected worker panic");
+        }
+    });
+    let cfg = ServiceConfig { exec_hook: Some(hook), ..config() };
+    let service = QueryService::new(dataset(), cfg);
+
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+    let err = service.run(Query::TopK { kind: TopKKind::Publishers, k: 5 }).unwrap_err();
+    std::panic::set_hook(prev);
+    assert_eq!(err, ServeError::WorkerPanicked);
+
+    // Same query again: the poisoned attempt cached nothing; this one
+    // computes cleanly (hook no longer panics).
+    let ok = service.run(Query::TopK { kind: TopKKind::Publishers, k: 5 });
+    assert!(ok.is_ok(), "service must survive a worker panic: {ok:?}");
+    let m = service.metrics();
+    assert_eq!(m.worker_panics, 1);
+    assert!(m.render().contains("worker panics 1"), "{}", m.render());
+}
+
+#[test]
+fn injected_delay_drives_a_real_timeout() {
+    // ServeError::TimedOut, driven by an injected-delay fault in the
+    // execution path — no sleep in product code.
+    let hook = ExecHook::new(|_q| std::thread::sleep(Duration::from_millis(200)));
+    let cfg = ServiceConfig { exec_hook: Some(hook), ..config() };
+    let service = QueryService::new(dataset(), cfg);
+    let err = service.run_timeout(Query::CrossCountry, Duration::from_millis(10)).unwrap_err();
+    match err {
+        ServeError::TimedOut { waited_ms } => assert!(waited_ms >= 10, "waited {waited_ms}"),
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    assert_eq!(service.metrics().timeouts, 1);
+    // The delayed query still completes in the background and lands in
+    // the cache; a later run with a generous deadline succeeds.
+    let ok = service.run_timeout(Query::CrossCountry, Duration::from_secs(30));
+    assert!(ok.is_ok(), "{ok:?}");
+}

@@ -1,0 +1,168 @@
+//! Model-based property tests for the sharded LRU result cache.
+//!
+//! A single-shard cache is driven against a reference model that
+//! replicates the documented semantics exactly — counter-based LRU with
+//! a global tick, eviction of the smallest stamp, and generation-gated
+//! inserts. After every operation the cache and the model must agree on
+//! membership, so capacity, eviction *order*, and stale-insert refusal
+//! are all checked continuously rather than at the end.
+//!
+//! A second property checks the only invariant that survives sharding
+//! without modelling the hash: total residency never exceeds
+//! `shards * capacity_per_shard`, and a generation bump empties the
+//! cache and refuses every stale re-insert.
+
+use std::sync::Arc;
+
+use gdelt_engine::{Query, QueryResult};
+use gdelt_serve::ShardedCache;
+use proptest::prelude::*;
+
+/// A small query pool so operations collide: distinct `top_k` values
+/// give distinct cache keys.
+fn query(idx: u8) -> Query {
+    Query::FollowReport { top_k: u32::from(idx) + 1 }
+}
+
+fn result() -> Arc<QueryResult> {
+    Arc::new(QueryResult::Delay(Vec::new()))
+}
+
+/// One scripted cache operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `get(query(i))` — bumps recency on hit.
+    Get(u8),
+    /// `insert(query(i), ..)` at the current generation.
+    Insert(u8),
+    /// `insert(query(i), ..)` stamped with the *previous* generation —
+    /// must be refused whenever a bump has happened.
+    InsertStale(u8),
+    /// `invalidate_all(gen + 1)`.
+    Bump,
+}
+
+fn arb_op(pool: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..pool).prop_map(Op::Get),
+        4 => (0..pool).prop_map(Op::Insert),
+        1 => (0..pool).prop_map(Op::InsertStale),
+        1 => Just(Op::Bump),
+    ]
+}
+
+/// Reference model of one shard: `(query index, last_used)` pairs plus
+/// the same global tick/generation counters the cache keeps.
+struct Model {
+    cap: usize,
+    entries: Vec<(u8, u64)>,
+    tick: u64,
+    gen: u64,
+}
+
+impl Model {
+    fn contains(&self, i: u8) -> bool {
+        self.entries.iter().any(|&(q, _)| q == i)
+    }
+
+    fn get(&mut self, i: u8) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|(q, _)| *q == i) {
+            e.1 = self.tick;
+            self.tick += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, i: u8, computed_gen: u64) {
+        if computed_gen != self.gen {
+            return; // stale: refused, no tick consumed
+        }
+        let tick = self.tick;
+        self.tick += 1;
+        if self.entries.len() >= self.cap && !self.contains(i) {
+            // Evict the smallest stamp. Ticks are unique, so the victim
+            // is unambiguous.
+            if let Some(pos) = (0..self.entries.len()).min_by_key(|&p| self.entries[p].1) {
+                self.entries.remove(pos);
+            }
+        }
+        self.entries.retain(|&(q, _)| q != i);
+        self.entries.push((i, tick));
+    }
+
+    fn bump(&mut self) {
+        self.gen += 1;
+        self.entries.clear();
+    }
+}
+
+proptest! {
+    /// Single shard: the cache tracks the reference model op-for-op.
+    #[test]
+    fn single_shard_matches_lru_model(
+        cap in 1usize..5,
+        ops in prop::collection::vec(arb_op(8), 1..120),
+    ) {
+        let cache = ShardedCache::new(1, cap);
+        let mut model = Model { cap, entries: Vec::new(), tick: 0, gen: 0 };
+        for op in ops {
+            match op {
+                Op::Get(i) => {
+                    let hit = cache.get(&query(i)).is_some();
+                    prop_assert_eq!(hit, model.get(i), "get({}) divergence", i);
+                }
+                Op::Insert(i) => {
+                    cache.insert(query(i), result(), model.gen);
+                    model.insert(i, model.gen);
+                }
+                Op::InsertStale(i) => {
+                    let stale = model.gen.wrapping_sub(1);
+                    cache.insert(query(i), result(), stale);
+                    model.insert(i, stale);
+                }
+                Op::Bump => {
+                    model.bump();
+                    cache.invalidate_all(model.gen);
+                }
+            }
+            // Membership must agree for the whole pool after every op —
+            // this pins the eviction *order*, not just the count.
+            for i in 0..8u8 {
+                prop_assert_eq!(
+                    cache.peek(&query(i)).is_some(),
+                    model.contains(i),
+                    "membership divergence on query {} after {:?}", i, op
+                );
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.entries, model.entries.len());
+            prop_assert!(stats.entries <= cap, "capacity exceeded: {} > {}", stats.entries, cap);
+            prop_assert_eq!(cache.generation(), model.gen);
+        }
+    }
+
+    /// Any shard geometry: residency is bounded by `shards * cap`, and
+    /// a generation bump clears everything and refuses stale inserts.
+    #[test]
+    fn sharded_capacity_and_generation_refusal(
+        shards in 1usize..5,
+        cap in 1usize..4,
+        keys in prop::collection::vec(0u8..32, 1..64),
+    ) {
+        let cache = ShardedCache::new(shards, cap);
+        for &k in &keys {
+            cache.insert(query(k), result(), 0);
+            prop_assert!(cache.stats().entries <= shards * cap);
+        }
+        cache.invalidate_all(1);
+        prop_assert_eq!(cache.stats().entries, 0);
+        for &k in &keys {
+            cache.insert(query(k), result(), 0); // all stale now
+        }
+        prop_assert_eq!(cache.stats().entries, 0, "stale inserts must be refused");
+        cache.insert(query(keys[0]), result(), 1);
+        prop_assert_eq!(cache.stats().entries, 1);
+    }
+}

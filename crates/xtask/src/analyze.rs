@@ -116,6 +116,21 @@ impl Analysis {
         inv
     }
 
+    /// Per-crate `#[test]` counts for the test-count ratchet. Counted
+    /// on comment-stripped code lines so a commented-out attribute does
+    /// not register; top-level `tests/` files bucket under `tests`.
+    pub fn test_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for (rel, src, _, _) in &self.files {
+            let krate = walk::crate_of(rel);
+            let n = src.lines.iter().filter(|l| l.code.trim() == "#[test]").count();
+            if n > 0 {
+                *counts.entry(krate).or_default() += n;
+            }
+        }
+        counts
+    }
+
     /// The `SourceFile` backing a graph node's file.
     fn source_of(&self, file_idx: usize) -> &SourceFile {
         &self.files[file_idx].1
@@ -381,20 +396,31 @@ fn render_path(
 /// Check the measured inventory against the committed baseline,
 /// rendering ratchet violations as diagnostics against the baseline
 /// file.
-pub fn check_baseline(root: &Path, inventory: &Inventory) -> Result<Vec<Diagnostic>, String> {
+pub fn check_baseline(
+    root: &Path,
+    inventory: &Inventory,
+    test_counts: &BTreeMap<String, usize>,
+) -> Result<Vec<Diagnostic>, String> {
     let base = baseline::load(&root.join(BASELINE_FILE))?;
-    Ok(baseline::check(&base, inventory)
+    let unsafe_errs = baseline::check(&base, inventory)
         .into_iter()
-        .map(|e| Diagnostic::new(Path::new(BASELINE_FILE), 1, "unsafe_ratchet", e.to_string()))
-        .collect())
+        .map(|e| Diagnostic::new(Path::new(BASELINE_FILE), 1, "unsafe_ratchet", e.to_string()));
+    let test_errs = baseline::check_tests(&base, test_counts)
+        .into_iter()
+        .map(|e| Diagnostic::new(Path::new(BASELINE_FILE), 1, "test_ratchet", e.to_string()));
+    Ok(unsafe_errs.chain(test_errs).collect())
 }
 
-/// Rewrite the baseline from the current inventory, carrying forward
-/// existing reasons. Returns the written path.
-pub fn update_baseline(root: &Path, inventory: &Inventory) -> Result<PathBuf, String> {
+/// Rewrite the baseline from the current inventory and test counts,
+/// carrying forward existing reasons. Returns the written path.
+pub fn update_baseline(
+    root: &Path,
+    inventory: &Inventory,
+    test_counts: &BTreeMap<String, usize>,
+) -> Result<PathBuf, String> {
     let path = root.join(BASELINE_FILE);
     let prev = baseline::load(&path).unwrap_or_else(|_| Baseline::default());
-    let next = baseline::from_inventory(inventory, &prev);
+    let next = baseline::from_inventory(inventory, test_counts, &prev);
     std::fs::write(&path, baseline::serialize(&next))
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     Ok(path)

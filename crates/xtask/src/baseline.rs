@@ -15,6 +15,12 @@
 //! The file is a deliberately tiny TOML subset (parsed by hand — no
 //! dependencies): `[crate.<name>]` tables with `count`, `digest`, and a
 //! mandatory human `reason`.
+//!
+//! The same file also ratchets **test counts**: `[tests.<name>]` tables
+//! record each crate's `#[test]` count. Shrinking below the recorded
+//! count fails (tests were dropped); growing past it also fails until
+//! the floor is raised with `--update-baseline`, so the recorded counts
+//! always match reality and future shrinkage is always caught.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -36,6 +42,8 @@ pub struct BaselineEntry {
 pub struct Baseline {
     /// Entries keyed by crate name.
     pub crates: BTreeMap<String, BaselineEntry>,
+    /// Recorded `#[test]` counts keyed by crate name.
+    pub tests: BTreeMap<String, usize>,
 }
 
 /// The current inventory measured from the workspace: crate name →
@@ -111,6 +119,26 @@ pub enum RatchetError {
         /// Crate name.
         krate: String,
     },
+    /// `#[test]` count fell below the recorded floor — tests were
+    /// dropped.
+    TestsShrank {
+        /// Crate name.
+        krate: String,
+        /// Recorded test count.
+        baseline: usize,
+        /// Measured test count.
+        actual: usize,
+    },
+    /// `#[test]` count grew past the recorded floor — the floor must be
+    /// raised so the new tests are protected too.
+    TestsGrew {
+        /// Crate name.
+        krate: String,
+        /// Recorded test count.
+        baseline: usize,
+        /// Measured test count.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for RatchetError {
@@ -130,6 +158,18 @@ impl std::fmt::Display for RatchetError {
                 f,
                 "crate `{krate}` unsafe sites moved (count unchanged, location digest differs) — \
                  review and run `cargo xtask analyze --update-baseline`"
+            ),
+            RatchetError::TestsShrank { krate, baseline, actual } => write!(
+                f,
+                "crate `{krate}` has {actual} #[test] functions, baseline records {baseline} — \
+                 tests were dropped; restore them (or, if removal is deliberate, justify it and \
+                 run `cargo xtask analyze --update-baseline`)"
+            ),
+            RatchetError::TestsGrew { krate, baseline, actual } => write!(
+                f,
+                "crate `{krate}` has {actual} #[test] functions, baseline records {baseline} — \
+                 raise the floor with `cargo xtask analyze --update-baseline` so the new tests \
+                 cannot be silently dropped later"
             ),
         }
     }
@@ -159,10 +199,48 @@ pub fn check(baseline: &Baseline, inventory: &Inventory) -> Vec<RatchetError> {
     errors
 }
 
-/// Build the baseline that matches the current inventory, carrying
-/// forward reasons for crates that already had one.
-pub fn from_inventory(inventory: &Inventory, previous: &Baseline) -> Baseline {
+/// Compare measured per-crate `#[test]` counts against the recorded
+/// floors. Exact-match semantics: shrink and growth both fail (growth
+/// is resolved by raising the floor), so the committed counts always
+/// reflect reality.
+pub fn check_tests(baseline: &Baseline, counts: &BTreeMap<String, usize>) -> Vec<RatchetError> {
+    let mut errors = Vec::new();
+    let mut names: Vec<&String> = baseline.tests.keys().chain(counts.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        let recorded = baseline.tests.get(name).copied().unwrap_or(0);
+        let actual = counts.get(name).copied().unwrap_or(0);
+        if actual < recorded {
+            errors.push(RatchetError::TestsShrank {
+                krate: name.clone(),
+                baseline: recorded,
+                actual,
+            });
+        } else if actual > recorded {
+            errors.push(RatchetError::TestsGrew {
+                krate: name.clone(),
+                baseline: recorded,
+                actual,
+            });
+        }
+    }
+    errors
+}
+
+/// Build the baseline that matches the current inventory and test
+/// counts, carrying forward reasons for crates that already had one.
+pub fn from_inventory(
+    inventory: &Inventory,
+    test_counts: &BTreeMap<String, usize>,
+    previous: &Baseline,
+) -> Baseline {
     let mut out = Baseline::default();
+    for (name, &count) in test_counts {
+        if count > 0 {
+            out.tests.insert(name.clone(), count);
+        }
+    }
     for (name, _) in inventory.crates.iter() {
         let count = inventory.count(name);
         if count == 0 {
@@ -182,8 +260,12 @@ pub fn from_inventory(inventory: &Inventory, previous: &Baseline) -> Baseline {
 /// Parse `analyze-baseline.toml`. Unknown keys and malformed lines are
 /// hard errors — the ratchet must not fail open.
 pub fn parse(text: &str) -> Result<Baseline, String> {
+    enum Table {
+        Crate(String),
+        Tests(String),
+    }
     let mut out = Baseline::default();
-    let mut current: Option<String> = None;
+    let mut current: Option<Table> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = idx + 1;
@@ -194,50 +276,78 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
             let name = rest
                 .strip_suffix(']')
                 .ok_or_else(|| format!("baseline line {lineno}: unterminated table header"))?;
-            let krate = name
-                .strip_prefix("crate.")
-                .ok_or_else(|| format!("baseline line {lineno}: expected [crate.<name>]"))?;
-            if krate.is_empty() {
-                return Err(format!("baseline line {lineno}: empty crate name"));
+            if let Some(krate) = name.strip_prefix("crate.") {
+                if krate.is_empty() {
+                    return Err(format!("baseline line {lineno}: empty crate name"));
+                }
+                out.crates.insert(
+                    krate.to_string(),
+                    BaselineEntry { count: 0, digest: String::new(), reason: String::new() },
+                );
+                current = Some(Table::Crate(krate.to_string()));
+            } else if let Some(krate) = name.strip_prefix("tests.") {
+                if krate.is_empty() {
+                    return Err(format!("baseline line {lineno}: empty crate name"));
+                }
+                out.tests.insert(krate.to_string(), 0);
+                current = Some(Table::Tests(krate.to_string()));
+            } else {
+                return Err(format!(
+                    "baseline line {lineno}: expected [crate.<name>] or [tests.<name>]"
+                ));
             }
-            out.crates.insert(
-                krate.to_string(),
-                BaselineEntry { count: 0, digest: String::new(), reason: String::new() },
-            );
-            current = Some(krate.to_string());
             continue;
         }
         let (key, value) = line
             .split_once('=')
             .map(|(k, v)| (k.trim(), v.trim()))
             .ok_or_else(|| format!("baseline line {lineno}: expected key = value"))?;
-        let krate = current
+        let table = current
             .as_ref()
-            .ok_or_else(|| format!("baseline line {lineno}: key outside a [crate.*] table"))?;
-        let entry = out.crates.get_mut(krate).expect("current table exists");
-        match key {
-            "count" => {
-                entry.count = value
-                    .parse()
-                    .map_err(|_| format!("baseline line {lineno}: count must be an integer"))?;
-            }
-            "digest" => {
-                entry.digest = unquote(value)
-                    .ok_or_else(|| format!("baseline line {lineno}: digest must be quoted"))?;
-            }
-            "reason" => {
-                let reason = unquote(value)
-                    .ok_or_else(|| format!("baseline line {lineno}: reason must be quoted"))?;
-                if reason.trim().is_empty() {
+            .ok_or_else(|| format!("baseline line {lineno}: key outside a table"))?;
+        match table {
+            Table::Tests(krate) => match key {
+                "count" => {
+                    let n = value
+                        .parse()
+                        .map_err(|_| format!("baseline line {lineno}: count must be an integer"))?;
+                    out.tests.insert(krate.clone(), n);
+                }
+                other => {
                     return Err(format!(
-                        "baseline line {lineno}: reason must be non-empty — every grandfathered \
-                         unsafe inventory needs a justification"
+                        "baseline line {lineno}: unknown key `{other}` in a [tests.*] table"
                     ));
                 }
-                entry.reason = reason;
-            }
-            other => {
-                return Err(format!("baseline line {lineno}: unknown key `{other}`"));
+            },
+            Table::Crate(krate) => {
+                let entry = out.crates.get_mut(krate).expect("current table exists");
+                match key {
+                    "count" => {
+                        entry.count = value.parse().map_err(|_| {
+                            format!("baseline line {lineno}: count must be an integer")
+                        })?;
+                    }
+                    "digest" => {
+                        entry.digest = unquote(value).ok_or_else(|| {
+                            format!("baseline line {lineno}: digest must be quoted")
+                        })?;
+                    }
+                    "reason" => {
+                        let reason = unquote(value).ok_or_else(|| {
+                            format!("baseline line {lineno}: reason must be quoted")
+                        })?;
+                        if reason.trim().is_empty() {
+                            return Err(format!(
+                                "baseline line {lineno}: reason must be non-empty — every \
+                                 grandfathered unsafe inventory needs a justification"
+                            ));
+                        }
+                        entry.reason = reason;
+                    }
+                    other => {
+                        return Err(format!("baseline line {lineno}: unknown key `{other}`"));
+                    }
+                }
             }
         }
     }
@@ -270,6 +380,16 @@ pub fn serialize(baseline: &Baseline) -> String {
             "\n[crate.{name}]\ncount = {}\ndigest = \"{}\"\nreason = \"{}\"\n",
             e.count, e.digest, e.reason
         );
+    }
+    if !baseline.tests.is_empty() {
+        out.push_str(
+            "\n# Per-crate #[test] floors: shrinking below a recorded count fails\n\
+             # `cargo xtask analyze` (tests were dropped); growth must raise the\n\
+             # floor via --update-baseline.\n",
+        );
+        for (name, count) in baseline.tests.iter() {
+            let _ = write!(out, "\n[tests.{name}]\ncount = {count}\n");
+        }
     }
     out
 }
@@ -304,10 +424,16 @@ mod tests {
         assert_ne!(a.digest("engine"), c.digest("engine"));
     }
 
+    fn no_tests() -> BTreeMap<String, usize> {
+        BTreeMap::new()
+    }
+
     #[test]
     fn roundtrip_parse_serialize() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 4)]);
-        let mut base = from_inventory(&inv, &Baseline::default());
+        let counts: BTreeMap<String, usize> =
+            [("columnar".to_string(), 7), ("serve".to_string(), 12)].into_iter().collect();
+        let mut base = from_inventory(&inv, &counts, &Baseline::default());
         base.crates.get_mut("columnar").unwrap().reason = "mmap I/O".into();
         let text = serialize(&base);
         let parsed = parse(&text).unwrap();
@@ -328,7 +454,7 @@ mod tests {
     #[test]
     fn stale_entry_fails() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let mut base = from_inventory(&inv, &Baseline::default());
+        let mut base = from_inventory(&inv, &no_tests(), &Baseline::default());
         base.crates.get_mut("columnar").unwrap().count = 5;
         let errs = check(&base, &inv);
         assert_eq!(
@@ -340,7 +466,7 @@ mod tests {
     #[test]
     fn moved_unsafe_fails() {
         let old = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let base = from_inventory(&old, &Baseline::default());
+        let base = from_inventory(&old, &no_tests(), &Baseline::default());
         let new = inventory(&[("columnar", "src/table.rs", 2)]);
         let errs = check(&base, &new);
         assert_eq!(errs, vec![RatchetError::Moved { krate: "columnar".into() }]);
@@ -349,7 +475,7 @@ mod tests {
     #[test]
     fn matching_inventory_passes() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let base = from_inventory(&inv, &Baseline::default());
+        let base = from_inventory(&inv, &no_tests(), &Baseline::default());
         assert!(check(&base, &inv).is_empty());
     }
 
@@ -371,11 +497,56 @@ mod tests {
     #[test]
     fn update_carries_reasons_forward() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let mut prev = from_inventory(&inv, &Baseline::default());
+        let mut prev = from_inventory(&inv, &no_tests(), &Baseline::default());
         prev.crates.get_mut("columnar").unwrap().reason = "mmap I/O".into();
         let grown = inventory(&[("columnar", "src/mmap.rs", 2), ("columnar", "src/table.rs", 1)]);
-        let next = from_inventory(&grown, &prev);
+        let next = from_inventory(&grown, &no_tests(), &prev);
         assert_eq!(next.crates["columnar"].count, 3);
         assert_eq!(next.crates["columnar"].reason, "mmap I/O");
+    }
+
+    #[test]
+    fn tests_tables_roundtrip() {
+        let counts: BTreeMap<String, usize> =
+            [("engine".to_string(), 31), ("faults".to_string(), 10)].into_iter().collect();
+        let base = from_inventory(&Inventory::default(), &counts, &Baseline::default());
+        let text = serialize(&base);
+        assert!(text.contains("[tests.engine]\ncount = 31"), "{text}");
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn tests_tables_reject_foreign_keys() {
+        assert!(parse("[tests.engine]\ndigest = \"abc\"\n").is_err());
+        assert!(parse("[tests.engine]\nreason = \"x\"\n").is_err());
+        assert!(parse("[tests.]\ncount = 1\n").is_err());
+    }
+
+    #[test]
+    fn test_ratchet_flags_shrink_and_growth() {
+        let mut base = Baseline::default();
+        base.tests.insert("serve".to_string(), 10);
+        base.tests.insert("engine".to_string(), 5);
+
+        let exact: BTreeMap<String, usize> =
+            [("serve".to_string(), 10), ("engine".to_string(), 5)].into_iter().collect();
+        assert!(check_tests(&base, &exact).is_empty());
+
+        let shrunk: BTreeMap<String, usize> =
+            [("serve".to_string(), 8), ("engine".to_string(), 5)].into_iter().collect();
+        assert_eq!(
+            check_tests(&base, &shrunk),
+            vec![RatchetError::TestsShrank { krate: "serve".into(), baseline: 10, actual: 8 }]
+        );
+
+        let grown: BTreeMap<String, usize> =
+            [("serve".to_string(), 10), ("engine".to_string(), 5), ("faults".to_string(), 3)]
+                .into_iter()
+                .collect();
+        assert_eq!(
+            check_tests(&base, &grown),
+            vec![RatchetError::TestsGrew { krate: "faults".into(), baseline: 0, actual: 3 }]
+        );
     }
 }

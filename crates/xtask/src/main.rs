@@ -129,11 +129,12 @@ fn cmd_analyze(args: &[String]) -> Result<bool, String> {
     // (explicit FILES) skip it rather than reporting bogus shrinkage.
     if whole_workspace {
         let inventory = analysis.inventory();
+        let test_counts = analysis.test_counts();
         if opts.update_baseline {
-            let path = analyze::update_baseline(&root, &inventory)?;
+            let path = analyze::update_baseline(&root, &inventory, &test_counts)?;
             eprintln!("xtask analyze: baseline written to {}", path.display());
         } else {
-            diagnostics.extend(analyze::check_baseline(&root, &inventory)?);
+            diagnostics.extend(analyze::check_baseline(&root, &inventory, &test_counts)?);
         }
     }
     diag::emit("analyze", &diagnostics, opts.format);

@@ -140,7 +140,8 @@ fn fixture_inventory_counts_the_demo_unsafe_site() {
 fn ratchet_rejects_new_unsafe_without_a_baseline_entry() {
     let root = temp_root("grew");
     let inv = analysis().inventory();
-    let d = analyze::check_baseline(&root, &inv).unwrap();
+    let counts = analysis().test_counts();
+    let d = analyze::check_baseline(&root, &inv, &counts).unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert_eq!(d[0].rule, "unsafe_ratchet");
     assert_eq!(d[0].path, PathBuf::from(analyze::BASELINE_FILE));
@@ -155,6 +156,7 @@ fn ratchet_rejects_new_unsafe_without_a_baseline_entry() {
 fn ratchet_rejects_stale_entries_for_vanished_unsafe() {
     let root = temp_root("stale");
     let inv = analysis().inventory();
+    let counts = analysis().test_counts();
     write_baseline(
         &root,
         &format!(
@@ -163,7 +165,7 @@ fn ratchet_rejects_stale_entries_for_vanished_unsafe() {
             inv.digest("demo")
         ),
     );
-    let d = analyze::check_baseline(&root, &inv).unwrap();
+    let d = analyze::check_baseline(&root, &inv, &counts).unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert!(
         d[0].message.contains("`ghost` has 0 unsafe sites but the baseline still grandfathers 3"),
@@ -176,11 +178,12 @@ fn ratchet_rejects_stale_entries_for_vanished_unsafe() {
 fn ratchet_rejects_moved_unsafe_at_equal_count() {
     let root = temp_root("moved");
     let inv = analysis().inventory();
+    let counts = analysis().test_counts();
     write_baseline(
         &root,
         "[crate.demo]\ncount = 1\ndigest = \"ffffffffffffffff\"\nreason = \"fixture\"\n",
     );
-    let d = analyze::check_baseline(&root, &inv).unwrap();
+    let d = analyze::check_baseline(&root, &inv, &counts).unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert!(d[0].message.contains("unsafe sites moved"), "{}", d[0].message);
 }
@@ -189,6 +192,7 @@ fn ratchet_rejects_moved_unsafe_at_equal_count() {
 fn ratchet_passes_on_matching_baseline_and_update_keeps_reasons() {
     let root = temp_root("match");
     let inv = analysis().inventory();
+    let counts = analysis().test_counts();
     write_baseline(
         &root,
         &format!(
@@ -196,15 +200,41 @@ fn ratchet_passes_on_matching_baseline_and_update_keeps_reasons() {
             inv.digest("demo")
         ),
     );
-    assert!(analyze::check_baseline(&root, &inv).unwrap().is_empty());
+    assert!(analyze::check_baseline(&root, &inv, &counts).unwrap().is_empty());
 
     // `--update-baseline` rewrites the file from the inventory and
     // carries the human reason forward.
-    let path = analyze::update_baseline(&root, &inv).unwrap();
+    let path = analyze::update_baseline(&root, &inv, &counts).unwrap();
     let reparsed = baseline::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(reparsed.crates["demo"].count, 1);
     assert_eq!(reparsed.crates["demo"].reason, "SAFETY-commented spin fixture");
-    assert!(analyze::check_baseline(&root, &inv).unwrap().is_empty());
+    assert!(analyze::check_baseline(&root, &inv, &counts).unwrap().is_empty());
+}
+
+#[test]
+fn test_ratchet_flags_dropped_tests_through_check_baseline() {
+    let root = temp_root("tests-ratchet");
+    let inv = analysis().inventory();
+    write_baseline(
+        &root,
+        &format!(
+            "[crate.demo]\ncount = 1\ndigest = \"{}\"\nreason = \"fixture\"\n\
+             [tests.demo]\ncount = 4\n",
+            inv.digest("demo")
+        ),
+    );
+    // The fixture tree has no #[test] at all, so the recorded floor of
+    // 4 reads as dropped tests.
+    let counts = analysis().test_counts();
+    assert!(counts.is_empty(), "{counts:?}");
+    let d = analyze::check_baseline(&root, &inv, &counts).unwrap();
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, "test_ratchet");
+    assert!(d[0].message.contains("tests were dropped"), "{}", d[0].message);
+
+    // `--update-baseline` ratchets the floor back to reality.
+    analyze::update_baseline(&root, &inv, &counts).unwrap();
+    assert!(analyze::check_baseline(&root, &inv, &counts).unwrap().is_empty());
 }
 
 #[test]
@@ -212,5 +242,6 @@ fn malformed_baseline_is_a_hard_error_not_a_pass() {
     let root = temp_root("malformed");
     write_baseline(&root, "[crate.demo]\ncount = banana\n");
     let inv = analysis().inventory();
-    assert!(analyze::check_baseline(&root, &inv).is_err());
+    let counts = analysis().test_counts();
+    assert!(analyze::check_baseline(&root, &inv, &counts).is_err());
 }
