@@ -621,6 +621,7 @@ pub fn save(path: &std::path::Path, d: &Dataset) -> io::Result<()> {
 
 /// Write a dataset to a file split into `n_parts` load partitions.
 pub fn save_with_partitions(path: &std::path::Path, d: &Dataset, n_parts: u32) -> io::Result<()> {
+    let _s = gdelt_obs::span_args("store", "save", "parts", u64::from(n_parts));
     let mut w = io::BufWriter::new(std::fs::File::create(path)?);
     write_dataset_with_partitions(&mut w, d, n_parts)?;
     w.flush()
@@ -628,6 +629,7 @@ pub fn save_with_partitions(path: &std::path::Path, d: &Dataset, n_parts: u32) -
 
 /// Load a dataset from a file (buffered), verifying integrity.
 pub fn load(path: &std::path::Path) -> io::Result<Dataset> {
+    let _s = gdelt_obs::span("store", "load");
     let mut r = io::BufReader::new(std::fs::File::open(path)?);
     read_dataset(&mut r)
 }

@@ -48,11 +48,14 @@ impl DatasetBuilder {
     /// Ingest a raw events file (tab-separated text); parse failures are
     /// counted, not fatal.
     pub fn ingest_events_text(&mut self, text: &str) {
+        let _s = gdelt_obs::span_args("ingest", "parse_events", "bytes", text.len() as u64);
         let mut bad = 0u64;
         let events = parse_events(text, |_, _, _| bad += 1);
         for _ in 0..bad {
             self.cleaner.bad_event_line();
         }
+        gdelt_obs::global().counter("ingest_bad_event_lines_total").add(bad);
+        gdelt_obs::global().counter("ingest_event_rows_total").add(events.len() as u64);
         for e in events {
             self.add_event(e);
         }
@@ -60,11 +63,14 @@ impl DatasetBuilder {
 
     /// Ingest a raw mentions file.
     pub fn ingest_mentions_text(&mut self, text: &str) {
+        let _s = gdelt_obs::span_args("ingest", "parse_mentions", "bytes", text.len() as u64);
         let mut bad = 0u64;
         let mentions = parse_mentions(text, |_, _, _| bad += 1);
         for _ in 0..bad {
             self.cleaner.bad_mention_line();
         }
+        gdelt_obs::global().counter("ingest_bad_mention_lines_total").add(bad);
+        gdelt_obs::global().counter("ingest_mention_rows_total").add(mentions.len() as u64);
         for m in mentions {
             self.add_mention(m);
         }
@@ -89,7 +95,10 @@ impl DatasetBuilder {
     /// Run the conversion. Returns the queryable dataset and the cleaning
     /// report.
     pub fn build(mut self) -> (Dataset, CleanReport) {
+        let _build = gdelt_obs::span_args("ingest", "build", "events", self.events.len() as u64)
+            .arg("mentions", self.mentions.len() as u64);
         // --- Events: sort by id, drop duplicates and pre-epoch rows. ---
+        let stage = gdelt_obs::span("ingest", "events_columns");
         self.events.sort_by_key(|e| e.id);
         let mut events = EventsTable::default();
         let n = self.events.len();
@@ -130,6 +139,8 @@ impl DatasetBuilder {
         }
 
         // --- Mentions: resolve join + intervals, then group-sort. ---
+        drop(stage);
+        let stage = gdelt_obs::span("ingest", "mentions_resolve");
         let mut sources = SourceDirectory::default();
         // (event_row, mention_interval, index into self.mentions, source)
         let mut order: Vec<(u32, u32, u32, u32)> = Vec::with_capacity(self.mentions.len());
@@ -156,6 +167,8 @@ impl DatasetBuilder {
         }
         order.sort_unstable();
 
+        drop(stage);
+        let stage = gdelt_obs::span("ingest", "mentions_columns");
         let mut mentions = MentionsTable::default();
         reserve_mentions(&mut mentions, order.len());
         for &(event_row, mn_iv, idx, source_id) in &order {
@@ -176,7 +189,10 @@ impl DatasetBuilder {
             mentions.doc_tone.push(m.doc_tone);
         }
 
+        drop(stage);
+        let stage = gdelt_obs::span("ingest", "csr_index");
         let event_index = EventIndex::build(events.len(), &mentions);
+        drop(stage);
         let dataset = Dataset { events, mentions, sources, event_index };
         debug_assert_eq!(dataset.validate(), Ok(()));
         #[cfg(debug_assertions)]

@@ -475,6 +475,7 @@ pub fn load_degraded_with(
     policy: &LoadPolicy,
     shim: &dyn ReadShim,
 ) -> io::Result<DegradedLoad> {
+    let _s = gdelt_obs::span("store", "load_degraded");
     let mut retries: u32 = 0;
     let mut attempt: u32 = 0;
     loop {
@@ -485,14 +486,49 @@ pub fn load_degraded_with(
         match result {
             Ok(mut loaded) => {
                 loaded.health.retries = retries;
+                if retries > 0 {
+                    gdelt_obs::flight_info(
+                        "degraded",
+                        "retry_recovered",
+                        format!("load of {} succeeded after {retries} retries", path.display()),
+                    );
+                }
+                if !loaded.health.is_clean() {
+                    gdelt_obs::flight_warn(
+                        "degraded",
+                        "quarantine",
+                        format!(
+                            "{} partition(s) quarantined loading {} (coverage {})",
+                            loaded.health.quarantined.len(),
+                            path.display(),
+                            loaded.health.coverage(),
+                        ),
+                    );
+                }
                 return Ok(loaded);
             }
             Err(e) if retryable(&e) && attempt < policy.max_retries => {
+                gdelt_obs::flight_warn(
+                    "degraded",
+                    "retry",
+                    format!(
+                        "load attempt {attempt} of {} failed ({e}); backing off {:?}",
+                        path.display(),
+                        policy.delay(attempt),
+                    ),
+                );
                 std::thread::sleep(policy.delay(attempt));
                 retries += 1;
                 attempt += 1;
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                gdelt_obs::flight_error(
+                    "degraded",
+                    "load_failed",
+                    format!("giving up on {} after {retries} retries: {e}", path.display()),
+                );
+                return Err(e);
+            }
         }
     }
 }

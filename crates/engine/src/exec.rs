@@ -162,7 +162,22 @@ impl ExecContext {
         R: FnMut(T, T) -> T,
     {
         use rayon::prelude::*;
-        let partials: Vec<T> = self.install(|| parts.into_par_iter().map(&map).collect());
+        let partials: Vec<T> = self.install(|| {
+            parts
+                .into_par_iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    // One inert guard (a single relaxed load) per
+                    // partition when tracing is off; when it is on, the
+                    // per-partition/per-thread breakdown is what the
+                    // Fig 12 imbalance view is built from.
+                    // analyze: allow(obs_hot_path): per-partition granularity is the point; cost is one atomic load when disabled
+                    let _s = gdelt_obs::span_args("engine", "partition", "rows", p.len() as u64)
+                        .arg("part", i as u64);
+                    map(p)
+                })
+                .collect()
+        });
         partials.into_iter().reduce(reduce)
     }
 

@@ -137,6 +137,39 @@ impl Query {
         }
     }
 
+    /// Stable short kernel name — the span name [`run_query`] records
+    /// and the suffix of the `engine_query_us_*` latency histograms in
+    /// the global metrics registry. Parameters are not part of the
+    /// name: `topk/publishers/k=5` and `k=50` profile as one kernel.
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            Query::CoReport => "coreport",
+            Query::FollowReport { .. } => "followreport",
+            Query::CrossCountry => "crosscountry",
+            Query::Delay => "delay",
+            Query::TimeSeries(SeriesKind::Events) => "timeseries_events",
+            Query::TimeSeries(SeriesKind::Articles) => "timeseries_articles",
+            Query::TimeSeries(SeriesKind::ActiveSources) => "timeseries_active_sources",
+            Query::TimeSeries(SeriesKind::LateArticles { .. }) => "timeseries_late_articles",
+            Query::TopK { kind: TopKKind::Publishers, .. } => "topk_publishers",
+            Query::TopK { kind: TopKKind::Events, .. } => "topk_events",
+        }
+    }
+
+    /// Every kernel name [`Query::kernel_name`] can return.
+    pub const KERNEL_NAMES: [&'static str; 10] = [
+        "coreport",
+        "followreport",
+        "crosscountry",
+        "delay",
+        "timeseries_events",
+        "timeseries_articles",
+        "timeseries_active_sources",
+        "timeseries_late_articles",
+        "topk_publishers",
+        "topk_events",
+    ];
+
     /// Admission-control cost estimate: rows scanned × kernel weight.
     /// The weights are the number of passes (plus bookkeeping) each
     /// kernel makes over its driving table; absolute scale is arbitrary,
@@ -240,11 +273,52 @@ impl QueryResult {
     }
 }
 
+/// Per-kernel latency histograms and the total-queries counter,
+/// resolved once from the global registry so the per-query cost is a
+/// 10-entry scan plus lock-free records — no registry lock, no
+/// allocation.
+struct KernelMetrics {
+    total: std::sync::Arc<gdelt_obs::Counter>,
+    by_kernel: Vec<(&'static str, std::sync::Arc<gdelt_obs::Histogram>)>,
+}
+
+fn kernel_metrics() -> &'static KernelMetrics {
+    static METRICS: std::sync::OnceLock<KernelMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = gdelt_obs::global();
+        KernelMetrics {
+            total: reg.counter("engine_queries_total"),
+            by_kernel: Query::KERNEL_NAMES
+                .iter()
+                .map(|k| (*k, reg.histogram(&format!("engine_query_us_{k}"))))
+                .collect(),
+        }
+    })
+}
+
 /// Run one [`Query`] against `d` under `ctx` — the single dispatcher
 /// every serving-layer component goes through. Each arm delegates to the
 /// legacy kernel entry point, so results match the historical APIs
 /// bit-for-bit.
+///
+/// Every call records its latency into the kernel's
+/// `engine_query_us_*` histogram and, when tracing is enabled, one
+/// `engine`-category span named after [`Query::kernel_name`] whose
+/// children are the per-partition spans from the map-reduce skeleton.
 pub fn run_query(ctx: &ExecContext, d: &Dataset, q: &Query) -> QueryResult {
+    let kernel = q.kernel_name();
+    let _span = gdelt_obs::span("engine", kernel);
+    let t0 = std::time::Instant::now();
+    let result = run_query_inner(ctx, d, q);
+    let metrics = kernel_metrics();
+    metrics.total.inc();
+    if let Some((_, hist)) = metrics.by_kernel.iter().find(|(k, _)| *k == kernel) {
+        hist.record(t0.elapsed().as_micros() as u64);
+    }
+    result
+}
+
+fn run_query_inner(ctx: &ExecContext, d: &Dataset, q: &Query) -> QueryResult {
     let n_countries = CountryRegistry::new().len();
     match q {
         Query::CoReport => QueryResult::CoReport(CountryCoReport::build(ctx, d, n_countries)),
@@ -405,6 +479,29 @@ mod tests {
             Query::TimeSeries(SeriesKind::LateArticles { threshold: 96 }).canonical_key(),
             "timeseries/late_articles/threshold=96"
         );
+    }
+
+    #[test]
+    fn kernel_names_cover_every_variant_and_feed_metrics() {
+        let qs = all_variants();
+        let names: std::collections::HashSet<&'static str> =
+            qs.iter().map(Query::kernel_name).collect();
+        assert_eq!(names.len(), qs.len(), "kernel names must be distinct per shape");
+        for q in &qs {
+            assert!(Query::KERNEL_NAMES.contains(&q.kernel_name()), "{q}");
+        }
+        // Parameters collapse onto one kernel.
+        assert_eq!(
+            Query::FollowReport { top_k: 5 }.kernel_name(),
+            Query::FollowReport { top_k: 50 }.kernel_name()
+        );
+        // run_query records into the kernel's global latency histogram.
+        let d = dataset();
+        let ctx = ExecContext::sequential();
+        let hist = gdelt_obs::global().histogram("engine_query_us_delay");
+        let before = hist.count();
+        run_query(&ctx, &d, &Query::Delay);
+        assert_eq!(hist.count(), before + 1);
     }
 
     #[test]

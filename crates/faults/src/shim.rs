@@ -19,6 +19,7 @@ pub struct FaultyRead<'a> {
     truncate_at: Option<u64>,
     fail_at: Option<u64>,
     delays: Vec<(u64, Duration)>,
+    truncate_reported: bool,
 }
 
 impl<'a> FaultyRead<'a> {
@@ -38,7 +39,7 @@ impl<'a> FaultyRead<'a> {
         fail_at: Option<u64>,
         delays: Vec<(u64, Duration)>,
     ) -> Self {
-        FaultyRead { inner, pos: 0, flips, truncate_at, fail_at, delays }
+        FaultyRead { inner, pos: 0, flips, truncate_at, fail_at, delays, truncate_reported: false }
     }
 
     /// Bytes delivered so far (current absolute offset).
@@ -52,6 +53,14 @@ impl Read for FaultyRead<'_> {
         let mut want = buf.len();
         if let Some(t) = self.truncate_at {
             if self.pos >= t {
+                if !self.truncate_reported {
+                    self.truncate_reported = true;
+                    gdelt_obs::flight_warn(
+                        "faults",
+                        "truncate",
+                        format!("injected EOF at offset {t}"),
+                    );
+                }
                 return Ok(0);
             }
             let left = usize::try_from(t - self.pos).unwrap_or(usize::MAX);
@@ -59,6 +68,11 @@ impl Read for FaultyRead<'_> {
         }
         if let Some(f) = self.fail_at {
             if self.pos.saturating_add(want as u64) > f {
+                gdelt_obs::flight_warn(
+                    "faults",
+                    "read_fail",
+                    format!("injected transient failure crossing offset {f}"),
+                );
                 return Err(io::Error::other("injected transient read failure"));
             }
         }
@@ -66,6 +80,11 @@ impl Read for FaultyRead<'_> {
         let mut fired = false;
         for &(at, dur) in &self.delays {
             if at >= self.pos && at < end {
+                gdelt_obs::flight_warn(
+                    "faults",
+                    "delay",
+                    format!("injected {dur:?} stall before offset {at}"),
+                );
                 std::thread::sleep(dur);
                 fired = true;
             }
@@ -81,6 +100,11 @@ impl Read for FaultyRead<'_> {
                 let idx = usize::try_from(at - self.pos).unwrap_or(usize::MAX);
                 if let Some(b) = buf.get_mut(idx) {
                     *b ^= xor;
+                    gdelt_obs::flight_warn(
+                        "faults",
+                        "flip",
+                        format!("injected bit flip at offset {at} (xor {xor:#04x})"),
+                    );
                 }
             }
         }
@@ -162,6 +186,26 @@ mod tests {
         let err = r.read_exact(&mut buf).unwrap_err(); // would cross 50
         assert_ne!(err.kind(), io::ErrorKind::InvalidData, "must be retryable");
         assert_eq!(r.position(), 40, "failed read must not advance");
+    }
+
+    #[test]
+    fn fault_hits_land_in_the_flight_recorder() {
+        let data = vec![0u8; 64];
+        let mut r =
+            wrap(data, |inner| FaultyRead::new(inner, vec![(5, 0xA5)], Some(33), None, Vec::new()));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        // The recorder is process-global and other tests write to it
+        // concurrently, so assert only that *our* hits are present.
+        let evs = gdelt_obs::flight_snapshot();
+        assert!(
+            evs.iter().any(|e| e.code == "flip" && e.detail.contains("offset 5")),
+            "missing flip event: {evs:?}"
+        );
+        assert!(
+            evs.iter().any(|e| e.code == "truncate" && e.detail.contains("offset 33")),
+            "missing truncate event: {evs:?}"
+        );
     }
 
     #[test]

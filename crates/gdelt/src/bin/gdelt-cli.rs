@@ -10,11 +10,16 @@
 //! * `synth-report` — generate in memory and report directly;
 //! * `bench-scaling` — the Fig 12 thread sweep;
 //! * `serve-bench` — replay a seeded query mix against the concurrent
-//!   query service and print its metrics;
+//!   query service and print its metrics (optionally exporting the
+//!   Prometheus exposition and a Chrome trace of the run);
+//! * `obs` — the observability self-check: an instrumented replay that
+//!   validates the exposition and trace through the committed
+//!   validators and guards the instrumentation overhead budget;
 //! * `chaos` — the deterministic fault-injection harness: corrupt a
 //!   store on a seeded schedule, load it degraded, and replay the
 //!   serve mix under worker panics and `apply_batch` storms while
-//!   asserting the degradation invariants.
+//!   asserting the degradation invariants; its failure artifacts
+//!   include a flight-recorder dump next to the fault schedule.
 
 use gdelt_analysis::report::{run_full_report, scaling_thread_counts, ReportOptions};
 use gdelt_columnar::{binfmt, DatasetBuilder};
@@ -41,6 +46,7 @@ fn main() -> ExitCode {
         "synth-report" => cmd_synth_report(&opts),
         "bench-scaling" => cmd_bench_scaling(&opts),
         "serve-bench" => cmd_serve_bench(&opts),
+        "obs" => cmd_obs(&opts),
         "chaos" => cmd_chaos(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -72,6 +78,9 @@ USAGE:
   gdelt-cli bench-scaling [--scale S] [--seed N]
   gdelt-cli serve-bench   [--scale S] [--seed N] [--queries N] [--workers N]
                           [--clients N] [--threads N] [--no-cache] [--check]
+                          [--metrics-out FILE] [--trace-out FILE]
+  gdelt-cli obs           [--scale S] [--seed N] [--queries N] [--workers N]
+                          [--clients N] [--threads N] [--out DIR] [--check]
   gdelt-cli chaos         [--seed N] [--scale S] [--out DIR] [--queries N]
                           [--workers N] [--clients N] [--threads N] [--check]
 
@@ -87,9 +96,19 @@ OPTIONS:
   --no-cache   serve-bench: disable the result cache
   --check      serve-bench: exit non-zero unless the run had zero sheds
                and (with the cache on) at least one cache hit
+               obs: exit non-zero if the instrumentation overhead budget
+               (p50 +2% or the absolute noise floor) is exceeded
                chaos: exit non-zero on any violated invariant
-  --out DIR    chaos: working directory for the store image and the
-               fault-schedule JSON artifact (default target/chaos)
+  --out DIR    chaos: working directory for the store image, the
+               fault-schedule JSON, and the flight-recorder dump
+               (default target/chaos)
+               obs: where trace.json and metrics.prom are written
+               (default target/obs)
+  --metrics-out FILE  serve-bench: write the Prometheus text exposition
+               of the global registry after the replay
+  --trace-out FILE    serve-bench: record spans during the replay and
+               write them as Chrome trace_event JSON (load the file in
+               about://tracing or ui.perfetto.dev)
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -111,6 +130,8 @@ struct Options {
     clients: Option<usize>,
     no_cache: bool,
     check: bool,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 impl Options {
@@ -136,6 +157,8 @@ impl Options {
                 "--clients" => o.clients = take().parse().ok(),
                 "--no-cache" => o.no_cache = true,
                 "--check" => o.check = true,
+                "--metrics-out" => o.metrics_out = Some(PathBuf::from(take())),
+                "--trace-out" => o.trace_out = Some(PathBuf::from(take())),
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
         }
@@ -379,6 +402,9 @@ fn cmd_serve_bench(o: &Options) -> Result<(), String> {
     let (dataset, _) = gdelt_synth::generate_dataset(&cfg);
 
     let mix = seeded_mix(o.queries.unwrap_or(200), o.seed.unwrap_or(42));
+    if o.trace_out.is_some() {
+        gdelt_obs::set_tracing(true);
+    }
     let service = QueryService::new(
         dataset,
         ServiceConfig {
@@ -399,6 +425,23 @@ fn cmd_serve_bench(o: &Options) -> Result<(), String> {
     let metrics = service.metrics();
     println!("{}", metrics.render());
 
+    if let Some(path) = &o.trace_out {
+        let spans = gdelt_obs::take_spans();
+        gdelt_obs::set_tracing(false);
+        let trace = gdelt_obs::chrome_trace_json(&spans);
+        gdelt_obs::validate_chrome_trace(&trace)
+            .map_err(|e| format!("exported trace failed validation: {e}"))?;
+        write(path.clone(), &trace)?;
+        eprintln!("wrote {} spans as Chrome trace JSON to {}", spans.len(), path.display());
+    }
+    if let Some(path) = &o.metrics_out {
+        let text = gdelt_obs::global().render_prometheus();
+        gdelt_obs::validate_prometheus(&text)
+            .map_err(|e| format!("exposition failed validation: {e}"))?;
+        write(path.clone(), &text)?;
+        eprintln!("wrote Prometheus exposition to {}", path.display());
+    }
+
     if o.check {
         if report.errors > 0 {
             return Err(format!("check failed: {} queries errored", report.errors));
@@ -413,6 +456,98 @@ fn cmd_serve_bench(o: &Options) -> Result<(), String> {
             "serve-bench check passed: {} cache hits, 0 sheds, {} completed",
             metrics.cache.hits, metrics.completed
         );
+    }
+    Ok(())
+}
+
+/// The observability self-check: replay the serve mix with tracing off
+/// (baseline) and on (instrumented), best-of-N p50 each, and hold the
+/// instrumented arm to the overhead budget. The instrumented run's
+/// spans and the global registry are exported through the same
+/// validators CI round-trips, so a schema regression fails here before
+/// any external consumer sees it.
+fn cmd_obs(o: &Options) -> Result<(), String> {
+    use gdelt_serve::{replay, seeded_mix, QueryService, ServiceConfig};
+
+    /// Replays per arm; p50 is the best of these, which drops scheduler
+    /// noise without hiding a real per-query regression.
+    const RUNS: usize = 3;
+    /// Absolute slack for the guard: at synthetic scale kernels finish
+    /// in tens of microseconds, where 2% is below timer jitter.
+    const NOISE_FLOOR_US: u64 = 200;
+
+    let out_dir = o.output.clone().unwrap_or_else(|| PathBuf::from("target/obs"));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let cfg = o.config();
+    eprintln!(
+        "obs: generating synthetic corpus: {} sources, {} events, seed {}",
+        cfg.n_sources, cfg.n_events, cfg.seed
+    );
+    let (dataset, _) = gdelt_synth::generate_dataset(&cfg);
+    let mix = seeded_mix(o.queries.unwrap_or(400), o.seed.unwrap_or(42));
+    let clients = o.clients.unwrap_or(4);
+
+    // The cache stays off so every replayed query executes a kernel —
+    // an instrumented cache hit would dilute the overhead measurement.
+    let run_arm = |traced: bool| -> u64 {
+        gdelt_obs::set_tracing(traced);
+        let mut best = u64::MAX;
+        for _ in 0..RUNS {
+            if traced {
+                drop(gdelt_obs::take_spans()); // only keep the final run's spans
+            }
+            let service = QueryService::new(
+                dataset.clone(),
+                ServiceConfig {
+                    workers: o.workers.unwrap_or(2),
+                    cache_enabled: false,
+                    threads: o.threads,
+                    ..Default::default()
+                },
+            );
+            let _ = replay(&service, &mix, clients);
+            best = best.min(service.metrics().p50_us);
+        }
+        best
+    };
+    let baseline_p50 = run_arm(false);
+    let traced_p50 = run_arm(true);
+    let spans = gdelt_obs::take_spans();
+    gdelt_obs::set_tracing(false);
+
+    let trace = gdelt_obs::chrome_trace_json(&spans);
+    let n_events = gdelt_obs::validate_chrome_trace(&trace)
+        .map_err(|e| format!("exported trace failed validation: {e}"))?;
+    let exposition = gdelt_obs::global().render_prometheus();
+    let n_families = gdelt_obs::validate_prometheus(&exposition)
+        .map_err(|e| format!("exposition failed validation: {e}"))?;
+    let trace_path = out_dir.join("trace.json");
+    let metrics_path = out_dir.join("metrics.prom");
+    write(trace_path.clone(), &trace)?;
+    write(metrics_path.clone(), &exposition)?;
+
+    let delta = traced_p50.saturating_sub(baseline_p50);
+    let pct = if baseline_p50 > 0 { delta as f64 / baseline_p50 as f64 * 100.0 } else { 0.0 };
+    println!(
+        "obs overhead: baseline p50 {baseline_p50} us, instrumented p50 {traced_p50} us \
+         (+{delta} us, {pct:.2}%) over best-of-{RUNS} replays of {} queries",
+        mix.len()
+    );
+    println!("trace: {n_events} events ({} spans) -> {}", spans.len(), trace_path.display());
+    println!("metrics: {n_families} families -> {}", metrics_path.display());
+
+    if spans.is_empty() {
+        return Err("instrumented replay recorded no spans".into());
+    }
+    if o.check {
+        if delta > NOISE_FLOOR_US && pct > 2.0 {
+            return Err(format!(
+                "check failed: instrumentation overhead +{delta} us ({pct:.2}%) exceeds \
+                 the 2% budget and the {NOISE_FLOOR_US} us noise floor"
+            ));
+        }
+        eprintln!("obs check passed: overhead within budget");
     }
     Ok(())
 }
@@ -724,6 +859,21 @@ fn cmd_chaos(o: &Options) -> Result<(), String> {
         fired,
         metrics.cache.invalidations
     );
+
+    // The flight recorder saw every injected fault, retry, quarantine,
+    // refusal, and caught panic above; dump it next to the schedule so
+    // a failing CI run ships its own black box.
+    let flight = gdelt_obs::flight_snapshot();
+    if !flight.iter().any(|e| e.component == "faults") {
+        violated("no injected fault reached the flight recorder".into());
+    }
+    if !flight.iter().any(|e| e.component == "degraded") {
+        violated("the degraded load left no flight-recorder trace".into());
+    }
+    let flight_path = out_dir.join("flight-recorder.txt");
+    std::fs::write(&flight_path, gdelt_obs::render_flight(&flight))
+        .map_err(|e| format!("writing {}: {e}", flight_path.display()))?;
+    eprintln!("chaos: flight recorder ({} events) -> {}", flight.len(), flight_path.display());
 
     if violations.is_empty() {
         eprintln!("chaos: all invariants held (seed {seed})");

@@ -61,6 +61,9 @@ pub use gdelt_analysis as analysis;
 /// single-flight batching).
 pub use gdelt_serve as serve;
 
+/// Metrics, spans, and the flight recorder.
+pub use gdelt_obs as obs;
+
 /// The most common imports.
 pub mod prelude {
     pub use gdelt_columnar::{Dataset, DatasetBuilder};

@@ -1,0 +1,195 @@
+//! Flight recorder: a fixed-size ring of recent notable events, kept
+//! cheap enough to leave on in production and dumped only when
+//! something goes wrong (worker panic, degraded refusal, chaos-harness
+//! failure).
+//!
+//! Policy (see DESIGN.md "Observability architecture"): components
+//! record *state transitions*, not per-row traffic — retries,
+//! quarantines, injected faults, panics, shed storms. The ring holds
+//! the most recent [`FLIGHT_CAPACITY`] events; older ones are
+//! overwritten, which is the point: a dump answers "what happened just
+//! before this failure" without unbounded memory.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Events retained; older entries are overwritten ring-style.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Severity of a flight event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightLevel {
+    /// Expected transition worth having in a dump (e.g. retry succeeded).
+    Info,
+    /// Something was tolerated (retry, quarantine, injected fault).
+    Warn,
+    /// Something failed (worker panic, degraded refusal).
+    Error,
+}
+
+impl FlightLevel {
+    fn tag(self) -> &'static str {
+        match self {
+            FlightLevel::Info => "INFO",
+            FlightLevel::Warn => "WARN",
+            FlightLevel::Error => "ERROR",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number since process start; gaps in a dump
+    /// reveal how many events the ring already overwrote.
+    pub seq: u64,
+    /// Microseconds since the recorder first saw an event.
+    pub t_us: u64,
+    /// Severity.
+    pub level: FlightLevel,
+    /// Recording layer (e.g. `"serve"`, `"degraded"`, `"faults"`).
+    pub component: &'static str,
+    /// Stable short event code (e.g. `"worker_panic"`, `"retry"`).
+    pub code: &'static str,
+    /// Free-form context for humans; kept out of any hot loop.
+    pub detail: String,
+}
+
+struct Recorder {
+    epoch: Instant,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder {
+        epoch: Instant::now(),
+        seq: AtomicU64::new(0),
+        ring: Mutex::new(VecDeque::with_capacity(FLIGHT_CAPACITY)),
+    })
+}
+
+/// Record one event into the process-wide ring.
+pub fn flight(level: FlightLevel, component: &'static str, code: &'static str, detail: String) {
+    let r = recorder();
+    let ev = FlightEvent {
+        seq: r.seq.fetch_add(1, Ordering::Relaxed),
+        t_us: r.epoch.elapsed().as_micros() as u64,
+        level,
+        component,
+        code,
+        detail,
+    };
+    let mut ring = lock_recover(&r.ring);
+    if ring.len() == FLIGHT_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(ev);
+}
+
+/// [`flight`] at [`FlightLevel::Info`].
+pub fn flight_info(component: &'static str, code: &'static str, detail: String) {
+    flight(FlightLevel::Info, component, code, detail);
+}
+
+/// [`flight`] at [`FlightLevel::Warn`].
+pub fn flight_warn(component: &'static str, code: &'static str, detail: String) {
+    flight(FlightLevel::Warn, component, code, detail);
+}
+
+/// [`flight`] at [`FlightLevel::Error`].
+pub fn flight_error(component: &'static str, code: &'static str, detail: String) {
+    flight(FlightLevel::Error, component, code, detail);
+}
+
+/// Copy of the current ring contents, oldest first. The ring keeps
+/// its events (a dump must not erase the evidence for the next dump).
+pub fn flight_snapshot() -> Vec<FlightEvent> {
+    lock_recover(&recorder().ring).iter().cloned().collect()
+}
+
+/// Drain the ring, returning its contents. Tests use this to isolate
+/// themselves from events recorded by earlier tests.
+pub fn flight_take() -> Vec<FlightEvent> {
+    lock_recover(&recorder().ring).drain(..).collect()
+}
+
+/// Human-readable dump of recorded events, one line each.
+pub fn render_flight(events: &[FlightEvent]) -> String {
+    let mut out =
+        format!("flight recorder: {} event(s), capacity {FLIGHT_CAPACITY}\n", events.len());
+    for ev in events {
+        let _ = writeln!(
+            out,
+            "  #{seq:<6} +{t:>10}us {lvl:<5} {comp}/{code}: {detail}",
+            seq = ev.seq,
+            t = ev.t_us,
+            lvl = ev.level.tag(),
+            comp = ev.component,
+            code = ev.code,
+            detail = ev.detail,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One global ring ⇒ tests serialize on a local gate.
+    fn guard() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn events_round_trip_with_monotone_seq() {
+        let _g = guard();
+        let _ = flight_take();
+        flight_warn("degraded", "retry", "attempt 1 of 3".into());
+        flight_error("serve", "worker_panic", "worker 2".into());
+        let evs = flight_snapshot();
+        assert_eq!(evs.len(), 2, "{evs:?}");
+        assert!(evs[0].seq < evs[1].seq);
+        assert!(evs[0].t_us <= evs[1].t_us);
+        assert_eq!((evs[1].component, evs[1].code), ("serve", "worker_panic"));
+        // Snapshot does not drain.
+        assert_eq!(flight_snapshot().len(), 2);
+        let drained = flight_take();
+        assert_eq!(drained, evs);
+        assert!(flight_snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let _g = guard();
+        let _ = flight_take();
+        for i in 0..(FLIGHT_CAPACITY + 10) {
+            flight_info("test", "tick", format!("event {i}"));
+        }
+        let evs = flight_take();
+        assert_eq!(evs.len(), FLIGHT_CAPACITY);
+        assert_eq!(evs.last().unwrap().detail, format!("event {}", FLIGHT_CAPACITY + 9));
+        assert_eq!(evs.first().unwrap().detail, "event 10");
+    }
+
+    #[test]
+    fn render_carries_level_component_and_detail() {
+        let _g = guard();
+        let _ = flight_take();
+        flight_error("serve", "degraded", "coverage 6/8".into());
+        let text = render_flight(&flight_take());
+        assert!(text.contains("ERROR"), "{text}");
+        assert!(text.contains("serve/degraded: coverage 6/8"), "{text}");
+        assert!(text.starts_with("flight recorder: 1 event(s)"), "{text}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Validator for the Prometheus text exposition this crate renders.
+//! CI round-trips `Registry::render_prometheus` output through it, so
+//! the exposition contract is pinned by a test, not by inspection.
+
+use std::collections::BTreeMap;
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[derive(Default)]
+struct HistState {
+    buckets: Vec<(f64, u64)>, // (le, cumulative)
+    inf: Option<u64>,
+    sum: Option<f64>,
+    count: Option<u64>,
+}
+
+/// Validate a Prometheus text exposition; returns the number of
+/// `# TYPE` families seen.
+///
+/// Enforced: every sample belongs to a declared family; names are
+/// legal; counter/gauge families carry exactly one sample line;
+/// histogram `le` labels are finite, strictly ascending, with
+/// non-decreasing cumulative counts capped by a mandatory `+Inf`
+/// bucket that equals `_count`; `_sum`/`_count` present.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut scalar_samples: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistState> = BTreeMap::new();
+
+    for (no, line) in text.lines().enumerate() {
+        let no = no + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if !valid_name(name) {
+                return Err(format!("line {no}: bad metric name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {no}: unknown type {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {no}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment lines are permitted, unchecked
+        }
+
+        let (series, value) =
+            line.rsplit_once(' ').ok_or(format!("line {no}: no value on sample"))?;
+        let (name, label) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let label =
+                    rest.strip_suffix('}').ok_or(format!("line {no}: unterminated labels"))?;
+                (n, Some(label))
+            }
+            None => (series, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {no}: bad sample name {name:?}"));
+        }
+
+        // Histogram series (`_bucket`/`_sum`/`_count`) attach to their
+        // declared family; everything else must be its own family.
+        if let Some(fam) = name.strip_suffix("_bucket") {
+            if types.get(fam).map(String::as_str) != Some("histogram") {
+                return Err(format!("line {no}: bucket for undeclared histogram {fam:?}"));
+            }
+            let le = label
+                .and_then(|l| l.strip_prefix("le=\""))
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or(format!("line {no}: bucket without le label"))?;
+            let cum: u64 =
+                value.parse().map_err(|_| format!("line {no}: bad bucket count {value:?}"))?;
+            let h = hists.entry(fam.to_string()).or_default();
+            if le == "+Inf" {
+                if h.inf.replace(cum).is_some() {
+                    return Err(format!("line {no}: duplicate +Inf bucket for {fam}"));
+                }
+            } else {
+                if h.inf.is_some() {
+                    return Err(format!("line {no}: bucket after +Inf for {fam}"));
+                }
+                let le: f64 = le.parse().map_err(|_| format!("line {no}: bad le value {le:?}"))?;
+                h.buckets.push((le, cum));
+            }
+            continue;
+        }
+        if let Some(fam) = name.strip_suffix("_sum") {
+            if types.get(fam).map(String::as_str) == Some("histogram") {
+                let v: f64 = value.parse().map_err(|_| format!("line {no}: bad sum {value:?}"))?;
+                if hists.entry(fam.to_string()).or_default().sum.replace(v).is_some() {
+                    return Err(format!("line {no}: duplicate _sum for {fam}"));
+                }
+                continue;
+            }
+        }
+        if let Some(fam) = name.strip_suffix("_count") {
+            if types.get(fam).map(String::as_str) == Some("histogram") {
+                let v: u64 =
+                    value.parse().map_err(|_| format!("line {no}: bad count {value:?}"))?;
+                if hists.entry(fam.to_string()).or_default().count.replace(v).is_some() {
+                    return Err(format!("line {no}: duplicate _count for {fam}"));
+                }
+                continue;
+            }
+        }
+
+        match types.get(name).map(String::as_str) {
+            Some("counter") | Some("gauge") => {
+                if value.parse::<f64>().is_err() {
+                    return Err(format!("line {no}: bad value {value:?}"));
+                }
+                *scalar_samples.entry(name.to_string()).or_insert(0) += 1;
+                if scalar_samples[name] > 1 {
+                    return Err(format!("line {no}: duplicate sample for {name}"));
+                }
+            }
+            Some("histogram") => {
+                return Err(format!("line {no}: bare sample for histogram {name}"));
+            }
+            _ => return Err(format!("line {no}: sample {name:?} has no TYPE declaration")),
+        }
+    }
+
+    for (name, kind) in &types {
+        match kind.as_str() {
+            "counter" | "gauge" => {
+                if !scalar_samples.contains_key(name) {
+                    return Err(format!("{kind} {name} declared but has no sample"));
+                }
+            }
+            _ => {
+                let h = hists.get(name).ok_or(format!("histogram {name} has no series"))?;
+                let inf = h.inf.ok_or(format!("histogram {name} missing +Inf bucket"))?;
+                let count = h.count.ok_or(format!("histogram {name} missing _count"))?;
+                h.sum.ok_or(format!("histogram {name} missing _sum"))?;
+                if inf != count {
+                    return Err(format!("histogram {name}: +Inf {inf} != _count {count}"));
+                }
+                let ascending = h.buckets.windows(2).all(|w| w[0].0 < w[1].0);
+                if !ascending {
+                    return Err(format!("histogram {name}: le not strictly ascending"));
+                }
+                let monotone = h.buckets.windows(2).all(|w| w[0].1 <= w[1].1);
+                if !monotone {
+                    return Err(format!("histogram {name}: cumulative counts decreased"));
+                }
+                if h.buckets.last().is_some_and(|(_, c)| *c > inf) {
+                    return Err(format!("histogram {name}: bucket exceeds +Inf"));
+                }
+            }
+        }
+    }
+    Ok(types.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn rendered_registry_validates() {
+        let r = Registry::new();
+        r.counter("ingest_rows_total").add(100);
+        r.gauge("serve_queue_depth").set(3);
+        let h = r.histogram("serve_latency_us");
+        for v in [1u64, 4, 4, 900, 70_000] {
+            h.record(v);
+        }
+        let text = r.render_prometheus();
+        assert_eq!(validate_prometheus(&text), Ok(3), "{text}");
+    }
+
+    #[test]
+    fn empty_exposition_is_valid() {
+        assert_eq!(validate_prometheus(""), Ok(0));
+    }
+
+    #[test]
+    fn violations_are_rejected() {
+        for (bad, why) in [
+            ("orphan 1", "sample without TYPE"),
+            ("# TYPE x widget\nx 1", "unknown type"),
+            ("# TYPE x counter\nx banana", "non-numeric value"),
+            ("# TYPE x counter", "declared without sample"),
+            ("# TYPE 9x counter\n9x 1", "bad name"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 3",
+                "+Inf disagrees with _count",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"2\"} 2\n\
+                 h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2",
+                "le out of order",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"5\"} 1\n\
+                 h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2",
+                "cumulative decreased",
+            ),
+            ("# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_sum 3\nh_count 1", "missing +Inf"),
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "{why}: {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Structured spans: RAII-timed intervals recorded into per-thread
+//! buffers and drained for Chrome trace export.
+//!
+//! Cost model (the DESIGN.md overhead budget leans on this):
+//!
+//! - **Tracing disabled** (the default): [`span`] is one `OnceLock`
+//!   get plus one `Relaxed` load and returns an inert guard whose drop
+//!   does nothing. No clock read, no allocation, no lock.
+//! - **Tracing enabled**: the guard reads the clock twice and pushes a
+//!   `Copy` record into this thread's pre-reserved buffer under an
+//!   uncontended per-thread mutex (the mutex exists only so
+//!   [`take_spans`] can drain other threads' buffers). Steady state is
+//!   allocation-free: the buffer is reserved at [`RESERVE`] records on
+//!   first use and only regrows past that.
+//!
+//! Buffers are never bounded — a tracing session is expected to be
+//! short (one replay, one query) and drained promptly. Thread buffers
+//! registered by exited threads stay in the sink list until drained;
+//! that is a few empty `Vec`s, not a leak that grows with traffic.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Arguments a span can carry (kept fixed-size so records stay `Copy`).
+pub const MAX_SPAN_ARGS: usize = 2;
+
+/// Per-thread buffer capacity reserved up front.
+const RESERVE: usize = 256;
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One completed span, as drained by [`take_spans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Event name (e.g. `"run_query"`).
+    pub name: &'static str,
+    /// Category / layer (e.g. `"engine"`, `"ingest"`, `"serve"`).
+    pub cat: &'static str,
+    /// Start, nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small sequential id of the recording thread.
+    pub tid: u32,
+    /// Up to [`MAX_SPAN_ARGS`] named integer arguments.
+    pub args: [(&'static str, u64); MAX_SPAN_ARGS],
+    /// How many entries of `args` are live.
+    pub n_args: u8,
+}
+
+struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    sinks: Mutex<Vec<Arc<Mutex<Vec<SpanRecord>>>>>,
+    next_tid: AtomicU32,
+}
+
+fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer {
+        enabled: AtomicBool::new(false),
+        epoch: Instant::now(),
+        sinks: Mutex::new(Vec::new()),
+        next_tid: AtomicU32::new(0),
+    })
+}
+
+struct ThreadSink {
+    tid: u32,
+    buf: Arc<Mutex<Vec<SpanRecord>>>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<ThreadSink>> = const { RefCell::new(None) };
+}
+
+fn record(mut rec: SpanRecord) {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let sink = slot.get_or_insert_with(|| {
+            let t = tracer();
+            let buf = Arc::new(Mutex::new(Vec::with_capacity(RESERVE)));
+            lock_recover(&t.sinks).push(Arc::clone(&buf));
+            ThreadSink { tid: t.next_tid.fetch_add(1, Ordering::Relaxed), buf }
+        });
+        rec.tid = sink.tid;
+        lock_recover(&sink.buf).push(rec);
+    });
+}
+
+/// Turn span recording on or off process-wide. Already-buffered spans
+/// survive a disable and remain drainable.
+pub fn set_tracing(on: bool) {
+    tracer().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+pub fn tracing_enabled() -> bool {
+    tracer().enabled.load(Ordering::Relaxed)
+}
+
+/// Drain every thread's buffered spans, sorted by start time. Live
+/// threads' buffers keep their reserved capacity, so a drain does not
+/// reintroduce allocation into their recording path; buffers whose
+/// thread has exited (only the sink list still holds them) are pruned
+/// here so short-lived pool threads cannot accumulate dead buffers.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let t = tracer();
+    let mut out = Vec::new();
+    lock_recover(&t.sinks).retain(|sink| {
+        out.extend(lock_recover(sink).drain(..));
+        Arc::strong_count(sink) > 1
+    });
+    out.sort_by_key(|r| (r.start_ns, r.tid, r.name));
+    out
+}
+
+/// Start a span; the interval closes (and is recorded) when the
+/// returned guard drops. Inert when tracing is disabled.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard { active: None };
+    }
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            cat,
+            start: Instant::now(),
+            args: [("", 0); MAX_SPAN_ARGS],
+            n_args: 0,
+        }),
+    }
+}
+
+/// [`span`] with one argument attached, e.g.
+/// `span_args("engine", "partition", "rows", n)`.
+pub fn span_args(cat: &'static str, name: &'static str, key: &'static str, val: u64) -> SpanGuard {
+    span(cat, name).arg(key, val)
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    args: [(&'static str, u64); MAX_SPAN_ARGS],
+    n_args: u8,
+}
+
+/// RAII guard closing a [`span`]; see [`SpanGuard::arg`] for chaining.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attach a named integer argument (up to [`MAX_SPAN_ARGS`];
+    /// extras are dropped). Chains: `span(..).arg("rows", n)`.
+    pub fn arg(mut self, key: &'static str, val: u64) -> Self {
+        if let Some(a) = self.active.as_mut() {
+            if let Some(slot) = a.args.get_mut(a.n_args as usize) {
+                *slot = (key, val);
+                a.n_args += 1;
+            }
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let t = tracer();
+        if !t.enabled.load(Ordering::Relaxed) {
+            return; // tracing turned off mid-span: drop silently
+        }
+        let start_ns = a.start.saturating_duration_since(t.epoch).as_nanos() as u64;
+        let dur_ns = a.start.elapsed().as_nanos() as u64;
+        record(SpanRecord {
+            name: a.name,
+            cat: a.cat,
+            start_ns,
+            dur_ns,
+            tid: 0, // assigned in record() from the thread sink
+            args: a.args,
+            n_args: a.n_args,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is process-global; tests that toggle it serialize
+    // here so parallel test threads cannot interleave enable/drain.
+    fn guard() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = guard();
+        set_tracing(false);
+        let _ = take_spans();
+        {
+            let _s = span("test", "ignored").arg("k", 1);
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_span_round_trips_name_cat_and_args() {
+        let _g = guard();
+        set_tracing(true);
+        let _ = take_spans();
+        {
+            let _s = span_args("engine", "kernel", "rows", 7).arg("part", 3).arg("extra", 9);
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        set_tracing(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        let s = spans[0];
+        assert_eq!((s.cat, s.name), ("engine", "kernel"));
+        // Third arg was dropped: records are fixed-size.
+        assert_eq!(s.n_args, 2);
+        assert_eq!(s.args[0], ("rows", 7));
+        assert_eq!(s.args[1], ("part", 3));
+        assert!(s.dur_ns >= 50_000, "slept 50us, recorded {}ns", s.dur_ns);
+    }
+
+    #[test]
+    fn spans_from_other_threads_are_drained_and_sorted() {
+        let _g = guard();
+        set_tracing(true);
+        let _ = take_spans();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _s = span("test", "worker").arg("i", i);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        {
+            let _s = span("test", "local");
+        }
+        set_tracing(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 5, "{spans:?}");
+        assert!(spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert!(spans.iter().filter(|s| s.name == "worker").count() == 4);
+    }
+}

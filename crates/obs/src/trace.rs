@@ -1,0 +1,193 @@
+//! Chrome `trace_event` export and its committed validator.
+//!
+//! The exporter emits the JSON Object Format (`{"traceEvents": [...]}`)
+//! with complete (`"ph":"X"`) events only — timestamps and durations in
+//! microseconds with nanosecond fractions, one `tid` per recording
+//! thread — which loads directly in `about://tracing` and Perfetto.
+//! CI round-trips every exported trace through
+//! [`validate_chrome_trace`], so the schema the viewer needs is pinned
+//! by tests, not by hope.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+use crate::span::SpanRecord;
+
+/// Render drained spans as a Chrome trace JSON document.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{}",
+            json::escape(s.name),
+            json::escape(s.cat),
+            micros(s.start_ns),
+            micros(s.dur_ns),
+            s.tid,
+        );
+        if s.n_args > 0 {
+            out.push_str(",\"args\":{");
+            let live = &s.args[..s.n_args as usize];
+            let mut emitted = 0;
+            for (j, (key, val)) in live.iter().enumerate() {
+                // A repeated key would be an invalid JSON object; the
+                // first occurrence wins.
+                if live[..j].iter().any(|(k, _)| k == key) {
+                    continue;
+                }
+                if emitted > 0 {
+                    out.push(',');
+                }
+                emitted += 1;
+                let _ = write!(out, "\"{}\":{val}", json::escape(key));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds rendered as a microsecond decimal (`1234.567`), the
+/// unit `trace_event` timestamps use.
+fn micros(ns: u64) -> String {
+    if ns.is_multiple_of(1_000) {
+        format!("{}", ns / 1_000)
+    } else {
+        format!("{}.{:03}", ns / 1_000, ns % 1_000)
+    }
+}
+
+/// Validate a Chrome trace JSON document; returns the event count.
+///
+/// Checks the exact shape the exporter promises: a root object with a
+/// `traceEvents` array, every event a complete (`ph == "X"`) event
+/// with non-empty string `name`, string `cat`, non-negative numeric
+/// `ts`/`dur`, integer `pid`/`tid`, and (when present) an `args`
+/// object whose values are numbers.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let root = json::parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        validate_event(ev).map_err(|e| format!("event {i}: {e}"))?;
+    }
+    Ok(events.len())
+}
+
+fn validate_event(ev: &Value) -> Result<(), String> {
+    if !matches!(ev, Value::Obj(_)) {
+        return Err("not an object".into());
+    }
+    let name = ev.get("name").and_then(Value::as_str).ok_or("missing string name")?;
+    if name.is_empty() {
+        return Err("empty name".into());
+    }
+    ev.get("cat").and_then(Value::as_str).ok_or("missing string cat")?;
+    if ev.get("ph").and_then(Value::as_str) != Some("X") {
+        return Err("ph is not \"X\"".into());
+    }
+    for key in ["ts", "dur"] {
+        let n = ev.get(key).and_then(Value::as_num).ok_or(format!("missing numeric {key}"))?;
+        if !n.is_finite() || n < 0.0 {
+            return Err(format!("{key} = {n} out of range"));
+        }
+    }
+    for key in ["pid", "tid"] {
+        let n = ev.get(key).and_then(Value::as_num).ok_or(format!("missing numeric {key}"))?;
+        if !n.is_finite() || n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("{key} = {n} is not a non-negative integer"));
+        }
+    }
+    if let Some(args) = ev.get("args") {
+        let Value::Obj(fields) = args else {
+            return Err("args is not an object".into());
+        };
+        for (k, v) in fields {
+            if v.as_num().is_none() {
+                return Err(format!("args.{k} is not a number"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::MAX_SPAN_ARGS;
+
+    fn rec(name: &'static str, start_ns: u64, dur_ns: u64, tid: u32) -> SpanRecord {
+        SpanRecord {
+            name,
+            cat: "test",
+            start_ns,
+            dur_ns,
+            tid,
+            args: [("", 0); MAX_SPAN_ARGS],
+            n_args: 0,
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let mut with_args = rec("kernel", 1_500, 2_000_000, 3);
+        with_args.args[0] = ("rows", 42);
+        with_args.n_args = 1;
+        let spans = [rec("load", 0, 999, 0), with_args];
+        let doc = chrome_trace_json(&spans);
+        assert_eq!(validate_chrome_trace(&doc), Ok(2), "{doc}");
+        assert!(doc.contains("\"ts\":1.500,"), "{doc}");
+        assert!(doc.contains("\"dur\":2000,"), "{doc}");
+        assert!(doc.contains("\"args\":{\"rows\":42}"), "{doc}");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(validate_chrome_trace(&chrome_trace_json(&[])), Ok(0));
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        for (bad, why) in [
+            ("[]", "root must be an object"),
+            ("{\"traceEvents\":1}", "traceEvents must be an array"),
+            ("{\"traceEvents\":[{\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":0}]}", "missing name"),
+            (
+                "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"B\",\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":0}]}",
+                "only complete events",
+            ),
+            (
+                "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":-1,\"dur\":0,\"pid\":1,\"tid\":0}]}",
+                "negative ts",
+            ),
+            (
+                "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":0.5}]}",
+                "fractional tid",
+            ),
+            (
+                "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":0,\"args\":{\"k\":\"v\"}}]}",
+                "non-numeric arg",
+            ),
+        ] {
+            assert!(validate_chrome_trace(bad).is_err(), "{why}: {bad}");
+        }
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let spans = [rec("weird\"name\\", 0, 0, 0)];
+        let doc = chrome_trace_json(&spans);
+        assert_eq!(validate_chrome_trace(&doc), Ok(1), "{doc}");
+    }
+}

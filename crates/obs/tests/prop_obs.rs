@@ -1,0 +1,130 @@
+//! Property tests for the observability substrate: histogram quantile
+//! error bounds, snapshot-merge algebra, and exposition/trace
+//! round-trips through the committed validators.
+
+use proptest::prelude::*;
+
+use gdelt_obs::{
+    chrome_trace_json, validate_chrome_trace, validate_prometheus, Histogram, HistogramSnapshot,
+    Registry, SpanRecord, MAX_SPAN_ARGS,
+};
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    // Any quantile of any sample set reports a value within one bucket
+    // width of some recorded sample: the log-linear layout guarantees
+    // error ≤ bucket width (≤ value/16) and never over-reports.
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width(
+        values in prop::collection::vec(0u64..=1u64 << 40, 1..200),
+        q_milli in 0u64..=1000,
+    ) {
+        let q = q_milli as f64 / 1000.0;
+        let reported = hist_of(&values).quantile(q);
+        // The report is a bucket lower bound, so some recorded sample
+        // must sit in [reported, reported + width).
+        let hit = values.iter().any(|&v| {
+            reported <= v && v - reported <= HistogramSnapshot::max_error_at(v)
+        });
+        prop_assert!(hit, "quantile {q} reported {reported}, samples {values:?}");
+        let max = values.iter().copied().max().unwrap_or(0);
+        prop_assert!(reported <= max, "reported {reported} above max sample {max}");
+    }
+
+    // Nearest-rank agreement with an exact sorted-sample oracle for the
+    // linear (exact-bucket) range, matching the retired serve ring.
+    #[test]
+    fn quantile_is_exact_below_linear_max(
+        values in prop::collection::vec(0u64..256, 1..150),
+        q_milli in 0u64..=1000,
+    ) {
+        let q = q_milli as f64 / 1000.0;
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        prop_assert_eq!(hist_of(&values).quantile(q), sorted[rank]);
+    }
+
+    // Merging per-thread snapshots is associative and commutative, so
+    // any roll-up order yields the same aggregate.
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..=1u64 << 30, 0..60),
+        b in prop::collection::vec(0u64..=1u64 << 30, 0..60),
+        c in prop::collection::vec(0u64..=1u64 << 30, 0..60),
+    ) {
+        let (sa, sb, sc) = (hist_of(&a).snapshot(), hist_of(&b).snapshot(), hist_of(&c).snapshot());
+
+        let mut ab_c = sa.clone();
+        ab_c.merge(&sb);
+        ab_c.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associativity");
+
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+
+        // And the merge equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend(&b);
+        let combined = hist_of(&all).snapshot();
+        prop_assert_eq!(&ab, &combined, "merge vs single-histogram");
+    }
+
+    // Whatever mix of metrics lands in a registry, the rendered
+    // exposition passes the committed validator.
+    #[test]
+    fn rendered_exposition_always_validates(
+        counters in prop::collection::vec((0usize..6, 0u64..1000), 0..8),
+        hist_values in prop::collection::vec(0u64..=1u64 << 35, 0..50),
+    ) {
+        let r = Registry::new();
+        let names = ["a_total", "b_total", "c_total", "d.total", "e-total", "9total"];
+        for (i, v) in &counters {
+            r.counter(names[*i]).add(*v);
+        }
+        let h = r.histogram("lat_us");
+        for &v in &hist_values {
+            h.record(v);
+        }
+        let text = r.render_prometheus();
+        prop_assert!(validate_prometheus(&text).is_ok(), "invalid exposition:\n{text}");
+    }
+
+    // Arbitrary span records export to trace JSON the validator accepts.
+    #[test]
+    fn exported_trace_always_validates(
+        spans in prop::collection::vec((0u64..=1u64 << 45, 0u64..=1u64 << 40, 0u32..64, 0u8..=2), 0..40),
+    ) {
+        let names = ["run_query", "partition", "ingest.sort", "weird \"name\"\\"];
+        let recs: Vec<SpanRecord> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(start_ns, dur_ns, tid, n_args))| SpanRecord {
+                name: names[i % names.len()],
+                cat: "prop",
+                start_ns,
+                dur_ns,
+                tid,
+                args: [("rows", i as u64); MAX_SPAN_ARGS],
+                n_args: n_args.min(MAX_SPAN_ARGS as u8),
+            })
+            .collect();
+        let doc = chrome_trace_json(&recs);
+        prop_assert_eq!(validate_chrome_trace(&doc), Ok(recs.len()), "{}", doc);
+    }
+}

@@ -1,71 +1,70 @@
-//! Service metrics: completion counters and a fixed-size latency ring
-//! from which the snapshot computes percentiles.
+//! Service metrics: completion counters and latency percentiles.
+//!
+//! Latencies go into a shared [`gdelt_obs::Histogram`] (log-linear,
+//! lock-free, never forgets a sample) instead of the fixed-capacity
+//! ring this module used to keep — under sustained load the ring's
+//! overwrite semantics silently dropped the latency tail, so a burst
+//! of slow queries older than 4096 completions vanished from p99. The
+//! snapshot API is unchanged; every recording also feeds the global
+//! `serve_*` metrics in [`gdelt_obs::global`] so the Prometheus
+//! exposition sees the service without a bespoke bridge.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Instant;
 
 use gdelt_columnar::Coverage;
+use gdelt_obs::{Counter, Histogram};
 
 use crate::cache::CacheStats;
 
-/// Latencies kept for percentile estimation. Old samples are
-/// overwritten ring-style, so percentiles reflect recent traffic.
-const RING_CAPACITY: usize = 4096;
-
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-#[derive(Debug, Default)]
-struct LatencyRing {
-    buf: Vec<u64>,
-    next: usize,
-}
-
-impl LatencyRing {
-    fn record(&mut self, us: u64) {
-        if self.buf.len() < RING_CAPACITY {
-            self.buf.push(us);
-        } else if let Some(slot) = self.buf.get_mut(self.next) {
-            *slot = us;
-        }
-        self.next = (self.next + 1) % RING_CAPACITY;
-    }
-}
-
-/// Internal recorder owned by the service.
+/// Internal recorder owned by the service. Per-service counters back
+/// the snapshot (a process may run several services, e.g. in tests);
+/// the global registry aggregates across all of them.
 #[derive(Debug)]
 pub(crate) struct Metrics {
     started: Instant,
     completed: AtomicU64,
     timeouts: AtomicU64,
     worker_panics: AtomicU64,
-    ring: Mutex<LatencyRing>,
+    latency: Histogram,
+    global_latency: Arc<Histogram>,
+    global_completed: Arc<Counter>,
+    global_timeouts: Arc<Counter>,
+    global_worker_panics: Arc<Counter>,
 }
 
 impl Metrics {
     pub(crate) fn new() -> Self {
+        let reg = gdelt_obs::global();
         Metrics {
             started: Instant::now(),
             completed: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
-            ring: Mutex::new(LatencyRing::default()),
+            latency: Histogram::new(),
+            global_latency: reg.histogram("serve_latency_us"),
+            global_completed: reg.counter("serve_completed_total"),
+            global_timeouts: reg.counter("serve_timeouts_total"),
+            global_worker_panics: reg.counter("serve_worker_panics_total"),
         }
     }
 
     pub(crate) fn record_completion(&self, latency_us: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        lock_recover(&self.ring).record(latency_us);
+        self.latency.record(latency_us);
+        self.global_latency.record(latency_us);
+        self.global_completed.inc();
     }
 
     pub(crate) fn record_timeout(&self) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.global_timeouts.inc();
     }
 
     pub(crate) fn record_worker_panic(&self) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.global_worker_panics.inc();
     }
 
     pub(crate) fn snapshot(
@@ -77,17 +76,16 @@ impl Metrics {
         generation: u64,
         coverage: Coverage,
     ) -> ServiceMetrics {
-        let mut lat: Vec<u64> = lock_recover(&self.ring).buf.clone();
-        lat.sort_unstable();
+        let lat = self.latency.snapshot();
         let completed = self.completed.load(Ordering::Relaxed);
         let uptime_s = self.started.elapsed().as_secs_f64();
         ServiceMetrics {
             uptime_s,
             completed,
             qps: if uptime_s > 0.0 { completed as f64 / uptime_s } else { 0.0 },
-            p50_us: percentile(&lat, 0.50),
-            p95_us: percentile(&lat, 0.95),
-            p99_us: percentile(&lat, 0.99),
+            p50_us: lat.quantile(0.50),
+            p95_us: lat.quantile(0.95),
+            p99_us: lat.quantile(0.99),
             queue_depth,
             cache,
             shed,
@@ -100,15 +98,6 @@ impl Metrics {
     }
 }
 
-/// Nearest-rank percentile of an already-sorted sample; 0 when empty.
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted.get(idx).copied().unwrap_or(0)
-}
-
 /// A point-in-time view of service health, as rendered by
 /// `gdelt-cli serve-bench`.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,7 +108,8 @@ pub struct ServiceMetrics {
     pub completed: u64,
     /// Completions per second over the whole uptime.
     pub qps: f64,
-    /// Median kernel latency over the recent window, microseconds.
+    /// Median kernel latency since service start, microseconds. Exact
+    /// below 256 µs, within one log-linear bucket (≤ value/32) above.
     pub p50_us: u64,
     /// 95th-percentile kernel latency, microseconds.
     pub p95_us: u64,
@@ -191,22 +181,46 @@ mod tests {
         }
         let s = m.snapshot(0, CacheStats::default(), 0, 0, 0, Coverage::full());
         assert_eq!(s.completed, 100);
-        assert_eq!(s.p50_us, 51); // nearest-rank on 1..=100
+        assert_eq!(s.p50_us, 51); // nearest-rank on 1..=100, exact below 256
         assert_eq!(s.p99_us, 99);
         assert!(s.qps > 0.0);
     }
 
     #[test]
-    fn ring_overwrites_old_samples() {
+    fn histogram_keeps_the_full_latency_tail() {
+        // The retired ring overwrote old samples, so 4096 slow
+        // completions vanished once 4096 fast ones followed. The
+        // histogram keeps both populations.
         let m = Metrics::new();
-        for _ in 0..RING_CAPACITY {
-            m.record_completion(1);
-        }
-        for _ in 0..RING_CAPACITY {
+        for _ in 0..4096 {
             m.record_completion(1_000);
         }
+        for _ in 0..5000 {
+            m.record_completion(1);
+        }
         let s = m.snapshot(0, CacheStats::default(), 0, 0, 0, Coverage::full());
-        assert_eq!(s.p50_us, 1_000, "old samples must age out");
+        assert_eq!(s.p50_us, 1, "fast majority sets the median");
+        // The 4096 slow completions recorded *first* are still visible
+        // at p95/p99 (the old ring had fully overwritten them), within
+        // one log-linear bucket (width 16 at 1000 µs ⇒ lower bound 992).
+        assert!((992..=1_000).contains(&s.p95_us), "p95 {}", s.p95_us);
+        assert!((992..=1_000).contains(&s.p99_us), "p99 {}", s.p99_us);
+        assert_eq!(s.completed, 9096);
+    }
+
+    #[test]
+    fn completions_feed_the_global_registry() {
+        let reg = gdelt_obs::global();
+        let before_hist = reg.histogram("serve_latency_us").count();
+        let before_done = reg.counter("serve_completed_total").get();
+        let m = Metrics::new();
+        m.record_completion(42);
+        m.record_timeout();
+        m.record_worker_panic();
+        assert_eq!(reg.histogram("serve_latency_us").count(), before_hist + 1);
+        assert_eq!(reg.counter("serve_completed_total").get(), before_done + 1);
+        assert!(reg.counter("serve_timeouts_total").get() >= 1);
+        assert!(reg.counter("serve_worker_panics_total").get() >= 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! write lock and invalidates the cache before releasing it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -146,6 +147,9 @@ struct Shared {
     health: StoreHealth,
     degraded_policy: DegradedPolicy,
     exec_hook: Option<ExecHook>,
+    /// One flight-recorder dump per service on the first Degraded
+    /// refusal; the refusal path is per-request and must not spam.
+    degraded_dumped: AtomicBool,
 }
 
 /// The in-process query service. Dropping the handle shuts the service
@@ -189,6 +193,7 @@ impl QueryService {
             health,
             degraded_policy: config.degraded_policy,
             exec_hook: config.exec_hook.clone(),
+            degraded_dumped: AtomicBool::new(false),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -206,6 +211,14 @@ impl QueryService {
         let s = &self.shared;
         let cov = s.health.coverage();
         if s.degraded_policy == DegradedPolicy::Fail && !cov.is_full() {
+            gdelt_obs::flight_warn(
+                "serve",
+                "degraded_refusal",
+                format!("refused a query: store coverage {}/{}", cov.live, cov.total),
+            );
+            if !s.degraded_dumped.swap(true, Ordering::Relaxed) {
+                eprintln!("{}", gdelt_obs::render_flight(&gdelt_obs::flight_snapshot()));
+            }
             return Err(ServeError::Degraded { live: cov.live, total: cov.total });
         }
         if s.cache_enabled {
@@ -360,6 +373,12 @@ fn worker_loop(shared: &Shared) {
                     }
                     Err(_) => {
                         shared.metrics.record_worker_panic();
+                        gdelt_obs::flight_error(
+                            "serve",
+                            "worker_panic",
+                            format!("worker caught a kernel panic running {}", query.kernel_name()),
+                        );
+                        eprintln!("{}", gdelt_obs::render_flight(&gdelt_obs::flight_snapshot()));
                         Err(ServeError::WorkerPanicked)
                     }
                 }

@@ -11,6 +11,11 @@
 //! * `hot_alloc` — allocations inside rayon parallel closures
 //!   (anywhere in crate sources) and inside loop bodies of
 //!   panic-freedom kernels;
+//! * `obs_hot_path` — observability recording calls (`gdelt_obs`
+//!   spans, flight events, registry lookups) inside parallel closures
+//!   or loop bodies of panic-freedom kernels: spans buffer a record
+//!   and flight events take the ring lock, so per-row recording
+//!   serializes exactly the regions the paper parallelizes;
 //! * `lock_par` — `Mutex`/`RwLock` acquisition inside a parallel
 //!   closure serializes the region;
 //! * `seqcst` — `Ordering::SeqCst` where the workspace's counters
@@ -98,6 +103,7 @@ impl Analysis {
         let mut out = Vec::new();
         self.panic_paths(&mut out);
         self.hot_allocs(&mut out);
+        self.obs_hot_paths(&mut out);
         self.lock_discipline(&mut out);
         self.seqcst(&mut out);
         self.lock_cycles(&mut out);
@@ -243,6 +249,68 @@ impl Analysis {
                         "allocation {} inside {ctx} in `{}`; hoist it out of the hot \
                          region or justify with `// analyze: allow(hot_alloc): <reason>`",
                         a.what,
+                        n.func.display()
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// `obs_hot_path`: `gdelt_obs` recording calls inside parallel
+    /// closures (crate `src/` scope) or loop bodies of panic-freedom
+    /// kernels. One span per partition is the intended grain; one per
+    /// row buys nothing and costs a sink append (or, for flight
+    /// events, the ring lock) per element.
+    fn obs_hot_paths(&self, out: &mut Vec<Diagnostic>) {
+        /// Recording entry points plus the registry lookups — the
+        /// lookups take the registry lock, so a hot loop must resolve
+        /// its handle once outside (see `engine::query::kernel_metrics`).
+        const OBS_CALLS: [&str; 9] = [
+            "span",
+            "span_args",
+            "flight",
+            "flight_info",
+            "flight_warn",
+            "flight_error",
+            "counter",
+            "gauge",
+            "histogram",
+        ];
+        let mut hot = vec![false; self.graph.nodes.len()];
+        for (i, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.no_panic && !n.func.is_test {
+                for (j, p) in self.graph.shortest_paths(i).iter().enumerate() {
+                    if p.is_some() {
+                        hot[j] = true;
+                    }
+                }
+            }
+        }
+        for (id, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.is_test || !in_crate_src(&n.path) {
+                continue;
+            }
+            let src = self.source_of(n.file_idx);
+            for c in &n.func.calls {
+                let flagged =
+                    OBS_CALLS.contains(&c.name.as_str()) && (c.in_par || (c.in_loop && hot[id]));
+                if !flagged || src.allowed(c.line, "obs_hot_path") {
+                    continue;
+                }
+                let ctx = if c.in_par {
+                    "a parallel closure"
+                } else {
+                    "a per-row loop of a `no_panic` kernel"
+                };
+                out.push(Diagnostic::new(
+                    &n.path,
+                    c.line,
+                    "obs_hot_path",
+                    format!(
+                        "observability call `{}(..)` inside {ctx} in `{}`; record once \
+                         per partition (resolve registry handles outside the loop) or \
+                         justify with `// analyze: allow(obs_hot_path): <reason>`",
+                        c.name,
                         n.func.display()
                     ),
                 ));
@@ -509,6 +577,73 @@ pub fn f(v: &[u32]) -> Vec<String> {
         let h: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "hot_alloc").collect();
         assert_eq!(h.len(), 1, "{d:?}");
         assert_eq!(h[0].line, 3, "format! flagged, terminator collect not");
+    }
+
+    #[test]
+    fn obs_hot_path_flags_par_spans_and_kernel_loop_flights() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+// analyze: no_panic
+pub fn kernel(v: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for x in v {
+        gdelt_obs::flight_warn(\"a\", \"row\", String::new());
+        total += u64::from(*x);
+    }
+    total
+}
+pub fn par(v: &[u32]) -> Vec<u64> {
+    v.par_iter()
+        .map(|x| {
+            let _s = gdelt_obs::span(\"a\", \"row\");
+            u64::from(*x)
+        })
+        .collect()
+}
+pub fn fine(v: &[u32]) -> u64 {
+    let _s = gdelt_obs::span(\"a\", \"whole\");
+    v.iter().map(|x| u64::from(*x)).sum()
+}
+",
+        )]);
+        let d = a.diagnostics();
+        let h: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "obs_hot_path").collect();
+        assert_eq!(h.len(), 2, "{d:?}");
+        assert_eq!(h[0].line, 5, "flight event in the kernel loop");
+        assert!(h[0].message.contains("per-row loop"), "{}", h[0].message);
+        assert_eq!(h[1].line, 13, "span in the parallel closure");
+        assert!(h[1].message.contains("parallel closure"), "{}", h[1].message);
+    }
+
+    #[test]
+    fn obs_hot_path_marker_and_plain_loops_are_silent() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+pub fn par(v: &[u32]) -> Vec<u64> {
+    v.par_iter()
+        .map(|x| {
+            // analyze: allow(obs_hot_path): coarse partitions, not rows
+            let _s = gdelt_obs::span(\"a\", \"part\");
+            u64::from(*x)
+        })
+        .collect()
+}
+pub fn warm(v: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for x in v {
+        gdelt_obs::flight_warn(\"a\", \"row\", String::new());
+        total += u64::from(*x);
+    }
+    total
+}
+",
+        )]);
+        let d = a.diagnostics();
+        // The marker silences the par span; the loop flight event sits
+        // in a function no `no_panic` root reaches, so it is not hot.
+        assert!(d.iter().all(|d| d.rule != "obs_hot_path"), "{d:?}");
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct Call {
     pub recv: Receiver,
     /// 1-based call-site line.
     pub line: usize,
+    /// Inside a rayon parallel closure.
+    pub in_par: bool,
+    /// Inside a `for`/`while`/`loop` body.
+    pub in_loop: bool,
 }
 
 /// What kind of panic a sink is.
@@ -553,7 +557,13 @@ fn extract_facts(
                     } else {
                         Receiver::Free
                     };
-                    f.calls.push(Call { name: text.to_string(), recv, line: t.line });
+                    f.calls.push(Call {
+                        name: text.to_string(),
+                        recv,
+                        line: t.line,
+                        in_par,
+                        in_loop: !loop_stack.is_empty(),
+                    });
                 }
             }
             _ => {}
@@ -640,7 +650,13 @@ fn method_facts(
     } else {
         Receiver::Method
     };
-    f.calls.push(Call { name: text.to_string(), recv, line: t.line });
+    f.calls.push(Call {
+        name: text.to_string(),
+        recv,
+        line: t.line,
+        in_par,
+        in_loop: !loop_stack.is_empty(),
+    });
 }
 
 /// If the `[` at token `at` indexes a value with a non-literal

@@ -18,10 +18,18 @@ fn fixtures_root() -> PathBuf {
 }
 
 fn demo_files() -> Vec<PathBuf> {
-    ["panic_path.rs", "hot_alloc.rs", "locks.rs", "seqcst.rs", "clean.rs", "unsafe_site.rs"]
-        .iter()
-        .map(|f| PathBuf::from("crates/demo/src").join(f))
-        .collect()
+    [
+        "panic_path.rs",
+        "hot_alloc.rs",
+        "obs_hot.rs",
+        "locks.rs",
+        "seqcst.rs",
+        "clean.rs",
+        "unsafe_site.rs",
+    ]
+    .iter()
+    .map(|f| PathBuf::from("crates/demo/src").join(f))
+    .collect()
 }
 
 fn analysis() -> Analysis {
@@ -66,6 +74,23 @@ fn hot_alloc_flags_par_closure_and_kernel_loop() {
 }
 
 #[test]
+fn obs_hot_path_flags_par_span_and_kernel_loop_flight() {
+    let d = analysis().diagnostics();
+    let h = rule_in(&d, "obs_hot_path", "obs_hot.rs");
+    assert_eq!(h.len(), 2, "{d:?}");
+    // `span` inside the parallel closure of `par_span`; the justified
+    // copy in `justified` and the whole-function span in `coarse` are
+    // exempt.
+    assert_eq!(h[0].line, 9);
+    assert!(h[0].message.contains("`span(..)`"), "{}", h[0].message);
+    assert!(h[0].message.contains("a parallel closure"), "{}", h[0].message);
+    // `flight_warn` inside the `no_panic` kernel's per-row loop.
+    assert_eq!(h[1].line, 19);
+    assert!(h[1].message.contains("`flight_warn(..)`"), "{}", h[1].message);
+    assert!(h[1].message.contains("per-row loop"), "{}", h[1].message);
+}
+
+#[test]
 fn lock_par_and_lock_cycle_fire_in_locks_fixture() {
     let d = analysis().diagnostics();
     let par = rule_in(&d, "lock_par", "locks.rs");
@@ -105,7 +130,7 @@ fn json_output_carries_every_fixture_finding() {
     let d = analysis().diagnostics();
     let j = to_json("analyze", &d);
     assert!(j.starts_with("{\"tool\":\"analyze\",\"count\":"), "{j}");
-    for rule in ["panic_path", "hot_alloc", "lock_par", "lock_cycle", "seqcst"] {
+    for rule in ["panic_path", "hot_alloc", "obs_hot_path", "lock_par", "lock_cycle", "seqcst"] {
         assert!(j.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in {j}");
     }
     // The rendered call path survives JSON escaping inside notes.

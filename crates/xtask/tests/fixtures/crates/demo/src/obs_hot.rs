@@ -1,0 +1,38 @@
+//! Fixture: observability calls in a parallel closure and in a kernel
+//! loop, plus a marker-justified one the rule must skip.
+
+use rayon::prelude::*;
+
+pub fn par_span(v: &[u32]) -> Vec<u64> {
+    v.par_iter()
+        .map(|x| {
+            let _s = gdelt_obs::span("demo", "row");
+            u64::from(*x)
+        })
+        .collect()
+}
+
+// analyze: no_panic
+pub fn loop_flight(v: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for &x in v {
+        gdelt_obs::flight_warn("demo", "row", String::new());
+        total += u64::from(x);
+    }
+    total
+}
+
+pub fn justified(v: &[u32]) -> Vec<u64> {
+    v.par_iter()
+        .map(|x| {
+            // analyze: allow(obs_hot_path): one span per partition, not per row
+            let _s = gdelt_obs::span("demo", "partition");
+            u64::from(*x)
+        })
+        .collect()
+}
+
+pub fn coarse(v: &[u32]) -> u64 {
+    let _s = gdelt_obs::span("demo", "whole");
+    v.iter().map(|&x| u64::from(x)).sum()
+}

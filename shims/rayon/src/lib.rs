@@ -177,6 +177,12 @@ impl<T: Send> ParVec<T> {
         parallel_map(self.items, &|v| f(v));
     }
 
+    /// Pair each item with its index (rayon's
+    /// `IndexedParallelIterator::enumerate`).
+    pub fn enumerate(self) -> ParVec<(usize, T)> {
+        ParVec { items: self.items.into_iter().enumerate().collect() }
+    }
+
     /// Gather results into a collection (order preserved).
     pub fn collect<C: FromIterator<T>>(self) -> C {
         self.items.into_iter().collect()
