@@ -34,7 +34,6 @@ impl EventIndex {
         }
         // Prefix sum.
         for i in 1..offsets.len() {
-            // analyze: allow(panic_path): 1 ≤ i < offsets.len() by the range bound
             offsets[i] += offsets[i - 1];
         }
         EventIndex { offsets }

@@ -36,7 +36,6 @@ pub fn count_by<K: DenseKey>(ctx: &ExecContext, keys: &[K], domain: usize) -> Ve
         for &k in p.slice(keys) {
             let i = k.index();
             if i < domain {
-                // analyze: allow(panic_path): i < domain checked directly above
                 acc[i] += 1;
             }
         }

@@ -52,7 +52,6 @@ impl CoReport {
                         // publishes all increments before the loads below.
                         // analyze: allow(panic_path): i < n — source ids are dense directory indices
                         events[i as usize].fetch_add(1, Ordering::Relaxed);
-                        // analyze: allow(panic_path): a < distinct.len() ⇒ a+1 is a valid slice start
                         for &j in &distinct[a + 1..] {
                             // Relaxed: same counter argument as events above.
                             // analyze: allow(panic_path): i, j < n dense source ids → i*n+j < n*n
@@ -66,7 +65,6 @@ impl CoReport {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                // analyze: allow(panic_path): i, j < n ⇒ i*n+j < n*n == pairs.len()
                 m.set(i, j, pairs[i * n + j].load(Ordering::Relaxed));
             }
         }
@@ -152,7 +150,6 @@ impl SparseCoReport {
                     for (a, &i) in distinct.iter().enumerate() {
                         // analyze: allow(panic_path): i < n — source ids are dense directory indices
                         events[i as usize] += 1;
-                        // analyze: allow(panic_path): a < distinct.len() ⇒ a+1 is a valid slice start
                         for &j in &distinct[a + 1..] {
                             *pairs.entry((i, j)).or_insert(0) += 1;
                         }
@@ -232,7 +229,6 @@ impl CountryCoReport {
                     for (a, &i) in countries.iter().enumerate() {
                         // analyze: allow(panic_path): i < n_countries filtered at push above
                         events[i as usize] += 1;
-                        // analyze: allow(panic_path): a < countries.len() ⇒ a+1 is a valid slice start
                         for &j in &countries[a + 1..] {
                             pairs.bump(i as usize, j as usize);
                             pairs.bump(j as usize, i as usize);

@@ -96,7 +96,6 @@ pub fn per_source_delay_stats(ctx: &ExecContext, d: &Dataset) -> Vec<DelayStats>
         (0..n_sources)
             .into_par_iter()
             .map(|s| {
-                // analyze: allow(panic_path): s < n_sources and offsets.len() == n_sources + 1
                 let (lo, hi) = (offsets[s], offsets[s + 1]);
                 if lo == hi {
                     return DelayStats::empty();

@@ -224,7 +224,6 @@ where
             self.resize_with(other.len(), T::default);
         }
         for (i, v) in other.into_iter().enumerate() {
-            // analyze: allow(panic_path): i < other.len() ≤ self.len() after resize_with
             self[i].merge(v);
         }
     }

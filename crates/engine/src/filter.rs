@@ -54,7 +54,6 @@ impl Bitmap {
 
     /// Intersect with another bitmap of the same length.
     pub fn and(&mut self, other: &Bitmap) {
-        // analyze: allow(panic_path): deliberate API contract — mismatched lengths are a caller bug
         assert_eq!(self.len, other.len, "bitmap length mismatch");
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a &= b;

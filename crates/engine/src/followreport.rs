@@ -37,7 +37,6 @@ impl FollowReport {
         let mut slot = vec![u32::MAX; n_sources];
         for (i, s) in subset.iter().enumerate() {
             if s.index() < n_sources {
-                // analyze: allow(panic_path): s.index() < n_sources checked directly above
                 slot[s.index()] = i as u32;
             }
         }

@@ -59,7 +59,6 @@ impl<T: Copy + Default> Matrix<T> {
     /// One row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[T] {
-        // analyze: allow(panic_path): r < rows caller contract, as with get/get_mut
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -88,7 +87,6 @@ impl Matrix<u64> {
         let mut out = vec![0u64; self.cols];
         for r in 0..self.rows {
             for (c, &v) in self.row(r).iter().enumerate() {
-                // analyze: allow(panic_path): c enumerates a row slice of length cols
                 out[c] += v;
             }
         }
@@ -112,7 +110,6 @@ impl Matrix<f64> {
         let mut out = vec![0f64; self.cols];
         for r in 0..self.rows {
             for (c, &v) in self.row(r).iter().enumerate() {
-                // analyze: allow(panic_path): c enumerates a row slice of length cols
                 out[c] += v;
             }
         }

@@ -23,32 +23,60 @@
 //!   invariant comment) or a justified marker is required;
 //! * `lock_cycle` — the lexical lock-order graph must be acyclic.
 //!
+//! On top of those, three dataflow rules run the fixpoint engine
+//! ([`crate::dataflow`]) over statement-level CFGs ([`crate::cfg`]):
+//!
+//! * `index_bounds` — the interval prover ([`crate::bounds`]) must
+//!   discharge every `xs[i]` site reachable from a `no_panic` kernel;
+//!   it owns the `SinkKind::Index` sinks `panic_path` used to report;
+//! * `guard_across_await_or_call` — a `Mutex`/`RwLock` guard live
+//!   across a call into another workspace crate ([`crate::guard`]);
+//! * `result_discard` — a `Result` from a workspace call dropped on
+//!   the floor in serve/engine hot paths ([`crate::discard`]).
+//!
+//! A final audit flags **stale markers**: suppression comments that no
+//! longer suppress anything (the line lints are replayed first so
+//! their marker usage counts too). `--remove-stale` deletes them.
+//!
 //! Plus the ratcheting unsafe inventory against `analyze-baseline.toml`
-//! ([`crate::baseline`]). Findings are suppressed per-line with
+//! ([`crate::baseline`]), which also records per-crate dataflow
+//! suppression counts (`[dataflow.*]`) and stale-marker counts
+//! (`[stale.*]`). Findings are suppressed per-line with
 //! `// analyze: allow(<rule>): <reason>` (the legacy `lint:` markers
 //! `no_panic` / `par_index` also silence sinks they already justify).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{self, Baseline, Inventory};
 use crate::callgraph::CallGraph;
 use crate::diag::Diagnostic;
-use crate::lex::tokenize;
+use crate::lex::{tokenize, Token};
 use crate::parse::{parse_file, ParsedFile, SinkKind};
 use crate::source::SourceFile;
-use crate::walk;
+use crate::{bounds, discard, guard, json, lint, walk};
 
 /// The baseline file name, at the workspace root.
 pub const BASELINE_FILE: &str = "analyze-baseline.toml";
 
 /// A loaded, parsed workspace ready for analysis.
 pub struct Analysis {
-    /// Per-file: workspace-relative path, line model, parsed facts,
-    /// in-test-tree flag.
-    files: Vec<(PathBuf, SourceFile, ParsedFile, bool)>,
+    /// Per-file: workspace-relative path, line model, token stream,
+    /// parsed facts, in-test-tree flag.
+    files: Vec<(PathBuf, SourceFile, Vec<Token>, ParsedFile, bool)>,
     /// The call graph over every file.
     graph: CallGraph,
+}
+
+/// Everything one full pass produces: the findings plus the per-crate
+/// counts the `[dataflow.*]` / `[stale.*]` baseline tables ratchet.
+pub struct RunResult {
+    /// All findings, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Marker-suppressed dataflow findings per crate.
+    pub dataflow: BTreeMap<String, usize>,
+    /// Stale suppression markers per crate.
+    pub stale: BTreeMap<String, usize>,
 }
 
 /// Is this workspace-relative path in a tree whose functions are only
@@ -81,10 +109,12 @@ impl Analysis {
             let tokens = tokenize(&file);
             let parsed = parse_file(&file, &tokens);
             let test_tree = in_test_tree(&rel);
-            files.push((rel, file, parsed, test_tree));
+            files.push((rel, file, tokens, parsed, test_tree));
         }
-        let graph_input: Vec<(PathBuf, ParsedFile, bool)> =
-            files.iter().map(|(rel, _, parsed, tt)| (rel.clone(), parsed.clone(), *tt)).collect();
+        let graph_input: Vec<(PathBuf, ParsedFile, bool)> = files
+            .iter()
+            .map(|(rel, _, _, parsed, tt)| (rel.clone(), parsed.clone(), *tt))
+            .collect();
         let deps = crate::deps::CrateDeps::load(root)
             .map_err(|e| format!("reading workspace manifests: {e}"))?;
         let graph = CallGraph::build_filtered(&graph_input, Some(&deps));
@@ -100,21 +130,33 @@ impl Analysis {
 
     /// Run every analysis; diagnostics are sorted by (path, line, rule).
     pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.run().diagnostics
+    }
+
+    /// Run every analysis and collect the baseline count maps. The
+    /// stale-marker audit runs last so every rule has consulted its
+    /// markers first.
+    pub fn run(&self) -> RunResult {
         let mut out = Vec::new();
+        let mut dataflow: BTreeMap<String, usize> = BTreeMap::new();
         self.panic_paths(&mut out);
         self.hot_allocs(&mut out);
         self.obs_hot_paths(&mut out);
         self.lock_discipline(&mut out);
         self.seqcst(&mut out);
         self.lock_cycles(&mut out);
+        self.index_bounds(&mut out, &mut dataflow);
+        self.guard_across_calls(&mut out, &mut dataflow);
+        self.result_discards(&mut out, &mut dataflow);
+        let stale = self.stale_markers(&mut out);
         out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-        out
+        RunResult { diagnostics: out, dataflow, stale }
     }
 
     /// The unsafe inventory for the baseline ratchet.
     pub fn inventory(&self) -> Inventory {
         let mut inv = Inventory::default();
-        for (rel, _, parsed, _) in &self.files {
+        for (rel, _, _, parsed, _) in &self.files {
             let krate = walk::crate_of(rel);
             let rel_s = rel.to_string_lossy().replace('\\', "/");
             inv.record(&krate, &rel_s, parsed.unsafe_lines.len());
@@ -127,7 +169,7 @@ impl Analysis {
     /// not register; top-level `tests/` files bucket under `tests`.
     pub fn test_counts(&self) -> BTreeMap<String, usize> {
         let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-        for (rel, src, _, _) in &self.files {
+        for (rel, src, _, _, _) in &self.files {
             let krate = walk::crate_of(rel);
             let n = src.lines.iter().filter(|l| l.code.trim() == "#[test]").count();
             if n > 0 {
@@ -140,6 +182,21 @@ impl Analysis {
     /// The `SourceFile` backing a graph node's file.
     fn source_of(&self, file_idx: usize) -> &SourceFile {
         &self.files[file_idx].1
+    }
+
+    /// Functions on a `no_panic` root's reachable set (roots included).
+    fn hot_set(&self) -> Vec<bool> {
+        let mut hot = vec![false; self.graph.nodes.len()];
+        for (i, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.no_panic && !n.func.is_test {
+                for (j, p) in self.graph.shortest_paths(i).iter().enumerate() {
+                    if p.is_some() {
+                        hot[j] = true;
+                    }
+                }
+            }
+        }
+        hot
     }
 
     /// `panic_path`: BFS from each `no_panic` root; report each
@@ -173,13 +230,15 @@ impl Analysis {
             let src = self.source_of(n.file_idx);
             let root_n = &self.graph.nodes[*root];
             for sink in &n.func.sinks {
+                // Index sinks belong to the `index_bounds` prover now:
+                // proven sites are silent, unproven ones carry their
+                // obligation instead of a bare "panic sink" report.
+                if sink.kind == SinkKind::Index {
+                    continue;
+                }
                 // `analyze: allow(panic_path)` plus the legacy line-lint
-                // markers silence a sink.
-                let legacy = match sink.kind {
-                    SinkKind::Call => "no_panic",
-                    SinkKind::Index => "par_index",
-                };
-                if src.allowed(sink.line, "panic_path") || src.allowed(sink.line, legacy) {
+                // marker silence a sink.
+                if src.allowed(sink.line, "panic_path") || src.allowed(sink.line, "no_panic") {
                     continue;
                 }
                 let message = if *hops == 0 {
@@ -216,16 +275,7 @@ impl Analysis {
     fn hot_allocs(&self, out: &mut Vec<Diagnostic>) {
         // Functions on a no_panic root's reachable set count as kernels
         // for the loop rule.
-        let mut hot = vec![false; self.graph.nodes.len()];
-        for (i, n) in self.graph.nodes.iter().enumerate() {
-            if n.func.no_panic && !n.func.is_test {
-                for (j, p) in self.graph.shortest_paths(i).iter().enumerate() {
-                    if p.is_some() {
-                        hot[j] = true;
-                    }
-                }
-            }
-        }
+        let hot = self.hot_set();
         for (id, n) in self.graph.nodes.iter().enumerate() {
             if n.func.is_test || !in_crate_src(&n.path) {
                 continue;
@@ -276,16 +326,7 @@ impl Analysis {
             "gauge",
             "histogram",
         ];
-        let mut hot = vec![false; self.graph.nodes.len()];
-        for (i, n) in self.graph.nodes.iter().enumerate() {
-            if n.func.no_panic && !n.func.is_test {
-                for (j, p) in self.graph.shortest_paths(i).iter().enumerate() {
-                    if p.is_some() {
-                        hot[j] = true;
-                    }
-                }
-            }
-        }
+        let hot = self.hot_set();
         for (id, n) in self.graph.nodes.iter().enumerate() {
             if n.func.is_test || !in_crate_src(&n.path) {
                 continue;
@@ -438,6 +479,256 @@ impl Analysis {
             }
         }
     }
+
+    /// `index_bounds`: run the interval prover over every function on a
+    /// `no_panic` root's reachable set. Index sites it discharges are
+    /// silent — their legacy `panic_path`/`par_index` markers go stale
+    /// and the audit flags them for deletion; the rest are findings
+    /// carrying the exact unproven obligation.
+    fn index_bounds(&self, out: &mut Vec<Diagnostic>, dataflow: &mut BTreeMap<String, usize>) {
+        let hot = self.hot_set();
+        for (id, n) in self.graph.nodes.iter().enumerate() {
+            if !hot[id] || n.func.is_test {
+                continue;
+            }
+            let (_, src, toks, parsed, _) = &self.files[n.file_idx];
+            let krate = walk::crate_of(&n.path);
+            let children = bounds::child_ranges(&parsed.functions, n.fn_idx);
+            let sites = bounds::check_function(toks, n.func.body.clone(), &children);
+            let covered: BTreeSet<(usize, String)> =
+                sites.iter().map(|s| (s.line, s.what.clone())).collect();
+            for site in &sites {
+                if site.proven || index_allowed(src, site.line, &krate, dataflow) {
+                    continue;
+                }
+                let mut d = Diagnostic::new(
+                    &n.path,
+                    site.line,
+                    "index_bounds",
+                    format!("cannot prove {} in bounds in `{}`", site.what, n.func.display()),
+                );
+                if !site.note.is_empty() {
+                    d.notes.push(format!("unproven obligation: {}", site.note));
+                }
+                d.notes.push(
+                    "add a dominating bound check the prover can see, or justify with \
+                     `// analyze: allow(index_bounds): <reason>`"
+                        .into(),
+                );
+                out.push(d);
+            }
+            // Index sinks the statement-level CFG never lowered (e.g.
+            // inside a braced closure body) stay unproven obligations —
+            // the prover must not silently narrow `panic_path` coverage.
+            for sink in &n.func.sinks {
+                if sink.kind != SinkKind::Index
+                    || covered.contains(&(sink.line, sink.what.clone()))
+                    || index_allowed(src, sink.line, &krate, dataflow)
+                {
+                    continue;
+                }
+                let mut d = Diagnostic::new(
+                    &n.path,
+                    sink.line,
+                    "index_bounds",
+                    format!("cannot prove {} in bounds in `{}`", sink.what, n.func.display()),
+                );
+                d.notes.push("unproven obligation: site is outside the dataflow region".into());
+                d.notes.push(
+                    "add a dominating bound check the prover can see, or justify with \
+                     `// analyze: allow(index_bounds): <reason>`"
+                        .into(),
+                );
+                out.push(d);
+            }
+        }
+    }
+
+    /// `guard_across_await_or_call`: a lock guard live across a call
+    /// into another workspace crate, with the exact hold range.
+    fn guard_across_calls(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        dataflow: &mut BTreeMap<String, usize>,
+    ) {
+        let node_crate: Vec<String> =
+            self.graph.nodes.iter().map(|n| walk::crate_of(&n.path)).collect();
+        for (id, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.is_test || !in_crate_src(&n.path) {
+                continue;
+            }
+            let (_, src, toks, parsed, _) = &self.files[n.file_idx];
+            if parsed.lock_names.is_empty() {
+                continue;
+            }
+            let cross: Vec<guard::CrossCall> = self.graph.out[id]
+                .iter()
+                .filter(|e| node_crate[e.to] != node_crate[id])
+                .map(|e| {
+                    (e.line, self.graph.nodes[e.to].func.name.clone(), node_crate[e.to].clone())
+                })
+                .collect();
+            if cross.is_empty() {
+                continue;
+            }
+            let children = bounds::child_ranges(&parsed.functions, n.fn_idx);
+            let found = guard::check_function(
+                toks,
+                n.func.body.clone(),
+                &children,
+                &parsed.lock_names,
+                &cross,
+            );
+            for f in found {
+                if src.allowed(f.line, "guard_across_await_or_call") {
+                    *dataflow.entry(node_crate[id].clone()).or_default() += 1;
+                    continue;
+                }
+                let mut d = Diagnostic::new(
+                    &n.path,
+                    f.line,
+                    "guard_across_await_or_call",
+                    format!(
+                        "guard `{}` of lock `{}` held across call to `{}` in `{}`",
+                        f.binding,
+                        f.lock,
+                        f.callee,
+                        n.func.display()
+                    ),
+                );
+                d.notes.push(format!(
+                    "hold range: acquired at line {}, still live at the call on line {} — \
+                     drop the guard first, or justify with \
+                     `// analyze: allow(guard_across_await_or_call): <reason>`",
+                    f.acquired, f.line
+                ));
+                out.push(d);
+            }
+        }
+    }
+
+    /// `result_discard`: a `Result` from a workspace call dropped on
+    /// the floor (`let _ = …;` or a bare call statement) in serve or
+    /// engine `src/` code.
+    fn result_discards(&self, out: &mut Vec<Diagnostic>, dataflow: &mut BTreeMap<String, usize>) {
+        for (id, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.is_test || !in_crate_src(&n.path) {
+                continue;
+            }
+            let krate = walk::crate_of(&n.path);
+            if !DISCARD_CRATES.contains(&krate.as_str()) {
+                continue;
+            }
+            let candidates: BTreeSet<discard::ResultCall> = self.graph.out[id]
+                .iter()
+                .filter(|e| self.graph.nodes[e.to].func.returns_result)
+                .map(|e| (e.line, self.graph.nodes[e.to].func.name.clone()))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let (_, src, toks, parsed, _) = &self.files[n.file_idx];
+            let children = bounds::child_ranges(&parsed.functions, n.fn_idx);
+            for f in discard::check_function(toks, n.func.body.clone(), &children, &candidates) {
+                if src.allowed(f.line, "result_discard") {
+                    *dataflow.entry(krate.clone()).or_default() += 1;
+                    continue;
+                }
+                let how = if f.explicit { "`let _ = …`" } else { "a bare statement" };
+                let mut d = Diagnostic::new(
+                    &n.path,
+                    f.line,
+                    "result_discard",
+                    format!(
+                        "`Result` of workspace call `{}` discarded via {how} in `{}`",
+                        f.callee,
+                        n.func.display()
+                    ),
+                );
+                d.notes.push(
+                    "handle the error (`?`, match, or log it) or justify with \
+                     `// analyze: allow(result_discard): <reason>`"
+                        .into(),
+                );
+                out.push(d);
+            }
+        }
+    }
+
+    /// Flag suppression markers that no longer suppress anything. The
+    /// line lints replay first so markers they consult count as used;
+    /// every analyze rule has already recorded its lookups by the time
+    /// this runs (it must be the last pass in [`Analysis::run`]).
+    fn stale_markers(&self, out: &mut Vec<Diagnostic>) -> BTreeMap<String, usize> {
+        for (rel, src, _, _, _) in &self.files {
+            let _ = lint::lint_file(rel, src);
+        }
+        let mut stale: BTreeMap<String, usize> = BTreeMap::new();
+        for (rel, src, _, _, _) in &self.files {
+            let used = src.used_markers();
+            for (line, rule) in src.markers() {
+                let known = MARKER_RULES.contains(&rule.as_str());
+                if known && used.contains(&(line, rule.clone())) {
+                    continue;
+                }
+                *stale.entry(walk::crate_of(rel)).or_default() += 1;
+                let message = if known {
+                    format!(
+                        "stale marker: `allow({rule})` suppresses nothing on this line — \
+                         delete it or run `cargo xtask analyze --remove-stale`"
+                    )
+                } else {
+                    format!(
+                        "stale marker: no rule is named `{rule}` — delete it or run \
+                         `cargo xtask analyze --remove-stale`"
+                    )
+                };
+                out.push(Diagnostic::new(rel, line, "stale_marker", message));
+            }
+        }
+        stale
+    }
+}
+
+/// Crates whose `src/` statements the `result_discard` rule covers —
+/// the serve/engine hot paths where a swallowed error loses data.
+const DISCARD_CRATES: &[&str] = &["engine", "serve"];
+
+/// Every rule a suppression marker can legitimately name.
+const MARKER_RULES: &[&str] = &[
+    // line lints
+    "no_panic",
+    "id_cast",
+    "par_index",
+    "safety_comment",
+    // analyze rules
+    "panic_path",
+    "hot_alloc",
+    "obs_hot_path",
+    "lock_par",
+    "seqcst",
+    "lock_cycle",
+    // dataflow rules
+    "index_bounds",
+    "guard_across_await_or_call",
+    "result_discard",
+];
+
+/// Consult the `index_bounds` marker plus the legacy spellings; a hit
+/// counts into the `[dataflow.*]` suppression table.
+fn index_allowed(
+    src: &SourceFile,
+    line: usize,
+    krate: &str,
+    dataflow: &mut BTreeMap<String, usize>,
+) -> bool {
+    for rule in ["index_bounds", "panic_path", "par_index"] {
+        if src.allowed(line, rule) {
+            *dataflow.entry(krate.to_string()).or_default() += 1;
+            return true;
+        }
+    }
+    false
 }
 
 /// Render a call path plus the sink as `file:line → file:line → …`.
@@ -468,30 +759,118 @@ pub fn check_baseline(
     root: &Path,
     inventory: &Inventory,
     test_counts: &BTreeMap<String, usize>,
+    dataflow: &BTreeMap<String, usize>,
+    stale: &BTreeMap<String, usize>,
 ) -> Result<Vec<Diagnostic>, String> {
     let base = baseline::load(&root.join(BASELINE_FILE))?;
-    let unsafe_errs = baseline::check(&base, inventory)
-        .into_iter()
-        .map(|e| Diagnostic::new(Path::new(BASELINE_FILE), 1, "unsafe_ratchet", e.to_string()));
-    let test_errs = baseline::check_tests(&base, test_counts)
-        .into_iter()
-        .map(|e| Diagnostic::new(Path::new(BASELINE_FILE), 1, "test_ratchet", e.to_string()));
-    Ok(unsafe_errs.chain(test_errs).collect())
+    let at = |rule: &'static str| {
+        move |e: baseline::RatchetError| {
+            Diagnostic::new(Path::new(BASELINE_FILE), 1, rule, e.to_string())
+        }
+    };
+    let unsafe_errs = baseline::check(&base, inventory).into_iter().map(at("unsafe_ratchet"));
+    let test_errs = baseline::check_tests(&base, test_counts).into_iter().map(at("test_ratchet"));
+    let df_errs = baseline::check_dataflow(&base, dataflow).into_iter().map(at("dataflow_ratchet"));
+    let stale_errs = baseline::check_stale(&base, stale).into_iter().map(at("stale_ratchet"));
+    Ok(unsafe_errs.chain(test_errs).chain(df_errs).chain(stale_errs).collect())
 }
 
-/// Rewrite the baseline from the current inventory and test counts,
+/// Rewrite the baseline from the current inventory and count maps,
 /// carrying forward existing reasons. Returns the written path.
 pub fn update_baseline(
     root: &Path,
     inventory: &Inventory,
     test_counts: &BTreeMap<String, usize>,
+    dataflow: &BTreeMap<String, usize>,
+    stale: &BTreeMap<String, usize>,
 ) -> Result<PathBuf, String> {
     let path = root.join(BASELINE_FILE);
     let prev = baseline::load(&path).unwrap_or_else(|_| Baseline::default());
-    let next = baseline::from_inventory(inventory, test_counts, &prev);
+    let next = baseline::from_inventory(inventory, test_counts, dataflow, stale, &prev);
     std::fs::write(&path, baseline::serialize(&next))
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     Ok(path)
+}
+
+/// Delete the markers behind `stale_marker` diagnostics. A line whose
+/// code part is blank (marker-only line) is removed whole; a trailing
+/// marker is cut at its `//`. Returns the number of markers removed.
+pub fn remove_stale_markers(root: &Path, diagnostics: &[Diagnostic]) -> Result<usize, String> {
+    let mut by_file: BTreeMap<&Path, Vec<usize>> = BTreeMap::new();
+    for d in diagnostics {
+        if d.rule == "stale_marker" {
+            by_file.entry(d.path.as_path()).or_default().push(d.line);
+        }
+    }
+    let mut removed = 0usize;
+    for (rel, mut lines) in by_file {
+        let abs = root.join(rel);
+        let text =
+            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        let had_final_newline = text.ends_with('\n');
+        let mut out: Vec<String> = text.lines().map(str::to_string).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        for &lineno in lines.iter().rev() {
+            let Some(raw) = out.get(lineno - 1) else { continue };
+            let cut =
+                ["// lint: allow(", "// analyze: allow("].iter().filter_map(|p| raw.find(p)).min();
+            let Some(cut) = cut else { continue };
+            if raw[..cut].trim().is_empty() {
+                out.remove(lineno - 1);
+            } else {
+                let trimmed = raw[..cut].trim_end().to_string();
+                out[lineno - 1] = trimmed;
+            }
+            removed += 1;
+        }
+        let mut body = out.join("\n");
+        if had_final_newline {
+            body.push('\n');
+        }
+        std::fs::write(&abs, body).map_err(|e| format!("writing {}: {e}", abs.display()))?;
+    }
+    Ok(removed)
+}
+
+/// Load a prior `--format json` report for `--diff` gating: the
+/// returned set of (path, rule, message) identities is subtracted from
+/// the current run, leaving only new findings.
+pub fn load_diff_baseline(path: &Path) -> Result<BTreeSet<(String, String, String)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: not JSON: {e}", path.display()))?;
+    let Some(diags) = doc.get("diagnostics").and_then(|d| d.as_arr()) else {
+        return Err(format!(
+            "{}: not an analyze report (missing `diagnostics` array)",
+            path.display()
+        ));
+    };
+    let mut seen = BTreeSet::new();
+    for d in diags {
+        let field = |k: &str| d.get(k).and_then(|v| v.as_str()).map(str::to_string);
+        match (field("path"), field("rule"), field("message")) {
+            (Some(p), Some(r), Some(m)) => {
+                seen.insert((p, r, m));
+            }
+            _ => {
+                return Err(format!(
+                    "{}: malformed diagnostic entry (need path/rule/message strings)",
+                    path.display()
+                ));
+            }
+        }
+    }
+    Ok(seen)
+}
+
+/// Subtract a `--diff` baseline from `diagnostics`, in place.
+pub fn apply_diff(diagnostics: &mut Vec<Diagnostic>, seen: &BTreeSet<(String, String, String)>) {
+    diagnostics.retain(|d| {
+        let key =
+            (d.path.to_string_lossy().replace('\\', "/"), d.rule.to_string(), d.message.clone());
+        !seen.contains(&key)
+    });
 }
 
 #[cfg(test)]

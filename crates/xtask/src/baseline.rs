@@ -21,6 +21,17 @@
 //! count fails (tests were dropped); growing past it also fails until
 //! the floor is raised with `--update-baseline`, so the recorded counts
 //! always match reality and future shrinkage is always caught.
+//!
+//! Two more exact-match count tables ride on the same machinery:
+//!
+//! * `[dataflow.<name>]` — marker-suppressed dataflow findings
+//!   (`index_bounds` / `guard_across_await_or_call` / `result_discard`)
+//!   per crate. New suppressions fail (justify or fix, then
+//!   `--update-baseline`); removing one also fails until the count is
+//!   ratcheted down, so headroom cannot be silently re-spent.
+//! * `[stale.<name>]` — `lint: allow` / `analyze: allow` markers that no
+//!   longer suppress anything. The target is zero everywhere; the table
+//!   exists so cleanup progress ratchets and regressions fail.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -44,6 +55,10 @@ pub struct Baseline {
     pub crates: BTreeMap<String, BaselineEntry>,
     /// Recorded `#[test]` counts keyed by crate name.
     pub tests: BTreeMap<String, usize>,
+    /// Marker-suppressed dataflow finding counts keyed by crate name.
+    pub dataflow: BTreeMap<String, usize>,
+    /// Stale suppression-marker counts keyed by crate name.
+    pub stale: BTreeMap<String, usize>,
 }
 
 /// The current inventory measured from the workspace: crate name →
@@ -139,6 +154,26 @@ pub enum RatchetError {
         /// Measured test count.
         actual: usize,
     },
+    /// Marker-suppressed dataflow finding count drifted from the
+    /// recorded `[dataflow.<crate>]` value (either direction).
+    DataflowDrift {
+        /// Crate name.
+        krate: String,
+        /// Recorded suppression count.
+        baseline: usize,
+        /// Measured suppression count.
+        actual: usize,
+    },
+    /// Stale-marker count drifted from the recorded `[stale.<crate>]`
+    /// value (either direction).
+    StaleDrift {
+        /// Crate name.
+        krate: String,
+        /// Recorded stale-marker count.
+        baseline: usize,
+        /// Measured stale-marker count.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for RatchetError {
@@ -170,6 +205,18 @@ impl std::fmt::Display for RatchetError {
                 "crate `{krate}` has {actual} #[test] functions, baseline records {baseline} — \
                  raise the floor with `cargo xtask analyze --update-baseline` so the new tests \
                  cannot be silently dropped later"
+            ),
+            RatchetError::DataflowDrift { krate, baseline, actual } => write!(
+                f,
+                "crate `{krate}` has {actual} marker-suppressed dataflow findings, baseline \
+                 records {baseline} — fix or justify the drift, then run \
+                 `cargo xtask analyze --update-baseline`"
+            ),
+            RatchetError::StaleDrift { krate, baseline, actual } => write!(
+                f,
+                "crate `{krate}` has {actual} stale suppression markers, baseline records \
+                 {baseline} — remove dead markers with `cargo xtask analyze --remove-stale`, \
+                 then run `cargo xtask analyze --update-baseline`"
             ),
         }
     }
@@ -228,17 +275,69 @@ pub fn check_tests(baseline: &Baseline, counts: &BTreeMap<String, usize>) -> Vec
     errors
 }
 
-/// Build the baseline that matches the current inventory and test
+/// Compare measured per-crate marker-suppressed dataflow finding counts
+/// against the recorded `[dataflow.*]` values. Exact-match in both
+/// directions, like the test ratchet.
+pub fn check_dataflow(baseline: &Baseline, counts: &BTreeMap<String, usize>) -> Vec<RatchetError> {
+    exact_match(&baseline.dataflow, counts, |krate, baseline, actual| RatchetError::DataflowDrift {
+        krate,
+        baseline,
+        actual,
+    })
+}
+
+/// Compare measured per-crate stale-marker counts against the recorded
+/// `[stale.*]` values. Exact-match in both directions.
+pub fn check_stale(baseline: &Baseline, counts: &BTreeMap<String, usize>) -> Vec<RatchetError> {
+    exact_match(&baseline.stale, counts, |krate, baseline, actual| RatchetError::StaleDrift {
+        krate,
+        baseline,
+        actual,
+    })
+}
+
+fn exact_match(
+    recorded: &BTreeMap<String, usize>,
+    counts: &BTreeMap<String, usize>,
+    err: impl Fn(String, usize, usize) -> RatchetError,
+) -> Vec<RatchetError> {
+    let mut errors = Vec::new();
+    let mut names: Vec<&String> = recorded.keys().chain(counts.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        let base = recorded.get(name).copied().unwrap_or(0);
+        let actual = counts.get(name).copied().unwrap_or(0);
+        if actual != base {
+            errors.push(err(name.clone(), base, actual));
+        }
+    }
+    errors
+}
+
+/// Build the baseline that matches the current inventory and measured
 /// counts, carrying forward reasons for crates that already had one.
 pub fn from_inventory(
     inventory: &Inventory,
     test_counts: &BTreeMap<String, usize>,
+    dataflow_counts: &BTreeMap<String, usize>,
+    stale_counts: &BTreeMap<String, usize>,
     previous: &Baseline,
 ) -> Baseline {
     let mut out = Baseline::default();
     for (name, &count) in test_counts {
         if count > 0 {
             out.tests.insert(name.clone(), count);
+        }
+    }
+    for (name, &count) in dataflow_counts {
+        if count > 0 {
+            out.dataflow.insert(name.clone(), count);
+        }
+    }
+    for (name, &count) in stale_counts {
+        if count > 0 {
+            out.stale.insert(name.clone(), count);
         }
     }
     for (name, _) in inventory.crates.iter() {
@@ -263,6 +362,8 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
     enum Table {
         Crate(String),
         Tests(String),
+        Dataflow(String),
+        Stale(String),
     }
     let mut out = Baseline::default();
     let mut current: Option<Table> = None;
@@ -291,9 +392,22 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
                 }
                 out.tests.insert(krate.to_string(), 0);
                 current = Some(Table::Tests(krate.to_string()));
+            } else if let Some(krate) = name.strip_prefix("dataflow.") {
+                if krate.is_empty() {
+                    return Err(format!("baseline line {lineno}: empty crate name"));
+                }
+                out.dataflow.insert(krate.to_string(), 0);
+                current = Some(Table::Dataflow(krate.to_string()));
+            } else if let Some(krate) = name.strip_prefix("stale.") {
+                if krate.is_empty() {
+                    return Err(format!("baseline line {lineno}: empty crate name"));
+                }
+                out.stale.insert(krate.to_string(), 0);
+                current = Some(Table::Stale(krate.to_string()));
             } else {
                 return Err(format!(
-                    "baseline line {lineno}: expected [crate.<name>] or [tests.<name>]"
+                    "baseline line {lineno}: expected [crate.<name>], [tests.<name>], \
+                     [dataflow.<name>], or [stale.<name>]"
                 ));
             }
             continue;
@@ -306,19 +420,28 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
             .as_ref()
             .ok_or_else(|| format!("baseline line {lineno}: key outside a table"))?;
         match table {
-            Table::Tests(krate) => match key {
-                "count" => {
-                    let n = value
-                        .parse()
-                        .map_err(|_| format!("baseline line {lineno}: count must be an integer"))?;
-                    out.tests.insert(krate.clone(), n);
+            Table::Tests(_) | Table::Dataflow(_) | Table::Stale(_) => {
+                let (map, kind) = match table {
+                    Table::Tests(k) => (&mut out.tests, ("tests", k)),
+                    Table::Dataflow(k) => (&mut out.dataflow, ("dataflow", k)),
+                    Table::Stale(k) => (&mut out.stale, ("stale", k)),
+                    Table::Crate(_) => unreachable!(),
+                };
+                match key {
+                    "count" => {
+                        let n = value.parse().map_err(|_| {
+                            format!("baseline line {lineno}: count must be an integer")
+                        })?;
+                        map.insert(kind.1.clone(), n);
+                    }
+                    other => {
+                        return Err(format!(
+                            "baseline line {lineno}: unknown key `{other}` in a [{}.*] table",
+                            kind.0
+                        ));
+                    }
                 }
-                other => {
-                    return Err(format!(
-                        "baseline line {lineno}: unknown key `{other}` in a [tests.*] table"
-                    ));
-                }
-            },
+            }
             Table::Crate(krate) => {
                 let entry = out.crates.get_mut(krate).expect("current table exists");
                 match key {
@@ -391,6 +514,26 @@ pub fn serialize(baseline: &Baseline) -> String {
             let _ = write!(out, "\n[tests.{name}]\ncount = {count}\n");
         }
     }
+    if !baseline.dataflow.is_empty() {
+        out.push_str(
+            "\n# Per-crate marker-suppressed dataflow findings (index_bounds,\n\
+             # guard_across_await_or_call, result_discard). Exact-match: drift in\n\
+             # either direction fails until re-recorded via --update-baseline.\n",
+        );
+        for (name, count) in baseline.dataflow.iter() {
+            let _ = write!(out, "\n[dataflow.{name}]\ncount = {count}\n");
+        }
+    }
+    if !baseline.stale.is_empty() {
+        out.push_str(
+            "\n# Per-crate stale suppression markers (lint: allow / analyze: allow\n\
+             # comments that no longer suppress anything). Target is zero; clean up\n\
+             # with `cargo xtask analyze --remove-stale`.\n",
+        );
+        for (name, count) in baseline.stale.iter() {
+            let _ = write!(out, "\n[stale.{name}]\ncount = {count}\n");
+        }
+    }
     out
 }
 
@@ -433,7 +576,8 @@ mod tests {
         let inv = inventory(&[("columnar", "src/mmap.rs", 4)]);
         let counts: BTreeMap<String, usize> =
             [("columnar".to_string(), 7), ("serve".to_string(), 12)].into_iter().collect();
-        let mut base = from_inventory(&inv, &counts, &Baseline::default());
+        let mut base =
+            from_inventory(&inv, &counts, &no_tests(), &no_tests(), &Baseline::default());
         base.crates.get_mut("columnar").unwrap().reason = "mmap I/O".into();
         let text = serialize(&base);
         let parsed = parse(&text).unwrap();
@@ -454,7 +598,8 @@ mod tests {
     #[test]
     fn stale_entry_fails() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let mut base = from_inventory(&inv, &no_tests(), &Baseline::default());
+        let mut base =
+            from_inventory(&inv, &no_tests(), &no_tests(), &no_tests(), &Baseline::default());
         base.crates.get_mut("columnar").unwrap().count = 5;
         let errs = check(&base, &inv);
         assert_eq!(
@@ -466,7 +611,8 @@ mod tests {
     #[test]
     fn moved_unsafe_fails() {
         let old = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let base = from_inventory(&old, &no_tests(), &Baseline::default());
+        let base =
+            from_inventory(&old, &no_tests(), &no_tests(), &no_tests(), &Baseline::default());
         let new = inventory(&[("columnar", "src/table.rs", 2)]);
         let errs = check(&base, &new);
         assert_eq!(errs, vec![RatchetError::Moved { krate: "columnar".into() }]);
@@ -475,7 +621,8 @@ mod tests {
     #[test]
     fn matching_inventory_passes() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let base = from_inventory(&inv, &no_tests(), &Baseline::default());
+        let base =
+            from_inventory(&inv, &no_tests(), &no_tests(), &no_tests(), &Baseline::default());
         assert!(check(&base, &inv).is_empty());
     }
 
@@ -497,10 +644,11 @@ mod tests {
     #[test]
     fn update_carries_reasons_forward() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let mut prev = from_inventory(&inv, &no_tests(), &Baseline::default());
+        let mut prev =
+            from_inventory(&inv, &no_tests(), &no_tests(), &no_tests(), &Baseline::default());
         prev.crates.get_mut("columnar").unwrap().reason = "mmap I/O".into();
         let grown = inventory(&[("columnar", "src/mmap.rs", 2), ("columnar", "src/table.rs", 1)]);
-        let next = from_inventory(&grown, &no_tests(), &prev);
+        let next = from_inventory(&grown, &no_tests(), &no_tests(), &no_tests(), &prev);
         assert_eq!(next.crates["columnar"].count, 3);
         assert_eq!(next.crates["columnar"].reason, "mmap I/O");
     }
@@ -509,7 +657,13 @@ mod tests {
     fn tests_tables_roundtrip() {
         let counts: BTreeMap<String, usize> =
             [("engine".to_string(), 31), ("faults".to_string(), 10)].into_iter().collect();
-        let base = from_inventory(&Inventory::default(), &counts, &Baseline::default());
+        let base = from_inventory(
+            &Inventory::default(),
+            &counts,
+            &no_tests(),
+            &no_tests(),
+            &Baseline::default(),
+        );
         let text = serialize(&base);
         assert!(text.contains("[tests.engine]\ncount = 31"), "{text}");
         let parsed = parse(&text).unwrap();
@@ -548,5 +702,65 @@ mod tests {
             check_tests(&base, &grown),
             vec![RatchetError::TestsGrew { krate: "faults".into(), baseline: 0, actual: 3 }]
         );
+    }
+
+    #[test]
+    fn dataflow_and_stale_tables_roundtrip() {
+        let df: BTreeMap<String, usize> =
+            [("engine".to_string(), 4), ("columnar".to_string(), 2)].into_iter().collect();
+        let st: BTreeMap<String, usize> = [("serve".to_string(), 1)].into_iter().collect();
+        let base =
+            from_inventory(&Inventory::default(), &no_tests(), &df, &st, &Baseline::default());
+        let text = serialize(&base);
+        assert!(text.contains("[dataflow.engine]\ncount = 4"), "{text}");
+        assert!(text.contains("[stale.serve]\ncount = 1"), "{text}");
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn dataflow_ratchet_flags_drift_both_ways() {
+        let mut base = Baseline::default();
+        base.dataflow.insert("engine".to_string(), 4);
+
+        let exact: BTreeMap<String, usize> = [("engine".to_string(), 4)].into_iter().collect();
+        assert!(check_dataflow(&base, &exact).is_empty());
+
+        let grew: BTreeMap<String, usize> = [("engine".to_string(), 6)].into_iter().collect();
+        assert_eq!(
+            check_dataflow(&base, &grew),
+            vec![RatchetError::DataflowDrift { krate: "engine".into(), baseline: 4, actual: 6 }]
+        );
+
+        let shrank: BTreeMap<String, usize> = [("engine".to_string(), 1)].into_iter().collect();
+        assert_eq!(
+            check_dataflow(&base, &shrank),
+            vec![RatchetError::DataflowDrift { krate: "engine".into(), baseline: 4, actual: 1 }]
+        );
+    }
+
+    #[test]
+    fn stale_ratchet_flags_new_and_removed_markers() {
+        let base = Baseline::default();
+        let found: BTreeMap<String, usize> = [("engine".to_string(), 2)].into_iter().collect();
+        assert_eq!(
+            check_stale(&base, &found),
+            vec![RatchetError::StaleDrift { krate: "engine".into(), baseline: 0, actual: 2 }]
+        );
+
+        let mut recorded = Baseline::default();
+        recorded.stale.insert("engine".to_string(), 2);
+        assert_eq!(
+            check_stale(&recorded, &BTreeMap::new()),
+            vec![RatchetError::StaleDrift { krate: "engine".into(), baseline: 2, actual: 0 }]
+        );
+    }
+
+    #[test]
+    fn dataflow_and_stale_tables_reject_foreign_keys() {
+        assert!(parse("[dataflow.engine]\ndigest = \"abc\"\n").is_err());
+        assert!(parse("[stale.engine]\nreason = \"x\"\n").is_err());
+        assert!(parse("[dataflow.]\ncount = 1\n").is_err());
+        assert!(parse("[stale.]\ncount = 1\n").is_err());
     }
 }

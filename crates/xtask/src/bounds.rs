@@ -1,0 +1,1617 @@
+//! `index_bounds`: a relational bounds prover for index expressions.
+//!
+//! Runs the [`crate::dataflow`] engine over each function's
+//! [`crate::cfg::Cfg`] with a must-facts lattice of strict/non-strict
+//! order relations between small symbolic terms (`i`, `len(xs)`,
+//! `s.index()`, `n*n`, each with a constant offset). Facts are
+//! generated from `let x = xs.len()` bindings, `vec![_; n]`
+//! constructors, range loops, `enumerate()` loops and closures,
+//! `min`/`max`/`clamp`, `assert!`, and branch conditions; they are
+//! killed by rebinding, mutation, and calls to non-pure methods.
+//!
+//! Each index site (as defined by [`crate::parse::index_sink`], so the
+//! prover and `panic_path` agree on what counts) is then discharged by
+//! a bounded transitive-closure proof: `i < len(xs)` holds if a chain
+//! of at most two recorded bounds with compatible offsets connects the
+//! index term to the length term. Sites the prover cannot discharge
+//! become `index_bounds` diagnostics carrying the unproven obligation.
+//!
+//! The lattice is a finite powerset of syntactic facts, the join is
+//! intersection, and transfers are monotone (constant gens, name-based
+//! kills), so the fixpoint terminates; the solver's iteration cap is a
+//! backstop only.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::cfg::{visible, Cfg, EdgeKind, NodeKind};
+use crate::dataflow::{solve, AbstractState, Analysis};
+use crate::lex::{TokKind, Token};
+use crate::parse::{index_sink, Function};
+
+/// A symbolic term: `base + off`. An empty base is the constant `off`.
+/// Bases are canonical strings: `i`, `self.cur`, `len(xs)`, `k.index()`,
+/// `n*n`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Term {
+    /// Canonical symbolic base, `""` for constants.
+    pub base: String,
+    /// Constant offset.
+    pub off: i64,
+}
+
+impl Term {
+    fn new(base: impl Into<String>, off: i64) -> Term {
+        Term { base: base.into(), off }
+    }
+
+    fn konst(off: i64) -> Term {
+        Term { base: String::new(), off }
+    }
+
+    fn show(&self) -> String {
+        if self.base.is_empty() {
+            self.off.to_string()
+        } else if self.off == 0 {
+            self.base.clone()
+        } else if self.off > 0 {
+            format!("{} + {}", self.base, self.off)
+        } else {
+            format!("{} - {}", self.base, -self.off)
+        }
+    }
+}
+
+/// Must-facts: strict (`lt`) and non-strict (`le`) order relations.
+/// Equality is `le` both ways.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Facts {
+    /// Pairs `(a, b)` with `a < b` on every path reaching this point.
+    pub lt: BTreeSet<(Term, Term)>,
+    /// Pairs `(a, b)` with `a <= b` on every path.
+    pub le: BTreeSet<(Term, Term)>,
+}
+
+impl Facts {
+    fn add_lt(&mut self, a: Term, b: Term) {
+        self.lt.insert((a, b));
+    }
+
+    fn add_le(&mut self, a: Term, b: Term) {
+        self.le.insert((a, b));
+    }
+
+    fn add_eq(&mut self, a: Term, b: Term) {
+        self.le.insert((a.clone(), b.clone()));
+        self.le.insert((b, a));
+    }
+}
+
+impl AbstractState for Facts {
+    fn join(&self, other: &Self) -> Self {
+        Facts {
+            lt: self.lt.intersection(&other.lt).cloned().collect(),
+            le: self.le.intersection(&other.le).cloned().collect(),
+        }
+    }
+}
+
+/// Does `base` contain `name` as a whole path segment?
+fn mentions(base: &str, name: &str) -> bool {
+    base.split(|c: char| !c.is_ascii_alphanumeric() && c != '_').any(|seg| seg == name)
+}
+
+fn kill_name(f: &mut Facts, name: &str) {
+    f.lt.retain(|(a, b)| !mentions(&a.base, name) && !mentions(&b.base, name));
+    f.le.retain(|(a, b)| !mentions(&a.base, name) && !mentions(&b.base, name));
+}
+
+/// Methods that neither change a container's length nor mutate the
+/// bindings our terms mention.
+const PURE: &[&str] = &[
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "par_iter",
+    "par_iter_mut",
+    "into_iter",
+    "into_par_iter",
+    "enumerate",
+    "get",
+    "first",
+    "last",
+    "min",
+    "max",
+    "clamp",
+    "clone",
+    "to_vec",
+    "to_owned",
+    "as_slice",
+    "as_ref",
+    "as_bytes",
+    "as_str",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "binary_search",
+    "binary_search_by",
+    "copied",
+    "cloned",
+    "rev",
+    "zip",
+    "take",
+    "skip",
+    "windows",
+    "chunks",
+    "chunks_exact",
+    "split_at",
+    "load",
+    "index",
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "for_each",
+    "collect",
+    "sum",
+    "count",
+    "contains",
+    "contains_key",
+    "starts_with",
+    "ends_with",
+    "slice",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "expect",
+    "abs",
+    "pow",
+    "to_string",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "checked_div",
+    "wrapping_add",
+    "wrapping_sub",
+    "position",
+    "find",
+    "any",
+    "all",
+    "cmp",
+    "partial_cmp",
+    "eq",
+    "ne",
+    "hash",
+    "keys",
+    "values",
+    "entry",
+    "insert_with",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+];
+
+/// Length-preserving converters allowed inside a `(lo..hi).…collect()`
+/// chain or between a path and `.enumerate()`.
+const ITER_PURE: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "par_iter",
+    "par_iter_mut",
+    "into_iter",
+    "into_par_iter",
+    "copied",
+    "cloned",
+    "rev",
+    "map",
+];
+
+/// Adapter methods whose closure parameter is the chain's value.
+const VALUE_METHODS: &[&str] = &[
+    "map",
+    "for_each",
+    "flat_map",
+    "filter",
+    "filter_map",
+    "inspect",
+    "try_for_each",
+    "any",
+    "all",
+    "position",
+];
+
+const KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "as", "in", "if", "else", "while", "for", "loop", "match", "return",
+    "break", "continue", "fn", "move", "self", "Self", "pub", "use", "unsafe", "where", "impl",
+    "dyn", "true", "false",
+];
+
+fn is_plain_ident(t: &Token) -> bool {
+    t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text.as_str())
+}
+
+fn parse_num(text: &str) -> Option<i64> {
+    if text.starts_with("0x") || text.starts_with("0b") || text.contains('.') {
+        return None;
+    }
+    let digits: String = text.chars().take_while(|c| c.is_ascii_digit() || *c == '_').collect();
+    digits.replace('_', "").parse().ok()
+}
+
+/// Nesting delta over parens/brackets for top-level scans. Brace
+/// regions never appear in the position lists we scan ([`visible`]
+/// strips them).
+fn nest_delta(kind: TokKind) -> i32 {
+    match kind {
+        TokKind::LParen | TokKind::LBracket => 1,
+        TokKind::RParen | TokKind::RBracket => -1,
+        _ => 0,
+    }
+}
+
+/// Strip one layer of outer parens from a position list, repeatedly.
+fn strip_parens<'a>(toks: &[Token], mut pos: &'a [usize]) -> &'a [usize] {
+    loop {
+        if pos.len() < 2
+            || toks[pos[0]].kind != TokKind::LParen
+            || toks[*pos.last().unwrap()].kind != TokKind::RParen
+        {
+            return pos;
+        }
+        // The final `)` must match the first `(`.
+        let mut nest = 0i32;
+        for (k, &p) in pos.iter().enumerate() {
+            nest += nest_delta(toks[p].kind);
+            if nest == 0 && k + 1 != pos.len() {
+                return pos;
+            }
+        }
+        pos = &pos[1..pos.len() - 1];
+    }
+}
+
+/// Parse a position list as a [`Term`]. Handles paths, zero-arg method
+/// calls (`x.len()` → `len(x)`, `k.index()`), `A * B` products,
+/// `± const` offsets, `as` casts, and leading `&`/`mut`.
+pub fn parse_term(toks: &[Token], pos: &[usize]) -> Option<Term> {
+    let mut pos = pos;
+    while let Some(&p) = pos.first() {
+        if toks[p].text == "&" || toks[p].is("mut") {
+            pos = &pos[1..];
+        } else {
+            break;
+        }
+    }
+    let pos = strip_parens(toks, pos);
+    // `expr as ty`: drop the cast.
+    let mut nest = 0i32;
+    let mut cast = None;
+    for (k, &p) in pos.iter().enumerate() {
+        nest += nest_delta(toks[p].kind);
+        if nest == 0 && toks[p].is("as") {
+            cast = Some(k);
+            break;
+        }
+    }
+    let pos = match cast {
+        Some(k) if k > 0 => &pos[..k],
+        Some(_) => return None,
+        None => pos,
+    };
+    if pos.is_empty() {
+        return None;
+    }
+    // Last top-level `+` / `-` splits an offset.
+    let mut nest = 0i32;
+    let mut split = None;
+    for (k, &p) in pos.iter().enumerate() {
+        nest += nest_delta(toks[p].kind);
+        let t = &toks[p];
+        if nest == 0 && k > 0 && t.kind == TokKind::Punct && (t.text == "+" || t.text == "-") {
+            // Not a unary minus after another operator.
+            let prev = &toks[pos[k - 1]];
+            if matches!(
+                prev.kind,
+                TokKind::Ident | TokKind::Num | TokKind::RParen | TokKind::RBracket
+            ) {
+                split = Some((k, t.text == "-"));
+            }
+        }
+    }
+    if let Some((k, minus)) = split {
+        let l = parse_term(toks, &pos[..k])?;
+        let r = parse_term(toks, &pos[k + 1..])?;
+        return match (l.base.is_empty(), r.base.is_empty()) {
+            (true, true) => Some(Term::konst(if minus { l.off - r.off } else { l.off + r.off })),
+            (false, true) => {
+                Some(Term::new(l.base, if minus { l.off - r.off } else { l.off + r.off }))
+            }
+            (true, false) if !minus => Some(Term::new(r.base, r.off + l.off)),
+            _ => None,
+        };
+    }
+    // Top-level `*`: product of two offset-free terms.
+    let mut nest = 0i32;
+    for (k, &p) in pos.iter().enumerate() {
+        nest += nest_delta(toks[p].kind);
+        if nest == 0 && k > 0 && toks[p].kind == TokKind::Punct && toks[p].text == "*" {
+            let l = parse_term(toks, &pos[..k])?;
+            let r = parse_term(toks, &pos[k + 1..])?;
+            if l.off == 0 && r.off == 0 && !l.base.is_empty() && !r.base.is_empty() {
+                return Some(Term::new(format!("{}*{}", l.base, r.base), 0));
+            }
+            return None;
+        }
+    }
+    // Atom: number, path, or zero-arg method call on a path.
+    if pos.len() == 1 && toks[pos[0]].kind == TokKind::Num {
+        return parse_num(&toks[pos[0]].text).map(Term::konst);
+    }
+    // Zero-arg method call tail: `. name ( )`.
+    if pos.len() >= 4 {
+        let n = pos.len();
+        let (d, m, lp, rp) = (pos[n - 4], pos[n - 3], pos[n - 2], pos[n - 1]);
+        if toks[d].text == "."
+            && is_plain_ident(&toks[m])
+            && toks[lp].kind == TokKind::LParen
+            && toks[rp].kind == TokKind::RParen
+        {
+            let recv = path_text(toks, &pos[..n - 4])?;
+            return Some(if toks[m].is("len") {
+                Term::new(format!("len({recv})"), 0)
+            } else {
+                Term::new(format!("{recv}.{}()", toks[m].text), 0)
+            });
+        }
+    }
+    path_text(toks, pos).map(|p| Term::new(p, 0))
+}
+
+/// Join a position list that is exactly `ident (. ident)*` (with
+/// `self` allowed) into a dotted path string.
+fn path_text(toks: &[Token], pos: &[usize]) -> Option<String> {
+    if pos.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    for (k, &p) in pos.iter().enumerate() {
+        let t = &toks[p];
+        if k % 2 == 0 {
+            if t.kind != TokKind::Ident || (KEYWORDS.contains(&t.text.as_str()) && !t.is("self")) {
+                return None;
+            }
+            out.push_str(&t.text);
+        } else {
+            if t.text != "." {
+                return None;
+            }
+            out.push('.');
+        }
+    }
+    if pos.len().is_multiple_of(2) {
+        return None;
+    }
+    Some(out)
+}
+
+/// The `index_bounds` dataflow analysis.
+pub struct Bounds<'a> {
+    toks: &'a [Token],
+    children: &'a [Range<usize>],
+}
+
+impl Analysis for Bounds<'_> {
+    type State = Facts;
+
+    fn entry_state(&self) -> Facts {
+        Facts::default()
+    }
+
+    fn transfer(&self, _node: usize, kind: &NodeKind, edge: EdgeKind, state: &Facts) -> Facts {
+        let mut f = state.clone();
+        match kind {
+            NodeKind::Entry | NodeKind::Exit | NodeKind::Join => {}
+            NodeKind::Stmt(r) => self.stmt(&mut f, r),
+            NodeKind::Branch(r) => {
+                let vis = visible(self.toks, r, self.children);
+                apply_cond(self.toks, &vis, edge == EdgeKind::True, &mut f);
+            }
+            NodeKind::ForHead { pat, iter } => self.for_head(&mut f, pat, iter, edge),
+            NodeKind::ClosureEntry { open } => self.closure(&mut f, *open),
+        }
+        f
+    }
+}
+
+impl Bounds<'_> {
+    fn stmt(&self, f: &mut Facts, r: &Range<usize>) {
+        let toks = self.toks;
+        let vis = visible(toks, r, self.children);
+        if vis.is_empty() {
+            return;
+        }
+        let is_let = toks[vis[0]].is("let");
+        let eq_pos = top_level_assign(toks, &vis, is_let);
+
+        // ---- kills (always before gens) ----
+        if is_let {
+            let stop = eq_pos.map(|(k, _)| k).unwrap_or(vis.len()).max(1);
+            for &p in &vis[1..stop] {
+                if is_plain_ident(&toks[p]) {
+                    kill_name(f, &toks[p].text);
+                }
+            }
+        } else if let Some((_, lhs_end)) = eq_pos {
+            let lhs = &vis[..lhs_end];
+            // `v[i] = x` writes an element, not the length.
+            if !lhs.iter().any(|&p| toks[p].kind == TokKind::LBracket) {
+                if let Some(&p) =
+                    lhs.iter().find(|&&p| is_plain_ident(&toks[p]) || toks[p].is("self"))
+                {
+                    kill_name(f, &toks[p].text);
+                }
+            }
+        }
+        // `&mut X` escapes X.
+        for w in vis.windows(3) {
+            if toks[w[0]].text == "&" && toks[w[1]].is("mut") && is_plain_ident(&toks[w[2]]) {
+                kill_name(f, &toks[w[2]].text);
+            }
+        }
+        // Method calls: non-pure methods kill their receiver's facts.
+        for k in 0..vis.len().saturating_sub(2) {
+            if toks[vis[k]].text == "."
+                && toks[vis[k + 1]].kind == TokKind::Ident
+                && toks[vis[k + 2]].kind == TokKind::LParen
+                && !PURE.contains(&toks[vis[k + 1]].text.as_str())
+                && k > 0
+                && toks[vis[k - 1]].kind == TokKind::Ident
+            {
+                kill_name(f, &toks[vis[k - 1]].text);
+            }
+        }
+
+        // ---- gens ----
+        if is_let {
+            self.gen_let(f, &vis);
+        }
+        // `X.resize(n, _)` / `X.resize_with(n, _)`: new length is n.
+        for k in 0..vis.len().saturating_sub(3) {
+            if toks[vis[k]].text == "."
+                && (toks[vis[k + 1]].is("resize") || toks[vis[k + 1]].is("resize_with"))
+                && toks[vis[k + 2]].kind == TokKind::LParen
+                && k > 0
+                && toks[vis[k - 1]].kind == TokKind::Ident
+            {
+                let recv = recv_path(toks, &vis, k);
+                let arg = first_arg(toks, &vis[k + 3..]);
+                if let (Some(recv), Some(t)) = (recv, parse_term(toks, &arg)) {
+                    let len = Term::new(format!("len({recv})"), 0);
+                    kill_name(f, recv.rsplit('.').next().unwrap_or(&recv));
+                    f.add_eq(len, t);
+                }
+            }
+        }
+        // `assert!(cond)`: the condition holds below (debug_assert! is
+        // compiled out in release, so it contributes nothing).
+        if vis.len() > 3
+            && toks[vis[0]].is("assert")
+            && toks[vis[1]].text == "!"
+            && toks[vis[2]].kind == TokKind::LParen
+        {
+            let inner = paren_interior(toks, &vis[2..]);
+            let cond = first_arg(toks, &inner);
+            apply_cond(toks, &cond, true, f);
+        }
+    }
+
+    /// Facts from `let [mut] X [: ty] = RHS;`.
+    fn gen_let(&self, f: &mut Facts, vis: &[usize]) {
+        let toks = self.toks;
+        let mut k = 1;
+        if toks.get(vis.get(k).copied().unwrap_or(usize::MAX)).is_some_and(|t| t.is("mut")) {
+            k += 1;
+        }
+        let Some(&xp) = vis.get(k) else { return };
+        if !is_plain_ident(&toks[xp]) {
+            return;
+        }
+        let x = toks[xp].text.clone();
+        // The next visible token must be `:` or `=` (single-ident pattern).
+        match vis.get(k + 1).map(|&p| toks[p].text.as_str()) {
+            Some(":") | Some("=") => {}
+            _ => return,
+        }
+        let Some((eq, _)) = top_level_assign(toks, vis, true) else { return };
+        let mut rhs = &vis[eq + 1..];
+        if let Some(&last) = rhs.last() {
+            if toks[last].text == ";" {
+                rhs = &rhs[..rhs.len() - 1];
+            }
+        }
+        if rhs.is_empty() {
+            return;
+        }
+        let xt = Term::new(x.clone(), 0);
+        let len_x = Term::new(format!("len({x})"), 0);
+
+        // `vec![init; N]`
+        if rhs.len() > 3 && toks[rhs[0]].is("vec") && toks[rhs[1]].text == "!" {
+            if let Some(semi) = top_level_semi(toks, &rhs[3..]) {
+                let close = rhs.len() - 1;
+                if let Some(t) = parse_term(toks, &rhs[3 + semi + 1..close]) {
+                    f.add_eq(len_x, t);
+                }
+            }
+            return;
+        }
+        // `(lo..hi).<pure chain>.collect()`
+        if toks[rhs[0]].kind == TokKind::LParen {
+            if let Some((lo, hi, chain_ok)) = range_collect(toks, rhs) {
+                if chain_ok {
+                    if let (Some(l), Some(h)) = (parse_term(toks, &lo), parse_term(toks, &hi)) {
+                        if l.base.is_empty() {
+                            f.add_eq(len_x, Term::new(h.base, h.off - l.off));
+                        }
+                    }
+                }
+                return;
+            }
+        }
+        // `P.to_vec()` / `P.to_owned()` / `P.clone()`: same length.
+        if rhs.len() >= 4 {
+            let n = rhs.len();
+            if toks[rhs[n - 4]].text == "."
+                && toks[rhs[n - 2]].kind == TokKind::LParen
+                && toks[rhs[n - 1]].kind == TokKind::RParen
+            {
+                let m = toks[rhs[n - 3]].text.as_str();
+                if matches!(m, "to_vec" | "to_owned" | "clone") {
+                    if let Some(p) = path_text(toks, &rhs[..n - 4]) {
+                        f.add_eq(len_x, Term::new(format!("len({p})"), 0));
+                    }
+                }
+            }
+        }
+        // `A.min(B)` / `A.max(B)` / `A.clamp(lo, hi)`
+        if let Some((m, recv, args)) = last_call(toks, rhs) {
+            let rt = parse_term(toks, &recv);
+            match m.as_str() {
+                "min" => {
+                    if let Some(r) = rt {
+                        f.add_le(xt.clone(), r);
+                    }
+                    if let Some(a) = args.first().and_then(|a| parse_term(toks, a)) {
+                        f.add_le(xt.clone(), a);
+                    }
+                    return;
+                }
+                "max" => {
+                    if let Some(r) = rt {
+                        f.add_le(r, xt.clone());
+                    }
+                    if let Some(a) = args.first().and_then(|a| parse_term(toks, a)) {
+                        f.add_le(a, xt.clone());
+                    }
+                    return;
+                }
+                "clamp" => {
+                    if let Some(lo) = args.first().and_then(|a| parse_term(toks, a)) {
+                        f.add_le(lo, xt.clone());
+                    }
+                    if let Some(hi) = args.get(1).and_then(|a| parse_term(toks, a)) {
+                        f.add_le(xt.clone(), hi);
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // General: `let x = <term>` with x not recursive.
+        if let Some(t) = parse_term(toks, rhs) {
+            if !mentions(&t.base, &x) {
+                f.add_eq(xt, t);
+            }
+        }
+    }
+
+    fn for_head(&self, f: &mut Facts, pat: &Range<usize>, iter: &Range<usize>, edge: EdgeKind) {
+        let toks = self.toks;
+        let pat_idents: Vec<String> = (pat.clone())
+            .filter(|&p| is_plain_ident(&toks[p]))
+            .map(|p| toks[p].text.clone())
+            .collect();
+        for name in &pat_idents {
+            kill_name(f, name);
+        }
+        if edge != EdgeKind::True {
+            return;
+        }
+        let vis = visible(toks, iter, self.children);
+        let vis = strip_parens(toks, &vis);
+        // `for i in lo..hi`
+        let mut nest = 0i32;
+        for (k, &p) in vis.iter().enumerate() {
+            nest += nest_delta(toks[p].kind);
+            if nest == 0 && toks[p].text == ".." {
+                if pat_idents.len() != 1 {
+                    return;
+                }
+                let i = Term::new(pat_idents[0].clone(), 0);
+                let inclusive = vis.get(k + 1).is_some_and(|&q| toks[q].text == "=");
+                let hi_start = if inclusive { k + 2 } else { k + 1 };
+                if let Some(lo) = parse_term(toks, &vis[..k]) {
+                    f.add_le(lo, i.clone());
+                }
+                if let Some(hi) = parse_term(toks, &vis[hi_start..]) {
+                    if inclusive {
+                        f.add_le(i, hi);
+                    } else {
+                        f.add_lt(i, hi);
+                    }
+                }
+                return;
+            }
+        }
+        // `for (i, x) in P.<pure chain>.enumerate()`
+        if let Some(base) = enumerate_base(toks, vis) {
+            let Some(i) = pat_idents.first() else { return };
+            let it = Term::new(i.clone(), 0);
+            f.add_le(Term::konst(0), it.clone());
+            f.add_lt(it, Term::new(format!("len({base})"), 0));
+        }
+    }
+
+    /// Facts visible inside a closure body, recovered by walking
+    /// backward from its `{`: parameter kills, then range/enumerate
+    /// facts when the closure is the argument of a chain adapter.
+    fn closure(&self, f: &mut Facts, open: usize) {
+        let toks = self.toks;
+        if open == 0 || toks[open - 1].text != "|" {
+            return;
+        }
+        // Opening `|` of the parameter list.
+        let closing = open - 1;
+        let mut q = closing;
+        let mut params: Vec<String> = Vec::new();
+        loop {
+            if q == 0 || closing - q > 32 {
+                return;
+            }
+            q -= 1;
+            if toks[q].text == "|" {
+                break;
+            }
+            if is_plain_ident(&toks[q]) {
+                params.push(toks[q].text.clone());
+            }
+        }
+        params.reverse();
+        for p in &params {
+            kill_name(f, p);
+        }
+        let mut at = q;
+        if at > 0 && toks[at - 1].is("move") {
+            at -= 1;
+        }
+        if at < 3 || toks[at - 1].kind != TokKind::LParen {
+            return;
+        }
+        let m = &toks[at - 2];
+        if !VALUE_METHODS.contains(&m.text.as_str()) || toks[at - 3].text != "." {
+            return;
+        }
+        // Walk the chain backward from the `.` before the adapter.
+        let mut dot = at - 3;
+        let mut groups: Vec<String> = Vec::new();
+        loop {
+            if dot == 0 {
+                return;
+            }
+            let b = dot - 1;
+            match toks[b].kind {
+                TokKind::RParen => {
+                    let Some(lp) = match_back_paren(toks, b) else { return };
+                    if lp >= 2 && toks[lp - 1].kind == TokKind::Ident && toks[lp - 2].text == "." {
+                        groups.push(toks[lp - 1].text.clone());
+                        dot = lp - 2;
+                        continue;
+                    }
+                    if lp >= 1 && toks[lp - 1].kind == TokKind::Ident {
+                        return; // `foo(..)` head: unknown producer
+                    }
+                    // `(lo..hi)` head.
+                    let inner: Vec<usize> = (lp + 1..b).collect();
+                    let mut nest = 0i32;
+                    for (k, &p) in inner.iter().enumerate() {
+                        nest += nest_delta(toks[p].kind);
+                        if nest == 0 && toks[p].text == ".." {
+                            if params.len() != 1
+                                || !groups.iter().all(|g| ITER_PURE.contains(&g.as_str()))
+                            {
+                                return;
+                            }
+                            let it = Term::new(params[0].clone(), 0);
+                            let inclusive = inner.get(k + 1).is_some_and(|&x| toks[x].text == "=");
+                            let hs = if inclusive { k + 2 } else { k + 1 };
+                            if let Some(lo) = parse_term(toks, &inner[..k]) {
+                                f.add_le(lo, it.clone());
+                            }
+                            if let Some(hi) = parse_term(toks, &inner[hs..]) {
+                                if inclusive {
+                                    f.add_le(it, hi);
+                                } else {
+                                    f.add_lt(it, hi);
+                                }
+                            }
+                            return;
+                        }
+                    }
+                    return;
+                }
+                TokKind::Ident => {
+                    // Path head: `P.<groups>.adapter(|..|`.
+                    let mut s = b;
+                    while s >= 2 && toks[s - 1].text == "." && toks[s - 2].kind == TokKind::Ident {
+                        s -= 2;
+                    }
+                    let pos: Vec<usize> = (s..dot).collect();
+                    let Some(base) = path_text(toks, &pos) else { return };
+                    let mut saw_enum = false;
+                    for g in &groups {
+                        if g == "enumerate" {
+                            saw_enum = true;
+                        } else if !ITER_PURE.contains(&g.as_str()) {
+                            return;
+                        }
+                    }
+                    if saw_enum {
+                        let Some(i) = params.first() else { return };
+                        let it = Term::new(i.clone(), 0);
+                        f.add_le(Term::konst(0), it.clone());
+                        f.add_lt(it, Term::new(format!("len({base})"), 0));
+                    }
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Dotted receiver path ending just before the `.` at `vis[dot_k]`.
+fn recv_path(toks: &[Token], vis: &[usize], dot_k: usize) -> Option<String> {
+    if dot_k == 0 || toks[vis[dot_k - 1]].kind != TokKind::Ident {
+        return None;
+    }
+    let mut s = dot_k - 1;
+    while s >= 2 && toks[vis[s - 1]].text == "." && toks[vis[s - 2]].kind == TokKind::Ident {
+        s -= 2;
+    }
+    path_text(toks, &vis[s..dot_k])
+}
+
+/// Matching `(` for the `)` at `close`, scanning raw tokens backward.
+fn match_back_paren(toks: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in (0..=close).rev() {
+        match toks[i].kind {
+            TokKind::RParen => depth += 1,
+            TokKind::LParen => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// First top-level assignment in `vis`: returns `(index of '=' in vis,
+/// exclusive end of the LHS)`. Skips `==`, `!=`, `<=`, `>=`, `..=`
+/// (`=>` is fused by the lexer) and detects compound ops. `in_let`
+/// resolves the `> =` ambiguity: in `let x: Vec<u32> = …` the `>`
+/// closes a generic type, not a comparison.
+fn top_level_assign(toks: &[Token], vis: &[usize], in_let: bool) -> Option<(usize, usize)> {
+    let mut nest = 0i32;
+    for (k, &p) in vis.iter().enumerate() {
+        nest += nest_delta(toks[p].kind);
+        if nest != 0 || toks[p].text != "=" {
+            continue;
+        }
+        if vis.get(k + 1).is_some_and(|&q| toks[q].text == "=") {
+            return None; // `==` comparison statement
+        }
+        let prev = if k > 0 { toks[vis[k - 1]].text.as_str() } else { "" };
+        match prev {
+            "=" | "!" | ".." => return None,
+            "<" | ">" => {
+                // Shift-assign (`<<=`, `>>=`), a generic type close in
+                // a `let`, or a stray comparison.
+                if k >= 2 && toks[vis[k - 2]].text == prev {
+                    return Some((k, k - 2));
+                }
+                if in_let {
+                    return Some((k, k));
+                }
+                return None;
+            }
+            "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^" => return Some((k, k - 1)),
+            _ => return Some((k, k)),
+        }
+    }
+    None
+}
+
+/// Position (relative) of the first top-level `;` in `pos`.
+fn top_level_semi(toks: &[Token], pos: &[usize]) -> Option<usize> {
+    let mut nest = 0i32;
+    for (k, &p) in pos.iter().enumerate() {
+        nest += nest_delta(toks[p].kind);
+        if nest == 0 && toks[p].text == ";" {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Interior of the paren group starting at `pos[0]` (which must be `(`).
+fn paren_interior(toks: &[Token], pos: &[usize]) -> Vec<usize> {
+    let mut nest = 0i32;
+    let mut out = Vec::new();
+    for (k, &p) in pos.iter().enumerate() {
+        nest += nest_delta(toks[p].kind);
+        if k == 0 {
+            continue;
+        }
+        if nest == 0 && toks[p].kind == TokKind::RParen {
+            break;
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// Everything before the first top-level `,`.
+fn first_arg(toks: &[Token], pos: &[usize]) -> Vec<usize> {
+    let mut nest = 0i32;
+    let mut out = Vec::new();
+    for &p in pos {
+        nest += nest_delta(toks[p].kind);
+        if nest == 0 && toks[p].text == "," {
+            break;
+        }
+        if nest < 0 {
+            break;
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// If `rhs` is `(lo..hi).<chain>()…`, return the lo / hi position lists
+/// and whether the chain is length-preserving and ends in `collect`.
+fn range_collect(toks: &[Token], rhs: &[usize]) -> Option<(Vec<usize>, Vec<usize>, bool)> {
+    let mut nest = 0i32;
+    let mut close = None;
+    for (k, &p) in rhs.iter().enumerate() {
+        nest += nest_delta(toks[p].kind);
+        if nest == 0 {
+            close = Some(k);
+            break;
+        }
+    }
+    let close = close?;
+    let inner = &rhs[1..close];
+    let mut nest = 0i32;
+    let mut dd = None;
+    for (k, &p) in inner.iter().enumerate() {
+        nest += nest_delta(toks[p].kind);
+        if nest == 0 && toks[p].text == ".." {
+            dd = Some(k);
+            break;
+        }
+    }
+    let dd = dd?;
+    let lo: Vec<usize> = inner[..dd].to_vec();
+    let hi: Vec<usize> = inner[dd + 1..].to_vec();
+    if lo.is_empty() || hi.is_empty() {
+        return None;
+    }
+    // Walk the chain: `. ident [::<..>] ( .. )` groups.
+    let mut k = close + 1;
+    let mut last = String::new();
+    let mut ok = true;
+    while k < rhs.len() {
+        if toks[rhs[k]].text != "." {
+            break;
+        }
+        let Some(&m) = rhs.get(k + 1) else { break };
+        if toks[m].kind != TokKind::Ident {
+            break;
+        }
+        last = toks[m].text.clone();
+        if !ITER_PURE.contains(&last.as_str()) && last != "collect" && last != "enumerate" {
+            ok = false;
+        }
+        // Skip optional turbofish, then the call parens.
+        let mut j = k + 2;
+        while j < rhs.len() && toks[rhs[j]].kind != TokKind::LParen {
+            if toks[rhs[j]].text == "." || toks[rhs[j]].text == ";" {
+                return Some((lo, hi, false));
+            }
+            j += 1;
+        }
+        if j >= rhs.len() {
+            break;
+        }
+        let mut nest = 0i32;
+        while j < rhs.len() {
+            nest += nest_delta(toks[rhs[j]].kind);
+            j += 1;
+            if nest == 0 {
+                break;
+            }
+        }
+        k = j;
+    }
+    Some((lo, hi, ok && last == "collect"))
+}
+
+/// If `rhs` ends with a call `recv.m(args)`, return `(m, recv, args)`.
+fn last_call(toks: &[Token], rhs: &[usize]) -> Option<(String, Vec<usize>, Vec<Vec<usize>>)> {
+    let n = rhs.len();
+    if n < 4 || toks[rhs[n - 1]].kind != TokKind::RParen {
+        return None;
+    }
+    // Matching `(` within the position list.
+    let mut depth = 0i32;
+    let mut lp = None;
+    for k in (0..n).rev() {
+        match toks[rhs[k]].kind {
+            TokKind::RParen => depth += 1,
+            TokKind::LParen => {
+                depth -= 1;
+                if depth == 0 {
+                    lp = Some(k);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let lp = lp?;
+    if lp < 2 || toks[rhs[lp - 1]].kind != TokKind::Ident || toks[rhs[lp - 2]].text != "." {
+        return None;
+    }
+    let m = toks[rhs[lp - 1]].text.clone();
+    let recv = rhs[..lp - 2].to_vec();
+    let inner = &rhs[lp + 1..n - 1];
+    let mut args = Vec::new();
+    let mut cur = Vec::new();
+    let mut nest = 0i32;
+    for &p in inner {
+        if nest == 0 && toks[p].text == "," {
+            args.push(std::mem::take(&mut cur));
+            continue;
+        }
+        nest += nest_delta(toks[p].kind);
+        cur.push(p);
+    }
+    if !cur.is_empty() {
+        args.push(cur);
+    }
+    Some((m, recv, args))
+}
+
+/// If `vis` is `P.<pure chain>.enumerate()[.<pure>]`, return `P`.
+fn enumerate_base(toks: &[Token], vis: &[usize]) -> Option<String> {
+    // Leading path: ident, then `.`+ident pairs that are fields (not
+    // calls — an ident followed by `(` starts the chain instead).
+    if vis.is_empty() || toks[vis[0]].kind != TokKind::Ident {
+        return None;
+    }
+    let mut k = 1;
+    while k + 1 < vis.len()
+        && toks[vis[k]].text == "."
+        && is_plain_ident(&toks[vis[k + 1]])
+        && !vis.get(k + 2).is_some_and(|&p| toks[p].kind == TokKind::LParen)
+    {
+        k += 2;
+    }
+    let base = path_text(toks, &vis[..k])?;
+    // Chain groups.
+    let mut saw_enum = false;
+    while k < vis.len() {
+        if toks[vis[k]].text != "." {
+            return None;
+        }
+        let m = vis.get(k + 1)?;
+        if toks[*m].kind != TokKind::Ident {
+            return None;
+        }
+        let name = toks[*m].text.as_str();
+        if name == "enumerate" {
+            saw_enum = true;
+        } else if !ITER_PURE.contains(&name) {
+            return None;
+        }
+        let mut j = k + 2;
+        if vis.get(j).is_none_or(|&p| toks[p].kind != TokKind::LParen) {
+            return None;
+        }
+        let mut nest = 0i32;
+        while j < vis.len() {
+            nest += nest_delta(toks[vis[j]].kind);
+            j += 1;
+            if nest == 0 {
+                break;
+            }
+        }
+        k = j;
+    }
+    saw_enum.then_some(base)
+}
+
+/// Apply a branch condition's facts for the taken (`hold = true`) or
+/// refuted polarity.
+fn apply_cond(toks: &[Token], pos: &[usize], hold: bool, f: &mut Facts) {
+    let pos = strip_parens(toks, pos);
+    if pos.is_empty() {
+        return;
+    }
+    if toks[pos[0]].text == "!" && pos.get(1).is_some_and(|&p| toks[p].kind == TokKind::LParen) {
+        apply_cond(toks, &pos[1..], !hold, f);
+        return;
+    }
+    // Split on top-level `&&` / `||`.
+    let mut nest = 0i32;
+    let mut ands = Vec::new();
+    let mut ors = Vec::new();
+    let mut k = 0;
+    while k < pos.len() {
+        nest += nest_delta(toks[pos[k]].kind);
+        if nest == 0 && k + 1 < pos.len() {
+            let (a, b) = (&toks[pos[k]].text, &toks[pos[k + 1]].text);
+            if a == "&" && b == "&" {
+                ands.push(k);
+                k += 2;
+                continue;
+            }
+            if a == "|" && b == "|" {
+                ors.push(k);
+                k += 2;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    if !ands.is_empty() && !ors.is_empty() {
+        return;
+    }
+    if !ands.is_empty() {
+        if hold {
+            let mut start = 0;
+            for &cut in ands.iter().chain(std::iter::once(&pos.len())) {
+                apply_cond(toks, &pos[start..cut.min(pos.len())], true, f);
+                start = cut + 2;
+            }
+        }
+        return;
+    }
+    if !ors.is_empty() {
+        if !hold {
+            let mut start = 0;
+            for &cut in ors.iter().chain(std::iter::once(&pos.len())) {
+                apply_cond(toks, &pos[start..cut.min(pos.len())], false, f);
+                start = cut + 2;
+            }
+        }
+        return;
+    }
+    // Single comparison.
+    #[derive(PartialEq)]
+    enum Op {
+        Lt,
+        Le,
+        Gt,
+        Ge,
+        Equal,
+        Ne,
+    }
+    let mut nest = 0i32;
+    let mut found: Option<(usize, usize, Op)> = None; // (start, width, op)
+    let mut k = 0;
+    while k < pos.len() {
+        nest += nest_delta(toks[pos[k]].kind);
+        let t = toks[pos[k]].text.as_str();
+        if nest == 0 && toks[pos[k]].kind == TokKind::Punct {
+            // Skip turbofish generics: `::` `<` … `>`.
+            if t == "::" && pos.get(k + 1).is_some_and(|&p| toks[p].text == "<") {
+                let mut depth = 0i32;
+                let mut j = k + 1;
+                while j < pos.len() {
+                    match toks[pos[j]].text.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = j;
+                continue;
+            }
+            let two = pos.get(k + 1).map(|&p| toks[p].text.as_str());
+            let op = match (t, two) {
+                ("<", Some("=")) => Some((2, Op::Le)),
+                ("<", _) => Some((1, Op::Lt)),
+                (">", Some("=")) => Some((2, Op::Ge)),
+                (">", _) => Some((1, Op::Gt)),
+                ("=", Some("=")) => Some((2, Op::Equal)),
+                ("!", Some("=")) => Some((2, Op::Ne)),
+                _ => None,
+            };
+            if let Some((w, op)) = op {
+                if found.is_some() {
+                    return; // ambiguous: multiple comparisons
+                }
+                found = Some((k, w, op));
+                k += w;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    let Some((k, w, op)) = found else { return };
+    let (Some(a), Some(b)) = (parse_term(toks, &pos[..k]), parse_term(toks, &pos[k + w..])) else {
+        return;
+    };
+    match (op, hold) {
+        (Op::Lt, true) => f.add_lt(a, b),
+        (Op::Lt, false) => f.add_le(b, a),
+        (Op::Le, true) => f.add_le(a, b),
+        (Op::Le, false) => f.add_lt(b, a),
+        (Op::Gt, true) => f.add_lt(b, a),
+        (Op::Gt, false) => f.add_le(a, b),
+        (Op::Ge, true) => f.add_le(b, a),
+        (Op::Ge, false) => f.add_lt(a, b),
+        (Op::Equal, true) | (Op::Ne, false) => f.add_eq(a, b),
+        (Op::Equal, false) | (Op::Ne, true) => {}
+    }
+}
+
+/// Upper bounds of `a` derivable from one recorded fact: `(m, strict)`
+/// with `a <= m` (or `a < m` when strict).
+fn upper_bounds(f: &Facts, a: &Term) -> Vec<(Term, bool)> {
+    let mut out = Vec::new();
+    for (x, y) in &f.le {
+        if x.base == a.base {
+            out.push((Term::new(y.base.clone(), y.off + (a.off - x.off)), false));
+        }
+    }
+    for (x, y) in &f.lt {
+        if x.base == a.base {
+            out.push((Term::new(y.base.clone(), y.off + (a.off - x.off)), true));
+        }
+    }
+    out
+}
+
+/// Does a bound `m` (strict or not) of `a` discharge the goal
+/// `a < b` / `a <= b`?
+fn closes(m: &Term, strict_bound: bool, b: &Term, strict_goal: bool) -> bool {
+    if m.base != b.base {
+        return false;
+    }
+    if strict_goal {
+        if strict_bound {
+            m.off <= b.off
+        } else {
+            m.off < b.off
+        }
+    } else if strict_bound {
+        m.off <= b.off + 1
+    } else {
+        m.off <= b.off
+    }
+}
+
+/// Prove `a < b` (`strict`) or `a <= b` from the facts, chasing at most
+/// two recorded bounds.
+pub fn entails(f: &Facts, a: &Term, b: &Term, strict: bool) -> bool {
+    if a.base == b.base {
+        if strict && a.off < b.off {
+            return true;
+        }
+        if !strict && a.off <= b.off {
+            return true;
+        }
+    }
+    let hops = upper_bounds(f, a);
+    for (m, s) in &hops {
+        if closes(m, *s, b, strict) {
+            return true;
+        }
+    }
+    for (m, s1) in &hops {
+        for (m2, s2) in upper_bounds(f, m) {
+            if closes(&m2, *s1 || s2, b, strict) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One index site and the prover's verdict on it.
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    /// 1-based line of the `[`.
+    pub line: usize,
+    /// Rendered site, identical to the `panic_path` sink's `what`.
+    pub what: String,
+    /// Every obligation discharged.
+    pub proven: bool,
+    /// The first unproven obligation, human-readable.
+    pub note: String,
+}
+
+/// Nested-fn body ranges inside `functions[me]`, for CFG construction.
+pub fn child_ranges(functions: &[Function], me: usize) -> Vec<Range<usize>> {
+    let mine = &functions[me].body;
+    functions
+        .iter()
+        .enumerate()
+        .filter(|(k, g)| *k != me && g.body.start >= mine.start && g.body.end <= mine.end)
+        .map(|(_, g)| g.body.clone())
+        .collect()
+}
+
+/// Run the bounds analysis over one function body and judge every
+/// index site reachable from its entry.
+pub fn check_function(
+    toks: &[Token],
+    body: Range<usize>,
+    children: &[Range<usize>],
+) -> Vec<IndexSite> {
+    let cfg = Cfg::build(toks, body.clone(), children);
+    let analysis = Bounds { toks, children };
+    let states = solve(&cfg, &analysis);
+    let mut out: Vec<IndexSite> = Vec::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for (n, kind) in cfg.nodes.iter().enumerate() {
+        let Some(state) = &states[n] else { continue };
+        let positions: Vec<usize> = match kind {
+            NodeKind::Stmt(r) | NodeKind::Branch(r) => visible(toks, r, children),
+            NodeKind::ForHead { iter, .. } => visible(toks, iter, children),
+            _ => continue,
+        };
+        for &p in &positions {
+            if toks[p].kind != TokKind::LBracket || !seen.insert(p) {
+                continue;
+            }
+            let Some(sink) = index_sink(toks, p, body.end) else { continue };
+            let (proven, note) = prove_site(toks, p, state);
+            out.push(IndexSite { line: sink.line, what: sink.what, proven, note });
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.what).cmp(&(b.line, &b.what)));
+    out
+}
+
+/// Discharge the obligations of the index expression whose `[` is at
+/// `p`, against the facts holding at its statement entry.
+fn prove_site(toks: &[Token], p: usize, f: &Facts) -> (bool, String) {
+    if p == 0 || toks[p - 1].kind != TokKind::Ident {
+        return (false, "receiver is not a simple binding".into());
+    }
+    let mut s = p - 1;
+    while s >= 2 && toks[s - 1].text == "." && toks[s - 2].kind == TokKind::Ident {
+        s -= 2;
+    }
+    let recv: String = toks[s..p].iter().map(|t| t.text.as_str()).collect();
+    let len_t = Term::new(format!("len({recv})"), 0);
+    // Matching `]`.
+    let mut depth = 0i32;
+    let mut close = p;
+    for (i, t) in toks.iter().enumerate().skip(p) {
+        match t.kind {
+            TokKind::LBracket => depth += 1,
+            TokKind::RBracket => {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body: Vec<usize> = (p + 1..close).collect();
+    if body.is_empty() {
+        return (false, "empty index".into());
+    }
+    // Range slice `v[lo..hi]`.
+    let mut nest = 0i32;
+    for (k, &q) in body.iter().enumerate() {
+        nest += nest_delta(toks[q].kind);
+        if nest == 0 && toks[q].text == ".." {
+            let inclusive = body.get(k + 1).is_some_and(|&x| toks[x].text == "=");
+            let hs = if inclusive { k + 2 } else { k + 1 };
+            let lo = &body[..k];
+            let hi = &body[hs..];
+            let ht = if hi.is_empty() {
+                None
+            } else {
+                match parse_term(toks, hi) {
+                    Some(t) => Some(t),
+                    None => return (false, "slice end too complex".into()),
+                }
+            };
+            if let Some(ht) = &ht {
+                if !entails(f, ht, &len_t, inclusive) {
+                    let rel = if inclusive { "<" } else { "<=" };
+                    return (false, format!("cannot prove {} {rel} {}", ht.show(), len_t.show()));
+                }
+            }
+            if !lo.is_empty() {
+                let Some(lt) = parse_term(toks, lo) else {
+                    return (false, "slice start too complex".into());
+                };
+                let hi_bound = ht.as_ref().unwrap_or(&len_t);
+                if !entails(f, &lt, hi_bound, false) {
+                    return (false, format!("cannot prove {} <= {}", lt.show(), hi_bound.show()));
+                }
+            }
+            return (true, String::new());
+        }
+    }
+    // Row-major `m[i * n + j]` with `len(m) == n*n`.
+    if body.len() == 5
+        && is_plain_ident(&toks[body[0]])
+        && toks[body[1]].text == "*"
+        && is_plain_ident(&toks[body[2]])
+        && toks[body[3]].text == "+"
+        && is_plain_ident(&toks[body[4]])
+    {
+        let i = Term::new(toks[body[0]].text.clone(), 0);
+        let n = Term::new(toks[body[2]].text.clone(), 0);
+        let j = Term::new(toks[body[4]].text.clone(), 0);
+        let prod = Term::new(format!("{}*{}", n.base, n.base), 0);
+        if entails(f, &prod, &len_t, false)
+            && entails(f, &len_t, &prod, false)
+            && entails(f, &i, &n, true)
+            && entails(f, &j, &n, true)
+        {
+            return (true, String::new());
+        }
+        return (
+            false,
+            format!(
+                "cannot prove {} < {} with {} == {}",
+                Term::new(format!("{}*{}+{}", i.base, n.base, j.base), 0).show(),
+                len_t.show(),
+                len_t.show(),
+                prod.show()
+            ),
+        );
+    }
+    // General single-term index.
+    let Some(t) = parse_term(toks, &body) else {
+        return (false, "index expression too complex".into());
+    };
+    if !entails(f, &t, &len_t, true) {
+        return (false, format!("cannot prove {} < {}", t.show(), len_t.show()));
+    }
+    if t.off < 0
+        && !t.base.is_empty()
+        && !entails(f, &Term::konst(-t.off), &Term::new(t.base.clone(), 0), false)
+    {
+        return (false, format!("cannot prove {} >= {} (no-underflow)", t.base, -t.off));
+    }
+    (true, String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::tokenize;
+    use crate::parse::parse_file;
+    use crate::source::SourceFile;
+
+    fn sites(src: &str) -> Vec<IndexSite> {
+        let f = SourceFile::parse(src);
+        let toks = tokenize(&f);
+        let p = parse_file(&f, &toks);
+        let children = child_ranges(&p.functions, 0);
+        check_function(&toks, p.functions[0].body.clone(), &children)
+    }
+
+    fn all_proven(src: &str) {
+        let s = sites(src);
+        assert!(!s.is_empty(), "no sites found");
+        for site in &s {
+            assert!(site.proven, "line {}: {} — {}", site.line, site.what, site.note);
+        }
+    }
+
+    fn some_unproven(src: &str) {
+        let s = sites(src);
+        assert!(s.iter().any(|s| !s.proven), "expected an unproven site: {s:?}");
+    }
+
+    #[test]
+    fn range_loop_over_len_is_proven() {
+        all_proven(
+            "fn f(xs: &[u32]) -> u32 { let mut t = 0; for i in 0..xs.len() { t += xs[i]; } t }\n",
+        );
+    }
+
+    #[test]
+    fn len_binding_then_guard_is_proven() {
+        all_proven(
+            "fn f(xs: &[u32], i: usize) -> u32 { let n = xs.len(); if i < n { return xs[i]; } 0 }\n",
+        );
+    }
+
+    #[test]
+    fn vec_macro_and_guard_is_proven() {
+        // The aggregate-kernel shape: counts sized by `domain`, index
+        // guarded by `i < domain` inside a scan closure.
+        all_proven(
+            "fn f(keys: &[u32], domain: usize) { let mut acc = vec![0u64; domain]; \
+             keys.iter().for_each(|k| { let i = k.index(); if i < domain { acc[i] += 1; } }); }\n",
+        );
+    }
+
+    #[test]
+    fn enumerate_slice_start_is_proven() {
+        // The coreport pairing shape: `&distinct[a + 1..]`.
+        all_proven(
+            "fn f(distinct: &[u32]) { for (a, sa) in distinct.iter().enumerate() { \
+             for sb in &distinct[a + 1..] { use_pair(sa, sb); } } }\n",
+        );
+    }
+
+    #[test]
+    fn row_major_collect_is_proven() {
+        all_proven(
+            "fn f(n: usize, i: usize, j: usize) { \
+             let pairs: Vec<u32> = (0..n * n).map(|_| 0).collect(); \
+             for i in 0..n { for j in 0..n { touch(pairs[i * n + j]); } } }\n",
+        );
+    }
+
+    #[test]
+    fn par_range_closure_offsets_are_proven() {
+        // The delay-kernel shape: offsets has n + 1 slots, s ranges 0..n.
+        all_proven(
+            "fn f(n: usize) { let offsets = vec![0usize; n + 1]; \
+             (0..n).into_par_iter().map(|s| { let lo = offsets[s]; let hi = offsets[s + 1]; hi - lo }).sum::<usize>(); }\n",
+        );
+    }
+
+    #[test]
+    fn resize_with_negated_guard_join_is_proven() {
+        // The exec merge shape: grow self to other's length, then index
+        // by the enumerate counter.
+        all_proven(
+            "fn f(a: &mut Vec<u32>, other: Vec<u32>) { \
+             if a.len() < other.len() { a.resize(other.len(), 0); } \
+             for (i, v) in other.into_iter().enumerate() { a[i] += v; } }\n",
+        );
+    }
+
+    #[test]
+    fn prefix_sum_back_reference_is_proven() {
+        // The CSR index shape: `offsets[i - 1]` with i from 1..len.
+        all_proven(
+            "fn f(offsets: &mut Vec<usize>) { for i in 1..offsets.len() { \
+             offsets[i] += offsets[i - 1]; } }\n",
+        );
+    }
+
+    #[test]
+    fn method_key_guard_is_proven() {
+        // The followreport shape: `slot[s.index()]` under an if guard.
+        all_proven(
+            "fn f(srcs: &[K], n_sources: usize) { let mut slot = vec![0u32; n_sources]; \
+             for (i, s) in srcs.iter().enumerate() { if s.index() < n_sources { \
+             slot[s.index()] = i as u32; } } }\n",
+        );
+    }
+
+    #[test]
+    fn off_by_one_is_not_proven() {
+        some_unproven("fn f(xs: &[u32]) { for i in 0..xs.len() { touch(xs[i + 1]); } }\n");
+    }
+
+    #[test]
+    fn unguarded_index_is_not_proven() {
+        some_unproven("fn f(xs: &[u32], k: usize) -> u32 { xs[k] }\n");
+    }
+
+    #[test]
+    fn push_invalidates_length_facts() {
+        some_unproven(
+            "fn f(v: &mut Vec<u32>, i: usize) { let n = v.len(); if i < n { v.push(0); \
+             touch(v[i]); } }\n",
+        );
+    }
+
+    #[test]
+    fn reassignment_kills_the_guard() {
+        some_unproven(
+            "fn f(v: &[u32], mut i: usize) { if i < v.len() { i = next(); touch(v[i]); } }\n",
+        );
+    }
+
+    #[test]
+    fn zero_start_range_needs_no_underflow_but_back_ref_does() {
+        some_unproven("fn f(v: &[u32]) { for i in 0..v.len() { touch(v[i - 1]); } }\n");
+    }
+
+    #[test]
+    fn else_branch_gets_negated_condition() {
+        all_proven("fn f(v: &[u32], i: usize) -> u32 { if i >= v.len() { 0 } else { v[i] } }\n");
+    }
+
+    #[test]
+    fn early_continue_keeps_negation() {
+        all_proven(
+            "fn f(v: &[u32], n: usize) { for i in 0..n { if i >= v.len() { continue; } \
+             touch(v[i]); } }\n",
+        );
+    }
+
+    #[test]
+    fn min_binding_bounds_the_index() {
+        all_proven(
+            "fn f(v: &[u32], k: usize) -> u32 { if v.is_empty() { return 0; } \
+             let i = k.min(v.len() - 1); v[i] }\n",
+        );
+    }
+
+    #[test]
+    fn assert_establishes_facts() {
+        all_proven("fn f(v: &[u32], i: usize) -> u32 { assert!(i < v.len()); v[i] }\n");
+    }
+
+    #[test]
+    fn debug_assert_is_ignored() {
+        some_unproven("fn f(v: &[u32], i: usize) -> u32 { debug_assert!(i < v.len()); v[i] }\n");
+    }
+
+    #[test]
+    fn slice_to_len_is_proven() {
+        all_proven(
+            "fn f(v: &[u32], k: usize) { let n = v.len(); let k = k.min(n); touch(&v[..k]); \
+             touch(&v[k..]); }\n",
+        );
+    }
+
+    #[test]
+    fn term_parsing_handles_products_and_casts() {
+        let f = SourceFile::parse("fn f() { n * n + j; }\n");
+        let toks = tokenize(&f);
+        let pos: Vec<usize> = (5..8).collect(); // n * n
+        assert_eq!(parse_term(&toks, &pos), Some(Term::new("n*n", 0)));
+        let full: Vec<usize> = (5..10).collect(); // n * n + j: mixed, unparseable
+        assert_eq!(parse_term(&toks, &full), None);
+    }
+}

@@ -1,0 +1,673 @@
+//! Statement-level control-flow graphs over one function's token range.
+//!
+//! `Cfg::build` parses the body tokens of a [`crate::parse::Function`]
+//! into a graph of statement nodes connected by control edges, ready
+//! for the fixpoint engine in [`crate::dataflow`]. The parse is
+//! structured recursive descent over the token stream: blocks,
+//! `if`/`else if`/`else`, `while`, `loop`, `for`, `match`, and early
+//! `return`/`break`/`continue` all lower to explicit edges.
+//!
+//! Design points (soundness caveats are documented in DESIGN.md):
+//!
+//! * A *simple* statement containing embedded `{..}` regions (closure
+//!   bodies, block expressions, match-as-expression arms) hangs each
+//!   region off a [`NodeKind::ClosureEntry`] side branch fed by the
+//!   pre-statement state. The branch dead-ends: facts established
+//!   inside a closure never leak back out, and the outer statement's
+//!   own transfer sees only its top-level tokens.
+//! * An `if` whose branch diverges (`return`/`break`/`continue`) does
+//!   not reach the join, so the fall-through keeps the negated
+//!   condition — `if i >= n { continue; }` proves `i < n` below it.
+//! * `match` lowers to alternative paths into one join; arm patterns
+//!   and guards contribute no facts.
+//! * Labeled `break`/`continue` target the innermost loop. For a
+//!   must-analysis (intersection join) the extra predecessor can only
+//!   remove facts; for a may-analysis it only adds — sound both ways.
+
+use std::ops::Range;
+
+use crate::lex::{TokKind, Token};
+
+/// Edge classification: which way control left the source node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Unconditional fall-through.
+    Seq,
+    /// Condition held (`if`/`while` true edge, `for` entered the body).
+    True,
+    /// Condition failed (else edge, loop exhausted).
+    False,
+}
+
+/// One CFG node.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// Function entry.
+    Entry,
+    /// Function exit (every `return` and the final fall-through).
+    Exit,
+    /// A simple statement: its token range (embedded brace regions are
+    /// side branches; walkers skip them via [`visible`]).
+    Stmt(Range<usize>),
+    /// An `if`/`while` condition; out-edges carry `True`/`False`.
+    Branch(Range<usize>),
+    /// A `for` head: pattern and iterator token ranges.
+    ForHead {
+        /// Pattern tokens between `for` and `in`.
+        pat: Range<usize>,
+        /// Iterator tokens between `in` and the body `{`.
+        iter: Range<usize>,
+    },
+    /// Start of an embedded block; `open` is the token index of its
+    /// `{`, for backward inspection of closure params and chains.
+    ClosureEntry {
+        /// Token index of the block's opening brace.
+        open: usize,
+    },
+    /// Structural no-op: joins and loop heads.
+    Join,
+}
+
+/// The control-flow graph of one function body.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Node table.
+    pub nodes: Vec<NodeKind>,
+    /// Out-edges per node.
+    pub succ: Vec<Vec<(usize, EdgeKind)>>,
+    /// Entry node id.
+    pub entry: usize,
+    /// Exit node id.
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Build the CFG for the body token range of one function.
+    /// `children` are nested-fn body ranges to skip (they get their own
+    /// CFG when their `Function` is analyzed).
+    pub fn build(tokens: &[Token], body: Range<usize>, children: &[Range<usize>]) -> Cfg {
+        let mut b = Builder {
+            toks: tokens,
+            children,
+            nodes: vec![NodeKind::Entry, NodeKind::Exit],
+            succ: vec![Vec::new(), Vec::new()],
+            loops: Vec::new(),
+        };
+        let end = b.block(body, 0);
+        b.edge(end, 1, EdgeKind::Seq);
+        Cfg { nodes: b.nodes, succ: b.succ, entry: 0, exit: 1 }
+    }
+}
+
+/// Token indices of `range` that are *top-level* for a simple
+/// statement: embedded brace regions and nested-fn bodies removed.
+pub fn visible(tokens: &[Token], range: &Range<usize>, children: &[Range<usize>]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut brace = 0i32;
+    let mut i = range.start;
+    while i < range.end {
+        if let Some(r) = children.iter().find(|r| r.contains(&i)) {
+            i = r.end;
+            continue;
+        }
+        match tokens[i].kind {
+            TokKind::LBrace => brace += 1,
+            TokKind::RBrace => brace -= 1,
+            _ if brace == 0 => out.push(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    children: &'a [Range<usize>],
+    nodes: Vec<NodeKind>,
+    succ: Vec<Vec<(usize, EdgeKind)>>,
+    /// (continue target, break target) per open loop.
+    loops: Vec<(usize, usize)>,
+}
+
+impl Builder<'_> {
+    fn node(&mut self, k: NodeKind) -> usize {
+        self.nodes.push(k);
+        self.succ.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        self.succ[from].push((to, kind));
+    }
+
+    /// A fresh node with no in-edges: control diverged.
+    fn dead(&mut self) -> usize {
+        self.node(NodeKind::Join)
+    }
+
+    /// Matching `}` for the `{` at `open` (bounded by `limit`).
+    fn close_brace(&self, open: usize, limit: usize) -> usize {
+        let mut depth = 0i32;
+        for i in open..limit {
+            match self.toks[i].kind {
+                TokKind::LBrace => depth += 1,
+                TokKind::RBrace => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        limit.saturating_sub(1).max(open)
+    }
+
+    /// First `{` at paren/bracket nesting zero, scanning from `from`.
+    fn find_open(&self, from: usize, limit: usize) -> Option<usize> {
+        let mut nest = 0i32;
+        for i in from..limit {
+            match self.toks[i].kind {
+                TokKind::LParen | TokKind::LBracket => nest += 1,
+                TokKind::RParen | TokKind::RBracket => nest -= 1,
+                TokKind::LBrace if nest == 0 => return Some(i),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Exclusive end of a simple statement starting at `from`: past the
+    /// terminating `;` at nesting zero, or at `limit` (tail expr).
+    fn stmt_end(&self, from: usize, limit: usize) -> usize {
+        let mut nest = 0i32;
+        for i in from..limit {
+            match self.toks[i].kind {
+                TokKind::LParen | TokKind::LBracket | TokKind::LBrace => nest += 1,
+                TokKind::RParen | TokKind::RBracket | TokKind::RBrace => nest -= 1,
+                TokKind::Punct if self.toks[i].text == ";" && nest == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        limit
+    }
+
+    /// Lower the statements of `range` sequentially from node `cur`;
+    /// return the node holding the state after the last statement.
+    fn block(&mut self, range: Range<usize>, mut cur: usize) -> usize {
+        let mut i = range.start;
+        while i < range.end {
+            if let Some(r) = self.children.iter().find(|r| r.contains(&i)).cloned() {
+                i = r.end;
+                continue;
+            }
+            let t = &self.toks[i];
+            match t.kind {
+                TokKind::Punct if t.text == ";" => i += 1,
+                // Loop label: `'name: loop`.
+                TokKind::Punct if t.text == "'" => {
+                    i += 1;
+                    if self.toks.get(i + 1).is_some_and(|t| t.text == ":") {
+                        i += 2;
+                    }
+                }
+                TokKind::RBrace => i += 1, // tolerate sloppy ranges
+                TokKind::LBrace => {
+                    // Plain block: inline (facts flow through scoping).
+                    let close = self.close_brace(i, range.end);
+                    cur = self.block(i + 1..close, cur);
+                    i = close + 1;
+                }
+                TokKind::Ident => {
+                    let text = t.text.as_str();
+                    match text {
+                        "if" => {
+                            let (after, ni) = self.lower_if(i, cur, range.end);
+                            cur = after;
+                            i = ni;
+                        }
+                        "while" => {
+                            let open = self.find_open(i + 1, range.end).unwrap_or(range.end - 1);
+                            let close = self.close_brace(open, range.end);
+                            let head = self.node(NodeKind::Branch(i + 1..open));
+                            self.edge(cur, head, EdgeKind::Seq);
+                            let after = self.node(NodeKind::Join);
+                            let entry = self.node(NodeKind::Join);
+                            self.edge(head, entry, EdgeKind::True);
+                            self.edge(head, after, EdgeKind::False);
+                            self.loops.push((head, after));
+                            let bend = self.block(open + 1..close, entry);
+                            self.loops.pop();
+                            self.edge(bend, head, EdgeKind::Seq);
+                            cur = after;
+                            i = close + 1;
+                        }
+                        "loop" => {
+                            let open = self.find_open(i + 1, range.end).unwrap_or(range.end - 1);
+                            let close = self.close_brace(open, range.end);
+                            let head = self.node(NodeKind::Join);
+                            self.edge(cur, head, EdgeKind::Seq);
+                            let after = self.node(NodeKind::Join);
+                            self.loops.push((head, after));
+                            let bend = self.block(open + 1..close, head);
+                            self.loops.pop();
+                            self.edge(bend, head, EdgeKind::Seq);
+                            cur = after;
+                            i = close + 1;
+                        }
+                        "for" => {
+                            let open = self.find_open(i + 1, range.end).unwrap_or(range.end - 1);
+                            let close = self.close_brace(open, range.end);
+                            // `in` at paren/bracket nesting zero splits
+                            // pattern from iterator.
+                            let mut nest = 0i32;
+                            let mut in_pos = open;
+                            for j in i + 1..open {
+                                match self.toks[j].kind {
+                                    TokKind::LParen | TokKind::LBracket => nest += 1,
+                                    TokKind::RParen | TokKind::RBracket => nest -= 1,
+                                    TokKind::Ident if nest == 0 && self.toks[j].text == "in" => {
+                                        in_pos = j;
+                                        break;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            let head = self.node(NodeKind::ForHead {
+                                pat: i + 1..in_pos,
+                                iter: in_pos + 1..open,
+                            });
+                            self.edge(cur, head, EdgeKind::Seq);
+                            let after = self.node(NodeKind::Join);
+                            let entry = self.node(NodeKind::Join);
+                            self.edge(head, entry, EdgeKind::True);
+                            self.edge(head, after, EdgeKind::False);
+                            self.loops.push((head, after));
+                            let bend = self.block(open + 1..close, entry);
+                            self.loops.pop();
+                            self.edge(bend, head, EdgeKind::Seq);
+                            cur = after;
+                            i = close + 1;
+                        }
+                        "match" => {
+                            let open = self.find_open(i + 1, range.end).unwrap_or(range.end - 1);
+                            let close = self.close_brace(open, range.end);
+                            let head = self.node(NodeKind::Stmt(i + 1..open));
+                            self.edge(cur, head, EdgeKind::Seq);
+                            let join = self.node(NodeKind::Join);
+                            self.lower_match_arms(open + 1..close, head, join);
+                            cur = join;
+                            i = close + 1;
+                            // Consume a trailing `;` (match-as-statement).
+                            if self
+                                .toks
+                                .get(i)
+                                .is_some_and(|t| t.kind == TokKind::Punct && t.text == ";")
+                            {
+                                i += 1;
+                            }
+                        }
+                        "return" => {
+                            let e = self.stmt_end(i, range.end);
+                            let n = self.node(NodeKind::Stmt(i + 1..e));
+                            self.edge(cur, n, EdgeKind::Seq);
+                            self.edge(n, 1, EdgeKind::Seq); // exit
+                            cur = self.dead();
+                            i = e;
+                        }
+                        "break" | "continue" => {
+                            let e = self.stmt_end(i, range.end);
+                            let target = match self.loops.last() {
+                                Some(&(head, after)) => {
+                                    if text == "break" {
+                                        after
+                                    } else {
+                                        head
+                                    }
+                                }
+                                None => 1, // stray: route to exit
+                            };
+                            self.edge(cur, target, EdgeKind::Seq);
+                            cur = self.dead();
+                            i = e;
+                        }
+                        "fn" => {
+                            // Nested item: skip its header + body whole.
+                            match self.find_open(i + 1, range.end) {
+                                Some(open) => i = self.close_brace(open, range.end) + 1,
+                                None => i = self.stmt_end(i, range.end),
+                            }
+                        }
+                        "unsafe"
+                            if self.toks.get(i + 1).is_some_and(|t| t.kind == TokKind::LBrace) =>
+                        {
+                            i += 1; // `unsafe { .. }`: inline the block
+                        }
+                        _ => {
+                            let (after, ni) = self.lower_simple(i, cur, range.end);
+                            cur = after;
+                            i = ni;
+                        }
+                    }
+                }
+                _ => {
+                    let (after, ni) = self.lower_simple(i, cur, range.end);
+                    cur = after;
+                    i = ni;
+                }
+            }
+        }
+        cur
+    }
+
+    /// Lower `if .. { .. } [else if .. | else { .. }]` starting at the
+    /// `if` token. Returns (join node, next token index).
+    fn lower_if(&mut self, at: usize, cur: usize, limit: usize) -> (usize, usize) {
+        let open = self.find_open(at + 1, limit).unwrap_or(limit - 1);
+        let close = self.close_brace(open, limit);
+        let head = self.node(NodeKind::Branch(at + 1..open));
+        self.edge(cur, head, EdgeKind::Seq);
+        let then_entry = self.node(NodeKind::Join);
+        self.edge(head, then_entry, EdgeKind::True);
+        let then_end = self.block(open + 1..close, then_entry);
+
+        let i = close + 1;
+        if self.toks.get(i).is_some_and(|t| t.is("else")) {
+            if self.toks.get(i + 1).is_some_and(|t| t.is("if")) {
+                let else_entry = self.node(NodeKind::Join);
+                self.edge(head, else_entry, EdgeKind::False);
+                let (inner_join, ni) = self.lower_if(i + 1, else_entry, limit);
+                let join = self.node(NodeKind::Join);
+                self.edge(then_end, join, EdgeKind::Seq);
+                self.edge(inner_join, join, EdgeKind::Seq);
+                (join, ni)
+            } else {
+                let eopen = self.find_open(i + 1, limit).unwrap_or(limit - 1);
+                let eclose = self.close_brace(eopen, limit);
+                let else_entry = self.node(NodeKind::Join);
+                self.edge(head, else_entry, EdgeKind::False);
+                let else_end = self.block(eopen + 1..eclose, else_entry);
+                let join = self.node(NodeKind::Join);
+                self.edge(then_end, join, EdgeKind::Seq);
+                self.edge(else_end, join, EdgeKind::Seq);
+                (join, eclose + 1)
+            }
+        } else {
+            let join = self.node(NodeKind::Join);
+            self.edge(then_end, join, EdgeKind::Seq);
+            self.edge(head, join, EdgeKind::False);
+            (join, i)
+        }
+    }
+
+    /// Lower one simple statement at `at`: side-branch each embedded
+    /// brace region through a [`NodeKind::ClosureEntry`], then emit the
+    /// statement node itself.
+    fn lower_simple(&mut self, at: usize, cur: usize, limit: usize) -> (usize, usize) {
+        let end = self.stmt_end(at, limit);
+        // Embedded regions: maximal brace regions within the statement.
+        let mut brace = 0i32;
+        let mut j = at;
+        while j < end {
+            if let Some(r) = self.children.iter().find(|r| r.contains(&j)).cloned() {
+                j = r.end;
+                continue;
+            }
+            match self.toks[j].kind {
+                TokKind::LBrace => {
+                    if brace == 0 {
+                        let close = self.close_brace(j, end);
+                        let ce = self.node(NodeKind::ClosureEntry { open: j });
+                        self.edge(cur, ce, EdgeKind::Seq);
+                        // Dead-ends: closure facts never leak out.
+                        let _ = self.block(j + 1..close, ce);
+                        j = close + 1;
+                        continue;
+                    }
+                    brace += 1;
+                }
+                TokKind::RBrace => brace -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let n = self.node(NodeKind::Stmt(at..end));
+        self.edge(cur, n, EdgeKind::Seq);
+        (n, end)
+    }
+
+    /// Lower match arms in `range` as alternative paths `head → join`.
+    fn lower_match_arms(&mut self, range: Range<usize>, head: usize, join: usize) {
+        let mut i = range.start;
+        let mut any = false;
+        while i < range.end {
+            // Pattern (with optional guard): scan to `=>` at nest 0.
+            let mut nest = 0i32;
+            let mut arrow = None;
+            let mut j = i;
+            while j < range.end {
+                match self.toks[j].kind {
+                    TokKind::LParen | TokKind::LBracket | TokKind::LBrace => nest += 1,
+                    TokKind::RParen | TokKind::RBracket | TokKind::RBrace => nest -= 1,
+                    TokKind::Punct if self.toks[j].text == "=>" && nest == 0 => {
+                        arrow = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let entry = self.node(NodeKind::Join);
+            self.edge(head, entry, EdgeKind::Seq);
+            let body_end;
+            let arm_end;
+            if self.toks.get(arrow + 1).is_some_and(|t| t.kind == TokKind::LBrace) {
+                let close = self.close_brace(arrow + 1, range.end);
+                body_end = self.block(arrow + 2..close, entry);
+                arm_end = close + 1;
+            } else {
+                // Expression arm: to `,` at nest 0 or the match close.
+                let mut nest = 0i32;
+                let mut e = range.end;
+                for k in arrow + 1..range.end {
+                    match self.toks[k].kind {
+                        TokKind::LParen | TokKind::LBracket | TokKind::LBrace => nest += 1,
+                        TokKind::RParen | TokKind::RBracket | TokKind::RBrace => nest -= 1,
+                        TokKind::Punct if self.toks[k].text == "," && nest == 0 => {
+                            e = k;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                body_end = self.block(arrow + 1..e, entry);
+                arm_end = e;
+            }
+            self.edge(body_end, join, EdgeKind::Seq);
+            any = true;
+            i = arm_end;
+            if self.toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == ",") {
+                i += 1;
+            }
+        }
+        if !any {
+            // Empty match (`match x {}`): diverges; keep join unreachable.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::tokenize;
+    use crate::parse::parse_file;
+    use crate::source::SourceFile;
+
+    fn cfg_of(src: &str) -> (Vec<Token>, Cfg) {
+        let f = SourceFile::parse(src);
+        let toks = tokenize(&f);
+        let p = parse_file(&f, &toks);
+        let body = p.functions[0].body.clone();
+        let cfg = Cfg::build(&toks, body, &[]);
+        (toks, cfg)
+    }
+
+    fn count<F: Fn(&NodeKind) -> bool>(cfg: &Cfg, f: F) -> usize {
+        cfg.nodes.iter().filter(|n| f(n)).count()
+    }
+
+    #[test]
+    fn straight_line_is_a_stmt_chain() {
+        let (_, cfg) = cfg_of("fn f() { let a = 1; let b = 2; b }\n");
+        assert_eq!(count(&cfg, |n| matches!(n, NodeKind::Stmt(_))), 3);
+        // Entry reaches exit.
+        assert!(reaches(&cfg, cfg.entry, cfg.exit));
+    }
+
+    fn reaches(cfg: &Cfg, from: usize, to: usize) -> bool {
+        let mut seen = vec![false; cfg.nodes.len()];
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            for &(s, _) in &cfg.succ[n] {
+                stack.push(s);
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn if_else_has_true_false_edges_and_join() {
+        let (_, cfg) = cfg_of("fn f(c: bool) { if c { a(); } else { b(); } d(); }\n");
+        let branch = cfg.nodes.iter().position(|n| matches!(n, NodeKind::Branch(_))).unwrap();
+        let kinds: Vec<EdgeKind> = cfg.succ[branch].iter().map(|&(_, k)| k).collect();
+        assert!(kinds.contains(&EdgeKind::True));
+        assert!(kinds.contains(&EdgeKind::False));
+        assert!(reaches(&cfg, cfg.entry, cfg.exit));
+    }
+
+    #[test]
+    fn diverging_then_branch_skips_the_join() {
+        // `continue` must not connect the then-branch to the if-join,
+        // so the fall-through keeps ¬cond. Structurally: the True edge
+        // subtree must not reach the statement after the `if` without
+        // passing through the for head again.
+        let (toks, cfg) =
+            cfg_of("fn f(n: usize) { for i in 0..n { if i >= n { continue; } body(i); } }\n");
+        let branch = cfg.nodes.iter().position(|n| matches!(n, NodeKind::Branch(_))).unwrap();
+        let body_stmt = cfg
+            .nodes
+            .iter()
+            .position(|n| match n {
+                NodeKind::Stmt(r) => r.clone().any(|i| toks[i].is("body")),
+                _ => false,
+            })
+            .unwrap();
+        let for_head =
+            cfg.nodes.iter().position(|n| matches!(n, NodeKind::ForHead { .. })).unwrap();
+        // From the True edge, body_stmt is unreachable unless we pass
+        // through the for head (which we cut here).
+        let true_succ =
+            cfg.succ[branch].iter().find(|&&(_, k)| k == EdgeKind::True).map(|&(s, _)| s).unwrap();
+        let mut seen = vec![false; cfg.nodes.len()];
+        seen[for_head] = true; // cut
+        let mut stack = vec![true_succ];
+        let mut hit = false;
+        while let Some(n) = stack.pop() {
+            if n == body_stmt {
+                hit = true;
+                break;
+            }
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            for &(s, _) in &cfg.succ[n] {
+                stack.push(s);
+            }
+        }
+        assert!(!hit, "continue leaked into the if-join");
+        assert!(reaches(&cfg, cfg.entry, cfg.exit));
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let (_, cfg) = cfg_of("fn f(n: usize) { let mut i = 0; while i < n { i = i + 1; } }\n");
+        let branch = cfg.nodes.iter().position(|n| matches!(n, NodeKind::Branch(_))).unwrap();
+        // Some node has an edge back to the branch head.
+        let has_back =
+            cfg.succ.iter().enumerate().any(|(n, es)| {
+                n != cfg.entry && es.iter().any(|&(s, _)| s == branch && n > branch)
+            });
+        assert!(has_back, "{cfg:?}");
+        assert!(reaches(&cfg, cfg.entry, cfg.exit));
+    }
+
+    #[test]
+    fn for_head_splits_pat_and_iter() {
+        let (toks, cfg) = cfg_of("fn f(xs: &[u32]) { for (i, x) in xs.iter().enumerate() { } }\n");
+        let head = cfg
+            .nodes
+            .iter()
+            .find_map(|n| match n {
+                NodeKind::ForHead { pat, iter } => Some((pat.clone(), iter.clone())),
+                _ => None,
+            })
+            .unwrap();
+        let pat_text: Vec<&str> = head.0.clone().map(|i| toks[i].text.as_str()).collect();
+        assert!(pat_text.contains(&"i"), "{pat_text:?}");
+        let iter_text: Vec<&str> = head.1.clone().map(|i| toks[i].text.as_str()).collect();
+        assert!(iter_text.contains(&"enumerate"), "{iter_text:?}");
+    }
+
+    #[test]
+    fn closure_blocks_become_side_branches() {
+        let (_, cfg) =
+            cfg_of("fn f(v: &[u32]) { let s = v.iter().map(|x| { x + 1 }).sum::<u32>(); s; }\n");
+        assert_eq!(count(&cfg, |n| matches!(n, NodeKind::ClosureEntry { .. })), 1);
+        assert!(reaches(&cfg, cfg.entry, cfg.exit));
+    }
+
+    #[test]
+    fn return_routes_to_exit_and_kills_fallthrough() {
+        let (_, cfg) = cfg_of("fn f(c: bool) { if c { return; } after(); }\n");
+        assert!(reaches(&cfg, cfg.entry, cfg.exit));
+    }
+
+    #[test]
+    fn match_arms_are_alternative_paths() {
+        let (_, cfg) =
+            cfg_of("fn f(x: u32) { match x { 0 => a(), 1 => { b(); } _ => c(), } d(); }\n");
+        // Three arms -> three alternative entries off the scrutinee.
+        let scrutinee = cfg.nodes.iter().position(|n| matches!(n, NodeKind::Stmt(_))).unwrap();
+        assert_eq!(cfg.succ[scrutinee].len(), 3, "{cfg:?}");
+        assert!(reaches(&cfg, cfg.entry, cfg.exit));
+    }
+
+    #[test]
+    fn loop_exits_only_via_break() {
+        let (_, cfg) = cfg_of("fn f() { loop { if done() { break; } step(); } after(); }\n");
+        assert!(reaches(&cfg, cfg.entry, cfg.exit));
+    }
+
+    #[test]
+    fn visible_skips_embedded_blocks() {
+        let f =
+            SourceFile::parse("fn f(v: &[u32]) { let s = v.iter().map(|x| { x + 1 }).sum(); }\n");
+        let toks = tokenize(&f);
+        let p = parse_file(&f, &toks);
+        let body = p.functions[0].body.clone();
+        let vis = visible(&toks, &body, &[]);
+        let texts: Vec<&str> = vis.iter().map(|&i| toks[i].text.as_str()).collect();
+        assert!(texts.contains(&"map"), "{texts:?}");
+        assert!(!texts.contains(&"+"), "closure interior must be skipped: {texts:?}");
+    }
+}

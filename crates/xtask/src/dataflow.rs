@@ -1,0 +1,194 @@
+//! Generic forward dataflow over a [`crate::cfg::Cfg`].
+//!
+//! The engine is a plain worklist fixpoint: each node holds the
+//! abstract state *at its entry*; an analysis supplies the initial
+//! state, the join, and a per-edge transfer function. Unreachable
+//! nodes stay `None` (bottom), which is what gives branch-sensitive
+//! precision for free: a `continue`-only arm contributes nothing to
+//! the join below it.
+//!
+//! Termination: the analyses in this crate generate facts only from a
+//! finite syntactic universe (terms that appear in the function), and
+//! joins are monotone (intersection for must-facts, union for
+//! may-facts), so the fixpoint is reached in bounded steps. A hard
+//! iteration cap backstops that argument; if it ever trips, the solver
+//! returns all-`None` — "nothing is known", which is the sound
+//! direction for a must-analysis (nothing gets proven) and merely
+//! under-reports for a may-analysis.
+
+use crate::cfg::{Cfg, EdgeKind, NodeKind};
+
+/// An abstract state: joinable and comparable for fixpoint detection.
+pub trait AbstractState: Clone + PartialEq {
+    /// Least upper bound (or greatest lower, for must-facts) of two
+    /// reachable states.
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// One dataflow analysis: initial state plus edge transfer.
+pub trait Analysis {
+    /// The lattice element.
+    type State: AbstractState;
+
+    /// State at the function entry.
+    fn entry_state(&self) -> Self::State;
+
+    /// State after traversing the `edge`-kind out-edge of `node`.
+    fn transfer(
+        &self,
+        node: usize,
+        kind: &NodeKind,
+        edge: EdgeKind,
+        state: &Self::State,
+    ) -> Self::State;
+}
+
+/// Iteration cap multiplier (pops per node) before bailing out.
+const MAX_VISITS_PER_NODE: usize = 64;
+
+/// Run `analysis` to fixpoint over `cfg`; returns the entry state per
+/// node (`None` = unreachable / solver bailed).
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Vec<Option<A::State>> {
+    let n = cfg.nodes.len();
+    let mut state: Vec<Option<A::State>> = vec![None; n];
+    state[cfg.entry] = Some(analysis.entry_state());
+    let mut on_queue = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(cfg.entry);
+    on_queue[cfg.entry] = true;
+
+    let cap = n.saturating_mul(MAX_VISITS_PER_NODE).max(1024);
+    let mut pops = 0usize;
+    while let Some(u) = queue.pop_front() {
+        on_queue[u] = false;
+        pops += 1;
+        if pops > cap {
+            // Fixpoint failsafe: claim no knowledge anywhere.
+            return vec![None; n];
+        }
+        let Some(s) = state[u].clone() else { continue };
+        for &(v, kind) in &cfg.succ[u] {
+            let out = analysis.transfer(u, &cfg.nodes[u], kind, &s);
+            let merged = match &state[v] {
+                Some(cur) => cur.join(&out),
+                None => out,
+            };
+            if state[v].as_ref() != Some(&merged) {
+                state[v] = Some(merged);
+                if !on_queue[v] {
+                    on_queue[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::lex::tokenize;
+    use crate::parse::parse_file;
+    use crate::source::SourceFile;
+    use std::collections::BTreeSet;
+
+    /// Toy must-analysis: the set of "defined" single-letter idents at
+    /// each point; a `Stmt` whose first token is an ident defines it.
+    struct Defined;
+    #[derive(Clone, PartialEq)]
+    struct Defs(BTreeSet<String>);
+    impl AbstractState for Defs {
+        fn join(&self, other: &Self) -> Self {
+            Defs(self.0.intersection(&other.0).cloned().collect())
+        }
+    }
+
+    struct DefinedImpl<'a>(&'a [crate::lex::Token]);
+    impl Analysis for DefinedImpl<'_> {
+        type State = Defs;
+        fn entry_state(&self) -> Defs {
+            Defs(BTreeSet::new())
+        }
+        fn transfer(&self, _n: usize, kind: &NodeKind, _e: EdgeKind, s: &Defs) -> Defs {
+            let mut out = s.clone();
+            if let NodeKind::Stmt(r) = kind {
+                if let Some(t) = self.0.get(r.start) {
+                    if t.is("let") {
+                        if let Some(name) = self.0.get(r.start + 1) {
+                            out.0.insert(name.text.clone());
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn run(src: &str) -> (Vec<crate::lex::Token>, Cfg, Vec<Option<Defs>>) {
+        let f = SourceFile::parse(src);
+        let toks = tokenize(&f);
+        let p = parse_file(&f, &toks);
+        let cfg = Cfg::build(&toks, p.functions[0].body.clone(), &[]);
+        let states = solve(&cfg, &DefinedImpl(&toks));
+        (toks, cfg, states)
+    }
+
+    #[test]
+    fn must_join_is_intersection_across_branches() {
+        let (toks, cfg, states) =
+            run("fn f(c: bool) { let a = 1; if c { let b = 2; } else { let d = 3; } tail(); }\n");
+        let _ = Defined;
+        // At the `tail()` statement only `a` is defined on all paths.
+        let tail = cfg
+            .nodes
+            .iter()
+            .position(|n| match n {
+                NodeKind::Stmt(r) => r.clone().any(|i| toks[i].is("tail")),
+                _ => false,
+            })
+            .unwrap();
+        let s = states[tail].as_ref().unwrap();
+        assert!(s.0.contains("a"), "{:?}", s.0);
+        assert!(!s.0.contains("b"));
+        assert!(!s.0.contains("d"));
+    }
+
+    #[test]
+    fn diverging_branch_does_not_pollute_the_join() {
+        let (toks, cfg, states) =
+            run("fn f(c: bool) { loop { if c { continue; } let a = 1; tail(); break; } }\n");
+        let tail = cfg
+            .nodes
+            .iter()
+            .position(|n| match n {
+                NodeKind::Stmt(r) => r.clone().any(|i| toks[i].is("tail")),
+                _ => false,
+            })
+            .unwrap();
+        // The continue arm never reaches `tail`, so `a` survives.
+        let s = states[tail].as_ref().unwrap();
+        assert!(s.0.contains("a"), "{:?}", s.0);
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        let (_, cfg, states) =
+            run("fn f(n: usize) { let a = 0; while cond() { let b = 1; } done(); }\n");
+        // Solver terminated and the exit is reachable.
+        assert!(states[cfg.exit].is_some());
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_none() {
+        let (toks, cfg, states) = run("fn f() { return; dead(); }\n");
+        let dead = cfg.nodes.iter().position(|n| match n {
+            NodeKind::Stmt(r) => r.clone().any(|i| toks[i].is("dead")),
+            _ => false,
+        });
+        if let Some(d) = dead {
+            assert!(states[d].is_none(), "statement after return is unreachable");
+        }
+    }
+}

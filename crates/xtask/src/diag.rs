@@ -56,6 +56,8 @@ pub enum Format {
     Human,
     /// One JSON object with every diagnostic.
     Json,
+    /// SARIF 2.1.0 (`--format sarif`), for code-scanning uploads.
+    Sarif,
 }
 
 impl Format {
@@ -64,7 +66,8 @@ impl Format {
         match value {
             "human" => Ok(Format::Human),
             "json" => Ok(Format::Json),
-            other => Err(format!("unknown --format {other:?} (expected human|json)")),
+            "sarif" => Ok(Format::Sarif),
+            other => Err(format!("unknown --format {other:?} (expected human|json|sarif)")),
         }
     }
 }
@@ -78,6 +81,7 @@ pub fn emit(tool: &str, diagnostics: &[Diagnostic], format: Format) {
             }
         }
         Format::Json => println!("{}", to_json(tool, diagnostics)),
+        Format::Sarif => println!("{}", crate::sarif::to_sarif(tool, diagnostics)),
     }
 }
 
@@ -111,7 +115,7 @@ pub fn to_json(tool: &str, diagnostics: &[Diagnostic]) -> String {
 }
 
 /// Append `s` as a JSON string literal (quotes + escapes).
-fn json_string(s: &str, out: &mut String) {
+pub(crate) fn json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

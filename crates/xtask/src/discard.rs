@@ -1,0 +1,211 @@
+//! `result_discard`: a `Result` from a workspace function, dropped.
+//!
+//! Inside serve/engine hot paths a dropped `Result` usually means a
+//! swallowed error: `let _ = store.flush();` or a bare
+//! `sink.write_batch(rows);` statement. The analyzer resolves each call
+//! through the call graph; calls landing on workspace functions whose
+//! signature returns `Result` become candidates, and this module
+//! pattern-matches the *statement* around each candidate: a finding is
+//! a statement that is exactly a discarded call — `let _ = …;` or a
+//! bare call expression — with no `?`, no `.unwrap()`/`.expect()`, no
+//! binding, and no use of the value.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::cfg::{visible, Cfg, NodeKind};
+use crate::lex::{TokKind, Token};
+
+/// A candidate: (line, callee name) resolving to a workspace
+/// `Result`-returning function.
+pub type ResultCall = (usize, String);
+
+/// One confirmed discard.
+#[derive(Debug, Clone)]
+pub struct DiscardFinding {
+    /// Line of the discarded call.
+    pub line: usize,
+    /// Callee name.
+    pub callee: String,
+    /// `true` for `let _ = …;`, `false` for a bare statement.
+    pub explicit: bool,
+}
+
+/// Scan one function body for discarded `Result` calls.
+pub fn check_function(
+    toks: &[Token],
+    body: Range<usize>,
+    children: &[Range<usize>],
+    candidates: &BTreeSet<ResultCall>,
+) -> Vec<DiscardFinding> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let cfg = Cfg::build(toks, body, children);
+    let mut out: Vec<DiscardFinding> = Vec::new();
+    let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+    for kind in &cfg.nodes {
+        let NodeKind::Stmt(r) = kind else { continue };
+        let vis = visible(toks, r, children);
+        let Some(f) = discarded_call(toks, &vis, candidates) else { continue };
+        if seen.insert((f.line, f.callee.clone())) {
+            out.push(f);
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.callee).cmp(&(b.line, &b.callee)));
+    out
+}
+
+/// Does this statement discard a candidate call's `Result`?
+fn discarded_call(
+    toks: &[Token],
+    vis: &[usize],
+    candidates: &BTreeSet<ResultCall>,
+) -> Option<DiscardFinding> {
+    // A discard is a *statement*: it must end in `;`. Tail expressions
+    // and match scrutinees (also lowered as `Stmt` nodes) produce a
+    // value and are not discards.
+    let &last = vis.last()?;
+    if toks[last].text != ";" {
+        return None;
+    }
+    let vis = &vis[..vis.len() - 1];
+    if vis.len() < 3 {
+        return None;
+    }
+    let explicit = toks[vis[0]].is("let") && toks[vis[1]].text == "_" && toks[vis[2]].text == "=";
+    let expr = if explicit { &vis[3..] } else { vis };
+    if expr.is_empty() {
+        return None;
+    }
+    if !explicit {
+        // A bare statement: reject anything that is not a plain call
+        // expression — bindings, control flow, assignments, `?`.
+        let head = &toks[expr[0]];
+        if head.kind != TokKind::Ident
+            || matches!(
+                head.text.as_str(),
+                "let"
+                    | "return"
+                    | "if"
+                    | "while"
+                    | "for"
+                    | "loop"
+                    | "match"
+                    | "break"
+                    | "continue"
+                    | "use"
+                    | "fn"
+                    | "assert"
+                    | "debug_assert"
+            )
+        {
+            return None;
+        }
+        let mut nest = 0i32;
+        for &p in expr {
+            match toks[p].kind {
+                TokKind::LParen | TokKind::LBracket => nest += 1,
+                TokKind::RParen | TokKind::RBracket => nest -= 1,
+                _ if nest == 0 && (toks[p].text == "=" || toks[p].text == "?") => return None,
+                _ => {}
+            }
+        }
+    }
+    // The statement's value is the *last* call: `…name(…)` must close
+    // the expression, so `foo().unwrap()` attributes to `unwrap`, not
+    // `foo`, and drops out of the candidate set.
+    let last = *expr.last()?;
+    if toks[last].kind != TokKind::RParen {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut open = None;
+    for (k, &p) in expr.iter().enumerate().rev() {
+        match toks[p].kind {
+            TokKind::RParen => depth += 1,
+            TokKind::LParen => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(k);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let open = open?;
+    if open == 0 {
+        return None;
+    }
+    let name_tok = &toks[expr[open - 1]];
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let key = (name_tok.line, name_tok.text.clone());
+    if !candidates.contains(&key) {
+        return None;
+    }
+    Some(DiscardFinding { line: key.0, callee: key.1, explicit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::tokenize;
+    use crate::parse::parse_file;
+    use crate::source::SourceFile;
+
+    fn run(src: &str, cands: &[(usize, &str)]) -> Vec<DiscardFinding> {
+        let f = SourceFile::parse(src);
+        let toks = tokenize(&f);
+        let p = parse_file(&f, &toks);
+        let candidates: BTreeSet<ResultCall> =
+            cands.iter().map(|(l, n)| (*l, n.to_string())).collect();
+        check_function(&toks, p.functions[0].body.clone(), &[], &candidates)
+    }
+
+    #[test]
+    fn let_underscore_discard_is_flagged() {
+        let got = run("fn f() {\n    let _ = flush();\n}\n", &[(2, "flush")]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].explicit);
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn bare_statement_discard_is_flagged() {
+        let got = run("fn f(s: &S) {\n    s.write_batch(rows);\n}\n", &[(2, "write_batch")]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(!got[0].explicit);
+    }
+
+    #[test]
+    fn question_mark_is_not_a_discard() {
+        let got = run("fn f() -> R {\n    flush()?;\n    ok()\n}\n", &[(2, "flush")]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn bound_result_is_not_a_discard() {
+        let got = run("fn f() {\n    let r = flush();\n    use_it(r);\n}\n", &[(2, "flush")]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn unwrapped_result_is_not_a_discard() {
+        // `.unwrap()` consumes the Result; the final call is `unwrap`,
+        // which is not a candidate.
+        let got = run("fn f() {\n    flush().unwrap();\n}\n", &[(2, "flush")]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn match_on_result_is_not_a_discard() {
+        let got = run(
+            "fn f() {\n    match flush() {\n        Ok(_) => {}\n        Err(e) => log(e),\n    }\n}\n",
+            &[(2, "flush")],
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

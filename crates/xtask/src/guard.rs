@@ -1,0 +1,269 @@
+//! `guard_across_await_or_call`: lock guards held across calls into
+//! other workspace crates.
+//!
+//! A `Mutex`/`RwLock` guard bound with `let g = x.lock()…` and still
+//! live when control flows into another crate (per the call graph)
+//! serializes that whole downstream call — usually an accident in hot
+//! paths, and a deadlock risk if the callee takes the same lock. This
+//! is a *may*-analysis over the same [`crate::cfg::Cfg`] as the bounds
+//! prover: the state is the set of possibly-held guards (union join),
+//! acquired by `let`-bindings whose RHS ends in `.lock()` / `.read()` /
+//! `.write()` on a known lock name, and released by `drop(g)` or
+//! rebinding. Scope-end drops are not modeled (token-level CFG), so a
+//! guard deliberately confined to an inner block can still be flagged —
+//! that is the conservative direction for a may-analysis, and the
+//! marker escape hatch covers intentional cases.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::cfg::{visible, Cfg, EdgeKind, NodeKind};
+use crate::dataflow::{solve, AbstractState, Analysis};
+use crate::lex::{TokKind, Token};
+
+/// One possibly-held guard: binding name, lock name, acquisition line.
+pub type Guard = (String, String, usize);
+
+/// The may-held set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Held(pub BTreeSet<Guard>);
+
+impl AbstractState for Held {
+    fn join(&self, other: &Self) -> Self {
+        Held(self.0.union(&other.0).cloned().collect())
+    }
+}
+
+/// A call into another workspace crate, precomputed by the analyzer
+/// from the call graph: (line, callee name, callee crate).
+pub type CrossCall = (usize, String, String);
+
+/// One confirmed finding.
+#[derive(Debug, Clone)]
+pub struct GuardFinding {
+    /// Line of the cross-crate call.
+    pub line: usize,
+    /// Guard binding name.
+    pub binding: String,
+    /// Lock static/field the guard came from.
+    pub lock: String,
+    /// Line where the guard was acquired.
+    pub acquired: usize,
+    /// Callee `crate::fn` description.
+    pub callee: String,
+}
+
+const ACQUIRE: &[&str] = &["lock", "read", "write"];
+
+struct GuardFlow<'a> {
+    toks: &'a [Token],
+    children: &'a [Range<usize>],
+    lock_names: &'a [String],
+}
+
+impl GuardFlow<'_> {
+    /// If `vis` is `let [mut] g = …x.lock()…;` on a known lock, return
+    /// the guard; a plain `let g = …` returns `(g, None)` (rebind kill).
+    fn let_binding(&self, vis: &[usize]) -> Option<(String, Option<(String, usize)>)> {
+        let toks = self.toks;
+        if vis.is_empty() || !toks[vis[0]].is("let") {
+            return None;
+        }
+        let mut k = 1;
+        if vis.get(k).is_some_and(|&p| toks[p].is("mut")) {
+            k += 1;
+        }
+        let name_p = *vis.get(k)?;
+        if toks[name_p].kind != TokKind::Ident {
+            return None;
+        }
+        let binding = toks[name_p].text.clone();
+        // Find `.lock()` / `.read()` / `.write()` whose receiver's last
+        // path segment is a known lock name.
+        for j in 0..vis.len().saturating_sub(3) {
+            if toks[vis[j]].text == "."
+                && ACQUIRE.contains(&toks[vis[j + 1]].text.as_str())
+                && toks[vis[j + 2]].kind == TokKind::LParen
+                && j > 0
+                && toks[vis[j - 1]].kind == TokKind::Ident
+            {
+                let recv = toks[vis[j - 1]].text.clone();
+                if self.lock_names.contains(&recv) {
+                    let line = toks[name_p].line;
+                    return Some((binding, Some((recv, line))));
+                }
+            }
+        }
+        Some((binding, None))
+    }
+}
+
+impl Analysis for GuardFlow<'_> {
+    type State = Held;
+
+    fn entry_state(&self) -> Held {
+        Held::default()
+    }
+
+    fn transfer(&self, _node: usize, kind: &NodeKind, _edge: EdgeKind, state: &Held) -> Held {
+        let mut out = state.clone();
+        let toks = self.toks;
+        let r = match kind {
+            NodeKind::Stmt(r) => r,
+            NodeKind::ForHead { pat, .. } => {
+                for p in pat.clone() {
+                    if toks[p].kind == TokKind::Ident {
+                        let name = &toks[p].text;
+                        out.0.retain(|(b, _, _)| b != name);
+                    }
+                }
+                return out;
+            }
+            _ => return out,
+        };
+        let vis = visible(toks, r, self.children);
+        // `drop(g)` releases.
+        for w in vis.windows(3) {
+            if toks[w[0]].is("drop")
+                && toks[w[1]].kind == TokKind::LParen
+                && toks[w[2]].kind == TokKind::Ident
+            {
+                let name = toks[w[2]].text.clone();
+                out.0.retain(|(b, _, _)| *b != name);
+            }
+        }
+        if let Some((binding, acq)) = self.let_binding(&vis) {
+            out.0.retain(|(b, _, _)| *b != binding);
+            if let Some((lock, line)) = acq {
+                out.0.insert((binding, lock, line));
+            }
+        }
+        out
+    }
+}
+
+/// Find every cross-crate call made while a guard may be held.
+pub fn check_function(
+    toks: &[Token],
+    body: Range<usize>,
+    children: &[Range<usize>],
+    lock_names: &[String],
+    cross_calls: &[CrossCall],
+) -> Vec<GuardFinding> {
+    if cross_calls.is_empty() || lock_names.is_empty() {
+        return Vec::new();
+    }
+    let cfg = Cfg::build(toks, body.clone(), children);
+    let flow = GuardFlow { toks, children, lock_names };
+    let states = solve(&cfg, &flow);
+    let mut out: Vec<GuardFinding> = Vec::new();
+    let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+    for (n, kind) in cfg.nodes.iter().enumerate() {
+        let Some(state) = &states[n] else { continue };
+        if state.0.is_empty() {
+            continue;
+        }
+        let positions: Vec<usize> = match kind {
+            NodeKind::Stmt(r) | NodeKind::Branch(r) => visible(toks, r, children),
+            NodeKind::ForHead { iter, .. } => visible(toks, iter, children),
+            _ => continue,
+        };
+        let lines: BTreeSet<usize> = positions.iter().map(|&p| toks[p].line).collect();
+        for (line, callee, krate) in cross_calls {
+            if !lines.contains(line) {
+                continue;
+            }
+            // The callee name must actually appear among this node's
+            // tokens (several statements can share a line).
+            let called_here =
+                positions.iter().any(|&p| toks[p].line == *line && toks[p].is(callee));
+            if !called_here {
+                continue;
+            }
+            for (binding, lock, acquired) in &state.0 {
+                if *acquired > *line {
+                    continue; // acquired later on the same line range
+                }
+                if seen.insert((*line, binding.clone())) {
+                    out.push(GuardFinding {
+                        line: *line,
+                        binding: binding.clone(),
+                        lock: lock.clone(),
+                        acquired: *acquired,
+                        callee: format!("{krate}::{callee}"),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.binding).cmp(&(b.line, &b.binding)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::tokenize;
+    use crate::parse::parse_file;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str, locks: &[&str], calls: &[(usize, &str, &str)]) -> Vec<GuardFinding> {
+        let f = SourceFile::parse(src);
+        let toks = tokenize(&f);
+        let p = parse_file(&f, &toks);
+        let locks: Vec<String> = locks.iter().map(|s| s.to_string()).collect();
+        let calls: Vec<CrossCall> =
+            calls.iter().map(|(l, c, k)| (*l, c.to_string(), k.to_string())).collect();
+        check_function(&toks, p.functions[0].body.clone(), &[], &locks, &calls)
+    }
+
+    #[test]
+    fn guard_held_across_cross_crate_call_is_flagged() {
+        let src = "fn f() {\n    let g = STATE.lock().unwrap();\n    engine_run(&g);\n}\n";
+        let got = findings(src, &["STATE"], &[(3, "engine_run", "engine")]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].acquired, 2);
+        assert_eq!(got[0].line, 3);
+        assert_eq!(got[0].lock, "STATE");
+        assert_eq!(got[0].callee, "engine::engine_run");
+    }
+
+    #[test]
+    fn dropped_guard_is_not_flagged() {
+        let src =
+            "fn f() {\n    let g = STATE.lock().unwrap();\n    drop(g);\n    engine_run();\n}\n";
+        let got = findings(src, &["STATE"], &[(4, "engine_run", "engine")]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn call_before_acquisition_is_not_flagged() {
+        let src =
+            "fn f() {\n    engine_run();\n    let g = STATE.lock().unwrap();\n    use_it(&g);\n}\n";
+        let got = findings(src, &["STATE"], &[(2, "engine_run", "engine")]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn rebinding_releases_the_old_guard() {
+        let src = "fn f() {\n    let g = STATE.lock().unwrap();\n    let g = other();\n    engine_run();\n}\n";
+        let got = findings(src, &["STATE"], &[(4, "engine_run", "engine")]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn may_join_keeps_the_branch_that_held() {
+        let src = "fn f(c: bool) {\n    if c {\n        let g = STATE.lock().unwrap();\n        stash(g);\n    }\n    engine_run();\n}\n";
+        // `stash(g)` moves the guard but we do not model moves: the
+        // union join keeps it — conservative for a may-analysis.
+        let got = findings(src, &["STATE"], &[(6, "engine_run", "engine")]);
+        assert_eq!(got.len(), 1, "{got:?}");
+    }
+
+    #[test]
+    fn unknown_receiver_is_not_a_guard() {
+        let src = "fn f() {\n    let g = channel.lock().unwrap();\n    engine_run();\n}\n";
+        let got = findings(src, &["STATE"], &[(3, "engine_run", "engine")]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

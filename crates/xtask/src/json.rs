@@ -1,0 +1,272 @@
+//! A minimal JSON parser — just enough for `--diff` snapshots and the
+//! SARIF validator. Zero dependencies, by design: xtask must build
+//! with nothing but the standard library.
+//!
+//! Supports the full JSON value grammar (objects, arrays, strings with
+//! escapes, numbers, booleans, null). Numbers are kept as `f64`, which
+//! is exact for every integer the analyzer emits (line numbers,
+//! counts). Parsing is recursive descent with a depth cap.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. BTreeMap: deterministic iteration, duplicate keys
+    /// keep the last value (matching serde and the RFC's "SHOULD").
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup (None for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum nesting depth before bailing out.
+const MAX_DEPTH: usize = 128;
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut p = Parser { c: &bytes, i: 0 };
+    p.ws();
+    let v = p.value(0)?;
+    p.ws();
+    if p.i != p.c.len() {
+        return Err(format!("trailing data at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    c: &'a [char],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.c.len() && self.c[self.i].is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.c.get(self.i).copied()
+    }
+
+    fn eat(&mut self, ch: char) -> Result<(), String> {
+        if self.peek() == Some(ch) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{ch}' at offset {}", self.i))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        for ch in word.chars() {
+            self.eat(ch)?;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some('{') => self.object(depth),
+            Some('[') => self.array(depth),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.lit("true", Json::Bool(true)),
+            Some('f') => self.lit("false", Json::Bool(false)),
+            Some('n') => self.lit("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{c}' at offset {}", self.i)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat('{')?;
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some('}') {
+            self.i += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.eat(':')?;
+            self.ws();
+            let v = self.value(depth + 1)?;
+            m.insert(k, v);
+            self.ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some('}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(m));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat('[')?;
+        let mut v = Vec::new();
+        self.ws();
+        if self.peek() == Some(']') {
+            self.i += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            self.ws();
+            v.push(self.value(depth + 1)?);
+            self.ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some(']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(v));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else { return Err("unterminated string".into()) };
+            self.i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(e) = self.peek() else { return Err("bad escape".into()) };
+                    self.i += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
+                                    return Err("bad \\u escape".into());
+                                };
+                                code = code * 16 + h;
+                                self.i += 1;
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{other}'")),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some('-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.i += 1;
+        }
+        let text: String = self.c[start..self.i].iter().collect();
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number '{text}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_analyzer_shape() {
+        let v = parse(
+            r#"{"diagnostics": [{"path": "a.rs", "line": 3, "rule": "hot_alloc", "message": "m \"q\""}], "count": 1}"#,
+        )
+        .unwrap();
+        let d = &v.get("diagnostics").unwrap().as_arr().unwrap()[0];
+        assert_eq!(d.get("path").unwrap().as_str(), Some("a.rs"));
+        assert_eq!(d.get("line").unwrap().as_num(), Some(3.0));
+        assert_eq!(d.get("message").unwrap().as_str(), Some("m \"q\""));
+        assert_eq!(v.get("count").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse(r#""a\n\tA\\""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\tA\\"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn nested_arrays_and_numbers() {
+        let v = parse("[1, -2.5, [true, null, false]]").unwrap();
+        let a = v.as_arr().unwrap();
+        assert_eq!(a[1].as_num(), Some(-2.5));
+        assert_eq!(a[2].as_arr().unwrap()[1], Json::Null);
+    }
+}

@@ -102,9 +102,14 @@ pub fn tokenize(file: &SourceFile) -> Vec<Token> {
                 while j < chars.len() && chars[j] != c {
                     j += 1;
                 }
-                // A lifetime (`'a`) has no closing quote nearby; emit it
-                // as the quote punct so generics still parse.
-                if c == '\'' && j >= chars.len() {
+                // A `'` opens a char literal only when the SourceFile
+                // lexer blanked its contents (the span to the closing
+                // quote is all spaces). A lifetime keeps its name as
+                // code, so any non-space interior — or no closing quote
+                // at all — means this quote is a lifetime tick; emit it
+                // as punct so generics still parse and a later char
+                // literal on the same line is not swallowed.
+                if c == '\'' && (j >= chars.len() || chars[i + 1..j].iter().any(|&ch| ch != ' ')) {
                     out.push(Token { text: "'".into(), line: line_no, kind: TokKind::Punct });
                     i += 1;
                     continue;
@@ -189,6 +194,38 @@ mod tests {
         let t = lex("fn f<'a>(x: &'a str) -> &'a str { x }\n");
         assert!(t.iter().any(|t| t.is("str")));
         assert!(t.iter().any(|t| t.is("x")));
+    }
+
+    #[test]
+    fn lifetime_and_char_literal_share_a_line() {
+        // The lifetime tick must not pair with the char literal's
+        // opening quote and swallow `u32 = p; let c =` as one literal.
+        let t = lex("let r: &'a u32 = p; let c = 'z';\n");
+        assert!(t.iter().any(|t| t.is("u32")), "{t:?}");
+        assert!(t.iter().any(|t| t.is("p")), "{t:?}");
+        assert!(t.iter().any(|t| t.is("c")), "{t:?}");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Lit).count(), 1, "{t:?}");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_lexes_clean() {
+        let t = lex("let q = '\\''; let next = 1;\n");
+        assert!(t.iter().any(|t| t.is("next")), "{t:?}");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Lit).count(), 1, "{t:?}");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_lex_to_one_literal() {
+        let t = lex("let s = r##\"a \"# b\"##; let y = 2;\n");
+        assert!(t.iter().any(|t| t.is("y")), "{t:?}");
+        assert!(!t.iter().any(|t| t.is("b")), "raw contents must be blanked: {t:?}");
+    }
+
+    #[test]
+    fn nested_block_comment_hides_tokens() {
+        let t = lex("a /* x /* panic!() */ y */ b\n");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b"]);
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //!   and intra-workspace call graph for the semantic pass;
 //! * [`lint`] — the line-level rules (`cargo xtask lint`);
 //! * [`analyze`] — the call-graph analyses (`cargo xtask analyze`);
+//! * [`cfg`] / [`dataflow`] — statement-level CFGs and the fixpoint
+//!   engine behind the dataflow rules;
+//! * [`bounds`] / [`guard`] / [`discard`] — the dataflow analyses
+//!   (`index_bounds`, `guard_across_await_or_call`, `result_discard`);
+//! * [`json`] / [`sarif`] — minimal JSON parsing and SARIF 2.1.0
+//!   export + validation;
 //! * [`baseline`] — the ratcheting unsafe-inventory baseline;
 //! * [`diag`] — the shared diagnostic type and output formats;
 //! * [`walk`] — workspace file discovery shared by both passes;
@@ -17,12 +23,19 @@
 
 pub mod analyze;
 pub mod baseline;
+pub mod bounds;
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod deps;
 pub mod diag;
+pub mod discard;
+pub mod guard;
+pub mod json;
 pub mod lex;
 pub mod lint;
 pub mod parse;
 pub mod sanitize;
+pub mod sarif;
 pub mod source;
 pub mod walk;

@@ -3,16 +3,20 @@
 //! Subcommands:
 //!
 //! * `lint` — the line-level rule pass (see [`xtask::lint`]);
-//! * `analyze` — the call-graph pass: panic-reachability from
-//!   `// analyze: no_panic` kernels, hot-loop allocations, lock
-//!   discipline, `SeqCst` audit, and the ratcheting unsafe-inventory
-//!   baseline (see [`xtask::analyze`]);
+//! * `analyze` — the call-graph and dataflow pass: panic-reachability
+//!   from `// analyze: no_panic` kernels, the `index_bounds` interval
+//!   prover, guard-across-call and `Result`-discard dataflow rules,
+//!   hot-loop allocations, lock discipline, `SeqCst` audit, the
+//!   stale-marker audit, and the ratcheting baseline
+//!   (see [`xtask::analyze`]);
+//! * `validate-sarif` — structural checker for SARIF 2.1.0 logs
+//!   produced by `--format sarif` (see [`xtask::sarif`]);
 //! * `miri` / `tsan` — sanitizer wrappers.
 //!
-//! Both diagnostic passes share one contract: `--format human|json`
-//! output on stdout, exit **0** when clean, **1** when findings were
-//! reported, **2** on usage or internal errors. Wired up via the
-//! `xtask` alias in `.cargo/config.toml`.
+//! Both diagnostic passes share one contract: `--format
+//! human|json|sarif` output on stdout, exit **0** when clean, **1**
+//! when findings were reported, **2** on usage or internal errors.
+//! Wired up via the `xtask` alias in `.cargo/config.toml`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -24,11 +28,18 @@ const USAGE: &str = "\
 cargo xtask — repo automation
 
 USAGE:
-  cargo xtask lint [--format human|json] [FILES...]
+  cargo xtask lint [--format human|json|sarif] [FILES...]
       run the line-level lint pass (default scope: the whole workspace)
-  cargo xtask analyze [--format human|json] [--update-baseline] [FILES...]
-      run the call-graph analyses; with no FILES also checks the unsafe
-      inventory against analyze-baseline.toml
+  cargo xtask analyze [--format human|json|sarif] [--update-baseline]
+                      [--diff <report.json>] [--remove-stale] [FILES...]
+      run the call-graph + dataflow analyses; with no FILES also checks
+      the ratchet tables against analyze-baseline.toml.
+        --diff <report.json>   subtract a prior `--format json` report:
+                               only new findings are emitted / counted
+        --remove-stale         delete the markers behind stale_marker
+                               findings, then drop those findings
+  cargo xtask validate-sarif <file>
+      structurally check a SARIF 2.1.0 log written by `--format sarif`
   cargo xtask miri              run AlignedBuf unsafe-path tests under Miri
   cargo xtask tsan              run concurrency suites under ThreadSanitizer
 
@@ -39,19 +50,32 @@ Exit codes: 0 clean, 1 findings reported, 2 usage/internal error.
 struct Opts {
     format: Format,
     update_baseline: bool,
+    remove_stale: bool,
+    diff: Option<PathBuf>,
     files: Vec<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts { format: Format::Human, update_baseline: false, files: Vec::new() };
+    let mut opts = Opts {
+        format: Format::Human,
+        update_baseline: false,
+        remove_stale: false,
+        diff: None,
+        files: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--format" => {
-                let v = it.next().ok_or("--format needs a value (human|json)")?;
+                let v = it.next().ok_or("--format needs a value (human|json|sarif)")?;
                 opts.format = Format::parse(v)?;
             }
             "--update-baseline" => opts.update_baseline = true,
+            "--remove-stale" => opts.remove_stale = true,
+            "--diff" => {
+                let v = it.next().ok_or("--diff needs a path to a prior `--format json` report")?;
+                opts.diff = Some(PathBuf::from(v));
+            }
             f if f.starts_with('-') => return Err(format!("unknown flag {f:?}\n{USAGE}")),
             f => opts.files.push(f.to_string()),
         }
@@ -64,6 +88,7 @@ fn main() -> ExitCode {
     let result: Result<bool, String> = match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("validate-sarif") => cmd_validate_sarif(&args[1..]),
         Some("miri") => sanitize::miri().map(|()| true),
         Some("tsan") => sanitize::tsan().map(|()| true),
         Some("help") | Some("--help") | Some("-h") => {
@@ -88,8 +113,8 @@ fn main() -> ExitCode {
 /// Run the lint pass; `Ok(true)` means clean.
 fn cmd_lint(args: &[String]) -> Result<bool, String> {
     let opts = parse_opts(args)?;
-    if opts.update_baseline {
-        return Err("--update-baseline only applies to `analyze`".into());
+    if opts.update_baseline || opts.remove_stale || opts.diff.is_some() {
+        return Err("--update-baseline/--remove-stale/--diff only apply to `analyze`".into());
     }
     let root = workspace_root()?;
     let diagnostics = if opts.files.is_empty() {
@@ -124,18 +149,49 @@ fn cmd_analyze(args: &[String]) -> Result<bool, String> {
         let paths: Vec<PathBuf> = opts.files.iter().map(PathBuf::from).collect();
         analyze::Analysis::load(&root, &paths)?
     };
-    let mut diagnostics = analysis.diagnostics();
-    // The inventory ratchet is a whole-workspace property; partial runs
-    // (explicit FILES) skip it rather than reporting bogus shrinkage.
+    let result = analysis.run();
+    let mut diagnostics = result.diagnostics;
+    if opts.remove_stale {
+        let n = analyze::remove_stale_markers(&root, &diagnostics)?;
+        eprintln!("xtask analyze: removed {n} stale marker(s)");
+        diagnostics.retain(|d| d.rule != "stale_marker");
+    }
+    // The ratchet tables are whole-workspace properties; partial runs
+    // (explicit FILES) skip them rather than reporting bogus shrinkage.
     if whole_workspace {
         let inventory = analysis.inventory();
         let test_counts = analysis.test_counts();
+        // `--remove-stale` already deleted what it counted, so record
+        // the post-fix numbers (zero stale markers remain).
+        let stale =
+            if opts.remove_stale { std::collections::BTreeMap::new() } else { result.stale };
         if opts.update_baseline {
-            let path = analyze::update_baseline(&root, &inventory, &test_counts)?;
+            let path = analyze::update_baseline(
+                &root,
+                &inventory,
+                &test_counts,
+                &result.dataflow,
+                &stale,
+            )?;
             eprintln!("xtask analyze: baseline written to {}", path.display());
         } else {
-            diagnostics.extend(analyze::check_baseline(&root, &inventory, &test_counts)?);
+            diagnostics.extend(analyze::check_baseline(
+                &root,
+                &inventory,
+                &test_counts,
+                &result.dataflow,
+                &stale,
+            )?);
         }
+    }
+    if let Some(diff_path) = &opts.diff {
+        let seen = analyze::load_diff_baseline(diff_path)?;
+        let before = diagnostics.len();
+        analyze::apply_diff(&mut diagnostics, &seen);
+        eprintln!(
+            "xtask analyze: --diff suppressed {} known finding(s)",
+            before - diagnostics.len()
+        );
     }
     diag::emit("analyze", &diagnostics, opts.format);
     if diagnostics.is_empty() {
@@ -144,6 +200,28 @@ fn cmd_analyze(args: &[String]) -> Result<bool, String> {
     } else {
         eprintln!("xtask analyze: {} finding(s)", diagnostics.len());
         Ok(false)
+    }
+}
+
+/// Structurally validate a SARIF log; `Ok(true)` means valid.
+fn cmd_validate_sarif(args: &[String]) -> Result<bool, String> {
+    let [file] = args else {
+        return Err(format!("usage: cargo xtask validate-sarif <file>\n{USAGE}"));
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let doc = xtask::json::parse(&text).map_err(|e| format!("{file}: not JSON: {e}"))?;
+    match xtask::sarif::validate(&doc) {
+        Ok(n) => {
+            eprintln!("xtask validate-sarif: valid SARIF 2.1.0 log with {n} result(s)");
+            Ok(true)
+        }
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("{file}: {e}");
+            }
+            eprintln!("xtask validate-sarif: {} error(s)", errs.len());
+            Ok(false)
+        }
     }
 }
 

@@ -117,6 +117,8 @@ pub struct Function {
     pub no_panic: bool,
     /// Declared inside a `#[cfg(test)]` region or `#[test]` item.
     pub is_test: bool,
+    /// Signature declares a `Result<..>` return type.
+    pub returns_result: bool,
     /// Body token range (absolute indices into the file's token stream).
     pub body: std::ops::Range<usize>,
     /// Calls made by the body.
@@ -220,8 +222,10 @@ fn find_items(file: &SourceFile, tokens: &[Token], out: &mut ParsedFile) {
     // Open impl scopes: (self_ty, brace depth inside the impl body).
     let mut impls: Vec<(String, i32)> = Vec::new();
     let mut pending_impl: Option<String> = None;
-    // A `fn` header seen; waiting for its body `{` or a `;`.
-    let mut pending_fn: Option<(String, usize)> = None;
+    // A `fn` header seen; waiting for its body `{` or a `;`. The third
+    // field is the `fn` token index, so the signature can be re-scanned
+    // (return type) when the body opens.
+    let mut pending_fn: Option<(String, usize, usize)> = None;
     // Open fn bodies: (function index, brace depth inside the body).
     let mut open_fns: Vec<(usize, i32)> = Vec::new();
 
@@ -233,7 +237,7 @@ fn find_items(file: &SourceFile, tokens: &[Token], out: &mut ParsedFile) {
             TokKind::RParen => paren -= 1,
             TokKind::LBrace => {
                 depth += 1;
-                if let Some((name, line)) = pending_fn.take() {
+                if let Some((name, line, fn_tok)) = pending_fn.take() {
                     let idx = out.functions.len();
                     out.functions.push(Function {
                         name,
@@ -241,6 +245,7 @@ fn find_items(file: &SourceFile, tokens: &[Token], out: &mut ParsedFile) {
                         decl_line: line,
                         no_panic: has_no_panic_annotation(file, line),
                         is_test: *file.in_test.get(line - 1).unwrap_or(&false),
+                        returns_result: signature_returns_result(tokens, fn_tok, i),
                         body: i + 1..i + 1, // end patched on close
                         calls: Vec::new(),
                         sinks: Vec::new(),
@@ -273,7 +278,7 @@ fn find_items(file: &SourceFile, tokens: &[Token], out: &mut ParsedFile) {
                 // `fn(..)` pointer types have no name token.
                 if let Some(next) = tokens.get(i + 1) {
                     if next.kind == TokKind::Ident {
-                        pending_fn = Some((next.text.clone(), next.line));
+                        pending_fn = Some((next.text.clone(), next.line, i));
                     }
                 }
             }
@@ -285,6 +290,18 @@ fn find_items(file: &SourceFile, tokens: &[Token], out: &mut ParsedFile) {
         }
         i += 1;
     }
+}
+
+/// Does the signature spanning tokens `[fn_tok, body_open)` declare a
+/// `Result` return type? Scans from the `->` arrow to the body brace
+/// (covering `Result<..>`, `io::Result<..>`, `anyhow::Result`).
+fn signature_returns_result(tokens: &[Token], fn_tok: usize, body_open: usize) -> bool {
+    let Some(arrow) =
+        (fn_tok..body_open).find(|&j| tokens[j].kind == TokKind::Punct && tokens[j].text == "->")
+    else {
+        return false;
+    };
+    tokens[arrow..body_open].iter().any(|t| t.is("Result"))
 }
 
 /// Extract the self type of an `impl` header starting at token `at`.
@@ -660,8 +677,9 @@ fn method_facts(
 }
 
 /// If the `[` at token `at` indexes a value with a non-literal
-/// expression, return the sink.
-fn index_sink(tokens: &[Token], at: usize, limit: usize) -> Option<Sink> {
+/// expression, return the sink. Shared with the `index_bounds` prover
+/// so both passes agree on what counts as an index site.
+pub fn index_sink(tokens: &[Token], at: usize, limit: usize) -> Option<Sink> {
     let prev = at.checked_sub(1).and_then(|j| tokens.get(j))?;
     // Must follow an indexable expression ending: ident, `)`, or `]` —
     // and not be an attribute (`#[..]`).
@@ -858,6 +876,22 @@ fn real() {}
         assert!(t.is_test);
         assert!(t.sinks.is_empty(), "facts skipped in test regions");
         assert!(!p.functions.iter().find(|f| f.name == "real").unwrap().is_test);
+    }
+
+    #[test]
+    fn result_return_types_are_flagged() {
+        let src = "\
+fn plain() -> u32 { 0 }
+fn fallible() -> Result<u32, String> { Ok(0) }
+fn io_style() -> std::io::Result<()> { Ok(()) }
+fn none() { fallible(); }
+";
+        let p = parse(src);
+        let by_name = |n: &str| p.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("plain").returns_result);
+        assert!(by_name("fallible").returns_result);
+        assert!(by_name("io_style").returns_result);
+        assert!(!by_name("none").returns_result);
     }
 
     #[test]

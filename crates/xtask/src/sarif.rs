@@ -1,0 +1,243 @@
+//! SARIF 2.1.0 export and a structural validator.
+//!
+//! `to_sarif` renders a diagnostic batch as a minimal-but-valid SARIF
+//! log: one run, one driver, one `reportingDescriptor` per distinct
+//! rule, one `result` per diagnostic with a physical location. Notes
+//! are folded into the message text (SARIF has richer machinery for
+//! related locations; the analyzer's call paths read fine as text).
+//!
+//! `validate` is the consumer-side contract, round-tripped in CI and in
+//! the golden tests through [`crate::json`]: version pinned to 2.1.0,
+//! declared rules unique, every `result.ruleId` declared, non-empty
+//! artifact URIs, 1-based `startLine`s, and a known `level`. It exists
+//! so a refactor of the writer cannot silently ship logs that GitHub's
+//! code-scanning ingest would reject.
+
+use crate::diag::{json_string, Diagnostic};
+use crate::json::Json;
+
+/// The SARIF 2.1.0 schema URI.
+const SCHEMA: &str = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Render a SARIF 2.1.0 log for one tool run.
+pub fn to_sarif(tool: &str, diagnostics: &[Diagnostic]) -> String {
+    let mut rules: Vec<&str> = Vec::new();
+    for d in diagnostics {
+        if !rules.contains(&d.rule) {
+            rules.push(d.rule);
+        }
+    }
+    let mut out = String::with_capacity(1024 + diagnostics.len() * 256);
+    out.push_str("{\"$schema\":");
+    json_string(SCHEMA, &mut out);
+    out.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":");
+    json_string(&format!("gdelt-xtask-{tool}"), &mut out);
+    out.push_str(",\"informationUri\":\"https://github.com/gdelt-mining/gdelt-mining\"");
+    out.push_str(",\"rules\":[");
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        json_string(r, &mut out);
+        out.push_str(",\"shortDescription\":{\"text\":");
+        json_string(r, &mut out);
+        out.push_str("}}");
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"ruleId\":");
+        json_string(d.rule, &mut out);
+        out.push_str(",\"level\":\"error\",\"message\":{\"text\":");
+        let mut text = d.message.clone();
+        for n in &d.notes {
+            text.push_str("; ");
+            text.push_str(n);
+        }
+        json_string(&text, &mut out);
+        out.push_str("},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":");
+        // SARIF URIs use forward slashes regardless of platform.
+        json_string(&d.path.display().to_string().replace('\\', "/"), &mut out);
+        out.push_str(&format!("}},\"region\":{{\"startLine\":{}}}}}}}]}}", d.line.max(1)));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// Structurally validate a SARIF document. Returns the number of
+/// results on success, or every violation found.
+pub fn validate(doc: &Json) -> Result<usize, Vec<String>> {
+    let mut errs: Vec<String> = Vec::new();
+    if doc.get("version").and_then(Json::as_str) != Some("2.1.0") {
+        errs.push("version must be \"2.1.0\"".into());
+    }
+    let Some(runs) = doc.get("runs").and_then(Json::as_arr) else {
+        errs.push("missing runs array".into());
+        return Err(errs);
+    };
+    if runs.is_empty() {
+        errs.push("runs must not be empty".into());
+        return Err(errs);
+    }
+    let mut total = 0usize;
+    for (ri, run) in runs.iter().enumerate() {
+        let driver = run.get("tool").and_then(|t| t.get("driver"));
+        let Some(driver) = driver else {
+            errs.push(format!("runs[{ri}]: missing tool.driver"));
+            continue;
+        };
+        if driver.get("name").and_then(Json::as_str).is_none_or(str::is_empty) {
+            errs.push(format!("runs[{ri}]: driver.name missing or empty"));
+        }
+        let mut declared: Vec<&str> = Vec::new();
+        if let Some(rules) = driver.get("rules").and_then(Json::as_arr) {
+            for (i, r) in rules.iter().enumerate() {
+                match r.get("id").and_then(Json::as_str) {
+                    Some(id) if !id.is_empty() => {
+                        if declared.contains(&id) {
+                            errs.push(format!("runs[{ri}]: duplicate rule id {id:?}"));
+                        }
+                        declared.push(id);
+                    }
+                    _ => errs.push(format!("runs[{ri}].rules[{i}]: missing id")),
+                }
+            }
+        }
+        let results = run.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+        total += results.len();
+        for (i, res) in results.iter().enumerate() {
+            let at = format!("runs[{ri}].results[{i}]");
+            match res.get("ruleId").and_then(Json::as_str) {
+                Some(id) if declared.contains(&id) => {}
+                Some(id) => errs.push(format!("{at}: ruleId {id:?} not declared")),
+                None => errs.push(format!("{at}: missing ruleId")),
+            }
+            match res.get("level").and_then(Json::as_str) {
+                Some("error" | "warning" | "note" | "none") | None => {}
+                Some(other) => errs.push(format!("{at}: bad level {other:?}")),
+            }
+            if res
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Json::as_str)
+                .is_none_or(str::is_empty)
+            {
+                errs.push(format!("{at}: missing message.text"));
+            }
+            let Some(locs) = res.get("locations").and_then(Json::as_arr) else {
+                errs.push(format!("{at}: missing locations"));
+                continue;
+            };
+            for (li, loc) in locs.iter().enumerate() {
+                let phys = loc.get("physicalLocation");
+                let uri = phys
+                    .and_then(|p| p.get("artifactLocation"))
+                    .and_then(|a| a.get("uri"))
+                    .and_then(Json::as_str);
+                if uri.is_none_or(str::is_empty) {
+                    errs.push(format!("{at}.locations[{li}]: missing artifact uri"));
+                }
+                if let Some(start) = phys
+                    .and_then(|p| p.get("region"))
+                    .and_then(|r| r.get("startLine"))
+                    .and_then(Json::as_num)
+                {
+                    if start < 1.0 || start.fract() != 0.0 {
+                        errs.push(format!("{at}.locations[{li}]: startLine {start} invalid"));
+                    }
+                }
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(total)
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diags() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                path: PathBuf::from("crates/engine/src/delay.rs"),
+                line: 42,
+                rule: "index_bounds",
+                message: "`offsets[s + 1]` not proven in bounds".into(),
+                notes: vec!["cannot prove s + 1 < len(offsets)".into()],
+            },
+            Diagnostic {
+                path: PathBuf::from("crates/serve/src/service.rs"),
+                line: 7,
+                rule: "result_discard",
+                message: "Result of `flush` is dropped".into(),
+                notes: vec![],
+            },
+            Diagnostic {
+                path: PathBuf::from("crates/engine/src/delay.rs"),
+                line: 50,
+                rule: "index_bounds",
+                message: "second finding, same rule".into(),
+                notes: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let text = to_sarif("analyze", &diags());
+        let doc = crate::json::parse(&text).expect("well-formed JSON");
+        assert_eq!(validate(&doc), Ok(3));
+    }
+
+    #[test]
+    fn rules_are_declared_once() {
+        let text = to_sarif("analyze", &diags());
+        let doc = crate::json::parse(&text).unwrap();
+        let rules = doc.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("tool")
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(rules.len(), 2, "two distinct rules fired");
+    }
+
+    #[test]
+    fn notes_fold_into_message_text() {
+        let text = to_sarif("analyze", &diags());
+        assert!(text.contains("not proven in bounds; cannot prove"));
+    }
+
+    #[test]
+    fn validator_rejects_undeclared_rule_and_bad_version() {
+        let doc = crate::json::parse(
+            r#"{"version":"2.0.0","runs":[{"tool":{"driver":{"name":"x","rules":[]}},
+                "results":[{"ruleId":"ghost","message":{"text":"m"},
+                "locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.rs"},
+                "region":{"startLine":0}}}]}]}]}"#,
+        )
+        .unwrap();
+        let errs = validate(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("version")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("not declared")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("startLine")), "{errs:?}");
+    }
+
+    #[test]
+    fn empty_batch_is_valid_sarif() {
+        let text = to_sarif("analyze", &[]);
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(validate(&doc), Ok(0));
+    }
+}

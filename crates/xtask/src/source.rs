@@ -8,6 +8,9 @@
 //! needs: which lines are test-only code, and which lines carry a
 //! `// lint: allow(rule): reason` suppression marker.
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
 /// One physical line, split into its code and comment parts.
 ///
 /// String and char literal *contents* in `code` are blanked with
@@ -28,6 +31,10 @@ pub struct SourceFile {
     pub lines: Vec<Line>,
     /// True for lines inside `#[cfg(test)]` modules or `#[test]` fns.
     pub in_test: Vec<bool>,
+    /// Markers consulted *and matched* by [`SourceFile::allowed`],
+    /// keyed `(marker line, rule)`. The stale-marker audit diffs this
+    /// set against [`SourceFile::markers`] after every rule has run.
+    used: RefCell<BTreeSet<(usize, String)>>,
 }
 
 /// Lexer state carried across lines.
@@ -46,7 +53,7 @@ impl SourceFile {
     pub fn parse(src: &str) -> SourceFile {
         let lines = split_lines(src);
         let in_test = test_regions(&lines);
-        SourceFile { lines, in_test }
+        SourceFile { lines, in_test, used: RefCell::new(BTreeSet::new()) }
     }
 
     /// Does `line_no` (1-based) carry or immediately follow a
@@ -64,6 +71,7 @@ impl SourceFile {
         let idx = line_no - 1;
         let here = self.lines.get(idx).map(|l| l.comment.as_str()).unwrap_or("");
         if has_marker(here, rule) {
+            self.used.borrow_mut().insert((line_no, rule.to_string()));
             return true;
         }
         let mut j = idx;
@@ -71,6 +79,7 @@ impl SourceFile {
             j -= 1;
             let l = &self.lines[j];
             if has_marker(&l.comment, rule) {
+                self.used.borrow_mut().insert((j + 1, rule.to_string()));
                 return true;
             }
             // Keep climbing only through stacked marker-only lines.
@@ -79,6 +88,26 @@ impl SourceFile {
             }
         }
         false
+    }
+
+    /// Every `(line, rule)` marker that matched an [`SourceFile::allowed`]
+    /// query so far. A marker absent from this set after all rules have
+    /// run suppresses nothing — it is stale.
+    pub fn used_markers(&self) -> BTreeSet<(usize, String)> {
+        self.used.borrow().clone()
+    }
+
+    /// Every well-formed `(line, rule)` suppression marker in the file
+    /// (prefix + rule + mandatory reason). Reasonless markers never
+    /// suppress anything and are not enumerated.
+    pub fn markers(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for (idx, line) in self.lines.iter().enumerate() {
+            for rule in marker_rules(&line.comment) {
+                out.push((idx + 1, rule));
+            }
+        }
+        out
     }
 }
 
@@ -106,6 +135,25 @@ fn has_marker_with(comment: &str, prefix: &str, rule: &str) -> bool {
     }
     // Require `: reason` with non-empty reason.
     matches!(after.trim_start().strip_prefix(':'), Some(r) if !r.trim().is_empty())
+}
+
+/// Extract the rule name of a well-formed *leading* marker in one
+/// comment: only comment punctuation (`/`, `!`, `*`) and whitespace
+/// may precede the prefix. Doc prose that merely mentions the marker
+/// syntax (`` a `// lint: allow(rule): reason` marker ``) is thereby
+/// never enumerated, so the stale audit cannot flag documentation.
+fn marker_rules(comment: &str) -> Vec<String> {
+    let lead = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+    let mut out = Vec::new();
+    for prefix in ["lint: allow(", "analyze: allow("] {
+        let Some(rest) = lead.strip_prefix(prefix) else { continue };
+        if let Some((name, after)) = rest.split_once(')') {
+            if matches!(after.trim_start().strip_prefix(':'), Some(r) if !r.trim().is_empty()) {
+                out.push(name.trim().to_string());
+            }
+        }
+    }
+    out
 }
 
 /// Split source into per-line code/comment parts.
@@ -190,7 +238,12 @@ fn split_lines(src: &str) -> Vec<Line> {
                 }
                 Mode::RawStr(hashes) => {
                     if b[i] == '"' && closes_raw(&b, i, hashes) {
+                        // Emit the closing hashes too, so columns after
+                        // the literal stay aligned with the source.
                         line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
                         i += 1 + hashes as usize;
                         mode = Mode::Code;
                     } else {
@@ -245,8 +298,10 @@ fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
 fn char_literal_end(b: &[char], open: usize) -> Option<usize> {
     match b.get(open + 1) {
         Some('\\') => {
-            // Escaped char: scan forward (covers \n, \u{...}).
-            (open + 2..b.len().min(open + 12)).find(|&j| b[j] == '\'')
+            // Escaped char: scan forward (covers \n, \u{...}). Start
+            // past the escaped character itself so `'\''` finds the
+            // real closing quote, not the escaped one.
+            (open + 3..b.len().min(open + 12)).find(|&j| b[j] == '\'')
         }
         Some(_) => (b.get(open + 2) == Some(&'\'')).then_some(open + 2),
         None => None,
@@ -386,6 +441,71 @@ fn real2() {}
         );
         assert!(f.allowed(2, "hot_alloc"));
         assert!(!f.allowed(3, "hot_alloc"), "marker stops at the first code line");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_desync() {
+        // `'\''` once terminated at the escaped quote, leaving the real
+        // closing quote to open a phantom literal that swallowed code.
+        let f = SourceFile::parse("let q = '\\''; let next = 1;\n");
+        assert!(f.lines[0].code.contains("let next = 1;"), "{:?}", f.lines[0].code);
+    }
+
+    #[test]
+    fn raw_string_close_keeps_columns_aligned() {
+        let src = "let s = r##\"x\"##; let y = 2;\n";
+        let f = SourceFile::parse(src);
+        let code = &f.lines[0].code;
+        assert!(code.contains("let y = 2;"), "{code:?}");
+        // The blanked line has the same char length as the source line,
+        // so token columns derived from it stay truthful.
+        assert_eq!(code.chars().count(), src.trim_end().chars().count(), "{code:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_unwind_fully() {
+        let f = SourceFile::parse("a /* outer /* inner */ still */ b\n");
+        assert_eq!(f.lines[0].code.trim(), "a  b");
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn allowed_records_marker_usage() {
+        let f = SourceFile::parse(
+            "// analyze: allow(hot_alloc): scratch\nlet a = vec![];\nx(); // lint: allow(no_panic): boot\n",
+        );
+        assert!(f.allowed(2, "hot_alloc"));
+        assert!(f.allowed(3, "no_panic"));
+        assert!(!f.allowed(3, "id_cast"));
+        let used = f.used_markers();
+        assert!(used.contains(&(1, "hot_alloc".to_string())), "{used:?}");
+        assert!(used.contains(&(3, "no_panic".to_string())), "{used:?}");
+        assert_eq!(used.len(), 2, "{used:?}");
+    }
+
+    #[test]
+    fn markers_enumerates_well_formed_only() {
+        let f = SourceFile::parse(
+            "// analyze: allow(panic_path): contract\n\
+             code(); // lint: allow(par_index)\n\
+             more(); // lint: allow(id_cast): dense domain\n",
+        );
+        let m = f.markers();
+        assert_eq!(
+            m,
+            vec![(1, "panic_path".to_string()), (3, "id_cast".to_string())],
+            "reasonless marker on line 2 never suppresses, so it is not enumerated"
+        );
+    }
+
+    #[test]
+    fn doc_prose_mentioning_marker_syntax_is_not_enumerated() {
+        let f = SourceFile::parse(
+            "//! Suppress with a `// lint: allow(rule): reason` marker.\n\
+             /// or `// analyze: allow(panic_path): why` on the line.\n\
+             code(); // lint: allow(no_panic): boot only\n",
+        );
+        assert_eq!(f.markers(), vec![(3, "no_panic".to_string())], "{:?}", f.markers());
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! analyses themselves rather than edge pruning (which `deps` unit
 //! tests cover against the real workspace).
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use xtask::analyze::{self, Analysis};
-use xtask::baseline;
 use xtask::diag::{to_json, Diagnostic};
+use xtask::{baseline, json, sarif};
 
 fn fixtures_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -138,6 +139,150 @@ fn json_output_carries_every_fixture_finding() {
 }
 
 // ---------------------------------------------------------------------
+// Dataflow rules: index_bounds, guard_across_await_or_call,
+// result_discard, plus the stale-marker audit and its fixer.
+// ---------------------------------------------------------------------
+
+fn load_fixtures(files: &[&str]) -> Analysis {
+    let paths: Vec<PathBuf> = files.iter().map(PathBuf::from).collect();
+    Analysis::load(&fixtures_root(), &paths).expect("fixtures parse")
+}
+
+#[test]
+fn index_bounds_proves_safe_sites_and_flags_every_seeded_oob() {
+    let r = load_fixtures(&["crates/demo/src/bounds.rs"]).run();
+    let d = rule_in(&r.diagnostics, "index_bounds", "bounds.rs");
+    // `proven` is silent: the loop-bound site (line 8) and the
+    // dominating-check site (line 11) are both discharged.
+    assert!(d.iter().all(|d| d.line >= 16), "{d:?}");
+    // `seeded` is fully flagged: `xs[i + 1]` overruns on the last
+    // iteration, `xs[k]` is unconstrained.
+    let lines: Vec<usize> = d.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![20, 22], "{d:?}");
+    for f in &d {
+        assert!(f.message.contains("cannot prove"), "{}", f.message);
+        assert!(
+            f.notes.iter().any(|n| n.starts_with("unproven obligation:")),
+            "obligation note missing: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn guard_across_call_flags_held_guard_with_hold_range() {
+    let r = load_fixtures(&["crates/demo/src/guard_call.rs", "crates/other/src/lib.rs"]).run();
+    let d = rule_in(&r.diagnostics, "guard_across_await_or_call", "guard_call.rs");
+    assert_eq!(d.len(), 1, "{:?}", r.diagnostics);
+    // `held_across` calls other::notify at line 13 with `g` (acquired
+    // line 11) still live; `dropped_first` releases first and is clean.
+    assert_eq!(d[0].line, 13);
+    assert!(d[0].message.contains("guard `g` of lock `state`"), "{}", d[0].message);
+    assert!(d[0].message.contains("`other::notify`"), "{}", d[0].message);
+    assert!(
+        d[0].notes[0].contains("acquired at line 11, still live at the call on line 13"),
+        "{}",
+        d[0].notes[0]
+    );
+}
+
+#[test]
+fn result_discard_flags_both_forms_only_in_covered_crates() {
+    let r = load_fixtures(&["crates/serve/src/discard.rs"]).run();
+    let d = rule_in(&r.diagnostics, "result_discard", "discard.rs");
+    assert_eq!(d.len(), 2, "{:?}", r.diagnostics);
+    assert_eq!(d[0].line, 8);
+    assert!(d[0].message.contains("`let _ = …`"), "{}", d[0].message);
+    assert_eq!(d[1].line, 12);
+    assert!(d[1].message.contains("a bare statement"), "{}", d[1].message);
+    for f in &d {
+        assert!(f.message.contains("`flush`"), "{}", f.message);
+    }
+    // `handled` (`?`) and `consumed` (`.is_ok()` tail) are clean.
+    assert!(d.iter().all(|f| f.line < 15), "{d:?}");
+}
+
+#[test]
+fn stale_markers_flagged_and_counted_but_used_markers_are_not() {
+    // obs_hot.rs carries a *used* obs_hot_path marker; stale.rs carries
+    // a dead panic_path marker and an unknown-rule marker.
+    let r = load_fixtures(&["crates/demo/src/stale.rs", "crates/demo/src/obs_hot.rs"]).run();
+    let d = rule_in(&r.diagnostics, "stale_marker", "stale.rs");
+    let lines: Vec<usize> = d.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![4, 9], "{:?}", r.diagnostics);
+    assert!(d[0].message.contains("`allow(panic_path)` suppresses nothing"), "{}", d[0].message);
+    assert!(d[1].message.contains("no rule is named `no_such_rule`"), "{}", d[1].message);
+    assert!(
+        rule_in(&r.diagnostics, "stale_marker", "obs_hot.rs").is_empty(),
+        "used marker must not be stale: {:?}",
+        r.diagnostics
+    );
+    assert_eq!(r.stale.get("demo"), Some(&2), "{:?}", r.stale);
+}
+
+#[test]
+fn remove_stale_deletes_markers_and_makes_the_rerun_clean() {
+    let root = temp_root("remove-stale");
+    let dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&dir).unwrap();
+    let fixture = fixtures_root().join("crates/demo/src/stale.rs");
+    std::fs::copy(&fixture, dir.join("stale.rs")).unwrap();
+
+    let rel = vec![PathBuf::from("crates/demo/src/stale.rs")];
+    let first = Analysis::load(&root, &rel).unwrap().run();
+    assert_eq!(rule_in(&first.diagnostics, "stale_marker", "stale.rs").len(), 2);
+
+    let removed = analyze::remove_stale_markers(&root, &first.diagnostics).unwrap();
+    assert_eq!(removed, 2);
+    let rewritten = std::fs::read_to_string(dir.join("stale.rs")).unwrap();
+    assert!(!rewritten.contains("allow("), "markers must be gone:\n{rewritten}");
+    assert!(rewritten.contains("x + 1"), "code must survive:\n{rewritten}");
+
+    let second = Analysis::load(&root, &rel).unwrap().run();
+    assert!(second.diagnostics.is_empty(), "{:?}", second.diagnostics);
+    assert!(second.stale.is_empty(), "{:?}", second.stale);
+}
+
+#[test]
+fn diff_gating_subtracts_known_findings_by_identity() {
+    let r = load_fixtures(&["crates/demo/src/bounds.rs"]).run();
+    assert_eq!(r.diagnostics.len(), 2, "{:?}", r.diagnostics);
+
+    // A baseline holding only the first finding leaves only the second.
+    let dir = temp_root("diff");
+    let partial = dir.join("partial.json");
+    std::fs::write(&partial, to_json("analyze", &r.diagnostics[..1])).unwrap();
+    let seen = analyze::load_diff_baseline(&partial).unwrap();
+    let mut gated = r.diagnostics.clone();
+    analyze::apply_diff(&mut gated, &seen);
+    assert_eq!(gated.len(), 1, "{gated:?}");
+    assert_eq!(gated[0].line, r.diagnostics[1].line);
+
+    // A full baseline silences everything.
+    let full = dir.join("full.json");
+    std::fs::write(&full, to_json("analyze", &r.diagnostics)).unwrap();
+    let seen = analyze::load_diff_baseline(&full).unwrap();
+    let mut gated = r.diagnostics.clone();
+    analyze::apply_diff(&mut gated, &seen);
+    assert!(gated.is_empty(), "{gated:?}");
+
+    // Junk input is a hard error, not an empty pass.
+    let junk = dir.join("junk.json");
+    std::fs::write(&junk, "{\"tool\":\"analyze\"}").unwrap();
+    assert!(analyze::load_diff_baseline(&junk).is_err());
+}
+
+#[test]
+fn sarif_export_of_fixture_findings_round_trips_the_validator() {
+    let mut d = analysis().diagnostics();
+    d.extend(load_fixtures(&["crates/demo/src/bounds.rs"]).run().diagnostics);
+    let log = sarif::to_sarif("analyze", &d);
+    let doc = json::parse(&log).expect("SARIF output parses as JSON");
+    let n = sarif::validate(&doc).expect("SARIF output satisfies the validator");
+    assert_eq!(n, d.len(), "one SARIF result per diagnostic");
+    assert!(log.contains("\"ruleId\":\"index_bounds\""), "{log}");
+}
+
+// ---------------------------------------------------------------------
 // Baseline ratchet scenarios. Each uses a throwaway root so the real
 // `analyze-baseline.toml` is never touched.
 // ---------------------------------------------------------------------
@@ -166,7 +311,8 @@ fn ratchet_rejects_new_unsafe_without_a_baseline_entry() {
     let root = temp_root("grew");
     let inv = analysis().inventory();
     let counts = analysis().test_counts();
-    let d = analyze::check_baseline(&root, &inv, &counts).unwrap();
+    let d =
+        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert_eq!(d[0].rule, "unsafe_ratchet");
     assert_eq!(d[0].path, PathBuf::from(analyze::BASELINE_FILE));
@@ -190,7 +336,8 @@ fn ratchet_rejects_stale_entries_for_vanished_unsafe() {
             inv.digest("demo")
         ),
     );
-    let d = analyze::check_baseline(&root, &inv, &counts).unwrap();
+    let d =
+        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert!(
         d[0].message.contains("`ghost` has 0 unsafe sites but the baseline still grandfathers 3"),
@@ -208,7 +355,8 @@ fn ratchet_rejects_moved_unsafe_at_equal_count() {
         &root,
         "[crate.demo]\ncount = 1\ndigest = \"ffffffffffffffff\"\nreason = \"fixture\"\n",
     );
-    let d = analyze::check_baseline(&root, &inv, &counts).unwrap();
+    let d =
+        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert!(d[0].message.contains("unsafe sites moved"), "{}", d[0].message);
 }
@@ -225,15 +373,20 @@ fn ratchet_passes_on_matching_baseline_and_update_keeps_reasons() {
             inv.digest("demo")
         ),
     );
-    assert!(analyze::check_baseline(&root, &inv, &counts).unwrap().is_empty());
+    assert!(analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new())
+        .unwrap()
+        .is_empty());
 
     // `--update-baseline` rewrites the file from the inventory and
     // carries the human reason forward.
-    let path = analyze::update_baseline(&root, &inv, &counts).unwrap();
+    let path =
+        analyze::update_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
     let reparsed = baseline::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(reparsed.crates["demo"].count, 1);
     assert_eq!(reparsed.crates["demo"].reason, "SAFETY-commented spin fixture");
-    assert!(analyze::check_baseline(&root, &inv, &counts).unwrap().is_empty());
+    assert!(analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new())
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -252,14 +405,17 @@ fn test_ratchet_flags_dropped_tests_through_check_baseline() {
     // 4 reads as dropped tests.
     let counts = analysis().test_counts();
     assert!(counts.is_empty(), "{counts:?}");
-    let d = analyze::check_baseline(&root, &inv, &counts).unwrap();
+    let d =
+        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert_eq!(d[0].rule, "test_ratchet");
     assert!(d[0].message.contains("tests were dropped"), "{}", d[0].message);
 
     // `--update-baseline` ratchets the floor back to reality.
-    analyze::update_baseline(&root, &inv, &counts).unwrap();
-    assert!(analyze::check_baseline(&root, &inv, &counts).unwrap().is_empty());
+    analyze::update_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
+    assert!(analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new())
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -268,5 +424,7 @@ fn malformed_baseline_is_a_hard_error_not_a_pass() {
     write_baseline(&root, "[crate.demo]\ncount = banana\n");
     let inv = analysis().inventory();
     let counts = analysis().test_counts();
-    assert!(analyze::check_baseline(&root, &inv, &counts).is_err());
+    assert!(
+        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).is_err()
+    );
 }

@@ -1,0 +1,23 @@
+//! Fixture: index sites the interval prover must discharge, next to
+//! seeded out-of-bounds patterns it must flag.
+
+// analyze: no_panic
+pub fn proven(xs: &[u64], k: usize) -> u64 {
+    let mut acc = 0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+    }
+    if k < xs.len() {
+        acc += xs[k];
+    }
+    acc
+}
+
+// analyze: no_panic
+pub fn seeded(xs: &[u64], k: usize) -> u64 {
+    let mut acc = 0;
+    for i in 0..xs.len() {
+        acc += xs[i + 1];
+    }
+    acc + xs[k]
+}

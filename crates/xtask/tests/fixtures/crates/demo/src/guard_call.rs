@@ -1,0 +1,21 @@
+//! Fixture: a Mutex guard held across a cross-crate call, plus the
+//! fixed variant that drops the guard before calling out.
+
+use std::sync::Mutex;
+
+pub struct Hub {
+    pub state: Mutex<u64>,
+}
+
+pub fn held_across(h: &Hub) {
+    let mut g = h.state.lock().unwrap();
+    *g += 1;
+    other::notify();
+}
+
+pub fn dropped_first(h: &Hub) {
+    let mut g = h.state.lock().unwrap();
+    *g += 1;
+    drop(g);
+    other::notify();
+}

@@ -1,0 +1,3 @@
+//! Fixture: the cross-crate callee for the guard_call fixture.
+
+pub fn notify() {}

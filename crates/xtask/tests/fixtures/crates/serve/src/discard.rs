@@ -1,0 +1,22 @@
+//! Fixture: `Result`s from workspace calls discarded in serve code.
+
+pub fn flush() -> Result<(), String> {
+    Ok(())
+}
+
+pub fn explicit_discard() {
+    let _ = flush();
+}
+
+pub fn bare_discard() {
+    flush();
+}
+
+pub fn handled() -> Result<(), String> {
+    flush()?;
+    Ok(())
+}
+
+pub fn consumed() -> bool {
+    flush().is_ok()
+}
