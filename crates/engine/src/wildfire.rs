@@ -35,30 +35,33 @@ pub fn spread_per_event(ctx: &ExecContext, d: &Dataset, k: usize) -> Vec<Spread>
     ctx.install(|| {
         (0..d.events.len())
             .into_par_iter()
-            .map(|e| {
-                // analyze: allow(panic_path): e < n_events and offsets.len() == n_events + 1
-                let lo = offsets[e] as usize;
-                // analyze: allow(panic_path): e < n_events and offsets.len() == n_events + 1
-                let hi = offsets[e + 1] as usize;
-                // Mentions are time-sorted within the event; count
-                // distinct sources in arrival order.
-                // analyze: allow(hot_alloc): per-event scratch; the shim has no map_init
-                let mut seen: Vec<u32> = Vec::with_capacity((hi - lo).min(k + 4));
-                let mut time_to_k = None;
-                for r in lo..hi {
-                    // analyze: allow(panic_path): r < hi ≤ mentions.len() (CSR invariant)
-                    let s = sources[r];
-                    if !seen.contains(&s) {
-                        // analyze: allow(hot_alloc): grows past k only for ultra-broad events
-                        seen.push(s);
-                        if seen.len() == k && time_to_k.is_none() {
-                            // analyze: allow(panic_path): r < hi ≤ mentions.len(); all mention columns share one length
-                            time_to_k = Some(intervals[r].saturating_sub(event_interval[r]));
+            .map_init(
+                // One distinct-source scratch per worker; its capacity
+                // survives across every event the worker processes.
+                || Vec::with_capacity(64),
+                |seen: &mut Vec<u32>, e| {
+                    seen.clear();
+                    // analyze: allow(panic_path): e < n_events and offsets.len() == n_events + 1
+                    let lo = offsets[e] as usize;
+                    // analyze: allow(panic_path): e < n_events and offsets.len() == n_events + 1
+                    let hi = offsets[e + 1] as usize;
+                    // Mentions are time-sorted within the event; count
+                    // distinct sources in arrival order.
+                    let mut time_to_k = None;
+                    for r in lo..hi {
+                        // analyze: allow(panic_path): r < hi ≤ mentions.len() (CSR invariant)
+                        let s = sources[r];
+                        if !seen.contains(&s) {
+                            seen.push(s);
+                            if seen.len() == k && time_to_k.is_none() {
+                                // analyze: allow(panic_path): r < hi ≤ mentions.len(); all mention columns share one length
+                                time_to_k = Some(intervals[r].saturating_sub(event_interval[r]));
+                            }
                         }
                     }
-                }
-                Spread { event_row: e as u32, breadth: seen.len() as u32, time_to_k }
-            })
+                    Spread { event_row: e as u32, breadth: seen.len() as u32, time_to_k }
+                },
+            )
             .collect()
     })
 }

@@ -79,6 +79,7 @@ USAGE:
   gdelt-cli serve-bench   [--scale S] [--seed N] [--queries N] [--workers N]
                           [--clients N] [--threads N] [--no-cache] [--check]
                           [--metrics-out FILE] [--trace-out FILE]
+                          [--bench-out FILE] [--bench-baseline FILE]
   gdelt-cli obs           [--scale S] [--seed N] [--queries N] [--workers N]
                           [--clients N] [--threads N] [--out DIR] [--check]
   gdelt-cli chaos         [--seed N] [--scale S] [--out DIR] [--queries N]
@@ -109,6 +110,13 @@ OPTIONS:
   --trace-out FILE    serve-bench: record spans during the replay and
                write them as Chrome trace_event JSON (load the file in
                about://tracing or ui.perfetto.dev)
+  --bench-out FILE    serve-bench: write a flat JSON bench artifact
+               (p50/p95/p99 latency, cache hit rate, shed count) for
+               committing alongside the code
+  --bench-baseline FILE  serve-bench: compare this run's p50 against a
+               committed bench artifact; exit non-zero when the fresh
+               p50 regresses the committed one by more than 20% beyond
+               the noise floor
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -132,6 +140,8 @@ struct Options {
     check: bool,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
+    bench_baseline: Option<PathBuf>,
 }
 
 impl Options {
@@ -159,6 +169,8 @@ impl Options {
                 "--check" => o.check = true,
                 "--metrics-out" => o.metrics_out = Some(PathBuf::from(take())),
                 "--trace-out" => o.trace_out = Some(PathBuf::from(take())),
+                "--bench-out" => o.bench_out = Some(PathBuf::from(take())),
+                "--bench-baseline" => o.bench_baseline = Some(PathBuf::from(take())),
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
         }
@@ -442,6 +454,15 @@ fn cmd_serve_bench(o: &Options) -> Result<(), String> {
         eprintln!("wrote Prometheus exposition to {}", path.display());
     }
 
+    if let Some(path) = &o.bench_out {
+        let text = bench_artifact_json(&report, &metrics, mix.len(), clients);
+        write(path.clone(), &text)?;
+        eprintln!("wrote bench artifact to {}", path.display());
+    }
+    if let Some(path) = &o.bench_baseline {
+        check_bench_baseline(path, metrics.p50_us)?;
+    }
+
     if o.check {
         if report.errors > 0 {
             return Err(format!("check failed: {} queries errored", report.errors));
@@ -458,6 +479,73 @@ fn cmd_serve_bench(o: &Options) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Render the committable serve-bench artifact: a flat, dependency-free
+/// JSON object so CI (and humans) can diff latency and cache behaviour
+/// across PRs without parsing the human-readable report.
+fn bench_artifact_json(
+    report: &gdelt_serve::ReplayReport,
+    metrics: &gdelt_serve::ServiceMetrics,
+    queries: usize,
+    clients: usize,
+) -> String {
+    let lookups = metrics.cache.hits + metrics.cache.misses;
+    let hit_rate = metrics.cache.hits as f64 / lookups.max(1) as f64;
+    format!(
+        "{{\n  \"queries\": {queries},\n  \"clients\": {clients},\n  \
+         \"completed\": {completed},\n  \"p50_us\": {p50},\n  \"p95_us\": {p95},\n  \
+         \"p99_us\": {p99},\n  \"cold_p50_us\": {cold},\n  \"warm_p50_us\": {warm},\n  \
+         \"cache_hit_rate\": {rate:.4},\n  \"cache_hits\": {hits},\n  \
+         \"cache_misses\": {misses},\n  \"shed\": {shed}\n}}\n",
+        completed = metrics.completed,
+        p50 = metrics.p50_us,
+        p95 = metrics.p95_us,
+        p99 = metrics.p99_us,
+        cold = report.cold_p50_us,
+        warm = report.warm_p50_us,
+        rate = hit_rate,
+        hits = metrics.cache.hits,
+        misses = metrics.cache.misses,
+        shed = metrics.shed,
+    )
+}
+
+/// Absolute slack for the bench ratchet: at synthetic scale queries
+/// finish in tens of microseconds, where 20% is below timer jitter.
+const BENCH_NOISE_FLOOR_US: u64 = 200;
+
+/// Fail when this run's p50 regresses the committed artifact's p50 by
+/// more than 20% *and* by more than the absolute noise floor — the same
+/// two-sided guard `obs` uses for its overhead budget.
+fn check_bench_baseline(path: &std::path::Path, fresh_p50: u64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading bench baseline {}: {e}", path.display()))?;
+    let committed = extract_json_u64(&text, "p50_us").ok_or_else(|| {
+        format!("bench baseline {} has no integer \"p50_us\" field", path.display())
+    })?;
+    let over_floor = fresh_p50 > committed.saturating_add(BENCH_NOISE_FLOOR_US);
+    let over_ratio = fresh_p50 * 10 > committed * 12;
+    if over_floor && over_ratio {
+        return Err(format!(
+            "bench ratchet failed: fresh p50 {fresh_p50}us regresses committed p50 \
+             {committed}us by more than 20% (+{BENCH_NOISE_FLOOR_US}us noise floor); \
+             fix the regression or re-run serve-bench --bench-out to re-baseline",
+        ));
+    }
+    eprintln!("bench ratchet ok: fresh p50 {fresh_p50}us vs committed {committed}us");
+    Ok(())
+}
+
+/// Pull an unsigned-integer field out of a flat JSON object without a
+/// JSON dependency. The needle includes the opening quote, so `p50_us`
+/// does not match `cold_p50_us` or `warm_p50_us`.
+fn extract_json_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let digits: &str = &rest[..rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len())];
+    digits.parse().ok()
 }
 
 /// The observability self-check: replay the serve mix with tracing off

@@ -157,6 +157,7 @@ pub fn replay(service: &QueryService, mix: &[Query], clients: usize) -> ReplayRe
                         outcome,
                     });
                 }
+                // analyze: allow(par_race): `samples` is a Mutex; the extend goes through its guard
                 lock_recover(&samples).extend(local);
             });
         }

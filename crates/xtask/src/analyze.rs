@@ -18,17 +18,38 @@
 //!   serializes exactly the regions the paper parallelizes;
 //! * `lock_par` — `Mutex`/`RwLock` acquisition inside a parallel
 //!   closure serializes the region;
-//! * `seqcst` — `Ordering::SeqCst` where the workspace's counters
-//!   never participate in a synchronizes-with edge; `Relaxed` (with an
-//!   invariant comment) or a justified marker is required;
 //! * `lock_cycle` — the lexical lock-order graph must be acyclic.
+//!
+//! Two concurrency-soundness rules ride on the interprocedural effect
+//! summaries ([`crate::summaries`], folded bottom-up over the SCC
+//! condensation of the call graph):
+//!
+//! * `par_race` — mutation of captured or shared state (`&mut`
+//!   captures, `Cell`/`RefCell`, `static mut`) inside a parallel
+//!   closure or spawned-thread closure, directly or transitively
+//!   through any call the closure makes (the finding renders the full
+//!   witness chain down to the write);
+//! * `atomic_protocol` — per-atomic-field pairing of store/load
+//!   orderings across the whole workspace: a `Relaxed` store to a
+//!   field that is `Acquire`-loaded elsewhere, a `Release` store no
+//!   load ever consumes, asymmetric fences, and `SeqCst` where the
+//!   workspace's publish/consume discipline needs at most
+//!   `Release`/`Acquire` all become findings. Subsumes the old
+//!   intra-procedural `seqcst` rule (whose marker name survives as an
+//!   alias). Test code is **included**: an unsound ordering in a test
+//!   masks exactly the race the test exists to catch.
 //!
 //! On top of those, three dataflow rules run the fixpoint engine
 //! ([`crate::dataflow`]) over statement-level CFGs ([`crate::cfg`]):
 //!
 //! * `index_bounds` — the interval prover ([`crate::bounds`]) must
 //!   discharge every `xs[i]` site reachable from a `no_panic` kernel;
-//!   it owns the `SinkKind::Index` sinks `panic_path` used to report;
+//!   it owns the `SinkKind::Index` sinks `panic_path` used to report.
+//!   Obligations the prover cannot close locally but can state over
+//!   the function's parameters **lift to callers as preconditions**:
+//!   each call site substitutes its actual arguments and retries the
+//!   proof with the caller's facts; obligations still open at a
+//!   `no_panic` root are reported there with the full call chain;
 //! * `guard_across_await_or_call` — a `Mutex`/`RwLock` guard live
 //!   across a call into another workspace crate ([`crate::guard`]);
 //! * `result_discard` — a `Result` from a workspace call dropped on
@@ -51,10 +72,10 @@ use std::path::{Path, PathBuf};
 use crate::baseline::{self, Baseline, Inventory};
 use crate::callgraph::CallGraph;
 use crate::diag::Diagnostic;
-use crate::lex::{tokenize, Token};
-use crate::parse::{parse_file, ParsedFile, SinkKind};
+use crate::lex::{tokenize, TokKind, Token};
+use crate::parse::{parse_file, AtomicKind, ParsedFile, SinkKind};
 use crate::source::SourceFile;
-use crate::{bounds, discard, guard, json, lint, walk};
+use crate::{bounds, discard, guard, json, lint, summaries, walk};
 
 /// The baseline file name, at the workspace root.
 pub const BASELINE_FILE: &str = "analyze-baseline.toml";
@@ -77,6 +98,9 @@ pub struct RunResult {
     pub dataflow: BTreeMap<String, usize>,
     /// Stale suppression markers per crate.
     pub stale: BTreeMap<String, usize>,
+    /// Marker-suppressed summary-rule findings (`par_race`,
+    /// `atomic_protocol`) per crate.
+    pub summary: BTreeMap<String, usize>,
 }
 
 /// Is this workspace-relative path in a tree whose functions are only
@@ -139,18 +163,21 @@ impl Analysis {
     pub fn run(&self) -> RunResult {
         let mut out = Vec::new();
         let mut dataflow: BTreeMap<String, usize> = BTreeMap::new();
+        let mut summary: BTreeMap<String, usize> = BTreeMap::new();
         self.panic_paths(&mut out);
         self.hot_allocs(&mut out);
         self.obs_hot_paths(&mut out);
         self.lock_discipline(&mut out);
-        self.seqcst(&mut out);
         self.lock_cycles(&mut out);
+        let sums = summaries::compute(&self.graph);
+        self.par_races(&sums, &mut out, &mut summary);
+        self.atomic_protocol(&mut out, &mut summary);
         self.index_bounds(&mut out, &mut dataflow);
         self.guard_across_calls(&mut out, &mut dataflow);
         self.result_discards(&mut out, &mut dataflow);
         let stale = self.stale_markers(&mut out);
         out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-        RunResult { diagnostics: out, dataflow, stale }
+        RunResult { diagnostics: out, dataflow, stale, summary }
     }
 
     /// The unsafe inventory for the baseline ratchet.
@@ -386,29 +413,234 @@ impl Analysis {
         }
     }
 
-    /// `seqcst`: flag `Ordering::SeqCst` — the workspace's atomics are
-    /// counters merged after `join`, which never need a total order.
-    fn seqcst(&self, out: &mut Vec<Diagnostic>) {
-        for n in &self.graph.nodes {
-            if n.func.is_test {
+    /// `par_race`: mutation of captured or shared state inside a
+    /// parallel closure or spawned-thread closure — directly, or
+    /// transitively through any call the closure makes, witnessed by
+    /// the effect summaries with a rendered chain to the write.
+    fn par_races(
+        &self,
+        sums: &[summaries::Summary],
+        out: &mut Vec<Diagnostic>,
+        summary: &mut BTreeMap<String, usize>,
+    ) {
+        for (id, n) in self.graph.nodes.iter().enumerate() {
+            if n.func.is_test || !in_crate_src(&n.path) {
                 continue;
             }
             let src = self.source_of(n.file_idx);
-            for &line in &n.func.seqcst {
-                if src.allowed(line, "seqcst") {
+            let krate = walk::crate_of(&n.path);
+            // Direct: writes to captured bindings / interior-mutable
+            // cells / `static mut` recorded inside the region itself.
+            for w in &n.func.par_writes {
+                if summary_allowed_any(src, w.line, &krate, &["par_race"], summary) {
                     continue;
                 }
                 out.push(Diagnostic::new(
                     &n.path,
-                    line,
-                    "seqcst",
+                    w.line,
+                    "par_race",
                     format!(
-                        "`Ordering::SeqCst` in `{}`: workspace counters never \
-                         synchronize-with another access — use `Relaxed` with an \
-                         invariant comment, or justify the total order",
+                        "data race: {} inside a parallel closure in `{}`; every worker \
+                         shares this binding — use per-worker state (`map_init`) or a \
+                         reduction, or justify with `// analyze: allow(par_race): <reason>`",
+                        w.what,
                         n.func.display()
                     ),
                 ));
+            }
+            // Transitive: a call made inside the region whose callee
+            // summary reaches a shared-state write.
+            let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+            for c in &n.func.calls {
+                if !c.in_par && !c.in_spawn {
+                    continue;
+                }
+                for e in &self.graph.out[id] {
+                    if e.line != c.line || e.to == id {
+                        continue;
+                    }
+                    let callee = &self.graph.nodes[e.to];
+                    if callee.func.name != c.name {
+                        continue;
+                    }
+                    for w in &sums[e.to].shared_mut {
+                        if !seen.insert((c.line, w.what.clone())) {
+                            continue;
+                        }
+                        if summary_allowed_any(src, c.line, &krate, &["par_race"], summary) {
+                            continue;
+                        }
+                        let mut chain = vec![summaries::Hop { node: id, line: c.line }];
+                        chain.extend(w.chain.iter().cloned());
+                        let mut d = Diagnostic::new(
+                            &n.path,
+                            c.line,
+                            "par_race",
+                            format!(
+                                "data race: call to `{}` inside a parallel closure in `{}` \
+                                 reaches {}; synchronize the write or justify with \
+                                 `// analyze: allow(par_race): <reason>`",
+                                callee.func.display(),
+                                n.func.display(),
+                                w.what
+                            ),
+                        );
+                        d.notes.push(format!(
+                            "path: {}",
+                            summaries::render_chain(&self.graph, &chain)
+                        ));
+                        out.push(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `atomic_protocol`: per-field pairing of store/load orderings
+    /// across the workspace. Fields are grouped by `(crate, name)` —
+    /// the same name-based over-approximation the lock rules use.
+    /// Test code is included (`in_test` ops are facts too): an unsound
+    /// ordering in a test masks the race the test exists to catch.
+    fn atomic_protocol(&self, out: &mut Vec<Diagnostic>, summary: &mut BTreeMap<String, usize>) {
+        struct Site {
+            node: usize,
+            line: usize,
+            kind: AtomicKind,
+            ordering: String,
+        }
+        let mut groups: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+        for (id, n) in self.graph.nodes.iter().enumerate() {
+            for a in &n.func.atomics {
+                groups.entry((walk::crate_of(&n.path), a.field.clone())).or_default().push(Site {
+                    node: id,
+                    line: a.line,
+                    kind: a.kind,
+                    ordering: a.ordering.clone(),
+                });
+            }
+        }
+        let push = |out: &mut Vec<Diagnostic>,
+                    summary: &mut BTreeMap<String, usize>,
+                    site: &Site,
+                    krate: &str,
+                    message: String,
+                    note: Option<String>| {
+            let n = &self.graph.nodes[site.node];
+            let src = self.source_of(n.file_idx);
+            if summary_allowed_any(src, site.line, krate, &["atomic_protocol", "seqcst"], summary) {
+                return;
+            }
+            let mut d = Diagnostic::new(&n.path, site.line, "atomic_protocol", message);
+            if let Some(note) = note {
+                d.notes.push(note);
+            }
+            out.push(d);
+        };
+        let release = |o: &str| matches!(o, "Release" | "AcqRel" | "SeqCst");
+        let acquire = |o: &str| matches!(o, "Acquire" | "AcqRel" | "SeqCst");
+        for ((krate, field), sites) in &groups {
+            if field == "<fence>" {
+                // Fences pair Release-side with Acquire-side; a crate
+                // with fences of only one side synchronizes nothing.
+                let rel = sites.iter().any(|s| release(&s.ordering));
+                let acq = sites.iter().any(|s| acquire(&s.ordering));
+                if rel != acq {
+                    let (have, miss) =
+                        if rel { ("Release", "Acquire") } else { ("Acquire", "Release") };
+                    for s in sites {
+                        push(
+                            out,
+                            summary,
+                            s,
+                            krate,
+                            format!(
+                                "asymmetric fence: `fence({})` with no {miss}-side fence \
+                                 in crate `{krate}` — it synchronizes with nothing",
+                                s.ordering
+                            ),
+                            Some(format!("every fence in this crate is {have}-side")),
+                        );
+                    }
+                }
+                continue;
+            }
+            let stores: Vec<&Site> = sites
+                .iter()
+                .filter(|s| matches!(s.kind, AtomicKind::Store | AtomicKind::Rmw))
+                .collect();
+            let loads: Vec<&Site> = sites
+                .iter()
+                .filter(|s| matches!(s.kind, AtomicKind::Load | AtomicKind::Rmw))
+                .collect();
+            let acq_load = loads.iter().find(|s| acquire(&s.ordering));
+            let rel_store = stores.iter().find(|s| release(&s.ordering));
+            // SeqCst: the workspace's protocols are all publish/consume
+            // pairs — `Release`/`Acquire` (or `Relaxed` for counters)
+            // always suffices; a total order is never required.
+            for s in sites {
+                if s.ordering == "SeqCst" {
+                    let suggest = match s.kind {
+                        AtomicKind::Store => "`Release` (or `Relaxed` for a pure counter)",
+                        AtomicKind::Load => "`Acquire` (or `Relaxed` for a pure counter)",
+                        AtomicKind::Rmw => "`AcqRel` (or `Relaxed` for a pure counter)",
+                        AtomicKind::Fence => "`Release`/`Acquire`",
+                    };
+                    push(
+                        out,
+                        summary,
+                        s,
+                        krate,
+                        format!(
+                            "`SeqCst` on `{field}`: no access of this field requires a \
+                             total order — {suggest} suffices, or justify with \
+                             `// analyze: allow(atomic_protocol): <reason>`"
+                        ),
+                        None,
+                    );
+                }
+            }
+            // A Relaxed store to a field somebody Acquire-loads: the
+            // load synchronizes-with nothing.
+            if let Some(al) = acq_load {
+                for s in &stores {
+                    if s.ordering == "Relaxed" {
+                        let fix = if s.kind == AtomicKind::Rmw { "AcqRel" } else { "Release" };
+                        push(
+                            out,
+                            summary,
+                            s,
+                            krate,
+                            format!(
+                                "`Relaxed` store to `{field}`, which is Acquire-loaded at \
+                                 {}:{} — the load synchronizes-with nothing; use `{fix}` \
+                                 or downgrade the load",
+                                self.graph.nodes[al.node].path.display(),
+                                al.line
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+            // A Release store nothing consumes: the publication fence
+            // is paid but every load is Relaxed.
+            if acq_load.is_none() && !loads.is_empty() {
+                if let Some(rs) = rel_store {
+                    if rs.ordering == "Release" {
+                        push(
+                            out,
+                            summary,
+                            rs,
+                            krate,
+                            format!(
+                                "`Release` store to `{field}` but every load of it is \
+                                 `Relaxed` — nothing consumes the publication; upgrade a \
+                                 load to `Acquire` or downgrade the store"
+                            ),
+                            Some(format!("{} load site(s) of `{field}`, all Relaxed", loads.len())),
+                        );
+                    }
+                }
             }
         }
     }
@@ -487,60 +719,336 @@ impl Analysis {
     /// carrying the exact unproven obligation.
     fn index_bounds(&self, out: &mut Vec<Diagnostic>, dataflow: &mut BTreeMap<String, usize>) {
         let hot = self.hot_set();
-        for (id, n) in self.graph.nodes.iter().enumerate() {
-            if !hot[id] || n.func.is_test {
+        // Obligations lifted out of each node, final once the node's
+        // SCC has been processed (bottom-up order).
+        let mut obligs: Vec<Vec<Obligation>> = vec![Vec::new(); self.graph.nodes.len()];
+        // Origin sites that must be reported where they stand (not
+        // liftable, or the lifting machinery hit a cap).
+        let mut at_site: Vec<(usize, bounds::IndexSite)> = Vec::new();
+        // Origin sites already accounted for by a surfaced report,
+        // keyed by (node, line, what) — one diagnostic per site.
+        let mut surfaced: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+        let comps = self.graph.sccs();
+        let mut comp_of = vec![0usize; self.graph.nodes.len()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &v in comp {
+                comp_of[v] = ci;
+            }
+        }
+        for (ci, comp) in comps.iter().enumerate() {
+            // Recursion widens to ⊤: members of a non-trivial SCC keep
+            // their own sites at-site and do not accept lifted
+            // preconditions through recursive edges.
+            let recursive =
+                comp.len() > 1 || comp.iter().any(|&v| self.graph.out[v].iter().any(|e| e.to == v));
+            for &v in comp {
+                let n = &self.graph.nodes[v];
+                if !hot[v] || n.func.is_test {
+                    continue;
+                }
+                let (_, _, toks, parsed, _) = &self.files[n.file_idx];
+                let children = bounds::child_ranges(&parsed.functions, n.fn_idx);
+                // Own verdicts. A root reports its own failures at the
+                // site (there is no caller to discharge them); helpers
+                // lift parameter-shaped goals instead.
+                let sites = bounds::check_function(toks, n.func.body.clone(), &children);
+                self.report_uncovered_sinks(v, &sites, out, dataflow);
+                for site in sites {
+                    if site.proven {
+                        continue;
+                    }
+                    let liftable = !n.func.no_panic
+                        && !recursive
+                        && site
+                            .goal
+                            .as_ref()
+                            .is_some_and(|g| bounds::goal_liftable(g, &n.func.params));
+                    if liftable && obligs[v].len() < MAX_OBLIGATIONS {
+                        let goal = site.goal.clone().unwrap();
+                        obligs[v].push(Obligation {
+                            goal,
+                            origin: (v, site.line, site.what.clone()),
+                            note: site.note.clone(),
+                            chain: Vec::new(),
+                        });
+                    } else {
+                        at_site.push((v, site));
+                    }
+                }
+                // Absorb callee obligations: substitute actuals into
+                // the precondition and retry the proof with this
+                // function's facts at the call site.
+                let mut wanted: Vec<usize> = Vec::new();
+                for e in &self.graph.out[v] {
+                    if comp_of[e.to] == ci || obligs[e.to].is_empty() {
+                        continue;
+                    }
+                    if let Some(c) = self.call_record(v, e) {
+                        wanted.push(c.at);
+                    }
+                }
+                wanted.sort_unstable();
+                wanted.dedup();
+                let facts = bounds::facts_at(toks, n.func.body.clone(), &children, &wanted);
+                let empty = bounds::Facts::default();
+                for e in &self.graph.out[v] {
+                    if comp_of[e.to] == ci || obligs[e.to].is_empty() {
+                        continue;
+                    }
+                    let callee_obligs = std::mem::take(&mut obligs[e.to]);
+                    let Some(c) = self.call_record(v, e) else {
+                        // No parsable call record: every obligation of
+                        // the callee falls back to its origin site.
+                        for o in &callee_obligs {
+                            self.surface_or_fallback(o, None, out, dataflow, &mut surfaced);
+                        }
+                        obligs[e.to] = callee_obligs;
+                        continue;
+                    };
+                    let args = self.call_args(v, c.at);
+                    let callee = &self.graph.nodes[e.to];
+                    for o in &callee_obligs {
+                        let subst = args
+                            .as_ref()
+                            .and_then(|args| substitute_goal(&o.goal, &callee.func.params, args));
+                        let Some(goal) = subst else {
+                            self.surface_or_fallback(o, None, out, dataflow, &mut surfaced);
+                            continue;
+                        };
+                        let f = facts.get(&c.at).unwrap_or(&empty);
+                        if bounds::entails(f, &goal.0, &goal.1, goal.2) {
+                            continue; // precondition established here
+                        }
+                        let mut chain = vec![summaries::Hop { node: v, line: e.line }];
+                        chain.extend(o.chain.iter().cloned());
+                        let lifted = Obligation {
+                            goal,
+                            origin: o.origin.clone(),
+                            note: o.note.clone(),
+                            chain,
+                        };
+                        let liftable = !n.func.no_panic
+                            && !recursive
+                            && bounds::goal_liftable(&lifted.goal, &n.func.params)
+                            && lifted.chain.len() < summaries::MAX_CHAIN
+                            && obligs[v].len() < MAX_OBLIGATIONS;
+                        if liftable {
+                            obligs[v].push(lifted);
+                        } else {
+                            // Undischarged at a root (or unliftable
+                            // further): report with the full chain.
+                            self.surface_or_fallback(
+                                &lifted,
+                                Some(v),
+                                out,
+                                dataflow,
+                                &mut surfaced,
+                            );
+                        }
+                    }
+                    obligs[e.to] = callee_obligs;
+                }
+            }
+        }
+        // Obligations still parked at non-root functions whose callers
+        // all discharged them are proven; anything that surfaced was
+        // reported above. What remains is the at-site list.
+        for (v, site) in at_site {
+            let n = &self.graph.nodes[v];
+            if surfaced.contains(&(v, site.line, site.what.clone())) {
                 continue;
             }
-            let (_, src, toks, parsed, _) = &self.files[n.file_idx];
+            let src = self.source_of(n.file_idx);
             let krate = walk::crate_of(&n.path);
-            let children = bounds::child_ranges(&parsed.functions, n.fn_idx);
-            let sites = bounds::check_function(toks, n.func.body.clone(), &children);
-            let covered: BTreeSet<(usize, String)> =
-                sites.iter().map(|s| (s.line, s.what.clone())).collect();
-            for site in &sites {
-                if site.proven || index_allowed(src, site.line, &krate, dataflow) {
-                    continue;
-                }
-                let mut d = Diagnostic::new(
-                    &n.path,
-                    site.line,
-                    "index_bounds",
-                    format!("cannot prove {} in bounds in `{}`", site.what, n.func.display()),
-                );
-                if !site.note.is_empty() {
-                    d.notes.push(format!("unproven obligation: {}", site.note));
-                }
-                d.notes.push(
-                    "add a dominating bound check the prover can see, or justify with \
-                     `// analyze: allow(index_bounds): <reason>`"
-                        .into(),
-                );
-                out.push(d);
+            if index_allowed(src, site.line, &krate, dataflow) {
+                continue;
             }
-            // Index sinks the statement-level CFG never lowered (e.g.
-            // inside a braced closure body) stay unproven obligations —
-            // the prover must not silently narrow `panic_path` coverage.
-            for sink in &n.func.sinks {
-                if sink.kind != SinkKind::Index
-                    || covered.contains(&(sink.line, sink.what.clone()))
-                    || index_allowed(src, sink.line, &krate, dataflow)
-                {
-                    continue;
-                }
-                let mut d = Diagnostic::new(
-                    &n.path,
-                    sink.line,
-                    "index_bounds",
-                    format!("cannot prove {} in bounds in `{}`", sink.what, n.func.display()),
-                );
-                d.notes.push("unproven obligation: site is outside the dataflow region".into());
-                d.notes.push(
-                    "add a dominating bound check the prover can see, or justify with \
-                     `// analyze: allow(index_bounds): <reason>`"
-                        .into(),
-                );
-                out.push(d);
+            let mut d = Diagnostic::new(
+                &n.path,
+                site.line,
+                "index_bounds",
+                format!("cannot prove {} in bounds in `{}`", site.what, n.func.display()),
+            );
+            if !site.note.is_empty() {
+                d.notes.push(format!("unproven obligation: {}", site.note));
             }
+            d.notes.push(
+                "add a dominating bound check the prover can see, or justify with \
+                 `// analyze: allow(index_bounds): <reason>`"
+                    .into(),
+            );
+            out.push(d);
+        }
+    }
+
+    /// Find the parsed `Call` record behind a call-graph edge, for
+    /// argument parsing at the call site.
+    fn call_record(&self, v: usize, e: &crate::callgraph::Edge) -> Option<&crate::parse::Call> {
+        let n = &self.graph.nodes[v];
+        let callee = &self.graph.nodes[e.to];
+        n.func.calls.iter().find(|c| c.line == e.line && c.name == callee.func.name)
+    }
+
+    /// Parse the actual-argument terms of the call whose name token is
+    /// at `at` in node `v`'s file. Returns one `Option<Term>` per
+    /// argument (`None` for arguments too complex to represent).
+    fn call_args(&self, v: usize, at: usize) -> Option<Vec<Option<bounds::Term>>> {
+        let n = &self.graph.nodes[v];
+        let toks = &self.files[n.file_idx].2;
+        if toks.get(at + 1).map(|t| t.kind) != Some(TokKind::LParen) {
+            return None;
+        }
+        let mut args: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut depth = 0i32;
+        let mut i = at + 1;
+        loop {
+            let t = toks.get(i)?;
+            match t.kind {
+                TokKind::LParen | TokKind::LBracket | TokKind::LBrace => {
+                    depth += 1;
+                    if depth > 1 {
+                        args.last_mut().unwrap().push(i);
+                    }
+                }
+                TokKind::RParen | TokKind::RBracket | TokKind::RBrace => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    args.last_mut().unwrap().push(i);
+                }
+                TokKind::Punct if t.text == "," && depth == 1 => args.push(Vec::new()),
+                _ => args.last_mut().unwrap().push(i),
+            }
+            i += 1;
+        }
+        if args.len() == 1 && args[0].is_empty() {
+            return Some(Vec::new());
+        }
+        Some(
+            args.into_iter()
+                .map(|mut pos| {
+                    // Strip leading `&` / `&mut` — references don't
+                    // change the value a term names.
+                    while pos.first().is_some_and(|&p| toks[p].text == "&" || toks[p].is("mut")) {
+                        pos.remove(0);
+                    }
+                    bounds::parse_term(toks, &pos)
+                })
+                .collect(),
+        )
+    }
+
+    /// Report a lifted obligation: at the function it surfaced in
+    /// (`root`, with the full call chain) when given, else at its
+    /// origin site. The origin site's marker is consulted first — a
+    /// justified site stays suppressed no matter where the obligation
+    /// traveled.
+    fn surface_or_fallback(
+        &self,
+        o: &Obligation,
+        root: Option<usize>,
+        out: &mut Vec<Diagnostic>,
+        dataflow: &mut BTreeMap<String, usize>,
+        surfaced: &mut BTreeSet<(usize, usize, String)>,
+    ) {
+        let (onode, oline, owhat) = (o.origin.0, o.origin.1, o.origin.2.clone());
+        if !surfaced.insert((onode, oline, owhat.clone())) {
+            return;
+        }
+        let origin = &self.graph.nodes[onode];
+        let osrc = self.source_of(origin.file_idx);
+        let okrate = walk::crate_of(&origin.path);
+        if index_allowed(osrc, oline, &okrate, dataflow) {
+            return;
+        }
+        let Some(root) = root else {
+            // Fallback: report at the origin site, like a local miss.
+            let mut d = Diagnostic::new(
+                &origin.path,
+                oline,
+                "index_bounds",
+                format!("cannot prove {owhat} in bounds in `{}`", origin.func.display()),
+            );
+            if !o.note.is_empty() {
+                d.notes.push(format!("unproven obligation: {}", o.note));
+            }
+            d.notes.push(
+                "add a dominating bound check the prover can see, or justify with \
+                 `// analyze: allow(index_bounds): <reason>`"
+                    .into(),
+            );
+            out.push(d);
+            return;
+        };
+        let rn = &self.graph.nodes[root];
+        let rsrc = self.source_of(rn.file_idx);
+        let rkrate = walk::crate_of(&rn.path);
+        if index_allowed(rsrc, rn.func.decl_line, &rkrate, dataflow) {
+            return;
+        }
+        let mut d = Diagnostic::new(
+            &rn.path,
+            rn.func.decl_line,
+            "index_bounds",
+            format!(
+                "cannot establish precondition `{}` required for {owhat} \
+                 ({}:{}) on any proof path from `{}`",
+                show_goal(&o.goal),
+                origin.path.display(),
+                oline,
+                rn.func.display()
+            ),
+        );
+        let mut chain = vec![summaries::Hop { node: root, line: rn.func.decl_line }];
+        chain.extend(o.chain.iter().cloned());
+        chain.push(summaries::Hop { node: onode, line: oline });
+        d.notes.push(format!("path: {}", summaries::render_chain(&self.graph, &chain)));
+        d.notes.push(
+            "establish the bound at a call site the prover can see, or justify with \
+             `// analyze: allow(index_bounds): <reason>` at the index site"
+                .into(),
+        );
+        out.push(d);
+    }
+
+    /// The legacy uncovered-sink sweep of `index_bounds`, factored out
+    /// of the main loop.
+    fn report_uncovered_sinks(
+        &self,
+        v: usize,
+        sites: &[bounds::IndexSite],
+        out: &mut Vec<Diagnostic>,
+        dataflow: &mut BTreeMap<String, usize>,
+    ) {
+        let n = &self.graph.nodes[v];
+        let src = self.source_of(n.file_idx);
+        let krate = walk::crate_of(&n.path);
+        let covered: BTreeSet<(usize, String)> =
+            sites.iter().map(|s| (s.line, s.what.clone())).collect();
+        // Index sinks the statement-level CFG never lowered (e.g.
+        // inside a braced closure body) stay unproven obligations —
+        // the prover must not silently narrow `panic_path` coverage.
+        for sink in &n.func.sinks {
+            if sink.kind != SinkKind::Index
+                || covered.contains(&(sink.line, sink.what.clone()))
+                || index_allowed(src, sink.line, &krate, dataflow)
+            {
+                continue;
+            }
+            let mut d = Diagnostic::new(
+                &n.path,
+                sink.line,
+                "index_bounds",
+                format!("cannot prove {} in bounds in `{}`", sink.what, n.func.display()),
+            );
+            d.notes.push("unproven obligation: site is outside the dataflow region".into());
+            d.notes.push(
+                "add a dominating bound check the prover can see, or justify with \
+                     `// analyze: allow(index_bounds): <reason>`"
+                    .into(),
+            );
+            out.push(d);
         }
     }
 
@@ -706,13 +1214,94 @@ const MARKER_RULES: &[&str] = &[
     "hot_alloc",
     "obs_hot_path",
     "lock_par",
-    "seqcst",
     "lock_cycle",
+    // summary rules (`seqcst` is the legacy alias for
+    // `atomic_protocol`, kept so existing markers keep resolving)
+    "par_race",
+    "atomic_protocol",
+    "seqcst",
     // dataflow rules
     "index_bounds",
     "guard_across_await_or_call",
     "result_discard",
 ];
+
+/// Consult the given summary-rule marker spellings; a hit counts into
+/// the `[summary.*]` suppression table.
+fn summary_allowed_any(
+    src: &SourceFile,
+    line: usize,
+    krate: &str,
+    rules: &[&str],
+    summary: &mut BTreeMap<String, usize>,
+) -> bool {
+    for rule in rules {
+        if src.allowed(line, rule) {
+            *summary.entry(krate.to_string()).or_default() += 1;
+            return true;
+        }
+    }
+    false
+}
+
+/// Cap on obligations lifted per function; overflow falls back to an
+/// at-site report (conservative, never silent).
+const MAX_OBLIGATIONS: usize = 24;
+
+/// An unproven bounds obligation travelling up the call graph as a
+/// precondition.
+#[derive(Debug, Clone)]
+struct Obligation {
+    /// `(a, b, strict)`: prove `a < b` (strict) or `a <= b`, stated
+    /// over the current holder's parameters after substitution.
+    goal: (bounds::Term, bounds::Term, bool),
+    /// The index site that raised it: `(node, line, what)`.
+    origin: (usize, usize, String),
+    /// The original prover note at the site.
+    note: String,
+    /// Call hops from the current holder down to the origin function
+    /// (`chain[0]` is in the holder's body).
+    chain: Vec<summaries::Hop>,
+}
+
+/// Render a structured goal as `i + 1 < len(xs)`.
+fn show_goal(goal: &(bounds::Term, bounds::Term, bool)) -> String {
+    format!("{} {} {}", goal.0.show(), if goal.2 { "<" } else { "<=" }, goal.1.show())
+}
+
+/// Substitute actual-argument terms for callee parameters inside a
+/// goal. `args[i]` is the term of the `i`-th actual; `None` entries
+/// poison any goal that mentions the matching parameter.
+fn substitute_goal(
+    goal: &(bounds::Term, bounds::Term, bool),
+    params: &[String],
+    args: &[Option<bounds::Term>],
+) -> Option<(bounds::Term, bounds::Term, bool)> {
+    if params.len() != args.len() {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    for (p, a) in params.iter().zip(args) {
+        if let Some(a) = a {
+            map.insert(p.clone(), a.clone());
+        }
+    }
+    // A goal mentioning a parameter with no parsed actual cannot be
+    // substituted — `subst` returns None for it because the parameter
+    // is absent from the map only if the base survives; guard that.
+    let relevant = |t: &bounds::Term| {
+        params
+            .iter()
+            .enumerate()
+            .any(|(i, p)| args[i].is_none() && (t.base == *p || t.base == format!("len({p})")))
+    };
+    if relevant(&goal.0) || relevant(&goal.1) {
+        return None;
+    }
+    let a = bounds::subst(&goal.0, &map)?;
+    let b = bounds::subst(&goal.1, &map)?;
+    Some((a, b, goal.2))
+}
 
 /// Consult the `index_bounds` marker plus the legacy spellings; a hit
 /// counts into the `[dataflow.*]` suppression table.
@@ -761,6 +1350,7 @@ pub fn check_baseline(
     test_counts: &BTreeMap<String, usize>,
     dataflow: &BTreeMap<String, usize>,
     stale: &BTreeMap<String, usize>,
+    summary: &BTreeMap<String, usize>,
 ) -> Result<Vec<Diagnostic>, String> {
     let base = baseline::load(&root.join(BASELINE_FILE))?;
     let at = |rule: &'static str| {
@@ -772,7 +1362,8 @@ pub fn check_baseline(
     let test_errs = baseline::check_tests(&base, test_counts).into_iter().map(at("test_ratchet"));
     let df_errs = baseline::check_dataflow(&base, dataflow).into_iter().map(at("dataflow_ratchet"));
     let stale_errs = baseline::check_stale(&base, stale).into_iter().map(at("stale_ratchet"));
-    Ok(unsafe_errs.chain(test_errs).chain(df_errs).chain(stale_errs).collect())
+    let sum_errs = baseline::check_summary(&base, summary).into_iter().map(at("summary_ratchet"));
+    Ok(unsafe_errs.chain(test_errs).chain(df_errs).chain(stale_errs).chain(sum_errs).collect())
 }
 
 /// Rewrite the baseline from the current inventory and count maps,
@@ -783,10 +1374,11 @@ pub fn update_baseline(
     test_counts: &BTreeMap<String, usize>,
     dataflow: &BTreeMap<String, usize>,
     stale: &BTreeMap<String, usize>,
+    summary: &BTreeMap<String, usize>,
 ) -> Result<PathBuf, String> {
     let path = root.join(BASELINE_FILE);
     let prev = baseline::load(&path).unwrap_or_else(|_| Baseline::default());
-    let next = baseline::from_inventory(inventory, test_counts, dataflow, stale, &prev);
+    let next = baseline::from_inventory(inventory, test_counts, dataflow, stale, summary, &prev);
     std::fs::write(&path, baseline::serialize(&next))
         .map_err(|e| format!("writing {}: {e}", path.display()))?;
     Ok(path)
@@ -1058,7 +1650,7 @@ pub fn order_ba(s: &S) {
     }
 
     #[test]
-    fn seqcst_flagged_and_suppressible() {
+    fn seqcst_flagged_under_atomic_protocol_and_legacy_marker_suppresses() {
         let a = analysis(&[(
             "crates/a/src/lib.rs",
             "\
@@ -1066,16 +1658,225 @@ use std::sync::atomic::{AtomicU32, Ordering};
 pub fn bump(c: &AtomicU32) {
     c.fetch_add(1, Ordering::SeqCst);
 }
-pub fn bump_justified(c: &AtomicU32) {
+pub fn bump_justified(d: &AtomicU32) {
     // analyze: allow(seqcst): total order needed for the epoch handshake
-    c.fetch_add(1, Ordering::SeqCst);
+    d.fetch_add(1, Ordering::SeqCst);
+}
+",
+        )]);
+        let run = a.run();
+        let s: Vec<&Diagnostic> =
+            run.diagnostics.iter().filter(|d| d.rule == "atomic_protocol").collect();
+        assert_eq!(s.len(), 1, "{:?}", run.diagnostics);
+        assert_eq!(s[0].line, 3);
+        assert!(s[0].message.contains("SeqCst"), "{}", s[0].message);
+        // The legacy `seqcst` marker suppressed the second site, is
+        // counted in the [summary.*] table, and is not stale.
+        assert_eq!(run.summary.get("a"), Some(&1));
+        assert!(!run.diagnostics.iter().any(|d| d.rule == "stale_marker"), "{:?}", run.diagnostics);
+    }
+
+    #[test]
+    fn atomic_protocol_pairs_stores_and_loads_across_functions() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn publish(g: &AtomicU64) {
+    g.store(1, Ordering::Relaxed);
+}
+pub fn consume(g: &AtomicU64) -> u64 {
+    g.load(Ordering::Acquire)
+}
+pub fn counter_ok(hits: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+}
+pub fn counter_read(hits: &AtomicU64) -> u64 {
+    hits.load(Ordering::Relaxed)
 }
 ",
         )]);
         let d = a.diagnostics();
-        let s: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "seqcst").collect();
+        let s: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "atomic_protocol").collect();
+        assert_eq!(s.len(), 1, "{d:?}");
+        assert_eq!(s[0].line, 3, "the Relaxed store to the Acquire-loaded field");
+        assert!(s[0].message.contains("synchronizes-with nothing"), "{}", s[0].message);
+        assert!(!d.iter().any(|x| x.line >= 8), "all-Relaxed counters are clean: {d:?}");
+    }
+
+    #[test]
+    fn atomic_protocol_flags_unconsumed_release_store() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn publish(g: &AtomicU64) {
+    g.store(1, Ordering::Release);
+}
+pub fn peek(g: &AtomicU64) -> u64 {
+    g.load(Ordering::Relaxed)
+}
+",
+        )]);
+        let d = a.diagnostics();
+        let s: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "atomic_protocol").collect();
         assert_eq!(s.len(), 1, "{d:?}");
         assert_eq!(s[0].line, 3);
+        assert!(s[0].message.contains("nothing consumes"), "{}", s[0].message);
+    }
+
+    #[test]
+    fn atomic_protocol_sees_test_code() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+use std::sync::atomic::{AtomicU32, Ordering};
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let c = std::sync::atomic::AtomicU32::new(0);
+        c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+",
+        )]);
+        let d = a.diagnostics();
+        assert!(
+            d.iter().any(|d| d.rule == "atomic_protocol" && d.line == 7),
+            "test-code orderings are findings too: {d:?}"
+        );
+    }
+
+    #[test]
+    fn par_race_direct_and_transitive() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+static mut TOTAL: u64 = 0;
+pub fn direct(xs: &[u32], out: &mut Vec<u32>) {
+    xs.par_iter().for_each(|x| {
+        out.push(*x);
+    });
+}
+pub fn transitive(xs: &[u32]) {
+    xs.par_iter().for_each(|x| {
+        bump(*x as u64);
+    });
+}
+fn bump(n: u64) {
+    unsafe { TOTAL += n };
+}
+",
+        )]);
+        let d = a.diagnostics();
+        let races: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "par_race").collect();
+        assert!(races.iter().any(|d| d.line == 4 && d.message.contains("`out`")), "{races:?}");
+        let t = races
+            .iter()
+            .find(|d| d.line == 9 && d.message.contains("`bump`"))
+            .unwrap_or_else(|| panic!("transitive race missing: {races:?}"));
+        assert!(t.message.contains("TOTAL"), "{}", t.message);
+        assert!(
+            t.notes.iter().any(|n| n.starts_with("path: ") && n.contains(":13")),
+            "witness chain reaches the write: {:?}",
+            t.notes
+        );
+    }
+
+    #[test]
+    fn par_race_marker_suppresses_and_counts() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+pub fn f(xs: &[u32], out: &mut Vec<u32>) {
+    xs.par_iter().for_each(|x| {
+        // analyze: allow(par_race): single consumer joins before reads
+        out.push(*x);
+    });
+}
+",
+        )]);
+        let run = a.run();
+        assert!(!run.diagnostics.iter().any(|d| d.rule == "par_race"), "{:?}", run.diagnostics);
+        assert_eq!(run.summary.get("a"), Some(&1));
+    }
+
+    #[test]
+    fn interproc_bounds_discharges_via_call_site_facts() {
+        // `helper` cannot prove `i < len(xs)` locally; both callers
+        // establish it, so the obligation discharges and nothing is
+        // reported — with no marker needed at the site.
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+// analyze: no_panic
+pub fn kernel(xs: &[u32]) -> u32 {
+    let mut t = 0;
+    for i in 0..xs.len() {
+        t += helper(xs, i);
+    }
+    t
+}
+fn helper(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+",
+        )]);
+        let d = a.diagnostics();
+        assert!(!d.iter().any(|x| x.rule == "index_bounds"), "{d:?}");
+    }
+
+    #[test]
+    fn interproc_bounds_reports_undischarged_at_root_with_chain() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+// analyze: no_panic
+pub fn kernel(xs: &[u32], k: usize) -> u32 {
+    helper(xs, k)
+}
+fn helper(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+",
+        )]);
+        let d = a.diagnostics();
+        let s: Vec<&Diagnostic> = d.iter().filter(|x| x.rule == "index_bounds").collect();
+        assert_eq!(s.len(), 1, "{d:?}");
+        assert_eq!(s[0].line, 2, "reported at the no_panic root");
+        assert!(s[0].message.contains("precondition"), "{}", s[0].message);
+        assert!(s[0].message.contains("k < len(xs)"), "{}", s[0].message);
+        assert!(
+            s[0].notes.iter().any(|n| n.starts_with("path: ") && n.contains(":6")),
+            "chain reaches the index site: {:?}",
+            s[0].notes
+        );
+    }
+
+    #[test]
+    fn interproc_bounds_origin_marker_still_suppresses() {
+        let a = analysis(&[(
+            "crates/a/src/lib.rs",
+            "\
+// analyze: no_panic
+pub fn kernel(xs: &[u32], k: usize) -> u32 {
+    helper(xs, k)
+}
+fn helper(xs: &[u32], i: usize) -> u32 {
+    // analyze: allow(index_bounds): caller guarantees i < xs.len()
+    xs[i]
+}
+",
+        )]);
+        let run = a.run();
+        assert!(!run.diagnostics.iter().any(|x| x.rule == "index_bounds"), "{:?}", run.diagnostics);
+        assert_eq!(run.dataflow.get("a"), Some(&1), "suppression counted at the origin");
+        assert!(
+            !run.diagnostics.iter().any(|d| d.rule == "stale_marker"),
+            "consulted marker is not stale: {:?}",
+            run.diagnostics
+        );
     }
 
     #[test]

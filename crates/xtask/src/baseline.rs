@@ -32,6 +32,9 @@
 //! * `[stale.<name>]` — `lint: allow` / `analyze: allow` markers that no
 //!   longer suppress anything. The target is zero everywhere; the table
 //!   exists so cleanup progress ratchets and regressions fail.
+//! * `[summary.<name>]` — marker-suppressed summary-rule findings
+//!   (`par_race` / `atomic_protocol`) per crate, same exact-match
+//!   semantics as `[dataflow.*]`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -59,6 +62,9 @@ pub struct Baseline {
     pub dataflow: BTreeMap<String, usize>,
     /// Stale suppression-marker counts keyed by crate name.
     pub stale: BTreeMap<String, usize>,
+    /// Marker-suppressed summary-rule finding counts keyed by crate
+    /// name (`par_race` / `atomic_protocol`).
+    pub summary: BTreeMap<String, usize>,
 }
 
 /// The current inventory measured from the workspace: crate name →
@@ -174,6 +180,16 @@ pub enum RatchetError {
         /// Measured stale-marker count.
         actual: usize,
     },
+    /// Marker-suppressed summary-rule finding count drifted from the
+    /// recorded `[summary.<crate>]` value (either direction).
+    SummaryDrift {
+        /// Crate name.
+        krate: String,
+        /// Recorded suppression count.
+        baseline: usize,
+        /// Measured suppression count.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for RatchetError {
@@ -217,6 +233,12 @@ impl std::fmt::Display for RatchetError {
                 "crate `{krate}` has {actual} stale suppression markers, baseline records \
                  {baseline} — remove dead markers with `cargo xtask analyze --remove-stale`, \
                  then run `cargo xtask analyze --update-baseline`"
+            ),
+            RatchetError::SummaryDrift { krate, baseline, actual } => write!(
+                f,
+                "crate `{krate}` has {actual} marker-suppressed summary-rule findings \
+                 (par_race / atomic_protocol), baseline records {baseline} — fix or justify \
+                 the drift, then run `cargo xtask analyze --update-baseline`"
             ),
         }
     }
@@ -296,6 +318,17 @@ pub fn check_stale(baseline: &Baseline, counts: &BTreeMap<String, usize>) -> Vec
     })
 }
 
+/// Compare measured per-crate marker-suppressed summary-rule finding
+/// counts against the recorded `[summary.*]` values. Exact-match in
+/// both directions.
+pub fn check_summary(baseline: &Baseline, counts: &BTreeMap<String, usize>) -> Vec<RatchetError> {
+    exact_match(&baseline.summary, counts, |krate, baseline, actual| RatchetError::SummaryDrift {
+        krate,
+        baseline,
+        actual,
+    })
+}
+
 fn exact_match(
     recorded: &BTreeMap<String, usize>,
     counts: &BTreeMap<String, usize>,
@@ -322,6 +355,7 @@ pub fn from_inventory(
     test_counts: &BTreeMap<String, usize>,
     dataflow_counts: &BTreeMap<String, usize>,
     stale_counts: &BTreeMap<String, usize>,
+    summary_counts: &BTreeMap<String, usize>,
     previous: &Baseline,
 ) -> Baseline {
     let mut out = Baseline::default();
@@ -338,6 +372,11 @@ pub fn from_inventory(
     for (name, &count) in stale_counts {
         if count > 0 {
             out.stale.insert(name.clone(), count);
+        }
+    }
+    for (name, &count) in summary_counts {
+        if count > 0 {
+            out.summary.insert(name.clone(), count);
         }
     }
     for (name, _) in inventory.crates.iter() {
@@ -364,6 +403,7 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
         Tests(String),
         Dataflow(String),
         Stale(String),
+        Summary(String),
     }
     let mut out = Baseline::default();
     let mut current: Option<Table> = None;
@@ -404,10 +444,16 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
                 }
                 out.stale.insert(krate.to_string(), 0);
                 current = Some(Table::Stale(krate.to_string()));
+            } else if let Some(krate) = name.strip_prefix("summary.") {
+                if krate.is_empty() {
+                    return Err(format!("baseline line {lineno}: empty crate name"));
+                }
+                out.summary.insert(krate.to_string(), 0);
+                current = Some(Table::Summary(krate.to_string()));
             } else {
                 return Err(format!(
                     "baseline line {lineno}: expected [crate.<name>], [tests.<name>], \
-                     [dataflow.<name>], or [stale.<name>]"
+                     [dataflow.<name>], [stale.<name>], or [summary.<name>]"
                 ));
             }
             continue;
@@ -420,11 +466,12 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
             .as_ref()
             .ok_or_else(|| format!("baseline line {lineno}: key outside a table"))?;
         match table {
-            Table::Tests(_) | Table::Dataflow(_) | Table::Stale(_) => {
+            Table::Tests(_) | Table::Dataflow(_) | Table::Stale(_) | Table::Summary(_) => {
                 let (map, kind) = match table {
                     Table::Tests(k) => (&mut out.tests, ("tests", k)),
                     Table::Dataflow(k) => (&mut out.dataflow, ("dataflow", k)),
                     Table::Stale(k) => (&mut out.stale, ("stale", k)),
+                    Table::Summary(k) => (&mut out.summary, ("summary", k)),
                     Table::Crate(_) => unreachable!(),
                 };
                 match key {
@@ -534,6 +581,16 @@ pub fn serialize(baseline: &Baseline) -> String {
             let _ = write!(out, "\n[stale.{name}]\ncount = {count}\n");
         }
     }
+    if !baseline.summary.is_empty() {
+        out.push_str(
+            "\n# Per-crate marker-suppressed summary-rule findings (par_race,\n\
+             # atomic_protocol). Exact-match: drift in either direction fails\n\
+             # until re-recorded via --update-baseline.\n",
+        );
+        for (name, count) in baseline.summary.iter() {
+            let _ = write!(out, "\n[summary.{name}]\ncount = {count}\n");
+        }
+    }
     out
 }
 
@@ -576,8 +633,14 @@ mod tests {
         let inv = inventory(&[("columnar", "src/mmap.rs", 4)]);
         let counts: BTreeMap<String, usize> =
             [("columnar".to_string(), 7), ("serve".to_string(), 12)].into_iter().collect();
-        let mut base =
-            from_inventory(&inv, &counts, &no_tests(), &no_tests(), &Baseline::default());
+        let mut base = from_inventory(
+            &inv,
+            &counts,
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &Baseline::default(),
+        );
         base.crates.get_mut("columnar").unwrap().reason = "mmap I/O".into();
         let text = serialize(&base);
         let parsed = parse(&text).unwrap();
@@ -598,8 +661,14 @@ mod tests {
     #[test]
     fn stale_entry_fails() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let mut base =
-            from_inventory(&inv, &no_tests(), &no_tests(), &no_tests(), &Baseline::default());
+        let mut base = from_inventory(
+            &inv,
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &Baseline::default(),
+        );
         base.crates.get_mut("columnar").unwrap().count = 5;
         let errs = check(&base, &inv);
         assert_eq!(
@@ -611,8 +680,14 @@ mod tests {
     #[test]
     fn moved_unsafe_fails() {
         let old = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let base =
-            from_inventory(&old, &no_tests(), &no_tests(), &no_tests(), &Baseline::default());
+        let base = from_inventory(
+            &old,
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &Baseline::default(),
+        );
         let new = inventory(&[("columnar", "src/table.rs", 2)]);
         let errs = check(&base, &new);
         assert_eq!(errs, vec![RatchetError::Moved { krate: "columnar".into() }]);
@@ -621,8 +696,14 @@ mod tests {
     #[test]
     fn matching_inventory_passes() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let base =
-            from_inventory(&inv, &no_tests(), &no_tests(), &no_tests(), &Baseline::default());
+        let base = from_inventory(
+            &inv,
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &Baseline::default(),
+        );
         assert!(check(&base, &inv).is_empty());
     }
 
@@ -644,11 +725,18 @@ mod tests {
     #[test]
     fn update_carries_reasons_forward() {
         let inv = inventory(&[("columnar", "src/mmap.rs", 2)]);
-        let mut prev =
-            from_inventory(&inv, &no_tests(), &no_tests(), &no_tests(), &Baseline::default());
+        let mut prev = from_inventory(
+            &inv,
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &no_tests(),
+            &Baseline::default(),
+        );
         prev.crates.get_mut("columnar").unwrap().reason = "mmap I/O".into();
         let grown = inventory(&[("columnar", "src/mmap.rs", 2), ("columnar", "src/table.rs", 1)]);
-        let next = from_inventory(&grown, &no_tests(), &no_tests(), &no_tests(), &prev);
+        let next =
+            from_inventory(&grown, &no_tests(), &no_tests(), &no_tests(), &no_tests(), &prev);
         assert_eq!(next.crates["columnar"].count, 3);
         assert_eq!(next.crates["columnar"].reason, "mmap I/O");
     }
@@ -660,6 +748,7 @@ mod tests {
         let base = from_inventory(
             &Inventory::default(),
             &counts,
+            &no_tests(),
             &no_tests(),
             &no_tests(),
             &Baseline::default(),
@@ -709,13 +798,41 @@ mod tests {
         let df: BTreeMap<String, usize> =
             [("engine".to_string(), 4), ("columnar".to_string(), 2)].into_iter().collect();
         let st: BTreeMap<String, usize> = [("serve".to_string(), 1)].into_iter().collect();
+        let sm: BTreeMap<String, usize> = [("engine".to_string(), 3)].into_iter().collect();
         let base =
-            from_inventory(&Inventory::default(), &no_tests(), &df, &st, &Baseline::default());
+            from_inventory(&Inventory::default(), &no_tests(), &df, &st, &sm, &Baseline::default());
         let text = serialize(&base);
         assert!(text.contains("[dataflow.engine]\ncount = 4"), "{text}");
         assert!(text.contains("[stale.serve]\ncount = 1"), "{text}");
+        assert!(text.contains("[summary.engine]\ncount = 3"), "{text}");
         let parsed = parse(&text).unwrap();
         assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn summary_ratchet_flags_drift_both_ways() {
+        let mut base = Baseline::default();
+        base.summary.insert("serve".to_string(), 2);
+
+        let exact: BTreeMap<String, usize> = [("serve".to_string(), 2)].into_iter().collect();
+        assert!(check_summary(&base, &exact).is_empty());
+
+        let grew: BTreeMap<String, usize> = [("serve".to_string(), 3)].into_iter().collect();
+        assert_eq!(
+            check_summary(&base, &grew),
+            vec![RatchetError::SummaryDrift { krate: "serve".into(), baseline: 2, actual: 3 }]
+        );
+
+        assert_eq!(
+            check_summary(&base, &BTreeMap::new()),
+            vec![RatchetError::SummaryDrift { krate: "serve".into(), baseline: 2, actual: 0 }]
+        );
+    }
+
+    #[test]
+    fn summary_tables_reject_foreign_keys() {
+        assert!(parse("[summary.engine]\ndigest = \"abc\"\n").is_err());
+        assert!(parse("[summary.]\ncount = 1\n").is_err());
     }
 
     #[test]

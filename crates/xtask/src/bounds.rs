@@ -49,7 +49,8 @@ impl Term {
         Term { base: String::new(), off }
     }
 
-    fn show(&self) -> String {
+    /// Human rendering: `i + 1`, `len(xs)`, `3`.
+    pub fn show(&self) -> String {
         if self.base.is_empty() {
             self.off.to_string()
         } else if self.off == 0 {
@@ -1269,6 +1270,85 @@ pub struct IndexSite {
     pub proven: bool,
     /// The first unproven obligation, human-readable.
     pub note: String,
+    /// The first unproven obligation in structured form, when it is a
+    /// plain order goal `a < b` / `a <= b`: `(a, b, strict)`. This is
+    /// what the interprocedural pass lifts to callers as a
+    /// precondition; `None` means the failure is not expressible as
+    /// one comparison (too-complex index, non-ident receiver) and the
+    /// site can only be reported where it stands.
+    pub goal: Option<(Term, Term, bool)>,
+}
+
+/// Can `goal` be stated purely over `params`? True when every
+/// non-constant term base is a parameter `p` or a parameter length
+/// `len(p)` — exactly the shapes a caller can substitute actuals into.
+pub fn goal_liftable(goal: &(Term, Term, bool), params: &[String]) -> bool {
+    let ok = |t: &Term| {
+        t.base.is_empty() || params.iter().any(|p| t.base == *p || t.base == format!("len({p})"))
+    };
+    ok(&goal.0) && ok(&goal.1)
+}
+
+/// Substitute caller-side terms for callee parameters inside `t`.
+/// `map` sends a parameter name to the term of the actual argument.
+/// Returns `None` when the result is not representable (e.g. `len(p)`
+/// with an offset actual — `len(x + 1)` is meaningless).
+pub fn subst(t: &Term, map: &std::collections::BTreeMap<String, Term>) -> Option<Term> {
+    if t.base.is_empty() {
+        return Some(t.clone());
+    }
+    if let Some(actual) = map.get(&t.base) {
+        return Some(Term::new(actual.base.clone(), actual.off + t.off));
+    }
+    if let Some(p) = t.base.strip_prefix("len(").and_then(|s| s.strip_suffix(')')) {
+        if let Some(actual) = map.get(p) {
+            if actual.off != 0 || actual.base.is_empty() {
+                return None;
+            }
+            return Some(Term::new(format!("len({})", actual.base), t.off));
+        }
+    }
+    // No parameter involved: a caller-independent base survives as-is.
+    let involves_param = map.keys().any(|p| mentions(&t.base, p));
+    if involves_param {
+        None
+    } else {
+        Some(t.clone())
+    }
+}
+
+/// Solve the bounds dataflow once over one function body and return
+/// the facts holding at each wanted token position (call sites the
+/// interprocedural pass wants to discharge preconditions at). A
+/// position the CFG never covers, or whose node diverged, is absent —
+/// callers should treat that as "no facts".
+pub fn facts_at(
+    toks: &[Token],
+    body: Range<usize>,
+    children: &[Range<usize>],
+    wanted: &[usize],
+) -> std::collections::BTreeMap<usize, Facts> {
+    let mut out = std::collections::BTreeMap::new();
+    if wanted.is_empty() {
+        return out;
+    }
+    let cfg = Cfg::build(toks, body, children);
+    let analysis = Bounds { toks, children };
+    let states = solve(&cfg, &analysis);
+    for (n, kind) in cfg.nodes.iter().enumerate() {
+        let Some(state) = &states[n] else { continue };
+        let range = match kind {
+            NodeKind::Stmt(r) | NodeKind::Branch(r) => r.clone(),
+            NodeKind::ForHead { iter, .. } => iter.clone(),
+            _ => continue,
+        };
+        for &w in wanted {
+            if range.contains(&w) && !out.contains_key(&w) {
+                out.insert(w, state.clone());
+            }
+        }
+    }
+    out
 }
 
 /// Nested-fn body ranges inside `functions[me]`, for CFG construction.
@@ -1306,8 +1386,8 @@ pub fn check_function(
                 continue;
             }
             let Some(sink) = index_sink(toks, p, body.end) else { continue };
-            let (proven, note) = prove_site(toks, p, state);
-            out.push(IndexSite { line: sink.line, what: sink.what, proven, note });
+            let (proven, note, goal) = prove_site(toks, p, state);
+            out.push(IndexSite { line: sink.line, what: sink.what, proven, note, goal });
         }
     }
     out.sort_by(|a, b| (a.line, &a.what).cmp(&(b.line, &b.what)));
@@ -1316,9 +1396,9 @@ pub fn check_function(
 
 /// Discharge the obligations of the index expression whose `[` is at
 /// `p`, against the facts holding at its statement entry.
-fn prove_site(toks: &[Token], p: usize, f: &Facts) -> (bool, String) {
+fn prove_site(toks: &[Token], p: usize, f: &Facts) -> (bool, String, Option<(Term, Term, bool)>) {
     if p == 0 || toks[p - 1].kind != TokKind::Ident {
-        return (false, "receiver is not a simple binding".into());
+        return (false, "receiver is not a simple binding".into(), None);
     }
     let mut s = p - 1;
     while s >= 2 && toks[s - 1].text == "." && toks[s - 2].kind == TokKind::Ident {
@@ -1344,7 +1424,7 @@ fn prove_site(toks: &[Token], p: usize, f: &Facts) -> (bool, String) {
     }
     let body: Vec<usize> = (p + 1..close).collect();
     if body.is_empty() {
-        return (false, "empty index".into());
+        return (false, "empty index".into(), None);
     }
     // Range slice `v[lo..hi]`.
     let mut nest = 0i32;
@@ -1360,25 +1440,33 @@ fn prove_site(toks: &[Token], p: usize, f: &Facts) -> (bool, String) {
             } else {
                 match parse_term(toks, hi) {
                     Some(t) => Some(t),
-                    None => return (false, "slice end too complex".into()),
+                    None => return (false, "slice end too complex".into(), None),
                 }
             };
             if let Some(ht) = &ht {
                 if !entails(f, ht, &len_t, inclusive) {
                     let rel = if inclusive { "<" } else { "<=" };
-                    return (false, format!("cannot prove {} {rel} {}", ht.show(), len_t.show()));
+                    return (
+                        false,
+                        format!("cannot prove {} {rel} {}", ht.show(), len_t.show()),
+                        Some((ht.clone(), len_t, inclusive)),
+                    );
                 }
             }
             if !lo.is_empty() {
                 let Some(lt) = parse_term(toks, lo) else {
-                    return (false, "slice start too complex".into());
+                    return (false, "slice start too complex".into(), None);
                 };
                 let hi_bound = ht.as_ref().unwrap_or(&len_t);
                 if !entails(f, &lt, hi_bound, false) {
-                    return (false, format!("cannot prove {} <= {}", lt.show(), hi_bound.show()));
+                    return (
+                        false,
+                        format!("cannot prove {} <= {}", lt.show(), hi_bound.show()),
+                        Some((lt, hi_bound.clone(), false)),
+                    );
                 }
             }
-            return (true, String::new());
+            return (true, String::new(), None);
         }
     }
     // Row-major `m[i * n + j]` with `len(m) == n*n`.
@@ -1398,7 +1486,7 @@ fn prove_site(toks: &[Token], p: usize, f: &Facts) -> (bool, String) {
             && entails(f, &i, &n, true)
             && entails(f, &j, &n, true)
         {
-            return (true, String::new());
+            return (true, String::new(), None);
         }
         return (
             false,
@@ -1409,22 +1497,31 @@ fn prove_site(toks: &[Token], p: usize, f: &Facts) -> (bool, String) {
                 len_t.show(),
                 prod.show()
             ),
+            None,
         );
     }
     // General single-term index.
     let Some(t) = parse_term(toks, &body) else {
-        return (false, "index expression too complex".into());
+        return (false, "index expression too complex".into(), None);
     };
     if !entails(f, &t, &len_t, true) {
-        return (false, format!("cannot prove {} < {}", t.show(), len_t.show()));
+        return (
+            false,
+            format!("cannot prove {} < {}", t.show(), len_t.show()),
+            Some((t, len_t, true)),
+        );
     }
     if t.off < 0
         && !t.base.is_empty()
         && !entails(f, &Term::konst(-t.off), &Term::new(t.base.clone(), 0), false)
     {
-        return (false, format!("cannot prove {} >= {} (no-underflow)", t.base, -t.off));
+        return (
+            false,
+            format!("cannot prove {} >= {} (no-underflow)", t.base, -t.off),
+            Some((Term::konst(-t.off), Term::new(t.base.clone(), 0), false)),
+        );
     }
-    (true, String::new())
+    (true, String::new(), None)
 }
 
 #[cfg(test)]

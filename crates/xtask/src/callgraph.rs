@@ -184,6 +184,69 @@ impl CallGraph {
         g
     }
 
+    /// Strongly connected components in reverse topological order:
+    /// every component is emitted after all components it calls into.
+    /// Tarjan's algorithm, iterative (workspace call chains can exceed
+    /// the default stack under debug builds). This is the bottom-up
+    /// order the summary engine folds in — callee summaries exist by
+    /// the time a caller's component is visited.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        // Explicit DFS frames: (node, next out-edge to examine).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            frames.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+                if *ei < self.out[v].len() {
+                    let w = self.out[v][*ei].to;
+                    *ei += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                    continue;
+                }
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+        out
+    }
+
     /// BFS from `root`, returning for each node the shortest hop
     /// sequence from the root (`None` if unreachable). Paths record the
     /// call-site line of each hop.
@@ -319,6 +382,30 @@ mod tests {
         )]);
         let prod = id(&g, "prod");
         assert!(g.out[prod].is_empty(), "test fn is not a callee of prod code");
+    }
+
+    #[test]
+    fn sccs_emit_callees_first_and_group_recursion() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "\
+fn top() { ping(); leaf(); }
+fn ping() { pong(); }
+fn pong() { ping(); leaf(); }
+fn leaf() {}
+",
+            false,
+        )]);
+        let comps = g.sccs();
+        let top = id(&g, "top");
+        let ping = id(&g, "ping");
+        let pong = id(&g, "pong");
+        let leaf = id(&g, "leaf");
+        let pos = |v: usize| comps.iter().position(|c| c.contains(&v)).unwrap();
+        assert_eq!(comps[pos(ping)], vec![ping.min(pong), ping.max(pong)], "cycle is one SCC");
+        assert!(pos(leaf) < pos(ping), "leaf before the cycle that calls it");
+        assert!(pos(ping) < pos(top), "cycle before its caller");
+        assert_eq!(comps.iter().map(Vec::len).sum::<usize>(), g.nodes.len());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   engine behind the dataflow rules;
 //! * [`bounds`] / [`guard`] / [`discard`] — the dataflow analyses
 //!   (`index_bounds`, `guard_across_await_or_call`, `result_discard`);
+//! * [`summaries`] — interprocedural effect summaries over the SCC
+//!   condensation (behind `par_race`, `atomic_protocol`, and the
+//!   cross-function bounds obligations);
 //! * [`json`] / [`sarif`] — minimal JSON parsing and SARIF 2.1.0
 //!   export + validation;
 //! * [`baseline`] — the ratcheting unsafe-inventory baseline;
@@ -38,4 +41,5 @@ pub mod parse;
 pub mod sanitize;
 pub mod sarif;
 pub mod source;
+pub mod summaries;
 pub mod walk;

@@ -172,6 +172,7 @@ fn cmd_analyze(args: &[String]) -> Result<bool, String> {
                 &test_counts,
                 &result.dataflow,
                 &stale,
+                &result.summary,
             )?;
             eprintln!("xtask analyze: baseline written to {}", path.display());
         } else {
@@ -181,6 +182,7 @@ fn cmd_analyze(args: &[String]) -> Result<bool, String> {
                 &test_counts,
                 &result.dataflow,
                 &stale,
+                &result.summary,
             )?);
         }
     }

@@ -41,10 +41,14 @@ pub struct Call {
     pub recv: Receiver,
     /// 1-based call-site line.
     pub line: usize,
+    /// Token index of the callee name (for call-site argument parsing).
+    pub at: usize,
     /// Inside a rayon parallel closure.
     pub in_par: bool,
     /// Inside a `for`/`while`/`loop` body.
     pub in_loop: bool,
+    /// Inside a closure passed to `spawn` (thread pool / scoped thread).
+    pub in_spawn: bool,
 }
 
 /// What kind of panic a sink is.
@@ -104,6 +108,48 @@ pub struct LockEdge {
     pub line: usize,
 }
 
+/// What an atomic operation does to its field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AtomicKind {
+    /// `.load(..)`.
+    Load,
+    /// `.store(..)`.
+    Store,
+    /// Read-modify-write: `swap`, `fetch_*`, `compare_exchange*`.
+    Rmw,
+    /// A standalone `fence(..)`.
+    Fence,
+}
+
+/// One atomic operation that names an `Ordering` variant. A
+/// `compare_exchange` contributes two ops: the success ordering with
+/// its RMW kind, the failure ordering as a `Load`.
+#[derive(Debug, Clone)]
+pub struct AtomicOp {
+    /// Receiver binding/field name (`generation`); `"<fence>"` for fences.
+    pub field: String,
+    /// Operation class.
+    pub kind: AtomicKind,
+    /// The `Ordering` variant named in the call (`Relaxed`, `Acquire`, …).
+    pub ordering: String,
+    /// 1-based line of the ordering argument.
+    pub line: usize,
+    /// Inside a `#[test]`/`#[cfg(test)]` region. Atomic facts are the
+    /// one class recorded in test code too: a test's unsound ordering
+    /// can mask the race it exists to catch.
+    pub in_test: bool,
+}
+
+/// One write to shared mutable state, or to a binding captured by a
+/// parallel closure.
+#[derive(Debug, Clone)]
+pub struct SharedWrite {
+    /// 1-based line.
+    pub line: usize,
+    /// Human rendering, e.g. `` write to `static mut TOTAL` ``.
+    pub what: String,
+}
+
 /// One parsed function item.
 #[derive(Debug, Clone)]
 pub struct Function {
@@ -131,8 +177,16 @@ pub struct Function {
     pub locks: Vec<LockAcq>,
     /// Lexical lock-order edges in the body.
     pub lock_edges: Vec<LockEdge>,
-    /// Lines using `Ordering::SeqCst`.
-    pub seqcst: Vec<usize>,
+    /// Parameter names in declaration order (`self` excluded).
+    pub params: Vec<String>,
+    /// Atomic operations naming an explicit `Ordering`.
+    pub atomics: Vec<AtomicOp>,
+    /// Writes to shared state: `static mut` assignment, write methods
+    /// on non-thread-local `Cell`/`RefCell` bindings.
+    pub shared_writes: Vec<SharedWrite>,
+    /// Mutations of captured (outer) bindings inside a parallel closure
+    /// or spawned-thread closure.
+    pub par_writes: Vec<SharedWrite>,
 }
 
 impl Function {
@@ -154,6 +208,18 @@ pub struct ParsedFile {
     pub unsafe_lines: Vec<usize>,
     /// Identifiers bound to `Mutex`/`RwLock` values in this file.
     pub lock_names: Vec<String>,
+    /// Identifiers bound to `Cell`/`RefCell` values, excluding
+    /// `thread_local!` declarations (each thread owns its copy).
+    pub cell_names: Vec<String>,
+    /// `static mut` binding names.
+    pub static_muts: Vec<String>,
+}
+
+/// File-level name pools consulted during fact extraction.
+struct NamePools<'a> {
+    locks: &'a [String],
+    cells: &'a [String],
+    statics: &'a [String],
 }
 
 /// Rust keywords that look like call heads but are not.
@@ -166,6 +232,48 @@ const KEYWORDS: &[&str] = &[
 /// Rayon entry points that open a parallel region.
 const PAR_MARKERS: &[&str] =
     &["par_iter", "into_par_iter", "par_iter_mut", "par_chunks", "par_chunks_mut", "par_bridge"];
+
+/// Per-worker init combinators: their first (init) closure runs once
+/// per worker, so allocations inside it are not per-element.
+const INIT_COMBINATORS: &[&str] = &["map_init", "for_each_init", "fold"];
+
+/// Atomic read-modify-write method names.
+const ATOMIC_RMW: &[&str] = &[
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+];
+
+/// The five `Ordering` variants.
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Write methods on `Cell`/`RefCell` bindings.
+const CELL_WRITE_METHODS: &[&str] = &["set", "replace", "replace_with", "borrow_mut", "take"];
+
+/// Container-mutating methods that, applied to a binding captured by a
+/// parallel closure, write state shared across workers.
+const CAPTURE_MUT_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "insert",
+    "remove",
+    "clear",
+    "extend",
+    "extend_from_slice",
+    "pop",
+    "truncate",
+    "resize",
+];
 
 /// Macros that panic unconditionally or on a failed condition.
 /// `debug_assert*` is deliberately absent: it is compiled out of release
@@ -197,12 +305,15 @@ pub fn parse_file(file: &SourceFile, tokens: &[Token]) -> ParsedFile {
     let mut out = ParsedFile::default();
     find_items(file, tokens, &mut out);
     collect_lock_names(tokens, &mut out.lock_names);
+    collect_cell_statics(tokens, &mut out.cell_names, &mut out.static_muts);
     collect_unsafe_sites(tokens, &mut out.unsafe_lines);
 
     // Child body ranges must not contribute facts to the parent (nested
     // `fn` items — rare, but cheap to get right).
     let ranges: Vec<std::ops::Range<usize>> =
         out.functions.iter().map(|f| f.body.clone()).collect();
+    let pools =
+        NamePools { locks: &out.lock_names, cells: &out.cell_names, statics: &out.static_muts };
     for (i, f) in out.functions.iter_mut().enumerate() {
         let children: Vec<std::ops::Range<usize>> = ranges
             .iter()
@@ -210,7 +321,8 @@ pub fn parse_file(file: &SourceFile, tokens: &[Token]) -> ParsedFile {
             .filter(|(j, r)| *j != i && r.start >= f.body.start && r.end <= f.body.end)
             .map(|(_, r)| r.clone())
             .collect();
-        extract_facts(file, tokens, f, &children, &out.lock_names);
+        extract_facts(file, tokens, f, &children, &pools);
+        collect_atomics(file, tokens, f, &children);
     }
     out
 }
@@ -252,7 +364,10 @@ fn find_items(file: &SourceFile, tokens: &[Token], out: &mut ParsedFile) {
                         allocs: Vec::new(),
                         locks: Vec::new(),
                         lock_edges: Vec::new(),
-                        seqcst: Vec::new(),
+                        params: param_names(tokens, fn_tok, i),
+                        atomics: Vec::new(),
+                        shared_writes: Vec::new(),
+                        par_writes: Vec::new(),
                     });
                     open_fns.push((idx, depth));
                 } else if let Some(ty) = pending_impl.take() {
@@ -413,6 +528,121 @@ fn push_unique(v: &mut Vec<String>, s: &str) {
     }
 }
 
+/// Collect interior-mutability binding names (`name: Cell<..>` /
+/// `RefCell<..>` fields, `let name = Cell::new(..)`) and `static mut`
+/// names. Declarations inside `thread_local!` blocks are skipped: each
+/// thread owns its copy, so writes through them cannot race.
+fn collect_cell_statics(tokens: &[Token], cells: &mut Vec<String>, statics: &mut Vec<String>) {
+    let mut last_let_ident: Option<String> = None;
+    let mut depth = 0i32;
+    // Brace depth of an open `thread_local! { .. }` body, if any.
+    let mut tl_depth: Option<i32> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokKind::LBrace => depth += 1,
+            TokKind::RBrace => {
+                depth -= 1;
+                if tl_depth.is_some_and(|d| depth < d) {
+                    tl_depth = None;
+                }
+            }
+            TokKind::Punct if t.text == ";" => last_let_ident = None,
+            TokKind::Ident => {
+                if t.is("thread_local") && tokens.get(i + 1).is_some_and(|n| n.text == "!") {
+                    tl_depth = Some(depth + 1);
+                } else if t.is("let") {
+                    let mut j = i + 1;
+                    if tokens.get(j).is_some_and(|t| t.is("mut")) {
+                        j += 1;
+                    }
+                    if let Some(n) = tokens.get(j).filter(|t| t.kind == TokKind::Ident) {
+                        last_let_ident = Some(n.text.clone());
+                    }
+                } else if t.is("static")
+                    && tl_depth.is_none()
+                    && tokens.get(i + 1).is_some_and(|n| n.is("mut"))
+                {
+                    if let Some(n) = tokens.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                        push_unique(statics, &n.text);
+                    }
+                } else if (t.text == "Cell" || t.text == "RefCell") && tl_depth.is_none() {
+                    let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+                    let prev2 = i.checked_sub(2).and_then(|j| tokens.get(j));
+                    if prev.is_some_and(|p| p.text == ":") {
+                        // `name: Cell<..>` — field or parameter.
+                        if let Some(n) = prev2.filter(|t| t.kind == TokKind::Ident) {
+                            push_unique(cells, &n.text);
+                        }
+                    } else if tokens.get(i + 1).is_some_and(|t| t.text == "::")
+                        && tokens.get(i + 2).is_some_and(|t| t.is("new"))
+                    {
+                        if let Some(n) = &last_let_ident {
+                            push_unique(cells, n);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parameter names declared by the signature spanning
+/// `[fn_tok, body_open)`, in order. `self` receivers and destructuring
+/// patterns are skipped — only simple `name: Ty` bindings lift.
+fn param_names(tokens: &[Token], fn_tok: usize, body_open: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    // Skip generics (`fn f<F: Fn(u32)>(..)`) to the parameter `(`.
+    let mut angle = 0i32;
+    let mut i = fn_tok + 1;
+    while i < body_open {
+        match tokens[i].text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            _ => {}
+        }
+        if angle == 0 && tokens[i].kind == TokKind::LParen {
+            break;
+        }
+        i += 1;
+    }
+    let mut depth = 0i32;
+    // At a position where a binding pattern may start.
+    let mut expect = true;
+    while i < body_open {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::LParen => depth += 1,
+            TokKind::RParen => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if depth == 1 && t.kind != TokKind::LParen {
+            if t.text == "," {
+                expect = true;
+            } else if expect {
+                if t.is("mut") || t.is("ref") || t.text == "&" {
+                    // Still expecting the binding name.
+                } else if t.kind == TokKind::Ident
+                    && !KEYWORDS.contains(&t.text.as_str())
+                    && tokens.get(i + 1).is_some_and(|n| n.text == ":")
+                {
+                    out.push(t.text.clone());
+                    expect = false;
+                } else {
+                    expect = false;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Record `unsafe` site lines (block / fn / impl forms, matching the
 /// `safety_comment` lint's definition of a site).
 fn collect_unsafe_sites(tokens: &[Token], out: &mut Vec<usize>) {
@@ -437,19 +667,34 @@ fn collect_unsafe_sites(tokens: &[Token], out: &mut Vec<usize>) {
     }
 }
 
-/// Walk one function body and record calls, sinks, allocations, locks
-/// and `SeqCst` uses.
+/// Walk one function body and record calls, sinks, allocations, locks,
+/// shared-state writes and captured-binding mutations.
 fn extract_facts(
     file: &SourceFile,
     tokens: &[Token],
     f: &mut Function,
     children: &[std::ops::Range<usize>],
-    lock_names: &[String],
+    pools: &NamePools<'_>,
 ) {
     // Combined paren+brace+bracket nesting, relative to the body start.
     let mut nest: i32 = 0;
     // Parallel regions: nesting depth at each open marker.
     let mut par_stack: Vec<i32> = Vec::new();
+    // Spawned-thread closures: nesting depth at each `spawn(`.
+    let mut spawn_stack: Vec<i32> = Vec::new();
+    // Nest level of an open `map_init`/`for_each_init` argument list;
+    // cleared at its first top-level comma (end of the init closure).
+    let mut init_zone: Option<i32> = None;
+    // After that comma, the next closure's first parameter is the
+    // per-worker scratch binding — growth on it is amortized.
+    let mut pending_scratch = false;
+    let mut scratch_names: Vec<String> = Vec::new();
+    // Bindings introduced inside the current parallel/spawn region
+    // (closure params, `let`s, `for` patterns) — mutating these is
+    // worker-local, not a capture.
+    let mut par_local: Vec<String> = Vec::new();
+    // Between the `|`s of a closure parameter list.
+    let mut collecting_params = false;
     // Loop bodies: brace depth at open. `pending_loop` waits for the `{`.
     let mut brace: i32 = 0;
     let mut loop_stack: Vec<i32> = Vec::new();
@@ -467,6 +712,9 @@ fn extract_facts(
         let t = &tokens[i];
         let in_test_line = *file.in_test.get(t.line - 1).unwrap_or(&false);
         let in_par = par_stack.last().is_some_and(|&d| nest > d);
+        let in_spawn = spawn_stack.last().is_some_and(|&d| nest > d);
+        // Allocations inside an init closure run once per worker.
+        let alloc_par = in_par && init_zone.is_none();
 
         match t.kind {
             TokKind::LParen | TokKind::LBracket => nest += 1,
@@ -474,6 +722,18 @@ fn extract_facts(
                 nest -= 1;
                 while par_stack.last().is_some_and(|&d| nest < d) {
                     par_stack.pop();
+                }
+                while spawn_stack.last().is_some_and(|&d| nest < d) {
+                    spawn_stack.pop();
+                }
+                if init_zone.is_some_and(|d| nest < d) {
+                    init_zone = None;
+                }
+                if par_stack.is_empty() && spawn_stack.is_empty() {
+                    par_local.clear();
+                    scratch_names.clear();
+                    pending_scratch = false;
+                    collecting_params = false;
                 }
             }
             TokKind::LBrace => {
@@ -489,16 +749,81 @@ fn extract_facts(
                 while par_stack.last().is_some_and(|&d| nest < d) {
                     par_stack.pop();
                 }
+                while spawn_stack.last().is_some_and(|&d| nest < d) {
+                    spawn_stack.pop();
+                }
                 while loop_stack.last().is_some_and(|&d| brace <= d) {
                     loop_stack.pop();
                 }
                 brace -= 1;
                 held.retain(|&(_, d, _)| d <= brace);
+                if par_stack.is_empty() && spawn_stack.is_empty() {
+                    par_local.clear();
+                    scratch_names.clear();
+                    pending_scratch = false;
+                    collecting_params = false;
+                }
+            }
+            TokKind::Punct if t.text == "|" => {
+                if collecting_params {
+                    collecting_params = false;
+                } else if (in_par || in_spawn)
+                    && i.checked_sub(1).and_then(|j| tokens.get(j)).is_some_and(|p| {
+                        p.kind == TokKind::LParen || p.text == "," || p.text == "=" || p.is("move")
+                    })
+                {
+                    collecting_params = true;
+                }
+            }
+            TokKind::Punct if t.text == "," && init_zone.is_some_and(|d| nest == d) => {
+                // End of an init combinator's first (init) argument: the
+                // operator closure comes next, leading with its scratch.
+                init_zone = None;
+                pending_scratch = true;
+            }
+            TokKind::Punct if t.text == "=" && !in_test_line => {
+                // Assignment / compound assignment: find the written
+                // binding. Skips `==`, `!=`, `<=`, `>=`, `..=` (and the
+                // second `=` of `==`); `=>` is fused by the lexer.
+                let next_eq = tokens.get(i + 1).is_some_and(|n| n.text == "=");
+                let prev_txt = i
+                    .checked_sub(1)
+                    .and_then(|j| tokens.get(j))
+                    .map(|p| p.text.clone())
+                    .unwrap_or_default();
+                if !next_eq && !matches!(prev_txt.as_str(), "=" | "!" | "<" | ">" | "..") {
+                    let compound =
+                        matches!(prev_txt.as_str(), "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^");
+                    let start = if compound { i.saturating_sub(2) } else { i.saturating_sub(1) };
+                    if let Some(base) = assign_base(tokens, start, f.body.start) {
+                        if pools.statics.contains(&base) {
+                            f.shared_writes.push(SharedWrite {
+                                line: t.line,
+                                what: format!("write to `static mut {base}`"),
+                            });
+                        } else if (in_par || in_spawn) && base != "_" && !par_local.contains(&base)
+                        {
+                            f.par_writes.push(SharedWrite {
+                                line: t.line,
+                                what: format!("mutation of captured `{base}`"),
+                            });
+                        }
+                    }
+                }
             }
             TokKind::Punct if t.text == ";" => {
                 if par_stack.last().is_some_and(|&d| nest <= d) {
                     par_stack.pop();
                 }
+                if spawn_stack.last().is_some_and(|&d| nest <= d) {
+                    spawn_stack.pop();
+                }
+                if par_stack.is_empty() && spawn_stack.is_empty() {
+                    par_local.clear();
+                    scratch_names.clear();
+                    collecting_params = false;
+                }
+                pending_scratch = false;
                 stmt_has_let = false;
                 held.retain(|&(_, _, let_bound)| let_bound);
             }
@@ -511,12 +836,53 @@ fn extract_facts(
                 let next_bang = next.is_some_and(|n| n.text == "!");
                 let next_paren = next.is_some_and(|n| n.kind == TokKind::LParen);
 
+                if collecting_params && !KEYWORDS.contains(&text) {
+                    par_local.push(text.to_string());
+                    if pending_scratch {
+                        scratch_names.push(text.to_string());
+                        pending_scratch = false;
+                    }
+                }
+                if text == "spawn" && next_paren {
+                    spawn_stack.push(nest);
+                }
+                // Only a combinator chained directly onto a parallel
+                // iterator (same nest level as its marker) opens an
+                // init zone; a sequential `.fold(..)` nested inside a
+                // par closure still allocates per element.
+                if INIT_COMBINATORS.contains(&text)
+                    && next_paren
+                    && prev_dot
+                    && par_stack.last() == Some(&nest)
+                {
+                    init_zone = Some(nest + 1);
+                }
+
                 if text == "let" {
                     stmt_has_let = true;
+                    if in_par || in_spawn {
+                        // Pattern idents up to `:`/`=`/`;` are region-local.
+                        for n in tokens.iter().skip(i + 1).take(8) {
+                            if matches!(n.text.as_str(), ":" | "=" | ";") {
+                                break;
+                            }
+                            if n.kind == TokKind::Ident && !KEYWORDS.contains(&n.text.as_str()) {
+                                par_local.push(n.text.clone());
+                            }
+                        }
+                    }
                 } else if matches!(text, "for" | "while" | "loop") {
                     pending_loop = true;
-                } else if text == "SeqCst" {
-                    f.seqcst.push(t.line);
+                    if text == "for" && (in_par || in_spawn) {
+                        for n in tokens.iter().skip(i + 1).take(8) {
+                            if n.is("in") {
+                                break;
+                            }
+                            if n.kind == TokKind::Ident && !KEYWORDS.contains(&n.text.as_str()) {
+                                par_local.push(n.text.clone());
+                            }
+                        }
+                    }
                 } else if next_bang {
                     // Macro invocation.
                     if PANIC_MACROS.contains(&text) {
@@ -529,7 +895,7 @@ fn extract_facts(
                         f.allocs.push(Alloc {
                             line: t.line,
                             what: format!("`{text}!`"),
-                            in_par,
+                            in_par: alloc_par,
                             in_loop: !loop_stack.is_empty(),
                         });
                     }
@@ -538,8 +904,14 @@ fn extract_facts(
                         tokens,
                         i,
                         f,
-                        lock_names,
-                        in_par,
+                        pools,
+                        ParCtx {
+                            in_par,
+                            in_spawn,
+                            alloc_par,
+                            par_local: &par_local,
+                            scratch: &scratch_names,
+                        },
                         &loop_stack,
                         &mut held,
                         brace,
@@ -563,7 +935,7 @@ fn extract_facts(
                                     f.allocs.push(Alloc {
                                         line: t.line,
                                         what: format!("`{q}::{ctor}`"),
-                                        in_par,
+                                        in_par: alloc_par,
                                         in_loop: !loop_stack.is_empty(),
                                     });
                                 }
@@ -578,8 +950,10 @@ fn extract_facts(
                         name: text.to_string(),
                         recv,
                         line: t.line,
+                        at: i,
                         in_par,
                         in_loop: !loop_stack.is_empty(),
+                        in_spawn,
                     });
                 }
             }
@@ -596,15 +970,25 @@ fn extract_facts(
     }
 }
 
+/// Parallel-region context threaded into [`method_facts`].
+struct ParCtx<'a> {
+    in_par: bool,
+    in_spawn: bool,
+    alloc_par: bool,
+    par_local: &'a [String],
+    scratch: &'a [String],
+}
+
 /// Handle `.name(` method positions: calls, sinks, allocations, rayon
-/// markers, and lock acquisitions.
+/// markers, lock acquisitions, interior-mutability writes and captured
+/// container mutations.
 #[allow(clippy::too_many_arguments)]
 fn method_facts(
     tokens: &[Token],
     i: usize,
     f: &mut Function,
-    lock_names: &[String],
-    in_par: bool,
+    pools: &NamePools<'_>,
+    par: ParCtx<'_>,
     loop_stack: &[i32],
     held: &mut Vec<(String, i32, bool)>,
     brace: i32,
@@ -629,12 +1013,19 @@ fn method_facts(
         return;
     }
     if ALLOC_METHODS.contains(&text) {
-        f.allocs.push(Alloc {
-            line: t.line,
-            what: format!("`.{text}(..)`"),
-            in_par,
-            in_loop: !loop_stack.is_empty(),
-        });
+        // Growth of an init-combinator scratch binding amortizes over
+        // the worker's whole chunk (the capacity survives between
+        // elements) — not a per-element allocation.
+        let on_scratch =
+            method_recv_base(tokens, i).is_some_and(|(base, _)| par.scratch.contains(&base));
+        if !on_scratch {
+            f.allocs.push(Alloc {
+                line: t.line,
+                what: format!("`.{text}(..)`"),
+                in_par: par.alloc_par,
+                in_loop: !loop_stack.is_empty(),
+            });
+        }
         // `collect` and friends are still calls (resolution finds
         // workspace impls if any) — fall through.
     }
@@ -645,7 +1036,7 @@ fn method_facts(
             .and_then(|j| tokens.get(j))
             .filter(|r| r.kind == TokKind::Ident)
             .map(|r| r.text.clone());
-        if let Some(name) = recv.filter(|n| lock_names.iter().any(|l| l == n)) {
+        if let Some(name) = recv.filter(|n| pools.locks.iter().any(|l| l == n)) {
             for (h, _, _) in held.iter() {
                 if *h != name {
                     f.lock_edges.push(LockEdge {
@@ -655,9 +1046,41 @@ fn method_facts(
                     });
                 }
             }
-            f.locks.push(LockAcq { name: name.clone(), line: t.line, in_par });
+            f.locks.push(LockAcq { name: name.clone(), line: t.line, in_par: par.in_par });
             held.push((name, brace, stmt_has_let));
             return;
+        }
+    }
+    // Interior-mutability writes: `cell.set(..)` / `cell.borrow_mut()`
+    // on a known (non-thread-local) `Cell`/`RefCell` binding is a
+    // shared-state write wherever it happens — a caller running it
+    // from a parallel closure races even if this function is serial.
+    let cell_write = CELL_WRITE_METHODS.contains(&text);
+    let recv_base = method_recv_base(tokens, i);
+    if cell_write {
+        if let Some((base, _)) = &recv_base {
+            if pools.cells.iter().any(|c| c == base) {
+                f.shared_writes.push(SharedWrite {
+                    line: t.line,
+                    what: format!("`{base}.{text}(..)` on interior-mutable `{base}`"),
+                });
+            }
+        }
+    }
+    // Captured-container mutation inside a parallel/spawn closure:
+    // `.push(..)` etc. on a binding from outside the region, unless the
+    // receiver chain goes through a lock guard.
+    if (par.in_par || par.in_spawn) && (cell_write || CAPTURE_MUT_METHODS.contains(&text)) {
+        if let Some((base, synced)) = &recv_base {
+            if !synced
+                && !par.par_local.iter().any(|l| l == base)
+                && !pools.locks.iter().any(|l| l == base)
+            {
+                f.par_writes.push(SharedWrite {
+                    line: t.line,
+                    what: format!("`.{text}(..)` on captured `{base}`"),
+                });
+            }
         }
     }
 
@@ -671,9 +1094,251 @@ fn method_facts(
         name: text.to_string(),
         recv,
         line: t.line,
-        in_par,
+        at: i,
+        in_par: par.in_par,
         in_loop: !loop_stack.is_empty(),
+        in_spawn: par.in_spawn,
     });
+}
+
+/// Leading binding name of the receiver chain ending just before the
+/// `.` at `method_at - 1`, plus whether the chain passes through a
+/// lock-guard acquisition (`.lock()` / `.read()` / `.write()`).
+fn method_recv_base(tokens: &[Token], method_at: usize) -> Option<(String, bool)> {
+    let mut j = method_at.checked_sub(2)?;
+    let mut synced = false;
+    let mut base: Option<String> = None;
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        if steps > 64 {
+            break;
+        }
+        let t = &tokens[j];
+        match t.kind {
+            TokKind::RParen | TokKind::RBracket => {
+                let (open, close) = if t.kind == TokKind::RParen {
+                    (TokKind::LParen, TokKind::RParen)
+                } else {
+                    (TokKind::LBracket, TokKind::RBracket)
+                };
+                let mut depth = 1i32;
+                let mut k = j;
+                while depth > 0 {
+                    if k == 0 {
+                        return base.map(|b| (b, synced));
+                    }
+                    k -= 1;
+                    if tokens[k].kind == close {
+                        depth += 1;
+                    } else if tokens[k].kind == open {
+                        depth -= 1;
+                    }
+                }
+                // A call group: note synchronizing method names.
+                if close == TokKind::RParen
+                    && k > 0
+                    && tokens[k - 1].kind == TokKind::Ident
+                    && !KEYWORDS.contains(&tokens[k - 1].text.as_str())
+                {
+                    if matches!(tokens[k - 1].text.as_str(), "lock" | "read" | "write") {
+                        synced = true;
+                    }
+                    base = Some(tokens[k - 1].text.clone());
+                    if k < 2 {
+                        break;
+                    }
+                    j = k - 2;
+                    continue;
+                }
+                if k == 0 {
+                    break;
+                }
+                j = k - 1;
+            }
+            TokKind::Ident if t.is("self") => {
+                base = Some("self".into());
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            TokKind::Ident if !KEYWORDS.contains(&t.text.as_str()) => {
+                base = Some(t.text.clone());
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            TokKind::Punct if t.text == "." => {
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    base.map(|b| (b, synced))
+}
+
+/// Walk back from `at` over an lvalue expression (`a.b[k].c`, `*p`) and
+/// return its leading binding name.
+fn assign_base(tokens: &[Token], at: usize, floor: usize) -> Option<String> {
+    let mut j = at;
+    let mut base: Option<String> = None;
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        if steps > 64 || j < floor {
+            break;
+        }
+        let t = &tokens[j];
+        match t.kind {
+            TokKind::RBracket => {
+                let mut depth = 1i32;
+                while depth > 0 {
+                    if j <= floor {
+                        return base;
+                    }
+                    j -= 1;
+                    match tokens[j].kind {
+                        TokKind::RBracket => depth += 1,
+                        TokKind::LBracket => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if j <= floor {
+                    break;
+                }
+                j -= 1;
+            }
+            TokKind::Ident if t.is("self") => {
+                base = Some("self".into());
+                if j <= floor {
+                    break;
+                }
+                j -= 1;
+            }
+            TokKind::Ident if !KEYWORDS.contains(&t.text.as_str()) => {
+                base = Some(t.text.clone());
+                if j <= floor {
+                    break;
+                }
+                j -= 1;
+            }
+            TokKind::Punct if t.text == "." || t.text == "*" => {
+                if j <= floor {
+                    break;
+                }
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    base
+}
+
+/// Record atomic operations that name an explicit `Ordering`, test code
+/// included. Nested atomic calls inside another's argument list are
+/// skipped here (they are visited at their own position).
+fn collect_atomics(
+    file: &SourceFile,
+    tokens: &[Token],
+    f: &mut Function,
+    children: &[std::ops::Range<usize>],
+) {
+    let atomic_head = |j: usize| -> Option<AtomicKind> {
+        let t = tokens.get(j)?;
+        if t.kind != TokKind::Ident || tokens.get(j + 1).map(|n| n.kind) != Some(TokKind::LParen) {
+            return None;
+        }
+        let prev_dot = j.checked_sub(1).and_then(|k| tokens.get(k)).is_some_and(|p| p.text == ".");
+        match t.text.as_str() {
+            "load" if prev_dot => Some(AtomicKind::Load),
+            "store" if prev_dot => Some(AtomicKind::Store),
+            "fence" if !prev_dot => Some(AtomicKind::Fence),
+            m if prev_dot && ATOMIC_RMW.contains(&m) => Some(AtomicKind::Rmw),
+            _ => None,
+        }
+    };
+    let mut i = f.body.start;
+    while i < f.body.end {
+        if let Some(r) = children.iter().find(|r| r.contains(&i)) {
+            i = r.end;
+            continue;
+        }
+        let Some(kind) = atomic_head(i) else {
+            i += 1;
+            continue;
+        };
+        // Collect `Ordering` variant idents inside the call's parens,
+        // skipping nested atomic calls (they record themselves).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut ords: Vec<(String, usize)> = Vec::new();
+        while j < f.body.end {
+            if j > i + 1 && atomic_head(j).is_some() {
+                let mut d = 0i32;
+                j += 1; // at the `(`
+                while j < f.body.end {
+                    match tokens[j].kind {
+                        TokKind::LParen => d += 1,
+                        TokKind::RParen => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+                continue;
+            }
+            match tokens[j].kind {
+                TokKind::LParen => depth += 1,
+                TokKind::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident if ORDERINGS.contains(&tokens[j].text.as_str()) => {
+                    ords.push((tokens[j].text.clone(), tokens[j].line));
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !ords.is_empty() {
+            let field = if kind == AtomicKind::Fence {
+                Some("<fence>".to_string())
+            } else {
+                i.checked_sub(2)
+                    .and_then(|k| tokens.get(k))
+                    .filter(|r| r.kind == TokKind::Ident && !KEYWORDS.contains(&r.text.as_str()))
+                    .map(|r| r.text.clone())
+            };
+            if let Some(field) = field {
+                let in_test = *file.in_test.get(tokens[i].line - 1).unwrap_or(&false);
+                for (n, (ordering, line)) in ords.into_iter().enumerate() {
+                    // A CAS failure ordering (second variant named) is
+                    // a load.
+                    let k = if n == 0 { kind } else { AtomicKind::Load };
+                    f.atomics.push(AtomicOp {
+                        field: field.clone(),
+                        kind: k,
+                        ordering,
+                        line,
+                        in_test,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
 }
 
 /// If the `[` at token `at` indexes a value with a non-literal
@@ -848,7 +1513,7 @@ fn f(s: &S) {
     }
 
     #[test]
-    fn seqcst_and_unsafe_sites() {
+    fn atomic_ops_and_unsafe_sites() {
         let src = "\
 fn f(c: &std::sync::atomic::AtomicU32) {
     c.fetch_add(1, Ordering::SeqCst);
@@ -857,8 +1522,181 @@ fn f(c: &std::sync::atomic::AtomicU32) {
 }
 ";
         let p = parse(src);
-        assert_eq!(p.functions[0].seqcst, vec![2]);
+        let a = &p.functions[0].atomics;
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].field, "c");
+        assert_eq!(a[0].kind, AtomicKind::Rmw);
+        assert_eq!(a[0].ordering, "SeqCst");
+        assert_eq!(a[0].line, 2);
+        assert!(!a[0].in_test);
         assert_eq!(p.unsafe_lines, vec![4]);
+    }
+
+    #[test]
+    fn atomic_protocol_facts() {
+        let src = "\
+fn publish(g: &AtomicU64, v: u64) {
+    g.store(g.load(Ordering::Relaxed) + v, Ordering::Release);
+}
+fn consume(g: &AtomicU64) -> u64 {
+    g.load(Ordering::Acquire)
+}
+fn cas(g: &AtomicU64) {
+    g.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).ok();
+}
+";
+        let p = parse(src);
+        let pub_ops = &p.functions[0].atomics;
+        // Nested load records itself; store records only Release.
+        assert_eq!(pub_ops.len(), 2, "{pub_ops:?}");
+        let store = pub_ops.iter().find(|o| o.kind == AtomicKind::Store).unwrap();
+        assert_eq!(store.ordering, "Release");
+        let load = pub_ops.iter().find(|o| o.kind == AtomicKind::Load).unwrap();
+        assert_eq!(load.ordering, "Relaxed");
+        assert_eq!(p.functions[1].atomics[0].ordering, "Acquire");
+        let cas_ops = &p.functions[2].atomics;
+        assert_eq!(cas_ops.len(), 2, "{cas_ops:?}");
+        assert_eq!(cas_ops[0].kind, AtomicKind::Rmw);
+        assert_eq!(cas_ops[0].ordering, "AcqRel");
+        assert_eq!(cas_ops[1].kind, AtomicKind::Load, "CAS failure ordering is a load");
+        assert_eq!(cas_ops[1].ordering, "Acquire");
+    }
+
+    #[test]
+    fn par_capture_and_cell_write_facts() {
+        let src = "\
+fn f(xs: &[u32], out: &mut Vec<u32>, cache: &RefCell<u32>) {
+    let cache = RefCell::new(0u32);
+    xs.par_iter().for_each(|x| {
+        out.push(*x);
+        cache.replace(*x);
+        let mut local = Vec::new();
+        local.push(*x);
+    });
+}
+";
+        let p = parse(src);
+        assert_eq!(p.cell_names, vec!["cache"]);
+        let f = &p.functions[0];
+        assert!(
+            f.par_writes.iter().any(|w| w.what.contains("`out`") && w.line == 4),
+            "{:?}",
+            f.par_writes
+        );
+        assert!(
+            f.par_writes.iter().any(|w| w.what.contains("`cache`")),
+            "cell write in par region: {:?}",
+            f.par_writes
+        );
+        assert!(
+            !f.par_writes.iter().any(|w| w.what.contains("`local`")),
+            "closure-local binding is not a capture: {:?}",
+            f.par_writes
+        );
+        assert!(f.shared_writes.iter().any(|w| w.what.contains("cache")), "{:?}", f.shared_writes);
+    }
+
+    #[test]
+    fn thread_local_cells_and_lock_guarded_writes_are_clean() {
+        let src = "\
+thread_local! {
+    static SCRATCH: RefCell<Vec<u32>> = RefCell::new(Vec::new());
+}
+fn f(xs: &[u32], shared: &Mutex<Vec<u32>>) {
+    xs.par_iter().for_each(|x| {
+        shared.lock().unwrap().push(*x);
+    });
+}
+";
+        let p = parse(src);
+        assert!(p.cell_names.is_empty(), "thread_local cells excluded: {:?}", p.cell_names);
+        let f = &p.functions[0];
+        assert!(f.par_writes.is_empty(), "lock-guarded push is synchronized: {:?}", f.par_writes);
+    }
+
+    #[test]
+    fn static_mut_assignment_is_a_shared_write() {
+        let src = "\
+static mut TOTAL: u64 = 0;
+fn bump(n: u64) {
+    unsafe { TOTAL += n };
+}
+";
+        let p = parse(src);
+        assert_eq!(p.static_muts, vec!["TOTAL"]);
+        let f = &p.functions[0];
+        assert!(
+            f.shared_writes.iter().any(|w| w.what.contains("TOTAL") && w.line == 3),
+            "{:?}",
+            f.shared_writes
+        );
+    }
+
+    #[test]
+    fn init_combinator_zone_suppresses_par_alloc() {
+        let src = "\
+fn f(xs: &[u32]) -> Vec<u32> {
+    xs.par_iter()
+        .map_init(|| Vec::with_capacity(64), |scratch, x| {
+            scratch.push(*x);
+            *x + 1
+        })
+        .collect()
+}
+fn g(xs: &[u32]) -> Vec<Vec<u32>> {
+    xs.par_iter().map(|x| vec![*x]).collect()
+}
+";
+        let p = parse(src);
+        let f = &p.functions[0];
+        assert!(
+            !f.allocs.iter().any(|a| a.in_par && a.what.contains("with_capacity")),
+            "init-closure alloc is once-per-worker: {:?}",
+            f.allocs
+        );
+        assert!(
+            !f.allocs.iter().any(|a| a.in_par && a.what.contains("push")),
+            "growth on the scratch binding amortizes per worker: {:?}",
+            f.allocs
+        );
+        assert!(
+            !f.par_writes.iter().any(|w| w.what.contains("scratch")),
+            "init-closure param is region-local: {:?}",
+            f.par_writes
+        );
+        let g = &p.functions[1];
+        assert!(
+            g.allocs.iter().any(|a| a.in_par),
+            "per-element alloc still flagged: {:?}",
+            g.allocs
+        );
+    }
+
+    #[test]
+    fn params_are_collected() {
+        let src = "\
+fn f<T: Clone>(xs: &[T], n: usize, mut acc: u64) -> u64 { acc }
+impl S { fn m(&self, k: usize) {} }
+";
+        let p = parse(src);
+        assert_eq!(p.functions[0].params, vec!["xs", "n", "acc"]);
+        assert_eq!(p.functions[1].params, vec!["k"]);
+    }
+
+    #[test]
+    fn spawned_closure_captures_are_tracked() {
+        let src = "\
+fn f(events: &Mutex<Vec<u32>>, log: &mut Vec<u32>) {
+    std::thread::spawn(move || {
+        log.push(1);
+    });
+}
+";
+        let p = parse(src);
+        let f = &p.functions[0];
+        assert!(f.par_writes.iter().any(|w| w.what.contains("`log`")), "{:?}", f.par_writes);
+        assert!(f.calls.iter().any(|c| c.name == "push" && c.in_spawn));
+        assert!(!f.calls.iter().any(|c| c.name == "push" && c.in_par), "spawn is not rayon-par");
     }
 
     #[test]

@@ -109,12 +109,13 @@ fn lock_par_and_lock_cycle_fire_in_locks_fixture() {
 }
 
 #[test]
-fn seqcst_flagged_at_the_fetch_add() {
+fn seqcst_downgrade_flagged_under_atomic_protocol() {
     let d = analysis().diagnostics();
-    let s = rule_in(&d, "seqcst", "seqcst.rs");
+    let s = rule_in(&d, "atomic_protocol", "seqcst.rs");
     assert_eq!(s.len(), 1, "{d:?}");
     assert_eq!(s[0].line, 6);
     assert!(s[0].message.contains("SeqCst"), "{}", s[0].message);
+    assert!(s[0].message.contains("Relaxed"), "{}", s[0].message);
 }
 
 #[test]
@@ -131,7 +132,9 @@ fn json_output_carries_every_fixture_finding() {
     let d = analysis().diagnostics();
     let j = to_json("analyze", &d);
     assert!(j.starts_with("{\"tool\":\"analyze\",\"count\":"), "{j}");
-    for rule in ["panic_path", "hot_alloc", "obs_hot_path", "lock_par", "lock_cycle", "seqcst"] {
+    for rule in
+        ["panic_path", "hot_alloc", "obs_hot_path", "lock_par", "lock_cycle", "atomic_protocol"]
+    {
         assert!(j.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in {j}");
     }
     // The rendered call path survives JSON escaping inside notes.
@@ -271,15 +274,83 @@ fn diff_gating_subtracts_known_findings_by_identity() {
     assert!(analyze::load_diff_baseline(&junk).is_err());
 }
 
+// ---------------------------------------------------------------------
+// Summary rules: par_race (direct + transitive), atomic_protocol
+// store/load pairing, and interprocedural index_bounds obligations.
+// ---------------------------------------------------------------------
+
+#[test]
+fn par_race_fixture_flags_direct_capture_and_transitive_static_mut() {
+    let r = load_fixtures(&["crates/demo/src/par_race.rs"]).run();
+    let d = rule_in(&r.diagnostics, "par_race", "par_race.rs");
+    assert_eq!(d.len(), 2, "{:?}", r.diagnostics);
+    // `fan_out` calls `tally`, which writes `static mut TOTAL` — the
+    // finding lands on the call and the note carries the hop chain.
+    assert_eq!(d[0].line, 11);
+    assert!(d[0].message.contains("call to `tally`"), "{}", d[0].message);
+    assert!(d[0].message.contains("TOTAL"), "{}", d[0].message);
+    assert!(
+        d[0].notes[0].contains("par_race.rs:11") && d[0].notes[0].contains("par_race.rs:7"),
+        "{:?}",
+        d[0].notes
+    );
+    // `collect_into` pushes into the captured `out` directly.
+    assert_eq!(d[1].line, 15);
+    assert!(d[1].message.contains("captured `out`"), "{}", d[1].message);
+    assert!(d[1].message.contains("map_init"), "{}", d[1].message);
+}
+
+#[test]
+fn atomic_protocol_fixture_pairs_relaxed_store_with_acquire_load() {
+    let r = load_fixtures(&["crates/serve/src/atomics.rs"]).run();
+    let d = rule_in(&r.diagnostics, "atomic_protocol", "atomics.rs");
+    assert_eq!(d.len(), 1, "{:?}", r.diagnostics);
+    // The `Relaxed` store is the broken side; the message names the
+    // Acquire load it fails to synchronize with.
+    assert_eq!(d[0].line, 13);
+    assert!(d[0].message.contains("`Relaxed` store to `epoch`"), "{}", d[0].message);
+    assert!(d[0].message.contains("atomics.rs:17"), "{}", d[0].message);
+    assert!(d[0].message.contains("`Release`"), "{}", d[0].message);
+    // The all-Relaxed `hits` counter stays clean.
+    assert!(!r.diagnostics.iter().any(|f| f.message.contains("hits")), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn interproc_bounds_fixture_discharges_loop_caller_and_reports_root() {
+    let r = load_fixtures(&["crates/demo/src/interproc.rs"]).run();
+    let d = rule_in(&r.diagnostics, "index_bounds", "interproc.rs");
+    // `safe_scan` establishes `i < xs.len()` at its call site, so
+    // `pick`'s obligation is discharged there; only the `unchecked`
+    // root surfaces it — at the declaration, with the full chain.
+    assert_eq!(d.len(), 1, "{:?}", r.diagnostics);
+    assert_eq!(d[0].line, 18);
+    assert!(d[0].message.contains("cannot establish precondition"), "{}", d[0].message);
+    assert!(d[0].message.contains("`k < len(xs)`"), "{}", d[0].message);
+    assert!(d[0].message.contains("interproc.rs:5"), "{}", d[0].message);
+    assert!(d[0].message.contains("`unchecked`"), "{}", d[0].message);
+    assert!(
+        d[0].notes[0].contains("interproc.rs:18")
+            && d[0].notes[0].contains("interproc.rs:19")
+            && d[0].notes[0].contains("interproc.rs:5"),
+        "{:?}",
+        d[0].notes
+    );
+}
+
 #[test]
 fn sarif_export_of_fixture_findings_round_trips_the_validator() {
     let mut d = analysis().diagnostics();
     d.extend(load_fixtures(&["crates/demo/src/bounds.rs"]).run().diagnostics);
+    d.extend(load_fixtures(&["crates/demo/src/par_race.rs"]).run().diagnostics);
+    d.extend(load_fixtures(&["crates/serve/src/atomics.rs"]).run().diagnostics);
+    d.extend(load_fixtures(&["crates/demo/src/interproc.rs"]).run().diagnostics);
     let log = sarif::to_sarif("analyze", &d);
     let doc = json::parse(&log).expect("SARIF output parses as JSON");
     let n = sarif::validate(&doc).expect("SARIF output satisfies the validator");
     assert_eq!(n, d.len(), "one SARIF result per diagnostic");
-    assert!(log.contains("\"ruleId\":\"index_bounds\""), "{log}");
+    for rule in ["index_bounds", "par_race", "atomic_protocol"] {
+        assert!(log.contains(&format!("\"ruleId\":\"{rule}\"")), "missing {rule}: {log}");
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -311,8 +382,15 @@ fn ratchet_rejects_new_unsafe_without_a_baseline_entry() {
     let root = temp_root("grew");
     let inv = analysis().inventory();
     let counts = analysis().test_counts();
-    let d =
-        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
+    let d = analyze::check_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+    )
+    .unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert_eq!(d[0].rule, "unsafe_ratchet");
     assert_eq!(d[0].path, PathBuf::from(analyze::BASELINE_FILE));
@@ -336,8 +414,15 @@ fn ratchet_rejects_stale_entries_for_vanished_unsafe() {
             inv.digest("demo")
         ),
     );
-    let d =
-        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
+    let d = analyze::check_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+    )
+    .unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert!(
         d[0].message.contains("`ghost` has 0 unsafe sites but the baseline still grandfathers 3"),
@@ -355,8 +440,15 @@ fn ratchet_rejects_moved_unsafe_at_equal_count() {
         &root,
         "[crate.demo]\ncount = 1\ndigest = \"ffffffffffffffff\"\nreason = \"fixture\"\n",
     );
-    let d =
-        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
+    let d = analyze::check_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+    )
+    .unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert!(d[0].message.contains("unsafe sites moved"), "{}", d[0].message);
 }
@@ -373,20 +465,41 @@ fn ratchet_passes_on_matching_baseline_and_update_keeps_reasons() {
             inv.digest("demo")
         ),
     );
-    assert!(analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new())
-        .unwrap()
-        .is_empty());
+    assert!(analyze::check_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new()
+    )
+    .unwrap()
+    .is_empty());
 
     // `--update-baseline` rewrites the file from the inventory and
     // carries the human reason forward.
-    let path =
-        analyze::update_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
+    let path = analyze::update_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+    )
+    .unwrap();
     let reparsed = baseline::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(reparsed.crates["demo"].count, 1);
     assert_eq!(reparsed.crates["demo"].reason, "SAFETY-commented spin fixture");
-    assert!(analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new())
-        .unwrap()
-        .is_empty());
+    assert!(analyze::check_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new()
+    )
+    .unwrap()
+    .is_empty());
 }
 
 #[test]
@@ -405,17 +518,39 @@ fn test_ratchet_flags_dropped_tests_through_check_baseline() {
     // 4 reads as dropped tests.
     let counts = analysis().test_counts();
     assert!(counts.is_empty(), "{counts:?}");
-    let d =
-        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
+    let d = analyze::check_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+    )
+    .unwrap();
     assert_eq!(d.len(), 1, "{d:?}");
     assert_eq!(d[0].rule, "test_ratchet");
     assert!(d[0].message.contains("tests were dropped"), "{}", d[0].message);
 
     // `--update-baseline` ratchets the floor back to reality.
-    analyze::update_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).unwrap();
-    assert!(analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new())
-        .unwrap()
-        .is_empty());
+    analyze::update_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+    )
+    .unwrap();
+    assert!(analyze::check_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new()
+    )
+    .unwrap()
+    .is_empty());
 }
 
 #[test]
@@ -424,7 +559,13 @@ fn malformed_baseline_is_a_hard_error_not_a_pass() {
     write_baseline(&root, "[crate.demo]\ncount = banana\n");
     let inv = analysis().inventory();
     let counts = analysis().test_counts();
-    assert!(
-        analyze::check_baseline(&root, &inv, &counts, &BTreeMap::new(), &BTreeMap::new()).is_err()
-    );
+    assert!(analyze::check_baseline(
+        &root,
+        &inv,
+        &counts,
+        &BTreeMap::new(),
+        &BTreeMap::new(),
+        &BTreeMap::new()
+    )
+    .is_err());
 }

@@ -1,0 +1,20 @@
+//! Fixture: cross-function bounds obligations — one discharged at the
+//! call site, one surfacing at a `no_panic` root with its call chain.
+
+fn pick(xs: &[u64], k: usize) -> u64 {
+    xs[k]
+}
+
+// analyze: no_panic
+pub fn safe_scan(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    for i in 0..xs.len() {
+        acc += pick(xs, i);
+    }
+    acc
+}
+
+// analyze: no_panic
+pub fn unchecked(xs: &[u64], k: usize) -> u64 {
+    pick(xs, k)
+}

@@ -1,0 +1,16 @@
+//! Fixture: parallel closures mutating shared state — one direct
+//! captured-container write, one `static mut` reached through a call.
+
+static mut TOTAL: u64 = 0;
+
+fn tally(row: u64) {
+    unsafe { TOTAL += row };
+}
+
+pub fn fan_out(rows: &[u64]) {
+    rows.par_iter().for_each(|r| tally(*r));
+}
+
+pub fn collect_into(rows: &[u64], out: &mut Vec<u64>) {
+    rows.par_iter().for_each(|r| out.push(*r));
+}

@@ -1,0 +1,27 @@
+//! Fixture: a published-generation protocol with a broken store side,
+//! plus a pure `Relaxed` counter that must stay clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Gate {
+    epoch: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Gate {
+    pub fn publish(&self, v: u64) {
+        self.epoch.store(v, Ordering::Relaxed);
+    }
+
+    pub fn observe(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}

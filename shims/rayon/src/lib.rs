@@ -3,7 +3,8 @@
 //! The real rayon cannot be fetched on air-gapped machines, and the
 //! engine only needs a small slice of its API: `into_par_iter()` on
 //! vectors and index ranges, `par_iter_mut()` on vectors, `map` /
-//! `for_each` / `collect`, thread pools with a fixed thread count, and
+//! `for_each` / `collect`, the per-worker-scratch variants `map_init` /
+//! `for_each_init`, thread pools with a fixed thread count, and
 //! `current_num_threads()`. This crate reimplements exactly that slice
 //! on `std::thread::scope`, preserving rayon's semantics that matter
 //! here:
@@ -118,9 +119,24 @@ where
     O: Send,
     F: Fn(I) -> O + Sync,
 {
+    parallel_map_init(items, &|| (), &|_, v| f(v))
+}
+
+/// The init-aware core: every worker builds one scratch value with
+/// `init` and threads it through its whole contiguous chunk — rayon's
+/// `map_init` amortization contract. The scratch never crosses threads,
+/// so it needs neither `Send` nor `Sync`.
+fn parallel_map_init<I, O, T, N, F>(items: Vec<I>, init: &N, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    N: Fn() -> T + Sync,
+    F: Fn(&mut T, I) -> O + Sync,
+{
     let n_threads = current_num_threads().min(items.len().max(1));
     if n_threads <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut scratch = init();
+        return items.into_iter().map(|v| f(&mut scratch, v)).collect();
     }
     // Near-even contiguous chunks, one per worker, mirroring the static
     // schedule the engine's partitioner assumes.
@@ -136,7 +152,12 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    chunk.into_iter().map(|v| f(&mut scratch, v)).collect::<Vec<O>>()
+                })
+            })
             .collect();
         let mut out = Vec::with_capacity(len);
         for h in handles {
@@ -175,6 +196,29 @@ impl<T: Send> ParVec<T> {
         F: Fn(T) + Sync + Send,
     {
         parallel_map(self.items, &|v| f(v));
+    }
+
+    /// Parallel map with per-worker scratch (rayon's
+    /// `ParallelIterator::map_init`): `init` runs once per worker and
+    /// the resulting value is passed `&mut` to every element that
+    /// worker processes, in input order.
+    pub fn map_init<S, O, N, F>(self, init: N, f: F) -> ParVec<O>
+    where
+        O: Send,
+        N: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) -> O + Sync + Send,
+    {
+        ParVec { items: parallel_map_init(self.items, &init, &f) }
+    }
+
+    /// Parallel side-effecting visit with per-worker scratch (rayon's
+    /// `ParallelIterator::for_each_init`).
+    pub fn for_each_init<S, N, F>(self, init: N, f: F)
+    where
+        N: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) + Sync + Send,
+    {
+        parallel_map_init(self.items, &init, &|s, v| f(s, v));
     }
 
     /// Pair each item with its index (rayon's
@@ -345,6 +389,75 @@ mod tests {
                 assert!(i < 32, "worker boom");
             });
         });
+    }
+
+    #[test]
+    fn map_init_builds_one_scratch_per_worker_and_preserves_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inits = AtomicUsize::new(0);
+        let v: Vec<u64> = pool.install(|| {
+            (0..10_000u64)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        Vec::with_capacity(8)
+                    },
+                    |scratch: &mut Vec<u64>, x| {
+                        scratch.clear();
+                        scratch.push(x * 2);
+                        scratch[0]
+                    },
+                )
+                .collect()
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&n), "one init per worker, got {n}");
+    }
+
+    #[test]
+    fn for_each_init_scratch_is_reused_within_a_worker() {
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inits = AtomicUsize::new(0);
+        let total = AtomicU64::new(0);
+        pool.install(|| {
+            (0..1000u32).collect::<Vec<_>>().into_par_iter().for_each_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |seen, x| {
+                    *seen += 1;
+                    total.fetch_add(u64::from(x), Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+        assert!((1..=2).contains(&inits.load(Ordering::Relaxed)));
+    }
+
+    #[test]
+    fn map_init_sequential_fallback_uses_single_scratch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inits = AtomicUsize::new(0);
+        let v: Vec<u32> = pool.install(|| {
+            vec![1u32, 2, 3]
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                    },
+                    |_, x| x + 1,
+                )
+                .collect()
+        });
+        assert_eq!(v, vec![2, 3, 4]);
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
     }
 
     #[test]
