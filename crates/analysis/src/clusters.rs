@@ -77,7 +77,7 @@ mod tests {
         let mut cfg = gdelt_synth::scenario::tiny(42);
         cfg.cluster_pull = 0.8; // strengthen the block for a small corpus
         let d = gdelt_synth::generate_dataset(&cfg).0;
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let pc = compute(&ctx, &d, 15, MclParams { inflation: 1.6, ..Default::default() });
         assert!(!pc.clusters.is_empty());
         // Find the cluster holding the most media-group members; it

@@ -106,7 +106,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]
@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let d = dataset();
-        let a = dyad_counts(&ExecContext::sequential(), &d);
+        let a = dyad_counts(&ExecContext::builder().threads(1).build(), &d);
         let b = dyad_counts(&ctx(), &d);
         assert_eq!(a, b);
     }

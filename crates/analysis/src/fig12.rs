@@ -41,7 +41,7 @@ pub fn compute(d: &Dataset, thread_counts: &[usize], repeats: usize) -> Fig12 {
     for &t in thread_counts {
         // One context per thread count: pool setup and warm-up are paid
         // once here, so only kernel time enters the scaling curve.
-        let ctx = ExecContext::with_threads(t);
+        let ctx = ExecContext::builder().threads(t).build();
         let best = (0..repeats).map(|_| timed_run_in(&ctx, d).1).fold(f64::INFINITY, f64::min);
         raw.push((t, best));
     }

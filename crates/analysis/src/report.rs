@@ -207,7 +207,7 @@ mod tests {
     fn full_report_covers_every_paper_exhibit() {
         let cfg = gdelt_synth::scenario::tiny(43);
         let (d, clean) = gdelt_synth::generate_dataset(&cfg);
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let r = run_full_report(&ctx, &d, &clean, ReportOptions::default());
         for title in [
             "Table I",

@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn stats_are_internally_consistent() {
         let d = dataset();
-        let s = compute(&ExecContext::with_threads(2), &d);
+        let s = compute(&ExecContext::builder().threads(2).build(), &d);
         assert_eq!(s.events, d.events.len() as u64);
         assert_eq!(s.articles, d.mentions.len() as u64);
         assert!(s.articles >= s.events, "every event has at least one article");
@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn weighted_average_matches_ratio_over_indexed_mentions() {
         let d = dataset();
-        let s = compute(&ExecContext::sequential(), &d);
+        let s = compute(&ExecContext::builder().threads(1).build(), &d);
         let indexed = d.event_index.total_mentions() as f64;
         let expect = indexed / d.events.len() as f64;
         assert!((s.avg_articles_per_event - expect).abs() < 1e-9);
@@ -98,7 +98,7 @@ mod tests {
     #[test]
     fn render_contains_all_rows() {
         let d = dataset();
-        let s = compute(&ExecContext::sequential(), &d);
+        let s = compute(&ExecContext::builder().threads(1).build(), &d);
         let text = render(&s);
         assert!(text.contains("Sources"));
         assert!(text.contains("Capture intervals"));

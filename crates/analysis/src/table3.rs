@@ -49,7 +49,7 @@ mod tests {
     #[test]
     fn headline_events_dominate() {
         let d = dataset();
-        let rows = compute(&ExecContext::with_threads(2), &d, 10);
+        let rows = compute(&ExecContext::builder().threads(2).build(), &d, 10);
         assert!(!rows.is_empty());
         // Counts descending.
         for w in rows.windows(2) {
@@ -67,14 +67,14 @@ mod tests {
     #[test]
     fn k_caps_results() {
         let d = dataset();
-        let rows = compute(&ExecContext::sequential(), &d, 3);
+        let rows = compute(&ExecContext::builder().threads(1).build(), &d, 3);
         assert_eq!(rows.len(), 3);
     }
 
     #[test]
     fn render_lists_urls() {
         let d = dataset();
-        let rows = compute(&ExecContext::sequential(), &d, 5);
+        let rows = compute(&ExecContext::builder().threads(1).build(), &d, 5);
         let text = render(&rows);
         assert!(text.contains("Table III"));
         assert!(text.contains("wikipedia"));

@@ -71,7 +71,7 @@ mod tests {
     #[test]
     fn matrix_is_sane() {
         let d = dataset();
-        let t4 = compute(&ExecContext::with_threads(2), &d, 10);
+        let t4 = compute(&ExecContext::builder().threads(2).build(), &d, 10);
         assert_eq!(t4.publishers.len(), 10);
         let f = t4.report.f_matrix();
         for v in f.as_slice() {
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn column_sums_bound_article_fraction() {
         let d = dataset();
-        let t4 = compute(&ExecContext::sequential(), &d, 10);
+        let t4 = compute(&ExecContext::builder().threads(1).build(), &d, 10);
         for s in t4.report.column_sums() {
             // An article can follow at most all 10 selected sources.
             assert!((0.0..=10.0).contains(&s));
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn render_has_labels_and_sum() {
         let d = dataset();
-        let t4 = compute(&ExecContext::sequential(), &d, 4);
+        let t4 = compute(&ExecContext::builder().threads(1).build(), &d, 4);
         let text = render(&t4);
         assert!(text.contains("A = "));
         assert!(text.contains("Sum"));
@@ -110,8 +110,8 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let d = dataset();
-        let a = compute(&ExecContext::sequential(), &d, 10);
-        let b = compute(&ExecContext::with_threads(4), &d, 10);
+        let a = compute(&ExecContext::builder().threads(1).build(), &d, 10);
+        let b = compute(&ExecContext::builder().threads(4).build(), &d, 10);
         assert_eq!(a, b);
     }
 }

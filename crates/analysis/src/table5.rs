@@ -65,7 +65,7 @@ mod tests {
     fn table5() -> Table5 {
         let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(36)).0;
         let reg = CountryRegistry::new();
-        let cc = CountryCoReport::build(&ExecContext::with_threads(2), &d, reg.len());
+        let cc = CountryCoReport::build(&ExecContext::builder().threads(2).build(), &d, reg.len());
         compute(&cc, &reg)
     }
 

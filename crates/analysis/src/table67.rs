@@ -90,7 +90,7 @@ mod tests {
     fn setup() -> (Table67, CountryRegistry) {
         let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(37)).0;
         let reg = CountryRegistry::new();
-        let cr = CrossReport::build(&ExecContext::with_threads(2), &d, reg.len());
+        let cr = CrossReport::build(&ExecContext::builder().threads(2).build(), &d, reg.len());
         (compute(&cr, 10), reg)
     }
 

@@ -67,7 +67,7 @@ mod tests {
 
     fn setup() -> (Dataset, Vec<Table8Row>) {
         let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(40)).0;
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let stats = per_source_delay_stats(&ctx, &d);
         let rows = compute(&ctx, &d, &stats, 10);
         (d, rows)

@@ -163,7 +163,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]

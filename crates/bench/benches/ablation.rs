@@ -76,7 +76,7 @@ fn coreport_events_with_index(d: &gdelt_columnar::Dataset) -> u64 {
 
 fn bench_ablation(c: &mut Criterion) {
     let (d, _) = corpus();
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
     let registry = CountryRegistry::new();
 
     let mut g = c.benchmark_group("coreport_dense_vs_sparse");
@@ -107,7 +107,7 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| black_box(CrossReport::build(&ctx, d, registry.len())))
     });
     g.bench_function("columnar_sequential", |b| {
-        let seq = ExecContext::sequential();
+        let seq = ExecContext::builder().threads(1).build();
         b.iter(|| black_box(CrossReport::build(&seq, d, registry.len())))
     });
     g.bench_function("row_store_naive", |b| b.iter(|| black_box(store.cross_report_naive())));

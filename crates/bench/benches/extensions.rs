@@ -16,7 +16,7 @@ use std::hint::black_box;
 
 fn bench_extensions(c: &mut Criterion) {
     let (d, _) = corpus();
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
 
     let mut g = c.benchmark_group("sliced_vs_dense_coreport");
     g.sample_size(10);

@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 fn bench_figures(c: &mut Criterion) {
     let (d, _) = corpus();
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
     let registry = CountryRegistry::new();
 
     c.bench_function("fig2_article_histogram", |b| {

@@ -27,7 +27,7 @@ fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12_aggregated_query");
     g.sample_size(10);
     for threads in thread_counts() {
-        let ctx = ExecContext::with_threads(threads);
+        let ctx = ExecContext::builder().threads(threads).build();
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| black_box(AggregatedCountryReport::run(&ctx, d)))
         });

@@ -31,7 +31,7 @@ fn bench_repeat_query(c: &mut Criterion) {
 
     // The bare engine, for reference: service overhead = uncached − this.
     let (d, _) = corpus();
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
     g.bench_function("bare_engine", |b| b.iter(|| black_box(run_query(&ctx, d, black_box(&q)))));
     g.finish();
 }

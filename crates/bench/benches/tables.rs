@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 fn bench_tables(c: &mut Criterion) {
     let (d, clean) = corpus();
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
     let registry = CountryRegistry::new();
 
     c.bench_function("table1_dataset_stats", |b| b.iter(|| black_box(table1::compute(&ctx, d))));

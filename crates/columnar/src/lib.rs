@@ -49,4 +49,4 @@ pub use degraded::{load_degraded, load_degraded_with, DegradedLoad, LoadPolicy};
 pub use health::{Coverage, StoreHealth};
 pub use partition::{partitions, Partition};
 pub use strings::{StringDict, StringPool};
-pub use table::{Dataset, EventsTable, MentionsTable, SourceDirectory};
+pub use table::{Dataset, EventsTable, MentionsChunk, MentionsTable, SourceDirectory};

@@ -199,6 +199,20 @@ impl MentionsTable {
         Quarter::from_linear(i32::from(self.quarter[row]))
     }
 
+    /// Chunk view of rows `[begin, end)` across the hot scan columns —
+    /// one struct of co-sliced columns, so a fused kernel pass touches
+    /// each column slice exactly once. Bounds clamp to the table.
+    #[inline]
+    pub fn chunk(&self, begin: usize, end: usize) -> MentionsChunk<'_> {
+        MentionsChunk {
+            event_row: self.event_row.chunk_view(begin, end),
+            delay: self.delay.chunk_view(begin, end),
+            source: self.source.chunk_view(begin, end),
+            quarter: self.quarter.chunk_view(begin, end),
+            confidence: self.confidence.chunk_view(begin, end),
+        }
+    }
+
     /// Check internal invariants.
     pub fn validate(&self, n_events: usize, n_sources: usize) -> Result<(), String> {
         let n = self.len();
@@ -244,6 +258,37 @@ impl MentionsTable {
             }
         }
         Ok(())
+    }
+}
+
+/// Co-sliced chunk of the [`MentionsTable`] hot scan columns — the unit
+/// the engine's chunked column traversal hands to fused kernels. All
+/// slices cover the same row range and therefore have equal length.
+#[derive(Debug, Clone, Copy)]
+pub struct MentionsChunk<'a> {
+    /// Event rows (see [`MentionsTable::event_row`]).
+    pub event_row: &'a [u32],
+    /// Publishing delays in capture intervals.
+    pub delay: &'a [u32],
+    /// Publisher source ids.
+    pub source: &'a [u32],
+    /// Linear quarter indexes.
+    pub quarter: &'a [u16],
+    /// GDELT confidence (0–100).
+    pub confidence: &'a [u8],
+}
+
+impl MentionsChunk<'_> {
+    /// Rows in the chunk.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.event_row.len()
+    }
+
+    /// True when the chunk covers no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.event_row.is_empty()
     }
 }
 

@@ -185,7 +185,7 @@ mod tests {
     use super::*;
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(4)
+        ExecContext::builder().threads(4).build()
     }
 
     #[test]
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn count_where_parallel_consistency() {
         let n = 100_000;
-        let seq = ExecContext::sequential();
+        let seq = ExecContext::builder().threads(1).build();
         let par = ctx();
         let pred = |r: usize| r % 13 == 5;
         assert_eq!(count_where(&seq, n, pred), count_where(&par, n, pred));
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_on_large_input() {
         let keys: Vec<u32> = (0..200_000u32).map(|i| i.wrapping_mul(2_654_435_761) % 97).collect();
-        let a = count_by(&ExecContext::sequential(), &keys, 97);
+        let a = count_by(&ExecContext::builder().threads(1).build(), &keys, 97);
         let b = count_by(&ctx(), &keys, 97);
         assert_eq!(a, b);
     }

@@ -9,7 +9,7 @@
 //!   heap allocations, string country resolution on every access, hash
 //!   join from mention to event. It computes the same aggregated country
 //!   query, single-threaded.
-//! * The specialized engine run with `ExecContext::sequential()` serves
+//! * The specialized engine run with `ExecContext::builder().threads(1).build()` serves
 //!   as the 1-thread point of Fig 12 (the paper's 344 s); the row store
 //!   sits well below even that.
 
@@ -154,7 +154,8 @@ mod tests {
     fn naive_query_matches_engine_exactly() {
         let d = dataset();
         let registry = CountryRegistry::new();
-        let engine = CrossReport::build(&ExecContext::with_threads(2), &d, registry.len());
+        let engine =
+            CrossReport::build(&ExecContext::builder().threads(2).build(), &d, registry.len());
         let store = RowStore::from_dataset(&d);
         let naive = store.cross_report_naive();
         assert_eq!(engine.counts, naive.counts);

@@ -268,24 +268,17 @@ impl CountryCoReport {
     }
 }
 
-/// Iterate the per-event distinct-source slices within a mention-row
-/// range that is aligned to event boundaries.
+/// Iterate the per-event source slices within a mention-row range that
+/// is aligned to event boundaries — a thin wrapper over the shared
+/// chunked-scan run walker.
+// analyze: no_panic
 fn for_each_event_in(d: &Dataset, rows: std::ops::Range<usize>, mut f: impl FnMut(&[u32])) {
-    let mut row = rows.start;
-    let event_rows = &d.mentions.event_row;
-    let sources = &d.mentions.source;
-    while row < rows.end {
-        // analyze: allow(panic_path): row < rows.end ≤ mentions.len() (partition invariant)
-        let er = event_rows[row];
-        let mut end = row + 1;
-        // analyze: allow(panic_path): end < rows.end checked first
-        while end < rows.end && event_rows[end] == er {
-            end += 1;
+    let sources: &[u32] = &d.mentions.source;
+    crate::chunk::for_each_run(&d.mentions.event_row, rows, |run| {
+        if let Some(s) = sources.get(run) {
+            f(s);
         }
-        // analyze: allow(panic_path): row ≤ end ≤ rows.end ≤ mentions.len()
-        f(&sources[row..end]);
-        row = end;
-    }
+    });
 }
 
 #[cfg(test)]
@@ -352,7 +345,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]
@@ -449,7 +442,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let d = dataset();
-        let seq = CoReport::build(&ExecContext::sequential(), &d);
+        let seq = CoReport::build(&ExecContext::builder().threads(1).build(), &d);
         let par = CoReport::build(&ctx(), &d);
         assert_eq!(seq, par);
     }

@@ -29,7 +29,9 @@ pub struct CrossReport {
 
 impl CrossReport {
     /// Build with per-thread dense country matrices (the country domain
-    /// is tiny, so partials are cheap).
+    /// is tiny, so partials are cheap). Each partition walks its rows in
+    /// aligned chunks, streaming the co-sliced source and event-row
+    /// columns once per chunk.
     pub fn build(ctx: &ExecContext, d: &Dataset, n_countries: usize) -> Self {
         let event_country = &d.events.country;
         let source_country = &d.sources.country;
@@ -41,19 +43,20 @@ impl CrossReport {
             |p| {
                 let mut counts = Matrix::<u64>::zeros(n_countries, n_countries);
                 let mut by_pub = vec![0u64; n_countries];
-                for row in p.range() {
-                    let sc = source_country[sources[row] as usize] as usize;
-                    if sc >= n_countries {
-                        continue; // unknown publisher country
-                    }
-                    by_pub[sc] += 1;
-                    let er = event_rows[row];
-                    if er == NO_EVENT_ROW {
-                        continue;
-                    }
-                    let ec = event_country[er as usize] as usize;
-                    if ec < n_countries {
-                        counts.bump(ec, sc);
+                for c in crate::chunk::chunks_of(p.range()) {
+                    for (&s, &er) in c.slice(sources).iter().zip(c.slice(event_rows)) {
+                        let sc = source_country.get(s as usize).map_or(usize::MAX, |&c| c as usize);
+                        let Some(pub_total) = by_pub.get_mut(sc) else {
+                            continue; // unknown publisher country
+                        };
+                        *pub_total += 1;
+                        if er == NO_EVENT_ROW {
+                            continue;
+                        }
+                        let ec = event_country.get(er as usize).map_or(usize::MAX, |&c| c as usize);
+                        if ec < n_countries {
+                            counts.bump(ec, sc);
+                        }
                     }
                 }
                 (counts, by_pub)
@@ -183,7 +186,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]
@@ -253,7 +256,7 @@ mod tests {
     fn parallel_matches_sequential() {
         let d = dataset();
         let reg = CountryRegistry::new();
-        let seq = CrossReport::build(&ExecContext::sequential(), &d, reg.len());
+        let seq = CrossReport::build(&ExecContext::builder().threads(1).build(), &d, reg.len());
         let par = CrossReport::build(&ctx(), &d, reg.len());
         assert_eq!(seq, par);
     }

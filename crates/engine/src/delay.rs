@@ -82,13 +82,16 @@ pub fn per_source_delay_stats(ctx: &ExecContext, d: &Dataset) -> Vec<DelayStats>
     }
     let mut grouped = vec![0u32; n];
     let mut cursor = offsets.clone();
-    for row in 0..n {
-        // analyze: allow(panic_path): row < n == mentions.len()
-        let s = d.mentions.source[row] as usize;
-        // analyze: allow(panic_path): cursor[s] scatters each row exactly once into grouped (len n)
-        grouped[cursor[s]] = d.mentions.delay[row];
-        // analyze: allow(panic_path): source ids are dense directory indices < n_sources
-        cursor[s] += 1;
+    for c in crate::chunk::chunks_of(0..n) {
+        for (&s, &dl) in c.slice(&d.mentions.source).iter().zip(c.slice(&d.mentions.delay)) {
+            // Source ids are dense directory indices; each row scatters
+            // exactly once, so the cursor never outruns `grouped`.
+            let Some(cur) = cursor.get_mut(s as usize) else { continue };
+            if let Some(slot) = grouped.get_mut(*cur) {
+                *slot = dl;
+            }
+            *cur += 1;
+        }
     }
 
     // Per-source reductions. Slices are disjoint → clean parallel map.
@@ -231,7 +234,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]
@@ -304,7 +307,7 @@ mod tests {
     fn parallel_matches_sequential() {
         let d = dataset();
         assert_eq!(
-            per_source_delay_stats(&ExecContext::sequential(), &d),
+            per_source_delay_stats(&ExecContext::builder().threads(1).build(), &d),
             per_source_delay_stats(&ctx(), &d)
         );
     }

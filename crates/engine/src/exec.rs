@@ -23,13 +23,13 @@ pub struct ExecContext {
 
 impl Default for ExecContext {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
     }
 }
 
 /// Configures an [`ExecContext`]: thread count, NUMA pinning hint, and
-/// partition-granularity override. The legacy `new` / `with_threads` /
-/// `sequential` constructors are thin delegations onto this builder.
+/// partition-granularity override — the single way to construct a
+/// context.
 #[derive(Debug, Clone, Default)]
 pub struct ExecContextBuilder {
     threads: Option<usize>,
@@ -87,25 +87,12 @@ impl ExecContextBuilder {
 }
 
 impl ExecContext {
-    /// Start configuring a context.
+    /// Start configuring a context. `builder().build()` uses the global
+    /// rayon pool; `builder().threads(1).build()` is fully sequential
+    /// (the paper's 344 s reference point); `builder().threads(n)` gives
+    /// a dedicated pool, as the Fig 12 scaling sweep needs.
     pub fn builder() -> ExecContextBuilder {
         ExecContextBuilder::default()
-    }
-
-    /// Use the global rayon pool (all available cores).
-    pub fn new() -> Self {
-        Self::builder().build()
-    }
-
-    /// Dedicated pool with exactly `n` threads — used by the Fig 12
-    /// scaling benchmark to sweep thread counts.
-    pub fn with_threads(n: usize) -> Self {
-        Self::builder().threads(n).build()
-    }
-
-    /// Single-threaded execution (the paper's 344 s reference point).
-    pub fn sequential() -> Self {
-        Self::builder().threads(1).build()
     }
 
     /// Number of worker threads.
@@ -235,14 +222,14 @@ mod tests {
 
     #[test]
     fn default_context_uses_global_pool() {
-        let ctx = ExecContext::new();
+        let ctx = ExecContext::builder().build();
         assert!(ctx.n_threads() >= 1);
         assert_eq!(ctx.install(|| 41 + 1), 42);
     }
 
     #[test]
     fn with_threads_controls_pool_size() {
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         assert_eq!(ctx.n_threads(), 2);
         let inside = ctx.install(rayon::current_num_threads);
         assert_eq!(inside, 2);
@@ -250,13 +237,13 @@ mod tests {
 
     #[test]
     fn zero_threads_clamps_to_one() {
-        let ctx = ExecContext::with_threads(0);
+        let ctx = ExecContext::builder().threads(0).build();
         assert_eq!(ctx.n_threads(), 1);
     }
 
     #[test]
     fn map_reduce_sums_partition_lengths() {
-        let ctx = ExecContext::with_threads(3);
+        let ctx = ExecContext::builder().threads(3).build();
         let total =
             ctx.map_reduce(ctx.make_partitions(1000), |p| p.len() as u64, |a, b| a + b).unwrap();
         assert_eq!(total, 1000);
@@ -264,7 +251,7 @@ mod tests {
 
     #[test]
     fn map_reduce_empty_returns_none() {
-        let ctx = ExecContext::sequential();
+        let ctx = ExecContext::builder().threads(1).build();
         let r: Option<u64> = ctx.map_reduce(Vec::new(), |p| p.len() as u64, |a, b| a + b);
         assert!(r.is_none());
     }
@@ -274,7 +261,7 @@ mod tests {
         let data: Vec<u64> = (0..10_000).collect();
         let expect: u64 = data.iter().sum();
         for threads in [1, 2, 4] {
-            let ctx = ExecContext::with_threads(threads);
+            let ctx = ExecContext::builder().threads(threads).build();
             let got: u64 = ctx.scan(data.len(), |p| p.slice(&data).iter().sum::<u64>());
             assert_eq!(got, expect, "threads={threads}");
         }
@@ -289,7 +276,7 @@ mod tests {
 
     #[test]
     fn group_partitions_align_to_offsets() {
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let offsets = vec![0u64, 3, 3, 10, 12];
         let parts = ctx.make_group_partitions(&offsets);
         assert_eq!(parts.last().unwrap().end, 12);

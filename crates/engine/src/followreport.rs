@@ -54,37 +54,22 @@ impl FollowReport {
                 let mut articles = vec![0u64; k];
                 // Per event: walk time-sorted mentions, maintaining the
                 // set of slots that published in strictly earlier
-                // intervals.
+                // intervals. Both group walks (event runs, then interval
+                // runs inside each event) share the chunked-scan run
+                // walker.
                 let mut prior = vec![false; k];
                 let mut current: Vec<u32> = Vec::new();
-                let mut row = p.begin;
-                while row < p.end {
-                    // analyze: allow(panic_path): row < p.end ≤ mentions.len() (partition invariant)
-                    let er = event_rows[row];
-                    let mut end = row + 1;
-                    // analyze: allow(panic_path): end < p.end checked first
-                    while end < p.end && event_rows[end] == er {
-                        end += 1;
-                    }
+                crate::chunk::for_each_run(event_rows, p.range(), |event_run| {
                     // Reset per-event state.
                     prior.iter_mut().for_each(|b| *b = false);
-                    let mut i = row;
-                    while i < end {
-                        // Interval group [i, g).
-                        // analyze: allow(panic_path): i < end ≤ p.end ≤ mentions.len()
-                        let t = intervals[i];
-                        let mut g = i + 1;
-                        // analyze: allow(panic_path): g < end checked first
-                        while g < end && intervals[g] == t {
-                            g += 1;
-                        }
+                    crate::chunk::for_each_run(intervals, event_run, |group| {
                         current.clear();
-                        for r in i..g {
-                            // analyze: allow(panic_path): r < g ≤ end ≤ mentions.len()
-                            if let Some(&s) = slot.get(sources[r] as usize) {
+                        for &src in sources.get(group).unwrap_or(&[]) {
+                            if let Some(&s) = slot.get(src as usize) {
                                 if s != u32::MAX {
-                                    // analyze: allow(panic_path): slot values are subset indexes < k
-                                    articles[s as usize] += 1;
+                                    if let Some(a) = articles.get_mut(s as usize) {
+                                        *a += 1;
+                                    }
                                     // Article by j follows every selected
                                     // source already in `prior`.
                                     for (pi, &was) in prior.iter().enumerate() {
@@ -98,13 +83,12 @@ impl FollowReport {
                             }
                         }
                         for &s in &current {
-                            // analyze: allow(panic_path): s is a slot value < k == prior.len()
-                            prior[s as usize] = true;
+                            if let Some(seen) = prior.get_mut(s as usize) {
+                                *seen = true;
+                            }
                         }
-                        i = g;
-                    }
-                    row = end;
-                }
+                    });
+                });
                 (counts, articles)
             },
             |(mut ca, mut aa), (cb, ab)| {
@@ -123,12 +107,12 @@ impl FollowReport {
         // Articles per source must also count mentions of unknown events
         // (outside the CSR coverage) — scan the tail.
         let covered = d.event_index.total_mentions() as usize;
-        for row in covered..d.mentions.len() {
-            // analyze: allow(panic_path): row < mentions.len() by the range bound
-            if let Some(&s) = slot.get(sources[row] as usize) {
+        for &src in sources.get(covered..d.mentions.len()).unwrap_or(&[]) {
+            if let Some(&s) = slot.get(src as usize) {
                 if s != u32::MAX {
-                    // analyze: allow(panic_path): slot values are subset indexes < k
-                    articles[s as usize] += 1;
+                    if let Some(a) = articles.get_mut(s as usize) {
+                        *a += 1;
+                    }
                 }
             }
         }
@@ -222,7 +206,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]
@@ -300,7 +284,7 @@ mod tests {
     fn parallel_matches_sequential() {
         let d = dataset();
         let sel = subset(&d);
-        let seq = FollowReport::build(&ExecContext::sequential(), &d, &sel);
+        let seq = FollowReport::build(&ExecContext::builder().threads(1).build(), &d, &sel);
         let par = FollowReport::build(&ctx(), &d, &sel);
         assert_eq!(seq, par);
     }

@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn histogram_counts_degrees() {
         let d = dataset_with_degrees(&[1, 1, 1, 2, 5]);
-        let h = ArticleCountHistogram::build(&ExecContext::with_threads(2), &d);
+        let h = ArticleCountHistogram::build(&ExecContext::builder().threads(2).build(), &d);
         assert_eq!(h.counts[1], 3);
         assert_eq!(h.counts[2], 1);
         assert_eq!(h.counts[5], 1);
@@ -164,14 +164,14 @@ mod tests {
     #[test]
     fn weighted_mean_matches_manual() {
         let d = dataset_with_degrees(&[1, 1, 4]);
-        let h = ArticleCountHistogram::build(&ExecContext::sequential(), &d);
+        let h = ArticleCountHistogram::build(&ExecContext::builder().threads(1).build(), &d);
         assert!((h.weighted_mean() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_dataset_histogram() {
         let d = Dataset::default();
-        let h = ArticleCountHistogram::build(&ExecContext::sequential(), &d);
+        let h = ArticleCountHistogram::build(&ExecContext::builder().threads(1).build(), &d);
         assert_eq!(h.total_events(), 0);
         assert_eq!(h.weighted_mean(), 0.0);
         assert_eq!(h.max_articles(), 0);
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn log_bins_cover_support() {
         let d = dataset_with_degrees(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
-        let h = ArticleCountHistogram::build(&ExecContext::sequential(), &d);
+        let h = ArticleCountHistogram::build(&ExecContext::builder().threads(1).build(), &d);
         let bins = h.log_bins();
         // Bins: [1,2) [2,4) [4,8) [8,16) → all nine events accounted for.
         assert_eq!(bins.iter().map(|&(_, c)| c).sum::<u64>(), 9);
@@ -202,7 +202,7 @@ mod tests {
             }
         }
         let d = dataset_with_degrees(&degrees);
-        let h = ArticleCountHistogram::build(&ExecContext::with_threads(2), &d);
+        let h = ArticleCountHistogram::build(&ExecContext::builder().threads(2).build(), &d);
         let slope = h.loglog_slope();
         assert!((slope + 2.0).abs() < 0.15, "slope {slope}");
     }
@@ -211,8 +211,8 @@ mod tests {
     fn parallel_matches_sequential() {
         let degrees: Vec<usize> = (0..500).map(|i| i % 17 + 1).collect();
         let d = dataset_with_degrees(&degrees);
-        let a = ArticleCountHistogram::build(&ExecContext::sequential(), &d);
-        let b = ArticleCountHistogram::build(&ExecContext::with_threads(4), &d);
+        let a = ArticleCountHistogram::build(&ExecContext::builder().threads(1).build(), &d);
+        let b = ArticleCountHistogram::build(&ExecContext::builder().threads(4).build(), &d);
         assert_eq!(a, b);
     }
 }

@@ -27,6 +27,7 @@
 
 pub mod aggregate;
 pub mod baseline;
+pub mod chunk;
 pub mod coreport;
 pub mod crossreport;
 pub mod delay;

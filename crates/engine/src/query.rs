@@ -432,7 +432,7 @@ pub fn timed_run_in(ctx: &ExecContext, d: &Dataset) -> (AggregatedCountryReport,
 /// measurement primitive). Pool setup and warm-up are excluded from the
 /// measurement — see [`timed_run_in`].
 pub fn timed_run(d: &Dataset, threads: usize) -> (AggregatedCountryReport, f64) {
-    let ctx = ExecContext::with_threads(threads);
+    let ctx = ExecContext::builder().threads(threads).build();
     timed_run_in(&ctx, d)
 }
 
@@ -497,7 +497,7 @@ mod tests {
         );
         // run_query records into the kernel's global latency histogram.
         let d = dataset();
-        let ctx = ExecContext::sequential();
+        let ctx = ExecContext::builder().threads(1).build();
         let hist = gdelt_obs::global().histogram("engine_query_us_delay");
         let before = hist.count();
         run_query(&ctx, &d, &Query::Delay);
@@ -530,7 +530,7 @@ mod tests {
     #[test]
     fn run_query_covers_every_variant() {
         let d = dataset();
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         for q in all_variants() {
             let r = run_query(&ctx, &d, &q);
             let matches = match q {
@@ -549,15 +549,15 @@ mod tests {
     #[test]
     fn aggregated_query_is_consistent_across_thread_counts() {
         let d = dataset();
-        let seq = AggregatedCountryReport::run(&ExecContext::sequential(), &d);
-        let par = AggregatedCountryReport::run(&ExecContext::with_threads(4), &d);
+        let seq = AggregatedCountryReport::run(&ExecContext::builder().threads(1).build(), &d);
+        let par = AggregatedCountryReport::run(&ExecContext::builder().threads(4).build(), &d);
         assert_eq!(seq, par);
     }
 
     #[test]
     fn publisher_totals_bound_cross_counts() {
         let d = dataset();
-        let r = AggregatedCountryReport::run(&ExecContext::with_threads(2), &d);
+        let r = AggregatedCountryReport::run(&ExecContext::builder().threads(2).build(), &d);
         let col_sums = r.cross.counts.col_sums();
         for (c, &total) in r.cross.articles_by_publisher.iter().enumerate() {
             assert!(
@@ -571,7 +571,7 @@ mod tests {
     #[test]
     fn percentages_are_percentages() {
         let d = dataset();
-        let r = AggregatedCountryReport::run(&ExecContext::with_threads(2), &d);
+        let r = AggregatedCountryReport::run(&ExecContext::builder().threads(2).build(), &d);
         let p = r.cross_percentages();
         for v in p.as_slice() {
             assert!((0.0..=100.0).contains(v), "percentage {v}");
@@ -582,7 +582,7 @@ mod tests {
     fn jaccard_is_symmetric_and_bounded() {
         let d = dataset();
         let reg = CountryRegistry::new();
-        let r = AggregatedCountryReport::run(&ExecContext::with_threads(2), &d);
+        let r = AggregatedCountryReport::run(&ExecContext::builder().threads(2).build(), &d);
         let ids = reg.paper_top10_publishing();
         for &a in &ids {
             for &b in &ids {
@@ -604,7 +604,7 @@ mod tests {
     #[test]
     fn timed_run_in_reuses_the_context() {
         let d = dataset();
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let (a, _) = timed_run_in(&ctx, &d);
         let (b, _) = timed_run_in(&ctx, &d);
         assert_eq!(a, b);

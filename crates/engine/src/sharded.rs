@@ -282,7 +282,7 @@ mod tests {
     #[test]
     fn distributed_aggregated_query_is_exact() {
         let d = dataset();
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let single = AggregatedCountryReport::run(&ctx, &d);
         for n in [1usize, 2, 5] {
             let sd = ShardedDataset::split(&d, n);
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn distributed_country_jaccard_matches_single_node() {
         let d = dataset();
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let reg = CountryRegistry::new();
         let single = AggregatedCountryReport::run(&ctx, &d);
         let dist = ShardedDataset::split(&d, 4).aggregated_cross_report(&ctx);
@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn distributed_delay_stats_match_single_node_by_name() {
         let d = dataset();
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let single = crate::delay::per_source_delay_stats(&ctx, &d);
         let sd = ShardedDataset::split(&d, 3);
         let dist = sd.per_source_delay_stats(&ctx);

@@ -134,7 +134,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]
@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let d = dataset();
-        let a = sliced_coreport(&ExecContext::sequential(), &d);
+        let a = sliced_coreport(&ExecContext::builder().threads(1).build(), &d);
         let b = sliced_coreport(&ctx(), &d);
         assert_eq!(a.event_counts, b.event_counts);
         assert_eq!(a.pairs, b.pairs);

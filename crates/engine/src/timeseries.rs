@@ -1,6 +1,6 @@
 //! Quarterly time series — the aggregation behind Figs 3–6, 10 and 11.
 
-use crate::aggregate::{count_by, count_by_where};
+use crate::chunk::{chunked_scan, SelMask};
 use crate::exec::{ExecContext, Merge};
 use crate::filter::Bitmap;
 use gdelt_columnar::Dataset;
@@ -38,11 +38,27 @@ impl QuarterlySeries {
 
 /// Inclusive linear-quarter range `(base, count)` covered by the dataset
 /// (union of events and mentions), or `None` when empty.
+///
+/// Every time-series kernel calls this first, so it is one fused
+/// min+max pass per column (branchless lane-wise reduction the
+/// compiler autovectorizes) instead of separate `min()` and `max()`
+/// traversals.
 pub fn quarter_range(d: &Dataset) -> Option<(u16, usize)> {
-    let mins = [d.events.quarter.iter().min().copied(), d.mentions.quarter.iter().min().copied()];
-    let maxs = [d.events.quarter.iter().max().copied(), d.mentions.quarter.iter().max().copied()];
-    let lo = mins.into_iter().flatten().min()?;
-    let hi = maxs.into_iter().flatten().max()?;
+    fn min_max(col: &[u16]) -> Option<(u16, u16)> {
+        if col.is_empty() {
+            return None;
+        }
+        let mut lo = u16::MAX;
+        let mut hi = u16::MIN;
+        for &q in col {
+            lo = lo.min(q);
+            hi = hi.max(q);
+        }
+        Some((lo, hi))
+    }
+    let spans = [min_max(&d.events.quarter), min_max(&d.mentions.quarter)];
+    let lo = spans.iter().flatten().map(|s| s.0).min()?;
+    let hi = spans.iter().flatten().map(|s| s.1).max()?;
     Some((lo, (hi - lo) as usize + 1))
 }
 
@@ -53,13 +69,34 @@ fn series_from_counts(base: u16, counts: Vec<u64>) -> QuarterlySeries {
     }
 }
 
+/// Chunked quarter histogram: counts rows per `quarters[row] - base`
+/// slot directly from the column, without materializing a shifted key
+/// column first. Quarters outside `base..base + n` are ignored.
+// analyze: no_panic
+fn count_quarters(ctx: &ExecContext, quarters: &[u16], base: u16, n: usize) -> Vec<u64> {
+    let acc: Vec<u64> = chunked_scan(ctx, quarters.len(), |acc: &mut Vec<u64>, c| {
+        if acc.is_empty() {
+            acc.resize(n, 0);
+        }
+        for &q in c.slice(quarters) {
+            if let Some(slot) = acc.get_mut(q.wrapping_sub(base) as usize) {
+                *slot += 1;
+            }
+        }
+    });
+    if acc.is_empty() {
+        vec![0; n]
+    } else {
+        acc
+    }
+}
+
 /// Events observed per quarter (Fig 4).
 pub fn events_per_quarter(ctx: &ExecContext, d: &Dataset) -> QuarterlySeries {
     let Some((base, n)) = quarter_range(d) else {
         return QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
     };
-    let shifted: Vec<u16> = d.events.quarter.iter().map(|&q| q - base).collect();
-    series_from_counts(base, count_by(ctx, &shifted, n))
+    series_from_counts(base, count_quarters(ctx, &d.events.quarter, base, n))
 }
 
 /// Articles (mentions) observed per quarter (Fig 5).
@@ -67,8 +104,7 @@ pub fn articles_per_quarter(ctx: &ExecContext, d: &Dataset) -> QuarterlySeries {
     let Some((base, n)) = quarter_range(d) else {
         return QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
     };
-    let shifted: Vec<u16> = d.mentions.quarter.iter().map(|&q| q - base).collect();
-    series_from_counts(base, count_by(ctx, &shifted, n))
+    series_from_counts(base, count_quarters(ctx, &d.mentions.quarter, base, n))
 }
 
 /// Sources that published at least once in each quarter (Fig 3: only
@@ -96,13 +132,15 @@ pub fn active_sources_per_quarter(ctx: &ExecContext, d: &Dataset) -> QuarterlySe
 
     let quarters = &d.mentions.quarter;
     let sources = &d.mentions.source;
-    let acc: Active = ctx.scan(d.mentions.len(), |p| {
-        let mut bms: Vec<Bitmap> = (0..n).map(|_| Bitmap::new(n_sources)).collect();
-        for row in p.range() {
-            let q = (quarters[row] - base) as usize;
-            bms[q].set(sources[row] as usize);
+    let acc: Active = chunked_scan(ctx, d.mentions.len(), |a: &mut Active, c| {
+        if a.0.is_empty() {
+            a.0 = (0..n).map(|_| Bitmap::new(n_sources)).collect();
         }
-        Active(bms)
+        for (&q, &s) in c.slice(quarters).iter().zip(c.slice(sources)) {
+            if let Some(bm) = a.0.get_mut(q.wrapping_sub(base) as usize) {
+                bm.set(s as usize);
+            }
+        }
     });
     let counts: Vec<u64> = if acc.0.is_empty() {
         vec![0; n]
@@ -132,14 +170,17 @@ pub fn publisher_series(
     }
     let quarters = &d.mentions.quarter;
     let sources = &d.mentions.source;
-    let flat: Vec<u64> = ctx.scan(d.mentions.len(), |p| {
-        let mut acc = vec![0u64; publishers.len() * n];
-        for row in p.range() {
-            if let Some(&slot) = slot_of.get(&sources[row]) {
-                acc[slot * n + (quarters[row] - base) as usize] += 1;
+    let flat: Vec<u64> = chunked_scan(ctx, d.mentions.len(), |acc: &mut Vec<u64>, c| {
+        if acc.is_empty() {
+            acc.resize(publishers.len() * n, 0);
+        }
+        for (&q, &s) in c.slice(quarters).iter().zip(c.slice(sources)) {
+            if let Some(&slot) = slot_of.get(&s) {
+                if let Some(cell) = acc.get_mut(slot * n + q.wrapping_sub(base) as usize) {
+                    *cell += 1;
+                }
             }
         }
-        acc
     });
     let flat = if flat.is_empty() { vec![0; publishers.len() * n] } else { flat };
     (0..publishers.len())
@@ -157,9 +198,26 @@ pub fn late_articles_per_quarter(
     let Some((base, n)) = quarter_range(d) else {
         return QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
     };
-    let shifted: Vec<u16> = d.mentions.quarter.iter().map(|&q| q - base).collect();
+    // Fused chunk pass: one branchless selection over the delay column,
+    // then a trailing-zeros walk bumping the quarter histogram — the
+    // delay and quarter columns are each touched exactly once.
+    let quarters = &d.mentions.quarter;
     let delays = &d.mentions.delay;
-    let counts = count_by_where(ctx, &shifted, n, |row| delays[row] > threshold);
+    let counts: Vec<u64> = chunked_scan(ctx, d.mentions.len(), |acc: &mut Vec<u64>, c| {
+        if acc.is_empty() {
+            acc.resize(n, 0);
+        }
+        let qs = c.slice(quarters);
+        let m = SelMask::select(c.slice(delays), |dl| dl > threshold);
+        m.for_each(|i| {
+            if let Some(&q) = qs.get(i) {
+                if let Some(slot) = acc.get_mut(q.wrapping_sub(base) as usize) {
+                    *slot += 1;
+                }
+            }
+        });
+    });
+    let counts = if counts.is_empty() { vec![0; n] } else { counts };
     series_from_counts(base, counts)
 }
 
@@ -215,12 +273,20 @@ pub fn delay_per_quarter(ctx: &ExecContext, d: &Dataset) -> (QuarterlySeries, Qu
                     sum: vec![0; n],
                     count: vec![0; n],
                 };
-                for row in p.range() {
-                    let q = (quarters[row] - base) as usize;
-                    let dl = delays[row];
-                    h.hist[q][(dl as usize).min(cap)] += 1;
-                    h.sum[q] += u64::from(dl);
-                    h.count[q] += 1;
+                for c in crate::chunk::chunks_of(p.range()) {
+                    for (&q, &dl) in c.slice(quarters).iter().zip(c.slice(delays)) {
+                        let qi = q.wrapping_sub(base) as usize;
+                        let (Some(hist), Some(sum), Some(count)) =
+                            (h.hist.get_mut(qi), h.sum.get_mut(qi), h.count.get_mut(qi))
+                        else {
+                            continue;
+                        };
+                        if let Some(bucket) = hist.get_mut((dl as usize).min(cap)) {
+                            *bucket += 1;
+                        }
+                        *sum += u64::from(dl);
+                        *count += 1;
+                    }
                 }
                 h
             },
@@ -311,7 +377,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]
@@ -391,7 +457,7 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let d = dataset();
-        let seq = ExecContext::sequential();
+        let seq = ExecContext::builder().threads(1).build();
         assert_eq!(events_per_quarter(&seq, &d), events_per_quarter(&ctx(), &d));
         assert_eq!(articles_per_quarter(&seq, &d), articles_per_quarter(&ctx(), &d));
         assert_eq!(delay_per_quarter(&seq, &d), delay_per_quarter(&ctx(), &d));

@@ -113,7 +113,7 @@ mod tests {
         b.add_mention(m(2, "other.com", 0));
         let (d, _) = b.build();
 
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let pubs = top_publishers(&ctx, &d, 2);
         assert_eq!(pubs.len(), 2);
         assert_eq!(d.sources.name(pubs[0].0), "busy.com");
@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn empty_dataset_top_k() {
         let d = gdelt_columnar::Dataset::default();
-        let ctx = ExecContext::sequential();
+        let ctx = ExecContext::builder().threads(1).build();
         assert!(top_publishers(&ctx, &d, 5).is_empty());
         assert!(top_events(&ctx, &d, 5).is_empty());
     }

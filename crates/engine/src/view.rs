@@ -30,7 +30,8 @@ impl<'a> MentionView<'a> {
         MentionView { dataset, rows }
     }
 
-    /// Mentions scraped within `[from, to]` (inclusive quarters).
+    /// Mentions scraped within `[from, to]` (inclusive quarters) — a
+    /// direct word-level range scan over the quarter column.
     pub fn time_window(
         ctx: &ExecContext,
         dataset: &'a Dataset,
@@ -38,8 +39,7 @@ impl<'a> MentionView<'a> {
         to: Quarter,
     ) -> Self {
         let (lo, hi) = (from.linear() as u16, to.linear() as u16);
-        let quarters = &dataset.mentions.quarter;
-        let rows = Bitmap::fill(ctx, dataset.mentions.len(), |r| (lo..=hi).contains(&quarters[r]));
+        let rows = Bitmap::fill_range(ctx, &dataset.mentions.quarter, lo, hi);
         MentionView { dataset, rows }
     }
 
@@ -71,11 +71,28 @@ impl<'a> MentionView<'a> {
         self.len() == 0
     }
 
-    /// Articles per source within the view.
+    /// Articles per source within the view — a masked word-walk over
+    /// the selection, touching only selected rows of the source column.
     pub fn articles_by_source(&self, ctx: &ExecContext) -> Vec<u64> {
         let sources = &self.dataset.mentions.source;
         let rows = &self.rows;
-        crate::aggregate::count_by_where(ctx, sources, self.dataset.sources.len(), |r| rows.get(r))
+        let n_sources = self.dataset.sources.len();
+        let counts: Vec<u64> = ctx.scan(self.dataset.mentions.len(), |p| {
+            let mut acc = vec![0u64; n_sources];
+            rows.for_each_in(p.range(), |r| {
+                if let Some(&s) = sources.get(r) {
+                    if let Some(slot) = acc.get_mut(s as usize) {
+                        *slot += 1;
+                    }
+                }
+            });
+            acc
+        });
+        if counts.is_empty() {
+            vec![0; n_sources]
+        } else {
+            counts
+        }
     }
 
     /// The most productive sources within the view.
@@ -93,11 +110,11 @@ impl<'a> MentionView<'a> {
         let rows = &self.rows;
         ctx.scan(self.dataset.mentions.len(), |p| {
             let mut acc = MinMaxSum::default();
-            for r in p.range() {
-                if rows.get(r) {
-                    acc.push(delays[r]);
+            rows.for_each_in(p.range(), |r| {
+                if let Some(&dl) = delays.get(r) {
+                    acc.push(dl);
                 }
-            }
+            });
             acc
         })
     }
@@ -108,23 +125,25 @@ impl<'a> MentionView<'a> {
         let rows = &self.rows;
         let event_rows = &self.dataset.mentions.event_row;
         let country = &self.dataset.events.country;
-        ctx.scan(self.dataset.mentions.len(), |p| {
+        let counts: Vec<u64> = ctx.scan(self.dataset.mentions.len(), |p| {
             let mut acc = vec![0u64; n_countries];
-            for r in p.range() {
-                if !rows.get(r) {
-                    continue;
-                }
-                let er = event_rows[r];
+            rows.for_each_in(p.range(), |r| {
+                let Some(&er) = event_rows.get(r) else { return };
                 if er == NO_EVENT_ROW {
-                    continue;
+                    return;
                 }
-                let c = country[er as usize] as usize;
-                if c < n_countries {
-                    acc[c] += 1;
+                let Some(&c) = country.get(er as usize) else { return };
+                if let Some(slot) = acc.get_mut(c as usize) {
+                    *slot += 1;
                 }
-            }
+            });
             acc
-        })
+        });
+        if counts.is_empty() {
+            vec![0; n_countries]
+        } else {
+            counts
+        }
     }
 
     /// Articles about events in one country, within the view.
@@ -132,12 +151,15 @@ impl<'a> MentionView<'a> {
         let rows = &self.rows;
         let event_rows = &self.dataset.mentions.event_row;
         let countries = &self.dataset.events.country;
-        crate::aggregate::count_where(ctx, self.dataset.mentions.len(), |r| {
-            if !rows.get(r) {
-                return false;
-            }
-            let er = event_rows[r];
-            er != NO_EVENT_ROW && countries[er as usize] == country.0
+        ctx.scan(self.dataset.mentions.len(), |p| {
+            let mut n = 0u64;
+            rows.for_each_in(p.range(), |r| {
+                let Some(&er) = event_rows.get(r) else { return };
+                if er != NO_EVENT_ROW && countries.get(er as usize) == Some(&country.0) {
+                    n += 1;
+                }
+            });
+            n
         })
     }
 }
@@ -152,7 +174,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]

@@ -147,7 +147,7 @@ mod tests {
     }
 
     fn ctx() -> ExecContext {
-        ExecContext::with_threads(2)
+        ExecContext::builder().threads(2).build()
     }
 
     #[test]
@@ -217,7 +217,7 @@ mod tests {
     fn parallel_matches_sequential() {
         let cfg = gdelt_synth::scenario::tiny(94);
         let d = gdelt_synth::generate_dataset(&cfg).0;
-        let a = spread_per_event(&ExecContext::sequential(), &d, 3);
+        let a = spread_per_event(&ExecContext::builder().threads(1).build(), &d, 3);
         let b = spread_per_event(&ctx(), &d, 3);
         assert_eq!(a, b);
     }

@@ -15,7 +15,7 @@ fn span_breakdown_accounts_for_timed_run_wall_clock() {
     // the 5% bound must dominate clock granularity, not race it.
     let cfg = gdelt_synth::scenario::paper_calibrated(3e-4, 4242);
     let (dataset, _) = gdelt_synth::generate_dataset(&cfg);
-    let ctx = ExecContext::with_threads(4);
+    let ctx = ExecContext::builder().threads(4).build();
 
     set_tracing(true);
     let _ = take_spans();

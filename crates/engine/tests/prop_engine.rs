@@ -19,7 +19,7 @@ proptest! {
         keys in prop::collection::vec(0u32..50, 0..2_000),
         threads in 1usize..8,
     ) {
-        let ctx = ExecContext::with_threads(threads);
+        let ctx = ExecContext::builder().threads(threads).build();
         let got = count_by(&ctx, &keys, 50);
         let mut expect = vec![0u64; 50];
         for &k in &keys {
@@ -35,7 +35,7 @@ proptest! {
     ) {
         let keys: Vec<u32> = rows.iter().map(|r| r.0).collect();
         let vals: Vec<u32> = rows.iter().map(|r| r.1).collect();
-        let ctx = ExecContext::with_threads(threads);
+        let ctx = ExecContext::builder().threads(threads).build();
         let got = sum_by(&ctx, &keys, &vals, 20);
         let mut expect = vec![0u64; 20];
         for &(k, v) in &rows {
@@ -49,7 +49,7 @@ proptest! {
         vals in prop::collection::vec(0u32..1_000_000, 0..2_000),
         threads in 1usize..8,
     ) {
-        let ctx = ExecContext::with_threads(threads);
+        let ctx = ExecContext::builder().threads(threads).build();
         let s = min_max_sum(&ctx, &vals);
         prop_assert_eq!(s.count, vals.len() as u64);
         prop_assert_eq!(s.sum, vals.iter().map(|&v| u64::from(v)).sum::<u64>());
@@ -65,7 +65,7 @@ proptest! {
         modulus in 1usize..17,
         threads in 1usize..8,
     ) {
-        let ctx = ExecContext::with_threads(threads);
+        let ctx = ExecContext::builder().threads(threads).build();
         let got = count_where(&ctx, n, |r| r % modulus == 0);
         prop_assert_eq!(got, (0..n).filter(|r| r % modulus == 0).count() as u64);
     }
@@ -76,7 +76,7 @@ proptest! {
         modulus in 1usize..13,
         threads in 1usize..8,
     ) {
-        let ctx = ExecContext::with_threads(threads);
+        let ctx = ExecContext::builder().threads(threads).build();
         let bm = Bitmap::fill(&ctx, n, |i| i % modulus == 1);
         for i in 0..n {
             prop_assert_eq!(bm.get(i), i % modulus == 1);
@@ -162,5 +162,99 @@ proptest! {
             or.iter().collect::<Vec<_>>(),
             sa.union(&sb).copied().collect::<Vec<_>>()
         );
+    }
+
+    // ---- word-level selection-vector API ------------------------------
+    // The vectorized entry points (64 lanes per u64 word) must agree
+    // with the obvious one-bit-at-a-time reference for every length,
+    // including lengths that leave a partial tail word.
+
+    #[test]
+    fn word_level_fill_matches_per_bit_reference(
+        n in 0usize..700,
+        modulus in 1usize..13,
+        threads in 1usize..8,
+    ) {
+        let ctx = ExecContext::builder().threads(threads).build();
+        let bm = Bitmap::fill(&ctx, n, |i| i % modulus == 0);
+        // Per-bit reference built with set() only.
+        let mut reference = Bitmap::new(n);
+        for i in (0..n).step_by(modulus) {
+            reference.set(i);
+        }
+        prop_assert_eq!(bm.count(), reference.count());
+        prop_assert_eq!(bm.words(), reference.words());
+        // The physical tail beyond `len` stays zero.
+        if let (Some(&last), true) = (bm.words().last(), n % 64 != 0) {
+            prop_assert_eq!(last & !((1u64 << (n % 64)) - 1), 0);
+        }
+    }
+
+    #[test]
+    fn fill_range_and_eq_match_naive_scan(
+        col in prop::collection::vec(0u16..40, 0..700),
+        lo in 0u16..40,
+        span in 0u16..10,
+        threads in 1usize..8,
+    ) {
+        let ctx = ExecContext::builder().threads(threads).build();
+        let hi = lo.saturating_add(span);
+        let bm = Bitmap::fill_range(&ctx, &col, lo, hi);
+        let naive: Vec<usize> =
+            (0..col.len()).filter(|&i| lo <= col[i] && col[i] <= hi).collect();
+        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), naive);
+        let eq = Bitmap::fill_eq(&ctx, &col, lo);
+        let naive_eq: Vec<usize> = (0..col.len()).filter(|&i| col[i] == lo).collect();
+        prop_assert_eq!(eq.iter().collect::<Vec<_>>(), naive_eq);
+    }
+
+    #[test]
+    fn word_iteration_agrees_with_bit_iteration(
+        xs in prop::collection::vec(0usize..700, 0..128),
+        n in 1usize..700,
+        a in 0usize..700,
+        b in 0usize..700,
+    ) {
+        let mut bm = Bitmap::new(n);
+        for &x in xs.iter().filter(|&&x| x < n) {
+            bm.set(x);
+        }
+        // iter_set_words reconstructs exactly the set rows.
+        let mut from_words = Vec::new();
+        for (w, mut word) in bm.iter_set_words() {
+            prop_assert!(word != 0, "iter_set_words must skip zero words");
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                from_words.push(w * 64 + bit);
+            }
+        }
+        prop_assert_eq!(from_words, bm.iter().collect::<Vec<_>>());
+        // for_each_in over any window equals the filtered iteration.
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut masked = Vec::new();
+        bm.for_each_in(lo..hi, |i| masked.push(i));
+        let expect: Vec<usize> = bm.iter().filter(|&i| (lo..hi).contains(&i)).collect();
+        prop_assert_eq!(masked, expect);
+    }
+
+    #[test]
+    fn word_level_set_ops_match_per_bit_ops(
+        aw in prop::collection::vec(any::<u64>(), 0..12),
+        bw in prop::collection::vec(any::<u64>(), 0..12),
+        n in 0usize..700,
+    ) {
+        let a = Bitmap::from_words(aw, n);
+        let b = Bitmap::from_words(bw, n);
+        let mut and = a.clone();
+        and.and(&b);
+        let mut or = a.clone();
+        or.or(&b);
+        for i in 0..n {
+            prop_assert_eq!(and.get(i), a.get(i) && b.get(i));
+            prop_assert_eq!(or.get(i), a.get(i) || b.get(i));
+        }
+        prop_assert_eq!(and.count(), (0..n).filter(|&i| and.get(i)).count());
+        prop_assert_eq!(or.count(), (0..n).filter(|&i| or.get(i)).count());
     }
 }

@@ -31,7 +31,7 @@ proptest! {
         n_quarters in 2usize..8,
     ) {
         let d = corpus(seed, n_events, n_quarters);
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let dense = CoReport::build(&ctx, &d);
         let sliced = sliced_coreport(&ctx, &d);
         prop_assert_eq!(&dense.event_counts, &sliced.event_counts);
@@ -49,7 +49,7 @@ proptest! {
         shards in 1usize..6,
     ) {
         let d = corpus(seed, n_events, 4);
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let single = AggregatedCountryReport::run(&ctx, &d);
         let sd = ShardedDataset::split(&d, shards);
         prop_assert_eq!(sd.total_events(), d.events.len());
@@ -65,7 +65,7 @@ proptest! {
         n_quarters in 2usize..8,
     ) {
         let d = corpus(seed, n_events, n_quarters);
-        let ctx = ExecContext::with_threads(2);
+        let ctx = ExecContext::builder().threads(2).build();
         let Some((base, n)) = gdelt_engine::timeseries::quarter_range(&d) else {
             return Ok(());
         };

@@ -23,7 +23,7 @@ proptest! {
         threshold in 1u32..800,
     ) {
         let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(seed)).0;
-        let ctx = ExecContext::with_threads(threads);
+        let ctx = ExecContext::builder().threads(threads).build();
         let n_countries = CountryRegistry::new().len();
 
         let QueryResult::CoReport(got) = run_query(&ctx, &d, &Query::CoReport) else {
@@ -80,8 +80,8 @@ proptest! {
     #[test]
     fn run_query_is_thread_count_invariant(seed in 0u64..10_000, threads in 2usize..6) {
         let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(seed)).0;
-        let seq = ExecContext::sequential();
-        let par = ExecContext::with_threads(threads);
+        let seq = ExecContext::builder().threads(1).build();
+        let par = ExecContext::builder().threads(threads).build();
         for q in [
             Query::CoReport,
             Query::CrossCountry,
@@ -91,5 +91,150 @@ proptest! {
         ] {
             prop_assert_eq!(run_query(&seq, &d, &q), run_query(&par, &d, &q));
         }
+    }
+
+    // The chunked/word-level kernels must be bit-identical to a naive
+    // row-at-a-time scalar evaluation of the same query — chunking is a
+    // traversal strategy, never a semantics change.
+    #[test]
+    fn vectorized_kernels_match_scalar_reference(
+        seed in 0u64..10_000,
+        threads in 1usize..6,
+        threshold in 1u32..800,
+    ) {
+        let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(seed)).0;
+        let ctx = ExecContext::builder().threads(threads).build();
+        let n_countries = CountryRegistry::new().len();
+        let Some((base, n_quarters)) = timeseries::quarter_range(&d) else {
+            return Ok(());
+        };
+
+        // Time series: per-quarter counters bumped one row at a time.
+        let mut events_ref = vec![0u64; n_quarters];
+        for &q in d.events.quarter.iter() {
+            events_ref[(q - base) as usize] += 1;
+        }
+        let got = timeseries::events_per_quarter(&ctx, &d);
+        prop_assert_eq!(got.values, events_ref.iter().map(|&c| c as f64).collect::<Vec<_>>());
+
+        let mut articles_ref = vec![0u64; n_quarters];
+        let mut late_ref = vec![0u64; n_quarters];
+        let mut active: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); n_quarters];
+        for row in 0..d.mentions.len() {
+            let slot = (d.mentions.quarter[row] - base) as usize;
+            articles_ref[slot] += 1;
+            if d.mentions.delay[row] > threshold {
+                late_ref[slot] += 1;
+            }
+            active[slot].insert(d.mentions.source[row]);
+        }
+        let got = timeseries::articles_per_quarter(&ctx, &d);
+        prop_assert_eq!(got.values, articles_ref.iter().map(|&c| c as f64).collect::<Vec<_>>());
+        let got = timeseries::late_articles_per_quarter(&ctx, &d, threshold);
+        prop_assert_eq!(got.values, late_ref.iter().map(|&c| c as f64).collect::<Vec<_>>());
+        let got = timeseries::active_sources_per_quarter(&ctx, &d);
+        prop_assert_eq!(got.values, active.iter().map(|s| s.len() as f64).collect::<Vec<_>>());
+
+        // Cross-reporting: one scalar pass over the mentions table.
+        let mut by_pub = vec![0u64; n_countries];
+        let mut cross = vec![0u64; n_countries * n_countries];
+        for row in 0..d.mentions.len() {
+            let sc = d.sources.country[d.mentions.source[row] as usize] as usize;
+            if sc >= n_countries {
+                continue;
+            }
+            by_pub[sc] += 1;
+            let er = d.mentions.event_row[row];
+            if er == gdelt_columnar::table::NO_EVENT_ROW {
+                continue;
+            }
+            let ec = d.events.country[er as usize] as usize;
+            if ec < n_countries {
+                cross[ec * n_countries + sc] += 1;
+            }
+        }
+        let got = CrossReport::build(&ctx, &d, n_countries);
+        prop_assert_eq!(got.articles_by_publisher, by_pub);
+        for r in 0..n_countries {
+            for c in 0..n_countries {
+                prop_assert_eq!(got.counts.get(r, c), cross[r * n_countries + c]);
+            }
+        }
+
+        // Per-source delay stats: group scalar-style, then reduce.
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); d.sources.len()];
+        for row in 0..d.mentions.len() {
+            groups[d.mentions.source[row] as usize].push(d.mentions.delay[row]);
+        }
+        let got = delay::per_source_delay_stats(&ctx, &d);
+        prop_assert_eq!(got.len(), groups.len());
+        for (stats, mut g) in got.into_iter().zip(groups) {
+            prop_assert_eq!(stats.count, g.len() as u64);
+            if g.is_empty() {
+                continue;
+            }
+            g.sort_unstable();
+            prop_assert_eq!(stats.min, g[0]);
+            prop_assert_eq!(stats.max, *g.last().unwrap());
+            prop_assert_eq!(stats.median, g[(g.len() - 1) / 2]);
+        }
+
+        // Country co-reporting: per-event distinct country sets via the
+        // CSR index, pairs counted naively.
+        let offsets = &d.event_index.offsets;
+        let mut events_by_country = vec![0u64; n_countries];
+        let mut pair_ref = vec![0u64; n_countries * n_countries];
+        for e in 0..d.events.len() {
+            let (lo, hi) = (offsets[e] as usize, offsets[e + 1] as usize);
+            let mut cs: Vec<usize> = d.mentions.source[lo..hi]
+                .iter()
+                .map(|&s| d.sources.country[s as usize] as usize)
+                .filter(|&c| c < n_countries)
+                .collect();
+            cs.sort_unstable();
+            cs.dedup();
+            for (a, &i) in cs.iter().enumerate() {
+                events_by_country[i] += 1;
+                for &j in &cs[a + 1..] {
+                    pair_ref[i * n_countries + j] += 1;
+                    pair_ref[j * n_countries + i] += 1;
+                }
+            }
+        }
+        let got = CountryCoReport::build(&ctx, &d, n_countries);
+        prop_assert_eq!(got.event_counts, events_by_country);
+        for r in 0..n_countries {
+            for c in 0..n_countries {
+                prop_assert_eq!(got.pairs.get(r, c), pair_ref[r * n_countries + c]);
+            }
+        }
+    }
+
+    // Fused selection+aggregation passes must equal the unfused
+    // two-pass composition: build the selection bitmap first, then
+    // aggregate under the mask.
+    #[test]
+    fn fused_pass_equals_separate_passes(
+        seed in 0u64..10_000,
+        threads in 1usize..6,
+        threshold in 1u32..800,
+    ) {
+        use gdelt_engine::filter::Bitmap;
+        let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(seed)).0;
+        let ctx = ExecContext::builder().threads(threads).build();
+        let Some((base, n_quarters)) = timeseries::quarter_range(&d) else {
+            return Ok(());
+        };
+        // Separate passes: materialize the late-article selection, then
+        // count per quarter under the mask.
+        let late = Bitmap::fill_range(&ctx, &d.mentions.delay, threshold + 1, u32::MAX);
+        let mut unfused = vec![0u64; n_quarters];
+        late.for_each_in(0..d.mentions.len(), |r| {
+            unfused[(d.mentions.quarter[r] - base) as usize] += 1;
+        });
+        // Fused pass: the production kernel.
+        let fused = timeseries::late_articles_per_quarter(&ctx, &d, threshold);
+        prop_assert_eq!(fused.values, unfused.iter().map(|&c| c as f64).collect::<Vec<_>>());
     }
 }

@@ -179,8 +179,8 @@ impl Options {
 
     fn ctx(&self) -> ExecContext {
         match self.threads {
-            Some(n) => ExecContext::with_threads(n),
-            None => ExecContext::new(),
+            Some(n) => ExecContext::builder().threads(n).build(),
+            None => ExecContext::builder().build(),
         }
     }
 
@@ -473,9 +473,18 @@ fn cmd_serve_bench(o: &Options) -> Result<(), String> {
         if !o.no_cache && metrics.cache.hits == 0 {
             return Err("check failed: expected at least one cache hit".into());
         }
+        let lookups = metrics.cache.hits + metrics.cache.misses;
+        if !o.no_cache && report.completed as u64 != lookups {
+            return Err(format!(
+                "check failed: {} completed != {} cache hits + {} misses — \
+                 the replay accounting is dropping coalesced or cached completions",
+                report.completed, metrics.cache.hits, metrics.cache.misses
+            ));
+        }
         eprintln!(
-            "serve-bench check passed: {} cache hits, 0 sheds, {} completed",
-            metrics.cache.hits, metrics.completed
+            "serve-bench check passed: {} completed ({} cache hits + {} misses, \
+             {} kernel runs after coalescing), 0 sheds",
+            report.completed, metrics.cache.hits, metrics.cache.misses, metrics.completed
         );
     }
     Ok(())
@@ -484,6 +493,14 @@ fn cmd_serve_bench(o: &Options) -> Result<(), String> {
 /// Render the committable serve-bench artifact: a flat, dependency-free
 /// JSON object so CI (and humans) can diff latency and cache behaviour
 /// across PRs without parsing the human-readable report.
+///
+/// `completed` counts client-observed completions (cache hits included —
+/// it equals hits + misses on a clean run); `kernel_runs` is the number
+/// of kernel executions the workers performed, which is smaller whenever
+/// the cache or single-flight coalescing absorbed a submission. The
+/// `kernel_<name>_p50_us` fields snapshot the engine's per-kernel
+/// latency histograms so the bench ratchet can hold each kernel's p50
+/// individually, not just the end-to-end serve path.
 fn bench_artifact_json(
     report: &gdelt_serve::ReplayReport,
     metrics: &gdelt_serve::ServiceMetrics,
@@ -492,13 +509,15 @@ fn bench_artifact_json(
 ) -> String {
     let lookups = metrics.cache.hits + metrics.cache.misses;
     let hit_rate = metrics.cache.hits as f64 / lookups.max(1) as f64;
-    format!(
+    let mut out = format!(
         "{{\n  \"queries\": {queries},\n  \"clients\": {clients},\n  \
-         \"completed\": {completed},\n  \"p50_us\": {p50},\n  \"p95_us\": {p95},\n  \
+         \"completed\": {completed},\n  \"kernel_runs\": {kernel_runs},\n  \
+         \"p50_us\": {p50},\n  \"p95_us\": {p95},\n  \
          \"p99_us\": {p99},\n  \"cold_p50_us\": {cold},\n  \"warm_p50_us\": {warm},\n  \
          \"cache_hit_rate\": {rate:.4},\n  \"cache_hits\": {hits},\n  \
-         \"cache_misses\": {misses},\n  \"shed\": {shed}\n}}\n",
-        completed = metrics.completed,
+         \"cache_misses\": {misses},\n  \"shed\": {shed}",
+        completed = report.completed,
+        kernel_runs = metrics.completed,
         p50 = metrics.p50_us,
         p95 = metrics.p95_us,
         p99 = metrics.p99_us,
@@ -508,25 +527,52 @@ fn bench_artifact_json(
         hits = metrics.cache.hits,
         misses = metrics.cache.misses,
         shed = metrics.shed,
-    )
+    );
+    for (kernel, p50) in kernel_p50s() {
+        out.push_str(&format!(",\n  \"kernel_{kernel}_p50_us\": {p50}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Per-kernel p50s from the engine's global `engine_query_us_*`
+/// histograms, in `KERNEL_NAMES` order. Kernels the replay never
+/// executed (empty histogram) are omitted rather than reported as 0, so
+/// a mix change cannot fake a latency win.
+fn kernel_p50s() -> Vec<(&'static str, u64)> {
+    let reg = gdelt_obs::global();
+    gdelt_engine::Query::KERNEL_NAMES
+        .iter()
+        .filter_map(|k| {
+            let hist = reg.histogram(&format!("engine_query_us_{k}"));
+            (hist.count() > 0).then(|| (*k, hist.quantile(0.5)))
+        })
+        .collect()
 }
 
 /// Absolute slack for the bench ratchet: at synthetic scale queries
 /// finish in tens of microseconds, where 20% is below timer jitter.
 const BENCH_NOISE_FLOOR_US: u64 = 200;
 
-/// Fail when this run's p50 regresses the committed artifact's p50 by
-/// more than 20% *and* by more than the absolute noise floor — the same
-/// two-sided guard `obs` uses for its overhead budget.
+/// True when `fresh` regresses `committed` by more than 20% *and* by
+/// more than the absolute noise floor — the same two-sided guard `obs`
+/// uses for its overhead budget.
+fn regresses(fresh: u64, committed: u64) -> bool {
+    let over_floor = fresh > committed.saturating_add(BENCH_NOISE_FLOOR_US);
+    let over_ratio = fresh * 10 > committed * 12;
+    over_floor && over_ratio
+}
+
+/// Hold this run to the committed artifact: the end-to-end serve p50
+/// plus every per-kernel p50 the baseline recorded (and this run also
+/// exercised) must stay within the two-sided regression guard.
 fn check_bench_baseline(path: &std::path::Path, fresh_p50: u64) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("reading bench baseline {}: {e}", path.display()))?;
     let committed = extract_json_u64(&text, "p50_us").ok_or_else(|| {
         format!("bench baseline {} has no integer \"p50_us\" field", path.display())
     })?;
-    let over_floor = fresh_p50 > committed.saturating_add(BENCH_NOISE_FLOOR_US);
-    let over_ratio = fresh_p50 * 10 > committed * 12;
-    if over_floor && over_ratio {
+    if regresses(fresh_p50, committed) {
         return Err(format!(
             "bench ratchet failed: fresh p50 {fresh_p50}us regresses committed p50 \
              {committed}us by more than 20% (+{BENCH_NOISE_FLOOR_US}us noise floor); \
@@ -534,6 +580,23 @@ fn check_bench_baseline(path: &std::path::Path, fresh_p50: u64) -> Result<(), St
         ));
     }
     eprintln!("bench ratchet ok: fresh p50 {fresh_p50}us vs committed {committed}us");
+    for (kernel, fresh_kernel) in kernel_p50s() {
+        let Some(committed_kernel) = extract_json_u64(&text, &format!("kernel_{kernel}_p50_us"))
+        else {
+            continue; // baseline predates per-kernel fields, or never ran this kernel
+        };
+        if regresses(fresh_kernel, committed_kernel) {
+            return Err(format!(
+                "bench ratchet failed: kernel {kernel} fresh p50 {fresh_kernel}us regresses \
+                 committed p50 {committed_kernel}us by more than 20% \
+                 (+{BENCH_NOISE_FLOOR_US}us noise floor)",
+            ));
+        }
+        eprintln!(
+            "bench ratchet ok: kernel {kernel} fresh p50 {fresh_kernel}us \
+             vs committed {committed_kernel}us"
+        );
+    }
     Ok(())
 }
 

@@ -24,7 +24,7 @@
 //! let cfg = gdelt::synth::scenario::tiny(7);
 //! let (dataset, clean_report) = gdelt::synth::generate_dataset(&cfg);
 //!
-//! let ctx = ExecContext::new();
+//! let ctx = ExecContext::builder().build();
 //! let stats = gdelt::analysis::table1::compute(&ctx, &dataset);
 //! assert!(stats.articles >= stats.events);
 //!
@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn prelude_exposes_core_types() {
         use crate::prelude::*;
-        let ctx = ExecContext::sequential();
+        let ctx = ExecContext::builder().threads(1).build();
         assert_eq!(ctx.n_threads(), 1);
         let d = Dataset::default();
         assert!(d.validate().is_ok());

@@ -21,7 +21,7 @@ fn config() -> ServiceConfig {
 #[test]
 fn served_results_match_the_bare_engine() {
     let d = dataset();
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let service = QueryService::new(d.clone(), config());
     for q in [
         Query::CoReport,
@@ -71,7 +71,7 @@ fn generation_bump_invalidates_and_recomputes() {
     // match a direct engine run over the service's dataset snapshot.
     let after = service.run(q).expect("post-batch run");
     assert!(!Arc::ptr_eq(&before, &after), "stale cache entry survived the bump");
-    let direct = run_query(&ExecContext::with_threads(2), &service.dataset(), &q);
+    let direct = run_query(&ExecContext::builder().threads(2).build(), &service.dataset(), &q);
     assert_eq!(*after, direct);
     assert_ne!(*before, *after, "batch changed the articles-per-quarter series");
 }

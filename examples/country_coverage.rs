@@ -13,7 +13,7 @@ use gdelt::prelude::*;
 fn main() {
     let cfg = gdelt::synth::paper_calibrated(5e-4, 77);
     let (dataset, _) = gdelt::synth::generate_dataset(&cfg);
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
     let registry = CountryRegistry::new();
 
     // Table V: country co-reporting (Jaccard). Expect the UK–USA–AUS

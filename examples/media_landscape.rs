@@ -12,7 +12,7 @@ use gdelt::prelude::*;
 fn main() {
     let cfg = gdelt::synth::paper_calibrated(3e-4, 1234);
     let (dataset, _) = gdelt::synth::generate_dataset(&cfg);
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
 
     // Table IV: the follow-reporting matrix of the Top-10 publishers.
     let t4 = table4::compute(&ctx, &dataset, 10);

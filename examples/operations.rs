@@ -15,7 +15,7 @@ fn main() {
     // Day one: convert the backlog.
     let cfg = gdelt::synth::paper_calibrated(2e-4, 7);
     let (mut dataset, _) = gdelt::synth::generate_dataset(&cfg);
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
     println!("{}", memsize::measure(&dataset).render());
 
     // Persist the indexed binary format and load it back.

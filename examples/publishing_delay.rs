@@ -10,7 +10,7 @@ use gdelt::prelude::*;
 fn main() {
     let cfg = gdelt::synth::paper_calibrated(5e-4, 2020);
     let (dataset, _) = gdelt::synth::generate_dataset(&cfg);
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
 
     // Fig 9: per-source delay distributions and the three speed groups.
     let f9 = figs_delay::fig9(&ctx, &dataset);

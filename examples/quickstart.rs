@@ -18,7 +18,7 @@ fn main() {
     let (dataset, clean) = gdelt::synth::generate_dataset(&cfg);
     println!("cleaning report:\n{clean}\n");
 
-    let ctx = ExecContext::new();
+    let ctx = ExecContext::builder().build();
 
     // Table I: dataset statistics.
     let stats = table1::compute(&ctx, &dataset);

@@ -25,7 +25,7 @@ fn file_round_trip_preserves_query_results() {
     assert_eq!(loaded.events.len(), dataset.events.len());
     assert_eq!(loaded.mentions.len(), dataset.mentions.len());
 
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let before = run_full_report(&ctx, &dataset, &Default::default(), ReportOptions::default());
     let after = run_full_report(&ctx, &loaded, &Default::default(), ReportOptions::default());
     assert_eq!(before.render(), after.render());

@@ -37,7 +37,7 @@ fn raw_text_pipeline_matches_direct_build() {
 fn full_report_runs_on_pipeline_output() {
     let cfg = gdelt::synth::scenario::tiny(102);
     let (dataset, clean) = gdelt::synth::generate_dataset(&cfg);
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let report = run_full_report(&ctx, &dataset, &clean, ReportOptions::default());
     // Every paper exhibit is present and non-trivial.
     for section in [
@@ -74,7 +74,7 @@ fn results_are_reproducible_across_runs() {
     let cfg = gdelt::synth::scenario::tiny(103);
     let (d1, _) = gdelt::synth::generate_dataset(&cfg);
     let (d2, _) = gdelt::synth::generate_dataset(&cfg);
-    let ctx = ExecContext::with_threads(4);
+    let ctx = ExecContext::builder().threads(4).build();
     let r1 = run_full_report(&ctx, &d1, &Default::default(), ReportOptions::default());
     let r2 = run_full_report(&ctx, &d2, &Default::default(), ReportOptions::default());
     assert_eq!(r1.render(), r2.render(), "report must be deterministic per seed");

@@ -29,7 +29,7 @@ fn event_source_sets(d: &Dataset) -> BTreeMap<u64, BTreeSet<u32>> {
 #[test]
 fn coreport_matches_brute_force() {
     let d = dataset();
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let cr = CoReport::build(&ctx, &d);
     let sets = event_source_sets(&d);
 
@@ -54,7 +54,7 @@ fn coreport_matches_brute_force() {
 #[test]
 fn followreport_matches_brute_force() {
     let d = dataset();
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let subset: Vec<SourceId> = (0..8.min(d.sources.len())).map(|i| SourceId(i as u32)).collect();
     let fr = FollowReport::build(&ctx, &d, &subset);
 
@@ -101,7 +101,7 @@ fn followreport_matches_brute_force() {
 fn crossreport_matches_row_store_and_brute_force() {
     let d = dataset();
     let reg = CountryRegistry::new();
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let engine = CrossReport::build(&ctx, &d, reg.len());
 
     // The naive row store is an independent (string-based) path.
@@ -121,7 +121,7 @@ fn crossreport_matches_row_store_and_brute_force() {
 fn country_coreport_is_consistent_with_source_coreport() {
     let d = dataset();
     let reg = CountryRegistry::new();
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let cc = CountryCoReport::build(&ctx, &d, reg.len());
 
     // Brute force from per-event country sets.
@@ -143,7 +143,7 @@ fn country_coreport_is_consistent_with_source_coreport() {
 #[test]
 fn delay_stats_match_brute_force() {
     let d = dataset();
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let stats = per_source_delay_stats(&ctx, &d);
 
     let mut per_source: BTreeMap<u32, Vec<u32>> = BTreeMap::new();

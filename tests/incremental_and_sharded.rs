@@ -82,7 +82,7 @@ fn incremental_updates_preserve_query_results() {
         append_batch(&base, events[half_e..].to_vec(), mentions[half_m..].to_vec());
     let full = build(events, mentions);
 
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let a = AggregatedCountryReport::run(&ctx, &updated);
     let b = AggregatedCountryReport::run(&ctx, &full);
     assert_eq!(a, b);
@@ -92,7 +92,7 @@ fn incremental_updates_preserve_query_results() {
 fn sharded_execution_matches_single_node_on_synthetic_corpus() {
     let (events, mentions) = corpus();
     let d = build(events, mentions);
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let single = AggregatedCountryReport::run(&ctx, &d);
 
     for shards in [2usize, 3, 8] {
@@ -114,7 +114,7 @@ fn sharding_then_updating_is_consistent() {
     let (updated, _, _) =
         append_batch(&base, events[half..].to_vec(), mentions[mentions.len() / 2..].to_vec());
 
-    let ctx = ExecContext::with_threads(2);
+    let ctx = ExecContext::builder().threads(2).build();
     let single = AggregatedCountryReport::run(&ctx, &updated);
     let dist = ShardedDataset::split(&updated, 4).aggregated_cross_report(&ctx);
     assert_eq!(dist, single);

@@ -21,7 +21,7 @@ fn dataset() -> &'static Dataset {
 }
 
 fn ctx() -> ExecContext {
-    ExecContext::new()
+    ExecContext::builder().build()
 }
 
 #[test]
