@@ -36,6 +36,7 @@ pub mod filter;
 pub mod followreport;
 pub mod histogram;
 pub mod matrix;
+pub mod partial;
 pub mod query;
 pub mod sharded;
 pub mod sliced;

@@ -1,0 +1,695 @@
+//! Shard partials: the scatter-gather algebra behind the multi-process
+//! serve tier (paper §VII future work, made concrete).
+//!
+//! Every engine kernel is already a *partitioned scan → per-thread
+//! partial → associative merge* ([`crate::exec::ExecContext::map_reduce`]).
+//! This module lifts that structure across process boundaries: a
+//! [`ShardQuery`] is the request a shard worker can answer locally, a
+//! [`ShardPartial`] is the sufficient statistic it returns, and
+//! [`ShardPartial::merge`] + [`finalize`] reassemble the exact
+//! single-process [`QueryResult`]. The contract — enforced by the
+//! equivalence proptests in `crates/shard` — is **bit identity**:
+//! merging shard partials in *any* order equals [`crate::run_query`]
+//! over the unsharded dataset, for every query family.
+//!
+//! Why this works, per family, given stores split by *contiguous
+//! partition range* (`gdelt_columnar::degraded::restrict_to_partitions`,
+//! which keeps the full source directory on every shard and never
+//! splits an event's mentions across shards):
+//!
+//! * **CoReport / CrossCountry** — final structs are elementwise count
+//!   sums over the fixed country domain; per-event logic never crosses
+//!   a shard, so the finals are themselves mergeable partials.
+//! * **FollowReport** — two-phase: global publisher counts pick the
+//!   subset (identical to `top_publishers`), then each shard builds the
+//!   follow submatrix for that *same* subset; follow edges are
+//!   intra-event, so matrices sum.
+//! * **Delay** — finals carry medians/means and do not merge; the
+//!   partial is a per-source sorted delay histogram ([`DelayHist`]),
+//!   from which count/min/max/mean/median finalize exactly. The mean is
+//!   reproduced bit-for-bit because integer-valued f64 sums below 2^53
+//!   are exact (delay sums are far below that bound).
+//! * **TimeSeries** — count series merge by base-aligned addition of
+//!   integer-valued f64 counts (exact); `ActiveSources` needs distinct
+//!   counts, so its partial is one source bitmap per quarter, OR-merged.
+//! * **TopK** — publishers go through the full count vector (summable);
+//!   events ship each shard's local top-k rebased to global rows, and a
+//!   sorted merge + truncate is exact because every event's degree is
+//!   complete within its shard.
+
+use crate::coreport::CountryCoReport;
+use crate::crossreport::CrossReport;
+use crate::delay::DelayStats;
+use crate::exec::{ExecContext, Merge};
+use crate::filter::Bitmap;
+use crate::followreport::FollowReport;
+use crate::query::{Query, QueryResult, SeriesKind, TopKKind};
+use crate::timeseries::QuarterlySeries;
+use crate::topk::top_k_indices;
+use gdelt_columnar::Dataset;
+use gdelt_model::country::CountryRegistry;
+use gdelt_model::ids::SourceId;
+use gdelt_model::time::Quarter;
+
+/// A request a shard worker answers from its local store alone.
+///
+/// Most [`Query`] variants map 1:1 ([`plan`]); `FollowReport` needs a
+/// router-driven first round ([`ShardQuery::PublisherCounts`]) to pick
+/// the globally-agreed subset before the follow pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardQuery {
+    /// Country co-reporting partial.
+    CoReport,
+    /// Follow-reporting over an explicit, globally-agreed subset.
+    FollowReportWith {
+        /// The subset, in global rank order (identical on every shard).
+        sources: Vec<SourceId>,
+    },
+    /// Cross-country counts partial.
+    CrossCountry,
+    /// Per-source delay histograms.
+    Delay,
+    /// One quarterly series partial.
+    TimeSeries(SeriesKind),
+    /// Full per-source article counts (publisher ranking round).
+    PublisherCounts,
+    /// Local top-k events rebased to global event rows.
+    TopEvents {
+        /// Ranking size.
+        k: u32,
+    },
+}
+
+/// How a [`Query`] decomposes into shard rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPlan {
+    /// One scatter round answers the query.
+    Direct(ShardQuery),
+    /// Scatter [`ShardQuery::PublisherCounts`] first, derive the subset
+    /// with [`subset_from_counts`], then scatter
+    /// [`ShardQuery::FollowReportWith`].
+    PublishersThenFollow {
+        /// Size of the publisher selection.
+        top_k: u32,
+    },
+}
+
+/// The scatter plan for `q`.
+pub fn plan(q: &Query) -> ShardPlan {
+    match *q {
+        Query::CoReport => ShardPlan::Direct(ShardQuery::CoReport),
+        Query::FollowReport { top_k } => ShardPlan::PublishersThenFollow { top_k },
+        Query::CrossCountry => ShardPlan::Direct(ShardQuery::CrossCountry),
+        Query::Delay => ShardPlan::Direct(ShardQuery::Delay),
+        Query::TimeSeries(kind) => ShardPlan::Direct(ShardQuery::TimeSeries(kind)),
+        Query::TopK { kind: TopKKind::Publishers, .. } => {
+            ShardPlan::Direct(ShardQuery::PublisherCounts)
+        }
+        Query::TopK { kind: TopKKind::Events, k } => ShardPlan::Direct(ShardQuery::TopEvents { k }),
+    }
+}
+
+/// The top-k publisher subset from merged global counts — identical to
+/// the subset `run_query` derives via `topk::top_publishers`.
+pub fn subset_from_counts(counts: &[u64], k: usize) -> Vec<SourceId> {
+    top_k_indices(counts, k).into_iter().map(|i| SourceId(i as u32)).collect()
+}
+
+/// Per-source sorted delay histogram: `(delay, count)` runs ascending
+/// by delay. The sufficient statistic for exact min/max/mean/median.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DelayHist {
+    /// Sorted `(delay, occurrences)` runs.
+    pub runs: Vec<(u32, u64)>,
+}
+
+impl DelayHist {
+    /// Run-length encode an already-sorted delay slice.
+    pub fn from_sorted_delays(delays: &[u32]) -> DelayHist {
+        let mut runs: Vec<(u32, u64)> = Vec::new();
+        for &dl in delays {
+            match runs.last_mut() {
+                Some((d, c)) if *d == dl => *c += 1,
+                _ => runs.push((dl, 1)),
+            }
+        }
+        DelayHist { runs }
+    }
+
+    /// Fold `other` into `self` (sorted two-way run merge).
+    pub fn merge(&mut self, other: DelayHist) {
+        if other.runs.is_empty() {
+            return;
+        }
+        if self.runs.is_empty() {
+            *self = other;
+            return;
+        }
+        let a = std::mem::take(&mut self.runs);
+        let b = other.runs;
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let (da, ca) = a[i];
+            let (db, cb) = b[j];
+            match da.cmp(&db) {
+                std::cmp::Ordering::Less => {
+                    // analyze: allow(hot_alloc): out is reserved to a.len()+b.len() above; this push never reallocates
+                    out.push((da, ca));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    // analyze: allow(hot_alloc): out is reserved to a.len()+b.len() above; this push never reallocates
+                    out.push((db, cb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    // analyze: allow(hot_alloc): out is reserved to a.len()+b.len() above; this push never reallocates
+                    out.push((da, ca + cb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(a.get(i..).unwrap_or(&[]));
+        out.extend_from_slice(b.get(j..).unwrap_or(&[]));
+        self.runs = out;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.runs.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Finalize to the exact [`DelayStats`] the sequential kernel
+    /// computes for the same multiset of delays.
+    pub fn finalize(&self) -> DelayStats {
+        let count = self.count();
+        if count == 0 {
+            return DelayStats::empty();
+        }
+        let min = self.runs.first().map_or(0, |r| r.0);
+        let max = self.runs.last().map_or(0, |r| r.0);
+        let sum: u64 = self.runs.iter().map(|&(dl, c)| u64::from(dl) * c).sum();
+        // Exact: integer f64 sums below 2^53 match the sequential
+        // accumulation in `stats::mean_u32` bit-for-bit.
+        let mean = sum as f64 / count as f64;
+        // Lower-middle median, as `stats::median_u32` selects.
+        let target = (count - 1) / 2;
+        let mut seen = 0u64;
+        let mut median = 0u32;
+        for &(dl, c) in &self.runs {
+            seen += c;
+            if seen > target {
+                median = dl;
+                break;
+            }
+        }
+        DelayStats { count, min, max, mean, median }
+    }
+}
+
+/// Active-source partial: one source bitmap per quarter (distinct
+/// counts cannot be summed across shards; sets can be unioned).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActiveSourcesPartial {
+    /// Linear quarter index of `quarters[0]` (meaningless when empty).
+    pub base: i32,
+    /// One bitmap over the global source directory per quarter.
+    pub quarters: Vec<Bitmap>,
+}
+
+/// One shard's sufficient statistic for a [`ShardQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardPartial {
+    /// Partial for [`ShardQuery::CoReport`] (the final is mergeable).
+    CoReport(CountryCoReport),
+    /// Partial for [`ShardQuery::FollowReportWith`].
+    FollowReport(FollowReport),
+    /// Partial for [`ShardQuery::CrossCountry`].
+    CrossCountry(CrossReport),
+    /// Partial for [`ShardQuery::Delay`], indexed by source id.
+    Delay(Vec<DelayHist>),
+    /// Count-series partial (Events / Articles / LateArticles): values
+    /// are integer-valued f64 counts, so addition is exact.
+    Series(QuarterlySeries),
+    /// Partial for [`ShardQuery::TimeSeries`] with
+    /// [`SeriesKind::ActiveSources`].
+    ActiveSources(ActiveSourcesPartial),
+    /// Partial for [`ShardQuery::PublisherCounts`].
+    PublisherCounts(Vec<u64>),
+    /// Partial for [`ShardQuery::TopEvents`]: `(global_row, mentions)`
+    /// sorted by `(Reverse(mentions), global_row)`.
+    TopEvents {
+        /// Ranking size the entries were truncated to.
+        k: u32,
+        /// The shard's local top-k, rebased to global event rows.
+        entries: Vec<(u64, u64)>,
+    },
+}
+
+impl ShardPartial {
+    /// Short family tag, for error messages and wire framing.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ShardPartial::CoReport(_) => "coreport",
+            ShardPartial::FollowReport(_) => "followreport",
+            ShardPartial::CrossCountry(_) => "crosscountry",
+            ShardPartial::Delay(_) => "delay",
+            ShardPartial::Series(_) => "series",
+            ShardPartial::ActiveSources(_) => "active_sources",
+            ShardPartial::PublisherCounts(_) => "publisher_counts",
+            ShardPartial::TopEvents { .. } => "top_events",
+        }
+    }
+
+    /// Associative, commutative merge of two same-family partials.
+    ///
+    /// Mismatched families are a routing bug and panic (the same
+    /// contract as `Matrix::merge` on shape mismatch).
+    pub fn merge(self, other: ShardPartial) -> ShardPartial {
+        use ShardPartial as P;
+        match (self, other) {
+            (P::CoReport(mut a), P::CoReport(b)) => {
+                a.pairs.merge(b.pairs);
+                a.event_counts.merge(b.event_counts);
+                P::CoReport(a)
+            }
+            (P::FollowReport(mut a), P::FollowReport(b)) => {
+                // analyze: allow(panic_path): mismatched subsets are a router planning bug, same contract as Matrix::merge on shape mismatch
+                assert_eq!(a.subset, b.subset, "follow partials must agree on the subset");
+                a.follow_counts.merge(b.follow_counts);
+                a.articles.merge(b.articles);
+                P::FollowReport(a)
+            }
+            (P::CrossCountry(mut a), P::CrossCountry(b)) => {
+                a.counts.merge(b.counts);
+                a.articles_by_publisher.merge(b.articles_by_publisher);
+                a.events_by_country.merge(b.events_by_country);
+                P::CrossCountry(a)
+            }
+            (P::Delay(a), P::Delay(b)) => P::Delay(merge_delay(a, b)),
+            (P::Series(a), P::Series(b)) => P::Series(merge_series(a, b)),
+            (P::ActiveSources(a), P::ActiveSources(b)) => P::ActiveSources(merge_active(a, b)),
+            (P::PublisherCounts(mut a), P::PublisherCounts(b)) => {
+                a.merge(b);
+                P::PublisherCounts(a)
+            }
+            (P::TopEvents { k, entries: a }, P::TopEvents { k: kb, entries: b }) => {
+                // analyze: allow(panic_path): mismatched k is a router planning bug, same contract as Matrix::merge on shape mismatch
+                assert_eq!(k, kb, "top-events partials must agree on k");
+                P::TopEvents { k, entries: merge_top_events(a, b, k as usize) }
+            }
+            // analyze: allow(panic_path): cross-family merge is a router planning bug, same contract as Matrix::merge on shape mismatch
+            // lint: allow(no_panic): family mismatch is a router planning bug, same contract as Matrix::merge on shape mismatch
+            (a, b) => panic!(
+                "cannot merge shard partials of different families: {} vs {}",
+                a.family(),
+                b.family()
+            ),
+        }
+    }
+}
+
+/// Answer a [`ShardQuery`] from this shard's local dataset.
+///
+/// `ev_row_base` is the shard's first event's *global* row (contiguous
+/// partition-range splits keep each shard's events a contiguous slice
+/// of the global event table), used to rebase top-event rows.
+pub fn run_shard_query(
+    ctx: &ExecContext,
+    d: &Dataset,
+    sq: &ShardQuery,
+    ev_row_base: u64,
+) -> ShardPartial {
+    let n_countries = CountryRegistry::new().len();
+    match sq {
+        ShardQuery::CoReport => ShardPartial::CoReport(CountryCoReport::build(ctx, d, n_countries)),
+        ShardQuery::FollowReportWith { sources } => {
+            ShardPartial::FollowReport(FollowReport::build(ctx, d, sources))
+        }
+        ShardQuery::CrossCountry => {
+            ShardPartial::CrossCountry(CrossReport::build(ctx, d, n_countries))
+        }
+        ShardQuery::Delay => ShardPartial::Delay(delay_hists(ctx, d)),
+        ShardQuery::TimeSeries(SeriesKind::ActiveSources) => {
+            ShardPartial::ActiveSources(active_sources_partial(d))
+        }
+        ShardQuery::TimeSeries(kind) => ShardPartial::Series(match kind {
+            SeriesKind::Events => crate::timeseries::events_per_quarter(ctx, d),
+            SeriesKind::Articles => crate::timeseries::articles_per_quarter(ctx, d),
+            SeriesKind::LateArticles { threshold } => {
+                crate::timeseries::late_articles_per_quarter(ctx, d, *threshold)
+            }
+            // Handled by the arm above.
+            SeriesKind::ActiveSources => unreachable!("active sources uses the bitmap partial"),
+        }),
+        ShardQuery::PublisherCounts => ShardPartial::PublisherCounts(crate::aggregate::count_by(
+            ctx,
+            &d.mentions.source,
+            d.sources.len(),
+        )),
+        ShardQuery::TopEvents { k } => {
+            let entries = crate::topk::top_events(ctx, d, *k as usize)
+                .into_iter()
+                .map(|(row, deg)| (ev_row_base + row as u64, deg))
+                .collect();
+            ShardPartial::TopEvents { k: *k, entries }
+        }
+    }
+}
+
+/// Reassemble the exact single-process [`QueryResult`] from a fully
+/// merged partial. Panics on a family mismatch (routing bug).
+pub fn finalize(q: &Query, p: ShardPartial) -> QueryResult {
+    match (q, p) {
+        (Query::CoReport, ShardPartial::CoReport(r)) => QueryResult::CoReport(r),
+        (Query::FollowReport { .. }, ShardPartial::FollowReport(r)) => QueryResult::FollowReport(r),
+        (Query::CrossCountry, ShardPartial::CrossCountry(r)) => QueryResult::CrossCountry(r),
+        (Query::Delay, ShardPartial::Delay(hists)) => {
+            QueryResult::Delay(hists.iter().map(DelayHist::finalize).collect())
+        }
+        (Query::TimeSeries(SeriesKind::ActiveSources), ShardPartial::ActiveSources(a)) => {
+            QueryResult::TimeSeries(finalize_active(a))
+        }
+        (Query::TimeSeries(_), ShardPartial::Series(s)) => QueryResult::TimeSeries(s),
+        (Query::TopK { kind: TopKKind::Publishers, k }, ShardPartial::PublisherCounts(counts)) => {
+            let ranked = top_k_indices(&counts, *k as usize)
+                .into_iter()
+                .map(|i| (SourceId(i as u32), counts[i]))
+                .collect();
+            QueryResult::TopPublishers(ranked)
+        }
+        (Query::TopK { kind: TopKKind::Events, .. }, ShardPartial::TopEvents { entries, .. }) => {
+            QueryResult::TopEvents(entries.into_iter().map(|(row, d)| (row as usize, d)).collect())
+        }
+        // lint: allow(no_panic): family mismatch is a router planning bug, same contract as Matrix::merge on shape mismatch
+        (q, p) => panic!("shard partial {} does not finalize query {q}", p.family()),
+    }
+}
+
+/// Per-source delay histograms — the Delay partial builder. Grouping
+/// mirrors `delay::per_source_delay_stats` (counting sort + scatter),
+/// then each source's slice is sorted and run-length encoded.
+fn delay_hists(ctx: &ExecContext, d: &Dataset) -> Vec<DelayHist> {
+    use rayon::prelude::*;
+    let n_sources = d.sources.len();
+    if n_sources == 0 {
+        return Vec::new();
+    }
+    let counts = crate::aggregate::count_by(ctx, &d.mentions.source, n_sources);
+    let mut offsets = vec![0usize; n_sources + 1];
+    for i in 0..n_sources {
+        offsets[i + 1] = offsets[i] + counts[i] as usize;
+    }
+    let mut grouped = vec![0u32; d.mentions.len()];
+    let mut cursor = offsets.clone();
+    for (&s, &dl) in d.mentions.source.iter().zip(d.mentions.delay.iter()) {
+        let Some(cur) = cursor.get_mut(s as usize) else { continue };
+        if let Some(slot) = grouped.get_mut(*cur) {
+            *slot = dl;
+        }
+        *cur += 1;
+    }
+    ctx.install(|| {
+        (0..n_sources)
+            .into_par_iter()
+            .map(|s| {
+                let (lo, hi) = (offsets[s], offsets[s + 1]);
+                // analyze: allow(hot_alloc): sort_unstable needs an owned per-source scratch; bounded by the source's mention count
+                let mut buf = grouped[lo..hi].to_vec();
+                buf.sort_unstable();
+                DelayHist::from_sorted_delays(&buf)
+            })
+            .collect()
+    })
+}
+
+/// Active-sources partial builder: the shard's quarter span with one
+/// source bitmap per quarter.
+fn active_sources_partial(d: &Dataset) -> ActiveSourcesPartial {
+    let Some((base, n)) = crate::timeseries::quarter_range(d) else {
+        return ActiveSourcesPartial::default();
+    };
+    let n_sources = d.sources.len();
+    let mut quarters: Vec<Bitmap> = (0..n).map(|_| Bitmap::new(n_sources)).collect();
+    for (&q, &s) in d.mentions.quarter.iter().zip(d.mentions.source.iter()) {
+        if let Some(bm) = quarters.get_mut(q.wrapping_sub(base) as usize) {
+            bm.set(s as usize);
+        }
+    }
+    ActiveSourcesPartial { base: i32::from(base), quarters }
+}
+
+fn merge_delay(mut a: Vec<DelayHist>, b: Vec<DelayHist>) -> Vec<DelayHist> {
+    if a.len() < b.len() {
+        return merge_delay(b, a);
+    }
+    for (x, y) in a.iter_mut().zip(b) {
+        x.merge(y);
+    }
+    a
+}
+
+/// Base-aligned addition of two count series. Values are integer-valued
+/// f64 counts, so f64 addition is exact and order-independent.
+fn merge_series(a: QuarterlySeries, b: QuarterlySeries) -> QuarterlySeries {
+    if b.values.is_empty() {
+        return a;
+    }
+    if a.values.is_empty() {
+        return b;
+    }
+    let (ab, bb) = (a.base.linear(), b.base.linear());
+    let base = ab.min(bb);
+    let end = (ab + a.values.len() as i32).max(bb + b.values.len() as i32);
+    let mut values = vec![0f64; (end - base) as usize];
+    for (i, v) in a.values.iter().enumerate() {
+        if let Some(slot) = values.get_mut((ab - base) as usize + i) {
+            *slot += v;
+        }
+    }
+    for (i, v) in b.values.iter().enumerate() {
+        if let Some(slot) = values.get_mut((bb - base) as usize + i) {
+            *slot += v;
+        }
+    }
+    QuarterlySeries { base: Quarter::from_linear(base), values }
+}
+
+/// Base-aligned OR of per-quarter source bitmaps.
+fn merge_active(a: ActiveSourcesPartial, b: ActiveSourcesPartial) -> ActiveSourcesPartial {
+    if b.quarters.is_empty() {
+        return a;
+    }
+    if a.quarters.is_empty() {
+        return b;
+    }
+    let n_sources = a.quarters[0].len();
+    let base = a.base.min(b.base);
+    let end = (a.base + a.quarters.len() as i32).max(b.base + b.quarters.len() as i32);
+    let mut quarters: Vec<Bitmap> =
+        (0..(end - base) as usize).map(|_| Bitmap::new(n_sources)).collect();
+    for (i, bm) in a.quarters.iter().enumerate() {
+        if let Some(slot) = quarters.get_mut((a.base - base) as usize + i) {
+            slot.or(bm);
+        }
+    }
+    for (i, bm) in b.quarters.iter().enumerate() {
+        if let Some(slot) = quarters.get_mut((b.base - base) as usize + i) {
+            slot.or(bm);
+        }
+    }
+    ActiveSourcesPartial { base, quarters }
+}
+
+fn finalize_active(a: ActiveSourcesPartial) -> QuarterlySeries {
+    if a.quarters.is_empty() {
+        // Matches the kernels' empty-dataset anchor.
+        return QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: Vec::new() };
+    }
+    QuarterlySeries {
+        base: Quarter::from_linear(a.base),
+        values: a.quarters.iter().map(|bm| bm.count() as f64).collect(),
+    }
+}
+
+/// Sorted merge of two top-k entry lists under the global order key
+/// `(Reverse(mentions), global_row)`, truncated to `k`.
+fn merge_top_events(a: Vec<(u64, u64)>, b: Vec<(u64, u64)>, k: usize) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend(a);
+    out.extend(b);
+    out.sort_by_key(|&(row, deg)| (std::cmp::Reverse(deg), row));
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::run_query;
+    use gdelt_columnar::degraded::restrict_to_partitions;
+
+    const PARTS: u32 = 8;
+
+    fn dataset() -> Dataset {
+        gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(99)).0
+    }
+
+    fn ctx() -> ExecContext {
+        ExecContext::builder().threads(2).build()
+    }
+
+    /// Split into `n_shards` contiguous partition ranges; returns each
+    /// shard's dataset and global event-row base.
+    fn split(d: &Dataset, n_shards: u32) -> Vec<(Dataset, u64)> {
+        let mut shards = Vec::new();
+        let mut ev_base = 0u64;
+        for s in 0..n_shards {
+            let lo = s * PARTS / n_shards;
+            let hi = (s + 1) * PARTS / n_shards;
+            let quarantined: Vec<u32> = (0..PARTS).filter(|p| *p < lo || *p >= hi).collect();
+            let shard = restrict_to_partitions(d, PARTS, &quarantined).unwrap();
+            let events = shard.events.len() as u64;
+            shards.push((shard, ev_base));
+            ev_base += events;
+        }
+        shards
+    }
+
+    fn all_queries() -> Vec<Query> {
+        vec![
+            Query::CoReport,
+            Query::FollowReport { top_k: 5 },
+            Query::CrossCountry,
+            Query::Delay,
+            Query::TimeSeries(SeriesKind::Events),
+            Query::TimeSeries(SeriesKind::Articles),
+            Query::TimeSeries(SeriesKind::ActiveSources),
+            Query::TimeSeries(SeriesKind::LateArticles { threshold: 96 }),
+            Query::TopK { kind: TopKKind::Publishers, k: 7 },
+            Query::TopK { kind: TopKKind::Events, k: 7 },
+        ]
+    }
+
+    /// Run `q` through the scatter-gather algebra over `shards`.
+    fn scatter_gather(ctx: &ExecContext, shards: &[(Dataset, u64)], q: &Query) -> QueryResult {
+        let partials = |sq: &ShardQuery| -> ShardPartial {
+            shards
+                .iter()
+                .map(|(d, base)| run_shard_query(ctx, d, sq, *base))
+                .reduce(ShardPartial::merge)
+                .expect("at least one shard")
+        };
+        match plan(q) {
+            ShardPlan::Direct(sq) => finalize(q, partials(&sq)),
+            ShardPlan::PublishersThenFollow { top_k } => {
+                let ShardPartial::PublisherCounts(counts) = partials(&ShardQuery::PublisherCounts)
+                else {
+                    panic!("wrong partial family");
+                };
+                let sources = subset_from_counts(&counts, top_k as usize);
+                finalize(q, partials(&ShardQuery::FollowReportWith { sources }))
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_gather_is_bit_identical_for_every_family() {
+        let d = dataset();
+        let ctx = ctx();
+        for n_shards in [1u32, 2, 4] {
+            let shards = split(&d, n_shards);
+            for q in all_queries() {
+                let expect = run_query(&ctx, &d, &q);
+                let got = scatter_gather(&ctx, &shards, &q);
+                assert_eq!(got, expect, "{q} over {n_shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let d = dataset();
+        let ctx = ctx();
+        let shards = split(&d, 4);
+        for q in all_queries() {
+            let ShardPlan::Direct(sq) = plan(&q) else { continue };
+            let ps: Vec<ShardPartial> =
+                shards.iter().map(|(sd, base)| run_shard_query(&ctx, sd, &sq, *base)).collect();
+            let forward = ps.clone().into_iter().reduce(ShardPartial::merge).unwrap();
+            let reverse = ps.clone().into_iter().rev().reduce(ShardPartial::merge).unwrap();
+            assert_eq!(forward, reverse, "{q}: forward vs reverse merge");
+            // A tree-shaped reduction must also agree.
+            let pairs =
+                ps[0].clone().merge(ps[1].clone()).merge(ps[2].clone().merge(ps[3].clone()));
+            assert_eq!(forward, pairs, "{q}: linear vs tree merge");
+        }
+    }
+
+    #[test]
+    fn delay_hist_matches_sequential_stats() {
+        let delays = [5u32, 0, 5, 9, 9, 9, 2];
+        let mut sorted = delays.to_vec();
+        sorted.sort_unstable();
+        let hist = DelayHist::from_sorted_delays(&sorted);
+        let stats = hist.finalize();
+        assert_eq!((stats.count, stats.min, stats.max), (7, 0, 9));
+        assert_eq!(stats.median, crate::stats::median_u32(&mut delays.to_vec()));
+        assert_eq!(stats.mean, crate::stats::mean_u32(&delays));
+    }
+
+    #[test]
+    fn delay_hist_merge_equals_concatenation() {
+        let mut a = DelayHist::from_sorted_delays(&[1, 1, 4, 8]);
+        let b = DelayHist::from_sorted_delays(&[0, 4, 4, 9]);
+        a.merge(b);
+        assert_eq!(a, DelayHist::from_sorted_delays(&[0, 1, 1, 4, 4, 4, 8, 9]));
+        // Empty is the identity on both sides.
+        let mut e = DelayHist::default();
+        e.merge(a.clone());
+        assert_eq!(e, a);
+        let mut a2 = a.clone();
+        a2.merge(DelayHist::default());
+        assert_eq!(a2, a);
+    }
+
+    #[test]
+    fn series_merge_aligns_disjoint_bases() {
+        let a = QuarterlySeries { base: Quarter { year: 2015, q: 1 }, values: vec![1.0, 2.0] };
+        let b = QuarterlySeries { base: Quarter { year: 2015, q: 4 }, values: vec![7.0] };
+        let m = merge_series(a, b);
+        assert_eq!(m.base, Quarter { year: 2015, q: 1 });
+        assert_eq!(m.values, vec![1.0, 2.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn top_events_merge_breaks_ties_by_global_row() {
+        let a = vec![(0u64, 5u64), (3, 2)];
+        let b = vec![(1u64, 5u64), (2, 3)];
+        assert_eq!(merge_top_events(a, b, 3), vec![(0, 5), (1, 5), (2, 3)]);
+    }
+
+    #[test]
+    fn plan_covers_every_variant() {
+        for q in all_queries() {
+            match (q, plan(&q)) {
+                (Query::FollowReport { top_k }, ShardPlan::PublishersThenFollow { top_k: k }) => {
+                    assert_eq!(top_k, k)
+                }
+                (Query::FollowReport { .. }, other) => panic!("bad plan {other:?}"),
+                (_, ShardPlan::Direct(_)) => {}
+                (q, other) => panic!("bad plan {other:?} for {q}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different families")]
+    fn cross_family_merge_panics() {
+        let a = ShardPartial::PublisherCounts(vec![1]);
+        let b = ShardPartial::Delay(Vec::new());
+        let _ = a.merge(b);
+    }
+}

@@ -175,8 +175,13 @@ impl Query {
     /// kernel makes over its driving table; absolute scale is arbitrary,
     /// only ratios matter to the admission controller. Always ≥ 1.
     pub fn cost_estimate(&self, d: &Dataset) -> u64 {
-        let mentions = d.mentions.len() as u64;
-        let events = d.events.len() as u64;
+        self.cost_estimate_rows(d.events.len() as u64, d.mentions.len() as u64)
+    }
+
+    /// [`Query::cost_estimate`] from row counts alone — for callers
+    /// (e.g. a shard router) that price queries against a store they
+    /// never map, from shard manifests or health frames.
+    pub fn cost_estimate_rows(&self, events: u64, mentions: u64) -> u64 {
         let cost = match self {
             Query::CoReport => mentions * 3,
             Query::FollowReport { .. } => mentions * 4,

@@ -33,8 +33,10 @@
 
 pub mod plan;
 pub mod rng;
+pub mod shard;
 pub mod shim;
 
 pub use plan::{Fault, FaultPlan, PlanSpec, ScheduledFault, ALWAYS};
 pub use rng::{seeded_picks, SplitMix64};
+pub use shard::{ShardFault, ShardFaultPlan};
 pub use shim::FaultyRead;

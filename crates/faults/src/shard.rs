@@ -1,0 +1,207 @@
+//! Seeded shard-level faults: which worker dies (or stalls), and when.
+//!
+//! The store-level [`crate::FaultPlan`] murders partitions under the
+//! loader; this module murders *processes* under the shard router. The
+//! same discipline applies: a [`ShardFaultPlan`] is a pure function of
+//! `(seed, n_shards, horizon)`, so a chaos run is reproducible down to
+//! the exact query index at which each worker is killed or delayed,
+//! and the plan serializes to JSON for CI artifacts.
+//!
+//! The plan itself performs no I/O and touches no processes — the
+//! chaos harness reads it and does the killing (`child.kill()`) or
+//! passes the delay to the worker's deterministic `fault_delay_at`
+//! hook. That keeps all fault mechanics out of product code paths,
+//! mirroring how [`crate::FaultPlan`] slots under the loader as a shim.
+
+use crate::rng::{seeded_picks, SplitMix64};
+
+/// What happens to one shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// Kill the worker process just before it would answer the
+    /// `at_query`-th router scatter (0-based).
+    Kill {
+        /// Scatter index at which the kill lands.
+        at_query: u64,
+    },
+    /// Delay the worker's answer to the `at_query`-th request by
+    /// `ms` milliseconds (drives router timeout handling).
+    Delay {
+        /// Request index at which the delay lands.
+        at_query: u64,
+        /// Injected latency in milliseconds.
+        ms: u64,
+    },
+}
+
+/// A deterministic schedule of shard faults for one chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFaultPlan {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Shards in the split.
+    pub n_shards: u32,
+    /// Per-shard fault (at most one per shard), as `(shard, fault)`,
+    /// ascending by shard id.
+    pub faults: Vec<(u32, ShardFault)>,
+}
+
+impl ShardFaultPlan {
+    /// Derive a plan: `kills` victims die and `delays` victims stall
+    /// by `delay_ms`, each at a query index in `[1, horizon)`. Victim
+    /// sets are disjoint; the same seed always yields the same plan.
+    ///
+    /// Query indices start at 1 so the router always completes at
+    /// least one full-coverage scatter first — the chaos assertions
+    /// need a healthy baseline to compare against.
+    pub fn seeded(
+        seed: u64,
+        n_shards: u32,
+        kills: u32,
+        delays: u32,
+        delay_ms: u64,
+        horizon: u64,
+    ) -> ShardFaultPlan {
+        let total = kills.saturating_add(delays).min(n_shards) as u64;
+        let victims: Vec<u64> =
+            seeded_picks(seed ^ 0x5AAD_F001, u64::from(n_shards), total).into_iter().collect();
+        let mut rng = SplitMix64::new(seed ^ 0x5AAD_F002);
+        let horizon = horizon.max(2);
+        let mut faults = Vec::with_capacity(victims.len());
+        for (i, &v) in victims.iter().enumerate() {
+            let at_query = 1 + rng.below(horizon - 1);
+            let fault = if (i as u32) < kills.min(n_shards) {
+                ShardFault::Kill { at_query }
+            } else {
+                ShardFault::Delay { at_query, ms: delay_ms }
+            };
+            faults.push((v as u32, fault));
+        }
+        faults.sort_by_key(|&(s, _)| s);
+        ShardFaultPlan { seed, n_shards, faults }
+    }
+
+    /// The kill scheduled for `shard`, if any.
+    pub fn kill_at(&self, shard: u32) -> Option<u64> {
+        self.faults.iter().find_map(|&(s, f)| match f {
+            ShardFault::Kill { at_query } if s == shard => Some(at_query),
+            _ => None,
+        })
+    }
+
+    /// The delay scheduled for `shard`, if any, as `(at_query, ms)`.
+    pub fn delay_at(&self, shard: u32) -> Option<(u64, u64)> {
+        self.faults.iter().find_map(|&(s, f)| match f {
+            ShardFault::Delay { at_query, ms } if s == shard => Some((at_query, ms)),
+            _ => None,
+        })
+    }
+
+    /// Shard ids scheduled to die, ascending.
+    pub fn killed_shards(&self) -> Vec<u32> {
+        self.faults
+            .iter()
+            .filter_map(|&(s, f)| matches!(f, ShardFault::Kill { .. }).then_some(s))
+            .collect()
+    }
+
+    /// The earliest scatter index at which any kill lands (the point
+    /// the chaos harness pauses replay to do the murdering).
+    pub fn first_kill_query(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|&(_, f)| match f {
+                ShardFault::Kill { at_query } => Some(at_query),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Hand-rolled JSON, shipping with chaos artifacts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"n_shards\": {},\n", self.n_shards));
+        out.push_str("  \"faults\": [\n");
+        for (i, (s, f)) in self.faults.iter().enumerate() {
+            let body = match f {
+                ShardFault::Kill { at_query } => {
+                    format!("{{\"shard\": {s}, \"kind\": \"kill\", \"at_query\": {at_query}}}")
+                }
+                ShardFault::Delay { at_query, ms } => format!(
+                    "{{\"shard\": {s}, \"kind\": \"delay\", \"at_query\": {at_query}, \"ms\": {ms}}}"
+                ),
+            };
+            out.push_str(&format!(
+                "    {body}{}\n",
+                if i + 1 < self.faults.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = ShardFaultPlan::seeded(42, 4, 1, 1, 250, 64);
+        let b = ShardFaultPlan::seeded(42, 4, 1, 1, 250, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let plans: Vec<_> = (0..16).map(|s| ShardFaultPlan::seeded(s, 8, 2, 1, 100, 64)).collect();
+        assert!(plans.windows(2).any(|w| w[0].faults != w[1].faults));
+    }
+
+    #[test]
+    fn victims_are_disjoint_and_in_range() {
+        for seed in 0..32 {
+            let p = ShardFaultPlan::seeded(seed, 6, 2, 2, 50, 32);
+            assert_eq!(p.faults.len(), 4);
+            let mut shards: Vec<u32> = p.faults.iter().map(|&(s, _)| s).collect();
+            shards.dedup();
+            assert_eq!(shards.len(), 4, "victims must be distinct");
+            assert!(shards.iter().all(|&s| s < 6));
+            for &(_, f) in &p.faults {
+                let at = match f {
+                    ShardFault::Kill { at_query } => at_query,
+                    ShardFault::Delay { at_query, .. } => at_query,
+                };
+                assert!((1..32).contains(&at), "fault at {at} outside [1, horizon)");
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_agree_with_schedule() {
+        let p = ShardFaultPlan::seeded(7, 4, 1, 1, 123, 16);
+        let killed = p.killed_shards();
+        assert_eq!(killed.len(), 1);
+        assert_eq!(p.kill_at(killed[0]), Some(p.first_kill_query().unwrap()));
+        let delayed: Vec<u32> = p
+            .faults
+            .iter()
+            .filter_map(|&(s, f)| matches!(f, ShardFault::Delay { .. }).then_some(s))
+            .collect();
+        assert_eq!(delayed.len(), 1);
+        let (at, ms) = p.delay_at(delayed[0]).unwrap();
+        assert_eq!(ms, 123);
+        assert!(at >= 1);
+        assert_eq!(p.kill_at(delayed[0]), None);
+    }
+
+    #[test]
+    fn more_faults_than_shards_saturates() {
+        let p = ShardFaultPlan::seeded(3, 2, 5, 5, 10, 8);
+        assert_eq!(p.faults.len(), 2);
+        assert_eq!(p.killed_shards().len(), 2, "kills take precedence");
+    }
+}

@@ -20,6 +20,14 @@
 //!   serve mix under worker panics and `apply_batch` storms while
 //!   asserting the degradation invariants; its failure artifacts
 //!   include a flight-recorder dump next to the fault schedule.
+//!   With `--shards N` it runs the sharded arm instead: kill and
+//!   stall worker processes on a seeded schedule and assert exact
+//!   degraded coverage, cache invalidation, and recovery;
+//! * `split-store` — partition a store into N shard stores plus a
+//!   manifest, ready for `shard-worker` processes;
+//! * `shard-worker` — serve one shard store over the wire protocol
+//!   (the scatter-gather router in `serve-bench --shards` and the
+//!   chaos shard arm spawn these).
 
 use gdelt_analysis::report::{run_full_report, scaling_thread_counts, ReportOptions};
 use gdelt_columnar::{binfmt, DatasetBuilder};
@@ -46,6 +54,8 @@ fn main() -> ExitCode {
         "synth-report" => cmd_synth_report(&opts),
         "bench-scaling" => cmd_bench_scaling(&opts),
         "serve-bench" => cmd_serve_bench(&opts),
+        "split-store" => cmd_split_store(&opts),
+        "shard-worker" => cmd_shard_worker(&opts),
         "obs" => cmd_obs(&opts),
         "chaos" => cmd_chaos(&opts),
         "help" | "--help" | "-h" => {
@@ -78,12 +88,16 @@ USAGE:
   gdelt-cli bench-scaling [--scale S] [--seed N]
   gdelt-cli serve-bench   [--scale S] [--seed N] [--queries N] [--workers N]
                           [--clients N] [--threads N] [--no-cache] [--check]
-                          [--metrics-out FILE] [--trace-out FILE]
+                          [--shards N] [--metrics-out FILE] [--trace-out FILE]
                           [--bench-out FILE] [--bench-baseline FILE]
+  gdelt-cli split-store   --data FILE.gdhpc --out DIR --shards N
+  gdelt-cli shard-worker  --data SHARD.gdhpc [--shard-id N] [--partitions N]
+                          [--ev-row-base N] [--port P] [--threads N]
   gdelt-cli obs           [--scale S] [--seed N] [--queries N] [--workers N]
                           [--clients N] [--threads N] [--out DIR] [--check]
   gdelt-cli chaos         [--seed N] [--scale S] [--out DIR] [--queries N]
                           [--workers N] [--clients N] [--threads N] [--check]
+                          [--shards N]
 
 OPTIONS:
   --scale S    synthetic corpus scale in (0, 1]; 1.0 = the paper's full
@@ -116,7 +130,21 @@ OPTIONS:
   --bench-baseline FILE  serve-bench: compare this run's p50 against a
                committed bench artifact; exit non-zero when the fresh
                p50 regresses the committed one by more than 20% beyond
-               the noise floor
+               the noise floor (with --shards: compares router_p50_us)
+  --shards N   split-store: how many shard stores to split into
+               serve-bench: replay the mix through a scatter-gather
+               router over N shard worker processes (alongside the
+               single-process control arm) and report the overhead
+               chaos: run the sharded arm — kill and stall workers on
+               the seeded schedule, assert exact Degraded{live,total}
+               coverage, cache invalidation, and recovery
+  --shard-id N --partitions N --ev-row-base N --port P
+               shard-worker: one worker's identity and bind port (the
+               split-store manifest records the right values; port 0
+               picks a free port, reported as a LISTENING line)
+  --fault-delay-at N --fault-delay-ms MS
+               shard-worker: deterministically stall the N-th request
+               by MS milliseconds (the chaos delay arm)
 ";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -142,6 +170,13 @@ struct Options {
     trace_out: Option<PathBuf>,
     bench_out: Option<PathBuf>,
     bench_baseline: Option<PathBuf>,
+    shards: Option<u32>,
+    shard_id: Option<u32>,
+    partitions: Option<u32>,
+    ev_row_base: Option<u64>,
+    port: Option<u16>,
+    fault_delay_at: Option<u64>,
+    fault_delay_ms: Option<u64>,
 }
 
 impl Options {
@@ -171,6 +206,13 @@ impl Options {
                 "--trace-out" => o.trace_out = Some(PathBuf::from(take())),
                 "--bench-out" => o.bench_out = Some(PathBuf::from(take())),
                 "--bench-baseline" => o.bench_baseline = Some(PathBuf::from(take())),
+                "--shards" => o.shards = take().parse().ok(),
+                "--shard-id" => o.shard_id = take().parse().ok(),
+                "--partitions" => o.partitions = take().parse().ok(),
+                "--ev-row-base" => o.ev_row_base = take().parse().ok(),
+                "--port" => o.port = take().parse().ok(),
+                "--fault-delay-at" => o.fault_delay_at = take().parse().ok(),
+                "--fault-delay-ms" => o.fault_delay_ms = take().parse().ok(),
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
         }
@@ -406,6 +448,9 @@ fn cmd_bench_scaling(o: &Options) -> Result<(), String> {
 fn cmd_serve_bench(o: &Options) -> Result<(), String> {
     use gdelt_serve::{replay, seeded_mix, QueryService, ServiceConfig};
 
+    if let Some(n) = o.shards {
+        return cmd_serve_bench_shards(o, n);
+    }
     let cfg = o.config();
     eprintln!(
         "generating synthetic corpus: {} sources, {} events, seed {}",
@@ -717,6 +762,9 @@ const CHAOS_QUERIES: [Query; 8] = [
 ];
 
 fn cmd_chaos(o: &Options) -> Result<(), String> {
+    if o.shards.is_some() {
+        return cmd_chaos_shards(o);
+    }
     use gdelt_columnar::binfmt::save_with_partitions;
     use gdelt_columnar::degraded::restrict_to_partitions;
     use gdelt_columnar::{load_degraded_with, LoadPolicy};
@@ -1032,6 +1080,785 @@ fn cmd_chaos(o: &Options) -> Result<(), String> {
     } else {
         let msg = format!(
             "chaos: {} invariant(s) violated (seed {seed}, schedule at {})",
+            violations.len(),
+            schedule_path.display()
+        );
+        if o.check {
+            Err(msg)
+        } else {
+            eprintln!("{msg}");
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded serve tier: split-store / shard-worker subcommands, the
+// serve-bench router arm, and the chaos shard arm.
+// ---------------------------------------------------------------------------
+
+fn cmd_split_store(o: &Options) -> Result<(), String> {
+    let data = o.data.as_deref().ok_or("split-store requires --data FILE.gdhpc")?;
+    let out = o.output.as_deref().ok_or("split-store requires --out DIR")?;
+    let n = o.shards.ok_or("split-store requires --shards N")?;
+    let manifest = gdelt_shard::split_store(data, out, n)
+        .map_err(|e| format!("splitting {}: {e}", data.display()))?;
+    println!(
+        "split {} ({} partitions) into {} shard store(s) under {}",
+        data.display(),
+        manifest.source_partitions,
+        manifest.shards.len(),
+        out.display()
+    );
+    for (i, s) in manifest.shards.iter().enumerate() {
+        println!(
+            "  shard {i}: {} — {} partition(s), {} events (row base {}), {} mentions",
+            s.file, s.partitions, s.events, s.ev_row_base, s.mentions
+        );
+    }
+    Ok(())
+}
+
+fn cmd_shard_worker(o: &Options) -> Result<(), String> {
+    use gdelt_shard::{ShardWorker, WorkerConfig};
+    use std::io::Write as _;
+
+    let store = o.data.clone().ok_or("shard-worker requires --data SHARD.gdhpc")?;
+    let cfg = WorkerConfig {
+        store,
+        shard_id: o.shard_id.unwrap_or(0),
+        partitions: o.partitions.unwrap_or(1),
+        ev_row_base: o.ev_row_base.unwrap_or(0),
+        threads: o.threads.unwrap_or(2),
+        fault_delay_at: o.fault_delay_at,
+        fault_delay_ms: o.fault_delay_ms.unwrap_or(0),
+    };
+    let worker = ShardWorker::load(cfg).map_err(|e| format!("loading shard store: {e}"))?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", o.port.unwrap_or(0)))
+        .map_err(|e| format!("binding worker port: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| format!("worker local addr: {e}"))?;
+    // The spawner parses this exact line to learn the assigned port.
+    println!("LISTENING {addr}");
+    let _ = std::io::stdout().flush();
+    worker.serve(listener).map_err(|e| format!("worker accept loop: {e}"))
+}
+
+/// One spawned `shard-worker` child process. Killed on drop so no run
+/// — passing or failing — leaves orphan workers behind.
+struct WorkerProc {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl WorkerProc {
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn port(&self) -> Result<u16, String> {
+        self.addr
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| format!("unparseable worker address {:?}", self.addr))
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Spawn one worker process (re-invoking this binary) and block until
+/// it reports its bound address.
+fn spawn_worker_proc(
+    store: &std::path::Path,
+    shard_id: u32,
+    partitions: u32,
+    ev_row_base: u64,
+    port: u16,
+    fault_delay: Option<(u64, u64)>,
+) -> Result<WorkerProc, String> {
+    use std::io::BufRead as _;
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("shard-worker")
+        .arg("--data")
+        .arg(store)
+        .arg("--shard-id")
+        .arg(shard_id.to_string())
+        .arg("--partitions")
+        .arg(partitions.to_string())
+        .arg("--ev-row-base")
+        .arg(ev_row_base.to_string())
+        .arg("--port")
+        .arg(port.to_string())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+    if let Some((at, ms)) = fault_delay {
+        cmd.arg("--fault-delay-at").arg(at.to_string());
+        cmd.arg("--fault-delay-ms").arg(ms.to_string());
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("spawning shard {shard_id}: {e}"))?;
+    let stdout = child.stdout.take().ok_or("shard worker child has no stdout")?;
+    let mut line = String::new();
+    let read = std::io::BufReader::new(stdout).read_line(&mut line);
+    let addr = match read {
+        Ok(_) => line.strip_prefix("LISTENING ").map(|a| a.trim().to_string()),
+        Err(_) => None,
+    };
+    match addr {
+        Some(addr) if !addr.is_empty() => Ok(WorkerProc { child, addr }),
+        _ => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(format!("shard {shard_id} never reported its address (got {line:?})"))
+        }
+    }
+}
+
+/// Spawn one worker per manifest shard on OS-assigned ports. `delay`
+/// is `(shard, at_request, ms)` for the chaos delay arm.
+fn spawn_fleet(
+    shard_dir: &std::path::Path,
+    manifest: &gdelt_shard::ShardManifest,
+    delay: Option<(u32, u64, u64)>,
+) -> Result<Vec<WorkerProc>, String> {
+    manifest
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let fd = delay.and_then(|(s, at, ms)| (s == i as u32).then_some((at, ms)));
+            spawn_worker_proc(
+                &manifest.shard_path(shard_dir, i),
+                i as u32,
+                e.partitions,
+                e.ev_row_base,
+                0,
+                fd,
+            )
+        })
+        .collect()
+}
+
+/// Respawn a killed worker on its original port. The OS can hold the
+/// port briefly after the kill, so bind failures retry.
+fn respawn_worker(
+    store: &std::path::Path,
+    shard_id: u32,
+    entry: &gdelt_shard::ShardEntry,
+    port: u16,
+) -> Result<WorkerProc, String> {
+    let mut last = String::new();
+    for _ in 0..10 {
+        match spawn_worker_proc(store, shard_id, entry.partitions, entry.ev_row_base, port, None) {
+            Ok(w) => return Ok(w),
+            Err(e) => {
+                last = e;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+    }
+    Err(format!("respawning shard {shard_id} on port {port}: {last}"))
+}
+
+/// Replay `mix` through the router from `clients` threads; returns
+/// `(completed, errors, per-query (mix index, latency µs) samples)`.
+fn router_replay(
+    router: &gdelt_shard::Router,
+    mix: &[Query],
+    clients: usize,
+) -> (u64, u64, Vec<(usize, u64)>) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let next = AtomicUsize::new(0);
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut samples = Vec::with_capacity(mix.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = 0u64;
+                    let mut errs = 0u64;
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= mix.len() {
+                            break;
+                        }
+                        let t0 = std::time::Instant::now();
+                        match router.query(&mix[i]) {
+                            Ok(_) => {
+                                done += 1;
+                                lat.push((i, t0.elapsed().as_micros() as u64));
+                            }
+                            Err(_) => errs += 1,
+                        }
+                    }
+                    (done, errs, lat)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (d, e, l) = h.join().expect("router client thread");
+            completed += d;
+            errors += e;
+            samples.extend(l);
+        }
+    });
+    (completed, errors, samples)
+}
+
+fn p50_of(latencies: &mut [u64]) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    latencies[latencies.len() / 2]
+}
+
+/// Split replay samples into cold (first occurrence of each distinct
+/// query in mix order — the scatter path) and warm (repeats — the
+/// cache path) p50s, mirroring `gdelt_serve::replay`'s classification.
+fn cold_warm_p50(mix: &[Query], samples: &[(usize, u64)]) -> (u64, u64) {
+    let mut seen = std::collections::HashSet::new();
+    let cold: std::collections::HashSet<usize> =
+        mix.iter().enumerate().filter(|(_, q)| seen.insert(**q)).map(|(i, _)| i).collect();
+    let mut cold_lat = Vec::new();
+    let mut warm_lat = Vec::new();
+    for &(i, us) in samples {
+        if cold.contains(&i) {
+            cold_lat.push(us);
+        } else {
+            warm_lat.push(us);
+        }
+    }
+    (p50_of(&mut cold_lat), p50_of(&mut warm_lat))
+}
+
+/// The `serve-bench --shards N` arm: the same seeded mix replayed
+/// twice — once through the single-process `QueryService` (control)
+/// and once through the scatter-gather router over N freshly split
+/// shard worker processes — so the committed artifact records the
+/// sharded tier's end-to-end overhead, not just its absolute latency.
+fn cmd_serve_bench_shards(o: &Options, n_shards: u32) -> Result<(), String> {
+    use gdelt_serve::{replay, seeded_mix, QueryService, ServiceConfig};
+    use gdelt_shard::{split_store, Router, RouterConfig};
+
+    const STORE_PARTITIONS: u32 = 8;
+    if n_shards == 0 || n_shards > STORE_PARTITIONS {
+        return Err(format!("--shards must be in 1..={STORE_PARTITIONS}, got {n_shards}"));
+    }
+    let cfg = o.config();
+    eprintln!(
+        "generating synthetic corpus: {} sources, {} events, seed {}",
+        cfg.n_sources, cfg.n_events, cfg.seed
+    );
+    let (dataset, _) = gdelt_synth::generate_dataset(&cfg);
+    let mix = seeded_mix(o.queries.unwrap_or(200), o.seed.unwrap_or(42));
+    let clients = o.clients.unwrap_or(4);
+
+    // Control arm: the single-process service over the identical mix,
+    // best of three replays (the cold set is small, so a single pass
+    // is at the mercy of scheduler noise — the same best-of-N
+    // discipline `obs` uses for its overhead budget).
+    const BENCH_PASSES: usize = 3;
+    let mut single_cold_p50 = u64::MAX;
+    let mut single_warm_p50 = u64::MAX;
+    for _ in 0..BENCH_PASSES {
+        let service = QueryService::new(
+            dataset.clone(),
+            ServiceConfig {
+                workers: o.workers.unwrap_or(2),
+                cache_enabled: !o.no_cache,
+                threads: o.threads,
+                ..Default::default()
+            },
+        );
+        let single_report = replay(&service, &mix, clients);
+        if single_report.errors > 0 {
+            return Err(format!(
+                "single-process control arm errored {} times",
+                single_report.errors
+            ));
+        }
+        single_cold_p50 = single_cold_p50.min(single_report.cold_p50_us);
+        single_warm_p50 = single_warm_p50.min(single_report.warm_p50_us);
+    }
+
+    // Sharded arm: split the store on disk, one worker process per
+    // shard, same mix through the router.
+    let dir = PathBuf::from("target/serve-bench-shards");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let store = dir.join("store.gdhpc");
+    gdelt_columnar::binfmt::save_with_partitions(&store, &dataset, STORE_PARTITIONS)
+        .map_err(|e| format!("writing {}: {e}", store.display()))?;
+    let shard_dir = dir.join("shards");
+    let manifest = split_store(&store, &shard_dir, n_shards)
+        .map_err(|e| format!("splitting {}: {e}", store.display()))?;
+    let fleet = spawn_fleet(&shard_dir, &manifest, None)?;
+    eprintln!(
+        "replaying {} queries from {clients} client(s) over {n_shards} shard worker(s), cache {}",
+        mix.len(),
+        if o.no_cache { "disabled" } else { "enabled" },
+    );
+    // Same best-of-three on the router arm; a fresh router per pass so
+    // every pass replays the same cold set through a cold cache.
+    let mut router_cold_p50 = u64::MAX;
+    let mut router_warm_p50 = u64::MAX;
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut stats = gdelt_shard::RouterStats::default();
+    for _ in 0..BENCH_PASSES {
+        let router = Router::new(
+            manifest.clone(),
+            RouterConfig {
+                addrs: fleet.iter().map(|w| w.addr.clone()).collect(),
+                cache_enabled: !o.no_cache,
+                read_timeout: std::time::Duration::from_secs(5),
+                ..RouterConfig::default()
+            },
+        );
+        let (done, errs, samples) = router_replay(&router, &mix, clients);
+        let (cold, warm) = cold_warm_p50(&mix, &samples);
+        router_cold_p50 = router_cold_p50.min(cold);
+        router_warm_p50 = router_warm_p50.min(warm);
+        completed = done;
+        errors = errs;
+        stats = router.stats();
+    }
+    drop(fleet);
+
+    // Overhead is judged on the cold (scatter) path: warm answers on
+    // both sides are cache lookups and say nothing about sharding.
+    let overhead_pct = if single_cold_p50 > 0 {
+        (router_cold_p50 as i64 - single_cold_p50 as i64) * 100 / single_cold_p50 as i64
+    } else {
+        0
+    };
+    println!("single-process cold p50: {single_cold_p50}us, warm p50: {single_warm_p50}us");
+    println!(
+        "router over {n_shards} shard(s): cold p50 {router_cold_p50}us \
+         ({overhead_pct:+}% vs single-process), warm p50 {router_warm_p50}us"
+    );
+    println!(
+        "router: {completed} completed, {} hits + {} misses, {} reconnect(s) outside the \
+         hit/miss ledger, {} degraded, {} shed",
+        stats.hits, stats.misses, stats.retries, stats.degraded, stats.shed
+    );
+
+    if let Some(path) = &o.bench_out {
+        let text = shard_bench_artifact_json(
+            n_shards,
+            mix.len(),
+            clients,
+            (single_cold_p50, single_warm_p50),
+            (router_cold_p50, router_warm_p50),
+            overhead_pct,
+            &stats,
+        );
+        write(path.clone(), &text)?;
+        eprintln!("wrote shard bench artifact to {}", path.display());
+    }
+    if let Some(path) = &o.bench_baseline {
+        check_shard_bench_baseline(path, router_cold_p50)?;
+    }
+
+    if o.check {
+        if errors > 0 {
+            return Err(format!("check failed: {errors} router queries errored"));
+        }
+        if stats.degraded > 0 {
+            return Err(format!(
+                "check failed: {} degraded answers on a healthy fleet",
+                stats.degraded
+            ));
+        }
+        if stats.shed != 0 {
+            return Err(format!("check failed: {} queries shed at low load", stats.shed));
+        }
+        if !o.no_cache && stats.hits == 0 {
+            return Err("check failed: expected at least one router cache hit".into());
+        }
+        // Reconnects are neither hits nor misses: a dial that went on
+        // to answer must not double-count its query on either side of
+        // the cache ledger.
+        if !o.no_cache && stats.completed != stats.hits + stats.misses {
+            return Err(format!(
+                "check failed: {} completed != {} hits + {} misses — the {} reconnect(s) \
+                 must stay outside the hit/miss ledger",
+                stats.completed, stats.hits, stats.misses, stats.retries
+            ));
+        }
+        eprintln!(
+            "serve-bench --shards check passed: {} completed ({} hits + {} misses, \
+             {} reconnect(s) outside the ledger), 0 degraded, 0 sheds",
+            stats.completed, stats.hits, stats.misses, stats.retries
+        );
+    }
+    Ok(())
+}
+
+/// The committable sharded-bench artifact: flat JSON like the
+/// single-process one, recording both arms and the router's ledger.
+fn shard_bench_artifact_json(
+    n_shards: u32,
+    queries: usize,
+    clients: usize,
+    single: (u64, u64),
+    router: (u64, u64),
+    overhead_pct: i64,
+    stats: &gdelt_shard::RouterStats,
+) -> String {
+    format!(
+        "{{\n  \"shards\": {n_shards},\n  \"queries\": {queries},\n  \"clients\": {clients},\n  \
+         \"single_cold_p50_us\": {},\n  \"single_warm_p50_us\": {},\n  \
+         \"router_cold_p50_us\": {},\n  \"router_warm_p50_us\": {},\n  \
+         \"router_overhead_pct\": {overhead_pct},\n  \"completed\": {},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"reconnects\": {},\n  \
+         \"degraded\": {},\n  \"shed\": {},\n  \"invalidations\": {}\n}}\n",
+        single.0,
+        single.1,
+        router.0,
+        router.1,
+        stats.completed,
+        stats.hits,
+        stats.misses,
+        stats.retries,
+        stats.degraded,
+        stats.shed,
+        stats.invalidations
+    )
+}
+
+/// Ratchet for the sharded artifact: the fresh router p50 must stay
+/// within the same two-sided regression guard as the single-process
+/// bench.
+fn check_shard_bench_baseline(path: &std::path::Path, fresh: u64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading bench baseline {}: {e}", path.display()))?;
+    let committed = extract_json_u64(&text, "router_cold_p50_us").ok_or_else(|| {
+        format!("bench baseline {} has no integer \"router_cold_p50_us\" field", path.display())
+    })?;
+    if regresses(fresh, committed) {
+        return Err(format!(
+            "bench ratchet failed: fresh router p50 {fresh}us regresses committed \
+             {committed}us by more than 20% (+{BENCH_NOISE_FLOOR_US}us noise floor); \
+             fix the regression or re-run serve-bench --shards --bench-out to re-baseline",
+        ));
+    }
+    eprintln!("bench ratchet ok: fresh router p50 {fresh}us vs committed {committed}us");
+    Ok(())
+}
+
+/// The chaos queries whose shard plan is a single scatter round. The
+/// delay arm needs the victim's request index to equal the query
+/// index, and `FollowReport` issues two requests per query.
+fn direct_chaos_queries() -> Vec<Query> {
+    CHAOS_QUERIES.iter().copied().filter(|q| !matches!(q, Query::FollowReport { .. })).collect()
+}
+
+/// Lift a `run_query` answer over the partition-restricted control
+/// dataset into the surviving shards' global row space: the restricted
+/// store renumbers event rows contiguously, while shard partials keep
+/// their original `ev_row_base`, so restricted rows at or past the
+/// dead shard's block shift back up by its event count. Only
+/// `TopEvents` exposes row ids; every other family is row-free, and
+/// the shift is monotonic so stable tie-breaks are preserved.
+fn remap_restricted_rows(mut r: QueryResult, dead_base: u64, dead_events: u64) -> QueryResult {
+    if let QueryResult::TopEvents(entries) = &mut r {
+        for (row, _) in entries.iter_mut() {
+            if *row as u64 >= dead_base {
+                *row += dead_events as usize;
+            }
+        }
+    }
+    r
+}
+
+/// The chaos shard arm: a seeded `ShardFaultPlan` drives a real worker
+/// fleet through kill, recovery, and stall, asserting at every step
+/// that the router's answers stay bit-identical to a single-process
+/// control (full or partition-restricted), that coverage is *exactly*
+/// `Degraded{live,total}` for the scheduled victims, that no stale
+/// cache entry survives a shard death, and that reconnection restores
+/// full coverage.
+fn cmd_chaos_shards(o: &Options) -> Result<(), String> {
+    use gdelt_columnar::binfmt::save_with_partitions;
+    use gdelt_columnar::degraded::restrict_to_partitions;
+    use gdelt_faults::{ShardFault, ShardFaultPlan};
+    use gdelt_shard::{shard_range, split_store, ReconnectPolicy, Router, RouterConfig};
+
+    const STORE_PARTITIONS: u32 = 8;
+    let n_shards = o.shards.unwrap_or(3);
+    if !(2..=STORE_PARTITIONS).contains(&n_shards) {
+        return Err(format!("chaos --shards needs 2..={STORE_PARTITIONS} shards, got {n_shards}"));
+    }
+    let seed = o.seed.unwrap_or(42);
+    let out_dir = o.output.clone().unwrap_or_else(|| PathBuf::from("target/chaos-shards"));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let mut violations: Vec<String> = Vec::new();
+    let mut violated = |v: String| {
+        eprintln!("VIOLATION: {v}");
+        violations.push(v);
+    };
+    let ctx = o.ctx();
+
+    // ---- build + split the store ---------------------------------------
+    let cfg = o.config();
+    eprintln!("chaos --shards: seed {seed}, {n_shards} shards ({} events)", cfg.n_events);
+    let (clean, _) = gdelt_synth::generate_dataset(&cfg);
+    let store = out_dir.join("store.gdhpc");
+    save_with_partitions(&store, &clean, STORE_PARTITIONS)
+        .map_err(|e| format!("writing {}: {e}", store.display()))?;
+    let shard_dir = out_dir.join("shards");
+    let manifest =
+        split_store(&store, &shard_dir, n_shards).map_err(|e| format!("splitting: {e}"))?;
+    let total = manifest.source_partitions;
+
+    // ---- the seeded fault schedule -------------------------------------
+    let direct = direct_chaos_queries();
+    let horizon = direct.len() as u64;
+    const DELAY_MS: u64 = 1200;
+    let plan = ShardFaultPlan::seeded(seed, n_shards, 1, 1, DELAY_MS, horizon);
+    if plan != ShardFaultPlan::seeded(seed, n_shards, 1, 1, DELAY_MS, horizon) {
+        violated("shard fault plan is not deterministic for its seed".into());
+    }
+    let schedule_path = out_dir.join("shard-fault-schedule.json");
+    std::fs::write(&schedule_path, plan.to_json())
+        .map_err(|e| format!("writing {}: {e}", schedule_path.display()))?;
+    eprintln!("chaos --shards: schedule -> {}", schedule_path.display());
+    let kill_victim = plan.killed_shards()[0] as usize;
+    let kill_at = plan.first_kill_query().expect("one kill scheduled");
+
+    // ---- phase S1: healthy fleet, bit-identical + cached ---------------
+    let mut fleet = spawn_fleet(&shard_dir, &manifest, None)?;
+    let reconnect = ReconnectPolicy { max_attempts: 2, backoff_ms: 5, cap_ms: 40 };
+    let router = Router::new(
+        manifest.clone(),
+        RouterConfig {
+            addrs: fleet.iter().map(|w| w.addr.clone()).collect(),
+            read_timeout: std::time::Duration::from_secs(5),
+            reconnect,
+            ..RouterConfig::default()
+        },
+    );
+    for q in &CHAOS_QUERIES {
+        let expect = run_query(&ctx, &clean, q);
+        match router.query(q) {
+            Ok(ans) => {
+                if !ans.coverage.is_full() {
+                    violated(format!("healthy fleet served {q} with partial coverage"));
+                }
+                if *ans.result != expect {
+                    violated(format!("router answer for {q} differs from single-process"));
+                }
+            }
+            Err(e) => violated(format!("healthy fleet failed {q}: {e}")),
+        }
+    }
+    let s1 = router.stats();
+    for q in &CHAOS_QUERIES {
+        match router.query(q) {
+            Ok(ans) => {
+                if *ans.result != run_query(&ctx, &clean, q) {
+                    violated(format!("cached answer for {q} differs from single-process"));
+                }
+            }
+            Err(e) => violated(format!("cached re-ask of {q} failed: {e}")),
+        }
+    }
+    let s2 = router.stats();
+    if s2.hits < s1.hits + CHAOS_QUERIES.len() as u64 {
+        violated("warm re-ask did not hit the router cache".into());
+    }
+    if s2.completed != s2.hits + s2.misses {
+        violated("router hit/miss ledger broke on the healthy fleet".into());
+    }
+    eprintln!("chaos --shards: healthy arm ok ({} completed, {} hits)", s2.completed, s2.hits);
+
+    // ---- phase S2: the scheduled kill ----------------------------------
+    let dead = manifest.shards[kill_victim].clone();
+    let live_parts = total - dead.partitions;
+    let (lo, hi) = shard_range(STORE_PARTITIONS, n_shards, kill_victim as u32);
+    let victim_range: Vec<u32> = (lo..hi).collect();
+    let restricted = restrict_to_partitions(&clean, STORE_PARTITIONS, &victim_range)
+        .map_err(|e| format!("restricting the control dataset: {e}"))?;
+
+    let gen_before = router.generation();
+    for (i, q) in CHAOS_QUERIES.iter().enumerate() {
+        if i as u64 == kill_at {
+            eprintln!("chaos --shards: killing shard {kill_victim} before query {i}");
+            fleet[kill_victim].kill();
+            let probed = router.probe();
+            if probed[kill_victim].is_some() {
+                violated("killed worker still answers health probes".into());
+            }
+            if router.generation() <= gen_before {
+                violated("shard death did not bump the cache generation".into());
+            }
+        }
+        match router.query(q) {
+            Ok(ans) => {
+                if (i as u64) < kill_at {
+                    if !ans.coverage.is_full() {
+                        violated(format!("pre-kill query {q} lost coverage"));
+                    }
+                } else {
+                    if ans.coverage.live != live_parts || ans.coverage.total != total {
+                        violated(format!(
+                            "query {q} after the kill reported {}/{} coverage, want \
+                             {live_parts}/{total}",
+                            ans.coverage.live, ans.coverage.total
+                        ));
+                    }
+                    let expect = remap_restricted_rows(
+                        run_query(&ctx, &restricted, q),
+                        dead.ev_row_base,
+                        dead.events,
+                    );
+                    if *ans.result != expect {
+                        violated(format!(
+                            "degraded answer for {q} is not bit-identical to the \
+                             restricted store"
+                        ));
+                    }
+                }
+            }
+            Err(e) => violated(format!("ServePartial query {q} failed after the kill: {e}")),
+        }
+    }
+    let s3 = router.stats();
+    if s3.completed != s3.hits + s3.misses {
+        violated("hit/miss ledger broke across the shard kill".into());
+    }
+    if s3.degraded < CHAOS_QUERIES.len() as u64 - kill_at {
+        violated("degraded answers were undercounted after the kill".into());
+    }
+    eprintln!(
+        "chaos --shards: kill arm ok (shard {kill_victim} at query {kill_at}, \
+         exact {live_parts}/{total} coverage held)"
+    );
+
+    // ---- phase S3: respawn on the same port, full recovery -------------
+    let port = fleet[kill_victim].port()?;
+    fleet[kill_victim] = respawn_worker(
+        &manifest.shard_path(&shard_dir, kill_victim),
+        kill_victim as u32,
+        &dead,
+        port,
+    )?;
+    let mut revived = false;
+    for _ in 0..50 {
+        if router.probe()[kill_victim].is_some() {
+            revived = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    if !revived {
+        violated("respawned worker never became reachable".into());
+    }
+    for q in &CHAOS_QUERIES {
+        match router.query(q) {
+            Ok(ans) => {
+                if !ans.coverage.is_full() {
+                    violated(format!("post-revive query {q} still degraded"));
+                }
+                if *ans.result != run_query(&ctx, &clean, q) {
+                    violated(format!("post-revive answer for {q} differs from single-process"));
+                }
+            }
+            Err(e) => violated(format!("post-revive query {q} failed: {e}")),
+        }
+    }
+    let s4 = router.stats();
+    if s4.retries == 0 {
+        violated("recovery produced no counted reconnect".into());
+    }
+    eprintln!("chaos --shards: recovery arm ok ({} reconnect(s))", s4.retries);
+    drop(fleet);
+
+    // ---- phase S4: the scheduled stall -> timeout -> exact window ------
+    let (delay_victim, delay_at, delay_ms) = plan
+        .faults
+        .iter()
+        .find_map(|&(s, f)| match f {
+            ShardFault::Delay { at_query, ms } => Some((s as usize, at_query, ms)),
+            _ => None,
+        })
+        .expect("one delay scheduled");
+    let delay_parts = manifest.shards[delay_victim].partitions;
+    let fleet2 =
+        spawn_fleet(&shard_dir, &manifest, Some((delay_victim as u32, delay_at, delay_ms)))?;
+    let router2 = Router::new(
+        manifest.clone(),
+        RouterConfig {
+            addrs: fleet2.iter().map(|w| w.addr.clone()).collect(),
+            // Cache off so each direct query is exactly one request at
+            // the victim: its request index equals the query index.
+            cache_enabled: false,
+            read_timeout: std::time::Duration::from_millis(200),
+            reconnect,
+            ..RouterConfig::default()
+        },
+    );
+    for (i, q) in direct.iter().enumerate() {
+        match router2.query(q) {
+            Ok(ans) => {
+                if i as u64 == delay_at {
+                    if ans.coverage.live != total - delay_parts {
+                        violated(format!(
+                            "stall window: query {q} reported {}/{total} coverage, want \
+                             {}/{total}",
+                            ans.coverage.live,
+                            total - delay_parts
+                        ));
+                    }
+                } else if !ans.coverage.is_full() {
+                    violated(format!(
+                        "query {q} (index {i}) lost coverage outside the stall window"
+                    ));
+                }
+            }
+            Err(e) => violated(format!("stall-arm query {q} failed: {e}")),
+        }
+    }
+    if router2.stats().retries == 0 {
+        violated("the timed-out shard never reconnected".into());
+    }
+    eprintln!(
+        "chaos --shards: stall arm ok (shard {delay_victim} stalled {delay_ms}ms at \
+         query {delay_at}, timeout handled)"
+    );
+    drop(fleet2);
+
+    // ---- the black box --------------------------------------------------
+    let flight = gdelt_obs::flight_snapshot();
+    if !flight.iter().any(|e| e.component == "shard") {
+        violated("the shard faults left no flight-recorder trace".into());
+    }
+    let flight_path = out_dir.join("flight-recorder.txt");
+    std::fs::write(&flight_path, gdelt_obs::render_flight(&flight))
+        .map_err(|e| format!("writing {}: {e}", flight_path.display()))?;
+    eprintln!(
+        "chaos --shards: flight recorder ({} events) -> {}",
+        flight.len(),
+        flight_path.display()
+    );
+
+    if violations.is_empty() {
+        eprintln!("chaos --shards: all invariants held (seed {seed})");
+        Ok(())
+    } else {
+        let msg = format!(
+            "chaos --shards: {} invariant(s) violated (seed {seed}, schedule at {})",
             violations.len(),
             schedule_path.display()
         );

@@ -1,0 +1,524 @@
+//! Scatter-gather router: the front door of the sharded serve tier.
+//!
+//! The router owns everything the single-process `QueryService` owns —
+//! admission control, the generation-stamped result cache, coverage
+//! accounting — but its "workers" are shard processes reached over the
+//! wire protocol. One admitted [`Query`] becomes a scatter of
+//! [`ShardQuery`]s (two rounds for follow-reports), the surviving
+//! partials merge with the engine's associative
+//! [`ShardPartial::merge`], and [`partial::finalize`] reassembles the
+//! bit-identical single-process answer.
+//!
+//! Failure maps onto the degraded-store vocabulary the repo already
+//! speaks: a dead or timed-out shard is a quarantined *partition
+//! range*, so coverage is `live/total` in source-store partitions,
+//! `DegradedPolicy::ServePartial` answers over the survivors and
+//! `DegradedPolicy::Fail` returns [`ServeError::Degraded`]. Reconnects
+//! use capped exponential backoff (the `LoadPolicy` discipline), and
+//! only full-coverage answers enter the cache, so a shard death can
+//! never leave a stale partial answer behind.
+
+use crate::split::ShardManifest;
+use crate::wire::{Frame, Hello};
+use gdelt_columnar::Coverage;
+use gdelt_engine::partial::{self, plan, ShardPartial, ShardPlan, ShardQuery};
+use gdelt_engine::{Query, QueryResult};
+use gdelt_serve::{
+    Admission, AdmissionConfig, CoveredAnswer, DegradedPolicy, ServeError, ShardedCache,
+};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Capped-exponential reconnect schedule: attempt `a` (0-based) waits
+/// `min(backoff_ms << a, cap_ms)` before dialing.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectPolicy {
+    /// Dial attempts per scatter before declaring the shard dead.
+    pub max_attempts: u32,
+    /// Base backoff before the second attempt, in milliseconds.
+    pub backoff_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy { max_attempts: 2, backoff_ms: 10, cap_ms: 200 }
+    }
+}
+
+impl ReconnectPolicy {
+    /// Backoff before attempt `a` (no wait before the first).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let factor = 1u64 << attempt.saturating_sub(1).min(16);
+        Duration::from_millis(self.backoff_ms.saturating_mul(factor).min(self.cap_ms))
+    }
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// `host:port` per shard, in shard-id order (must match the
+    /// manifest's shard order).
+    pub addrs: Vec<String>,
+    /// What to do when shards are missing.
+    pub policy: DegradedPolicy,
+    /// Result cache toggle.
+    pub cache_enabled: bool,
+    /// Cache shards.
+    pub cache_shards: usize,
+    /// Cache capacity per cache shard.
+    pub cache_capacity_per_shard: usize,
+    /// Admission queue bound.
+    pub max_queue: usize,
+    /// Admission in-flight cost budget.
+    pub max_cost_in_flight: u64,
+    /// Per-shard read timeout.
+    pub read_timeout: Duration,
+    /// Reconnect schedule.
+    pub reconnect: ReconnectPolicy,
+    /// Idle connections kept per shard. Concurrent scatters each check
+    /// out their own connection (dialing on demand), so cold queries
+    /// never serialize behind one shard socket; this caps how many
+    /// stay pooled between scatters.
+    pub pool_per_shard: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addrs: Vec::new(),
+            policy: DegradedPolicy::ServePartial,
+            cache_enabled: true,
+            cache_shards: 8,
+            cache_capacity_per_shard: 64,
+            max_queue: 256,
+            max_cost_in_flight: u64::MAX / 4,
+            read_timeout: Duration::from_secs(10),
+            reconnect: ReconnectPolicy::default(),
+            pool_per_shard: 8,
+        }
+    }
+}
+
+/// Counters the bench and chaos arms read. Retries are reconnects that
+/// went on to succeed; they are *neither* hits nor misses, so
+/// `completed == hits + misses` stays an invariant under sharding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Queries answered (hit or computed).
+    pub completed: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (scatter computed the answer).
+    pub misses: u64,
+    /// Successful shard reconnects (not counted as hit or miss).
+    pub retries: u64,
+    /// Answers served with partial coverage.
+    pub degraded: u64,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Cache invalidations from shard generation/membership changes.
+    pub invalidations: u64,
+}
+
+struct ShardSlot {
+    addr: String,
+    /// Idle connections, checked out per request so concurrent
+    /// scatters to the same shard run on distinct sockets (the worker
+    /// serves one thread per connection).
+    pool: Mutex<Vec<Connection>>,
+    /// Consecutive dial failures (drives backoff growth across
+    /// scatters; reset on success).
+    failures: AtomicU64,
+}
+
+impl ShardSlot {
+    fn check_out(&self) -> Option<Connection> {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop()
+    }
+
+    fn check_in(&self, conn: Connection, cap: usize) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        // analyze: allow(guard_across_await_or_call): Vec::len on the guarded pool itself — no other lock is reachable
+        if pool.len() < cap.max(1) {
+            // analyze: allow(guard_across_await_or_call): Vec::len/push on the guarded pool itself — no other lock is reachable
+            pool.push(conn);
+        }
+    }
+
+    /// Drop every pooled connection — they share the fate of the one
+    /// that just failed, and keeping them would make the shard look
+    /// dead for several scatters after it comes back.
+    fn clear(&self) {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+struct Connection {
+    stream: TcpStream,
+    hello: Hello,
+}
+
+/// One live answer from a shard.
+struct ShardAnswer {
+    shard: usize,
+    generation: u64,
+    partial: ShardPartial,
+    /// True when the connection was re-dialed for this scatter.
+    reconnected: bool,
+}
+
+/// The scatter-gather front-end.
+pub struct Router {
+    cfg: RouterConfig,
+    manifest: ShardManifest,
+    slots: Vec<ShardSlot>,
+    admission: Admission,
+    cache: ShardedCache,
+    /// Per-shard generation (0 = dead) as of the last scatter; any
+    /// change invalidates the cache.
+    last_sig: Mutex<Vec<u64>>,
+    completed: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+    invalidations: AtomicU64,
+    /// Total rows, for admission pricing.
+    events: u64,
+    mentions: u64,
+}
+
+impl Router {
+    /// Build a router over `manifest`'s shards at `cfg.addrs`.
+    pub fn new(manifest: ShardManifest, cfg: RouterConfig) -> Router {
+        assert_eq!(cfg.addrs.len(), manifest.shards.len(), "one address per manifest shard");
+        let slots = cfg
+            .addrs
+            .iter()
+            .map(|a| ShardSlot {
+                addr: a.clone(),
+                pool: Mutex::new(Vec::new()),
+                failures: AtomicU64::new(0),
+            })
+            .collect();
+        let admission = Admission::new(AdmissionConfig {
+            max_queue: cfg.max_queue,
+            max_cost_in_flight: cfg.max_cost_in_flight,
+        });
+        let cache = ShardedCache::new(cfg.cache_shards, cfg.cache_capacity_per_shard);
+        let events = manifest.shards.iter().map(|s| s.events).sum();
+        let mentions = manifest.shards.iter().map(|s| s.mentions).sum();
+        let n = manifest.shards.len();
+        Router {
+            cfg,
+            manifest,
+            slots,
+            admission,
+            cache,
+            last_sig: Mutex::new(vec![0; n]),
+            completed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            events,
+            mentions,
+        }
+    }
+
+    /// Stats snapshot.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            shed: self.admission.shed_count(),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cache stats (hit/miss/evict counts come from the shared
+    /// `ShardedCache`, same as the single-process service).
+    pub fn cache_stats(&self) -> gdelt_serve::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Current router cache generation.
+    pub fn generation(&self) -> u64 {
+        self.cache.generation()
+    }
+
+    /// Total source partitions (the coverage denominator).
+    pub fn total_partitions(&self) -> u32 {
+        self.manifest.source_partitions
+    }
+
+    /// Answer `q`: admission, cache, scatter, merge, finalize.
+    pub fn query(&self, q: &Query) -> Result<CoveredAnswer, ServeError> {
+        let cost = q.cost_estimate_rows(self.events, self.mentions);
+        self.admission.try_admit(cost)?;
+        let out = self.query_admitted(q);
+        self.admission.release(cost);
+        out
+    }
+
+    fn query_admitted(&self, q: &Query) -> Result<CoveredAnswer, ServeError> {
+        let t0 = std::time::Instant::now();
+        if self.cfg.cache_enabled {
+            if let Some(result) = self.cache.get(q) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                return Ok(CoveredAnswer { result, coverage: Coverage::full() });
+            }
+        }
+        let (result, coverage) = self.scatter_query(q)?;
+        if self.cfg.cache_enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        gdelt_obs::global().histogram("router_query_us").record(t0.elapsed().as_micros() as u64);
+        Ok(CoveredAnswer { result: Arc::new(result), coverage })
+    }
+
+    fn scatter_query(&self, q: &Query) -> Result<(QueryResult, Coverage), ServeError> {
+        let merged = match plan(q) {
+            ShardPlan::Direct(sq) => self.scatter_round(&sq)?,
+            ShardPlan::PublishersThenFollow { top_k } => {
+                // Two rounds; the answer's coverage is the second
+                // round's survivor set (a shard that answered the
+                // ranking round but died before the follow round is
+                // not behind the final matrix).
+                let first = self.scatter_round(&ShardQuery::PublisherCounts)?;
+                let ShardPartial::PublisherCounts(counts) = first.partial else {
+                    return Err(ServeError::WorkerPanicked);
+                };
+                let sources = partial::subset_from_counts(&counts, top_k as usize);
+                self.scatter_round(&ShardQuery::FollowReportWith { sources })?
+            }
+        };
+        let total = self.manifest.source_partitions;
+        let live_parts = self.manifest.coverage_of(&merged.live);
+        let coverage = Coverage { live: live_parts, total };
+        if !coverage.is_full() {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+            if self.cfg.policy == DegradedPolicy::Fail {
+                return Err(ServeError::Degraded { live: live_parts, total });
+            }
+        }
+        let result = partial::finalize(q, merged.partial);
+        if self.cfg.cache_enabled && coverage.is_full() {
+            self.cache.insert(*q, Arc::new(result.clone()), merged.cache_generation);
+        }
+        Ok((result, coverage))
+    }
+
+    /// Scatter one [`ShardQuery`] over every shard and merge the
+    /// survivors in shard order. Dispatch is pipelined, not threaded:
+    /// all requests go out first, then replies are read in shard
+    /// order, so every worker computes concurrently while the router
+    /// pays no per-scatter thread spawn/join cost.
+    fn scatter_round(&self, sq: &ShardQuery) -> Result<Round, ServeError> {
+        let n = self.slots.len();
+        let pending: Vec<Option<(Connection, bool)>> =
+            (0..n).map(|i| self.send_request(i, sq)).collect();
+        let mut answers: Vec<Option<ShardAnswer>> = Vec::with_capacity(n);
+        for (i, p) in pending.into_iter().enumerate() {
+            answers.push(p.and_then(|(conn, reconnected)| self.read_reply(i, conn, reconnected)));
+        }
+        // Generation/membership signature: any change — a shard dying,
+        // coming back, or bumping its store generation — invalidates
+        // the cache before this round's answer can be inserted.
+        let sig: Vec<u64> = (0..n)
+            .map(|i| answers.iter().flatten().find(|a| a.shard == i).map_or(0, |a| a.generation))
+            .collect();
+        let cache_generation = self.note_signature(sig);
+        let mut live = Vec::new();
+        let mut merged: Option<ShardPartial> = None;
+        let mut retries = 0u64;
+        for a in answers.into_iter().flatten() {
+            live.push(a.shard);
+            if a.reconnected {
+                retries += 1;
+            }
+            merged = Some(match merged {
+                None => a.partial,
+                Some(m) => m.merge(a.partial),
+            });
+        }
+        if retries > 0 {
+            self.retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        let Some(partial) = merged else {
+            return Err(ServeError::Degraded { live: 0, total: self.manifest.source_partitions });
+        };
+        Ok(Round { partial, live, cache_generation })
+    }
+
+    /// Send-phase half of a scatter: check a connection out of shard
+    /// `i`'s pool (or dial with capped backoff) and put the request on
+    /// the wire. Returns the connection awaiting its reply, plus
+    /// whether it was freshly dialed.
+    fn send_request(&self, i: usize, sq: &ShardQuery) -> Option<(Connection, bool)> {
+        let slot = &self.slots[i];
+        let mut reconnected = false;
+        let mut conn = slot.check_out();
+        if conn.is_none() {
+            conn = self.dial(i, slot);
+            reconnected = conn.is_some();
+        }
+        let mut conn = conn?;
+        match Frame::Request(sq.clone()).write_to(&mut conn.stream) {
+            Ok(()) => Some((conn, reconnected)),
+            Err(e) => {
+                self.conn_lost(i, &e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Receive-phase half of a scatter: await shard `i`'s reply on the
+    /// connection its request went out on. Any failure marks the shard
+    /// dead for this scatter and leaves reconnection to the next one.
+    fn read_reply(&self, i: usize, mut conn: Connection, reconnected: bool) -> Option<ShardAnswer> {
+        let t0 = std::time::Instant::now();
+        match Frame::read_from(&mut conn.stream) {
+            Ok(Frame::Reply { generation, partial }) => {
+                gdelt_obs::global()
+                    .histogram(&format!("router_shard_us_{i}"))
+                    .record(t0.elapsed().as_micros() as u64);
+                self.slots[i].check_in(conn, self.cfg.pool_per_shard);
+                Some(ShardAnswer { shard: i, generation, partial, reconnected })
+            }
+            Ok(other) => {
+                self.conn_lost(i, &format!("unexpected frame {other:?}"));
+                None
+            }
+            Err(e) => {
+                self.conn_lost(i, &e.to_string());
+                None
+            }
+        }
+    }
+
+    /// A connection to shard `i` died (the caller already dropped it):
+    /// clear its siblings — they share the dead worker — and leave a
+    /// flight-recorder trace.
+    fn conn_lost(&self, i: usize, why: &str) {
+        self.slots[i].clear();
+        self.slots[i].failures.fetch_add(1, Ordering::Relaxed);
+        gdelt_obs::global().counter("router_shard_loss").inc();
+        gdelt_obs::flight_warn("shard", "shard_lost", format!("shard {i}: {why}"));
+    }
+
+    /// Dial a shard with the capped-backoff schedule and read its
+    /// hello.
+    fn dial(&self, i: usize, slot: &ShardSlot) -> Option<Connection> {
+        for attempt in 0..self.cfg.reconnect.max_attempts {
+            let wait = self.cfg.reconnect.delay(attempt);
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            match TcpStream::connect(&slot.addr) {
+                Ok(mut stream) => {
+                    let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
+                    let _ = stream.set_nodelay(true);
+                    match Frame::read_from(&mut stream) {
+                        Ok(Frame::Hello(hello)) => {
+                            slot.failures.store(0, Ordering::Relaxed);
+                            return Some(Connection { stream, hello });
+                        }
+                        Ok(_) | Err(_) => continue,
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        gdelt_obs::flight_warn(
+            "shard",
+            "dial_failed",
+            format!(
+                "shard {i} at {} unreachable after {} attempts",
+                slot.addr, self.cfg.reconnect.max_attempts
+            ),
+        );
+        None
+    }
+
+    /// Record a per-shard generation signature (0 = dead); any change
+    /// invalidates the whole cache, so a shard death or store swap can
+    /// never serve a stale full-coverage answer. Returns the cache
+    /// generation to stamp fresh inserts with.
+    fn note_signature(&self, sig: Vec<u64>) -> u64 {
+        let mut last = self.last_sig.lock().unwrap_or_else(|e| e.into_inner());
+        if *last != sig {
+            *last = sig;
+            // analyze: allow(guard_across_await_or_call): last_sig -> cache-shard locks is the fixed acquisition order; the compare-and-invalidate must be atomic or two racing scatters could each see a stale signature
+            let next = self.cache.generation() + 1;
+            // analyze: allow(guard_across_await_or_call): last_sig -> cache-shard locks is the fixed acquisition order; the compare-and-invalidate must be atomic or two racing scatters could each see a stale signature
+            self.cache.invalidate_all(next);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(last);
+        self.cache.generation()
+    }
+
+    /// Health-probe every shard; returns per-shard
+    /// `Some((live, total, generation))` or `None` when unreachable.
+    /// Probing runs the same signature check as a scatter, so a chaos
+    /// harness can detect shard loss (and force cache invalidation)
+    /// without issuing a query.
+    pub fn probe(&self) -> Vec<Option<(u32, u32, u64)>> {
+        let healths: Vec<Option<(u32, u32, u64)>> = (0..self.slots.len())
+            .map(|i| {
+                let slot = &self.slots[i];
+                let mut conn = slot.check_out().or_else(|| self.dial(i, slot))?;
+                let reply = Frame::HealthProbe
+                    .write_to(&mut conn.stream)
+                    .and_then(|()| Frame::read_from(&mut conn.stream));
+                match reply {
+                    Ok(Frame::Health(h)) => {
+                        slot.check_in(conn, self.cfg.pool_per_shard);
+                        Some((h.live, h.total, h.generation))
+                    }
+                    _ => {
+                        self.conn_lost(i, "health probe failed");
+                        None
+                    }
+                }
+            })
+            .collect();
+        let sig = healths.iter().map(|h| h.map_or(0, |(_, _, g)| g)).collect();
+        self.note_signature(sig);
+        healths
+    }
+
+    /// Hello metadata of currently-pooled shard connections
+    /// (testing/obs aid).
+    pub fn connected_hellos(&self) -> Vec<Option<Hello>> {
+        self.slots
+            .iter()
+            .map(|s| {
+                s.pool.lock().unwrap_or_else(|e| e.into_inner()).first().map(|c| c.hello.clone())
+            })
+            .collect()
+    }
+}
+
+/// A merged scatter round.
+struct Round {
+    partial: ShardPartial,
+    /// Shard ids that answered, ascending.
+    live: Vec<usize>,
+    /// Cache generation after this round's signature check.
+    cache_generation: u64,
+}

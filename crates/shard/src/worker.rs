@@ -1,0 +1,174 @@
+//! Shard worker: serves one shard store over the wire protocol.
+//!
+//! A worker is a plain request/reply loop — no admission, no cache,
+//! no batching; all of that lives in the router. It loads its shard
+//! store once, answers [`Frame::Request`] with generation-stamped
+//! [`Frame::Reply`] partials, and reports [`Frame::Health`] on probe.
+//! The same struct backs both deployment modes: the
+//! `gdelt-cli shard-worker` process (accept loop over TCP) and the
+//! in-process worker threads the integration tests spin up.
+
+use crate::wire::{Frame, Health, Hello};
+use gdelt_columnar::Dataset;
+use gdelt_engine::partial::run_shard_query;
+use gdelt_engine::ExecContext;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How to stand up one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Shard store file.
+    pub store: PathBuf,
+    /// Shard index in the split.
+    pub shard_id: u32,
+    /// Source partitions this shard covers (its coverage weight).
+    pub partitions: u32,
+    /// Global event row of the shard's first event.
+    pub ev_row_base: u64,
+    /// Kernel threads for the shard-local `ExecContext`.
+    pub threads: usize,
+    /// Deterministic fault injection: sleep `fault_delay_ms` before
+    /// answering the request with this zero-based index (chaos arm).
+    pub fault_delay_at: Option<u64>,
+    /// Milliseconds to sleep when `fault_delay_at` fires.
+    pub fault_delay_ms: u64,
+}
+
+impl WorkerConfig {
+    /// Config for a shard with no injected faults.
+    pub fn new(store: PathBuf, shard_id: u32, partitions: u32, ev_row_base: u64) -> Self {
+        WorkerConfig {
+            store,
+            shard_id,
+            partitions,
+            ev_row_base,
+            threads: 2,
+            fault_delay_at: None,
+            fault_delay_ms: 0,
+        }
+    }
+}
+
+/// One loaded shard, ready to answer requests from any number of
+/// connections.
+pub struct ShardWorker {
+    cfg: WorkerConfig,
+    ctx: ExecContext,
+    dataset: Dataset,
+    generation: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl ShardWorker {
+    /// Load the shard store and build the execution context.
+    pub fn load(cfg: WorkerConfig) -> io::Result<Arc<ShardWorker>> {
+        let dataset = gdelt_columnar::binfmt::load(&cfg.store)?;
+        let ctx = ExecContext::builder().threads(cfg.threads.max(1)).build();
+        Ok(Arc::new(ShardWorker {
+            cfg,
+            ctx,
+            dataset,
+            generation: AtomicU64::new(1),
+            requests: AtomicU64::new(0),
+        }))
+    }
+
+    /// The hello frame for a fresh connection.
+    pub fn hello(&self) -> Hello {
+        Hello {
+            shard_id: self.cfg.shard_id,
+            partitions: self.cfg.partitions,
+            ev_row_base: self.cfg.ev_row_base,
+            events: self.dataset.events.len() as u64,
+            mentions: self.dataset.mentions.len() as u64,
+            generation: self.generation.load(Ordering::Acquire),
+        }
+    }
+
+    fn health(&self) -> Health {
+        Health {
+            live: self.cfg.partitions,
+            total: self.cfg.partitions,
+            generation: self.generation.load(Ordering::Acquire),
+        }
+    }
+
+    /// Answer one frame. Pure dispatch — shared by every transport.
+    pub fn handle(&self, frame: Frame) -> Frame {
+        match frame {
+            Frame::Request(sq) => {
+                let idx = self.requests.fetch_add(1, Ordering::Relaxed);
+                if self.cfg.fault_delay_at == Some(idx) && self.cfg.fault_delay_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(self.cfg.fault_delay_ms));
+                }
+                let t0 = std::time::Instant::now();
+                let partial = run_shard_query(&self.ctx, &self.dataset, &sq, self.cfg.ev_row_base);
+                gdelt_obs::global()
+                    .histogram("shard_worker_query_us")
+                    .record(t0.elapsed().as_micros() as u64);
+                Frame::Reply { generation: self.generation.load(Ordering::Acquire), partial }
+            }
+            Frame::HealthProbe => Frame::Health(self.health()),
+            Frame::BumpGeneration => {
+                self.generation.fetch_add(1, Ordering::AcqRel);
+                Frame::Health(self.health())
+            }
+            other => Frame::Error {
+                code: 1,
+                message: format!("unsupported frame kind for worker: {}", frame_name(&other)),
+            },
+        }
+    }
+
+    /// Serve one connection: hello, then request/reply until the peer
+    /// hangs up.
+    pub fn serve_conn(&self, mut stream: TcpStream) -> io::Result<()> {
+        let _ = stream.set_nodelay(true);
+        Frame::Hello(self.hello()).write_to(&mut stream)?;
+        loop {
+            let frame = match Frame::read_from(&mut stream) {
+                Ok(f) => f,
+                // Peer hung up between frames — a normal end.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            self.handle(frame).write_to(&mut stream)?;
+        }
+    }
+
+    /// Accept loop: one thread per connection, forever (process mode —
+    /// the router kills workers by killing the process).
+    pub fn serve(self: &Arc<ShardWorker>, listener: TcpListener) -> io::Result<()> {
+        loop {
+            let (stream, _peer) = listener.accept()?;
+            let worker = Arc::clone(self);
+            std::thread::spawn(move || {
+                if let Err(e) = worker.serve_conn(stream) {
+                    gdelt_obs::flight_warn(
+                        "shard",
+                        "worker_conn_error",
+                        format!("shard {}: {e}", worker.cfg.shard_id),
+                    );
+                }
+            });
+        }
+    }
+}
+
+fn frame_name(f: &Frame) -> &'static str {
+    match f {
+        Frame::Hello(_) => "hello",
+        Frame::Request(_) => "request",
+        Frame::Reply { .. } => "reply",
+        Frame::HealthProbe => "health_probe",
+        Frame::Health(_) => "health",
+        Frame::BumpGeneration => "bump_generation",
+        Frame::Query(_) => "query",
+        Frame::Result(_) => "result",
+        Frame::Error { .. } => "error",
+    }
+}

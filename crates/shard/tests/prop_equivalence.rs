@@ -1,0 +1,180 @@
+//! The sharded tier's central theorem, proptest-pinned: for every
+//! query family, on seeded synthetic stores split 1/2/4/8 ways by
+//! contiguous partition range, merging the shard partials in **any
+//! permutation** (and any association — linear or tree) yields a
+//! result bit-identical to single-process `run_query` over the
+//! unsharded dataset. Each partial additionally round-trips through
+//! the wire codec on its way to the merge, so the equality covers the
+//! framed bytes, not just the in-memory structs.
+
+use gdelt_columnar::degraded::restrict_to_partitions;
+use gdelt_columnar::Dataset;
+use gdelt_engine::partial::{
+    plan, run_shard_query, subset_from_counts, ShardPartial, ShardPlan, ShardQuery,
+};
+use gdelt_engine::{run_query, ExecContext, Query, QueryResult, SeriesKind, TopKKind};
+use gdelt_shard::shard_range;
+use gdelt_shard::wire::Frame;
+use proptest::prelude::*;
+
+const PARTS: u32 = 8;
+
+fn all_queries(k: u32, threshold: u32) -> Vec<Query> {
+    vec![
+        Query::CoReport,
+        Query::FollowReport { top_k: k },
+        Query::CrossCountry,
+        Query::Delay,
+        Query::TimeSeries(SeriesKind::Events),
+        Query::TimeSeries(SeriesKind::Articles),
+        Query::TimeSeries(SeriesKind::ActiveSources),
+        Query::TimeSeries(SeriesKind::LateArticles { threshold }),
+        Query::TopK { kind: TopKKind::Publishers, k },
+        Query::TopK { kind: TopKKind::Events, k },
+    ]
+}
+
+/// Contiguous partition-range split; returns each shard's dataset and
+/// its global event-row base.
+fn split(d: &Dataset, n_shards: u32) -> Vec<(Dataset, u64)> {
+    let mut shards = Vec::new();
+    let mut ev_base = 0u64;
+    for s in 0..n_shards {
+        let (lo, hi) = shard_range(PARTS, n_shards, s);
+        let quarantined: Vec<u32> = (0..PARTS).filter(|p| *p < lo || *p >= hi).collect();
+        let shard = restrict_to_partitions(d, PARTS, &quarantined).expect("split");
+        let events = shard.events.len() as u64;
+        shards.push((shard, ev_base));
+        ev_base += events;
+    }
+    shards
+}
+
+/// Permutation of `0..n` from a Lehmer code seeded by `seed` — lets
+/// proptest range over every ordering without a shuffle primitive.
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    for remaining in (1..=n).rev() {
+        let idx = (seed % remaining as u64) as usize;
+        seed /= remaining as u64;
+        out.push(pool.remove(idx));
+    }
+    out
+}
+
+/// Push one partial through the wire codec (Reply frame) and back.
+fn through_wire(p: ShardPartial) -> ShardPartial {
+    let bytes = Frame::Reply { generation: 1, partial: p }.encode();
+    let (frame, _) = Frame::decode(&bytes).expect("reply frame decodes");
+    match frame {
+        Frame::Reply { partial, .. } => partial,
+        other => panic!("wrong frame back: {other:?}"),
+    }
+}
+
+/// Merge partials in the permuted order, optionally as a balanced
+/// tree instead of a left fold.
+fn merge_in_order(partials: &[ShardPartial], order: &[usize], tree: bool) -> ShardPartial {
+    let picked: Vec<ShardPartial> = order.iter().map(|&i| partials[i].clone()).collect();
+    if !tree {
+        return picked.into_iter().reduce(ShardPartial::merge).expect("nonempty");
+    }
+    let mut layer = picked;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(a.merge(b)),
+                None => next.push(a),
+            }
+        }
+        layer = next;
+    }
+    layer.into_iter().next().expect("nonempty")
+}
+
+/// Full scatter-gather for `q` with a chosen merge order/shape.
+fn scatter(
+    ctx: &ExecContext,
+    shards: &[(Dataset, u64)],
+    q: &Query,
+    order: &[usize],
+    tree: bool,
+) -> QueryResult {
+    let round = |sq: &ShardQuery| -> Vec<ShardPartial> {
+        shards.iter().map(|(d, base)| through_wire(run_shard_query(ctx, d, sq, *base))).collect()
+    };
+    match plan(q) {
+        ShardPlan::Direct(sq) => {
+            gdelt_engine::partial::finalize(q, merge_in_order(&round(&sq), order, tree))
+        }
+        ShardPlan::PublishersThenFollow { top_k } => {
+            let merged = merge_in_order(&round(&ShardQuery::PublisherCounts), order, tree);
+            let ShardPartial::PublisherCounts(counts) = merged else {
+                panic!("wrong partial family");
+            };
+            let sources = subset_from_counts(&counts, top_k as usize);
+            let partials = round(&ShardQuery::FollowReportWith { sources });
+            gdelt_engine::partial::finalize(q, merge_in_order(&partials, order, tree))
+        }
+    }
+}
+
+proptest! {
+    // Each case builds a corpus, splits it three ways and runs every
+    // family twice per split — keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_merge_permutation_matches_single_process(
+        seed in 0u64..10_000,
+        threads in 1usize..4,
+        k in 1u32..20,
+        threshold in 1u32..800,
+        perm_seed in any::<u64>(),
+        tree in any::<bool>(),
+    ) {
+        let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(seed)).0;
+        let ctx = ExecContext::builder().threads(threads).build();
+        for n_shards in [1u32, 2, 4, 8] {
+            let shards = split(&d, n_shards);
+            let order = permutation(n_shards as usize, perm_seed);
+            for q in all_queries(k, threshold) {
+                let expect = run_query(&ctx, &d, &q);
+                let got = scatter(&ctx, &shards, &q, &order, tree);
+                prop_assert_eq!(
+                    got,
+                    expect,
+                    "{} over {} shards, order {:?}, tree={}",
+                    q,
+                    n_shards,
+                    &order,
+                    tree
+                );
+            }
+        }
+    }
+
+    /// Merge really is commutative pairwise, not just end-to-end:
+    /// `a.merge(b) == b.merge(a)` for every adjacent shard pair.
+    #[test]
+    fn pairwise_merge_commutes(seed in 0u64..10_000, k in 1u32..20) {
+        let d = gdelt_synth::generate_dataset(&gdelt_synth::scenario::tiny(seed)).0;
+        let ctx = ExecContext::builder().threads(2).build();
+        let shards = split(&d, 4);
+        for q in all_queries(k, 96) {
+            let ShardPlan::Direct(sq) = plan(&q) else { continue };
+            let ps: Vec<ShardPartial> = shards
+                .iter()
+                .map(|(sd, base)| run_shard_query(&ctx, sd, &sq, *base))
+                .collect();
+            for w in ps.windows(2) {
+                let ab = w[0].clone().merge(w[1].clone());
+                let ba = w[1].clone().merge(w[0].clone());
+                prop_assert_eq!(ab, ba, "{} pairwise commutativity", q);
+            }
+        }
+    }
+}
