@@ -149,6 +149,16 @@ impl ExecContext {
         R: FnMut(T, T) -> T,
     {
         use rayon::prelude::*;
+        // Ambient trace context is thread-local; capture it once here
+        // so the partition spans recorded on rayon worker threads
+        // still parent under the caller's span (e.g. a shard worker's
+        // `worker_query`, itself parented under a router RPC span from
+        // another process).
+        let parent = if gdelt_obs::tracing_enabled() {
+            gdelt_obs::current_trace()
+        } else {
+            gdelt_obs::TraceContext::NONE
+        };
         let partials: Vec<T> = self.install(|| {
             parts
                 .into_par_iter()
@@ -158,6 +168,7 @@ impl ExecContext {
                     // partition when tracing is off; when it is on, the
                     // per-partition/per-thread breakdown is what the
                     // Fig 12 imbalance view is built from.
+                    let _t = (!parent.is_none()).then(|| gdelt_obs::with_trace(parent));
                     // analyze: allow(obs_hot_path): per-partition granularity is the point; cost is one atomic load when disabled
                     let _s = gdelt_obs::span_args("engine", "partition", "rows", p.len() as u64)
                         .arg("part", i as u64);

@@ -92,7 +92,7 @@ USAGE:
                           [--bench-out FILE] [--bench-baseline FILE]
   gdelt-cli split-store   --data FILE.gdhpc --out DIR --shards N
   gdelt-cli shard-worker  --data SHARD.gdhpc [--shard-id N] [--partitions N]
-                          [--ev-row-base N] [--port P] [--threads N]
+                          [--ev-row-base N] [--port P] [--threads N] [--trace]
   gdelt-cli obs           [--scale S] [--seed N] [--queries N] [--workers N]
                           [--clients N] [--threads N] [--out DIR] [--check]
   gdelt-cli chaos         [--seed N] [--scale S] [--out DIR] [--queries N]
@@ -120,10 +120,19 @@ OPTIONS:
                obs: where trace.json and metrics.prom are written
                (default target/obs)
   --metrics-out FILE  serve-bench: write the Prometheus text exposition
-               of the global registry after the replay
+               of the global registry after the replay; with --shards,
+               the router scrapes every worker's registry and writes a
+               federated exposition (per-shard series labeled
+               {shard=\"N\"} plus merged unlabeled totals)
   --trace-out FILE    serve-bench: record spans during the replay and
                write them as Chrome trace_event JSON (load the file in
-               about://tracing or ui.perfetto.dev)
+               about://tracing or ui.perfetto.dev); with --shards, the
+               router collects every worker's spans and stitches one
+               trace with a pid lane per process, linked by the trace
+               ids the wire frames carried
+  --trace      shard-worker: enable span recording so the router can
+               drain spans for trace stitching (the fleet spawner sets
+               this when serve-bench runs with --trace-out)
   --bench-out FILE    serve-bench: write a flat JSON bench artifact
                (p50/p95/p99 latency, cache hit rate, shed count) for
                committing alongside the code
@@ -177,6 +186,7 @@ struct Options {
     port: Option<u16>,
     fault_delay_at: Option<u64>,
     fault_delay_ms: Option<u64>,
+    trace: bool,
 }
 
 impl Options {
@@ -213,6 +223,7 @@ impl Options {
                 "--port" => o.port = take().parse().ok(),
                 "--fault-delay-at" => o.fault_delay_at = take().parse().ok(),
                 "--fault-delay-ms" => o.fault_delay_ms = take().parse().ok(),
+                "--trace" => o.trace = true,
                 other => eprintln!("warning: ignoring unknown argument {other:?}"),
             }
         }
@@ -1132,6 +1143,7 @@ fn cmd_shard_worker(o: &Options) -> Result<(), String> {
         threads: o.threads.unwrap_or(2),
         fault_delay_at: o.fault_delay_at,
         fault_delay_ms: o.fault_delay_ms.unwrap_or(0),
+        trace: o.trace,
     };
     let worker = ShardWorker::load(cfg).map_err(|e| format!("loading shard store: {e}"))?;
     let listener = std::net::TcpListener::bind(("127.0.0.1", o.port.unwrap_or(0)))
@@ -1180,6 +1192,7 @@ fn spawn_worker_proc(
     ev_row_base: u64,
     port: u16,
     fault_delay: Option<(u64, u64)>,
+    trace: bool,
 ) -> Result<WorkerProc, String> {
     use std::io::BufRead as _;
 
@@ -1201,6 +1214,9 @@ fn spawn_worker_proc(
     if let Some((at, ms)) = fault_delay {
         cmd.arg("--fault-delay-at").arg(at.to_string());
         cmd.arg("--fault-delay-ms").arg(ms.to_string());
+    }
+    if trace {
+        cmd.arg("--trace");
     }
     let mut child = cmd.spawn().map_err(|e| format!("spawning shard {shard_id}: {e}"))?;
     let stdout = child.stdout.take().ok_or("shard worker child has no stdout")?;
@@ -1226,6 +1242,7 @@ fn spawn_fleet(
     shard_dir: &std::path::Path,
     manifest: &gdelt_shard::ShardManifest,
     delay: Option<(u32, u64, u64)>,
+    trace: bool,
 ) -> Result<Vec<WorkerProc>, String> {
     manifest
         .shards
@@ -1240,6 +1257,7 @@ fn spawn_fleet(
                 e.ev_row_base,
                 0,
                 fd,
+                trace,
             )
         })
         .collect()
@@ -1255,7 +1273,15 @@ fn respawn_worker(
 ) -> Result<WorkerProc, String> {
     let mut last = String::new();
     for _ in 0..10 {
-        match spawn_worker_proc(store, shard_id, entry.partitions, entry.ev_row_base, port, None) {
+        match spawn_worker_proc(
+            store,
+            shard_id,
+            entry.partitions,
+            entry.ev_row_base,
+            port,
+            None,
+            false,
+        ) {
             Ok(w) => return Ok(w),
             Err(e) => {
                 last = e;
@@ -1401,20 +1427,24 @@ fn cmd_serve_bench_shards(o: &Options, n_shards: u32) -> Result<(), String> {
     let shard_dir = dir.join("shards");
     let manifest = split_store(&store, &shard_dir, n_shards)
         .map_err(|e| format!("splitting {}: {e}", store.display()))?;
-    let fleet = spawn_fleet(&shard_dir, &manifest, None)?;
+    let want_trace = o.trace_out.is_some();
+    let fleet = spawn_fleet(&shard_dir, &manifest, None, want_trace)?;
     eprintln!(
         "replaying {} queries from {clients} client(s) over {n_shards} shard worker(s), cache {}",
         mix.len(),
         if o.no_cache { "disabled" } else { "enabled" },
     );
     // Same best-of-three on the router arm; a fresh router per pass so
-    // every pass replays the same cold set through a cold cache.
+    // every pass replays the same cold set through a cold cache. The
+    // last pass's router is kept alive past the loop: the federated
+    // scrape and the stitched trace both talk to the fleet through it.
     let mut router_cold_p50 = u64::MAX;
     let mut router_warm_p50 = u64::MAX;
     let mut completed = 0u64;
     let mut errors = 0u64;
     let mut stats = gdelt_shard::RouterStats::default();
-    for _ in 0..BENCH_PASSES {
+    let mut last_router: Option<Router> = None;
+    for pass in 0..BENCH_PASSES {
         let router = Router::new(
             manifest.clone(),
             RouterConfig {
@@ -1424,6 +1454,14 @@ fn cmd_serve_bench_shards(o: &Options, n_shards: u32) -> Result<(), String> {
                 ..RouterConfig::default()
             },
         );
+        if want_trace && pass == BENCH_PASSES - 1 {
+            // Only the final pass is traced: discard the earlier
+            // passes' worker-side spans and any stale local ones so the
+            // stitched artifact covers exactly one replay of the mix.
+            let _ = router.collect_traces();
+            let _ = gdelt_obs::take_spans();
+            gdelt_obs::set_tracing(true);
+        }
         let (done, errs, samples) = router_replay(&router, &mix, clients);
         let (cold, warm) = cold_warm_p50(&mix, &samples);
         router_cold_p50 = router_cold_p50.min(cold);
@@ -1431,8 +1469,10 @@ fn cmd_serve_bench_shards(o: &Options, n_shards: u32) -> Result<(), String> {
         completed = done;
         errors = errs;
         stats = router.stats();
+        last_router = Some(router);
     }
-    drop(fleet);
+    gdelt_obs::set_tracing(false);
+    let router = last_router.expect("BENCH_PASSES >= 1");
 
     // Overhead is judged on the cold (scatter) path: warm answers on
     // both sides are cache lookups and say nothing about sharding.
@@ -1451,6 +1491,29 @@ fn cmd_serve_bench_shards(o: &Options, n_shards: u32) -> Result<(), String> {
          hit/miss ledger, {} degraded, {} shed",
         stats.hits, stats.misses, stats.retries, stats.degraded, stats.shed
     );
+    // Per-shard wire round-trip latency, from the router's own
+    // registry (recorded on every scatter leg).
+    {
+        let snap = gdelt_obs::global().snapshot();
+        for i in 0..n_shards {
+            if let Some(h) = snap.hists.get(&format!("router_shard_us_{i}")) {
+                println!(
+                    "shard {i}: wire round-trip p50 {}us over {} request(s)",
+                    h.quantile(0.50),
+                    h.count
+                );
+            }
+        }
+    }
+
+    if let Some(path) = &o.metrics_out {
+        write_federated_metrics(path, &router, n_shards)?;
+    }
+    if let Some(path) = &o.trace_out {
+        write_stitched_trace(path, &router, n_shards)?;
+    }
+    drop(router);
+    drop(fleet);
 
     if let Some(path) = &o.bench_out {
         let text = shard_bench_artifact_json(
@@ -1501,6 +1564,141 @@ fn cmd_serve_bench_shards(o: &Options, n_shards: u32) -> Result<(), String> {
             stats.completed, stats.hits, stats.misses, stats.retries
         );
     }
+    Ok(())
+}
+
+/// Federated metrics export: scrape every worker's registry over the
+/// wire, merge with the router's own snapshot via the proven
+/// associative/commutative merge, and write one Prometheus exposition
+/// holding both the per-shard (`{shard="i"}`) and the unlabeled
+/// federated view. Fails if any shard's scrape is missing or if the
+/// federated counts do not equal the sum of the per-shard counts.
+fn write_federated_metrics(
+    path: &std::path::Path,
+    router: &gdelt_shard::Router,
+    n_shards: u32,
+) -> Result<(), String> {
+    let scraped = router.scrape_metrics();
+    let mut parts: Vec<(String, gdelt_obs::RegistrySnapshot)> =
+        vec![("router".to_string(), gdelt_obs::global().snapshot())];
+    for (i, snap) in scraped.into_iter().enumerate() {
+        match snap {
+            Some(s) => parts.push((i.to_string(), s)),
+            None => return Err(format!("metrics scrape of healthy shard {i} failed")),
+        }
+    }
+    // The worker-side query histogram only exists in shard parts, so
+    // its federated count must be exactly the per-shard sum.
+    let per_shard_sum: u64 = parts
+        .iter()
+        .filter(|(label, _)| label != "router")
+        .filter_map(|(_, s)| s.hists.get("shard_worker_query_us"))
+        .map(|h| h.count)
+        .sum();
+    let mut fed = gdelt_obs::RegistrySnapshot::default();
+    for (_, part) in &parts {
+        fed.merge(part);
+    }
+    let fed_count = fed.hists.get("shard_worker_query_us").map_or(0, |h| h.count);
+    if fed_count != per_shard_sum || per_shard_sum == 0 {
+        return Err(format!(
+            "federated shard_worker_query_us count {fed_count} != per-shard sum \
+             {per_shard_sum} (or no worker queries recorded) across {n_shards} shard(s)"
+        ));
+    }
+    let text = gdelt_obs::render_federated(&parts);
+    let samples = gdelt_obs::validate_prometheus(&text)
+        .map_err(|e| format!("federated exposition failed validation: {e}"))?;
+    write(path.to_path_buf(), &text)?;
+    eprintln!(
+        "wrote federated metrics ({} samples from router + {n_shards} shard(s), \
+         {per_shard_sum} worker queries) to {}",
+        samples,
+        path.display()
+    );
+    Ok(())
+}
+
+/// Stitched distributed trace export: drain the router process's own
+/// spans, pull every worker's spans over the wire (already stamped
+/// with absolute unix-epoch starts), rebase everything to the earliest
+/// start, and write one Chrome trace_event document with a `pid` lane
+/// per process. Fails unless every process contributed a lane and
+/// every worker lane shares at least one trace id with the router —
+/// i.e. the artifact really is one distributed trace, not N disjoint
+/// ones.
+fn write_stitched_trace(
+    path: &std::path::Path,
+    router: &gdelt_shard::Router,
+    n_shards: u32,
+) -> Result<(), String> {
+    use std::collections::{HashMap, HashSet};
+
+    let my_pid = std::process::id();
+    let epoch = gdelt_obs::epoch_unix_ns();
+    let mut events: Vec<gdelt_obs::TraceEvent> = Vec::new();
+    for s in gdelt_obs::take_spans() {
+        let mut ev = gdelt_obs::TraceEvent::from_span(&s, my_pid);
+        ev.ts_ns = epoch.saturating_add(s.start_ns);
+        events.push(ev);
+    }
+    for (i, collected) in router.collect_traces().into_iter().enumerate() {
+        let Some((pid, spans)) = collected else {
+            return Err(format!("trace collection from healthy shard {i} failed"));
+        };
+        for ws in spans {
+            events.push(gdelt_obs::TraceEvent {
+                name: ws.name,
+                cat: ws.cat,
+                ts_ns: ws.start_unix_ns,
+                dur_ns: ws.dur_ns,
+                pid,
+                tid: ws.tid,
+                trace_id: ws.trace_id,
+                span_id: ws.span_id,
+                parent_id: ws.parent_id,
+                args: ws.args,
+            });
+        }
+    }
+    let t0 = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    for e in &mut events {
+        e.ts_ns -= t0;
+    }
+
+    let pids: HashSet<u32> = events.iter().map(|e| e.pid).collect();
+    if pids.len() != n_shards as usize + 1 {
+        return Err(format!(
+            "stitched trace has {} process lane(s), expected {} (router + {n_shards} worker(s))",
+            pids.len(),
+            n_shards + 1
+        ));
+    }
+    let mut by_trace: HashMap<u64, HashSet<u32>> = HashMap::new();
+    for e in &events {
+        if e.trace_id != 0 {
+            by_trace.entry(e.trace_id).or_default().insert(e.pid);
+        }
+    }
+    for pid in pids.iter().filter(|p| **p != my_pid) {
+        if !by_trace.values().any(|set| set.contains(pid) && set.contains(&my_pid)) {
+            return Err(format!(
+                "worker pid {pid} shares no trace id with the router — trace \
+                 propagation broke somewhere on the wire"
+            ));
+        }
+    }
+
+    let doc = gdelt_obs::chrome_trace_json_events(&events);
+    let n = gdelt_obs::validate_chrome_trace(&doc)
+        .map_err(|e| format!("stitched trace failed validation: {e}"))?;
+    write(path.to_path_buf(), &doc)?;
+    eprintln!(
+        "wrote stitched trace ({n} events across {} process lanes, {} distributed trace(s)) to {}",
+        pids.len(),
+        by_trace.len(),
+        path.display()
+    );
     Ok(())
 }
 
@@ -1638,7 +1836,7 @@ fn cmd_chaos_shards(o: &Options) -> Result<(), String> {
     let kill_at = plan.first_kill_query().expect("one kill scheduled");
 
     // ---- phase S1: healthy fleet, bit-identical + cached ---------------
-    let mut fleet = spawn_fleet(&shard_dir, &manifest, None)?;
+    let mut fleet = spawn_fleet(&shard_dir, &manifest, None, false)?;
     let reconnect = ReconnectPolicy { max_attempts: 2, backoff_ms: 5, cap_ms: 40 };
     let router = Router::new(
         manifest.clone(),
@@ -1796,7 +1994,7 @@ fn cmd_chaos_shards(o: &Options) -> Result<(), String> {
         .expect("one delay scheduled");
     let delay_parts = manifest.shards[delay_victim].partitions;
     let fleet2 =
-        spawn_fleet(&shard_dir, &manifest, Some((delay_victim as u32, delay_at, delay_ms)))?;
+        spawn_fleet(&shard_dir, &manifest, Some((delay_victim as u32, delay_at, delay_ms)), false)?;
     let router2 = Router::new(
         manifest.clone(),
         RouterConfig {
@@ -1837,12 +2035,25 @@ fn cmd_chaos_shards(o: &Options) -> Result<(), String> {
         "chaos --shards: stall arm ok (shard {delay_victim} stalled {delay_ms}ms at \
          query {delay_at}, timeout handled)"
     );
+    // One last scrape before the fleet dies: replies already piggyback
+    // recent worker flight events, but if the stall fired on the very
+    // last query its `fault_delay` may still be waiting worker-side —
+    // the scrape forwards it (the per-shard cursors keep re-records
+    // at-most-once).
+    let _ = router2.scrape_metrics();
     drop(fleet2);
 
     // ---- the black box --------------------------------------------------
     let flight = gdelt_obs::flight_snapshot();
     if !flight.iter().any(|e| e.component == "shard") {
         violated("the shard faults left no flight-recorder trace".into());
+    }
+    if !flight.iter().any(|e| e.component == "worker" && e.code == "fault_delay") {
+        violated(
+            "no worker-side fault_delay event reached the router flight recorder — \
+             cross-process flight forwarding is broken"
+                .into(),
+        );
     }
     let flight_path = out_dir.join("flight-recorder.txt");
     std::fs::write(&flight_path, gdelt_obs::render_flight(&flight))

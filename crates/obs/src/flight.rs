@@ -55,9 +55,11 @@ pub struct FlightEvent {
     /// Severity.
     pub level: FlightLevel,
     /// Recording layer (e.g. `"serve"`, `"degraded"`, `"faults"`).
-    pub component: &'static str,
+    /// Owned (not `&'static`) so events forwarded from another
+    /// process — decoded off the wire — can be re-recorded here.
+    pub component: String,
     /// Stable short event code (e.g. `"worker_panic"`, `"retry"`).
-    pub code: &'static str,
+    pub code: String,
     /// Free-form context for humans; kept out of any hot loop.
     pub detail: String,
 }
@@ -78,14 +80,19 @@ fn recorder() -> &'static Recorder {
 }
 
 /// Record one event into the process-wide ring.
-pub fn flight(level: FlightLevel, component: &'static str, code: &'static str, detail: String) {
+pub fn flight(
+    level: FlightLevel,
+    component: impl Into<String>,
+    code: impl Into<String>,
+    detail: String,
+) {
     let r = recorder();
     let ev = FlightEvent {
         seq: r.seq.fetch_add(1, Ordering::Relaxed),
         t_us: r.epoch.elapsed().as_micros() as u64,
         level,
-        component,
-        code,
+        component: component.into(),
+        code: code.into(),
         detail,
     };
     let mut ring = lock_recover(&r.ring);
@@ -96,17 +103,17 @@ pub fn flight(level: FlightLevel, component: &'static str, code: &'static str, d
 }
 
 /// [`flight`] at [`FlightLevel::Info`].
-pub fn flight_info(component: &'static str, code: &'static str, detail: String) {
+pub fn flight_info(component: impl Into<String>, code: impl Into<String>, detail: String) {
     flight(FlightLevel::Info, component, code, detail);
 }
 
 /// [`flight`] at [`FlightLevel::Warn`].
-pub fn flight_warn(component: &'static str, code: &'static str, detail: String) {
+pub fn flight_warn(component: impl Into<String>, code: impl Into<String>, detail: String) {
     flight(FlightLevel::Warn, component, code, detail);
 }
 
 /// [`flight`] at [`FlightLevel::Error`].
-pub fn flight_error(component: &'static str, code: &'static str, detail: String) {
+pub fn flight_error(component: impl Into<String>, code: impl Into<String>, detail: String) {
     flight(FlightLevel::Error, component, code, detail);
 }
 
@@ -161,7 +168,7 @@ mod tests {
         assert_eq!(evs.len(), 2, "{evs:?}");
         assert!(evs[0].seq < evs[1].seq);
         assert!(evs[0].t_us <= evs[1].t_us);
-        assert_eq!((evs[1].component, evs[1].code), ("serve", "worker_panic"));
+        assert_eq!((evs[1].component.as_str(), evs[1].code.as_str()), ("serve", "worker_panic"));
         // Snapshot does not drain.
         assert_eq!(flight_snapshot().len(), 2);
         let drained = flight_take();

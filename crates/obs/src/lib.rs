@@ -27,6 +27,7 @@ pub mod flight;
 mod json;
 pub mod metrics;
 pub mod prom;
+pub mod snapshot;
 pub mod span;
 pub mod trace;
 
@@ -36,10 +37,12 @@ pub use flight::{
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry};
 pub use prom::validate_prometheus;
+pub use snapshot::{render_federated, RegistrySnapshot};
 pub use span::{
-    set_tracing, span, span_args, take_spans, tracing_enabled, SpanGuard, SpanRecord, MAX_SPAN_ARGS,
+    current_trace, epoch_unix_ns, set_tracing, span, span_args, span_at, take_spans,
+    tracing_enabled, with_trace, SpanGuard, SpanRecord, TraceContext, TraceScope, MAX_SPAN_ARGS,
 };
-pub use trace::{chrome_trace_json, validate_chrome_trace};
+pub use trace::{chrome_trace_json, chrome_trace_json_events, validate_chrome_trace, TraceEvent};
 
 use std::sync::OnceLock;
 

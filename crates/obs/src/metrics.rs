@@ -19,8 +19,10 @@ pub const LINEAR_MAX: u64 = 256;
 const SUBS: usize = 32;
 /// First octave above the linear range: `LINEAR_MAX == 1 << 8`.
 const FIRST_OCTAVE: u32 = 8;
-/// 256 unit buckets + 32 sub-buckets for each octave 8..=63.
-const NUM_BUCKETS: usize = LINEAR_MAX as usize + (64 - FIRST_OCTAVE as usize) * SUBS;
+/// 256 unit buckets + 32 sub-buckets for each octave 8..=63. Public
+/// so tests (and the snapshot serde bounds check) can exercise the
+/// fully-populated case.
+pub const NUM_BUCKETS: usize = LINEAR_MAX as usize + (64 - FIRST_OCTAVE as usize) * SUBS;
 
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -184,14 +186,28 @@ impl HistogramSnapshot {
         HistogramSnapshot { counts: vec![0; NUM_BUCKETS], sum: 0, count: 0 }
     }
 
+    /// Raw bucket counts, for the snapshot JSON serde.
+    pub(crate) fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild from raw parts; `counts` must be [`NUM_BUCKETS`] long
+    /// (the JSON parser guarantees this by construction).
+    pub(crate) fn from_raw(counts: Vec<u64>, sum: u64, count: u64) -> Self {
+        debug_assert_eq!(counts.len(), NUM_BUCKETS);
+        HistogramSnapshot { counts, sum, count }
+    }
+
     /// Fold another snapshot in. Bucket-wise addition, so merging is
-    /// associative and commutative (the proptests pin this).
+    /// associative and commutative (the proptests pin this). Wrapping,
+    /// to match the `fetch_add` semantics of live recording — a merge
+    /// must never panic where the histogram itself would have wrapped.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.wrapping_add(*b);
         }
-        self.sum += other.sum;
-        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count = self.count.wrapping_add(other.count);
     }
 
     /// Nearest-rank quantile, matching the rank convention the serve
@@ -317,6 +333,27 @@ impl Registry {
     /// Registered names, sorted.
     pub fn names(&self) -> Vec<String> {
         lock_recover(&self.metrics).keys().cloned().collect()
+    }
+
+    /// Owned, mergeable, wire-able copy of every registered metric —
+    /// the unit of cross-process metrics federation.
+    pub fn snapshot(&self) -> crate::snapshot::RegistrySnapshot {
+        let metrics = lock_recover(&self.metrics);
+        let mut out = crate::snapshot::RegistrySnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    out.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    out.hists.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        out
     }
 
     /// Prometheus text exposition of every registered metric, names in

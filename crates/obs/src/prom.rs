@@ -1,6 +1,14 @@
 //! Validator for the Prometheus text exposition this crate renders.
 //! CI round-trips `Registry::render_prometheus` output through it, so
 //! the exposition contract is pinned by a test, not by inspection.
+//!
+//! Samples are label-aware: a family may carry any number of series
+//! as long as each `(name, label-set)` pair appears once, which is
+//! what lets the federated shard exposition emit one unlabeled
+//! (merged) series plus one `shard="i"` series per worker under a
+//! single `# TYPE` declaration. Histogram series group by their
+//! label set *minus* `le`, and every group is held to the full
+//! histogram contract independently.
 
 use std::collections::BTreeMap;
 
@@ -11,6 +19,72 @@ fn valid_name(name: &str) -> bool {
         _ => return false,
     }
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse `k1="v1",k2="v2"` into sorted pairs. Values may contain the
+/// standard `\\`, `\"`, `\n` escapes. Duplicate label names are an
+/// error.
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=' in {s:?}"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label {name:?}: value not quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            match chars.next() {
+                None => return Err(format!("label {name:?}: unterminated value")),
+                Some((i, '"')) => break i,
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("label {name:?}: bad escape {other:?}")),
+                },
+                Some((_, c)) => value.push(c),
+            }
+        };
+        if pairs.iter().any(|(n, _)| n == name) {
+            return Err(format!("duplicate label {name:?}"));
+        }
+        pairs.push((name.to_string(), value));
+        rest = &rest[close + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None if rest.is_empty() => break,
+            None => return Err(format!("expected ',' between labels in {s:?}")),
+        }
+    }
+    pairs.sort();
+    Ok(pairs)
+}
+
+/// Canonical key for a label set (used to group and detect duplicates).
+fn label_key(pairs: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(k);
+        out.push('\u{1}');
+        out.push_str(v);
+        out.push('\u{2}');
+    }
+    out
 }
 
 #[derive(Default)]
@@ -24,15 +98,18 @@ struct HistState {
 /// Validate a Prometheus text exposition; returns the number of
 /// `# TYPE` families seen.
 ///
-/// Enforced: every sample belongs to a declared family; names are
-/// legal; counter/gauge families carry exactly one sample line;
-/// histogram `le` labels are finite, strictly ascending, with
-/// non-decreasing cumulative counts capped by a mandatory `+Inf`
-/// bucket that equals `_count`; `_sum`/`_count` present.
+/// Enforced: every sample belongs to a declared family; names and
+/// label syntax are legal; each `(name, label-set)` appears at most
+/// once; histogram `le` labels are finite, strictly ascending within
+/// their label group, with non-decreasing cumulative counts capped by
+/// a mandatory `+Inf` bucket that equals that group's `_count`;
+/// `_sum`/`_count` present per group.
 pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     let mut types: BTreeMap<String, String> = BTreeMap::new();
-    let mut scalar_samples: BTreeMap<String, u64> = BTreeMap::new();
-    let mut hists: BTreeMap<String, HistState> = BTreeMap::new();
+    // Scalar samples seen, keyed (family, label-set key).
+    let mut scalar_samples: BTreeMap<(String, String), ()> = BTreeMap::new();
+    // Histogram groups, keyed (family, label-set key minus `le`).
+    let mut hists: BTreeMap<(String, String), HistState> = BTreeMap::new();
 
     for (no, line) in text.lines().enumerate() {
         let no = no + 1;
@@ -59,13 +136,13 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
 
         let (series, value) =
             line.rsplit_once(' ').ok_or(format!("line {no}: no value on sample"))?;
-        let (name, label) = match series.split_once('{') {
+        let (name, labels) = match series.split_once('{') {
             Some((n, rest)) => {
                 let label =
                     rest.strip_suffix('}').ok_or(format!("line {no}: unterminated labels"))?;
-                (n, Some(label))
+                (n, parse_labels(label).map_err(|e| format!("line {no}: {e}"))?)
             }
-            None => (series, None),
+            None => (series, Vec::new()),
         };
         if !valid_name(name) {
             return Err(format!("line {no}: bad sample name {name:?}"));
@@ -77,13 +154,16 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
             if types.get(fam).map(String::as_str) != Some("histogram") {
                 return Err(format!("line {no}: bucket for undeclared histogram {fam:?}"));
             }
-            let le = label
-                .and_then(|l| l.strip_prefix("le=\""))
-                .and_then(|l| l.strip_suffix('"'))
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
                 .ok_or(format!("line {no}: bucket without le label"))?;
+            let group: Vec<(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").cloned().collect();
             let cum: u64 =
                 value.parse().map_err(|_| format!("line {no}: bad bucket count {value:?}"))?;
-            let h = hists.entry(fam.to_string()).or_default();
+            let h = hists.entry((fam.to_string(), label_key(&group))).or_default();
             if le == "+Inf" {
                 if h.inf.replace(cum).is_some() {
                     return Err(format!("line {no}: duplicate +Inf bucket for {fam}"));
@@ -93,6 +173,9 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
                     return Err(format!("line {no}: bucket after +Inf for {fam}"));
                 }
                 let le: f64 = le.parse().map_err(|_| format!("line {no}: bad le value {le:?}"))?;
+                if !le.is_finite() {
+                    return Err(format!("line {no}: non-finite le for {fam}"));
+                }
                 h.buckets.push((le, cum));
             }
             continue;
@@ -100,7 +183,8 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
         if let Some(fam) = name.strip_suffix("_sum") {
             if types.get(fam).map(String::as_str) == Some("histogram") {
                 let v: f64 = value.parse().map_err(|_| format!("line {no}: bad sum {value:?}"))?;
-                if hists.entry(fam.to_string()).or_default().sum.replace(v).is_some() {
+                let h = hists.entry((fam.to_string(), label_key(&labels))).or_default();
+                if h.sum.replace(v).is_some() {
                     return Err(format!("line {no}: duplicate _sum for {fam}"));
                 }
                 continue;
@@ -110,7 +194,8 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
             if types.get(fam).map(String::as_str) == Some("histogram") {
                 let v: u64 =
                     value.parse().map_err(|_| format!("line {no}: bad count {value:?}"))?;
-                if hists.entry(fam.to_string()).or_default().count.replace(v).is_some() {
+                let h = hists.entry((fam.to_string(), label_key(&labels))).or_default();
+                if h.count.replace(v).is_some() {
                     return Err(format!("line {no}: duplicate _count for {fam}"));
                 }
                 continue;
@@ -122,8 +207,8 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
                 if value.parse::<f64>().is_err() {
                     return Err(format!("line {no}: bad value {value:?}"));
                 }
-                *scalar_samples.entry(name.to_string()).or_insert(0) += 1;
-                if scalar_samples[name] > 1 {
+                let key = (name.to_string(), label_key(&labels));
+                if scalar_samples.insert(key, ()).is_some() {
                     return Err(format!("line {no}: duplicate sample for {name}"));
                 }
             }
@@ -137,30 +222,34 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     for (name, kind) in &types {
         match kind.as_str() {
             "counter" | "gauge" => {
-                if !scalar_samples.contains_key(name) {
+                if !scalar_samples.keys().any(|(n, _)| n == name) {
                     return Err(format!("{kind} {name} declared but has no sample"));
                 }
             }
             _ => {
-                let h = hists.get(name).ok_or(format!("histogram {name} has no series"))?;
-                let inf = h.inf.ok_or(format!("histogram {name} missing +Inf bucket"))?;
-                let count = h.count.ok_or(format!("histogram {name} missing _count"))?;
-                h.sum.ok_or(format!("histogram {name} missing _sum"))?;
-                if inf != count {
-                    return Err(format!("histogram {name}: +Inf {inf} != _count {count}"));
-                }
-                let ascending = h.buckets.windows(2).all(|w| w[0].0 < w[1].0);
-                if !ascending {
-                    return Err(format!("histogram {name}: le not strictly ascending"));
-                }
-                let monotone = h.buckets.windows(2).all(|w| w[0].1 <= w[1].1);
-                if !monotone {
-                    return Err(format!("histogram {name}: cumulative counts decreased"));
-                }
-                if h.buckets.last().is_some_and(|(_, c)| *c > inf) {
-                    return Err(format!("histogram {name}: bucket exceeds +Inf"));
+                if !hists.keys().any(|(n, _)| n == name) {
+                    return Err(format!("histogram {name} has no series"));
                 }
             }
+        }
+    }
+    for ((name, _), h) in &hists {
+        let inf = h.inf.ok_or(format!("histogram {name} missing +Inf bucket"))?;
+        let count = h.count.ok_or(format!("histogram {name} missing _count"))?;
+        h.sum.ok_or(format!("histogram {name} missing _sum"))?;
+        if inf != count {
+            return Err(format!("histogram {name}: +Inf {inf} != _count {count}"));
+        }
+        let ascending = h.buckets.windows(2).all(|w| w[0].0 < w[1].0);
+        if !ascending {
+            return Err(format!("histogram {name}: le not strictly ascending"));
+        }
+        let monotone = h.buckets.windows(2).all(|w| w[0].1 <= w[1].1);
+        if !monotone {
+            return Err(format!("histogram {name}: cumulative counts decreased"));
+        }
+        if h.buckets.last().is_some_and(|(_, c)| *c > inf) {
+            return Err(format!("histogram {name}: bucket exceeds +Inf"));
         }
     }
     Ok(types.len())
@@ -190,6 +279,51 @@ mod tests {
     }
 
     #[test]
+    fn labeled_series_coexist_within_one_family() {
+        let text = "# TYPE reqs_total counter\n\
+                    reqs_total 10\n\
+                    reqs_total{shard=\"0\"} 4\n\
+                    reqs_total{shard=\"1\"} 6\n\
+                    # TYPE lat_us histogram\n\
+                    lat_us_bucket{le=\"5\"} 1\n\
+                    lat_us_bucket{le=\"+Inf\"} 2\n\
+                    lat_us_sum 12\n\
+                    lat_us_count 2\n\
+                    lat_us_bucket{shard=\"0\",le=\"5\"} 1\n\
+                    lat_us_bucket{shard=\"0\",le=\"+Inf\"} 1\n\
+                    lat_us_sum{shard=\"0\"} 5\n\
+                    lat_us_count{shard=\"0\"} 1\n";
+        assert_eq!(validate_prometheus(text), Ok(2), "{text}");
+    }
+
+    #[test]
+    fn duplicate_label_sets_are_rejected() {
+        let text = "# TYPE reqs_total counter\n\
+                    reqs_total{shard=\"0\"} 4\n\
+                    reqs_total{shard=\"0\"} 5\n";
+        assert!(validate_prometheus(text).is_err());
+        // Same label set written in a different order is still a dup.
+        let text = "# TYPE x counter\n\
+                    x{a=\"1\",b=\"2\"} 4\n\
+                    x{b=\"2\",a=\"1\"} 5\n";
+        assert!(validate_prometheus(text).is_err());
+    }
+
+    #[test]
+    fn histogram_groups_are_checked_independently() {
+        // The shard="0" group is internally broken (+Inf != _count)
+        // even though the unlabeled group is fine.
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 2\n\
+                    h_sum 3\n\
+                    h_count 2\n\
+                    h_bucket{shard=\"0\",le=\"+Inf\"} 2\n\
+                    h_sum{shard=\"0\"} 3\n\
+                    h_count{shard=\"0\"} 1\n";
+        assert!(validate_prometheus(text).is_err());
+    }
+
+    #[test]
     fn violations_are_rejected() {
         for (bad, why) in [
             ("orphan 1", "sample without TYPE"),
@@ -197,6 +331,9 @@ mod tests {
             ("# TYPE x counter\nx banana", "non-numeric value"),
             ("# TYPE x counter", "declared without sample"),
             ("# TYPE 9x counter\n9x 1", "bad name"),
+            ("# TYPE x counter\nx{9bad=\"1\"} 1", "bad label name"),
+            ("# TYPE x counter\nx{a=1} 1", "unquoted label value"),
+            ("# TYPE x counter\nx{a=\"1\",a=\"2\"} 1", "duplicate label name"),
             (
                 "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 3",
                 "+Inf disagrees with _count",

@@ -5,7 +5,8 @@
 //!
 //! - **Tracing disabled** (the default): [`span`] is one `OnceLock`
 //!   get plus one `Relaxed` load and returns an inert guard whose drop
-//!   does nothing. No clock read, no allocation, no lock.
+//!   does nothing. No clock read, no allocation, no lock, no
+//!   thread-local write.
 //! - **Tracing enabled**: the guard reads the clock twice and pushes a
 //!   `Copy` record into this thread's pre-reserved buffer under an
 //!   uncontended per-thread mutex (the mutex exists only so
@@ -17,11 +18,31 @@
 //! short (one replay, one query) and drained promptly. Thread buffers
 //! registered by exited threads stay in the sink list until drained;
 //! that is a few empty `Vec`s, not a leak that grows with traffic.
+//!
+//! # Trace identity
+//!
+//! Every enabled span carries a `(trace_id, span_id, parent_id)`
+//! triple so spans from different processes can be stitched into one
+//! distributed trace:
+//!
+//! - A span started while an ambient [`TraceContext`] is set (see
+//!   [`with_trace`]) joins that trace with the ambient span as its
+//!   parent. A span started with no ambient context roots a fresh
+//!   trace.
+//! - [`span`]/[`span_args`] install their own context as the ambient
+//!   one for their RAII scope, so nested spans on the same thread
+//!   parent naturally. [`span_at`] does *not* touch the ambient
+//!   context — use it when several sibling guards are held at once
+//!   (e.g. one RPC span per shard during a scatter) and drop order is
+//!   not LIFO.
+//! - Ids are allocated from a process-seeded counter
+//!   (`pid << 32 | seq`), so routers and workers stitching into the
+//!   same trace never collide. Id 0 means "absent".
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Arguments a span can carry (kept fixed-size so records stay `Copy`).
 pub const MAX_SPAN_ARGS: usize = 2;
@@ -31,6 +52,27 @@ const RESERVE: usize = 256;
 
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The trace a span belongs to and the span acting as parent for new
+/// work: the propagation unit carried across threads and (via the
+/// shard wire header) across processes. Zero fields mean "absent".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Distributed trace id (0 = no trace).
+    pub trace_id: u64,
+    /// Span id new child spans should record as their parent (0 = root).
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The absent context: spans started under it root fresh traces.
+    pub const NONE: TraceContext = TraceContext { trace_id: 0, span_id: 0 };
+
+    /// True when this context carries no trace at all.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
 }
 
 /// One completed span, as drained by [`take_spans`].
@@ -46,6 +88,12 @@ pub struct SpanRecord {
     pub dur_ns: u64,
     /// Small sequential id of the recording thread.
     pub tid: u32,
+    /// Distributed trace this span belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// This span's own id (0 = untraced).
+    pub span_id: u64,
+    /// Parent span id (0 = trace root).
+    pub parent_id: u64,
     /// Up to [`MAX_SPAN_ARGS`] named integer arguments.
     pub args: [(&'static str, u64); MAX_SPAN_ARGS],
     /// How many entries of `args` are live.
@@ -55,8 +103,10 @@ pub struct SpanRecord {
 struct Tracer {
     enabled: AtomicBool,
     epoch: Instant,
+    epoch_unix_ns: u64,
     sinks: Mutex<Vec<Arc<Mutex<Vec<SpanRecord>>>>>,
     next_tid: AtomicU32,
+    next_id: AtomicU64,
 }
 
 fn tracer() -> &'static Tracer {
@@ -64,9 +114,25 @@ fn tracer() -> &'static Tracer {
     TRACER.get_or_init(|| Tracer {
         enabled: AtomicBool::new(false),
         epoch: Instant::now(),
+        epoch_unix_ns: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0),
         sinks: Mutex::new(Vec::new()),
         next_tid: AtomicU32::new(0),
+        // Seed ids with the OS pid so routers and workers allocating
+        // into the same distributed trace cannot collide.
+        next_id: AtomicU64::new(((std::process::id() as u64) << 32) | 1),
     })
+}
+
+/// Wall-clock nanoseconds (unix epoch) of the instant that
+/// [`SpanRecord::start_ns`] is measured from. `start_ns +
+/// epoch_unix_ns` is an absolute timestamp comparable across
+/// processes, which is how worker spans are rebased onto the router's
+/// timeline when stitching a distributed trace.
+pub fn epoch_unix_ns() -> u64 {
+    tracer().epoch_unix_ns
 }
 
 struct ThreadSink {
@@ -76,6 +142,7 @@ struct ThreadSink {
 
 thread_local! {
     static LOCAL: RefCell<Option<ThreadSink>> = const { RefCell::new(None) };
+    static CONTEXT: Cell<TraceContext> = const { Cell::new(TraceContext::NONE) };
 }
 
 fn record(mut rec: SpanRecord) {
@@ -103,6 +170,35 @@ pub fn tracing_enabled() -> bool {
     tracer().enabled.load(Ordering::Relaxed)
 }
 
+/// The ambient [`TraceContext`] of the calling thread: what a new
+/// span would join. [`TraceContext::NONE`] when nothing is set.
+pub fn current_trace() -> TraceContext {
+    CONTEXT.get()
+}
+
+/// Install `ctx` as the calling thread's ambient trace context until
+/// the returned guard drops (the previous context is restored).
+///
+/// This is the explicit propagation primitive for the two places the
+/// implicit per-thread nesting cannot reach: adopting a context that
+/// arrived over the wire (shard workers) and carrying a context into
+/// rayon worker closures (partition spans).
+pub fn with_trace(ctx: TraceContext) -> TraceScope {
+    TraceScope { prev: CONTEXT.replace(ctx) }
+}
+
+/// RAII guard of [`with_trace`]: restores the previous ambient
+/// context on drop. Must drop on the thread that created it.
+pub struct TraceScope {
+    prev: TraceContext,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CONTEXT.set(self.prev);
+    }
+}
+
 /// Drain every thread's buffered spans, sorted by start time. Live
 /// threads' buffers keep their reserved capacity, so a drain does not
 /// reintroduce allocation into their recording path; buffers whose
@@ -119,17 +215,42 @@ pub fn take_spans() -> Vec<SpanRecord> {
     out
 }
 
+fn fresh_ids(parent: TraceContext) -> (u64, u64) {
+    let t = tracer();
+    let span_id = t.next_id.fetch_add(1, Ordering::Relaxed);
+    let trace_id = if parent.trace_id != 0 {
+        parent.trace_id
+    } else {
+        t.next_id.fetch_add(1, Ordering::Relaxed)
+    };
+    (trace_id, span_id)
+}
+
 /// Start a span; the interval closes (and is recorded) when the
 /// returned guard drops. Inert when tracing is disabled.
+///
+/// The span joins the thread's ambient [`TraceContext`] (rooting a
+/// fresh trace if there is none) and installs itself as the ambient
+/// context until the guard drops, so nested spans parent naturally.
+/// Guards must therefore drop in LIFO order on their creating thread —
+/// the natural shape of RAII scopes. For sibling guards held
+/// simultaneously, use [`span_at`].
 pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
     if !tracing_enabled() {
         return SpanGuard { active: None };
     }
+    let parent = current_trace();
+    let (trace_id, span_id) = fresh_ids(parent);
+    let prev = CONTEXT.replace(TraceContext { trace_id, span_id });
     SpanGuard {
         active: Some(ActiveSpan {
             name,
             cat,
             start: Instant::now(),
+            trace_id,
+            span_id,
+            parent_id: parent.span_id,
+            restore: Some(prev),
             args: [("", 0); MAX_SPAN_ARGS],
             n_args: 0,
         }),
@@ -142,10 +263,40 @@ pub fn span_args(cat: &'static str, name: &'static str, key: &'static str, val: 
     span(cat, name).arg(key, val)
 }
 
+/// Start a span parented at an explicit [`TraceContext`] without
+/// touching the thread's ambient context. Use when several sibling
+/// guards live at once and drop out of creation order (the router
+/// holds one RPC span per shard across a pipelined scatter); the
+/// ambient-stacking of [`span`] would mis-restore there.
+pub fn span_at(cat: &'static str, name: &'static str, parent: TraceContext) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard { active: None };
+    }
+    let (trace_id, span_id) = fresh_ids(parent);
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            cat,
+            start: Instant::now(),
+            trace_id,
+            span_id,
+            parent_id: parent.span_id,
+            restore: None,
+            args: [("", 0); MAX_SPAN_ARGS],
+            n_args: 0,
+        }),
+    }
+}
+
 struct ActiveSpan {
     name: &'static str,
     cat: &'static str,
     start: Instant,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    /// Ambient context to restore on drop (`None` for [`span_at`]).
+    restore: Option<TraceContext>,
     args: [(&'static str, u64); MAX_SPAN_ARGS],
     n_args: u8,
 }
@@ -167,11 +318,23 @@ impl SpanGuard {
         }
         self
     }
+
+    /// This span's identity as a [`TraceContext`] — what to stamp on
+    /// outgoing work (wire headers, rayon closures) so remote spans
+    /// parent under this one. [`TraceContext::NONE`] when inert.
+    pub fn trace_context(&self) -> TraceContext {
+        self.active
+            .as_ref()
+            .map_or(TraceContext::NONE, |a| TraceContext { trace_id: a.trace_id, span_id: a.span_id })
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(a) = self.active.take() else { return };
+        if let Some(prev) = a.restore {
+            CONTEXT.set(prev);
+        }
         let t = tracer();
         if !t.enabled.load(Ordering::Relaxed) {
             return; // tracing turned off mid-span: drop silently
@@ -184,6 +347,9 @@ impl Drop for SpanGuard {
             start_ns,
             dur_ns,
             tid: 0, // assigned in record() from the thread sink
+            trace_id: a.trace_id,
+            span_id: a.span_id,
+            parent_id: a.parent_id,
             args: a.args,
             n_args: a.n_args,
         });
@@ -256,5 +422,94 @@ mod tests {
         assert_eq!(spans.len(), 5, "{spans:?}");
         assert!(spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
         assert!(spans.iter().filter(|s| s.name == "worker").count() == 4);
+    }
+
+    #[test]
+    fn nested_spans_share_a_trace_and_parent_naturally() {
+        let _g = guard();
+        set_tracing(true);
+        let _ = take_spans();
+        {
+            let root = span("test", "root");
+            let root_ctx = root.trace_context();
+            assert!(root_ctx.trace_id != 0 && root_ctx.span_id != 0);
+            {
+                let child = span("test", "child");
+                let cc = child.trace_context();
+                assert_eq!(cc.trace_id, root_ctx.trace_id);
+                assert_ne!(cc.span_id, root_ctx.span_id);
+            }
+        }
+        set_tracing(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2, "{spans:?}");
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        let child = spans.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(root.parent_id, 0, "root spans have no parent");
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_id, root.span_id);
+        // The ambient context is fully restored after the scope.
+        assert_eq!(current_trace(), TraceContext::NONE);
+    }
+
+    #[test]
+    fn with_trace_adopts_a_remote_context_and_restores_on_drop() {
+        let _g = guard();
+        set_tracing(true);
+        let _ = take_spans();
+        let remote = TraceContext { trace_id: 0xABCD, span_id: 77 };
+        {
+            let _scope = with_trace(remote);
+            assert_eq!(current_trace(), remote);
+            let _s = span("test", "adopted");
+        }
+        assert_eq!(current_trace(), TraceContext::NONE);
+        set_tracing(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        assert_eq!(spans[0].trace_id, 0xABCD);
+        assert_eq!(spans[0].parent_id, 77);
+    }
+
+    #[test]
+    fn span_at_parents_explicitly_without_touching_ambient_context() {
+        let _g = guard();
+        set_tracing(true);
+        let _ = take_spans();
+        let parent = TraceContext { trace_id: 0x1234, span_id: 9 };
+        {
+            // Sibling guards held at once, dropped out of order — the
+            // scatter shape span_at exists for.
+            let a = span_at("test", "rpc_a", parent);
+            let b = span_at("test", "rpc_b", parent);
+            assert_eq!(current_trace(), TraceContext::NONE, "span_at must not install context");
+            drop(a);
+            drop(b);
+        }
+        set_tracing(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2, "{spans:?}");
+        for s in &spans {
+            assert_eq!(s.trace_id, 0x1234);
+            assert_eq!(s.parent_id, 9);
+        }
+        assert_ne!(spans[0].span_id, spans[1].span_id);
+    }
+
+    #[test]
+    fn span_ids_are_process_seeded_and_absolute_epoch_is_stable() {
+        let _g = guard();
+        set_tracing(true);
+        let s = span("test", "seeded");
+        let ctx = s.trace_context();
+        assert_eq!(
+            ctx.span_id >> 32,
+            std::process::id() as u64,
+            "span ids embed the pid in the high bits"
+        );
+        drop(s);
+        set_tracing(false);
+        let _ = take_spans();
+        assert_eq!(epoch_unix_ns(), epoch_unix_ns(), "epoch is captured once");
     }
 }

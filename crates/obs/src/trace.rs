@@ -7,38 +7,105 @@
 //! CI round-trips every exported trace through
 //! [`validate_chrome_trace`], so the schema the viewer needs is pinned
 //! by tests, not by hope.
+//!
+//! Two entry points: [`chrome_trace_json`] renders one process's
+//! drained [`SpanRecord`]s (pid lane 1), and
+//! [`chrome_trace_json_events`] renders owned [`TraceEvent`]s carrying
+//! their own `pid` — the stitched multi-process form the shard tier
+//! produces after collecting worker spans over the wire. Trace
+//! identity (`trace_id`/`span_id`/`parent_id`) is emitted into `args`
+//! as hex *strings*, not numbers: ids are pid-seeded u64s above 2^53,
+//! and a JSON number would silently round them.
 
 use std::fmt::Write as _;
 
 use crate::json::{self, Value};
 use crate::span::SpanRecord;
 
-/// Render drained spans as a Chrome trace JSON document.
+/// One exportable trace event with an explicit process lane — the
+/// owned, cross-process counterpart of [`SpanRecord`]. Worker spans
+/// arrive over the wire as owned strings with absolute timestamps;
+/// the router converts both sides to this type before stitching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name.
+    pub name: String,
+    /// Category / layer.
+    pub cat: String,
+    /// Start in nanoseconds (caller picks the epoch; the exporter only
+    /// requires all events in one document to share it).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Process lane.
+    pub pid: u32,
+    /// Thread lane within the process.
+    pub tid: u32,
+    /// Distributed trace id (0 = untraced).
+    pub trace_id: u64,
+    /// This span's id (0 = untraced).
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent_id: u64,
+    /// Named integer arguments.
+    pub args: Vec<(String, u64)>,
+}
+
+impl TraceEvent {
+    /// Convert a locally-drained span to an event on process lane
+    /// `pid`. `ts_ns` stays relative to the local tracer epoch; add
+    /// [`crate::epoch_unix_ns`] before mixing with remote events.
+    pub fn from_span(s: &SpanRecord, pid: u32) -> TraceEvent {
+        TraceEvent {
+            name: s.name.to_string(),
+            cat: s.cat.to_string(),
+            ts_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+            pid,
+            tid: s.tid,
+            trace_id: s.trace_id,
+            span_id: s.span_id,
+            parent_id: s.parent_id,
+            args: s.args[..s.n_args as usize].iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+}
+
+/// Render drained spans as a Chrome trace JSON document (single
+/// process, pid lane 1).
 pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
-    let mut out = String::with_capacity(64 + spans.len() * 96);
+    let events: Vec<TraceEvent> = spans.iter().map(|s| TraceEvent::from_span(s, 1)).collect();
+    chrome_trace_json_events(&events)
+}
+
+/// Render owned events — possibly stitched from several processes,
+/// each on its own `pid` lane — as a Chrome trace JSON document.
+pub fn chrome_trace_json_events(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
     out.push_str("{\"traceEvents\":[");
-    for (i, s) in spans.iter().enumerate() {
+    for (i, e) in events.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-             \"pid\":1,\"tid\":{}",
-            json::escape(s.name),
-            json::escape(s.cat),
-            micros(s.start_ns),
-            micros(s.dur_ns),
-            s.tid,
+             \"pid\":{},\"tid\":{}",
+            json::escape(&e.name),
+            json::escape(&e.cat),
+            micros(e.ts_ns),
+            micros(e.dur_ns),
+            e.pid,
+            e.tid,
         );
-        if s.n_args > 0 {
+        let traced = e.trace_id != 0;
+        if !e.args.is_empty() || traced {
             out.push_str(",\"args\":{");
-            let live = &s.args[..s.n_args as usize];
             let mut emitted = 0;
-            for (j, (key, val)) in live.iter().enumerate() {
+            for (j, (key, val)) in e.args.iter().enumerate() {
                 // A repeated key would be an invalid JSON object; the
                 // first occurrence wins.
-                if live[..j].iter().any(|(k, _)| k == key) {
+                if e.args[..j].iter().any(|(k, _)| k == key) {
                     continue;
                 }
                 if emitted > 0 {
@@ -46,6 +113,18 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
                 }
                 emitted += 1;
                 let _ = write!(out, "\"{}\":{val}", json::escape(key));
+            }
+            if traced {
+                if emitted > 0 {
+                    out.push(',');
+                }
+                // Hex strings, not numbers: ids exceed 2^53 (see
+                // module docs) and must survive every JSON reader.
+                let _ = write!(
+                    out,
+                    "\"trace\":\"{:#x}\",\"span\":\"{:#x}\",\"parent\":\"{:#x}\"",
+                    e.trace_id, e.span_id, e.parent_id
+                );
             }
             out.push('}');
         }
@@ -71,7 +150,8 @@ fn micros(ns: u64) -> String {
 /// `traceEvents` array, every event a complete (`ph == "X"`) event
 /// with non-empty string `name`, string `cat`, non-negative numeric
 /// `ts`/`dur`, integer `pid`/`tid`, and (when present) an `args`
-/// object whose values are numbers.
+/// object whose values are numbers or strings (trace identity travels
+/// as hex strings).
 pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     let root = json::parse(text)?;
     let events = root
@@ -114,8 +194,8 @@ fn validate_event(ev: &Value) -> Result<(), String> {
             return Err("args is not an object".into());
         };
         for (k, v) in fields {
-            if v.as_num().is_none() {
-                return Err(format!("args.{k} is not a number"));
+            if !matches!(v, Value::Num(_) | Value::Str(_)) {
+                return Err(format!("args.{k} is not a number or string"));
             }
         }
     }
@@ -134,6 +214,9 @@ mod tests {
             start_ns,
             dur_ns,
             tid,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
             args: [("", 0); MAX_SPAN_ARGS],
             n_args: 0,
         }
@@ -158,6 +241,42 @@ mod tests {
     }
 
     #[test]
+    fn multi_process_events_keep_their_pid_lanes_and_trace_ids() {
+        let router = TraceEvent {
+            name: "query".into(),
+            cat: "router".into(),
+            ts_ns: 0,
+            dur_ns: 5_000,
+            pid: 100,
+            tid: 0,
+            trace_id: (1u64 << 60) | 7, // deliberately above 2^53
+            span_id: 1,
+            parent_id: 0,
+            args: vec![],
+        };
+        let worker = TraceEvent {
+            name: "worker_query".into(),
+            cat: "shard".into(),
+            ts_ns: 1_000,
+            dur_ns: 3_000,
+            pid: 200,
+            tid: 1,
+            trace_id: router.trace_id,
+            span_id: 2,
+            parent_id: 1,
+            args: vec![("shard".into(), 0)],
+        };
+        let doc = chrome_trace_json_events(&[router.clone(), worker]);
+        assert_eq!(validate_chrome_trace(&doc), Ok(2), "{doc}");
+        assert!(doc.contains("\"pid\":100,"), "{doc}");
+        assert!(doc.contains("\"pid\":200,"), "{doc}");
+        // Ids are exported as exact hex strings, shared across lanes.
+        let hex = format!("\"trace\":\"{:#x}\"", router.trace_id);
+        assert_eq!(doc.matches(hex.as_str()).count(), 2, "{doc}");
+        assert!(doc.contains("\"parent\":\"0x1\""), "{doc}");
+    }
+
+    #[test]
     fn validator_rejects_schema_violations() {
         for (bad, why) in [
             ("[]", "root must be an object"),
@@ -176,8 +295,8 @@ mod tests {
                 "fractional tid",
             ),
             (
-                "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":0,\"args\":{\"k\":\"v\"}}]}",
-                "non-numeric arg",
+                "{\"traceEvents\":[{\"name\":\"n\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":0,\"args\":{\"k\":true}}]}",
+                "boolean arg",
             ),
         ] {
             assert!(validate_chrome_trace(bad).is_err(), "{why}: {bad}");

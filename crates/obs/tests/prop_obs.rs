@@ -120,6 +120,10 @@ proptest! {
                 start_ns,
                 dur_ns,
                 tid,
+                // Exercise both untraced (0) and >2^53 id export paths.
+                trace_id: if i % 2 == 0 { 0 } else { (1u64 << 60) | i as u64 },
+                span_id: i as u64,
+                parent_id: i as u64 / 2,
                 args: [("rows", i as u64); MAX_SPAN_ARGS],
                 n_args: n_args.min(MAX_SPAN_ARGS as u8),
             })

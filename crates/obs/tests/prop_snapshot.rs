@@ -1,0 +1,151 @@
+//! Property tests for registry-snapshot JSON serde: the wire format
+//! metrics federation rides on. The contract is *bit*-exactness —
+//! serialize→parse→merge must equal the in-process merge on the
+//! original snapshots, for empty registries, u64 extremes beyond f64
+//! precision, and histograms with every one of their 2048 buckets
+//! populated.
+
+use proptest::prelude::*;
+
+use gdelt_obs::metrics::NUM_BUCKETS;
+use gdelt_obs::{Histogram, Registry, RegistrySnapshot};
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn registry_snapshot(
+    counters: &[(usize, u64)],
+    gauges: &[(usize, i64)],
+    hist_values: &[u64],
+) -> RegistrySnapshot {
+    let r = Registry::new();
+    let names = ["a_total", "b_total", "c_total", "d_total"];
+    for (i, v) in counters {
+        r.counter(names[*i % names.len()]).add(*v);
+    }
+    let gnames = ["depth", "resident"];
+    for (i, v) in gauges {
+        r.gauge(gnames[*i % gnames.len()]).add(*v);
+    }
+    if !hist_values.is_empty() {
+        let h = r.histogram("lat_us");
+        for &v in hist_values {
+            h.record(v);
+        }
+    }
+    r.snapshot()
+}
+
+proptest! {
+    // serialize → parse is the identity, for any registry contents
+    // including u64 values that do not fit in an f64 mantissa.
+    #[test]
+    fn snapshot_json_round_trip_is_identity(
+        counters in prop::collection::vec((0usize..4, 0u64..=u64::MAX), 0..6),
+        gauges in prop::collection::vec((0usize..2, -1_000_000i64..1_000_000), 0..4),
+        hist_values in prop::collection::vec(0u64..=u64::MAX, 0..60),
+    ) {
+        let snap = registry_snapshot(&counters, &gauges, &hist_values);
+        let back = RegistrySnapshot::from_json(&snap.to_json()).expect("parse");
+        prop_assert_eq!(back, snap);
+    }
+
+    // Merging parsed copies is bit-identical to merging the originals
+    // in process: the federation path (worker serializes, router
+    // parses and merges) can never drift from a single-process merge.
+    #[test]
+    fn serialized_merge_matches_in_process_merge(
+        a in prop::collection::vec(0u64..=u64::MAX, 0..50),
+        b in prop::collection::vec(0u64..=u64::MAX, 0..50),
+        ca in 0u64..=u64::MAX,
+        cb in 0u64..=u64::MAX,
+    ) {
+        let mut sa = RegistrySnapshot::default();
+        sa.counters.insert("reqs_total".into(), ca);
+        sa.hists.insert("lat_us".into(), hist_of(&a).snapshot());
+        let mut sb = RegistrySnapshot::default();
+        sb.counters.insert("reqs_total".into(), cb);
+        sb.hists.insert("lat_us".into(), hist_of(&b).snapshot());
+
+        // In-process merge of the originals.
+        let mut direct = sa.clone();
+        direct.merge(&sb);
+
+        // Wire merge: both sides serialized, parsed back, then merged.
+        let mut wired = RegistrySnapshot::from_json(&sa.to_json()).expect("parse a");
+        let wb = RegistrySnapshot::from_json(&sb.to_json()).expect("parse b");
+        wired.merge(&wb);
+
+        prop_assert_eq!(&wired, &direct);
+        // Counter overflow semantics aside, histogram counts add.
+        prop_assert_eq!(direct.hists["lat_us"].count, (a.len() + b.len()) as u64);
+    }
+
+    // Merge order never matters after a wire round-trip (the router
+    // scrapes shards in arbitrary completion order).
+    #[test]
+    fn wire_merge_is_commutative(
+        a in prop::collection::vec(0u64..=1u64 << 40, 0..40),
+        b in prop::collection::vec(0u64..=1u64 << 40, 0..40),
+    ) {
+        let sa = RegistrySnapshot::from_json(
+            &registry_snapshot(&[], &[], &a).to_json()).unwrap();
+        let sb = RegistrySnapshot::from_json(
+            &registry_snapshot(&[], &[], &b).to_json()).unwrap();
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+}
+
+#[test]
+fn empty_registry_round_trips_and_merges_as_identity() {
+    let empty = RegistrySnapshot::default();
+    let back = RegistrySnapshot::from_json(&empty.to_json()).unwrap();
+    assert_eq!(back, empty);
+
+    let mut populated = registry_snapshot(&[(0, 5)], &[(0, -2)], &[1, 300, 1 << 30]);
+    let before = populated.clone();
+    populated.merge(&back);
+    assert_eq!(populated, before, "merging an empty snapshot is the identity");
+}
+
+#[test]
+fn fully_populated_histogram_round_trips_all_2048_buckets() {
+    // One sample in every bucket: 0..256 covers the linear range
+    // exactly; above it, each octave o in 8..64 has 32 sub-buckets
+    // whose lower bounds are (1<<o) + (s << (o-5)).
+    let h = Histogram::new();
+    for v in 0u64..256 {
+        h.record(v);
+    }
+    for octave in 8u32..64 {
+        for sub in 0u64..32 {
+            let lo = (1u64 << octave) + (sub << (octave - 5));
+            h.record(lo);
+        }
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, NUM_BUCKETS as u64, "one sample per bucket");
+
+    let mut reg = RegistrySnapshot::default();
+    reg.hists.insert("full".into(), snap.clone());
+    let json = reg.to_json();
+    let back = RegistrySnapshot::from_json(&json).unwrap();
+    assert_eq!(back, reg, "dense 2048-bucket histogram must round-trip");
+
+    // And the parsed copy still merges bit-identically.
+    let mut doubled_wire = back.clone();
+    doubled_wire.merge(&back);
+    let mut doubled_direct = reg.clone();
+    doubled_direct.merge(&reg);
+    assert_eq!(doubled_wire, doubled_direct);
+    assert_eq!(doubled_wire.hists["full"].count, 2 * NUM_BUCKETS as u64);
+}

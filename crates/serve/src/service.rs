@@ -24,7 +24,7 @@
 //! write lock and invalidates the cache before releasing it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -356,6 +356,12 @@ fn worker_loop(shared: &Shared) {
                     (Arc::clone(&guard), shared.cache.generation())
                 };
                 let t0 = Instant::now();
+                // Every executed query gets a process-unique qid and a
+                // root span carrying it, so a trace can be grepped for
+                // one query's whole subtree (kernel + partitions).
+                static QUERY_ID: AtomicU64 = AtomicU64::new(1);
+                let qid = QUERY_ID.fetch_add(1, Ordering::Relaxed);
+                let _exec_span = gdelt_obs::span_args("serve", "execute", "qid", qid);
                 let ran = catch_unwind(AssertUnwindSafe(|| {
                     if let Some(hook) = &shared.exec_hook {
                         hook.call(&query);

@@ -34,5 +34,5 @@ pub mod worker;
 
 pub use router::{ReconnectPolicy, Router, RouterConfig, RouterStats};
 pub use split::{shard_range, split_store, ShardEntry, ShardManifest};
-pub use wire::{Frame, Health, Hello, WireError};
+pub use wire::{FlightForward, Frame, Health, Hello, WireError, WireSpan};
 pub use worker::{ShardWorker, WorkerConfig};

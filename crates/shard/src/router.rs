@@ -19,10 +19,11 @@
 //! never leave a stale partial answer behind.
 
 use crate::split::ShardManifest;
-use crate::wire::{Frame, Hello};
+use crate::wire::{FlightForward, Frame, Hello, WireSpan};
 use gdelt_columnar::Coverage;
 use gdelt_engine::partial::{self, plan, ShardPartial, ShardPlan, ShardQuery};
 use gdelt_engine::{Query, QueryResult};
+use gdelt_obs::{FlightLevel, RegistrySnapshot, SpanGuard};
 use gdelt_serve::{
     Admission, AdmissionConfig, CoveredAnswer, DegradedPolicy, ServeError, ShardedCache,
 };
@@ -184,6 +185,12 @@ pub struct Router {
     /// Per-shard generation (0 = dead) as of the last scatter; any
     /// change invalidates the cache.
     last_sig: Mutex<Vec<u64>>,
+    /// Per-shard flight-forwarding cursor: the next worker flight
+    /// `seq` this router has not yet re-recorded. Workers attach the
+    /// same recent-event tail to every reply; `fetch_max` on this
+    /// cursor makes re-recording at-most-once per event even when
+    /// concurrent scatters race on the same shard's replies.
+    flight_cursors: Vec<AtomicU64>,
     completed: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -223,6 +230,7 @@ impl Router {
             admission,
             cache,
             last_sig: Mutex::new(vec![0; n]),
+            flight_cursors: (0..n).map(|_| AtomicU64::new(0)).collect(),
             completed: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -274,6 +282,10 @@ impl Router {
 
     fn query_admitted(&self, q: &Query) -> Result<CoveredAnswer, ServeError> {
         let t0 = std::time::Instant::now();
+        // Root span of the distributed trace: with no ambient context
+        // it mints a fresh trace id, which every shard RPC below then
+        // carries in its frame header.
+        let _root = gdelt_obs::span("router", q.kernel_name());
         if self.cfg.cache_enabled {
             if let Some(result) = self.cache.get(q) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -329,11 +341,17 @@ impl Router {
     /// pays no per-scatter thread spawn/join cost.
     fn scatter_round(&self, sq: &ShardQuery) -> Result<Round, ServeError> {
         let n = self.slots.len();
-        let pending: Vec<Option<(Connection, bool)>> =
+        let pending: Vec<Option<(Connection, bool, SpanGuard)>> =
             (0..n).map(|i| self.send_request(i, sq)).collect();
         let mut answers: Vec<Option<ShardAnswer>> = Vec::with_capacity(n);
         for (i, p) in pending.into_iter().enumerate() {
-            answers.push(p.and_then(|(conn, reconnected)| self.read_reply(i, conn, reconnected)));
+            // The RPC span guard rides alongside the connection and
+            // drops here, after the reply — so each shard_rpc span
+            // covers its full send→reply interval even though the
+            // sends all happen before the first read.
+            answers.push(p.and_then(|(conn, reconnected, _rpc_span)| {
+                self.read_reply(i, conn, reconnected)
+            }));
         }
         // Generation/membership signature: any change — a shard dying,
         // coming back, or bumping its store generation — invalidates
@@ -366,9 +384,11 @@ impl Router {
 
     /// Send-phase half of a scatter: check a connection out of shard
     /// `i`'s pool (or dial with capped backoff) and put the request on
-    /// the wire. Returns the connection awaiting its reply, plus
-    /// whether it was freshly dialed.
-    fn send_request(&self, i: usize, sq: &ShardQuery) -> Option<(Connection, bool)> {
+    /// the wire. Returns the connection awaiting its reply, whether it
+    /// was freshly dialed, and the RPC span whose context was stamped
+    /// into the frame header (the caller holds it open until the reply
+    /// lands).
+    fn send_request(&self, i: usize, sq: &ShardQuery) -> Option<(Connection, bool, SpanGuard)> {
         let slot = &self.slots[i];
         let mut reconnected = false;
         let mut conn = slot.check_out();
@@ -377,8 +397,17 @@ impl Router {
             reconnected = conn.is_some();
         }
         let mut conn = conn?;
-        match Frame::Request(sq.clone()).write_to(&mut conn.stream) {
-            Ok(()) => Some((conn, reconnected)),
+        // Explicitly parented (span_at, not span): the scatter sends
+        // all N requests before reading any reply, so these guards are
+        // siblings dropped out of LIFO order — they must not disturb
+        // the ambient context under the root span.
+        let rpc_span =
+            gdelt_obs::span_at("router", "shard_rpc", gdelt_obs::current_trace())
+                .arg("shard", i as u64);
+        let tc = rpc_span.trace_context();
+        match Frame::Request(sq.clone()).write_traced_to(&mut conn.stream, tc.trace_id, tc.span_id)
+        {
+            Ok(()) => Some((conn, reconnected, rpc_span)),
             Err(e) => {
                 self.conn_lost(i, &e.to_string());
                 None
@@ -392,10 +421,11 @@ impl Router {
     fn read_reply(&self, i: usize, mut conn: Connection, reconnected: bool) -> Option<ShardAnswer> {
         let t0 = std::time::Instant::now();
         match Frame::read_from(&mut conn.stream) {
-            Ok(Frame::Reply { generation, partial }) => {
+            Ok(Frame::Reply { generation, partial, flight }) => {
                 gdelt_obs::global()
                     .histogram(&format!("router_shard_us_{i}"))
                     .record(t0.elapsed().as_micros() as u64);
+                self.absorb_flight(i, &flight);
                 self.slots[i].check_in(conn, self.cfg.pool_per_shard);
                 Some(ShardAnswer { shard: i, generation, partial, reconnected })
             }
@@ -421,14 +451,18 @@ impl Router {
     }
 
     /// Dial a shard with the capped-backoff schedule and read its
-    /// hello.
+    /// hello. Every failed attempt leaves its own flight event (with
+    /// the shard id and attempt number), so a dump distinguishes
+    /// "first dial lost a race with a restart" from "down the whole
+    /// window"; the terminal `dial_failed` still fires only once.
     fn dial(&self, i: usize, slot: &ShardSlot) -> Option<Connection> {
-        for attempt in 0..self.cfg.reconnect.max_attempts {
+        let attempts = self.cfg.reconnect.max_attempts;
+        for attempt in 0..attempts {
             let wait = self.cfg.reconnect.delay(attempt);
             if !wait.is_zero() {
                 std::thread::sleep(wait);
             }
-            match TcpStream::connect(&slot.addr) {
+            let why = match TcpStream::connect(&slot.addr) {
                 Ok(mut stream) => {
                     let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
                     let _ = stream.set_nodelay(true);
@@ -437,21 +471,120 @@ impl Router {
                             slot.failures.store(0, Ordering::Relaxed);
                             return Some(Connection { stream, hello });
                         }
-                        Ok(_) | Err(_) => continue,
+                        Ok(other) => format!("expected hello, got {}", frame_label(&other)),
+                        Err(e) => format!("hello read failed: {e}"),
                     }
                 }
-                Err(_) => continue,
-            }
+                Err(e) => format!("connect failed: {e}"),
+            };
+            gdelt_obs::flight_warn(
+                "shard",
+                "dial_retry",
+                format!(
+                    "shard {i} at {}: attempt {}/{attempts} {why}",
+                    slot.addr,
+                    attempt + 1
+                ),
+            );
         }
         gdelt_obs::flight_warn(
             "shard",
             "dial_failed",
-            format!(
-                "shard {i} at {} unreachable after {} attempts",
-                slot.addr, self.cfg.reconnect.max_attempts
-            ),
+            format!("shard {i} at {} unreachable after {attempts} attempts", slot.addr),
         );
         None
+    }
+
+    /// Re-record flight events a worker piggybacked on a reply, at
+    /// most once per event: the per-shard cursor advances with
+    /// `fetch_max`, so whichever racing reply observes an event first
+    /// claims it and every later tail containing the same `seq` skips
+    /// it.
+    fn absorb_flight(&self, i: usize, events: &[FlightForward]) {
+        let Some(cursor) = self.flight_cursors.get(i) else { return };
+        for ev in events {
+            let prev = cursor.fetch_max(ev.seq + 1, Ordering::Relaxed);
+            if prev > ev.seq {
+                continue;
+            }
+            let level = match ev.level {
+                0 => FlightLevel::Info,
+                1 => FlightLevel::Warn,
+                _ => FlightLevel::Error,
+            };
+            gdelt_obs::flight(
+                level,
+                ev.component.clone(),
+                ev.code.clone(),
+                format!("[shard {i} seq {} +{}us] {}", ev.seq, ev.t_us, ev.detail),
+            );
+        }
+    }
+
+    /// One round-trip request/reply on shard `i`'s connection, pooled
+    /// on success (shared shape of the metrics scrape and trace
+    /// drain).
+    fn exchange(&self, i: usize, request: Frame) -> Option<Frame> {
+        let slot = &self.slots[i];
+        let mut conn = slot.check_out().or_else(|| self.dial(i, slot))?;
+        let reply =
+            request.write_to(&mut conn.stream).and_then(|()| Frame::read_from(&mut conn.stream));
+        match reply {
+            Ok(frame) => {
+                slot.check_in(conn, self.cfg.pool_per_shard);
+                Some(frame)
+            }
+            Err(e) => {
+                self.conn_lost(i, &e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Scrape every worker's metrics registry. Returns per-shard
+    /// `Some(snapshot)` or `None` when the shard is unreachable or
+    /// replied malformed JSON. Piggybacked flight events are absorbed
+    /// on the way — a scrape doubles as a flight sync even for shards
+    /// that have not answered a query recently.
+    pub fn scrape_metrics(&self) -> Vec<Option<RegistrySnapshot>> {
+        (0..self.slots.len())
+            .map(|i| match self.exchange(i, Frame::MetricsRequest)? {
+                Frame::MetricsReply { snapshot_json, flight } => {
+                    self.absorb_flight(i, &flight);
+                    match RegistrySnapshot::from_json(&snapshot_json) {
+                        Ok(snap) => Some(snap),
+                        Err(e) => {
+                            gdelt_obs::flight_warn(
+                                "shard",
+                                "bad_metrics_snapshot",
+                                format!("shard {i}: {e}"),
+                            );
+                            None
+                        }
+                    }
+                }
+                other => {
+                    self.conn_lost(i, &format!("expected metrics reply, got {other:?}"));
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Drain every worker's completed spans for trace stitching.
+    /// Returns per-shard `Some((pid, spans))` or `None` when
+    /// unreachable. Draining is destructive on the worker side, so
+    /// collect once at the end of a traced run.
+    pub fn collect_traces(&self) -> Vec<Option<(u32, Vec<WireSpan>)>> {
+        (0..self.slots.len())
+            .map(|i| match self.exchange(i, Frame::TraceRequest)? {
+                Frame::TraceReply { pid, spans } => Some((pid, spans)),
+                other => {
+                    self.conn_lost(i, &format!("expected trace reply, got {other:?}"));
+                    None
+                }
+            })
+            .collect()
     }
 
     /// Record a per-shard generation signature (0 = dead); any change
@@ -511,6 +644,26 @@ impl Router {
                 s.pool.lock().unwrap_or_else(|e| e.into_inner()).first().map(|c| c.hello.clone())
             })
             .collect()
+    }
+}
+
+/// Short frame label for dial diagnostics (full `Debug` of a frame
+/// can embed a whole partial).
+fn frame_label(f: &Frame) -> &'static str {
+    match f {
+        Frame::Hello(_) => "hello",
+        Frame::Request(_) => "request",
+        Frame::Reply { .. } => "reply",
+        Frame::HealthProbe => "health_probe",
+        Frame::Health(_) => "health",
+        Frame::BumpGeneration => "bump_generation",
+        Frame::Query(_) => "query",
+        Frame::Result(_) => "result",
+        Frame::Error { .. } => "error",
+        Frame::MetricsRequest => "metrics_request",
+        Frame::MetricsReply { .. } => "metrics_reply",
+        Frame::TraceRequest => "trace_request",
+        Frame::TraceReply { .. } => "trace_reply",
     }
 }
 

@@ -1,17 +1,26 @@
 //! Hand-rolled length-prefixed wire protocol for the shard tier.
 //!
 //! Zero dependencies, no serde — in the same spirit as obs's
-//! hand-rolled JSON. Every message is one *frame*:
+//! hand-rolled JSON. Every message is one *frame*. Version 2 carries
+//! trace context in the header so spans opened by a worker parent
+//! under the router's span:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"GDSH"
-//! 4       2     version (LE) — currently 1
+//! 4       2     version (LE) — 2; v1 frames still decode
 //! 6       1     kind (frame discriminant)
-//! 7       4     payload length (LE)
-//! 11      len   payload (message-specific, little-endian codecs)
-//! 11+len  8     FNV-1a 64 checksum of bytes [0, 11+len) (LE)
+//! 7       8     trace id (LE; 0 = untraced)
+//! 15      8     parent span id (LE; 0 = no parent)
+//! 23      4     payload length (LE)
+//! 27      len   payload (message-specific, little-endian codecs)
+//! 27+len  8     FNV-1a 64 checksum of bytes [0, 27+len) (LE)
 //! ```
+//!
+//! A version-1 header is the same minus the two trace fields (11
+//! bytes, payload length at offset 7). Decoding negotiates by the
+//! version field: v1 frames yield zero trace context and a
+//! [`Frame::Reply`] without the flight section — typed, never a panic.
 //!
 //! Integers are little-endian; `f64` travels as IEEE-754 bits
 //! (`to_bits`/`from_bits`), so round-trips are bit-identical — the
@@ -32,10 +41,18 @@ use gdelt_model::time::Quarter;
 
 /// Frame magic.
 pub const MAGIC: [u8; 4] = *b"GDSH";
-/// Protocol version carried in every frame header.
-pub const VERSION: u16 = 1;
-/// Header bytes before the payload.
-pub const HEADER_LEN: usize = 11;
+/// Protocol version written by [`Frame::encode`].
+pub const VERSION: u16 = 2;
+/// The pre-trace-context protocol version, still accepted on decode.
+pub const VERSION_V1: u16 = 1;
+/// Header bytes before the payload (version 2: includes trace id and
+/// parent span id).
+pub const HEADER_LEN: usize = 27;
+/// Version-1 header bytes (no trace context).
+pub const HEADER_LEN_V1: usize = 11;
+/// The version-independent header prefix: magic + version. Decoding
+/// reads this much before it knows which header layout follows.
+pub const HEADER_PREFIX_LEN: usize = 6;
 /// Trailing checksum bytes.
 pub const CHECKSUM_LEN: usize = 8;
 /// Refuse payloads larger than this (256 MiB) — a corrupt length
@@ -123,6 +140,54 @@ pub struct Health {
     pub generation: u64,
 }
 
+/// One flight-recorder event forwarded across a process boundary.
+///
+/// Workers piggyback their most recent warn/error events on replies
+/// and metrics scrapes; the router re-records them (at most once per
+/// `seq`, see `Router::absorb_flight`) so chaos artifacts capture
+/// worker-side faults without a separate log-shipping channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightForward {
+    /// The worker-local monotone flight sequence number. The router's
+    /// per-shard cursor dedups on this.
+    pub seq: u64,
+    /// Microseconds since the worker's flight epoch.
+    pub t_us: u64,
+    /// Severity: 0 = info, 1 = warn, 2 = error.
+    pub level: u8,
+    /// Component tag (e.g. `"worker"`).
+    pub component: String,
+    /// Stable event code (e.g. `"fault_delay"`).
+    pub code: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// One completed span shipped from a worker to the router for trace
+/// stitching. Timestamps are absolute unix nanoseconds so the router
+/// can rebase all processes onto one clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Absolute start time (unix ns).
+    pub start_unix_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Worker-local thread lane.
+    pub tid: u32,
+    /// Trace this span belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent_id: u64,
+    /// Numeric span arguments.
+    pub args: Vec<(String, u64)>,
+}
+
 /// One wire message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -137,6 +202,8 @@ pub enum Frame {
         generation: u64,
         /// The sufficient statistic.
         partial: ShardPartial,
+        /// Recent worker flight events (empty on v1 frames).
+        flight: Vec<FlightForward>,
     },
     /// Router → worker: health check.
     HealthProbe,
@@ -157,6 +224,26 @@ pub enum Frame {
         /// Diagnostic text.
         message: String,
     },
+    /// Router → worker: snapshot your metrics registry.
+    MetricsRequest,
+    /// Worker → router: the registry snapshot (obs snapshot JSON) plus
+    /// piggybacked flight events.
+    MetricsReply {
+        /// `RegistrySnapshot::to_json()` output.
+        snapshot_json: String,
+        /// Recent worker flight events.
+        flight: Vec<FlightForward>,
+    },
+    /// Router → worker: drain your completed spans.
+    TraceRequest,
+    /// Worker → router: drained spans, stamped with the worker pid so
+    /// the stitched Chrome trace gets one lane per process.
+    TraceReply {
+        /// Worker OS process id.
+        pid: u32,
+        /// Completed spans, absolute-timestamped.
+        spans: Vec<WireSpan>,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -168,6 +255,10 @@ const KIND_BUMP: u8 = 6;
 const KIND_QUERY: u8 = 7;
 const KIND_RESULT: u8 = 8;
 const KIND_ERROR: u8 = 9;
+const KIND_METRICS_REQUEST: u8 = 10;
+const KIND_METRICS_REPLY: u8 = 11;
+const KIND_TRACE_REQUEST: u8 = 12;
+const KIND_TRACE_REPLY: u8 = 13;
 
 impl Frame {
     fn kind(&self) -> u8 {
@@ -181,12 +272,37 @@ impl Frame {
             Frame::Query(_) => KIND_QUERY,
             Frame::Result(_) => KIND_RESULT,
             Frame::Error { .. } => KIND_ERROR,
+            Frame::MetricsRequest => KIND_METRICS_REQUEST,
+            Frame::MetricsReply { .. } => KIND_METRICS_REPLY,
+            Frame::TraceRequest => KIND_TRACE_REQUEST,
+            Frame::TraceReply { .. } => KIND_TRACE_REPLY,
         }
     }
 
-    /// Encode into a checksummed frame.
+    /// Encode into a checksummed v2 frame with zero (untraced) trace
+    /// context.
     // analyze: no_panic
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with(VERSION, 0, 0)
+    }
+
+    /// Encode into a checksummed v2 frame carrying trace context.
+    // analyze: no_panic
+    pub fn encode_traced(&self, trace_id: u64, parent_span: u64) -> Vec<u8> {
+        self.encode_with(VERSION, trace_id, parent_span)
+    }
+
+    /// Encode with the pre-trace-context version-1 header (11 bytes,
+    /// no trace fields; `Reply` omits its flight section). Exists so
+    /// the negotiation tests can manufacture genuine old-format frames
+    /// without hand-packing bytes.
+    // analyze: no_panic
+    pub fn encode_v1(&self) -> Vec<u8> {
+        self.encode_with(VERSION_V1, 0, 0)
+    }
+
+    // analyze: no_panic
+    fn encode_with(&self, version: u16, trace_id: u64, parent_span: u64) -> Vec<u8> {
         let mut payload = Vec::new();
         let mut e = Enc(&mut payload);
         match self {
@@ -199,9 +315,14 @@ impl Frame {
                 e.u64(h.generation);
             }
             Frame::Request(sq) => enc_shard_query(&mut e, sq),
-            Frame::Reply { generation, partial } => {
+            Frame::Reply { generation, partial, flight } => {
                 e.u64(*generation);
                 enc_partial(&mut e, partial);
+                // The flight section joined the Reply payload in v2; a
+                // v1 Reply simply does not carry it.
+                if version >= VERSION {
+                    enc_flight_vec(&mut e, flight);
+                }
             }
             Frame::HealthProbe | Frame::BumpGeneration => {}
             Frame::Health(h) => {
@@ -215,11 +336,28 @@ impl Frame {
                 e.u16(*code);
                 e.str(message);
             }
+            Frame::MetricsRequest | Frame::TraceRequest => {}
+            Frame::MetricsReply { snapshot_json, flight } => {
+                e.str(snapshot_json);
+                enc_flight_vec(&mut e, flight);
+            }
+            Frame::TraceReply { pid, spans } => {
+                e.u32(*pid);
+                e.len(spans.len());
+                for s in spans {
+                    enc_wire_span(&mut e, s);
+                }
+            }
         }
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+        let header_len = if version == VERSION_V1 { HEADER_LEN_V1 } else { HEADER_LEN };
+        let mut out = Vec::with_capacity(header_len + payload.len() + CHECKSUM_LEN);
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.push(self.kind());
+        if version != VERSION_V1 {
+            out.extend_from_slice(&trace_id.to_le_bytes());
+            out.extend_from_slice(&parent_span.to_le_bytes());
+        }
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&payload);
         let sum = fnv1a64(&out);
@@ -228,30 +366,58 @@ impl Frame {
     }
 
     /// Decode one frame from the start of `buf`; returns the frame and
-    /// the bytes it consumed.
+    /// the bytes it consumed, dropping the trace context.
     // analyze: no_panic
     pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
-        if buf.len() < HEADER_LEN {
-            return Err(WireError::Truncated { needed: HEADER_LEN, have: buf.len() });
+        Frame::decode_traced(buf).map(|(frame, _, _, total)| (frame, total))
+    }
+
+    /// Decode one frame plus its trace context `(frame, trace_id,
+    /// parent_span, consumed)`. Version-1 frames decode with zero
+    /// trace context.
+    // analyze: no_panic
+    pub fn decode_traced(buf: &[u8]) -> Result<(Frame, u64, u64, usize), WireError> {
+        if buf.len() < HEADER_PREFIX_LEN {
+            return Err(WireError::Truncated { needed: HEADER_PREFIX_LEN, have: buf.len() });
         }
         let magic: [u8; 4] = [buf[0], buf[1], buf[2], buf[3]];
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
         let version = u16::from_le_bytes([buf[4], buf[5]]);
-        if version != VERSION {
-            return Err(WireError::BadVersion(version));
+        let header_len = match version {
+            VERSION_V1 => HEADER_LEN_V1,
+            VERSION => HEADER_LEN,
+            other => return Err(WireError::BadVersion(other)),
+        };
+        if buf.len() < header_len {
+            return Err(WireError::Truncated { needed: header_len, have: buf.len() });
         }
         let kind = buf[6];
-        let len = u32::from_le_bytes([buf[7], buf[8], buf[9], buf[10]]);
+        let (trace_id, parent_span) = if version == VERSION {
+            let t = buf.get(7..15).and_then(|s| s.try_into().ok()).map(u64::from_le_bytes);
+            let p = buf.get(15..23).and_then(|s| s.try_into().ok()).map(u64::from_le_bytes);
+            match (t, p) {
+                (Some(t), Some(p)) => (t, p),
+                _ => return Err(WireError::Malformed("trace header")),
+            }
+        } else {
+            (0, 0)
+        };
+        let len_off = header_len - 4;
+        let len_bytes = buf.get(len_off..header_len).and_then(|s| <[u8; 4]>::try_from(s).ok());
+        let Some(len_bytes) = len_bytes else {
+            return Err(WireError::Malformed("length field"));
+        };
+        let len = u32::from_le_bytes(len_bytes);
         if len > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
         }
-        let total = HEADER_LEN + len as usize + CHECKSUM_LEN;
+        let total = header_len + len as usize + CHECKSUM_LEN;
         if buf.len() < total {
             return Err(WireError::Truncated { needed: total, have: buf.len() });
         }
-        let body_end = HEADER_LEN + len as usize;
+        let body_end = header_len + len as usize;
         let body = buf.get(..body_end).ok_or(WireError::Malformed("frame body"))?;
         let computed = fnv1a64(body);
         let sum_bytes = buf.get(body_end..total).ok_or(WireError::Malformed("checksum"))?;
@@ -260,7 +426,7 @@ impl Frame {
         if computed != stored {
             return Err(WireError::BadChecksum { computed, stored });
         }
-        let payload = buf.get(HEADER_LEN..body_end).ok_or(WireError::Malformed("payload"))?;
+        let payload = buf.get(header_len..body_end).ok_or(WireError::Malformed("payload"))?;
         let mut d = Dec { buf: payload, pos: 0 };
         let frame = match kind {
             KIND_HELLO => Frame::Hello(Hello {
@@ -272,7 +438,14 @@ impl Frame {
                 generation: d.u64()?,
             }),
             KIND_REQUEST => Frame::Request(dec_shard_query(&mut d)?),
-            KIND_REPLY => Frame::Reply { generation: d.u64()?, partial: dec_partial(&mut d)? },
+            KIND_REPLY => {
+                let generation = d.u64()?;
+                let partial = dec_partial(&mut d)?;
+                // v1 replies predate the flight section.
+                let flight =
+                    if version == VERSION_V1 { Vec::new() } else { dec_flight_vec(&mut d)? };
+                Frame::Reply { generation, partial, flight }
+            }
             KIND_HEALTH_PROBE => Frame::HealthProbe,
             KIND_HEALTH => {
                 Frame::Health(Health { live: d.u32()?, total: d.u32()?, generation: d.u64()? })
@@ -281,37 +454,87 @@ impl Frame {
             KIND_QUERY => Frame::Query(dec_query(&mut d)?),
             KIND_RESULT => Frame::Result(dec_result(&mut d)?),
             KIND_ERROR => Frame::Error { code: d.u16()?, message: d.str()? },
+            KIND_METRICS_REQUEST => Frame::MetricsRequest,
+            KIND_METRICS_REPLY => {
+                Frame::MetricsReply { snapshot_json: d.str()?, flight: dec_flight_vec(&mut d)? }
+            }
+            KIND_TRACE_REQUEST => Frame::TraceRequest,
+            KIND_TRACE_REPLY => {
+                let pid = d.u32()?;
+                let n = d.len_for(WIRE_SPAN_MIN_BYTES)?;
+                let spans =
+                    (0..n).map(|_| dec_wire_span(&mut d)).collect::<Result<Vec<_>, _>>()?;
+                Frame::TraceReply { pid, spans }
+            }
             other => return Err(WireError::BadKind(other)),
         };
         if d.pos != d.buf.len() {
             return Err(WireError::TrailingBytes(d.buf.len() - d.pos));
         }
-        Ok((frame, total))
+        Ok((frame, trace_id, parent_span, total))
     }
 
-    /// Write one frame to a stream.
+    /// Write one frame to a stream with zero trace context.
     // analyze: no_panic
     pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
         w.write_all(&self.encode())?;
         w.flush()
     }
 
-    /// Read exactly one frame from a stream. Wire-level failures come
-    /// back as `InvalidData` wrapping the [`WireError`] text.
+    /// Write one frame to a stream, stamping the header with trace
+    /// context for the receiving process to adopt.
+    // analyze: no_panic
+    pub fn write_traced_to(
+        &self,
+        w: &mut impl std::io::Write,
+        trace_id: u64,
+        parent_span: u64,
+    ) -> std::io::Result<()> {
+        w.write_all(&self.encode_traced(trace_id, parent_span))?;
+        w.flush()
+    }
+
+    /// Read exactly one frame from a stream, dropping trace context.
+    /// Wire-level failures come back as `InvalidData` wrapping the
+    /// [`WireError`] text.
     pub fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Frame> {
-        let mut header = [0u8; HEADER_LEN];
-        r.read_exact(&mut header)?;
-        let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+        Frame::read_traced_from(r).map(|(frame, _, _)| frame)
+    }
+
+    /// Read exactly one frame plus its `(trace_id, parent_span)` from
+    /// a stream. Accepts both header versions; v1 frames yield zero
+    /// trace context.
+    pub fn read_traced_from(r: &mut impl std::io::Read) -> std::io::Result<(Frame, u64, u64)> {
+        let mut prefix = [0u8; HEADER_PREFIX_LEN];
+        r.read_exact(&mut prefix)?;
+        let magic: [u8; 4] = [prefix[0], prefix[1], prefix[2], prefix[3]];
+        if magic != MAGIC {
+            return Err(wire_io(WireError::BadMagic(magic)));
+        }
+        let version = u16::from_le_bytes([prefix[4], prefix[5]]);
+        let header_len = match version {
+            VERSION_V1 => HEADER_LEN_V1,
+            VERSION => HEADER_LEN,
+            other => return Err(wire_io(WireError::BadVersion(other))),
+        };
+        let mut header_rest = vec![0u8; header_len - HEADER_PREFIX_LEN];
+        r.read_exact(&mut header_rest)?;
+        let len_bytes: [u8; 4] = header_rest[header_rest.len() - 4..]
+            .try_into()
+            .map_err(|_| wire_io(WireError::Malformed("length field")))?;
+        let len = u32::from_le_bytes(len_bytes);
         if len > MAX_PAYLOAD {
             return Err(wire_io(WireError::Oversized(len)));
         }
         let mut rest = vec![0u8; len as usize + CHECKSUM_LEN];
         r.read_exact(&mut rest)?;
-        let mut whole = Vec::with_capacity(HEADER_LEN + rest.len());
-        whole.extend_from_slice(&header);
+        let mut whole = Vec::with_capacity(header_len + rest.len());
+        whole.extend_from_slice(&prefix);
+        whole.extend_from_slice(&header_rest);
         whole.extend_from_slice(&rest);
-        let (frame, _) = Frame::decode(&whole).map_err(wire_io)?;
-        Ok(frame)
+        let (frame, trace_id, parent_span, _) =
+            Frame::decode_traced(&whole).map_err(wire_io)?;
+        Ok((frame, trace_id, parent_span))
     }
 }
 
@@ -407,6 +630,77 @@ impl Dec<'_> {
         }
         Ok(n)
     }
+}
+
+/// Smallest possible encoded [`FlightForward`]: seq + t_us + level +
+/// three empty length-prefixed strings.
+const FLIGHT_FORWARD_MIN_BYTES: usize = 8 + 8 + 1 + 4 + 4 + 4;
+/// Smallest possible encoded [`WireSpan`]: two empty strings, five
+/// fixed ints, tid, and an empty args vec.
+const WIRE_SPAN_MIN_BYTES: usize = 4 + 4 + 8 + 8 + 4 + 8 + 8 + 8 + 4;
+
+fn enc_flight_vec(e: &mut Enc<'_>, flight: &[FlightForward]) {
+    e.len(flight.len());
+    for f in flight {
+        e.u64(f.seq);
+        e.u64(f.t_us);
+        e.u8(f.level);
+        e.str(&f.component);
+        e.str(&f.code);
+        e.str(&f.detail);
+    }
+}
+
+fn dec_flight_vec(d: &mut Dec<'_>) -> Result<Vec<FlightForward>, WireError> {
+    let n = d.len_for(FLIGHT_FORWARD_MIN_BYTES)?;
+    (0..n)
+        .map(|_| {
+            let seq = d.u64()?;
+            let t_us = d.u64()?;
+            let level = d.u8()?;
+            if level > 2 {
+                return Err(WireError::Malformed("flight level"));
+            }
+            Ok(FlightForward {
+                seq,
+                t_us,
+                level,
+                component: d.str()?,
+                code: d.str()?,
+                detail: d.str()?,
+            })
+        })
+        .collect()
+}
+
+fn enc_wire_span(e: &mut Enc<'_>, s: &WireSpan) {
+    e.str(&s.name);
+    e.str(&s.cat);
+    e.u64(s.start_unix_ns);
+    e.u64(s.dur_ns);
+    e.u32(s.tid);
+    e.u64(s.trace_id);
+    e.u64(s.span_id);
+    e.u64(s.parent_id);
+    e.len(s.args.len());
+    for (k, v) in &s.args {
+        e.str(k);
+        e.u64(*v);
+    }
+}
+
+fn dec_wire_span(d: &mut Dec<'_>) -> Result<WireSpan, WireError> {
+    let name = d.str()?;
+    let cat = d.str()?;
+    let start_unix_ns = d.u64()?;
+    let dur_ns = d.u64()?;
+    let tid = d.u32()?;
+    let trace_id = d.u64()?;
+    let span_id = d.u64()?;
+    let parent_id = d.u64()?;
+    let n = d.len_for(12)?;
+    let args = (0..n).map(|_| Ok((d.str()?, d.u64()?))).collect::<Result<Vec<_>, WireError>>()?;
+    Ok(WireSpan { name, cat, start_unix_ns, dur_ns, tid, trace_id, span_id, parent_id, args })
 }
 
 fn enc_vec_u64(e: &mut Enc<'_>, v: &[u64]) {

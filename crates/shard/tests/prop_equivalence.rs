@@ -65,7 +65,7 @@ fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
 
 /// Push one partial through the wire codec (Reply frame) and back.
 fn through_wire(p: ShardPartial) -> ShardPartial {
-    let bytes = Frame::Reply { generation: 1, partial: p }.encode();
+    let bytes = Frame::Reply { generation: 1, partial: p, flight: Vec::new() }.encode();
     let (frame, _) = Frame::decode(&bytes).expect("reply frame decodes");
     match frame {
         Frame::Reply { partial, .. } => partial,

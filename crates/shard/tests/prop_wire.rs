@@ -14,7 +14,10 @@ use gdelt_engine::timeseries::QuarterlySeries;
 use gdelt_engine::{Matrix, Query, QueryResult, SeriesKind, TopKKind};
 use gdelt_model::ids::SourceId;
 use gdelt_model::time::Quarter;
-use gdelt_shard::wire::{Frame, Health, Hello, WireError, CHECKSUM_LEN, HEADER_LEN};
+use gdelt_shard::wire::{
+    FlightForward, Frame, Health, Hello, WireError, WireSpan, CHECKSUM_LEN, HEADER_LEN,
+    HEADER_LEN_V1, VERSION, VERSION_V1,
+};
 use proptest::prelude::*;
 
 fn series_kind() -> impl Strategy<Value = SeriesKind> {
@@ -153,6 +156,29 @@ fn shard_partial() -> impl Strategy<Value = ShardPartial> {
     ]
 }
 
+fn flight_forward() -> impl Strategy<Value = FlightForward> {
+    (any::<u64>(), any::<u64>(), 0u8..=2, "[a-z_]{0,12}", "[a-z_]{0,12}", "[a-z0-9 ]{0,30}")
+        .prop_map(|(seq, t_us, level, component, code, detail)| FlightForward {
+            seq,
+            t_us,
+            level,
+            component,
+            code,
+            detail,
+        })
+}
+
+fn wire_span() -> impl Strategy<Value = WireSpan> {
+    (
+        ("[a-z_]{0,16}", "[a-z]{0,8}", any::<u64>(), any::<u64>(), any::<u32>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        prop::collection::vec(("[a-z]{1,8}", any::<u64>()), 0..3),
+    )
+        .prop_map(|((name, cat, start_unix_ns, dur_ns, tid), (trace_id, span_id, parent_id), args)| {
+            WireSpan { name, cat, start_unix_ns, dur_ns, tid, trace_id, span_id, parent_id, args }
+        })
+}
+
 fn frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
@@ -167,8 +193,12 @@ fn frame() -> impl Strategy<Value = Frame> {
                 })
             }),
         shard_query().prop_map(Frame::Request),
-        (any::<u64>(), shard_partial())
-            .prop_map(|(generation, partial)| Frame::Reply { generation, partial }),
+        (any::<u64>(), shard_partial(), prop::collection::vec(flight_forward(), 0..4))
+            .prop_map(|(generation, partial, flight)| Frame::Reply {
+                generation,
+                partial,
+                flight
+            }),
         Just(Frame::HealthProbe),
         (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(live, total, generation)| {
             Frame::Health(Health { live, total, generation })
@@ -177,6 +207,12 @@ fn frame() -> impl Strategy<Value = Frame> {
         query().prop_map(Frame::Query),
         query_result().prop_map(Frame::Result),
         (any::<u16>(), "[a-z ]{0,40}").prop_map(|(code, message)| Frame::Error { code, message }),
+        Just(Frame::MetricsRequest),
+        ("[ -~]{0,80}", prop::collection::vec(flight_forward(), 0..4))
+            .prop_map(|(snapshot_json, flight)| Frame::MetricsReply { snapshot_json, flight }),
+        Just(Frame::TraceRequest),
+        (any::<u32>(), prop::collection::vec(wire_span(), 0..4))
+            .prop_map(|(pid, spans)| Frame::TraceReply { pid, spans }),
     ]
 }
 
@@ -253,6 +289,56 @@ proptest! {
             Err(WireError::BadChecksum { .. })
         ));
     }
+
+    /// Trace context rides the v2 header bit-identically and is
+    /// invisible to the payload: the same frame encodes to the same
+    /// payload bytes whatever ids the header carries.
+    #[test]
+    fn trace_context_rides_the_header(f in frame(), trace_id in any::<u64>(), parent in any::<u64>()) {
+        let bytes = f.encode_traced(trace_id, parent);
+        let (back, tid, pspan, consumed) = Frame::decode_traced(&bytes).expect("decode");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(back, f);
+        prop_assert_eq!(tid, trace_id);
+        prop_assert_eq!(pspan, parent);
+        // Same payload, different header context: only header +
+        // checksum bytes may differ.
+        let untraced = f.encode();
+        prop_assert_eq!(&untraced[HEADER_LEN..untraced.len() - CHECKSUM_LEN],
+                        &bytes[HEADER_LEN..bytes.len() - CHECKSUM_LEN]);
+    }
+
+    /// Version negotiation (the compatibility contract): genuine
+    /// version-1 frames — 11-byte header, no trace fields, no Reply
+    /// flight section — still decode, with zero trace context and an
+    /// empty flight vec. Typed errors for prefixes, never a panic.
+    #[test]
+    fn v1_frames_decode_with_zero_trace_context(f in frame(), cut in 0usize..1000) {
+        let bytes = f.encode_v1();
+        prop_assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION_V1);
+        let (back, tid, pspan, consumed) = Frame::decode_traced(&bytes).expect("v1 decode");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(tid, 0, "v1 frames carry no trace id");
+        prop_assert_eq!(pspan, 0, "v1 frames carry no parent span");
+        // A v1 Reply predates the flight section; everything else is
+        // unchanged by the downgrade.
+        let expect = match f {
+            Frame::Reply { generation, partial, .. } =>
+                Frame::Reply { generation, partial, flight: Vec::new() },
+            other => other,
+        };
+        prop_assert_eq!(back, expect);
+        // And every proper prefix of a v1 frame is typed Truncated,
+        // with `needed` never below the v1 header length rules.
+        let cut = cut % bytes.len();
+        match Frame::decode(&bytes[..cut]) {
+            Err(WireError::Truncated { needed, have }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(needed > cut);
+            }
+            other => prop_assert!(false, "v1 prefix of {cut} bytes decoded as {other:?}"),
+        }
+    }
 }
 
 #[test]
@@ -281,10 +367,46 @@ fn bad_magic_version_and_kind_are_typed() {
     bad[6] = 0xEE;
     assert!(matches!(Frame::decode(&reseal(bad)), Err(WireError::BadKind(0xEE))));
 
+    // The v2 length field sits after the two 8-byte trace ids.
     let mut bad = good;
-    bad[7] = 0xFF;
-    bad[8] = 0xFF;
-    bad[9] = 0xFF;
-    bad[10] = 0xFF;
+    for b in &mut bad[HEADER_LEN - 4..HEADER_LEN] {
+        *b = 0xFF;
+    }
     assert!(matches!(Frame::decode(&bad), Err(WireError::Oversized(_))));
+}
+
+#[test]
+fn header_layouts_match_the_documented_offsets() {
+    let v2 = Frame::HealthProbe.encode_traced(0x1122_3344_5566_7788, 0x99AA_BBCC_DDEE_FF00);
+    assert_eq!(v2.len(), HEADER_LEN + CHECKSUM_LEN, "empty payload");
+    assert_eq!(&v2[0..4], b"GDSH");
+    assert_eq!(u16::from_le_bytes([v2[4], v2[5]]), VERSION);
+    assert_eq!(
+        u64::from_le_bytes(v2[7..15].try_into().unwrap()),
+        0x1122_3344_5566_7788,
+        "trace id at offset 7"
+    );
+    assert_eq!(
+        u64::from_le_bytes(v2[15..23].try_into().unwrap()),
+        0x99AA_BBCC_DDEE_FF00,
+        "parent span at offset 15"
+    );
+    assert_eq!(u32::from_le_bytes(v2[23..27].try_into().unwrap()), 0, "length at offset 23");
+
+    let v1 = Frame::HealthProbe.encode_v1();
+    assert_eq!(v1.len(), HEADER_LEN_V1 + CHECKSUM_LEN);
+    assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), VERSION_V1);
+    assert_eq!(u32::from_le_bytes(v1[7..11].try_into().unwrap()), 0, "v1 length at offset 7");
+
+    // An unknown future version is a typed rejection on both the
+    // buffer and stream paths.
+    let mut v3 = Frame::HealthProbe.encode();
+    v3[4] = 3;
+    let body = v3.len() - CHECKSUM_LEN;
+    let sum = gdelt_columnar::binfmt::fnv1a64(&v3[..body]);
+    let split = v3.len() - CHECKSUM_LEN;
+    v3[split..].copy_from_slice(&sum.to_le_bytes());
+    assert!(matches!(Frame::decode(&v3), Err(WireError::BadVersion(3))));
+    let err = Frame::read_from(&mut &v3[..]).expect_err("stream decode must reject v3");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
 }

@@ -269,6 +269,49 @@ fn generation_bump_propagates_and_invalidates_cache() {
 }
 
 #[test]
+fn metrics_federation_over_the_wire() {
+    let f = fixture("federation");
+    let r = router(&f, DegradedPolicy::ServePartial, false);
+    for q in all_queries() {
+        r.query(&q).expect("scatter answer");
+    }
+
+    let scraped = r.scrape_metrics();
+    assert_eq!(scraped.len(), N_SHARDS as usize);
+    let parts: Vec<(String, gdelt_obs::RegistrySnapshot)> = scraped
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i.to_string(), s.expect("healthy shard scrapes")))
+        .collect();
+    for (label, snap) in &parts {
+        let h = snap
+            .hists
+            .get("shard_worker_query_us")
+            .unwrap_or_else(|| panic!("shard {label} snapshot missing the query histogram"));
+        assert!(h.count > 0, "shard {label} forwarded an empty query histogram");
+    }
+
+    // The federated view obeys the merge law: its count is exactly the
+    // sum of the per-shard counts (associativity/commutativity of the
+    // underlying merge is proptest-pinned in the obs crate).
+    let sum: u64 = parts.iter().map(|(_, s)| s.hists["shard_worker_query_us"].count).sum();
+    let mut fed = gdelt_obs::RegistrySnapshot::default();
+    for (_, part) in &parts {
+        fed.merge(part);
+    }
+    assert_eq!(fed.hists["shard_worker_query_us"].count, sum, "federated count = per-shard sum");
+
+    // And the rendered exposition carries both views and passes the
+    // strict validator.
+    let text = gdelt_obs::render_federated(&parts);
+    gdelt_obs::validate_prometheus(&text).expect("federated exposition validates");
+    assert!(
+        text.contains("shard_worker_query_us_count{shard=\"0\"}"),
+        "per-shard labeled sample missing:\n{text}"
+    );
+}
+
+#[test]
 fn worker_rejects_unsupported_frames_with_typed_error() {
     let f = fixture("badframe");
     let mut stream = std::net::TcpStream::connect(&f.workers[0].addr).expect("connect");
